@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (DESIGN.md Section 2) and
+prints the same rows/series the paper's figure shows. The scale profile is
+selected with the ``REPRO_BENCH_PROFILE`` environment variable
+(``quick`` | ``default`` | ``paper``; default ``quick`` so the whole suite
+finishes in minutes on one core).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import PROFILES, ExperimentResult, run_experiment
+
+
+@pytest.fixture(scope="session")
+def profile_name() -> str:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if name not in PROFILES:
+        raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")
+    return name
+
+
+def run_and_report(benchmark, experiment_id: str, profile_name: str) -> ExperimentResult:
+    """Run an experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, profile_name), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+    return result

@@ -1,0 +1,30 @@
+"""Ablation: the oldest-first acceptance rule (paper Algorithm 1).
+
+Bins accepting "the oldest balls among its requests" is the aging
+mechanism behind Observation 1 and hence the waiting-time theorem.
+Flipping acceptance to youngest-first is a surgical ablation: the
+pool-size dynamics are *identical* (acceptance counts per bin depend only
+on request counts), so any waiting-time change is attributable to aging
+alone — and the tail explodes while the average stays put.
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_aging(benchmark, profile_name):
+    result = run_and_report(benchmark, "ablation_aging", profile_name)
+    assert result.all_checks_pass
+
+    def row(order, exp):
+        return next(
+            r for r in result.rows if r["order"] == order and r["lambda_exp"] == exp
+        )
+
+    for exp in sorted({r["lambda_exp"] for r in result.rows}):
+        oldest, youngest = row("oldest", exp), row("youngest", exp)
+        # Averages are statistically indistinguishable...
+        assert abs(oldest["avg_wait"] - youngest["avg_wait"]) < 0.3
+        # ...but starvation shows in every tail metric.
+        assert youngest["p99_wait"] > oldest["p99_wait"]
+        assert youngest["max_wait"] >= 3 * oldest["max_wait"]
+        assert youngest["peak_pool_age"] >= 3 * oldest["peak_pool_age"]

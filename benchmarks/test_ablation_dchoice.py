@@ -1,0 +1,31 @@
+"""Ablation: buffer capacity vs number of random choices.
+
+The paper's design decision (Section I-B): buy the improvement with
+capacity, keep one random choice per ball. Running CAPPED(c, λ) with a
+second batch-semantics probe shows why: at c = 1 the probe reads empty
+bins and is pure noise (the parallel d-choice weakness of [APPROX'12]
+cited in the introduction), and even where it helps (persistent loads,
+c ≥ 2) capacity alone dominates choices alone.
+"""
+
+from conftest import run_and_report
+
+
+def test_ablation_dchoice(benchmark, profile_name):
+    result = run_and_report(benchmark, "ablation_dchoice", profile_name)
+    assert result.all_checks_pass
+
+    def row(c, d):
+        return next(r for r in result.rows if r["c"] == c and r["d"] == d)
+
+    # At c=1 the second probe is signal-free: identical within noise.
+    assert abs(row(1, 2)["avg_wait"] - row(1, 1)["avg_wait"]) < 0.3
+
+    # With persistent loads (c >= 2) the probe helps and never hurts.
+    for c in (2, 3):
+        assert row(c, 2)["avg_wait"] <= row(c, 1)["avg_wait"] + 0.1
+
+    # Capacity alone (c=3, d=1) beats choices alone (c=1, d=2) on both the
+    # pool and the waiting time — CAPPED's core message.
+    assert row(3, 1)["pool/n"] < row(1, 2)["pool/n"]
+    assert row(3, 1)["avg_wait"] < row(1, 2)["avg_wait"]

@@ -1,0 +1,32 @@
+"""CLAIM-BASE: CAPPED vs the PODC'16 leaky-bins GREEDY processes.
+
+The paper's headline comparison: "for constant λ the waiting time is
+reduced from O(log n) to O(log log n)" vs [Berenbrink et al., PODC'16],
+and GREEDY[1] degrades like 1/(1−λ) while CAPPED only picks up
+ln(1/(1−λ))/c. Shape targets: CAPPED's max wait beats GREEDY[1]
+everywhere, and the gap widens as λ → 1.
+"""
+
+from conftest import run_and_report
+
+
+def test_baseline_comparison(benchmark, profile_name):
+    result = run_and_report(benchmark, "baseline_comparison", profile_name)
+    assert result.all_checks_pass
+
+    def max_wait(exponent, process_prefix):
+        return next(
+            r["max_wait"]
+            for r in result.rows
+            if r["lambda_exp"] == exponent and r["process"].startswith(process_prefix)
+        )
+
+    exponents = sorted({r["lambda_exp"] for r in result.rows})
+
+    # GREEDY[1]'s max wait explodes with lambda; CAPPED's barely moves.
+    greedy1_growth = max_wait(exponents[-1], "GREEDY[1]") / max_wait(exponents[0], "GREEDY[1]")
+    capped_growth = max_wait(exponents[-1], "CAPPED") / max_wait(exponents[0], "CAPPED")
+    assert greedy1_growth > 2 * capped_growth
+
+    # GREEDY[2] is competitive but CAPPED still wins or ties at the top.
+    assert max_wait(exponents[-1], "CAPPED") <= max_wait(exponents[-1], "GREEDY[2]") + 1

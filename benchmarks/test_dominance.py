@@ -1,0 +1,18 @@
+"""CLAIM-DOM: the coupling lemmas (Lemmas 1 and 6).
+
+Under the paper's coupling the pool of CAPPED(c, λ) never exceeds the pool
+of MODCAPPED(c, λ) — a sure (probability-1) inequality, so the bench
+asserts exactly zero violations across every configuration.
+"""
+
+from conftest import run_and_report
+
+
+def test_dominance(benchmark, profile_name):
+    result = run_and_report(benchmark, "dominance", profile_name)
+    assert result.all_checks_pass
+    for row in result.rows:
+        assert row["violations"] == 0
+        # The gap is strictly negative in practice (MODCAPPED keeps its
+        # pool near m* while CAPPED's pool stays near equilibrium).
+        assert row["worst_gap"] < 0

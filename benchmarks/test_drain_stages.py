@@ -1,0 +1,26 @@
+"""Validation of the Lemma 3–5 drain pipeline (the waiting-time proof).
+
+A spike of 6n balls with arrivals switched off realises the proof's
+setting directly; each stage of the pool's collapse is clocked against
+the corresponding lemma's bound: Δ = m/(n − n/e) rounds to 2n (Lemma 3),
+19 rounds to n/(2e) (Lemma 4), log log n + O(1) to empty (Lemma 5), and
+at most c extra rounds for the buffers to flush (Section IV-C).
+"""
+
+from conftest import run_and_report
+
+
+def test_drain_stages(benchmark, profile_name):
+    result = run_and_report(benchmark, "drain_stages", profile_name)
+    assert result.all_checks_pass
+
+    for row in result.rows:
+        # The bounds are loose by design; the measured stages should be
+        # comfortably inside them, not grazing them.
+        assert row["stage1_rounds"] < row["lemma3_bound"]
+        assert row["stage2_rounds"] < row["lemma4_bound"] / 2
+        # Larger buffers can only speed up the drain (Observation 1).
+        assert row["flush_rounds"] <= row["c"]
+
+    stage1_by_c = {row["c"]: row["stage1_rounds"] for row in result.rows}
+    assert stage1_by_c[3] <= stage1_by_c[1]

@@ -1,0 +1,67 @@
+"""Engine micro-benchmarks (DESIGN.md Section 6, ablation 1).
+
+Times a single round of each simulator and quantifies the speedup of the
+age-bucketed vectorised CAPPED implementation over the per-ball reference
+— the substitution that makes the paper-scale figures tractable in Python.
+"""
+
+import pytest
+
+from repro.core.capped import CappedProcess, ExactCappedSimulator
+from repro.core.modcapped import ModCappedProcess
+from repro.processes.greedy import GreedyBatchProcess
+
+
+@pytest.mark.parametrize("n", [1024, 8192])
+def test_capped_round_speed(benchmark, n):
+    process = CappedProcess(n=n, capacity=2, lam=1 - 2**-6, rng=0)
+    for _ in range(50):  # reach steady state before timing
+        process.step()
+    benchmark(process.step)
+
+
+def test_exact_round_speed(benchmark):
+    process = ExactCappedSimulator(n=256, capacity=2, lam=1 - 2**-6, rng=0)
+    for _ in range(50):
+        process.step()
+    benchmark(process.step)
+
+
+def test_fast_beats_exact_per_ball(benchmark):
+    # The ablation claim: at equal n the vectorised simulator wins by a
+    # wide margin (the gap grows with n; ~8x already at n=512, orders of
+    # magnitude at the paper's 2^15).
+    import time
+
+    n, c, lam = 512, 2, 0.875
+    fast = CappedProcess(n=n, capacity=c, lam=lam, rng=1)
+    exact = ExactCappedSimulator(n=n, capacity=c, lam=lam, rng=1)
+    for _ in range(30):
+        fast.step()
+        exact.step()
+
+    def time_per_round(process, rounds=30):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            process.step()
+        return (time.perf_counter() - start) / rounds
+
+    fast_time = benchmark.pedantic(time_per_round, args=(fast,), rounds=1, iterations=1)
+    exact_time = time_per_round(exact)
+    print(f"\nfast: {fast_time * 1e3:.3f} ms/round, exact: {exact_time * 1e3:.3f} ms/round, "
+          f"speedup {exact_time / fast_time:.0f}x")
+    assert exact_time > 5 * fast_time
+
+
+def test_modcapped_round_speed(benchmark):
+    process = ModCappedProcess(n=1024, c=3, lam=0.75, rng=0)
+    for _ in range(20):
+        process.step()
+    benchmark(process.step)
+
+
+def test_greedy_round_speed(benchmark):
+    process = GreedyBatchProcess(n=8192, d=2, lam=1 - 2**-6, rng=0)
+    for _ in range(50):
+        process.step()
+    benchmark(process.step)

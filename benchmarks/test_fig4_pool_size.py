@@ -1,0 +1,54 @@
+"""FIG4-L / FIG4-R: normalized pool size (paper Figure 4).
+
+Left plot: pool/n vs capacity c ∈ [1, 5] for λ = 1−1/2² and 1−1/2¹⁰.
+Right plot: pool/n vs λ = 1−2^{−i}, i ∈ [1, 10], for c = 1 and c = 3.
+Reference (dashed in the paper): ``1/c·ln(1/(1−λ)) + 1``.
+
+Shape targets: pool/n grows like ln(1/(1−λ)), decays like 1/c, and stays
+below the reference curve everywhere (Section V: "the number of jobs
+awaiting allocation is bounded by n/c·ln(1/(1−λ)) + n").
+"""
+
+from conftest import run_and_report
+
+
+def test_fig4_left(benchmark, profile_name):
+    result = run_and_report(benchmark, "fig4_left", profile_name)
+    assert result.all_checks_pass
+
+    # 1/c decay: within each lambda series the pool shrinks with c.
+    for exponent in {row["lambda_exp"] for row in result.rows}:
+        series = [r["pool/n"] for r in result.rows if r["lambda_exp"] == exponent]
+        assert series == sorted(series, reverse=True), series
+
+    # Large lambda sits above small lambda at every c.
+    small = {r["c"]: r["pool/n"] for r in result.rows if r["lambda_exp"] == 2}
+    large = {r["c"]: r["pool/n"] for r in result.rows if r["lambda_exp"] != 2}
+    for c, value in large.items():
+        assert value > small[c]
+
+
+def test_fig4_right(benchmark, profile_name):
+    result = run_and_report(benchmark, "fig4_right", profile_name)
+    assert result.all_checks_pass
+
+    # Growth in lambda: each capacity series increases with the exponent.
+    for c in (1, 3):
+        series = [r["pool/n"] for r in result.rows if r["c"] == c]
+        assert all(a <= b + 0.05 for a, b in zip(series, series[1:])), series
+
+    # c = 3 stays below c = 1 at every lambda (the 1/c effect).
+    by_exp_c1 = {r["lambda_exp"]: r["pool/n"] for r in result.rows if r["c"] == 1}
+    by_exp_c3 = {r["lambda_exp"]: r["pool/n"] for r in result.rows if r["c"] == 3}
+    for exponent, value in by_exp_c3.items():
+        assert value <= by_exp_c1[exponent]
+
+    # For c = 1 and large lambda the asymptotic form is exact:
+    # pool/n -> ln(1/(1-lambda)) - lambda (mean-field), well approximated
+    # by the measured value.
+    top = max(by_exp_c1)
+    import math
+
+    lam = 1 - 2.0**-top
+    assert by_exp_c1[top] == type(by_exp_c1[top])(by_exp_c1[top])
+    assert abs(by_exp_c1[top] - (math.log(1 / (1 - lam)) - lam)) < 0.5

@@ -1,0 +1,49 @@
+"""FIG5-L / FIG5-R: average and maximum waiting time (paper Figure 5).
+
+Left plot: waits vs capacity c ∈ [1, 5] for λ = 1−1/2², 1−1/2¹⁰, 1−1/2¹³.
+Right plot: waits vs λ = 1−2^{−i}, i ∈ [1, 10], for c = 1 and c = 3.
+Reference (dashed): ``ln(1/(1−λ))/c + log log n + c``.
+
+Shape targets: max wait stays below the reference; for large λ the waits
+first drop with c then rise again (the sweet spot, asserted in the
+dedicated sweet-spot bench); waits grow only logarithmically in 1/(1−λ).
+"""
+
+from conftest import run_and_report
+
+
+def test_fig5_left(benchmark, profile_name):
+    result = run_and_report(benchmark, "fig5_left", profile_name)
+    assert result.all_checks_pass
+
+    for exponent in {row["lambda_exp"] for row in result.rows}:
+        series = [r for r in result.rows if r["lambda_exp"] == exponent]
+        # avg <= max everywhere.
+        assert all(r["avg_wait"] <= r["max_wait"] for r in series)
+        # Going from c=1 to c=2 helps whenever lambda is large.
+        if exponent >= 10:
+            c1 = next(r for r in series if r["c"] == 1)
+            c2 = next(r for r in series if r["c"] == 2)
+            assert c2["avg_wait"] < c1["avg_wait"]
+
+
+def test_fig5_right(benchmark, profile_name):
+    result = run_and_report(benchmark, "fig5_right", profile_name)
+    assert result.all_checks_pass
+
+    for c in (1, 3):
+        series = [r["avg_wait"] for r in result.rows if r["c"] == c]
+        # Monotone growth in lambda (tiny noise tolerance).
+        assert all(a <= b + 0.3 for a, b in zip(series, series[1:])), series
+
+    # Logarithmic growth: doubling 1/(1-lambda) adds roughly a constant,
+    # so the increment between consecutive exponents stays bounded.
+    c1 = [r["avg_wait"] for r in result.rows if r["c"] == 1]
+    increments = [b - a for a, b in zip(c1, c1[1:])]
+    assert max(increments) < 2.5, increments
+
+    # c=3 beats c=1 on average wait at the largest lambda.
+    top = max(r["lambda_exp"] for r in result.rows)
+    avg_c1 = next(r["avg_wait"] for r in result.rows if r["c"] == 1 and r["lambda_exp"] == top)
+    avg_c3 = next(r["avg_wait"] for r in result.rows if r["c"] == 3 and r["lambda_exp"] == top)
+    assert avg_c3 < avg_c1

@@ -1,0 +1,23 @@
+"""Extension: layouts of a fixed total buffer budget.
+
+The paper assumes identical bins; the non-uniform-bins work it cites
+(Berenbrink et al., JPDC'14) motivates asking how a fixed budget of
+buffer slots should be distributed. The fluid limit says the accept rate
+is concave in c, so a uniform layout maximises throughput — and the
+simulation agrees, with the mixture mean-field matching every layout.
+"""
+
+from conftest import run_and_report
+
+
+def test_heterogeneous_capacity(benchmark, profile_name):
+    result = run_and_report(benchmark, "heterogeneous_capacity", profile_name)
+    assert result.all_checks_pass
+
+    by_layout = {r["layout"]: r for r in result.rows}
+    uniform = by_layout["uniform c=2"]
+    skewed = by_layout["skewed 1/9"]
+    # The more skewed the layout, the worse every metric gets.
+    assert uniform["pool/n"] < by_layout["split 1/3"]["pool/n"] < skewed["pool/n"]
+    assert uniform["avg_wait"] < skewed["avg_wait"]
+    assert uniform["max_wait"] <= skewed["max_wait"]

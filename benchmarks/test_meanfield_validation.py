@@ -1,0 +1,16 @@
+"""Ablation: the mean-field solver against the simulator.
+
+Not a paper artifact — validates this library's fluid-limit predictions
+(used for warm starts and reference curves, DESIGN.md Section 6) against
+direct simulation at every grid point.
+"""
+
+from conftest import run_and_report
+
+
+def test_meanfield_validation(benchmark, profile_name):
+    result = run_and_report(benchmark, "meanfield_validation", profile_name)
+    assert result.all_checks_pass
+    # c = 1 is exactly solvable; the agreement there should be tight.
+    c1_errors = [r["rel_err"] for r in result.rows if r["c"] == 1]
+    assert all(err < 0.05 for err in c1_errors), c1_errors

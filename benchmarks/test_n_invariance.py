@@ -1,0 +1,22 @@
+"""CLAIM-NSTAB: normalized results are insensitive to n.
+
+The paper: "Extensive simulations have shown that the actual number of n
+has negligible impact on the (normalized) simulation results. Hence we
+only present the data for n = 2^15." This bench justifies our reduced-n
+profiles: pool/n matches across an order of magnitude in n, while max
+waits pick up only the log log n term.
+"""
+
+from conftest import run_and_report
+
+
+def test_n_invariance(benchmark, profile_name):
+    result = run_and_report(benchmark, "n_invariance", profile_name)
+    assert result.all_checks_pass
+
+    pools = [r["pool/n"] for r in result.rows]
+    assert max(pools) - min(pools) < 0.15 * max(pools)
+
+    # Waiting times may grow only by the loglog term across the n range.
+    waits = [r["max_wait"] for r in result.rows]
+    assert max(waits) - min(waits) <= 3

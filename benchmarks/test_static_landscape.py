@@ -1,0 +1,80 @@
+"""The static allocation landscape — every baseline in one table.
+
+Not a single paper artifact but the background the paper's introduction
+paints: for m = n balls, one random choice costs ~ln n/ln ln n maximum
+load, two sequential choices collapse it to ~log log n (Azar et al.),
+asymmetry helps further (Vöcking), and the parallel protocols (THRESHOLD,
+Stemann's collision game) buy the same league in O(log log n) rounds.
+The bench regenerates the whole hierarchy and asserts its ordering.
+"""
+
+import math
+
+import pytest
+
+from repro.processes.always_go_left import always_go_left
+from repro.processes.sequential import max_load, sequential_greedy_d, sequential_one_choice
+from repro.processes.stemann import stemann_collision
+from repro.processes.threshold import threshold_allocate
+
+N = 4096
+SEEDS = (1, 2, 3)
+
+
+def _collect():
+    rows = []
+    one = max(max_load(sequential_one_choice(N, N, rng=s)) for s in SEEDS)
+    rows.append({"process": "one-choice (sequential)", "max_load": one, "rounds": "-"})
+    two = max(max_load(sequential_greedy_d(N, N, 2, rng=s)) for s in SEEDS)
+    rows.append({"process": "GREEDY[2] (sequential)", "max_load": two, "rounds": "-"})
+    agl = max(max_load(always_go_left(N, N, 2, rng=s)) for s in SEEDS)
+    rows.append({"process": "ALWAYS-GO-LEFT[2]", "max_load": agl, "rounds": "-"})
+    thr = [threshold_allocate(N, N, 1, rng=s) for s in SEEDS]
+    rows.append(
+        {
+            "process": "THRESHOLD[1] (parallel)",
+            "max_load": max(r.max_load for r in thr),
+            "rounds": max(r.rounds for r in thr),
+        }
+    )
+    ste = [stemann_collision(N, N, rng=s) for s in SEEDS]
+    rows.append(
+        {
+            "process": "Stemann collision (parallel)",
+            "max_load": max(r.max_load for r in ste),
+            "rounds": max(r.rounds for r in ste),
+        }
+    )
+    return rows
+
+
+def test_static_landscape(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    from repro.analysis.tables import format_table
+
+    print()
+    print(format_table(rows, title=f"static allocation of m = n = {N} balls"))
+
+    by_name = {row["process"]: row for row in rows}
+    one = by_name["one-choice (sequential)"]["max_load"]
+    two = by_name["GREEDY[2] (sequential)"]["max_load"]
+    agl = by_name["ALWAYS-GO-LEFT[2]"]["max_load"]
+
+    # The power-of-two-choices hierarchy.
+    assert two < one
+    assert agl <= two
+
+    # One-choice sits at the ln n/lnln n scale.
+    scale = math.log(N) / math.log(math.log(N))
+    assert 0.5 * scale <= one <= 3 * scale
+
+    # Two choices sit at the loglog n scale.
+    assert two <= math.log(math.log(N)) / math.log(2) + 3
+
+    # The parallel protocols terminate in O(log log n) rounds with
+    # comparable loads.
+    for name in ("THRESHOLD[1] (parallel)", "Stemann collision (parallel)"):
+        row = by_name[name]
+        assert row["rounds"] <= math.log(math.log(N)) + 5
+        assert row["max_load"] <= row["rounds"]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Watching the paper's coupling at work (Lemmas 1 and 6).
+
+Runs CAPPED(c, λ) and MODCAPPED(c, λ) in lockstep under the coupling from
+the proof of Lemma 6: shared bin choices for the first ν^C balls per round.
+Prints the two pool trajectories side by side — the CAPPED pool is bounded
+by the MODCAPPED pool in *every single round*, not just on average — plus
+the Eq. (5) buffer-capacity schedule that makes MODCAPPED analysable.
+
+Run:  python examples/coupling_demo.py
+"""
+
+from repro.analysis.plots import ascii_plot
+from repro.core.coupling import CoupledRun
+from repro.core.modcapped import buffer_capacity
+from repro.core.theory import m_star
+
+N = 1024
+C = 3
+LAM = 0.75
+ROUNDS = 150
+
+
+def show_buffer_schedule() -> None:
+    print(f"Eq. (5) buffer capacities for c = {C} (rows: buffer j, cols: round t)")
+    header = "      " + " ".join(f"{t:2d}" for t in range(0, 4 * C + 1))
+    print(header)
+    for j in range(0, 5):
+        caps = " ".join(f"{buffer_capacity(j, t, C):2d}" for t in range(0, 4 * C + 1))
+        print(f"  j={j} {caps}")
+    print("  (each buffer ramps 0->c while filling, then c->0 while draining;")
+    print("   active capacities in any round sum to c)")
+    print()
+
+
+def main() -> None:
+    show_buffer_schedule()
+
+    run = CoupledRun(n=N, c=C, lam=LAM, rng=2021)
+    report = run.run(ROUNDS)
+
+    print(f"coupled run: n={N}, c={C}, lambda={LAM}, m*={m_star(C, LAM, N):.0f}")
+    print(f"  {report}")
+    print()
+    print(
+        ascii_plot(
+            {
+                "CAPPED pool": [(r, p) for r, p in enumerate(run.capped_pools, 1)],
+                "MODCAPPED pool": [(r, p) for r, p in enumerate(run.modcapped_pools, 1)],
+            },
+            title="pool sizes under the coupling (MODCAPPED dominates pointwise)",
+            x_label="round",
+            y_label="pool size",
+            height=16,
+        )
+    )
+    print()
+    gap = min(m - c for c, m in zip(run.capped_pools, run.modcapped_pools))
+    print(f"smallest MODCAPPED-minus-CAPPED gap over {ROUNDS} rounds: {gap} (never negative)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Why CAPPED(c, λ) is designed the way it is — three ablations.
+
+The paper makes three design choices: bins *age-order* their admissions
+(oldest first), balls make *one* random choice, and every bin gets the
+*same* capacity. Each choice is flipped here in isolation:
+
+1. ``ablation_aging``   — youngest-first admission keeps the pool identical
+   but starves old balls: the waiting-time *tail* explodes.
+2. ``ablation_dchoice`` — a second batch-semantics probe is pure noise at
+   c = 1 (bins start rounds empty) and only mildly helpful at c ≥ 2;
+   capacity dominates choices.
+3. ``heterogeneous_capacity`` — concentrating a fixed slot budget in few
+   bins is strictly worse than spreading it: the accept rate is concave
+   in c.
+
+Run:  python examples/design_ablations.py [quick|default]
+"""
+
+import sys
+
+from repro.analysis.experiments import run_experiment
+
+ABLATIONS = ("ablation_aging", "ablation_dchoice", "heterogeneous_capacity", "drain_stages")
+
+
+def main(profile: str = "quick") -> None:
+    for experiment_id in ABLATIONS:
+        result = run_experiment(experiment_id, profile)
+        print(result.table())
+        print()
+    print(
+        "Take-aways: the aging rule buys the waiting-time *tail* (not the\n"
+        "average); extra choices buy little that capacity hasn't already\n"
+        "bought; uniform capacity is the right layout for a fixed budget;\n"
+        "and the drain after a spike tracks the Lemma 3-5 schedule stage\n"
+        "by stage."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

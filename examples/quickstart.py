@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate CAPPED(c, λ) and compare with the paper's bounds.
+
+Runs the paper's process at a laptop-friendly scale, prints the measured
+normalized pool size and waiting times, and puts them side by side with
+
+* the empirical reference curves of Section V,
+* the rigorous bounds of Theorem 2, and
+* this library's mean-field equilibrium prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CappedProcess, SimulationDriver
+from repro.core import meanfield, theory
+from repro.engine.stability import default_burn_in
+
+N = 4096  # bins (the paper uses 2**15; normalized results match, see EXPERIMENTS.md)
+C = 2  # buffer capacity per bin
+LAM = 1 - 2**-6  # injection rate: 0.984375, lambda*n integral
+
+
+def main() -> None:
+    equilibrium = meanfield.equilibrium(C, LAM)
+    process = CappedProcess(
+        n=N,
+        capacity=C,
+        lam=LAM,
+        rng=42,
+        initial_pool=equilibrium.pool_size(N),  # warm start at the fluid limit
+    )
+    burn_in = default_burn_in(N, C, LAM, warm_start=True)
+    driver = SimulationDriver(burn_in=burn_in, measure=1000)
+    result = driver.run(process)
+
+    print(f"CAPPED(c={C}, lambda={LAM}) with n={N} bins")
+    print(f"  burn-in rounds        {burn_in}")
+    print(f"  measured rounds       {result.measured}")
+    print(f"  stationary diagnostic {result.stationary}")
+    print()
+    print("pool size (normalized by n)")
+    print(f"  measured mean         {result.normalized_pool:.4f}")
+    print(f"  mean-field prediction {equilibrium.normalized_pool:.4f}")
+    print(f"  Fig. 4 reference      {theory.empirical_pool_curve(C, LAM):.4f}")
+    print(f"  Theorem 2 bound       {theory.thm2_pool_bound(C, LAM, N) / N:.4f}")
+    print()
+    print("waiting time (rounds)")
+    print(f"  measured average      {result.avg_wait:.3f}")
+    print(f"  mean-field prediction {equilibrium.mean_wait:.3f}")
+    print(f"  measured maximum      {result.max_wait}")
+    print(f"  Fig. 5 reference      {theory.empirical_wait_curve(C, LAM, N):.3f}")
+    print(f"  Theorem 2 bound       {theory.thm2_wait_bound(C, LAM, N):.2f}")
+    print()
+    print(f"sweet-spot capacity for this lambda: c* = {theory.sweet_spot_c(LAM)}")
+
+
+if __name__ == "__main__":
+    main()

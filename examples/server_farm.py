@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Server-farm scenario: routing policies under steady and bursty load.
+
+The workload the paper's introduction motivates: clients fire requests at a
+farm of servers with *bounded* buffers, and rejected requests retry. We
+compare three dispatchers on latency and buffer behaviour:
+
+* ``random/capped``   — one uniform probe, bounded buffers (CAPPED(c, λ));
+* ``least-loaded(2)`` — two probes, commit to the shorter queue
+  (the classic power-of-two-choices, unbounded queues);
+* ``round-robin``     — deterministic control.
+
+Two workloads are run: the paper's steady λn-per-tick stream and an on/off
+bursty stream with the same long-run rate, showing how the bounded-buffer
+pool absorbs bursts.
+
+Run:  python examples/server_farm.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster import LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy, ServerFarm
+from repro.workloads import BurstyArrivals, DeterministicArrivals
+
+SERVERS = 256
+CAPACITY = 3
+RATE = 0.75  # long-run utilisation
+TICKS = 1500
+
+
+def run_policy(name, policy_factory, workload, capacity):
+    farm = ServerFarm(
+        num_servers=SERVERS,
+        capacity=capacity,
+        policy=policy_factory(),
+        workload=workload,
+        rng=11,
+    )
+    stats = farm.run(TICKS)
+    farm.check_invariants()
+    return {
+        "policy": name,
+        "mean_latency": round(stats.mean_latency, 3),
+        "p99_latency": stats.p99_latency,
+        "max_latency": stats.max_latency,
+        "mean_pending": round(stats.mean_pending, 1),
+        "peak_queue": stats.peak_queue,
+        "throughput": round(stats.throughput, 1),
+    }
+
+
+def main() -> None:
+    steady = DeterministicArrivals(n=SERVERS, lam=RATE)
+    bursty = BurstyArrivals(
+        n=SERVERS,
+        lam_high=1.0,
+        lam_low=0.5,  # same long-run average as `steady` (mean of 1.0 and 0.5)
+        on_rounds=32,
+        off_rounds=32,
+    )
+
+    for label, workload in (("steady", steady), ("bursty", bursty)):
+        rows = [
+            run_policy("random/capped", RandomPolicy, workload, CAPACITY),
+            run_policy("least-loaded(2)", lambda: LeastLoadedPolicy(2), workload, None),
+            run_policy("round-robin", RoundRobinPolicy, workload, CAPACITY),
+        ]
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"{label} workload: {SERVERS} servers, capacity {CAPACITY}, "
+                    f"rate {RATE:.4f}, {TICKS} ticks"
+                ),
+            )
+        )
+        print()
+
+    print(
+        "Reading the results: random routing into bounded buffers (CAPPED)\n"
+        "keeps per-server queues at the capacity bound and shifts overload\n"
+        "into the retry pool, while unbounded two-choice trades pool for\n"
+        "longer queues; round-robin is only competitive on perfectly smooth\n"
+        "arrivals."
+    )
+
+
+if __name__ == "__main__":
+    main()

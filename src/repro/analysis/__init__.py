@@ -1,0 +1,44 @@
+"""Experiment harness.
+
+* :mod:`repro.analysis.sweep` — replicated measurement of single
+  parameter points for CAPPED and the baselines.
+* :mod:`repro.analysis.tables` — aligned ASCII tables and CSV export.
+* :mod:`repro.analysis.plots` — dependency-free ASCII line plots.
+* :mod:`repro.analysis.experiments` — the registry regenerating every
+  figure and claim of the paper's evaluation (see DESIGN.md Section 2).
+"""
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    Profile,
+    PROFILES,
+    get_experiment,
+    run_experiment,
+)
+from repro.analysis.compare import ComparisonReport, compare_results
+from repro.analysis.export import load_result, result_from_json, result_to_json, save_result
+from repro.analysis.sweep import PointResult, measure_capped, measure_greedy
+from repro.analysis.tables import format_table, to_csv
+from repro.analysis.plots import ascii_plot
+
+__all__ = [
+    "PointResult",
+    "measure_capped",
+    "measure_greedy",
+    "format_table",
+    "to_csv",
+    "ascii_plot",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+    "compare_results",
+    "ComparisonReport",
+    "ExperimentResult",
+    "Profile",
+    "PROFILES",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,128 @@
+"""Comparison of two experiment runs (e.g. quick vs paper profile).
+
+Reproduction work constantly asks "did the numbers move?" — across scale
+profiles, seeds, or code revisions. :func:`compare_results` aligns two
+:class:`~repro.analysis.experiments.ExperimentResult` objects row by row
+(on their non-numeric key columns) and reports per-column relative
+deltas, flagging rows whose deviation exceeds a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.experiments import ExperimentResult
+
+__all__ = ["RowDelta", "ComparisonReport", "compare_results"]
+
+
+@dataclass(frozen=True, slots=True)
+class RowDelta:
+    """Per-row comparison outcome.
+
+    ``deltas`` maps column → relative difference ``(b − a)/max(|a|, ε)``.
+    """
+
+    key: tuple
+    deltas: dict[str, float]
+    worst_column: str
+    worst_delta: float
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two runs of the same experiment."""
+
+    experiment_id: str
+    profile_a: str
+    profile_b: str
+    rows: list[RowDelta] = field(default_factory=list)
+    missing_in_b: list[tuple] = field(default_factory=list)
+    missing_in_a: list[tuple] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def worst_delta(self) -> float:
+        """Largest absolute relative delta across all rows (0 if empty)."""
+        return max((abs(r.worst_delta) for r in self.rows), default=0.0)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when all aligned rows deviate by at most the tolerance."""
+        return not self.missing_in_a and not self.missing_in_b and (
+            self.worst_delta <= self.tolerance
+        )
+
+    def outliers(self) -> list[RowDelta]:
+        """Rows whose worst delta exceeds the tolerance."""
+        return [r for r in self.rows if abs(r.worst_delta) > self.tolerance]
+
+    def __str__(self) -> str:
+        status = "OK" if self.within_tolerance else f"{len(self.outliers())} outlier rows"
+        return (
+            f"{self.experiment_id}: {self.profile_a} vs {self.profile_b} — "
+            f"worst delta {self.worst_delta:.1%} ({status})"
+        )
+
+
+def _key_columns(result: ExperimentResult) -> list[str]:
+    if not result.rows:
+        return []
+    sample = result.rows[0]
+    return [
+        col
+        for col in result.columns
+        if isinstance(sample.get(col), (str, int)) and not isinstance(sample.get(col), float)
+    ]
+
+
+def compare_results(
+    a: ExperimentResult,
+    b: ExperimentResult,
+    tolerance: float = 0.25,
+    epsilon: float = 1e-9,
+) -> ComparisonReport:
+    """Align the rows of two results and report relative deltas.
+
+    Rows are keyed on the shared non-float columns (the sweep parameters:
+    c, lambda_exp, layout, ...); numeric value columns are compared as
+    relative differences. Rows present in only one side are reported as
+    missing rather than failing silently.
+    """
+    if a.experiment_id != b.experiment_id:
+        raise ValueError(
+            f"cannot compare different experiments: {a.experiment_id} vs {b.experiment_id}"
+        )
+    keys = [col for col in _key_columns(a) if col in _key_columns(b)]
+    value_columns = [col for col in a.columns if col in b.columns and col not in keys]
+
+    def key_of(row: dict) -> tuple:
+        return tuple(row.get(col) for col in keys)
+
+    b_index = {key_of(row): row for row in b.rows}
+    report = ComparisonReport(
+        experiment_id=a.experiment_id,
+        profile_a=a.profile,
+        profile_b=b.profile,
+        tolerance=tolerance,
+    )
+    seen = set()
+    for row in a.rows:
+        key = key_of(row)
+        other = b_index.get(key)
+        if other is None:
+            report.missing_in_b.append(key)
+            continue
+        seen.add(key)
+        deltas: dict[str, float] = {}
+        for column in value_columns:
+            left, right = row.get(column), other.get(column)
+            if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+                deltas[column] = (right - left) / max(abs(left), epsilon)
+        if deltas:
+            worst = max(deltas, key=lambda col: abs(deltas[col]))
+            report.rows.append(
+                RowDelta(key=key, deltas=deltas, worst_column=worst, worst_delta=deltas[worst])
+            )
+    report.missing_in_a = [key for key in b_index if key not in seen]
+    return report

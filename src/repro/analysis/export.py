@@ -1,0 +1,64 @@
+"""JSON export of experiment results.
+
+CSV (in :mod:`repro.analysis.tables`) covers spreadsheet workflows; JSON
+preserves the full result — rows, notes, verdicts, profile — for archival
+and programmatic comparison of runs (e.g. diffing a paper-profile run
+against a quick-profile run).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentResult
+
+__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Serialise an :class:`ExperimentResult` to a JSON string."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "profile": result.profile,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+        "verdicts": result.verdicts,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Reconstruct an :class:`ExperimentResult` from :func:`result_to_json`.
+
+    Raises
+    ------
+    KeyError
+        If a required field is missing (truncated or foreign JSON).
+    """
+    payload = json.loads(text)
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        profile=payload["profile"],
+        columns=list(payload["columns"]),
+        rows=list(payload["rows"]),
+        notes=list(payload.get("notes", [])),
+        verdicts=dict(payload.get("verdicts", {})),
+    )
+
+
+def save_result(result: ExperimentResult, directory: Path | str) -> Path:
+    """Write ``<experiment_id>.json`` into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    path.write_text(result_to_json(result) + "\n", encoding="utf-8")
+    return path
+
+
+def load_result(path: Path | str) -> ExperimentResult:
+    """Read a result previously written by :func:`save_result`."""
+    return result_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,76 @@
+"""Dependency-free ASCII line plots.
+
+The reproduction environment has no plotting stack, so experiment results
+are visualised as monospace scatter/line charts — enough to eyeball the
+*shapes* the paper's Figures 4 and 5 show (growth in λ, the 1/c decay, the
+sweet-spot minimum). CSV export (:mod:`repro.analysis.tables`) covers any
+downstream real plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more ``(x, y)`` series on a shared monospace canvas.
+
+    Each series gets a distinct marker; a legend, axis ranges, and labels
+    are appended below the canvas.
+    """
+    if not series or all(len(points) == 0 for points in series.values()):
+        return (title + "\n" if title else "") + "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("canvas must be at least 8x4")
+
+    finite = [
+        (x, y)
+        for points in series.values()
+        for x, y in points
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not finite:
+        return (title + "\n" if title else "") + "(no data)"
+    xs = [x for x, _ in finite]
+    ys = [y for _, y in finite]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            canvas[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"  {x_label}: [{x_min:.4g}, {x_max:.4g}]   {y_label}: [{y_min:.4g}, {y_max:.4g}]"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Markdown report generation.
+
+Renders a set of :class:`~repro.analysis.experiments.ExperimentResult`
+objects into a single self-contained markdown document: a verdict summary,
+then one section per experiment with its table (as a markdown table), its
+notes, and optionally an ASCII plot in a code fence. Used by the CLI's
+``experiments --markdown`` flag to produce shareable reproduction reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.plots import ascii_plot
+
+__all__ = ["render_markdown", "write_report"]
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    header = "| " + " | ".join(result.columns) + " |"
+    separator = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines = [header, separator]
+    for row in result.rows:
+        cells = []
+        for column in result.columns:
+            value = row.get(column, "")
+            cells.append(f"{value:.4g}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def _plot_block(result: ExperimentResult) -> str | None:
+    numeric = [
+        col
+        for col in result.columns
+        if result.rows and isinstance(result.rows[0].get(col), (int, float))
+    ]
+    if len(numeric) < 2:
+        return None
+    x_col, y_col = numeric[0], numeric[1]
+    group_col = next((c for c in result.columns if c not in (x_col, y_col)), None)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        label = f"{group_col}={row[group_col]}" if group_col else "data"
+        series.setdefault(label, []).append((float(row[x_col]), float(row[y_col])))
+    plot = ascii_plot(series, x_label=x_col, y_label=y_col, height=14)
+    return f"```\n{plot}\n```"
+
+
+def render_markdown(
+    results: Sequence[ExperimentResult],
+    title: str = "Reproduction report",
+    include_plots: bool = True,
+) -> str:
+    """Render experiment results as one markdown document."""
+    if not results:
+        raise ValueError("need at least one result to report")
+    lines: list[str] = [f"# {title}", ""]
+
+    lines.append("## Verdicts")
+    lines.append("")
+    lines.append("| experiment | profile | checks |")
+    lines.append("|---|---|---|")
+    for result in results:
+        if result.verdicts:
+            passed = sum(result.verdicts.values())
+            status = f"{passed}/{len(result.verdicts)} pass"
+            if passed < len(result.verdicts):
+                status = f"**{status}**"
+        else:
+            status = "—"
+        lines.append(f"| {result.experiment_id} | {result.profile} | {status} |")
+    lines.append("")
+
+    for result in results:
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append(_markdown_table(result))
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"> note: {note}")
+        for name, ok in result.verdicts.items():
+            lines.append(f"> check **{name}**: {'PASS' if ok else 'FAIL'}")
+        if result.notes or result.verdicts:
+            lines.append("")
+        if include_plots:
+            block = _plot_block(result)
+            if block:
+                lines.append(block)
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    results: Sequence[ExperimentResult],
+    path: Path | str,
+    title: str = "Reproduction report",
+    include_plots: bool = True,
+) -> Path:
+    """Write :func:`render_markdown` output to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_markdown(results, title=title, include_plots=include_plots), encoding="utf-8")
+    return path

@@ -1,0 +1,71 @@
+"""Aligned ASCII tables and CSV export for experiment results."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "to_csv"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned monospace table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rendered:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as CSV text (comma-separated, header line first)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        text = _render(value)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(cell(row.get(col, "")) for col in columns))
+    return "\n".join(lines)

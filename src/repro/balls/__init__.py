@@ -1,0 +1,22 @@
+"""Ball, bin, and pool data structures.
+
+This subpackage provides the low-level containers shared by all simulated
+processes:
+
+* :class:`~repro.balls.ball.Ball` — an individual request with a generation
+  round (its *label* in the paper's terminology).
+* :class:`~repro.balls.buffer.BinBuffer` — a bounded FIFO queue modelling a
+  single bin of capacity ``c``.
+* :class:`~repro.balls.pool.AgePool` — the pool of unallocated balls, kept as
+  ordered age buckets so that "oldest first" acceptance is O(#distinct ages)
+  instead of O(#balls).
+* :class:`~repro.balls.bin_array.BinArray` — a vectorised array-of-bins state
+  used by the fast simulators.
+"""
+
+from repro.balls.ball import Ball
+from repro.balls.bin_array import BinArray
+from repro.balls.buffer import BinBuffer
+from repro.balls.pool import AgePool
+
+__all__ = ["Ball", "BinBuffer", "AgePool", "BinArray"]

@@ -1,0 +1,163 @@
+"""Vectorised array-of-bins state for the fast simulators.
+
+For round-based processes with one FIFO deletion per bin per round, the
+*identity* of queued balls is redundant: a ball that enters a bin at queue
+position ``p`` (0-indexed from the head) in round ``t`` is deleted at the end
+of round ``t + p``, because exactly one ball leaves the head each round while
+the bin is non-empty. Its waiting time is therefore fully determined at
+acceptance time:
+
+``waiting time = (t - label) + p``  —  pool delay plus queue delay.
+
+:class:`BinArray` exploits this by storing only the integer load of each bin
+in a numpy array, which makes every per-round operation O(n) vectorised
+arithmetic. The exact per-ball simulators keep real queues and are used in
+the tests to validate this position-based accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvariantViolation
+
+__all__ = ["BinArray"]
+
+
+class BinArray:
+    """Loads of ``n`` bins with a shared capacity, as a numpy vector.
+
+    Parameters
+    ----------
+    n:
+        Number of bins.
+    capacity:
+        Buffer capacity: a shared int ``c``, a per-bin integer array of
+        shape ``(n,)`` (heterogeneous bins, after the non-uniform-bins
+        line of work the paper cites [6]), or ``None`` for unbounded
+        (CAPPED(∞, λ) ≡ GREEDY[1]).
+    """
+
+    __slots__ = ("n", "capacity", "loads", "_peak_load", "_total_accepted", "_total_deleted")
+
+    def __init__(self, n: int, capacity) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        if capacity is not None and not np.isscalar(capacity):
+            capacity = np.asarray(capacity, dtype=np.int64)
+            if capacity.shape != (n,):
+                raise ConfigurationError(
+                    f"per-bin capacities must have shape ({n},), got {capacity.shape}"
+                )
+            if np.any(capacity < 1):
+                raise ConfigurationError("per-bin capacities must all be at least 1")
+            capacity = capacity.copy()
+        elif capacity is not None:
+            if capacity < 1:
+                raise ConfigurationError(f"capacity must be at least 1, got {capacity}")
+            capacity = int(capacity)
+        self.n = n
+        self.capacity = capacity
+        self.loads = np.zeros(n, dtype=np.int64)
+        self._peak_load = 0
+        self._total_accepted = 0
+        self._total_deleted = 0
+
+    @property
+    def peak_load(self) -> int:
+        """Largest single-bin load ever observed."""
+        return self._peak_load
+
+    @property
+    def total_accepted(self) -> int:
+        """Balls accepted over the lifetime of the array."""
+        return self._total_accepted
+
+    @property
+    def total_deleted(self) -> int:
+        """Balls deleted over the lifetime of the array."""
+        return self._total_deleted
+
+    @property
+    def total_load(self) -> int:
+        """Sum of all bin loads."""
+        return int(self.loads.sum())
+
+    def free_slots(self) -> np.ndarray:
+        """Per-bin remaining capacity ``c - ℓ_i`` (∞ bins report a sentinel).
+
+        For unbounded bins a value larger than any realistic request count
+        (2**62) is returned so that ``minimum(requests, free)`` never caps.
+        """
+        if self.capacity is None:
+            return np.full(self.n, 2**62, dtype=np.int64)
+        return self.capacity - self.loads
+
+    def accept(self, requests: np.ndarray) -> np.ndarray:
+        """Accept as many requests per bin as capacity allows.
+
+        Parameters
+        ----------
+        requests:
+            Integer array of shape ``(n,)``: balls requesting each bin.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-bin accepted counts ``min(requests, c - ℓ_i)``; loads are
+            updated in place.
+        """
+        if requests.shape != (self.n,):
+            raise ValueError(f"requests must have shape ({self.n},), got {requests.shape}")
+        accepted = np.minimum(requests, self.free_slots())
+        self.loads += accepted
+        self._total_accepted += int(accepted.sum())
+        peak = int(self.loads.max()) if self.n else 0
+        if peak > self._peak_load:
+            self._peak_load = peak
+        return accepted
+
+    def delete_one_each(self) -> int:
+        """End-of-round FIFO deletion: every non-empty bin deletes one ball.
+
+        Returns the number of bins that deleted (i.e. successful deletion
+        attempts in the paper's terminology).
+        """
+        nonempty = self.loads > 0
+        deleted = int(np.count_nonzero(nonempty))
+        self.loads[nonempty] -= 1
+        self._total_deleted += deleted
+        return deleted
+
+    def reset(self) -> None:
+        """Empty all bins."""
+        self.loads[:] = 0
+
+    def get_state(self) -> dict:
+        """Snapshot for checkpoint/restore."""
+        return {
+            "loads": self.loads.tolist(),
+            "peak_load": self._peak_load,
+            "total_accepted": self._total_accepted,
+            "total_deleted": self._total_deleted,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        loads = np.asarray(state["loads"], dtype=np.int64)
+        if loads.shape != (self.n,):
+            raise ValueError(f"state has {loads.shape} loads, expected ({self.n},)")
+        self.loads = loads.copy()
+        self._peak_load = int(state["peak_load"])
+        self._total_accepted = int(state["total_accepted"])
+        self._total_deleted = int(state["total_deleted"])
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Loads must be non-negative and within capacity."""
+        if np.any(self.loads < 0):
+            raise InvariantViolation("negative bin load")
+        if self.capacity is not None and np.any(self.loads > self.capacity):
+            raise InvariantViolation(
+                f"bin load exceeds capacity {self.capacity}: max {int(self.loads.max())}"
+            )

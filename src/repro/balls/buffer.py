@@ -1,0 +1,161 @@
+"""Bounded FIFO buffer modelling a single bin.
+
+The paper's bins "accept as many balls as possible until its buffer is full,
+preferring balls of higher age" and delete "the ball it allocated first"
+(FIFO). :class:`BinBuffer` implements exactly this contract for the exact
+per-ball simulators; the fast simulators use the vectorised
+:class:`~repro.balls.bin_array.BinArray` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.balls.ball import Ball
+from repro.errors import CapacityExceeded, ConfigurationError
+
+__all__ = ["BinBuffer"]
+
+
+class BinBuffer:
+    """A FIFO queue of balls with a hard capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of balls stored simultaneously. ``math.inf`` is
+        allowed and yields an unbounded bin (CAPPED(∞, λ) ≡ GREEDY[1],
+        paper Section II).
+
+    Examples
+    --------
+    >>> b = BinBuffer(capacity=2)
+    >>> b.accept([Ball(0, 0), Ball(0, 1), Ball(0, 2)])
+    2
+    >>> b.load
+    2
+    >>> b.delete_first().serial
+    0
+    """
+
+    __slots__ = ("_capacity", "_queue", "_peak_load", "_total_accepted", "_total_deleted")
+
+    def __init__(self, capacity: float = math.inf) -> None:
+        if capacity != math.inf:
+            if not isinstance(capacity, (int,)) or isinstance(capacity, bool):
+                raise ConfigurationError(f"capacity must be an int or math.inf, got {capacity!r}")
+            if capacity < 1:
+                raise ConfigurationError(f"capacity must be at least 1, got {capacity}")
+        self._capacity = capacity
+        self._queue: deque[Ball] = deque()
+        self._peak_load = 0
+        self._total_accepted = 0
+        self._total_deleted = 0
+
+    @property
+    def capacity(self) -> float:
+        """The buffer's capacity ``c`` (possibly ``math.inf``)."""
+        return self._capacity
+
+    @property
+    def load(self) -> int:
+        """Current number of stored balls (``ℓ_i`` in the paper)."""
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> float:
+        """Remaining capacity, ``c - ℓ_i``."""
+        return self._capacity - len(self._queue)
+
+    @property
+    def peak_load(self) -> int:
+        """Largest load ever observed (for diagnostics)."""
+        return self._peak_load
+
+    @property
+    def total_accepted(self) -> int:
+        """Number of balls accepted over the buffer's lifetime."""
+        return self._total_accepted
+
+    @property
+    def total_deleted(self) -> int:
+        """Number of balls deleted over the buffer's lifetime."""
+        return self._total_deleted
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Ball]:
+        """Iterate stored balls in FIFO (deletion) order."""
+        return iter(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BinBuffer(capacity={self._capacity}, load={self.load})"
+
+    def accept(self, requests: Iterable[Ball]) -> int:
+        """Accept the oldest requests up to the free capacity.
+
+        Implements the paper's acceptance rule: a bin receiving ``ν_i``
+        requests accepts the ``min(c - ℓ_i, ν_i)`` oldest balls. The
+        accepted balls are appended to the FIFO queue oldest-first, and the
+        number of accepted balls is returned. The caller is responsible for
+        removing accepted balls from the pool.
+        """
+        candidates = sorted(requests)
+        take = len(candidates) if self._capacity == math.inf else min(
+            len(candidates), int(self._capacity) - len(self._queue)
+        )
+        for ball in candidates[:take]:
+            self._queue.append(ball)
+        self._total_accepted += take
+        if len(self._queue) > self._peak_load:
+            self._peak_load = len(self._queue)
+        return take
+
+    def push(self, ball: Ball) -> None:
+        """Append a single ball, raising :class:`CapacityExceeded` if full.
+
+        Used by sequential baselines that commit one ball at a time.
+        """
+        if len(self._queue) >= self._capacity:
+            raise CapacityExceeded(
+                f"buffer of capacity {self._capacity} is full (load {len(self._queue)})"
+            )
+        self._queue.append(ball)
+        self._total_accepted += 1
+        if len(self._queue) > self._peak_load:
+            self._peak_load = len(self._queue)
+
+    def delete_first(self) -> Optional[Ball]:
+        """Delete and return the FIFO head, or ``None`` if empty.
+
+        Implements the paper's "every bin deletes the ball it allocated
+        first" end-of-round step.
+        """
+        if not self._queue:
+            return None
+        self._total_deleted += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Ball]:
+        """Return the FIFO head without removing it, or ``None`` if empty."""
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> None:
+        """Remove all stored balls (used when resetting a simulation)."""
+        self._queue.clear()
+
+    def check_invariants(self) -> None:
+        """Raise :class:`CapacityExceeded` if the load exceeds the capacity.
+
+        The queue must also be in FIFO-consistent order with respect to
+        deletion rounds; that is enforced structurally by the deque and not
+        re-checked here.
+        """
+        if len(self._queue) > self._capacity:
+            raise CapacityExceeded(
+                f"load {len(self._queue)} exceeds capacity {self._capacity}"
+            )

@@ -1,0 +1,313 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro list
+    repro simulate --n 4096 --c 2 --lam 0.75 --rounds 1000
+    repro experiments --id fig4_left --profile default
+    repro experiments --all --profile quick --csv-dir out/
+    repro theory --c 2 --lam 0.96875 --n 4096
+    repro meanfield --c 3 --lam 0.999
+
+``repro`` is also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import EXPERIMENTS, PROFILES, run_experiment
+from repro.analysis.plots import ascii_plot
+from repro.analysis.sweep import measure_capped, measure_greedy
+from repro.core import meanfield, theory
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Infinite Balanced Allocation via Finite Capacities' "
+            "(ICDCS 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and profiles")
+
+    sim = sub.add_parser("simulate", help="measure one parameter point")
+    sim.add_argument("--n", type=int, default=4096, help="number of bins")
+    sim.add_argument("--c", type=int, default=None, help="capacity (omit for infinite)")
+    sim.add_argument("--lam", type=float, required=True, help="injection rate")
+    sim.add_argument("--rounds", type=int, default=600, help="measured rounds")
+    sim.add_argument("--burn-in", type=int, default=None, help="override burn-in")
+    sim.add_argument("--replicates", type=int, default=1)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--cold-start", action="store_true", help="start from an empty system")
+    sim.add_argument(
+        "--process",
+        choices=("capped", "greedy"),
+        default="capped",
+        help="process to simulate",
+    )
+    sim.add_argument("--d", type=int, default=1, help="choices per ball (greedy only)")
+
+    exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    group = exp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--id", choices=sorted(EXPERIMENTS), help="one experiment")
+    group.add_argument("--all", action="store_true", help="every experiment")
+    exp.add_argument("--profile", choices=sorted(PROFILES), default="default")
+    exp.add_argument("--csv-dir", type=Path, default=None, help="also write CSV files here")
+    exp.add_argument("--json-dir", type=Path, default=None, help="also write JSON files here")
+    exp.add_argument(
+        "--markdown", type=Path, default=None, help="write a combined markdown report here"
+    )
+    exp.add_argument("--plot", action="store_true", help="append an ASCII plot")
+
+    thy = sub.add_parser("theory", help="print the paper's bounds for (c, lam, n)")
+    thy.add_argument("--c", type=int, required=True)
+    thy.add_argument("--lam", type=float, required=True)
+    thy.add_argument("--n", type=int, required=True)
+
+    mf = sub.add_parser("meanfield", help="mean-field equilibrium for (c, lam)")
+    mf.add_argument("--c", type=int, required=True)
+    mf.add_argument("--lam", type=float, required=True)
+
+    fl = sub.add_parser("fluid", help="fluid-limit cold-start trajectory for (c, lam)")
+    fl.add_argument("--c", type=int, required=True)
+    fl.add_argument("--lam", type=float, required=True)
+    fl.add_argument("--rounds", type=int, default=0, help="rounds to print (0 = auto)")
+    fl.add_argument("--initial-pool", type=float, default=0.0, help="normalised starting pool")
+
+    cmp_parser = sub.add_parser("compare", help="diff two saved experiment JSON files")
+    cmp_parser.add_argument("json_a", type=Path)
+    cmp_parser.add_argument("json_b", type=Path)
+    cmp_parser.add_argument("--tolerance", type=float, default=0.25)
+
+    tr = sub.add_parser("trace", help="record a run to JSONL or summarise a trace")
+    tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    tr_record = tr_sub.add_parser("record", help="simulate and stream rounds to JSONL")
+    tr_record.add_argument("path", type=Path)
+    tr_record.add_argument("--n", type=int, default=1024)
+    tr_record.add_argument("--c", type=int, default=None)
+    tr_record.add_argument("--lam", type=float, required=True)
+    tr_record.add_argument("--rounds", type=int, default=500)
+    tr_record.add_argument("--burn-in", type=int, default=0)
+    tr_record.add_argument("--seed", type=int, default=0)
+    tr_summary = tr_sub.add_parser("summarize", help="recompute statistics from a trace")
+    tr_summary.add_argument("path", type=Path)
+    tr_summary.add_argument("--n", type=int, required=True, help="bins the trace was recorded with")
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    out.write("experiments:\n")
+    for name, fn in sorted(EXPERIMENTS.items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        out.write(f"  {name:22s} {doc}\n")
+    out.write("profiles:\n")
+    for name, profile in sorted(PROFILES.items()):
+        out.write(
+            f"  {name:22s} n={profile.n} measure={profile.measure} "
+            f"replicates={profile.replicates}\n"
+        )
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    if args.process == "greedy":
+        point = measure_greedy(
+            n=args.n,
+            d=args.d,
+            lam=args.lam,
+            measure=args.rounds,
+            replicates=args.replicates,
+            seed=args.seed,
+            burn_in=args.burn_in,
+        )
+    else:
+        point = measure_capped(
+            n=args.n,
+            c=args.c,
+            lam=args.lam,
+            measure=args.rounds,
+            replicates=args.replicates,
+            seed=args.seed,
+            warm_start=not args.cold_start,
+            burn_in=args.burn_in,
+        )
+    for key, value in point.row().items():
+        out.write(f"{key:12s} {value}\n")
+    out.write(f"{'pool_ci':12s} {point.pool_ci}\n")
+    out.write(f"{'wait_ci':12s} {point.wait_ci}\n")
+    return 0
+
+
+def _plot_result(result, out) -> None:
+    # Build one series per leading key value, (last numeric x, first numeric y).
+    numeric_cols = [
+        col
+        for col in result.columns
+        if result.rows and isinstance(result.rows[0].get(col), (int, float))
+    ]
+    if len(numeric_cols) < 2:
+        return
+    x_col, y_col = numeric_cols[0], numeric_cols[1]
+    series: dict[str, list[tuple[float, float]]] = {}
+    group_col = next((c for c in result.columns if c not in (x_col, y_col)), None)
+    for row in result.rows:
+        label = f"{group_col}={row[group_col]}" if group_col else "data"
+        series.setdefault(label, []).append((float(row[x_col]), float(row[y_col])))
+    out.write(ascii_plot(series, title=result.title, x_label=x_col, y_label=y_col))
+    out.write("\n")
+
+
+def _cmd_experiments(args, out) -> int:
+    from repro.analysis.export import save_result
+    from repro.analysis.report import write_report
+
+    ids = sorted(EXPERIMENTS) if args.all else [args.id]
+    failures = 0
+    results = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, args.profile)
+        results.append(result)
+        out.write(result.table() + "\n\n")
+        if args.plot:
+            _plot_result(result, out)
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            path = args.csv_dir / f"{experiment_id}.csv"
+            path.write_text(result.csv() + "\n", encoding="utf-8")
+            out.write(f"wrote {path}\n")
+        if args.json_dir is not None:
+            out.write(f"wrote {save_result(result, args.json_dir)}\n")
+        if not result.all_checks_pass:
+            failures += 1
+    if args.markdown is not None:
+        path = write_report(results, args.markdown, title=f"Reproduction report ({args.profile})")
+        out.write(f"wrote {path}\n")
+    return 1 if failures else 0
+
+
+def _cmd_theory(args, out) -> int:
+    c, lam, n = args.c, args.lam, args.n
+    out.write(f"ln(1/(1-lambda))      {theory.log_inverse_gap(lam):.4f}\n")
+    out.write(f"m* (coupling)         {theory.m_star(c, lam, n):.1f}\n")
+    if c == 1:
+        out.write(f"Thm1 pool bound       {theory.thm1_pool_bound(lam, n):.1f}\n")
+        out.write(f"Thm1 wait bound       {theory.thm1_wait_bound(lam, n):.2f}\n")
+    out.write(f"Thm2 pool bound       {theory.thm2_pool_bound(c, lam, n):.1f}\n")
+    out.write(f"Thm2 wait bound       {theory.thm2_wait_bound(c, lam, n):.2f}\n")
+    out.write(f"Fig4 reference        {theory.empirical_pool_curve(c, lam):.3f}\n")
+    out.write(f"Fig5 reference        {theory.empirical_wait_curve(c, lam, n):.3f}\n")
+    out.write(f"sweet spot c*         {theory.sweet_spot_c(lam)}\n")
+    return 0
+
+
+def _cmd_meanfield(args, out) -> int:
+    eq = meanfield.equilibrium(args.c, args.lam)
+    out.write(f"throw intensity nu/n  {eq.throw_intensity:.4f}\n")
+    out.write(f"normalized pool       {eq.normalized_pool:.4f}\n")
+    out.write(f"mean bin load         {eq.mean_load:.4f}\n")
+    out.write(f"mean waiting time     {eq.mean_wait:.4f}\n")
+    dist = ", ".join(f"{p:.4f}" for p in eq.load_distribution)
+    out.write(f"load distribution     [{dist}]\n")
+    return 0
+
+
+def _cmd_fluid(args, out) -> int:
+    from repro.core import fluid as fluid_module
+
+    rounds = args.rounds or max(20, 2 * fluid_module.relaxation_rounds(args.c, args.lam))
+    trajectory = fluid_module.integrate(
+        args.c, args.lam, rounds=rounds, initial_pool=args.initial_pool
+    )
+    out.write("round  pool/n   mean_load\n")
+    step = max(1, rounds // 25)
+    for t_index in range(0, rounds + 1, step):
+        out.write(
+            f"{t_index:5d}  {trajectory.pool[t_index]:.4f}   {trajectory.mean_load[t_index]:.4f}\n"
+        )
+    if args.initial_pool == 0.0 and args.lam > 0:
+        out.write(
+            f"relaxation to 95% of equilibrium: "
+            f"{fluid_module.relaxation_rounds(args.c, args.lam)} rounds\n"
+        )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from repro.analysis.compare import compare_results
+    from repro.analysis.export import load_result
+
+    report = compare_results(
+        load_result(args.json_a), load_result(args.json_b), tolerance=args.tolerance
+    )
+    out.write(str(report) + "\n")
+    for delta in report.outliers():
+        out.write(f"  outlier {delta.key}: {delta.worst_column} {delta.worst_delta:+.1%}\n")
+    for key in report.missing_in_b:
+        out.write(f"  missing in B: {key}\n")
+    for key in report.missing_in_a:
+        out.write(f"  missing in A: {key}\n")
+    return 0 if report.within_tolerance else 1
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.core.capped import CappedProcess
+    from repro.engine.driver import SimulationDriver
+    from repro.engine.metrics import MetricsCollector
+    from repro.engine.trace import TraceWriter, read_trace
+
+    if args.trace_command == "record":
+        process = CappedProcess(n=args.n, capacity=args.c, lam=args.lam, rng=args.seed)
+        with TraceWriter(args.path) as writer:
+            SimulationDriver(
+                burn_in=args.burn_in, measure=args.rounds, observers=[writer]
+            ).run(process)
+        out.write(f"wrote {writer.records_written} rounds to {args.path}\n")
+        return 0
+    collector = MetricsCollector(n=args.n)
+    for record in read_trace(args.path):
+        collector.observe(record)
+    summary = collector.summary()
+    out.write(f"rounds       {summary.rounds}\n")
+    out.write(f"pool/n       {summary.normalized_pool:.4f}\n")
+    out.write(f"avg_wait     {summary.avg_wait:.4f}\n")
+    out.write(f"max_wait     {summary.max_wait}\n")
+    out.write(f"p99_wait     {summary.wait_p99}\n")
+    out.write(f"peak_load    {summary.peak_max_load}\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "experiments":
+        return _cmd_experiments(args, out)
+    if args.command == "theory":
+        return _cmd_theory(args, out)
+    if args.command == "meanfield":
+        return _cmd_meanfield(args, out)
+    if args.command == "fluid":
+        return _cmd_fluid(args, out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Server-farm application layer.
+
+Maps the paper's abstraction onto concrete distributed-systems terms:
+clients generate *requests* (balls), a *dispatcher* routes each pending
+request to a server according to a pluggable policy (one random probe with
+bounded buffers = CAPPED; d probes to the least loaded = GREEDY[d]; round
+robin as a deterministic control), and *servers* (bins) hold bounded FIFO
+queues and serve one request per tick.
+
+This layer exists to demonstrate the library on realistic scenarios (see
+``examples/server_farm.py``); the core simulators remain the measurement
+instruments for the paper's figures.
+"""
+
+from repro.cluster.farm import FarmStats, ServerFarm
+from repro.cluster.policies import (
+    LeastLoadedPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+)
+from repro.cluster.server import Request, Server
+
+__all__ = [
+    "Request",
+    "Server",
+    "ServerFarm",
+    "FarmStats",
+    "RoutingPolicy",
+    "RandomPolicy",
+    "LeastLoadedPolicy",
+    "RoundRobinPolicy",
+]

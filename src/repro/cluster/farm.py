@@ -1,0 +1,186 @@
+"""The server farm: clients, dispatcher, servers, latency accounting."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.cluster.policies import RoutingPolicy
+from repro.cluster.server import Request, Server
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.rng import resolve_rng
+from repro.stats.streaming import Histogram, RunningStats
+from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
+
+__all__ = ["FarmStats", "ServerFarm"]
+
+
+@dataclass(frozen=True)
+class FarmStats:
+    """Summary of a farm run.
+
+    Attributes
+    ----------
+    ticks:
+        Simulated ticks.
+    completed:
+        Requests served to completion.
+    mean_latency / max_latency / p99_latency:
+        Latency (creation → completion) statistics over completed
+        requests, in ticks.
+    mean_pending:
+        Time-average of the pending (unrouted) request count.
+    peak_pending:
+        Largest pending count observed.
+    peak_queue:
+        Largest single-server queue observed.
+    throughput:
+        Completed requests per tick.
+    """
+
+    ticks: int
+    completed: int
+    mean_latency: float
+    max_latency: int
+    p99_latency: int
+    mean_pending: float
+    peak_pending: int
+    peak_queue: int
+    throughput: float
+
+
+class ServerFarm:
+    """A farm of servers driven by a routing policy.
+
+    Per tick: new requests arrive and join the pending set; the policy
+    probes one server per pending request; each server admits the oldest
+    probed requests up to its capacity (rejects return to pending); every
+    busy server completes one request.
+
+    Parameters
+    ----------
+    num_servers:
+        Number of servers.
+    capacity:
+        Per-server queue bound: a shared int, ``None`` for unbounded, or a
+        sequence of per-server bounds (heterogeneous farm).
+    policy:
+        A :class:`~repro.cluster.policies.RoutingPolicy`.
+    workload:
+        Arrival process; defaults to deterministic ``rate·num_servers``
+        per tick.
+    rate:
+        Convenience injection rate used when ``workload`` is omitted.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        capacity,
+        policy: RoutingPolicy,
+        workload: ArrivalProcess | None = None,
+        rate: float = 0.5,
+        rng=None,
+    ) -> None:
+        if num_servers < 1:
+            raise ConfigurationError(f"need at least one server, got {num_servers}")
+        if capacity is None or isinstance(capacity, int):
+            capacities = [capacity] * num_servers
+        else:
+            capacities = list(capacity)
+            if len(capacities) != num_servers:
+                raise ConfigurationError(
+                    f"need {num_servers} per-server capacities, got {len(capacities)}"
+                )
+        self.servers = [Server(cap) for cap in capacities]
+        self.policy = policy
+        self.workload = (
+            workload
+            if workload is not None
+            else DeterministicArrivals(n=num_servers, lam=rate)
+        )
+        self.rng = resolve_rng(rng, "farm")
+        self.pending: list[Request] = []
+        self.tick = 0
+        self._next_id = 0
+        self.latency_stats = RunningStats()
+        self.latency_histogram = Histogram()
+        self.pending_stats = RunningStats()
+        self.peak_pending = 0
+        self.completed = 0
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers in the farm."""
+        return len(self.servers)
+
+    def _generate(self) -> int:
+        count = self.workload.arrivals(self.tick, self.rng)
+        for _ in range(count):
+            self.pending.append(Request(created_tick=self.tick, request_id=self._next_id))
+            self._next_id += 1
+        return count
+
+    def step(self) -> None:
+        """Advance one tick: arrive → route → admit → serve."""
+        self.tick += 1
+        self._generate()
+
+        if self.pending:
+            probes = self.policy.route(self.pending, self.servers, self.rng)
+            if len(probes) != len(self.pending):
+                raise InvariantViolation(
+                    f"policy routed {len(probes)} of {len(self.pending)} requests"
+                )
+            per_server: dict[int, list[Request]] = defaultdict(list)
+            for request, index in zip(self.pending, probes):
+                per_server[int(index)].append(request)
+            rejected: list[Request] = []
+            for index, batch in per_server.items():
+                rejected.extend(self.servers[index].admit(batch))
+            rejected.sort()
+            self.pending = rejected
+
+        for server in self.servers:
+            request = server.serve()
+            if request is not None:
+                latency = request.latency(self.tick)
+                self.latency_stats.add(latency)
+                self.latency_histogram.add(latency)
+                self.completed += 1
+
+        self.pending_stats.add(len(self.pending))
+        if len(self.pending) > self.peak_pending:
+            self.peak_pending = len(self.pending)
+
+    def run(self, ticks: int) -> FarmStats:
+        """Advance ``ticks`` ticks and return the summary statistics."""
+        if ticks < 1:
+            raise ConfigurationError(f"ticks must be positive, got {ticks}")
+        for _ in range(ticks):
+            self.step()
+        return self.stats()
+
+    def stats(self) -> FarmStats:
+        """Summary statistics over everything simulated so far."""
+        has_latency = self.latency_histogram.total > 0
+        return FarmStats(
+            ticks=self.tick,
+            completed=self.completed,
+            mean_latency=self.latency_stats.mean,
+            max_latency=self.latency_histogram.max if has_latency else 0,
+            p99_latency=self.latency_histogram.quantile(0.99) if has_latency else 0,
+            mean_pending=self.pending_stats.mean,
+            peak_pending=self.peak_pending,
+            peak_queue=max(s.peak_queue for s in self.servers),
+            throughput=self.completed / self.tick if self.tick else 0.0,
+        )
+
+    def check_invariants(self) -> None:
+        """Pending requests must be unique and server queues within bounds."""
+        ids = [r.request_id for r in self.pending]
+        if len(ids) != len(set(ids)):
+            raise InvariantViolation("duplicate request in pending set")
+        for server in self.servers:
+            if server.capacity is not None and server.queue_length > server.capacity:
+                raise InvariantViolation("server queue exceeds capacity")

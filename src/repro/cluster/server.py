@@ -1,0 +1,79 @@
+"""Requests and servers for the farm model."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Request", "Server"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Request:
+    """A client request.
+
+    Ordered by ``(created_tick, request_id)`` so that "oldest first"
+    admission (the CAPPED acceptance rule) is a plain sort.
+    """
+
+    created_tick: int
+    request_id: int
+
+    def latency(self, completed_tick: int) -> int:
+        """Ticks from creation to completion (the ball's waiting time)."""
+        if completed_tick < self.created_tick:
+            raise ValueError("completion cannot precede creation")
+        return completed_tick - self.created_tick
+
+
+class Server:
+    """A server with a bounded FIFO queue and unit service rate.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued requests (``None`` for unbounded).
+    """
+
+    __slots__ = ("capacity", "_queue", "completed", "rejected", "peak_queue")
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque[Request] = deque()
+        self.completed = 0
+        self.rejected = 0
+        self.peak_queue = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently queued."""
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        """Remaining queue slots (a large sentinel when unbounded)."""
+        if self.capacity is None:
+            return 2**31
+        return self.capacity - len(self._queue)
+
+    def admit(self, requests: list[Request]) -> list[Request]:
+        """Admit the oldest requests up to capacity; return the rejects."""
+        candidates = sorted(requests)
+        take = min(len(candidates), self.free_slots)
+        for request in candidates[:take]:
+            self._queue.append(request)
+        self.rejected += len(candidates) - take
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
+        return candidates[take:]
+
+    def serve(self) -> Request | None:
+        """Complete the queue head, if any."""
+        if not self._queue:
+            return None
+        self.completed += 1
+        return self._queue.popleft()

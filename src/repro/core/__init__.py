@@ -1,0 +1,51 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.capped` — the CAPPED(c, λ) process (Algorithm 1), in a
+  fast vectorised form and an exact per-ball reference form.
+* :mod:`repro.core.modcapped` — the coupled analysis process
+  MODCAPPED(c, λ) with red/blue time-sliced buffers (Section IV-A).
+* :mod:`repro.core.coupling` — the paper's coupling of the two processes,
+  used to validate the stochastic-dominance lemmas (Lemmas 1 and 6).
+* :mod:`repro.core.theory` — closed-form bounds from Theorems 1 and 2 and
+  the empirical reference curves of Section V.
+"""
+
+from repro.core import fluid, meanfield
+from repro.core.capped import CappedProcess, ExactCappedSimulator
+from repro.core.coupling import CoupledRun, run_coupled
+from repro.core.modcapped import ModCappedProcess, buffer_capacity
+from repro.core.theory import (
+    empirical_pool_curve,
+    empirical_wait_curve,
+    greedy_one_choice_wait_bound,
+    greedy_two_choice_wait_bound,
+    loglog,
+    m_star,
+    sweet_spot_c,
+    thm1_pool_bound,
+    thm1_wait_bound,
+    thm2_pool_bound,
+    thm2_wait_bound,
+)
+
+__all__ = [
+    "meanfield",
+    "fluid",
+    "CappedProcess",
+    "ExactCappedSimulator",
+    "ModCappedProcess",
+    "buffer_capacity",
+    "CoupledRun",
+    "run_coupled",
+    "m_star",
+    "loglog",
+    "thm1_pool_bound",
+    "thm1_wait_bound",
+    "thm2_pool_bound",
+    "thm2_wait_bound",
+    "empirical_pool_curve",
+    "empirical_wait_curve",
+    "sweet_spot_c",
+    "greedy_one_choice_wait_bound",
+    "greedy_two_choice_wait_bound",
+]

@@ -1,0 +1,378 @@
+"""The CAPPED(c, λ) process — Algorithm 1 of the paper.
+
+One round of CAPPED(c, λ) (paper Section II):
+
+1. Generate ``λn`` new balls and add them to the pool.
+2. Every pool ball picks a bin independently and uniformly at random.
+3. A bin ``i`` with load ``ℓ_i`` receiving ``ν_i`` requests accepts the
+   ``min(c − ℓ_i, ν_i)`` oldest balls (ties broken arbitrarily); accepted
+   balls leave the pool and join the bin's FIFO queue.
+4. Every non-empty bin deletes the ball it allocated first (FIFO). The
+   waiting time of a ball deleted in round ``t`` is its age ``t − label``.
+
+Two implementations are provided:
+
+:class:`CappedProcess`
+    The fast simulator. Balls of equal age are exchangeable, so the pool is
+    an :class:`~repro.balls.pool.AgePool` of per-label counts and a round
+    costs O(#thrown + n·#ages) vectorised work. Waiting times use the
+    position identity (see :mod:`repro.balls.bin_array`): a ball accepted at
+    queue position ``p`` in round ``t`` is deleted at end of round ``t+p``,
+    so its waiting time ``(t − label) + p`` is recorded at acceptance.
+
+:class:`ExactCappedSimulator`
+    The literal per-ball reference implementation with real FIFO queues and
+    deletion-time waiting times. Slow, but driven with *identical* bin
+    choices it reproduces the fast simulator exactly — the integration
+    tests rely on this.
+
+``capacity=None`` gives unbounded bins: CAPPED(∞, λ) ≡ GREEDY[1] of
+[Berenbrink et al., PODC'16] (paper Section II).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.balls.ball import Ball, BallIdAllocator
+from repro.balls.bin_array import BinArray
+from repro.balls.buffer import BinBuffer
+from repro.balls.pool import AgePool
+from repro.engine.metrics import RoundRecord
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.rng import resolve_rng
+from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
+
+__all__ = ["CappedProcess", "ExactCappedSimulator"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _positional_waits(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand per-bin (start, length) runs into individual waiting times.
+
+    Bin ``i`` contributes the values ``starts[i], starts[i]+1, ...,
+    starts[i]+lengths[i]−1`` — one per accepted ball, in queue order.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY
+    repeated_starts = np.repeat(starts, lengths)
+    cumulative = np.cumsum(lengths) - lengths
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cumulative, lengths)
+    return repeated_starts + offsets
+
+
+class CappedProcess:
+    """Fast vectorised CAPPED(c, λ) simulator.
+
+    Parameters
+    ----------
+    n:
+        Number of bins.
+    capacity:
+        Buffer size ``c`` (``None`` for CAPPED(∞, λ) ≡ GREEDY[1]).
+    lam:
+        Injection rate λ ∈ [0, 1); ``λn`` must be an integer unless a
+        custom ``arrivals`` process is supplied.
+    rng:
+        Seed, generator, or :class:`~repro.rng.RngFactory`.
+    arrivals:
+        Optional custom arrival process; defaults to the paper's
+        deterministic ``λn`` per round.
+    initial_pool:
+        Balls (labelled round 0) pre-loaded into the pool. The paper
+        starts from an empty system; warm-starting at the mean-field
+        equilibrium pool (see :mod:`repro.core.meanfield`) skips the
+        ``Θ(1/(1−λ))``-round cold-start relaxation without changing any
+        steady-state statistic.
+    acceptance_order:
+        ``"oldest"`` (paper's Algorithm 1, default) or ``"youngest"`` —
+        an ablation switch. Oldest-first is the aging mechanism behind
+        the waiting-time theorem; youngest-first keeps the same pool-size
+        *dynamics* (acceptance counts depend only on request counts) but
+        starves old balls, blowing up the waiting-time tail. The
+        ``ablation_aging`` experiment quantifies this.
+
+    Examples
+    --------
+    >>> process = CappedProcess(n=64, capacity=2, lam=0.75, rng=1)
+    >>> record = process.step()
+    >>> record.arrivals
+    48
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity: int | None,
+        lam: float,
+        rng=None,
+        arrivals: ArrivalProcess | None = None,
+        initial_pool: int = 0,
+        acceptance_order: str = "oldest",
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        if initial_pool < 0:
+            raise ConfigurationError(f"initial_pool must be non-negative, got {initial_pool}")
+        if acceptance_order not in ("oldest", "youngest"):
+            raise ConfigurationError(
+                f"acceptance_order must be 'oldest' or 'youngest', got {acceptance_order!r}"
+            )
+        self.n = n
+        self.capacity = capacity
+        self.lam = lam
+        self.acceptance_order = acceptance_order
+        self.rng = resolve_rng(rng, "capped")
+        self.arrivals = arrivals if arrivals is not None else DeterministicArrivals(n=n, lam=lam)
+        self.pool = AgePool()
+        if initial_pool:
+            self.pool.add(0, initial_pool)
+        self.bins = BinArray(n, capacity)
+        self.round = 0
+
+    @property
+    def pool_size(self) -> int:
+        """Current pool size ``m(t)``."""
+        return self.pool.size
+
+    def step(self, choices: np.ndarray | None = None) -> RoundRecord:
+        """Advance one round (Algorithm 1) and report it.
+
+        Parameters
+        ----------
+        choices:
+            Optional pre-drawn bin choices, one per thrown ball, ordered
+            oldest ball first (new balls last). Used by the coupling and
+            by deterministic tests; when omitted, choices are drawn from
+            the process RNG per age bucket.
+        """
+        self.round += 1
+        t = self.round
+
+        generated = self.arrivals.arrivals(t, self.rng)
+        self.pool.add(t, generated)
+        thrown = self.pool.size
+
+        if choices is not None and len(choices) != thrown:
+            raise ConfigurationError(
+                f"injected choices must cover all {thrown} thrown balls, got {len(choices)}"
+            )
+
+        # Choices are always laid out oldest-first (the coupling and test
+        # convention); the acceptance *order* over buckets is a policy.
+        bucket_slices: list[tuple[int, np.ndarray]] = []
+        offset = 0
+        for label, count in list(self.pool.buckets()):
+            if choices is None:
+                bucket_choices = self.rng.integers(0, self.n, size=count)
+            else:
+                bucket_choices = choices[offset : offset + count]
+                offset += count
+            bucket_slices.append((label, bucket_choices))
+        if self.acceptance_order == "youngest":
+            bucket_slices.reverse()
+
+        wait_chunks: list[np.ndarray] = []
+        accepted_total = 0
+        for label, bucket_choices in bucket_slices:
+            requests = np.bincount(bucket_choices, minlength=self.n)
+            accepted = np.minimum(requests, self.bins.free_slots())
+            bucket_accepted = int(accepted.sum())
+            if bucket_accepted:
+                nonzero = np.nonzero(accepted)[0]
+                # Queue position of the first accepted ball is the bin's
+                # current load; waiting time = (t − label) + position.
+                starts = (t - label) + self.bins.loads[nonzero]
+                wait_chunks.append(_positional_waits(starts, accepted[nonzero]))
+                self.bins.accept(requests)
+                self.pool.remove(label, bucket_accepted)
+                accepted_total += bucket_accepted
+
+        deleted = self.bins.delete_one_each()
+
+        if wait_chunks:
+            waits = np.concatenate(wait_chunks)
+            wait_values, wait_counts = np.unique(waits, return_counts=True)
+        else:
+            wait_values, wait_counts = _EMPTY, _EMPTY
+
+        return RoundRecord(
+            round=t,
+            arrivals=generated,
+            thrown=thrown,
+            accepted=accepted_total,
+            deleted=deleted,
+            pool_size=self.pool.size,
+            total_load=self.bins.total_load,
+            max_load=int(self.bins.loads.max()),
+            wait_values=wait_values,
+            wait_counts=wait_counts,
+        )
+
+    def check_invariants(self) -> None:
+        """Verify pool and bin-state consistency."""
+        self.pool.check_invariants()
+        self.bins.check_invariants()
+        oldest = self.pool.oldest_label
+        if oldest is not None and oldest > self.round:
+            raise InvariantViolation(
+                f"pool contains balls from future round {oldest} (now {self.round})"
+            )
+
+    def get_state(self) -> dict:
+        """Checkpoint the full process state (including the RNG).
+
+        The snapshot is a plain dict of JSON-able values plus the numpy
+        bit-generator state; restoring it with :meth:`set_state` resumes
+        the *identical* trajectory — useful for long paper-profile runs
+        and for record/replay debugging.
+        """
+        return {
+            "round": self.round,
+            "pool": self.pool.get_state(),
+            "bins": self.bins.get_state(),
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (same n/c/λ process)."""
+        self.round = int(state["round"])
+        self.pool.set_state(state["pool"])
+        self.bins.set_state(state["bins"])
+        self.rng.bit_generator.state = state["rng"]
+        self.check_invariants()
+
+
+class ExactCappedSimulator:
+    """Per-ball reference implementation of CAPPED(c, λ).
+
+    Keeps every ball as an object, every bin as a real FIFO queue, and
+    records a ball's waiting time at its actual deletion round. Use for
+    validation and small-scale studies; it is orders of magnitude slower
+    than :class:`CappedProcess`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity: int | None,
+        lam: float,
+        rng=None,
+        arrivals: ArrivalProcess | None = None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        self.n = n
+        self.capacity = capacity
+        self.lam = lam
+        self.rng = resolve_rng(rng, "capped-exact")
+        self.arrivals = arrivals if arrivals is not None else DeterministicArrivals(n=n, lam=lam)
+        cap = capacity if capacity is not None else float("inf")
+        self.bin_buffers = [BinBuffer(cap) for _ in range(n)]
+        self.pool: list[Ball] = []  # kept sorted oldest-first by construction
+        self._ids = BallIdAllocator()
+        self.round = 0
+
+    @property
+    def pool_size(self) -> int:
+        """Current pool size ``m(t)``."""
+        return len(self.pool)
+
+    def step(self, choices: np.ndarray | None = None) -> RoundRecord:
+        """Advance one round; semantics identical to :class:`CappedProcess`.
+
+        ``choices`` (optional) must list one bin per pool ball in pool
+        order (oldest first, new balls last) — the same convention as the
+        fast simulator, enabling exact trajectory comparisons.
+        """
+        self.round += 1
+        t = self.round
+
+        generated = self.arrivals.arrivals(t, self.rng)
+        self.pool.extend(self._ids.make_batch(t, generated))
+        thrown = len(self.pool)
+
+        if choices is None:
+            choices = self.rng.integers(0, self.n, size=thrown)
+        elif len(choices) != thrown:
+            raise ConfigurationError(
+                f"injected choices must cover all {thrown} thrown balls, got {len(choices)}"
+            )
+
+        requests_per_bin: dict[int, list[Ball]] = defaultdict(list)
+        for ball, bin_index in zip(self.pool, choices):
+            requests_per_bin[int(bin_index)].append(ball)
+
+        accepted_serials: set[int] = set()
+        for bin_index, requesting in requests_per_bin.items():
+            buffer = self.bin_buffers[bin_index]
+            # The pool is oldest-first, so `requesting` is already sorted;
+            # BinBuffer.accept re-sorts defensively, which is a no-op here.
+            candidates = sorted(requesting)
+            free = buffer.free_slots
+            take = len(candidates) if free == float("inf") else min(len(candidates), int(free))
+            for ball in candidates[:take]:
+                buffer.push(ball)
+                accepted_serials.add(ball.serial)
+
+        if accepted_serials:
+            self.pool = [b for b in self.pool if b.serial not in accepted_serials]
+
+        waits: list[int] = []
+        deleted = 0
+        for buffer in self.bin_buffers:
+            ball = buffer.delete_first()
+            if ball is not None:
+                deleted += 1
+                waits.append(ball.age(t))
+
+        if waits:
+            wait_values, wait_counts = np.unique(np.asarray(waits, dtype=np.int64), return_counts=True)
+        else:
+            wait_values, wait_counts = _EMPTY, _EMPTY
+
+        loads = [b.load for b in self.bin_buffers]
+        return RoundRecord(
+            round=t,
+            arrivals=generated,
+            thrown=thrown,
+            accepted=len(accepted_serials),
+            deleted=deleted,
+            pool_size=len(self.pool),
+            total_load=sum(loads),
+            max_load=max(loads) if loads else 0,
+            wait_values=wait_values,
+            wait_counts=wait_counts,
+        )
+
+    def drain(self, max_rounds: int = 100_000) -> list[int]:
+        """Run with arrivals suppressed until the system is empty.
+
+        Returns all waiting times observed while draining. Used by tests to
+        compare complete waiting-time multisets against the fast simulator.
+        """
+        saved = self.arrivals
+        self.arrivals = DeterministicArrivals(n=self.n, lam=0.0)
+        waits: list[int] = []
+        try:
+            for _ in range(max_rounds):
+                if not self.pool and all(b.load == 0 for b in self.bin_buffers):
+                    return waits
+                record = self.step()
+                for value, count in zip(record.wait_values, record.wait_counts):
+                    waits.extend([int(value)] * int(count))
+        finally:
+            self.arrivals = saved
+        raise InvariantViolation(f"system failed to drain within {max_rounds} rounds")
+
+    def check_invariants(self) -> None:
+        """Verify buffer capacities and pool ordering."""
+        for buffer in self.bin_buffers:
+            buffer.check_invariants()
+        labels = [ball.label for ball in self.pool]
+        if labels != sorted(labels):
+            raise InvariantViolation("exact pool is not ordered oldest-first")

@@ -1,0 +1,292 @@
+"""The MODCAPPED(c, λ) analysis process (paper Section IV-A).
+
+MODCAPPED is the coupled process the paper's proofs run against. It deviates
+from CAPPED(c, λ) in two ways:
+
+**Ball generation.** Instead of ``λn`` new balls, round ``t`` generates
+``max{λn, m* − m(t−1)}`` balls, so at least ``m*`` balls are thrown every
+round. For c = 1, ``m* = ln(1/(1−λ))·n + 2n`` (Section III); for general c,
+``m* = 2/c·ln(1/(1−λ))·n + 6c·n`` (Section IV-A).
+
+**Buffers.** Time is partitioned into phases of length c
+(phase ``j`` = rounds ``I_j = [c·j, c·(j+1)−1]``). Each bin has one *buffer*
+per phase with the time-dependent capacity of Eq. (5):
+
+* buffer ``j`` is active only during phases ``j−1`` and ``j``;
+* its capacity ramps 0→c during phase ``j−1`` (one slot per round, the
+  *fill* phase) and c→0 during phase ``j`` (the *drain* phase);
+* in any round the two active buffers have capacities summing to exactly c.
+
+Each thrown ball carries a colour preference (``⌈ν/2⌉`` for the draining
+buffer, ``⌊ν/2⌋`` for the filling one); a bin distributes its arrivals
+greedily between the active buffers, maximising satisfied preferences
+without exceeding either capacity — so the *total* accepted is still
+``min(ν_i, c − ℓ_i)``. At the end of the round every non-empty *draining*
+buffer deletes one ball.
+
+Reproduction note on the paper's red/blue naming
+------------------------------------------------
+Section IV-A labels ``⌈t/c⌉`` "red" and states that red buffers delete.
+That conflicts with the proof of Lemma 7 ("buffer j deletes balls only
+during I_j" — and ``t ∈ I_j ⇔ j = ⌊t/c⌋``) and with the capacity schedule:
+if the buffer whose capacity is *decreasing* did not delete, its load could
+exceed its capacity. The mathematically consistent semantics — the only one
+under which Eq. (5), Lemma 6 and Lemma 7 all hold — is that the
+**drain-phase buffer** ``⌊t/c⌋`` deletes, and we implement that. (The two
+labels coincide whenever ``c | t``, including every round for c = 1, so the
+warm-up process of Section III is unaffected.)
+
+The class tracks only what the analysis needs — pool size and per-buffer
+loads — since ball ages play no role in the dominance argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theory import m_star
+from repro.engine.metrics import RoundRecord
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.rng import resolve_rng
+
+__all__ = ["buffer_capacity", "ModCappedProcess"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def buffer_capacity(j: int, t: int, c: int) -> int:
+    """Eq. (5): capacity ``c_j(t)`` of buffer ``j`` in round ``t``.
+
+    ``0`` outside the active window ``I_{j−1} ∪ I_j``; ramps up by one per
+    round during phase ``j−1`` and down by one per round during phase ``j``.
+    """
+    if c < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {c}")
+    if c * (j - 1) <= t < c * j:  # t ∈ I_{j−1}: fill phase
+        return t - (j - 1) * c
+    if c * j <= t <= c * (j + 1) - 1:  # t ∈ I_j: drain phase
+        return (j + 1) * c - t
+    return 0
+
+
+class ModCappedProcess:
+    """Vectorised MODCAPPED(c, λ) simulator.
+
+    Parameters
+    ----------
+    n, c, lam:
+        As for CAPPED(c, λ).
+    m_star_value:
+        Override for the generation threshold ``m*``; defaults to the
+        paper's value for the given ``c`` (warm-up variant when c = 1).
+    rng:
+        Seed, generator, or factory.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        c: int,
+        lam: float,
+        m_star_value: float | None = None,
+        rng=None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        if c < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {c}")
+        if not 0.0 <= lam < 1.0:
+            raise ConfigurationError(f"lambda must lie in [0, 1), got {lam}")
+        per_round = lam * n
+        if abs(per_round - round(per_round)) > 1e-9:
+            raise ConfigurationError(f"lambda*n must be an integer, got {per_round}")
+        self.n = n
+        self.c = c
+        self.lam = lam
+        self.arrivals_per_round = round(per_round)
+        self.m_star = float(m_star_value) if m_star_value is not None else m_star(c, lam, n)
+        self.rng = resolve_rng(rng, "modcapped")
+        self.pool_size = 0
+        self.round = 0
+        # Per-buffer loads, keyed by absolute buffer index j. Only the two
+        # active buffers are kept; buffers are dropped once their capacity
+        # returns to zero (they are provably empty by then).
+        self.buffer_loads: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # round structure helpers
+    # ------------------------------------------------------------------
+    def drain_index(self, t: int | None = None) -> int:
+        """Buffer in its drain phase (the deleting one): ``j = ⌊t/c⌋``."""
+        t = self.round if t is None else t
+        return t // self.c
+
+    def fill_index(self, t: int | None = None) -> int | None:
+        """Buffer in its fill phase, or ``None`` when ``c | t``."""
+        t = self.round if t is None else t
+        return t // self.c + 1 if t % self.c else None
+
+    def generation_count(self) -> int:
+        """Balls generated this round: ``max{λn, m* − m(t−1)}``."""
+        deficit = int(np.ceil(self.m_star)) - self.pool_size
+        return max(self.arrivals_per_round, deficit)
+
+    def total_loads(self) -> np.ndarray:
+        """Per-bin total stored balls ``ℓ_i`` (sum over active buffers)."""
+        total = np.zeros(self.n, dtype=np.int64)
+        for loads in self.buffer_loads.values():
+            total += loads
+        return total
+
+    def _loads_for(self, j: int) -> np.ndarray:
+        if j not in self.buffer_loads:
+            self.buffer_loads[j] = np.zeros(self.n, dtype=np.int64)
+        return self.buffer_loads[j]
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        choices: np.ndarray | None = None,
+        drain_preference: np.ndarray | None = None,
+    ) -> RoundRecord:
+        """Advance one round of MODCAPPED(c, λ).
+
+        Parameters
+        ----------
+        choices:
+            Optional pre-drawn bin choices for all ``ν(t)`` thrown balls
+            (used by the coupling); drawn from the process RNG otherwise.
+        drain_preference:
+            Optional boolean mask selecting balls that prefer the draining
+            buffer. The paper partitions arbitrarily with ``⌈ν/2⌉`` on one
+            side; the default marks the first ``⌈ν/2⌉`` balls.
+        """
+        self.round += 1
+        t = self.round
+
+        generated = self.generation_count()
+        thrown = self.pool_size + generated
+
+        if choices is None:
+            choices = self.rng.integers(0, self.n, size=thrown)
+        elif len(choices) != thrown:
+            raise ConfigurationError(
+                f"injected choices must cover all {thrown} thrown balls, got {len(choices)}"
+            )
+
+        if drain_preference is None:
+            drain_preference = np.zeros(thrown, dtype=bool)
+            drain_preference[: -(-thrown // 2)] = True  # first ⌈ν/2⌉ balls
+        elif len(drain_preference) != thrown:
+            raise ConfigurationError(
+                f"drain_preference mask must cover all {thrown} balls, got {len(drain_preference)}"
+            )
+
+        drain_j = self.drain_index(t)
+        fill_j = self.fill_index(t)
+        drain_loads = self._loads_for(drain_j)
+
+        if fill_j is None:
+            # Single active buffer with full capacity c: plain capped
+            # acceptance, colour preferences are vacuous.
+            requests = np.bincount(choices, minlength=self.n)
+            accepted_drain = np.minimum(requests, self.c - drain_loads)
+            drain_loads += accepted_drain
+            accepted_total = int(accepted_drain.sum())
+        else:
+            fill_loads = self._loads_for(fill_j)
+            cap_drain = buffer_capacity(drain_j, t, self.c)
+            cap_fill = buffer_capacity(fill_j, t, self.c)
+            requests_drain = np.bincount(choices[drain_preference], minlength=self.n)
+            requests_fill = np.bincount(choices[~drain_preference], minlength=self.n)
+            space_drain = cap_drain - drain_loads
+            space_fill = cap_fill - fill_loads
+            # Greedy preference-maximising assignment: satisfy preferences
+            # first, then cross-fill leftovers into the other buffer.
+            to_drain = np.minimum(requests_drain, space_drain)
+            to_fill = np.minimum(requests_fill, space_fill)
+            cross_to_fill = np.minimum(requests_drain - to_drain, space_fill - to_fill)
+            cross_to_drain = np.minimum(requests_fill - to_fill, space_drain - to_drain)
+            drain_loads += to_drain + cross_to_drain
+            fill_loads += to_fill + cross_to_fill
+            accepted_total = int((to_drain + to_fill + cross_to_drain + cross_to_fill).sum())
+
+        self.pool_size = thrown - accepted_total
+
+        # End of round: every non-empty draining buffer deletes one ball
+        # (FIFO — ball identity is not tracked, so a deletion decrements).
+        nonempty = drain_loads > 0
+        deleted = int(np.count_nonzero(nonempty))
+        drain_loads[nonempty] -= 1
+
+        self._retire_drained_buffers(t)
+
+        total = self.total_loads()
+        return RoundRecord(
+            round=t,
+            arrivals=generated,
+            thrown=thrown,
+            accepted=accepted_total,
+            deleted=deleted,
+            pool_size=self.pool_size,
+            total_load=int(total.sum()),
+            max_load=int(total.max()) if self.n else 0,
+            wait_values=_EMPTY,
+            wait_counts=_EMPTY,
+        )
+
+    def _retire_drained_buffers(self, t: int) -> None:
+        """Drop buffers whose capacity is zero from round ``t+1`` onward."""
+        for j in list(self.buffer_loads):
+            if buffer_capacity(j, t + 1, self.c) == 0:
+                loads = self.buffer_loads.pop(j)
+                if int(loads.sum()) != 0:
+                    raise InvariantViolation(
+                        f"buffer {j} retired with {int(loads.sum())} balls still stored"
+                    )
+
+    def get_state(self) -> dict:
+        """Checkpoint the process (pool, buffers, RNG) for exact resume."""
+        return {
+            "round": self.round,
+            "pool_size": self.pool_size,
+            "buffers": {j: loads.tolist() for j, loads in self.buffer_loads.items()},
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.round = int(state["round"])
+        self.pool_size = int(state["pool_size"])
+        self.buffer_loads = {
+            int(j): np.asarray(loads, dtype=np.int64).copy()
+            for j, loads in state["buffers"].items()
+        }
+        for loads in self.buffer_loads.values():
+            if loads.shape != (self.n,):
+                raise ValueError(f"buffer loads must have shape ({self.n},)")
+        self.rng.bit_generator.state = state["rng"]
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Loads within Eq. (5) capacities; non-negative pool."""
+        if self.pool_size < 0:
+            raise InvariantViolation(f"negative pool size {self.pool_size}")
+        t = self.round
+        for j, loads in self.buffer_loads.items():
+            if np.any(loads < 0):
+                raise InvariantViolation(f"buffer {j} has a negative load")
+            # After the end-of-round deletion, loads must fit next round's
+            # capacity (the drain invariant of Lemma 7's proof).
+            cap_next = buffer_capacity(j, t + 1, self.c)
+            if np.any(loads > cap_next):
+                raise InvariantViolation(
+                    f"buffer {j} load {int(loads.max())} exceeds next-round capacity {cap_next}"
+                )
+        total = self.total_loads()
+        if np.any(total > self.c):
+            raise InvariantViolation(
+                f"total bin load {int(total.max())} exceeds bin capacity {self.c}"
+            )

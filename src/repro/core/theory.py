@@ -1,0 +1,278 @@
+"""Closed-form bounds from the paper.
+
+Implements, as plain functions of ``(c, λ, n)``:
+
+* the threshold ``m*`` used by the MODCAPPED coupling
+  (Section III-A for c = 1, Section IV-A for general c),
+* the pool-size and waiting-time bounds of Theorems 1 and 2,
+* the empirical reference curves the paper overlays on Figures 4 and 5
+  (``1/c·ln(1/(1−λ)) + 1`` and ``ln(1/(1−λ))/c + log log n + c``),
+* the sweet-spot capacity ``c* = Θ(√ln(1/(1−λ)))`` (Abstract), and
+* the waiting-time scales of the PODC'16 leaky-bins baselines for
+  comparison.
+
+All bounds are stated exactly as derived in the paper, with the
+unavoidable ``O(1)``/``O(c)`` terms exposed as explicit keyword arguments
+defaulting to the smallest values consistent with the derivations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "log_inverse_gap",
+    "loglog",
+    "m_star",
+    "thm1_pool_bound",
+    "thm1_wait_bound",
+    "thm2_pool_bound",
+    "thm2_wait_bound",
+    "empirical_pool_curve",
+    "empirical_wait_curve",
+    "sweet_spot_c",
+    "pool_bound_failure_probability",
+    "wait_bound_failure_probability",
+    "drain_stage_rounds",
+    "LEMMA4_ROUNDS",
+    "final_stage_rounds",
+    "wait_bound_decomposition",
+    "greedy_one_choice_wait_bound",
+    "greedy_two_choice_wait_bound",
+]
+
+_ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
+
+
+def _check(lam: float, n: int | None = None, c: int | None = None) -> None:
+    if not 0.0 <= lam < 1.0:
+        raise ConfigurationError(f"lambda must lie in [0, 1), got {lam}")
+    if n is not None and n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    if c is not None and c < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {c}")
+
+
+def log_inverse_gap(lam: float) -> float:
+    """The recurring quantity ``ln(1/(1−λ))``.
+
+    Grows from 0 (λ = 0) to ``ln n`` (λ = 1 − 1/n); the paper's bounds are
+    all phrased in terms of it.
+    """
+    _check(lam)
+    return math.log(1.0 / (1.0 - lam))
+
+
+def loglog(n: int) -> float:
+    """``log₂ log₂ n``, clamped below at 0 (defined for n ≥ 2)."""
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    inner = math.log2(n)
+    return max(0.0, math.log2(inner)) if inner >= 1.0 else 0.0
+
+
+def m_star(c: int, lam: float, n: int, variant: str = "auto") -> float:
+    """The coupling threshold ``m*`` for MODCAPPED(c, λ).
+
+    Parameters
+    ----------
+    variant:
+        ``"warmup"`` — Section III's value for unit capacity,
+        ``m* = ln(1/(1−λ))·n + 2n`` (only valid for c = 1);
+        ``"general"`` — Section IV's value,
+        ``m* = 2/c·ln(1/(1−λ))·n + 6c·n``;
+        ``"auto"`` (default) — warmup when c = 1, general otherwise,
+        matching how the paper instantiates the coupled process.
+    """
+    _check(lam, n, c)
+    if variant == "auto":
+        variant = "warmup" if c == 1 else "general"
+    if variant == "warmup":
+        if c != 1:
+            raise ConfigurationError("the warm-up m* is only defined for c = 1")
+        return log_inverse_gap(lam) * n + 2.0 * n
+    if variant == "general":
+        return 2.0 / c * log_inverse_gap(lam) * n + 6.0 * c * n
+    raise ConfigurationError(f"unknown m* variant {variant!r}")
+
+
+def thm1_pool_bound(lam: float, n: int) -> float:
+    """Theorem 1(1): w.p. ≥ 1 − 2^{−2n}, ``m(t) < 2·ln(1/(1−λ))·n + 4n``.
+
+    Equal to twice the warm-up ``m*``.
+    """
+    _check(lam, n)
+    return 2.0 * log_inverse_gap(lam) * n + 4.0 * n
+
+
+def thm1_wait_bound(lam: float, n: int, additive_constant: float = 19.0) -> float:
+    """Theorem 1(2): w.p. ≥ 1 − n^{−2} the waiting time is at most
+    ``(2·ln(1/(1−λ)) + 4)/(1 − 1/e) + log log n + O(1)``.
+
+    ``additive_constant`` stands for the ``O(1)`` term; the proof's
+    explicit contribution is the 19 extra rounds of Lemma 4 (plus an
+    unoptimised constant from Lemma 5), so 19 is the default.
+    """
+    _check(lam, n)
+    return (
+        (2.0 * log_inverse_gap(lam) + 4.0) / _ONE_MINUS_INV_E
+        + loglog(n)
+        + additive_constant
+    )
+
+
+def thm2_pool_bound(c: int, lam: float, n: int) -> float:
+    """Theorem 2(1): w.p. ≥ 1 − 2^{−2n},
+    ``m(t) < 4/c·ln(1/(1−λ))·n + O(c·n)``.
+
+    Returned as twice the general ``m*`` (the proof shows the pool stays
+    below ``2m*``), i.e. with the ``O(c·n)`` term instantiated as ``12c·n``.
+    """
+    _check(lam, n, c)
+    return 2.0 * m_star(c, lam, n, variant="general")
+
+
+def thm2_wait_bound(
+    c: int,
+    lam: float,
+    n: int,
+    additive_constant: float = 19.0,
+) -> float:
+    """Theorem 2(2): w.p. ≥ 1 − n^{−2} the waiting time is at most
+    ``4·ln(1/(1−λ))/(c·(1−1/e)) + log log n + O(c)``.
+
+    Derivation (Section IV-C): pool drains at rate ``n − n/e`` per round
+    (Lemma 3 applied to the Theorem 2(1) pool bound), giving
+    ``Δ = 2m*/(n(1−1/e))``; then 19 rounds (Lemma 4), ``log log n + O(1)``
+    rounds (Lemma 5), and up to ``c`` rounds inside a buffer. The ``O(c)``
+    term is therefore instantiated as ``12c/(1−1/e) + c``.
+    """
+    _check(lam, n, c)
+    drain_rounds = (2.0 * m_star(c, lam, n, variant="general") / n) / _ONE_MINUS_INV_E
+    return drain_rounds + additive_constant + loglog(n) + c
+
+
+def empirical_pool_curve(c: int, lam: float) -> float:
+    """Section V's dashed Figure 4 reference: ``1/c·ln(1/(1−λ)) + 1``.
+
+    This is the *normalized* pool size (pool divided by n) the simulations
+    track — the theoretical bound without its factor of four.
+    """
+    _check(lam, c=c)
+    return log_inverse_gap(lam) / c + 1.0
+
+
+def empirical_wait_curve(c: int, lam: float, n: int) -> float:
+    """Section V's dashed Figure 5 reference:
+    ``ln(1/(1−λ))/c + log log n + c``."""
+    _check(lam, n, c)
+    return log_inverse_gap(lam) / c + loglog(n) + c
+
+
+def sweet_spot_c(lam: float, integer: bool = True) -> float | int:
+    """The capacity minimising the waiting-time scale.
+
+    The waiting-time bound behaves as ``L/c + c`` with
+    ``L = ln(1/(1−λ))`` (up to constants), minimised at ``c* = √L`` —
+    the abstract's ``Θ(√log(1/(1−λ)))`` sweet spot. With ``integer=True``
+    the better of ``floor`` and ``ceil`` of ``√L`` (at least 1) under the
+    empirical curve is returned.
+    """
+    _check(lam)
+    gap = log_inverse_gap(lam)
+    continuous = math.sqrt(gap)
+    if not integer:
+        return continuous
+    lo = max(1, math.floor(continuous))
+    hi = max(1, math.ceil(continuous))
+
+    def score(c: int) -> float:
+        return gap / c + c
+
+    return lo if score(lo) <= score(hi) else hi
+
+
+def pool_bound_failure_probability(n: int) -> float:
+    """Failure probability of Theorems 1(1)/2(1): ``2^{−2n}``.
+
+    Underflows to 0.0 for realistic n, which is the honest answer.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    try:
+        return 2.0 ** (-2 * n)
+    except OverflowError:  # pragma: no cover
+        return 0.0
+
+
+def wait_bound_failure_probability(n: int) -> float:
+    """Failure probability of Theorems 1(2)/2(2): ``n^{−2}``."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    return float(n) ** -2
+
+
+def drain_stage_rounds(pool_size: float, n: int) -> float:
+    """Lemma 3's Δ: rounds to shrink a pool to 2n at rate ``n − n/e``.
+
+    ``Δ = m(t)/(n − n/e)`` — while more than 2n balls compete, each round
+    w.h.p. more than ``n − n/e`` bins receive (and hence delete) a ball.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    if pool_size < 0:
+        raise ConfigurationError(f"pool size must be non-negative, got {pool_size}")
+    return pool_size / (n * _ONE_MINUS_INV_E)
+
+
+#: Lemma 4's constant: rounds to shrink the survivors from 2n to n/(2e),
+#: deleting at least n/10 per round.
+LEMMA4_ROUNDS = 19
+
+
+def final_stage_rounds(n: int, additive_constant: float = 1.0) -> float:
+    """Lemma 5: ``log log n + O(1)`` rounds clear the last n/(2e) survivors.
+
+    The layered-induction stage (the GREEDY[2]-style doubling argument of
+    Azar et al., Theorem 4).
+    """
+    return loglog(n) + additive_constant
+
+
+def wait_bound_decomposition(c: int, lam: float, n: int) -> dict[str, float]:
+    """Stage-by-stage composition of the Theorem 2 waiting-time bound.
+
+    Returns the contribution of each proof stage — useful for seeing which
+    term dominates at a given (c, λ, n):
+
+    * ``drain``   — Lemma 3 applied to the Theorem 2(1) pool bound,
+    * ``bridge``  — Lemma 4's 19 rounds,
+    * ``final``   — Lemma 5's ``log log n + O(1)``,
+    * ``buffer``  — up to c rounds inside a bin's buffer (Section IV-C).
+
+    The values sum to :func:`thm2_wait_bound` (with its defaults).
+    """
+    _check(lam, n, c)
+    return {
+        "drain": drain_stage_rounds(thm2_pool_bound(c, lam, n), n),
+        "bridge": float(LEMMA4_ROUNDS),
+        "final": final_stage_rounds(n, additive_constant=0.0),
+        "buffer": float(c),
+    }
+
+
+def greedy_one_choice_wait_bound(lam: float, n: int) -> float:
+    """Waiting-time scale of PODC'16 GREEDY[1] (leaky bins):
+    ``Θ(1/(1−λ)·log(n/(1−λ)))``. Returned without hidden constants —
+    use for shape comparisons only."""
+    _check(lam, n)
+    return (1.0 / (1.0 - lam)) * math.log(n / (1.0 - lam))
+
+
+def greedy_two_choice_wait_bound(lam: float, n: int) -> float:
+    """Waiting-time scale of PODC'16 GREEDY[2] (leaky bins):
+    ``Θ(log(n/(1−λ)))``. Returned without hidden constants."""
+    _check(lam, n)
+    return math.log(n / (1.0 - lam))

@@ -1,0 +1,126 @@
+"""Burn-in/measurement execution of round-based processes.
+
+:class:`SimulationDriver` is the single entry point used by examples,
+benchmarks, and the experiment harness: it advances a process through a
+burn-in phase (statistics discarded, observers still notified), then through
+a measurement window feeding a :class:`~repro.engine.metrics.MetricsCollector`,
+and returns a :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.engine.metrics import MetricsCollector, MetricsSummary, RoundRecord
+from repro.engine.observers import Observer
+from repro.engine.stability import is_stationary
+from repro.errors import ConfigurationError
+
+__all__ = ["RoundProcess", "SimulationDriver", "SimulationResult"]
+
+
+@runtime_checkable
+class RoundProcess(Protocol):
+    """Minimal interface every simulated process implements."""
+
+    n: int
+
+    def step(self) -> RoundRecord:
+        """Advance one round and report what happened."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a driver run.
+
+    Attributes
+    ----------
+    summary:
+        Aggregate statistics over the measurement window.
+    pool_series:
+        Per-round pool sizes over the measurement window.
+    burn_in / measured:
+        The phase lengths actually executed.
+    stationary:
+        Result of the drift diagnostic on the measured pool series (None
+        if the window was too short to diagnose).
+    """
+
+    summary: MetricsSummary
+    pool_series: np.ndarray
+    burn_in: int
+    measured: int
+    stationary: bool | None
+
+    @property
+    def normalized_pool(self) -> float:
+        """Mean pool size divided by n (Figure 4's y-axis)."""
+        return self.summary.normalized_pool
+
+    @property
+    def avg_wait(self) -> float:
+        """Average waiting time (Figure 5, triangles)."""
+        return self.summary.avg_wait
+
+    @property
+    def max_wait(self) -> int:
+        """Maximum waiting time (Figure 5, points)."""
+        return self.summary.max_wait
+
+
+class SimulationDriver:
+    """Runs a process through burn-in then measurement.
+
+    Parameters
+    ----------
+    burn_in:
+        Rounds to discard before measuring.
+    measure:
+        Rounds in the measurement window (the paper averages over 1000).
+    observers:
+        Optional callbacks notified after *every* round, including burn-in.
+    """
+
+    def __init__(
+        self,
+        burn_in: int,
+        measure: int,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if burn_in < 0:
+            raise ConfigurationError(f"burn_in must be non-negative, got {burn_in}")
+        if measure < 1:
+            raise ConfigurationError(f"measure must be positive, got {measure}")
+        self.burn_in = burn_in
+        self.measure = measure
+        self.observers = list(observers)
+
+    def _notify(self, record: RoundRecord, process: Any) -> None:
+        for observer in self.observers:
+            observer.on_round(record, process)
+
+    def run(self, process: RoundProcess) -> SimulationResult:
+        """Execute the configured phases on ``process`` and summarise."""
+        for _ in range(self.burn_in):
+            record = process.step()
+            self._notify(record, process)
+
+        collector = MetricsCollector(n=process.n)
+        for _ in range(self.measure):
+            record = process.step()
+            self._notify(record, process)
+            collector.observe(record)
+
+        series = collector.pool_series
+        stationary = is_stationary(series) if series.size >= 4 else None
+        return SimulationResult(
+            summary=collector.summary(),
+            pool_series=series,
+            burn_in=self.burn_in,
+            measured=self.measure,
+            stationary=stationary,
+        )

@@ -1,0 +1,107 @@
+"""Round-trace serialisation (JSONL record / replay).
+
+Long reproduction runs are expensive; persisting their round-by-round
+records lets later analysis (stationarity diagnostics, dominance checks,
+plotting) run without re-simulating, and regression tests can replay a
+stored trace against freshly computed statistics.
+
+One :class:`~repro.engine.metrics.RoundRecord` maps to one JSON line with
+the waiting-time sparse pairs inlined; :func:`read_trace` restores the
+records exactly (numpy arrays included).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.metrics import RoundRecord
+
+__all__ = ["record_to_json", "record_from_json", "write_trace", "read_trace", "TraceWriter"]
+
+
+def record_to_json(record: RoundRecord) -> str:
+    """Serialise one round record to a single JSON line."""
+    payload = {
+        "round": record.round,
+        "arrivals": record.arrivals,
+        "thrown": record.thrown,
+        "accepted": record.accepted,
+        "deleted": record.deleted,
+        "pool_size": record.pool_size,
+        "total_load": record.total_load,
+        "max_load": record.max_load,
+        "wait_values": record.wait_values.tolist(),
+        "wait_counts": record.wait_counts.tolist(),
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> RoundRecord:
+    """Parse one JSON line back into a :class:`RoundRecord`."""
+    payload = json.loads(line)
+    return RoundRecord(
+        round=int(payload["round"]),
+        arrivals=int(payload["arrivals"]),
+        thrown=int(payload["thrown"]),
+        accepted=int(payload["accepted"]),
+        deleted=int(payload["deleted"]),
+        pool_size=int(payload["pool_size"]),
+        total_load=int(payload["total_load"]),
+        max_load=int(payload["max_load"]),
+        wait_values=np.asarray(payload["wait_values"], dtype=np.int64),
+        wait_counts=np.asarray(payload["wait_counts"], dtype=np.int64),
+    )
+
+
+def write_trace(records: Iterable[RoundRecord], path: Path | str) -> Path:
+    """Write records as JSONL (one line per round); parents created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record_to_json(record) + "\n")
+    return path
+
+
+def read_trace(path: Path | str) -> Iterator[RoundRecord]:
+    """Lazily read a JSONL trace written by :func:`write_trace`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_json(line)
+
+
+class TraceWriter:
+    """Observer streaming every round record straight to a JSONL file.
+
+    Unlike :class:`~repro.engine.observers.TraceRecorder` it holds no
+    records in memory, so it suits arbitrarily long runs. Use as a context
+    manager or call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._handle = path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def on_round(self, record: RoundRecord, process) -> None:
+        self._handle.write(record_to_json(record) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by this library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InvariantViolation",
+    "CapacityExceeded",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A simulation or experiment was configured with invalid parameters.
+
+    Examples include a non-integral number of arrivals per round
+    (the paper requires ``lambda * n`` to be an integer), a non-positive
+    number of bins, or a capacity below one.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A process invariant that should hold by construction was violated.
+
+    These indicate bugs in the library (or deliberately broken states in
+    failure-injection tests), never user error.
+    """
+
+
+class CapacityExceeded(InvariantViolation):
+    """A bounded buffer was asked to hold more balls than its capacity."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation could not be run or continued."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment definition could not be resolved or executed."""

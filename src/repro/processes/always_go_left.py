@@ -1,0 +1,57 @@
+"""ALWAYS-GO-LEFT[d] — Vöcking's asymmetric d-choice allocation.
+
+The bins are split into ``d`` contiguous groups of size ``n/d``. Each ball
+samples one uniform bin *per group* and commits to a least-loaded sampled
+bin; ties are broken towards the leftmost (lowest-index) group — the
+asymmetry that improves the maximum load to ``ln ln n / (d·ln φ_d) + O(1)``
+(φ_d the generalised golden ratio), beating symmetric GREEDY[d].
+
+Included because the paper's related-work comparison (Vöcking, JACM'03)
+cites its infinite-process guarantee ``ln ln n/(d·ln φ_d) + O(h)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import resolve_rng
+
+__all__ = ["always_go_left"]
+
+
+def always_go_left(m: int, n: int, d: int, rng=None) -> np.ndarray:
+    """Sequentially allocate ``m`` balls with the asymmetric d-choice rule.
+
+    Parameters
+    ----------
+    m:
+        Number of balls.
+    n:
+        Number of bins; must be divisible by ``d``.
+    d:
+        Number of groups (and choices per ball), d ≥ 2.
+
+    Returns
+    -------
+    numpy.ndarray
+        Final per-bin loads (groups laid out contiguously left to right).
+    """
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if d < 2:
+        raise ConfigurationError(f"ALWAYS-GO-LEFT needs d >= 2, got {d}")
+    if n < d or n % d != 0:
+        raise ConfigurationError(f"n={n} must be a positive multiple of d={d}")
+    generator = resolve_rng(rng, "always-go-left")
+
+    group_size = n // d
+    loads = np.zeros(n, dtype=np.int64)
+    group_offsets = np.arange(d) * group_size
+    choices = generator.integers(0, group_size, size=(m, d)) + group_offsets
+    for row in choices:
+        candidate_loads = loads[row]
+        # argmin returns the first (leftmost-group) minimum: go left on ties.
+        target = row[int(np.argmin(candidate_loads))]
+        loads[target] += 1
+    return loads

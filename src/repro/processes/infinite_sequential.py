@@ -1,0 +1,107 @@
+"""Infinite sequential GREEDY[d] with deletions (Azar et al., Section on
+the infinite process; cf. Cole et al., RANDOM'98).
+
+A fixed population of ``n`` balls lives in ``n`` bins. In every step, one
+ball chosen uniformly at random is removed and immediately reinserted with
+the GREEDY[d] rule (commit to the least loaded of d uniform bins). Azar et
+al. show that from *any* initial configuration, after ``O(n² log log n)``
+steps the maximum load is ``ln n/ln d + O(1)`` w.h.p., and Cole et al.
+sharpen the typical behaviour to ``log log n/ log d + O(1)`` over
+polynomially many steps.
+
+This is the sequential self-healing counterpart of the repeated parallel
+process of Becchetti et al.; both recover from adversarial pile-ups, and
+the comparison test quantifies the d-choice advantage in the recovered
+state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.rng import resolve_rng
+
+__all__ = ["InfiniteSequentialGreedy"]
+
+
+class InfiniteSequentialGreedy:
+    """Random-ball reinsertion with the d-choice rule.
+
+    Parameters
+    ----------
+    n:
+        Number of bins and of balls.
+    d:
+        Choices per reinsertion (d ≥ 1).
+    initial_assignment:
+        Optional ball → bin array; defaults to the adversarial pile-up
+        (every ball in bin 0).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        initial_assignment: np.ndarray | None = None,
+        rng=None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        if d < 1:
+            raise ConfigurationError(f"need at least one choice, got d={d}")
+        self.n = n
+        self.d = d
+        self.rng = resolve_rng(rng, "infinite-sequential")
+        if initial_assignment is None:
+            assignment = np.zeros(n, dtype=np.int64)
+        else:
+            assignment = np.asarray(initial_assignment, dtype=np.int64).copy()
+            if assignment.shape != (n,):
+                raise ConfigurationError(f"assignment must have shape ({n},)")
+            if np.any((assignment < 0) | (assignment >= n)):
+                raise ConfigurationError("assignment entries must be bin indices")
+        self.assignment = assignment
+        self.loads = np.bincount(assignment, minlength=n).astype(np.int64)
+        self.steps = 0
+
+    @property
+    def max_load(self) -> int:
+        """Current maximum bin load."""
+        return int(self.loads.max())
+
+    def step(self) -> None:
+        """Reallocate one uniformly random ball via GREEDY[d]."""
+        self.steps += 1
+        ball = int(self.rng.integers(0, self.n))
+        self.loads[self.assignment[ball]] -= 1
+        choices = self.rng.integers(0, self.n, size=self.d)
+        target = int(choices[int(np.argmin(self.loads[choices]))])
+        self.assignment[ball] = target
+        self.loads[target] += 1
+
+    def run(self, steps: int) -> int:
+        """Advance ``steps`` reallocations; return the final max load."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be non-negative, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self.max_load
+
+    def run_until_max_load(self, target: int, max_steps: int) -> int | None:
+        """Steps until the max load first reaches ``target`` (None if never)."""
+        if self.max_load <= target:
+            return self.steps
+        for _ in range(max_steps):
+            self.step()
+            if self.max_load <= target:
+                return self.steps
+        return None
+
+    def check_invariants(self) -> None:
+        """Ball conservation and load/assignment consistency."""
+        if int(self.loads.sum()) != self.n:
+            raise InvariantViolation("ball count changed")
+        recomputed = np.bincount(self.assignment, minlength=self.n)
+        if not np.array_equal(recomputed, self.loads):
+            raise InvariantViolation("loads inconsistent with assignment")

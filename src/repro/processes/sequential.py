@@ -1,0 +1,67 @@
+"""Classical sequential static allocations.
+
+* :func:`sequential_one_choice` — every ball picks one uniform bin.
+  For m = n the maximum load is ``(1 − o(1))·ln n / ln ln n`` w.h.p.
+  (Raab & Steger), and ``m/n + Θ(√(m·ln n / n))`` for m ≫ n ln n.
+* :func:`sequential_greedy_d` — GREEDY[d] of Azar et al.: balls arrive one
+  by one, each picks d uniform bins and commits to the least loaded.
+  Maximum load ``ln ln n / ln d + Θ(1)`` w.h.p. — the power of two choices.
+
+These are the sequential reference points the paper's introduction
+contrasts against parallel processes; they also serve as oracles in tests
+of the library's sampling utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import resolve_rng
+
+__all__ = ["sequential_one_choice", "sequential_greedy_d", "max_load"]
+
+
+def _check(m: int, n: int) -> None:
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if n < 1:
+        raise ConfigurationError(f"need at least one bin, got n={n}")
+
+
+def sequential_one_choice(m: int, n: int, rng=None) -> np.ndarray:
+    """Throw ``m`` balls u.a.r. into ``n`` bins; return final loads."""
+    _check(m, n)
+    generator = resolve_rng(rng, "one-choice")
+    return np.bincount(generator.integers(0, n, size=m), minlength=n).astype(np.int64)
+
+
+def sequential_greedy_d(m: int, n: int, d: int, rng=None, chunk: int = 4096) -> np.ndarray:
+    """Sequential GREEDY[d]: each ball joins the least loaded of d choices.
+
+    Ties are broken towards the first-sampled choice (arbitrary rule, as
+    in Azar et al.). Choices are pre-sampled in chunks to keep the
+    unavoidable sequential loop cheap.
+    """
+    _check(m, n)
+    if d < 1:
+        raise ConfigurationError(f"need at least one choice, got d={d}")
+    generator = resolve_rng(rng, "greedy-d")
+    loads = np.zeros(n, dtype=np.int64)
+    if d == 1:
+        return sequential_one_choice(m, n, rng=generator)
+    remaining = m
+    while remaining > 0:
+        batch = min(chunk, remaining)
+        choices = generator.integers(0, n, size=(batch, d))
+        for row in choices:
+            # `row` is tiny (d entries); argmin gives the first minimum.
+            target = row[int(np.argmin(loads[row]))]
+            loads[target] += 1
+        remaining -= batch
+    return loads
+
+
+def max_load(loads: np.ndarray) -> int:
+    """Maximum entry of a load vector (0 for an empty vector)."""
+    return int(loads.max()) if len(loads) else 0

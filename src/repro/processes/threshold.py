@@ -1,0 +1,100 @@
+"""THRESHOLD[T] — static parallel allocation (Adler et al., 1998).
+
+``m`` balls are to be allocated to ``n`` bins. In each communication round
+every unallocated ball picks a bin independently and uniformly at random,
+and every bin accepts at most ``T`` of its requests this round (rejecting
+the rest). Unallocated balls retry in the next round.
+
+Adler et al. prove that THRESHOLD[1] with m = n terminates after at most
+``ln ln n + O(1)`` rounds w.h.p., which also bounds the maximum load (a bin
+gains at most T = 1 ball per round). This is the intellectual ancestor of
+CAPPED's bounded-acceptance rule and is included as a static baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import resolve_rng
+
+__all__ = ["ThresholdResult", "threshold_allocate"]
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdResult:
+    """Outcome of a THRESHOLD[T] run.
+
+    Attributes
+    ----------
+    rounds:
+        Communication rounds until every ball was allocated.
+    max_load:
+        Maximum final bin load.
+    loads:
+        Final per-bin loads.
+    unallocated_trace:
+        Number of still-unallocated balls after each round (strictly
+        decreasing to zero; its length equals ``rounds``).
+    """
+
+    rounds: int
+    max_load: int
+    loads: np.ndarray
+    unallocated_trace: tuple[int, ...]
+
+
+def threshold_allocate(
+    m: int,
+    n: int,
+    threshold: int = 1,
+    rng=None,
+    max_rounds: int = 10_000,
+) -> ThresholdResult:
+    """Run THRESHOLD[T] until all ``m`` balls are allocated.
+
+    Parameters
+    ----------
+    m:
+        Number of balls.
+    n:
+        Number of bins.
+    threshold:
+        Per-round acceptance cap T per bin.
+    max_rounds:
+        Safety limit; exceeding it raises :class:`SimulationError` (for
+        sensible parameters termination takes ~ln ln n rounds).
+    """
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if n < 1:
+        raise ConfigurationError(f"need at least one bin, got n={n}")
+    if threshold < 1:
+        raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+    generator = resolve_rng(rng, "threshold")
+
+    loads = np.zeros(n, dtype=np.int64)
+    unallocated = m
+    trace: list[int] = []
+    rounds = 0
+    while unallocated > 0:
+        if rounds >= max_rounds:
+            raise SimulationError(
+                f"THRESHOLD[{threshold}] did not terminate within {max_rounds} rounds "
+                f"({unallocated} balls left)"
+            )
+        rounds += 1
+        requests = np.bincount(generator.integers(0, n, size=unallocated), minlength=n)
+        accepted = np.minimum(requests, threshold)
+        loads += accepted
+        unallocated -= int(accepted.sum())
+        trace.append(unallocated)
+
+    return ThresholdResult(
+        rounds=rounds,
+        max_load=int(loads.max()) if n else 0,
+        loads=loads,
+        unallocated_trace=tuple(trace),
+    )

@@ -1,0 +1,113 @@
+"""Empirical negative-association diagnostics.
+
+The paper's Chernoff arguments apply to *negatively associated* indicator
+families — the empty-bins indicators of Dubhashi & Ranjan ("Balls and bins:
+a study in negative dependence", cited as [13]). Negative association is a
+strong property; a cheap necessary condition that simulations can verify is
+non-positive pairwise covariance of every increasing function pair, and in
+particular of the indicators themselves.
+
+These helpers estimate pairwise indicator covariances from repeated trials
+and are used by the test suite to confirm that the indicator families the
+proofs rely on (empty bins per round, failed deletion attempts) behave as
+the citations assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PairwiseCovarianceReport", "pairwise_covariance_report", "empty_bin_indicators"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseCovarianceReport:
+    """Summary of estimated pairwise covariances of indicator variables.
+
+    Attributes
+    ----------
+    max_covariance:
+        Largest off-diagonal covariance estimate.
+    mean_covariance:
+        Mean off-diagonal covariance (negative for NA families).
+    pairs:
+        Number of variable pairs considered.
+    trials:
+        Number of independent trials used for estimation.
+    tolerance:
+        Sampling-noise allowance used by :meth:`consistent_with_na`.
+    """
+
+    max_covariance: float
+    mean_covariance: float
+    pairs: int
+    trials: int
+    tolerance: float
+
+    def consistent_with_na(self) -> bool:
+        """Whether the estimates are consistent with negative association.
+
+        True when no pairwise covariance exceeds the sampling tolerance
+        (NA implies every pairwise covariance is ≤ 0).
+        """
+        return self.max_covariance <= self.tolerance
+
+
+def pairwise_covariance_report(
+    trials_matrix: np.ndarray,
+    tolerance: float | None = None,
+) -> PairwiseCovarianceReport:
+    """Estimate pairwise covariances from a (trials × variables) 0/1 matrix.
+
+    Parameters
+    ----------
+    trials_matrix:
+        One row per independent trial, one column per indicator variable.
+    tolerance:
+        Noise allowance for :meth:`PairwiseCovarianceReport.consistent_with_na`;
+        defaults to ``4/√trials`` (several standard errors of a covariance
+        of bounded variables).
+    """
+    data = np.asarray(trials_matrix, dtype=float)
+    if data.ndim != 2 or data.shape[0] < 2 or data.shape[1] < 2:
+        raise ValueError("need a (trials >= 2) x (variables >= 2) matrix")
+    trials, variables = data.shape
+    covariance = np.cov(data, rowvar=False)
+    off_diagonal = covariance[~np.eye(variables, dtype=bool)]
+    if tolerance is None:
+        tolerance = 4.0 / np.sqrt(trials)
+    return PairwiseCovarianceReport(
+        max_covariance=float(off_diagonal.max()),
+        mean_covariance=float(off_diagonal.mean()),
+        pairs=variables * (variables - 1) // 2,
+        trials=trials,
+        tolerance=float(tolerance),
+    )
+
+
+def empty_bin_indicators(
+    n: int,
+    balls: int,
+    trials: int,
+    rng: np.random.Generator,
+    bins_to_watch: int | None = None,
+) -> np.ndarray:
+    """Sample the empty-bin indicator family of Dubhashi & Ranjan.
+
+    Throws ``balls`` balls into ``n`` bins ``trials`` times and returns the
+    (trials × watched-bins) 0/1 matrix of "bin i received no ball". This is
+    exactly the family whose negative association justifies the Chernoff
+    application in Lemma 2.
+    """
+    if n < 2:
+        raise ValueError(f"need at least two bins, got {n}")
+    if balls < 0 or trials < 1:
+        raise ValueError("balls must be >= 0 and trials >= 1")
+    watch = n if bins_to_watch is None else min(bins_to_watch, n)
+    out = np.empty((trials, watch), dtype=np.int8)
+    for trial in range(trials):
+        loads = np.bincount(rng.integers(0, n, size=balls), minlength=n)
+        out[trial] = (loads[:watch] == 0).astype(np.int8)
+    return out

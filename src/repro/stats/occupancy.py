@@ -1,0 +1,53 @@
+"""Occupancy formulas for balls-into-bins rounds.
+
+The analysis repeatedly uses the probability that a given bin receives no
+ball when ``m`` balls are thrown uniformly into ``n`` bins:
+``(1 − 1/n)^m ≤ e^{−m/n}``. These helpers evaluate the exact and asymptotic
+versions and the implied expected numbers of empty/occupied bins, which the
+theory module and several tests compare against simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["miss_probability", "expected_empty_bins", "expected_occupied_bins"]
+
+
+def miss_probability(n: int, balls: int, exact: bool = True) -> float:
+    """Probability that a fixed bin receives none of ``balls`` throws.
+
+    Parameters
+    ----------
+    n:
+        Number of bins.
+    balls:
+        Number of balls thrown independently and uniformly.
+    exact:
+        If True (default) return ``(1 − 1/n)^balls``; otherwise the
+        exponential upper bound ``e^{−balls/n}`` used throughout the proofs.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if balls < 0:
+        raise ValueError(f"balls must be non-negative, got {balls}")
+    if exact:
+        if n == 1:
+            return 0.0 if balls > 0 else 1.0
+        return (1.0 - 1.0 / n) ** balls
+    return math.exp(-balls / n)
+
+
+def expected_empty_bins(n: int, balls: int, exact: bool = True) -> float:
+    """Expected number of empty bins after throwing ``balls`` balls."""
+    return n * miss_probability(n, balls, exact=exact)
+
+
+def expected_occupied_bins(n: int, balls: int, exact: bool = True) -> float:
+    """Expected number of bins that receive at least one ball.
+
+    This equals the expected number of *successful deletion attempts* in a
+    round of CAPPED(1, λ) in which ``balls`` balls are thrown (paper,
+    Section III-A).
+    """
+    return n - expected_empty_bins(n, balls, exact=exact)

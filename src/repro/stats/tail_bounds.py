@@ -1,0 +1,132 @@
+"""Tail bounds from the paper's Appendix A.
+
+These closed-form bounds are what the proofs of Theorems 1 and 2 are built
+on. We implement them both as documentation-in-code and because the
+:mod:`repro.core.theory` module and several tests use them to compute the
+paper's probability guarantees for concrete parameter choices.
+
+* Lemma 8 — the ``2^{-R}`` Chernoff variant (Aspnes' notes, based on
+  Mitzenmacher–Upfal Thm 4.4): for independent Bernoulli sum ``X`` and any
+  ``R ≥ 2e·E[X]``, ``Pr[X ≥ R] ≤ 2^{-R}``.
+* Lemma 9 — multiplicative Chernoff:
+  ``Pr[X ≥ (1+δ)μ] ≤ exp(-δ²μ / (2+δ))``.
+* Lemma 10 — concentration of the number of empty bins (Motwani–Raghavan
+  Thm 4.18): ``Pr[|Z − E[Z]| ≥ λ] ≤ 2·exp(−λ²(n−1/2)/(n²−E[Z]²))``.
+* Lemma 11 — domination of adaptively-bounded indicator sums by a binomial
+  (Azar et al., Lemma 3.1); we expose the resulting binomial tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_2exp_bound",
+    "chernoff_multiplicative_bound",
+    "empty_bins_concentration",
+    "binomial_domination_tail",
+    "binomial_tail_upper",
+]
+
+
+def chernoff_2exp_bound(mean: float, threshold: float) -> float:
+    """Lemma 8: bound ``Pr[X ≥ R] ≤ 2^{-R}`` for ``R ≥ 2e·E[X]``.
+
+    Parameters
+    ----------
+    mean:
+        ``E[X]`` for a sum of independent Bernoulli variables.
+    threshold:
+        The value ``R``.
+
+    Returns
+    -------
+    float
+        ``2^{-R}`` when the precondition ``R ≥ 2e·mean`` holds.
+
+    Raises
+    ------
+    ValueError
+        If the precondition fails (the bound is simply not applicable).
+    """
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if threshold < 2 * math.e * mean:
+        raise ValueError(
+            f"Lemma 8 requires R >= 2e*mean = {2 * math.e * mean:.6g}, got R={threshold:.6g}"
+        )
+    # 2**(-R) underflows to 0.0 for huge R, which is the correct limit.
+    try:
+        return 2.0 ** (-threshold)
+    except OverflowError:  # pragma: no cover - enormous negative exponent
+        return 0.0
+
+
+def chernoff_multiplicative_bound(mean: float, delta: float) -> float:
+    """Lemma 9: ``Pr[X ≥ (1+δ)μ] ≤ exp(−δ²μ/(2+δ))`` for ``δ > 0``."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    return math.exp(-(delta**2) * mean / (2 + delta))
+
+
+def empty_bins_concentration(n: int, expected_empty: float, deviation: float) -> float:
+    """Lemma 10: two-sided tail for the number of empty bins.
+
+    ``Pr[|Z − E[Z]| ≥ λ] ≤ 2·exp(−λ²(n−1/2)/(n²−E[Z]²))`` where ``Z`` is the
+    number of empty bins after throwing balls into ``n`` bins.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not 0 <= expected_empty <= n:
+        raise ValueError(f"expected_empty must lie in [0, {n}], got {expected_empty}")
+    if deviation <= 0:
+        raise ValueError(f"deviation must be positive, got {deviation}")
+    denominator = n * n - expected_empty * expected_empty
+    if denominator <= 0:
+        # Every bin is (expected to be) empty; Z is deterministic.
+        return 0.0
+    return min(1.0, 2.0 * math.exp(-(deviation**2) * (n - 0.5) / denominator))
+
+
+def binomial_tail_upper(trials: int, p: float, threshold: int) -> float:
+    """Exact upper tail ``Pr[B(trials, p) ≥ threshold]``.
+
+    Computed by direct summation with running-product PMF updates. Used as
+    the right-hand side of Lemma 11.
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if threshold <= 0:
+        return 1.0
+    if threshold > trials:
+        return 0.0
+    if p == 0.0:
+        return 0.0
+    if p == 1.0:
+        return 1.0
+    # Work in log space to stay stable for large `trials`.
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    log_pmf = trials * log_q  # Pr[B = 0]
+    total = 0.0
+    for k in range(trials + 1):
+        if k >= threshold:
+            total += math.exp(log_pmf)
+        if k < trials:
+            log_pmf += math.log(trials - k) - math.log(k + 1) + log_p - log_q
+    return min(1.0, total)
+
+
+def binomial_domination_tail(trials: int, p: float, threshold: int) -> float:
+    """Lemma 11: tail bound for adaptively bounded indicator sums.
+
+    If ``Y_1..Y_n`` are binary with ``Pr[Y_i = 1 | history] ≤ p``, then
+    ``Pr[ΣY_i ≥ k] ≤ Pr[B(n, p) ≥ k]``. This helper simply evaluates the
+    binomial right-hand side; it is the quantity used in layered-induction
+    arguments such as Lemma 5.
+    """
+    return binomial_tail_upper(trials, p, threshold)

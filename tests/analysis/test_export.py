@@ -1,0 +1,56 @@
+"""Unit tests for JSON export of experiment results."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.export import (
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_result,
+)
+
+
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="sample",
+        title="Sample",
+        profile="quick",
+        columns=["c", "pool/n"],
+        rows=[{"c": 1, "pool/n": 0.5}, {"c": 2, "pool/n": 0.25}],
+        notes=["a note"],
+        verdicts={"check": True},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        original = sample_result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.experiment_id == original.experiment_id
+        assert restored.rows == original.rows
+        assert restored.notes == original.notes
+        assert restored.verdicts == original.verdicts
+        assert restored.columns == original.columns
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_result(sample_result(), tmp_path / "nested" / "dir")
+        assert path.name == "sample.json"
+        restored = load_result(path)
+        assert restored.rows == sample_result().rows
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(KeyError):
+            result_from_json('{"experiment_id": "x"}')
+
+    def test_optional_fields_default(self):
+        text = (
+            '{"experiment_id": "x", "title": "T", "profile": "p",'
+            ' "columns": ["a"], "rows": []}'
+        )
+        restored = result_from_json(text)
+        assert restored.notes == []
+        assert restored.verdicts == {}
+
+    def test_json_is_stable(self):
+        assert result_to_json(sample_result()) == result_to_json(sample_result())

@@ -1,0 +1,43 @@
+"""Unit tests for ASCII plots."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot({})
+        assert "(no data)" in ascii_plot({"a": []})
+
+    def test_title_and_legend(self):
+        text = ascii_plot({"mine": [(0, 0), (1, 1)]}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "o mine" in text
+
+    def test_axis_ranges_reported(self):
+        text = ascii_plot({"s": [(0, 5), (10, 20)]}, x_label="c", y_label="wait")
+        assert "c: [0, 10]" in text
+        assert "wait: [5, 20]" in text
+
+    def test_markers_differ_between_series(self):
+        text = ascii_plot({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "o a" in text and "x b" in text
+
+    def test_canvas_dimensions(self):
+        text = ascii_plot({"a": [(0, 0), (1, 1)]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(rows) == 5
+        assert all(len(row) == 21 for row in rows)
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"flat": [(0, 3), (1, 3), (2, 3)]})
+        assert "flat" in text
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_non_finite_points_skipped(self):
+        text = ascii_plot({"a": [(0, 1), (1, float("nan")), (2, 2)]})
+        assert "a" in text

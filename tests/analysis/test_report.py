@@ -1,0 +1,73 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.report import render_markdown, write_report
+
+
+def result_with(verdicts=None, rows=None):
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo experiment",
+        profile="quick",
+        columns=["c", "pool/n"],
+        rows=rows if rows is not None else [{"c": 1, "pool/n": 0.5}, {"c": 2, "pool/n": 0.25}],
+        notes=["a note"],
+        verdicts=verdicts if verdicts is not None else {"shape holds": True},
+    )
+
+
+class TestRenderMarkdown:
+    def test_requires_results(self):
+        with pytest.raises(ValueError):
+            render_markdown([])
+
+    def test_contains_title_summary_and_section(self):
+        text = render_markdown([result_with()], title="My Report")
+        assert text.startswith("# My Report")
+        assert "## Verdicts" in text
+        assert "## demo — Demo experiment" in text
+        assert "1/1 pass" in text
+
+    def test_markdown_table_rendering(self):
+        text = render_markdown([result_with()])
+        assert "| c | pool/n |" in text
+        assert "| 1 | 0.5 |" in text
+
+    def test_notes_and_verdicts_rendered(self):
+        text = render_markdown([result_with()])
+        assert "> note: a note" in text
+        assert "> check **shape holds**: PASS" in text
+
+    def test_failed_verdicts_bolded_in_summary(self):
+        text = render_markdown([result_with(verdicts={"x": False})])
+        assert "**0/1 pass**" in text
+        assert "FAIL" in text
+
+    def test_plots_included_by_default(self):
+        text = render_markdown([result_with()])
+        assert "```" in text
+
+    def test_plots_can_be_disabled(self):
+        text = render_markdown([result_with()], include_plots=False)
+        assert "```" not in text
+
+    def test_result_without_verdicts_shows_dash(self):
+        text = render_markdown([result_with(verdicts={})])
+        assert "| demo | quick | — |" in text
+
+    def test_non_numeric_rows_skip_plot(self):
+        result = ExperimentResult(
+            experiment_id="x", title="T", profile="p",
+            columns=["name"], rows=[{"name": "abc"}],
+        )
+        text = render_markdown([result])
+        assert "```" not in text
+
+
+class TestWriteReport:
+    def test_writes_file_with_parents(self, tmp_path):
+        path = write_report([result_with()], tmp_path / "deep" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")

@@ -1,0 +1,53 @@
+"""Unit tests for table formatting and CSV export."""
+
+from repro.analysis.tables import format_table, to_csv
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1}, {"name": "long-name", "value": 22}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_keys_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.1235" in text
+
+
+class TestToCsv:
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+    def test_basic(self):
+        csv = to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert csv.splitlines() == ["a,b", "1,x", "2,y"]
+
+    def test_quoting(self):
+        csv = to_csv([{"a": "hello, world", "b": 'say "hi"'}])
+        assert '"hello, world"' in csv
+        assert '"say ""hi"""' in csv
+
+    def test_column_order(self):
+        csv = to_csv([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert csv.splitlines()[0] == "b,a"

@@ -1,0 +1,64 @@
+"""Unit tests for Ball and BallIdAllocator."""
+
+import pytest
+
+from repro.balls.ball import Ball, BallIdAllocator
+
+
+class TestBall:
+    def test_age_is_round_minus_label(self):
+        assert Ball(label=3, serial=0).age(10) == 7
+
+    def test_age_zero_in_generation_round(self):
+        assert Ball(label=5, serial=1).age(5) == 0
+
+    def test_age_before_generation_rejected(self):
+        with pytest.raises(ValueError):
+            Ball(label=5, serial=0).age(4)
+
+    def test_ordering_prefers_older_balls(self):
+        older = Ball(label=1, serial=9)
+        newer = Ball(label=2, serial=0)
+        assert older < newer
+
+    def test_ordering_ties_broken_by_serial(self):
+        first = Ball(label=1, serial=0)
+        second = Ball(label=1, serial=1)
+        assert first < second
+
+    def test_sorted_is_oldest_first(self):
+        balls = [Ball(3, 0), Ball(1, 5), Ball(2, 2), Ball(1, 1)]
+        ordered = sorted(balls)
+        assert [(b.label, b.serial) for b in ordered] == [(1, 1), (1, 5), (2, 2), (3, 0)]
+
+    def test_hashable_and_frozen(self):
+        ball = Ball(label=1, serial=2)
+        assert ball in {ball}
+        with pytest.raises(AttributeError):
+            ball.label = 9  # type: ignore[misc]
+
+
+class TestBallIdAllocator:
+    def test_serials_unique_and_increasing(self):
+        alloc = BallIdAllocator()
+        serials = [alloc.make(label=0).serial for _ in range(10)]
+        assert serials == sorted(set(serials))
+
+    def test_make_batch_size(self):
+        alloc = BallIdAllocator()
+        batch = alloc.make_batch(label=4, size=7)
+        assert len(batch) == 7
+        assert all(b.label == 4 for b in batch)
+
+    def test_make_batch_continues_serials(self):
+        alloc = BallIdAllocator()
+        first = alloc.make_batch(label=0, size=3)
+        second = alloc.make_batch(label=1, size=3)
+        assert {b.serial for b in first}.isdisjoint(b.serial for b in second)
+
+    def test_make_batch_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            BallIdAllocator().make_batch(label=0, size=-1)
+
+    def test_empty_batch(self):
+        assert BallIdAllocator().make_batch(label=0, size=0) == []

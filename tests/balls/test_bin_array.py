@@ -1,0 +1,104 @@
+"""Unit tests for the vectorised BinArray."""
+
+import numpy as np
+import pytest
+
+from repro.balls.bin_array import BinArray
+from repro.errors import ConfigurationError, InvariantViolation
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        bins = BinArray(n=4, capacity=2)
+        assert bins.total_load == 0
+        assert bins.loads.tolist() == [0, 0, 0, 0]
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ConfigurationError):
+            BinArray(n=0, capacity=1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BinArray(n=4, capacity=0)
+
+    def test_none_capacity_is_unbounded(self):
+        bins = BinArray(n=2, capacity=None)
+        accepted = bins.accept(np.array([10**6, 0]))
+        assert accepted[0] == 10**6
+
+
+class TestAccept:
+    def test_caps_at_capacity(self):
+        bins = BinArray(n=3, capacity=2)
+        accepted = bins.accept(np.array([5, 1, 0]))
+        assert accepted.tolist() == [2, 1, 0]
+        assert bins.loads.tolist() == [2, 1, 0]
+
+    def test_respects_existing_load(self):
+        bins = BinArray(n=2, capacity=3)
+        bins.accept(np.array([2, 0]))
+        accepted = bins.accept(np.array([5, 5]))
+        assert accepted.tolist() == [1, 3]
+
+    def test_shape_mismatch_rejected(self):
+        bins = BinArray(n=3, capacity=1)
+        with pytest.raises(ValueError):
+            bins.accept(np.array([1, 2]))
+
+    def test_free_slots(self):
+        bins = BinArray(n=2, capacity=3)
+        bins.accept(np.array([1, 3]))
+        assert bins.free_slots().tolist() == [2, 0]
+
+
+class TestDeletion:
+    def test_delete_one_each_decrements_nonempty(self):
+        bins = BinArray(n=3, capacity=2)
+        bins.accept(np.array([2, 1, 0]))
+        deleted = bins.delete_one_each()
+        assert deleted == 2
+        assert bins.loads.tolist() == [1, 0, 0]
+
+    def test_delete_on_empty_bins_is_zero(self):
+        bins = BinArray(n=3, capacity=2)
+        assert bins.delete_one_each() == 0
+
+    def test_loads_never_negative(self):
+        bins = BinArray(n=2, capacity=1)
+        bins.accept(np.array([1, 0]))
+        bins.delete_one_each()
+        bins.delete_one_each()
+        assert bins.loads.min() == 0
+
+
+class TestAccounting:
+    def test_peak_load(self):
+        bins = BinArray(n=2, capacity=5)
+        bins.accept(np.array([4, 1]))
+        bins.delete_one_each()
+        assert bins.peak_load == 4
+
+    def test_totals(self):
+        bins = BinArray(n=2, capacity=2)
+        bins.accept(np.array([3, 1]))  # one rejected
+        bins.delete_one_each()
+        assert bins.total_accepted == 3
+        assert bins.total_deleted == 2
+
+    def test_reset(self):
+        bins = BinArray(n=2, capacity=2)
+        bins.accept(np.array([1, 1]))
+        bins.reset()
+        assert bins.total_load == 0
+
+    def test_check_invariants_detects_overload(self):
+        bins = BinArray(n=2, capacity=1)
+        bins.loads[0] = 5  # simulate corruption
+        with pytest.raises(InvariantViolation):
+            bins.check_invariants()
+
+    def test_check_invariants_detects_negative(self):
+        bins = BinArray(n=2, capacity=1)
+        bins.loads[1] = -1
+        with pytest.raises(InvariantViolation):
+            bins.check_invariants()

@@ -1,0 +1,132 @@
+"""Unit tests for the bounded FIFO BinBuffer."""
+
+import math
+
+import pytest
+
+from repro.balls.ball import Ball
+from repro.balls.buffer import BinBuffer
+from repro.errors import CapacityExceeded, ConfigurationError
+
+
+def balls(*labels: int) -> list[Ball]:
+    return [Ball(label=label, serial=i) for i, label in enumerate(labels)]
+
+
+class TestConstruction:
+    def test_default_capacity_is_infinite(self):
+        assert BinBuffer().capacity == math.inf
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BinBuffer(capacity=0)
+
+    def test_rejects_fractional_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BinBuffer(capacity=1.5)
+
+    def test_rejects_bool_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BinBuffer(capacity=True)
+
+
+class TestAccept:
+    def test_accepts_up_to_capacity(self):
+        buffer = BinBuffer(capacity=2)
+        assert buffer.accept(balls(1, 1, 1)) == 2
+        assert buffer.load == 2
+
+    def test_accepts_all_when_room(self):
+        buffer = BinBuffer(capacity=5)
+        assert buffer.accept(balls(1, 2)) == 2
+
+    def test_prefers_oldest_requests(self):
+        buffer = BinBuffer(capacity=1)
+        buffer.accept([Ball(5, 0), Ball(2, 1), Ball(7, 2)])
+        assert buffer.peek().label == 2
+
+    def test_full_buffer_accepts_nothing(self):
+        buffer = BinBuffer(capacity=1)
+        buffer.accept(balls(1))
+        assert buffer.accept(balls(2)) == 0
+
+    def test_infinite_capacity_accepts_everything(self):
+        buffer = BinBuffer()
+        assert buffer.accept(balls(*range(100))) == 100
+
+    def test_accept_empty_request_set(self):
+        buffer = BinBuffer(capacity=2)
+        assert buffer.accept([]) == 0
+
+
+class TestFifo:
+    def test_delete_first_returns_oldest_inserted(self):
+        buffer = BinBuffer(capacity=3)
+        buffer.accept([Ball(1, 0)])
+        buffer.accept([Ball(2, 1)])
+        assert buffer.delete_first().label == 1
+        assert buffer.delete_first().label == 2
+
+    def test_delete_from_empty_returns_none(self):
+        assert BinBuffer(capacity=1).delete_first() is None
+
+    def test_iteration_in_fifo_order(self):
+        buffer = BinBuffer(capacity=3)
+        buffer.accept(balls(3, 1, 2))
+        assert [b.label for b in buffer] == [1, 2, 3]
+
+    def test_within_round_acceptance_is_oldest_first_in_queue(self):
+        buffer = BinBuffer(capacity=3)
+        buffer.accept([Ball(9, 0), Ball(4, 1), Ball(6, 2)])
+        assert [b.label for b in buffer] == [4, 6, 9]
+
+
+class TestPush:
+    def test_push_appends(self):
+        buffer = BinBuffer(capacity=2)
+        buffer.push(Ball(1, 0))
+        assert buffer.load == 1
+
+    def test_push_full_raises(self):
+        buffer = BinBuffer(capacity=1)
+        buffer.push(Ball(1, 0))
+        with pytest.raises(CapacityExceeded):
+            buffer.push(Ball(1, 1))
+
+
+class TestAccounting:
+    def test_free_slots(self):
+        buffer = BinBuffer(capacity=3)
+        buffer.accept(balls(1))
+        assert buffer.free_slots == 2
+
+    def test_peak_load_tracks_maximum(self):
+        buffer = BinBuffer(capacity=3)
+        buffer.accept(balls(1, 1, 1))
+        buffer.delete_first()
+        buffer.delete_first()
+        assert buffer.peak_load == 3
+        assert buffer.load == 1
+
+    def test_totals(self):
+        buffer = BinBuffer(capacity=2)
+        buffer.accept(balls(1, 1, 1))  # one rejected
+        buffer.delete_first()
+        assert buffer.total_accepted == 2
+        assert buffer.total_deleted == 1
+
+    def test_clear_empties(self):
+        buffer = BinBuffer(capacity=2)
+        buffer.accept(balls(1, 2))
+        buffer.clear()
+        assert buffer.load == 0
+
+    def test_len_matches_load(self):
+        buffer = BinBuffer(capacity=4)
+        buffer.accept(balls(1, 2, 3))
+        assert len(buffer) == buffer.load == 3
+
+    def test_check_invariants_passes_on_valid_state(self):
+        buffer = BinBuffer(capacity=2)
+        buffer.accept(balls(1, 2))
+        buffer.check_invariants()

@@ -1,0 +1,61 @@
+"""Property-based tests for BinBuffer (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.balls.ball import Ball
+from repro.balls.buffer import BinBuffer
+
+ball_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=10**6)),
+    max_size=40,
+).map(lambda pairs: [Ball(label, serial) for serial, (label, _) in enumerate(pairs)])
+
+capacities = st.integers(min_value=1, max_value=8)
+
+
+@given(capacities, ball_lists)
+def test_load_never_exceeds_capacity(capacity, offered):
+    buffer = BinBuffer(capacity=capacity)
+    accepted = buffer.accept(offered)
+    assert accepted == min(capacity, len(offered))
+    assert buffer.load <= capacity
+    buffer.check_invariants()
+
+
+@given(capacities, ball_lists)
+def test_accepted_are_the_oldest(capacity, offered):
+    buffer = BinBuffer(capacity=capacity)
+    buffer.accept(offered)
+    stored = sorted(buffer)
+    expected = sorted(offered)[: min(capacity, len(offered))]
+    assert stored == expected
+
+
+@given(capacities, ball_lists, ball_lists)
+def test_fifo_deletion_order_respects_acceptance_rounds(capacity, first, second):
+    buffer = BinBuffer(capacity=capacity)
+    # Disjoint serial ranges so batch membership is identifiable.
+    second = [Ball(b.label, b.serial + 10**7) for b in second]
+    took_first = buffer.accept(first)
+    buffer.delete_first()
+    buffer.accept(second)
+    drained = []
+    while (ball := buffer.delete_first()) is not None:
+        drained.append(ball)
+    # FIFO across rounds: every surviving first-batch ball leaves before
+    # any second-batch ball.
+    batch_tags = [0 if b.serial < 10**7 else 1 for b in drained]
+    assert batch_tags == sorted(batch_tags)
+    assert took_first <= capacity
+
+
+@given(capacities, st.lists(ball_lists, max_size=6))
+def test_conservation_accepted_equals_deleted_plus_stored(capacity, batches):
+    buffer = BinBuffer(capacity=capacity)
+    deleted = 0
+    for batch in batches:
+        buffer.accept(batch)
+        if buffer.delete_first() is not None:
+            deleted += 1
+    assert buffer.total_accepted == deleted + buffer.load

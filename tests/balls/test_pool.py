@@ -1,0 +1,137 @@
+"""Unit tests for the age-bucketed pool."""
+
+import pytest
+
+from repro.balls.pool import AgePool
+from repro.errors import InvariantViolation
+
+
+class TestBasics:
+    def test_new_pool_is_empty(self):
+        pool = AgePool()
+        assert pool.size == 0
+        assert not pool
+        assert pool.oldest_label is None
+
+    def test_add_and_size(self):
+        pool = AgePool()
+        pool.add(1, 5)
+        pool.add(2, 3)
+        assert pool.size == 8
+        assert len(pool) == 8
+
+    def test_add_zero_is_noop(self):
+        pool = AgePool()
+        pool.add(1, 0)
+        assert pool.num_buckets == 0
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AgePool().add(1, -1)
+
+    def test_add_merges_same_label(self):
+        pool = AgePool()
+        pool.add(3, 2)
+        pool.add(3, 4)
+        assert pool.count(3) == 6
+        assert pool.num_buckets == 1
+
+    def test_count_of_missing_label(self):
+        assert AgePool().count(7) == 0
+
+
+class TestOrdering:
+    def test_buckets_oldest_first(self):
+        pool = AgePool()
+        pool.add(1, 1)
+        pool.add(5, 2)
+        pool.add(9, 3)
+        assert list(pool.buckets()) == [(1, 1), (5, 2), (9, 3)]
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        pool = AgePool()
+        pool.add(5, 1)
+        pool.add(2, 1)
+        pool.add(3, 1)
+        assert pool.labels() == [2, 3, 5]
+        pool.check_invariants()
+
+    def test_oldest_label(self):
+        pool = AgePool()
+        pool.add(4, 1)
+        pool.add(2, 1)
+        assert pool.oldest_label == 2
+
+    def test_max_age(self):
+        pool = AgePool()
+        pool.add(3, 1)
+        assert pool.max_age(10) == 7
+
+    def test_max_age_empty_pool(self):
+        assert AgePool().max_age(10) == 0
+
+
+class TestRemoval:
+    def test_remove_from_bucket(self):
+        pool = AgePool()
+        pool.add(1, 5)
+        pool.remove(1, 3)
+        assert pool.count(1) == 2
+
+    def test_remove_exhausts_bucket(self):
+        pool = AgePool()
+        pool.add(1, 2)
+        pool.add(2, 2)
+        pool.remove(1, 2)
+        assert pool.labels() == [2]
+
+    def test_remove_more_than_present_raises(self):
+        pool = AgePool()
+        pool.add(1, 2)
+        with pytest.raises(InvariantViolation):
+            pool.remove(1, 3)
+
+    def test_remove_missing_label_raises(self):
+        with pytest.raises(InvariantViolation):
+            AgePool().remove(1, 1)
+
+    def test_remove_oldest_spans_buckets(self):
+        pool = AgePool()
+        pool.add(1, 2)
+        pool.add(2, 2)
+        pool.remove_oldest(3)
+        assert list(pool.buckets()) == [(2, 1)]
+
+    def test_remove_oldest_entire_pool(self):
+        pool = AgePool()
+        pool.add(1, 4)
+        pool.remove_oldest(4)
+        assert pool.size == 0
+        assert pool.num_buckets == 0
+
+    def test_remove_oldest_overflow_raises(self):
+        pool = AgePool()
+        pool.add(1, 1)
+        with pytest.raises(InvariantViolation):
+            pool.remove_oldest(2)
+
+    def test_clear(self):
+        pool = AgePool()
+        pool.add(1, 3)
+        pool.clear()
+        assert pool.size == 0
+
+
+class TestInvariants:
+    def test_check_invariants_on_valid_pool(self):
+        pool = AgePool()
+        pool.add(1, 2)
+        pool.add(4, 1)
+        pool.check_invariants()
+
+    def test_size_cache_detects_corruption(self):
+        pool = AgePool()
+        pool.add(1, 2)
+        pool._size = 99  # simulate corruption
+        with pytest.raises(InvariantViolation):
+            pool.check_invariants()

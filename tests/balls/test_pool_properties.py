@@ -1,0 +1,74 @@
+"""Property-based tests for AgePool (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.balls.pool import AgePool
+
+# A pool operation script: add (label, count) or remove-oldest count.
+adds = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=20)),
+    max_size=30,
+)
+
+
+@given(adds)
+def test_size_equals_sum_of_adds(operations):
+    pool = AgePool()
+    total = 0
+    for label, count in operations:
+        pool.add(label, count)
+        total += count
+    assert pool.size == total
+    pool.check_invariants()
+
+
+@given(adds)
+def test_labels_always_sorted_unique(operations):
+    pool = AgePool()
+    for label, count in operations:
+        pool.add(label, count)
+    labels = pool.labels()
+    assert labels == sorted(set(labels))
+    pool.check_invariants()
+
+
+@given(adds, st.integers(min_value=0, max_value=200))
+def test_remove_oldest_removes_exactly_the_oldest(operations, to_remove):
+    pool = AgePool()
+    reference: list[int] = []
+    for label, count in operations:
+        pool.add(label, count)
+        reference.extend([label] * count)
+    reference.sort()
+    to_remove = min(to_remove, len(reference))
+    pool.remove_oldest(to_remove)
+    survivors = reference[to_remove:]
+    assert pool.size == len(survivors)
+    expected: dict[int, int] = {}
+    for label in survivors:
+        expected[label] = expected.get(label, 0) + 1
+    assert dict(pool.buckets()) == expected
+    pool.check_invariants()
+
+
+@given(adds)
+@settings(max_examples=50)
+def test_remove_is_inverse_of_add(operations):
+    pool = AgePool()
+    for label, count in operations:
+        pool.add(label, count)
+    for label, count in list(pool.buckets()):
+        pool.remove(label, count)
+    assert pool.size == 0
+    assert pool.num_buckets == 0
+
+
+@given(adds)
+def test_buckets_iteration_consistent_with_counts(operations):
+    pool = AgePool()
+    for label, count in operations:
+        pool.add(label, count)
+    for label, count in pool.buckets():
+        assert pool.count(label) == count
+        assert count > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the server farm."""
+
+import pytest
+
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import AdversarialArrivals, DeterministicArrivals
+
+
+def make_farm(policy=None, capacity=2, rate=0.5, servers=16, **kwargs):
+    return ServerFarm(
+        num_servers=servers,
+        capacity=capacity,
+        policy=policy if policy is not None else RandomPolicy(),
+        rate=rate,
+        rng=0,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ConfigurationError):
+            ServerFarm(num_servers=0, capacity=1, policy=RandomPolicy())
+
+    def test_default_workload_rate(self):
+        farm = make_farm(rate=0.5)
+        farm.step()
+        assert farm._next_id == 8  # 0.5 * 16 arrivals
+
+
+class TestDynamics:
+    def test_request_conservation(self):
+        farm = make_farm()
+        for _ in range(100):
+            farm.step()
+        queued = sum(s.queue_length for s in farm.servers)
+        assert farm._next_id == farm.completed + queued + len(farm.pending)
+        farm.check_invariants()
+
+    def test_rejects_return_to_pending(self):
+        # One server of capacity 1, three requests per tick: overflow pends.
+        workload = AdversarialArrivals(n=1, schedule=lambda t: 3 if t == 1 else 0)
+        farm = ServerFarm(
+            num_servers=1, capacity=1, policy=RandomPolicy(), workload=workload, rng=0
+        )
+        farm.step()
+        assert len(farm.pending) == 2
+
+    def test_pending_drains_when_arrivals_stop(self):
+        workload = AdversarialArrivals(n=4, schedule=lambda t: 20 if t <= 2 else 0)
+        farm = ServerFarm(
+            num_servers=4, capacity=2, policy=RandomPolicy(), workload=workload, rng=1
+        )
+        for _ in range(100):
+            farm.step()
+        assert len(farm.pending) == 0
+        assert farm.completed == 40
+
+    def test_latency_statistics(self):
+        farm = make_farm(rate=0.75)
+        stats = farm.run(300)
+        assert stats.completed > 0
+        assert 0 <= stats.mean_latency <= stats.max_latency
+        assert stats.p99_latency <= stats.max_latency
+
+    def test_run_rejects_zero_ticks(self):
+        with pytest.raises(ConfigurationError):
+            make_farm().run(0)
+
+    def test_round_robin_zero_latency_under_smooth_load(self):
+        farm = make_farm(policy=RoundRobinPolicy(), rate=0.5)
+        stats = farm.run(100)
+        assert stats.mean_latency == 0.0
+
+    def test_least_loaded_beats_random_on_latency(self):
+        random_stats = make_farm(policy=RandomPolicy(), capacity=None, rate=0.75, servers=64).run(400)
+        balanced_stats = make_farm(
+            policy=LeastLoadedPolicy(2), capacity=None, rate=0.75, servers=64
+        ).run(400)
+        assert balanced_stats.mean_latency <= random_stats.mean_latency
+
+    def test_capacity_respected(self):
+        farm = make_farm(capacity=2, rate=0.9375)
+        farm.run(200)
+        assert farm.stats().peak_queue <= 2
+
+    def test_throughput_matches_rate_in_steady_state(self):
+        farm = make_farm(rate=0.75, servers=64)
+        stats = farm.run(500)
+        assert stats.throughput == pytest.approx(0.75 * 64, rel=0.05)

@@ -1,0 +1,49 @@
+"""Tests for heterogeneous per-server capacities in the farm."""
+
+import pytest
+
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import RandomPolicy
+from repro.errors import ConfigurationError
+
+
+class TestHeterogeneousFarm:
+    def test_per_server_capacities_applied(self):
+        farm = ServerFarm(
+            num_servers=3,
+            capacity=[1, 2, None],
+            policy=RandomPolicy(),
+            rate=0.0,
+        )
+        assert farm.servers[0].capacity == 1
+        assert farm.servers[1].capacity == 2
+        assert farm.servers[2].capacity is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerFarm(num_servers=4, capacity=[1, 2], policy=RandomPolicy())
+
+    def test_mixed_farm_respects_individual_bounds(self):
+        capacities = [1] * 16 + [4] * 16
+        farm = ServerFarm(
+            num_servers=32, capacity=capacities, policy=RandomPolicy(), rate=0.875, rng=0
+        )
+        farm.run(200)
+        for server, cap in zip(farm.servers, capacities):
+            assert server.peak_queue <= cap
+        farm.check_invariants()
+
+    def test_small_servers_reject_more(self):
+        capacities = [1] * 16 + [4] * 16
+        farm = ServerFarm(
+            num_servers=32, capacity=capacities, policy=RandomPolicy(), rate=0.875, rng=1
+        )
+        farm.run(300)
+        small_rejects = sum(s.rejected for s in farm.servers[:16])
+        big_rejects = sum(s.rejected for s in farm.servers[16:])
+        assert small_rejects > big_rejects
+
+    def test_scalar_capacity_still_works(self):
+        farm = ServerFarm(num_servers=4, capacity=2, policy=RandomPolicy(), rate=0.5, rng=2)
+        farm.run(50)
+        assert all(s.capacity == 2 for s in farm.servers)

@@ -1,0 +1,76 @@
+"""Stress and workload-variation tests for the server farm."""
+
+import pytest
+
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy
+from repro.workloads.arrivals import (
+    AdversarialArrivals,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+
+
+def farm_with(workload, policy=None, capacity=3, servers=64, rng=0):
+    return ServerFarm(
+        num_servers=servers,
+        capacity=capacity,
+        policy=policy if policy is not None else RandomPolicy(),
+        workload=workload,
+        rng=rng,
+    )
+
+
+class TestWorkloadVariants:
+    def test_poisson_workload_conserves_requests(self):
+        farm = farm_with(PoissonArrivals(n=64, lam=0.5))
+        farm.run(300)
+        queued = sum(s.queue_length for s in farm.servers)
+        assert farm._next_id == farm.completed + queued + len(farm.pending)
+        farm.check_invariants()
+
+    def test_diurnal_farm_latency_tracks_the_wave(self):
+        workload = DiurnalArrivals(n=64, base=0.625, amplitude=0.375, period=64)
+        farm = farm_with(workload)
+        stats = farm.run(640)
+        assert stats.completed > 0
+        # Peaks push pending up, but the long-run rate < 1 keeps it bounded.
+        assert stats.peak_pending < 64 * 30
+
+    def test_burst_recovery_empties_pending(self):
+        workload = BurstyArrivals(
+            n=64, lam_high=1.0, lam_low=0.0, on_rounds=16, off_rounds=48
+        )
+        farm = farm_with(workload)
+        farm.run(64 * 4)
+        # At the end of a full off-phase the backlog is gone.
+        assert len(farm.pending) == 0
+
+    def test_overload_spike_sheds_into_pending_not_queues(self):
+        spike = AdversarialArrivals(n=64, schedule=lambda t: 64 * 10 if t == 1 else 0)
+        farm = farm_with(spike, capacity=2)
+        farm.step()
+        assert farm.stats().peak_queue <= 2
+        assert len(farm.pending) > 0
+
+
+class TestPolicyContrasts:
+    def test_two_probes_cut_rejections(self):
+        workload = BurstyArrivals(
+            n=64, lam_high=1.0, lam_low=0.5, on_rounds=8, off_rounds=8
+        )
+        random_farm = farm_with(workload, RandomPolicy(), rng=3)
+        balanced_farm = farm_with(workload, LeastLoadedPolicy(2), rng=3)
+        random_farm.run(400)
+        balanced_farm.run(400)
+        random_rejects = sum(s.rejected for s in random_farm.servers)
+        balanced_rejects = sum(s.rejected for s in balanced_farm.servers)
+        assert balanced_rejects < random_rejects
+
+    def test_throughputs_match_across_policies(self):
+        workload = DiurnalArrivals(n=64, base=0.5, amplitude=0.25, period=32)
+        for policy in (RandomPolicy(), LeastLoadedPolicy(2)):
+            farm = farm_with(workload, policy, rng=4)
+            stats = farm.run(320)
+            assert stats.throughput == pytest.approx(0.5 * 64, rel=0.1)

@@ -1,0 +1,59 @@
+"""Unit tests for routing policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy
+from repro.cluster.server import Request, Server
+from repro.errors import ConfigurationError
+
+
+def requests(count: int) -> list[Request]:
+    return [Request(created_tick=0, request_id=i) for i in range(count)]
+
+
+def servers(count: int, capacity=None) -> list[Server]:
+    return [Server(capacity) for _ in range(count)]
+
+
+class TestRandomPolicy:
+    def test_one_index_per_request(self, rng):
+        routed = RandomPolicy().route(requests(10), servers(4), rng)
+        assert len(routed) == 10
+        assert routed.min() >= 0 and routed.max() < 4
+
+    def test_roughly_uniform(self, rng):
+        routed = RandomPolicy().route(requests(40_000), servers(4), rng)
+        counts = np.bincount(routed, minlength=4)
+        assert counts.min() > 0.9 * counts.max()
+
+
+class TestLeastLoadedPolicy:
+    def test_rejects_zero_probes(self):
+        with pytest.raises(ConfigurationError):
+            LeastLoadedPolicy(0)
+
+    def test_prefers_empty_server(self, rng):
+        farm = servers(2)
+        farm[0].admit(requests(50))
+        routed = LeastLoadedPolicy(2).route(requests(200), farm, rng)
+        assert np.count_nonzero(routed == 1) > np.count_nonzero(routed == 0)
+
+    def test_empty_pending(self, rng):
+        routed = LeastLoadedPolicy(2).route([], servers(3), rng)
+        assert routed.size == 0
+
+
+class TestRoundRobinPolicy:
+    def test_cycles(self, rng):
+        policy = RoundRobinPolicy()
+        first = policy.route(requests(3), servers(4), rng)
+        second = policy.route(requests(3), servers(4), rng)
+        assert first.tolist() == [0, 1, 2]
+        assert second.tolist() == [3, 0, 1]
+
+    def test_cursor_wraps(self, rng):
+        policy = RoundRobinPolicy()
+        policy.route(requests(10), servers(4), rng)
+        routed = policy.route(requests(2), servers(4), rng)
+        assert routed.tolist() == [2, 3]

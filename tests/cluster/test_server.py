@@ -1,0 +1,67 @@
+"""Unit tests for Request and Server."""
+
+import pytest
+
+from repro.cluster.server import Request, Server
+from repro.errors import ConfigurationError
+
+
+class TestRequest:
+    def test_latency(self):
+        assert Request(created_tick=3, request_id=0).latency(10) == 7
+
+    def test_latency_zero_same_tick(self):
+        assert Request(created_tick=3, request_id=0).latency(3) == 0
+
+    def test_latency_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            Request(created_tick=3, request_id=0).latency(2)
+
+    def test_ordering_oldest_first(self):
+        older = Request(created_tick=1, request_id=9)
+        newer = Request(created_tick=2, request_id=0)
+        assert older < newer
+
+
+class TestServer:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Server(capacity=0)
+
+    def test_admit_up_to_capacity(self):
+        server = Server(capacity=2)
+        rejects = server.admit([Request(0, i) for i in range(4)])
+        assert server.queue_length == 2
+        assert len(rejects) == 2
+        assert server.rejected == 2
+
+    def test_admit_prefers_oldest(self):
+        server = Server(capacity=1)
+        rejects = server.admit([Request(5, 0), Request(1, 1)])
+        assert server.serve().created_tick == 1
+        assert rejects[0].created_tick == 5
+
+    def test_unbounded_accepts_all(self):
+        server = Server(capacity=None)
+        assert server.admit([Request(0, i) for i in range(100)]) == []
+
+    def test_fifo_service(self):
+        server = Server(capacity=3)
+        server.admit([Request(0, 0)])
+        server.admit([Request(1, 1)])
+        assert server.serve().request_id == 0
+        assert server.serve().request_id == 1
+        assert server.serve() is None
+
+    def test_peak_queue(self):
+        server = Server(capacity=5)
+        server.admit([Request(0, i) for i in range(4)])
+        server.serve()
+        assert server.peak_queue == 4
+
+    def test_counters(self):
+        server = Server(capacity=2)
+        server.admit([Request(0, i) for i in range(3)])
+        server.serve()
+        assert server.completed == 1
+        assert server.rejected == 1

@@ -1,0 +1,20 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import RngFactory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def factory() -> RngFactory:
+    """A deterministic RngFactory, fresh per test."""
+    return RngFactory(seed=777)

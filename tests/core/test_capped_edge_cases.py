@@ -1,0 +1,110 @@
+"""Edge-case tests for the CAPPED simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.capped import CappedProcess, ExactCappedSimulator
+from repro.engine.driver import SimulationDriver
+from repro.workloads.arrivals import AdversarialArrivals
+
+
+class TestExtremeParameters:
+    def test_lambda_at_upper_boundary(self):
+        # lambda = 1 - 1/n, the largest rate the theorems cover.
+        n = 64
+        process = CappedProcess(n=n, capacity=2, lam=1 - 1 / n, rng=0)
+        for _ in range(50):
+            record = process.step()
+            assert record.arrivals == n - 1
+        process.check_invariants()
+
+    def test_single_ball_per_round(self):
+        process = CappedProcess(n=64, capacity=1, lam=1 / 64, rng=1)
+        result = SimulationDriver(burn_in=10, measure=100).run(process)
+        # At trivial load every ball is served almost immediately.
+        assert result.avg_wait < 0.2
+        assert result.normalized_pool < 0.01
+
+    def test_huge_capacity_behaves_like_unbounded(self):
+        driver = SimulationDriver(burn_in=200, measure=200)
+        huge = driver.run(CappedProcess(n=256, capacity=10_000, lam=0.875, rng=2))
+        unbounded = driver.run(CappedProcess(n=256, capacity=None, lam=0.875, rng=2))
+        assert huge.normalized_pool == 0.0
+        assert huge.avg_wait == pytest.approx(unbounded.avg_wait, rel=0.15)
+
+    def test_two_bins(self):
+        process = CappedProcess(n=2, capacity=1, lam=0.5, rng=3)
+        for _ in range(100):
+            process.step()
+        process.check_invariants()
+
+    def test_massive_initial_pool_drains_without_overflow(self):
+        n = 32
+        process = CappedProcess(n=n, capacity=2, lam=0.0, rng=4, initial_pool=100 * n)
+        total_deleted = 0
+        for _ in range(500):
+            record = process.step()
+            total_deleted += record.deleted
+            if record.pool_size == 0 and record.total_load == 0:
+                break
+        assert total_deleted == 100 * n
+
+    def test_spiky_adversarial_arrivals(self):
+        # One huge spike then silence: conservation and recovery.
+        n = 64
+        spike = AdversarialArrivals(n=n, schedule=lambda t: 20 * n if t == 1 else 0)
+        process = CappedProcess(n=n, capacity=2, lam=0.0, rng=5, arrivals=spike)
+        for _ in range(200):
+            record = process.step()
+            process.check_invariants()
+        assert record.pool_size == 0
+
+    def test_round_counter_monotone_across_many_steps(self):
+        process = CappedProcess(n=16, capacity=1, lam=0.5, rng=6)
+        rounds = [process.step().round for _ in range(50)]
+        assert rounds == list(range(1, 51))
+
+
+class TestInjectedChoiceBoundaries:
+    def test_empty_choice_array_when_nothing_thrown(self):
+        process = CappedProcess(n=8, capacity=1, lam=0.0, rng=0)
+        record = process.step(choices=np.zeros(0, dtype=np.int64))
+        assert record.thrown == 0
+        assert record.accepted == 0
+
+    def test_all_balls_one_bin_saturates_exactly(self):
+        n, c = 8, 3
+        process = CappedProcess(n=n, capacity=c, lam=0.0, rng=0, initial_pool=10)
+        record = process.step(choices=np.full(10, 5, dtype=np.int64))
+        assert record.accepted == c
+        assert process.bins.loads[5] == c - 1  # one deleted at round end
+
+    def test_perfectly_spread_choices_all_accepted(self):
+        n = 8
+        process = CappedProcess(n=n, capacity=1, lam=0.0, rng=0, initial_pool=n)
+        record = process.step(choices=np.arange(n, dtype=np.int64))
+        assert record.accepted == n
+        assert record.deleted == n
+        assert record.pool_size == 0
+
+
+class TestExactSimulatorEdges:
+    def test_zero_arrival_rounds(self):
+        exact = ExactCappedSimulator(n=4, capacity=1, lam=0.0, rng=0)
+        for _ in range(5):
+            record = exact.step()
+        assert record.thrown == 0
+
+    def test_drain_on_empty_system_is_immediate(self):
+        exact = ExactCappedSimulator(n=4, capacity=1, lam=0.5, rng=1)
+        assert exact.drain() == []
+
+    def test_serial_uniqueness_across_rounds(self):
+        exact = ExactCappedSimulator(n=4, capacity=2, lam=0.5, rng=2)
+        serials = set()
+        for _ in range(20):
+            exact.step()
+            for ball in exact.pool:
+                assert ball.serial not in serials or True
+        all_serials = [b.serial for b in exact.pool]
+        assert len(all_serials) == len(set(all_serials))

@@ -1,0 +1,65 @@
+"""Unit tests for checkpoint/restore of the CAPPED process."""
+
+import pytest
+
+from repro.core.capped import CappedProcess
+
+
+def run_and_record(process, rounds):
+    return [
+        (r.pool_size, r.accepted, r.deleted, r.max_load)
+        for r in (process.step() for _ in range(rounds))
+    ]
+
+
+class TestCheckpointing:
+    def test_restore_resumes_identical_trajectory(self):
+        process = CappedProcess(n=64, capacity=2, lam=0.75, rng=1)
+        run_and_record(process, 20)
+        snapshot = process.get_state()
+        original = run_and_record(process, 30)
+
+        fresh = CappedProcess(n=64, capacity=2, lam=0.75, rng=999)
+        fresh.set_state(snapshot)
+        replayed = run_and_record(fresh, 30)
+        assert replayed == original
+
+    def test_restore_same_process_rewinds(self):
+        process = CappedProcess(n=32, capacity=1, lam=0.5, rng=2)
+        run_and_record(process, 10)
+        snapshot = process.get_state()
+        first = run_and_record(process, 15)
+        process.set_state(snapshot)
+        second = run_and_record(process, 15)
+        assert first == second
+
+    def test_snapshot_is_deep(self):
+        process = CappedProcess(n=16, capacity=2, lam=0.5, rng=3)
+        run_and_record(process, 5)
+        snapshot = process.get_state()
+        before = list(snapshot["bins"]["loads"])
+        run_and_record(process, 5)
+        assert snapshot["bins"]["loads"] == before
+
+    def test_round_counter_restored(self):
+        process = CappedProcess(n=16, capacity=1, lam=0.5, rng=4)
+        run_and_record(process, 7)
+        snapshot = process.get_state()
+        run_and_record(process, 5)
+        process.set_state(snapshot)
+        assert process.round == 7
+
+    def test_mismatched_n_rejected(self):
+        small = CappedProcess(n=8, capacity=1, lam=0.5, rng=5)
+        small.step()
+        big = CappedProcess(n=16, capacity=1, lam=0.5, rng=5)
+        with pytest.raises(ValueError):
+            big.set_state(small.get_state())
+
+    def test_pool_ages_survive_roundtrip(self):
+        process = CappedProcess(n=8, capacity=1, lam=0.5, rng=6, initial_pool=12)
+        run_and_record(process, 3)
+        snapshot = process.get_state()
+        restored = CappedProcess(n=8, capacity=1, lam=0.5, rng=0)
+        restored.set_state(snapshot)
+        assert list(restored.pool.buckets()) == list(process.pool.buckets())

@@ -1,0 +1,100 @@
+"""Unit tests for the transient fluid trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.core import fluid
+from repro.core.meanfield import equilibrium
+from repro.errors import ConfigurationError
+
+
+class TestIntegrate:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fluid.integrate(c=0, lam=0.5, rounds=10)
+        with pytest.raises(ConfigurationError):
+            fluid.integrate(c=1, lam=1.0, rounds=10)
+        with pytest.raises(ConfigurationError):
+            fluid.integrate(c=1, lam=0.5, rounds=0)
+        with pytest.raises(ConfigurationError):
+            fluid.integrate(c=1, lam=0.5, rounds=5, initial_pool=-1.0)
+        with pytest.raises(ConfigurationError):
+            fluid.integrate(c=1, lam=0.5, rounds=5, initial_loads=np.array([0.5, 0.6]))
+
+    def test_lengths(self):
+        trajectory = fluid.integrate(c=2, lam=0.5, rounds=25)
+        assert trajectory.rounds == 25
+        assert len(trajectory.pool) == 26
+        assert len(trajectory.accept_rate) == 25
+
+    def test_cold_start_monotone_fill(self):
+        trajectory = fluid.integrate(c=1, lam=0.75, rounds=100)
+        diffs = np.diff(trajectory.pool)
+        assert np.all(diffs >= -1e-12)
+
+    def test_converges_to_equilibrium(self):
+        for c, lam in ((1, 0.75), (3, 0.9375)):
+            trajectory = fluid.integrate(c=c, lam=lam, rounds=2000)
+            assert trajectory.pool[-1] == pytest.approx(
+                equilibrium(c, lam).normalized_pool, rel=1e-3
+            )
+
+    def test_spike_drains_at_lemma3_rate(self):
+        # Large pool: balls accepted per bin ≈ 1 − e^{−ν/n} ≈ 1, so the
+        # pool should shed ≈ (1 − λ) per round initially.
+        trajectory = fluid.integrate(c=1, lam=0.5, rounds=5, initial_pool=6.0)
+        first_drop = trajectory.pool[0] - trajectory.pool[1]
+        assert first_drop == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_lambda_empties(self):
+        trajectory = fluid.integrate(c=2, lam=0.0, rounds=50, initial_pool=3.0)
+        assert trajectory.pool[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_rounds_to_reach(self):
+        trajectory = fluid.integrate(c=1, lam=0.75, rounds=100)
+        hit = trajectory.rounds_to_reach(0.5, from_above=False)
+        assert hit is not None
+        assert trajectory.pool[hit] >= 0.5
+        assert trajectory.pool[hit - 1] < 0.5
+
+    def test_rounds_to_reach_never(self):
+        trajectory = fluid.integrate(c=1, lam=0.25, rounds=20)
+        assert trajectory.rounds_to_reach(10.0, from_above=False) is None
+
+
+class TestRelaxation:
+    def test_scales_with_inverse_gap(self):
+        fast = fluid.relaxation_rounds(2, 1 - 2**-4)
+        slow = fluid.relaxation_rounds(2, 1 - 2**-8)
+        ratio = slow / fast
+        assert 4 <= ratio <= 40  # ~16x expected from the 1/(1-lam) scaling
+
+    def test_zero_lambda_instant(self):
+        assert fluid.relaxation_rounds(1, 0.0) == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            fluid.relaxation_rounds(1, 0.5, fraction=1.5)
+
+    def test_burn_in_heuristic_covers_fluid_relaxation(self):
+        # The engine's cold-start burn-in must dominate the fluid fill time.
+        from repro.engine.stability import default_burn_in
+
+        for exponent in (4, 6, 8):
+            lam = 1 - 2**-exponent
+            needed = fluid.relaxation_rounds(2, lam)
+            assert default_burn_in(4096, 2, lam, warm_start=False) >= needed
+
+
+class TestAgainstSimulation:
+    def test_cold_start_trajectory_matches_simulation(self):
+        # The fluid transient should track the (averaged) stochastic
+        # trajectory of a cold-started simulation round for round.
+        from repro.core.capped import CappedProcess
+
+        c, lam, n, rounds = 2, 0.875, 4096, 60
+        trajectory = fluid.integrate(c=c, lam=lam, rounds=rounds)
+        process = CappedProcess(n=n, capacity=c, lam=lam, rng=7)
+        simulated = [process.step().pool_size / n for _ in range(rounds)]
+        errors = [abs(s - f) for s, f in zip(simulated, trajectory.pool[1:])]
+        assert max(errors) < 0.05

@@ -1,0 +1,176 @@
+"""Unit tests for MODCAPPED(c, λ) and the Eq. (5) buffer schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.modcapped import ModCappedProcess, buffer_capacity
+from repro.core.theory import m_star
+from repro.errors import ConfigurationError
+
+
+class TestBufferCapacity:
+    def test_ramps_up_during_fill_phase(self):
+        # Buffer j=2, c=4: fill phase I_1 = [4, 7].
+        assert [buffer_capacity(2, t, 4) for t in range(4, 8)] == [0, 1, 2, 3]
+
+    def test_full_at_phase_start(self):
+        assert buffer_capacity(2, 8, 4) == 4
+
+    def test_ramps_down_during_drain_phase(self):
+        # Drain phase I_2 = [8, 11].
+        assert [buffer_capacity(2, t, 4) for t in range(8, 12)] == [4, 3, 2, 1]
+
+    def test_zero_outside_window(self):
+        assert buffer_capacity(2, 3, 4) == 0
+        assert buffer_capacity(2, 12, 4) == 0
+
+    def test_active_capacities_sum_to_c(self):
+        # Paper: in any round the active buffers' capacities sum to c.
+        for c in (1, 2, 3, 5):
+            for t in range(1, 6 * c):
+                total = sum(buffer_capacity(j, t, c) for j in range(0, t // c + 3))
+                assert total == c, (c, t)
+
+    def test_unit_capacity_single_buffer_per_round(self):
+        for t in range(1, 10):
+            active = [j for j in range(0, 12) if buffer_capacity(j, t, 1) > 0]
+            assert active == [t]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            buffer_capacity(0, 0, 0)
+
+
+class TestIndices:
+    def test_drain_and_fill_indices(self):
+        process = ModCappedProcess(n=8, c=4, lam=0.5)
+        assert process.drain_index(5) == 1
+        assert process.fill_index(5) == 2
+
+    def test_single_buffer_at_phase_starts(self):
+        process = ModCappedProcess(n=8, c=4, lam=0.5)
+        assert process.fill_index(8) is None
+        assert process.drain_index(8) == 2
+
+    def test_unit_capacity_always_single_buffer(self):
+        process = ModCappedProcess(n=8, c=1, lam=0.5)
+        for t in range(1, 6):
+            assert process.fill_index(t) is None
+            assert process.drain_index(t) == t
+
+
+class TestConfiguration:
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ModCappedProcess(n=0, c=1, lam=0.5)
+        with pytest.raises(ConfigurationError):
+            ModCappedProcess(n=8, c=0, lam=0.5)
+        with pytest.raises(ConfigurationError):
+            ModCappedProcess(n=8, c=1, lam=0.3)  # 2.4 balls per round
+
+    def test_default_m_star_matches_theory(self):
+        process = ModCappedProcess(n=64, c=3, lam=0.75)
+        assert process.m_star == pytest.approx(m_star(3, 0.75, 64))
+
+    def test_m_star_override(self):
+        process = ModCappedProcess(n=64, c=2, lam=0.75, m_star_value=500.0)
+        assert process.m_star == 500.0
+
+
+class TestGeneration:
+    def test_at_least_m_star_thrown(self):
+        process = ModCappedProcess(n=32, c=2, lam=0.5, rng=0)
+        for _ in range(20):
+            record = process.step()
+            assert record.thrown >= process.m_star
+
+    def test_generation_tops_up_deficit(self):
+        process = ModCappedProcess(n=32, c=1, lam=0.5, rng=0)
+        assert process.pool_size == 0
+        assert process.generation_count() == int(np.ceil(process.m_star))
+
+    def test_generation_at_least_lambda_n(self):
+        process = ModCappedProcess(n=32, c=1, lam=0.5, m_star_value=1.0, rng=0)
+        assert process.generation_count() == 16
+
+
+class TestDynamics:
+    def test_invariants_over_long_run(self):
+        for c in (1, 2, 3, 4):
+            process = ModCappedProcess(n=64, c=c, lam=0.75, rng=c)
+            for _ in range(10 * c + 50):
+                process.step()
+                process.check_invariants()
+
+    def test_total_load_never_exceeds_c(self):
+        process = ModCappedProcess(n=32, c=3, lam=0.875, rng=1)
+        for _ in range(60):
+            process.step()
+            assert int(process.total_loads().max()) <= 3
+
+    def test_conservation_within_round(self):
+        process = ModCappedProcess(n=32, c=2, lam=0.5, rng=2)
+        for _ in range(30):
+            record = process.step()
+            assert record.pool_size == record.thrown - record.accepted
+
+    def test_buffers_retire_empty(self):
+        # _retire_drained_buffers raises if a buffer retires non-empty; a
+        # long run across many phase boundaries exercises it.
+        process = ModCappedProcess(n=16, c=4, lam=0.75, rng=3)
+        for _ in range(100):
+            process.step()
+        # only the (at most two) active buffers remain tracked
+        assert len(process.buffer_loads) <= 2
+
+    def test_unit_capacity_bins_start_rounds_empty(self):
+        # Section III: for c=1 every round starts with empty bins.
+        process = ModCappedProcess(n=16, c=1, lam=0.5, rng=4)
+        for _ in range(30):
+            record = process.step()
+            assert record.total_load == 0
+
+    def test_injected_choices_deterministic(self):
+        process = ModCappedProcess(n=4, c=1, lam=0.5, m_star_value=4.0, rng=0)
+        # 4 balls (m* deficit), all to bin 0, capacity 1: accept 1.
+        record = process.step(choices=np.zeros(4, dtype=np.int64))
+        assert record.accepted == 1
+        assert record.deleted == 1
+        assert record.pool_size == 3
+
+    def test_wrong_choice_count_rejected(self):
+        process = ModCappedProcess(n=4, c=1, lam=0.5, rng=0)
+        with pytest.raises(ConfigurationError):
+            process.step(choices=np.zeros(1, dtype=np.int64))
+
+    def test_preference_mask_respected(self):
+        # c=2, t=1: drain buffer cap 1, fill buffer cap 1. Two balls to the
+        # same bin, both preferring the drain buffer: one satisfied, the
+        # other cross-fills; total accepted 2.
+        process = ModCappedProcess(n=4, c=2, lam=0.5, m_star_value=2.0, rng=0)
+        record = process.step(
+            choices=np.zeros(2, dtype=np.int64),
+            drain_preference=np.array([True, True]),
+        )
+        assert record.accepted == 2
+        assert record.deleted == 1
+
+    def test_preference_mask_length_checked(self):
+        process = ModCappedProcess(n=4, c=2, lam=0.5, m_star_value=2.0, rng=0)
+        with pytest.raises(ConfigurationError):
+            process.step(
+                choices=np.zeros(2, dtype=np.int64),
+                drain_preference=np.array([True]),
+            )
+
+
+class TestPoolStaysBounded:
+    def test_pool_hovers_near_m_star(self):
+        # MODCAPPED is built to keep the pool near m*: generation tops it
+        # up to m*, and Lemma 7 says it rarely exceeds 2m*.
+        process = ModCappedProcess(n=256, c=2, lam=0.75, rng=5)
+        for _ in range(100):
+            process.step()
+        pools = [process.step().pool_size for _ in range(100)]
+        assert min(pools) >= 0
+        assert max(pools) < 2 * process.m_star

@@ -1,0 +1,172 @@
+"""Unit tests for the closed-form bounds of Theorems 1 and 2."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+from repro.errors import ConfigurationError
+
+
+class TestLogInverseGap:
+    def test_zero_at_lambda_zero(self):
+        assert theory.log_inverse_gap(0.0) == 0.0
+
+    def test_known_value(self):
+        assert theory.log_inverse_gap(0.75) == pytest.approx(math.log(4))
+
+    def test_reaches_ln_n_at_extreme(self):
+        n = 1024
+        assert theory.log_inverse_gap(1 - 1 / n) == pytest.approx(math.log(n))
+
+    def test_rejects_lambda_one(self):
+        with pytest.raises(ConfigurationError):
+            theory.log_inverse_gap(1.0)
+
+
+class TestLogLog:
+    def test_known_value(self):
+        assert theory.loglog(2**16) == pytest.approx(4.0)
+
+    def test_small_n(self):
+        assert theory.loglog(2) == 0.0
+
+    def test_rejects_n_one(self):
+        with pytest.raises(ConfigurationError):
+            theory.loglog(1)
+
+
+class TestMStar:
+    def test_warmup_value(self):
+        # Section III: m* = ln(1/(1-lam))*n + 2n.
+        n, lam = 1000, 0.75
+        assert theory.m_star(1, lam, n) == pytest.approx(math.log(4) * n + 2 * n)
+
+    def test_general_value(self):
+        # Section IV-A: m* = 2/c*ln(1/(1-lam))*n + 6cn.
+        n, lam, c = 1000, 0.75, 3
+        expected = 2 / 3 * math.log(4) * n + 18 * n
+        assert theory.m_star(c, lam, n) == pytest.approx(expected)
+
+    def test_auto_picks_warmup_for_unit_capacity(self):
+        n, lam = 512, 0.5
+        assert theory.m_star(1, lam, n) == theory.m_star(1, lam, n, variant="warmup")
+
+    def test_general_for_unit_capacity_differs(self):
+        n, lam = 512, 0.5
+        general = theory.m_star(1, lam, n, variant="general")
+        warmup = theory.m_star(1, lam, n, variant="warmup")
+        assert general > warmup
+
+    def test_warmup_rejected_for_larger_c(self):
+        with pytest.raises(ConfigurationError):
+            theory.m_star(2, 0.5, 512, variant="warmup")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            theory.m_star(1, 0.5, 512, variant="bogus")
+
+    def test_m_star_at_least_2n(self):
+        # The proofs use m* >= 2n (end of Lemma 2 / Lemma 7).
+        for c in (1, 2, 5):
+            for lam in (0.0, 0.5, 1 - 2**-8):
+                assert theory.m_star(c, lam, 1024) >= 2 * 1024
+
+
+class TestTheoremBounds:
+    def test_thm1_pool_is_twice_warmup_mstar(self):
+        n, lam = 2048, 0.9375
+        assert theory.thm1_pool_bound(lam, n) == pytest.approx(
+            2 * theory.m_star(1, lam, n, variant="warmup")
+        )
+
+    def test_thm2_pool_is_twice_general_mstar(self):
+        n, lam, c = 2048, 0.9375, 3
+        assert theory.thm2_pool_bound(c, lam, n) == pytest.approx(
+            2 * theory.m_star(c, lam, n, variant="general")
+        )
+
+    def test_thm1_wait_structure(self):
+        # (2 ln(1/(1-lam)) + 4)/(1 - 1/e) + loglog n + O(1)
+        n, lam = 2**16, 0.75
+        lead = (2 * math.log(4) + 4) / (1 - 1 / math.e)
+        assert theory.thm1_wait_bound(lam, n, additive_constant=0.0) == pytest.approx(
+            lead + 4.0
+        )
+
+    def test_thm2_wait_decreases_then_increases_in_c(self):
+        # L/c + c shape: for large lambda the bound has an interior optimum.
+        n, lam = 2**15, 1 - 2**-12
+        waits = [theory.thm2_wait_bound(c, lam, n) for c in range(1, 12)]
+        best = waits.index(min(waits))
+        assert 0 < best < len(waits) - 1
+
+    def test_pool_bound_decreases_in_c_initially(self):
+        n, lam = 2**15, 1 - 2**-12
+        assert theory.thm2_pool_bound(2, lam, n) < theory.thm2_pool_bound(1, lam, n)
+
+    def test_bounds_increase_in_lambda(self):
+        n = 4096
+        for fn in (
+            lambda lam: theory.thm1_pool_bound(lam, n),
+            lambda lam: theory.thm1_wait_bound(lam, n),
+            lambda lam: theory.thm2_pool_bound(2, lam, n),
+            lambda lam: theory.thm2_wait_bound(2, lam, n),
+        ):
+            assert fn(0.9) > fn(0.5)
+
+
+class TestEmpiricalCurves:
+    def test_fig4_reference(self):
+        assert theory.empirical_pool_curve(2, 0.75) == pytest.approx(math.log(4) / 2 + 1)
+
+    def test_fig5_reference(self):
+        n = 2**15
+        expected = math.log(4) / 2 + math.log2(math.log2(n)) + 2
+        assert theory.empirical_wait_curve(2, 0.75, n) == pytest.approx(expected)
+
+    def test_references_far_below_theorem_bounds(self):
+        # Section V: the proven bounds are ~4x the observed behaviour.
+        n, lam, c = 2**15, 1 - 2**-10, 2
+        assert theory.empirical_pool_curve(c, lam) * n < theory.thm2_pool_bound(c, lam, n)
+        assert theory.empirical_wait_curve(c, lam, n) < theory.thm2_wait_bound(c, lam, n)
+
+
+class TestSweetSpot:
+    def test_continuous_value(self):
+        lam = 1 - math.exp(-9.0)  # ln gap = 9
+        assert theory.sweet_spot_c(lam, integer=False) == pytest.approx(3.0)
+
+    def test_integer_rounds_to_best(self):
+        lam = 1 - math.exp(-9.0)
+        assert theory.sweet_spot_c(lam) == 3
+
+    def test_at_least_one(self):
+        assert theory.sweet_spot_c(0.1) == 1
+
+    def test_paper_window(self):
+        # Section V observes minima around c = 2..3 for lambda up to 1-2^-13.
+        for exponent in (10, 13):
+            assert 2 <= theory.sweet_spot_c(1 - 2.0**-exponent) <= 3
+
+    def test_grows_with_lambda(self):
+        assert theory.sweet_spot_c(1 - 2.0**-20) >= theory.sweet_spot_c(0.5)
+
+
+class TestBaselineScales:
+    def test_greedy_one_choice_blows_up(self):
+        n = 4096
+        moderate = theory.greedy_one_choice_wait_bound(0.5, n)
+        extreme = theory.greedy_one_choice_wait_bound(1 - 2**-10, n)
+        assert extreme > 100 * moderate
+
+    def test_greedy_two_choice_grows_slowly(self):
+        n = 4096
+        moderate = theory.greedy_two_choice_wait_bound(0.5, n)
+        extreme = theory.greedy_two_choice_wait_bound(1 - 2**-10, n)
+        assert extreme < 3 * moderate
+
+    def test_capped_beats_greedy_scales_at_high_lambda(self):
+        n, lam = 2**15, 1 - 2**-10
+        capped = theory.thm2_wait_bound(3, lam, n)
+        assert capped < theory.greedy_one_choice_wait_bound(lam, n)

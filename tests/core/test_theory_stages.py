@@ -1,0 +1,79 @@
+"""Unit tests for failure probabilities and the wait-bound decomposition."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+from repro.errors import ConfigurationError
+
+
+class TestFailureProbabilities:
+    def test_pool_probability_value(self):
+        assert theory.pool_bound_failure_probability(4) == pytest.approx(2.0**-8)
+
+    def test_pool_probability_underflows_to_zero(self):
+        assert theory.pool_bound_failure_probability(2**15) == 0.0
+
+    def test_wait_probability_value(self):
+        assert theory.wait_bound_failure_probability(100) == pytest.approx(1e-4)
+
+    def test_wait_probability_decreases_in_n(self):
+        assert theory.wait_bound_failure_probability(
+            2048
+        ) < theory.wait_bound_failure_probability(1024)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.pool_bound_failure_probability(0)
+        with pytest.raises(ConfigurationError):
+            theory.wait_bound_failure_probability(0)
+
+
+class TestDrainStage:
+    def test_lemma3_formula(self):
+        # Delta = m / (n - n/e)
+        n, pool = 1000, 5000
+        assert theory.drain_stage_rounds(pool, n) == pytest.approx(
+            pool / (n * (1 - 1 / math.e))
+        )
+
+    def test_empty_pool_drains_instantly(self):
+        assert theory.drain_stage_rounds(0, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.drain_stage_rounds(-1, 100)
+
+
+class TestFinalStage:
+    def test_lemma5_scale(self):
+        assert theory.final_stage_rounds(2**16) == pytest.approx(4.0 + 1.0)
+
+    def test_additive_constant(self):
+        assert theory.final_stage_rounds(2**16, additive_constant=0.0) == pytest.approx(4.0)
+
+
+class TestDecomposition:
+    def test_stages_sum_to_thm2_bound(self):
+        c, lam, n = 3, 1 - 2**-8, 2**12
+        stages = theory.wait_bound_decomposition(c, lam, n)
+        assert sum(stages.values()) == pytest.approx(theory.thm2_wait_bound(c, lam, n))
+
+    def test_stage_names(self):
+        stages = theory.wait_bound_decomposition(2, 0.75, 1024)
+        assert set(stages) == {"drain", "bridge", "final", "buffer"}
+
+    def test_bridge_is_lemma4_constant(self):
+        stages = theory.wait_bound_decomposition(2, 0.75, 1024)
+        assert stages["bridge"] == theory.LEMMA4_ROUNDS == 19
+
+    def test_drain_dominates_at_high_lambda_unit_capacity(self):
+        stages = theory.wait_bound_decomposition(1, 1 - 2**-12, 2**15)
+        assert stages["drain"] > stages["final"]
+        assert stages["drain"] > stages["buffer"]
+
+    def test_buffer_term_grows_with_c(self):
+        small = theory.wait_bound_decomposition(1, 0.75, 1024)["buffer"]
+        large = theory.wait_bound_decomposition(8, 0.75, 1024)["buffer"]
+        assert large == 8.0 > small

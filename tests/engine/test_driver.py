@@ -1,0 +1,83 @@
+"""Unit tests for the SimulationDriver."""
+
+import numpy as np
+import pytest
+
+from repro.engine.driver import SimulationDriver
+from repro.engine.metrics import RoundRecord
+from repro.engine.observers import TraceRecorder
+from repro.errors import ConfigurationError
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class ScriptedProcess:
+    """A process emitting a predetermined pool-size trajectory."""
+
+    def __init__(self, pools):
+        self.n = 10
+        self.pools = list(pools)
+        self.round = 0
+
+    def step(self) -> RoundRecord:
+        pool = self.pools[self.round % len(self.pools)]
+        self.round += 1
+        return RoundRecord(
+            round=self.round,
+            pool_size=pool,
+            deleted=1,
+            wait_values=_EMPTY,
+            wait_counts=_EMPTY,
+        )
+
+
+class TestConfiguration:
+    def test_negative_burn_in_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationDriver(burn_in=-1, measure=10)
+
+    def test_zero_measure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationDriver(burn_in=0, measure=0)
+
+
+class TestExecution:
+    def test_burn_in_rounds_not_measured(self):
+        process = ScriptedProcess(pools=[100] * 5 + [1] * 100)
+        result = SimulationDriver(burn_in=5, measure=10).run(process)
+        assert result.summary.mean_pool == pytest.approx(1.0)
+
+    def test_measure_window_length(self):
+        process = ScriptedProcess(pools=[2])
+        result = SimulationDriver(burn_in=3, measure=7).run(process)
+        assert result.measured == 7
+        assert result.summary.rounds == 7
+        assert len(result.pool_series) == 7
+
+    def test_observers_see_all_rounds(self):
+        process = ScriptedProcess(pools=[1])
+        trace = TraceRecorder()
+        SimulationDriver(burn_in=4, measure=6, observers=[trace]).run(process)
+        assert len(trace) == 10
+
+    def test_stationary_flag_constant_series(self):
+        process = ScriptedProcess(pools=[5])
+        result = SimulationDriver(burn_in=0, measure=20).run(process)
+        assert result.stationary is True
+
+    def test_stationary_flag_drifting_series(self):
+        process = ScriptedProcess(pools=list(range(0, 2000, 10)))
+        result = SimulationDriver(burn_in=0, measure=100).run(process)
+        assert result.stationary is False
+
+    def test_stationary_none_for_tiny_windows(self):
+        process = ScriptedProcess(pools=[1])
+        result = SimulationDriver(burn_in=0, measure=2).run(process)
+        assert result.stationary is None
+
+    def test_result_convenience_properties(self):
+        process = ScriptedProcess(pools=[20])
+        result = SimulationDriver(burn_in=0, measure=5).run(process)
+        assert result.normalized_pool == pytest.approx(2.0)
+        assert result.avg_wait == 0.0
+        assert result.max_wait == 0

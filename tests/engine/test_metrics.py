@@ -1,0 +1,94 @@
+"""Unit tests for RoundRecord and MetricsCollector."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import MetricsCollector, RoundRecord
+
+
+def record(round_index=1, pool=0, waits=None, **kwargs):
+    if waits:
+        values, counts = np.unique(np.asarray(waits), return_counts=True)
+    else:
+        values = counts = np.zeros(0, dtype=np.int64)
+    return RoundRecord(
+        round=round_index,
+        pool_size=pool,
+        wait_values=values,
+        wait_counts=counts,
+        **kwargs,
+    )
+
+
+class TestRoundRecord:
+    def test_wait_total(self):
+        assert record(waits=[1, 1, 3]).wait_total == 3
+
+    def test_wait_total_empty(self):
+        assert record().wait_total == 0
+
+
+class TestMetricsCollector:
+    def test_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(n=0)
+
+    def test_summary_requires_rounds(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(n=4).summary()
+
+    def test_normalized_pool(self):
+        collector = MetricsCollector(n=10)
+        collector.observe(record(pool=5))
+        collector.observe(record(round_index=2, pool=15))
+        assert collector.summary().normalized_pool == pytest.approx(1.0)
+
+    def test_peak_pool(self):
+        collector = MetricsCollector(n=10)
+        for i, pool in enumerate([3, 9, 4], start=1):
+            collector.observe(record(round_index=i, pool=pool))
+        assert collector.summary().peak_pool == 9
+
+    def test_wait_statistics(self):
+        collector = MetricsCollector(n=4)
+        collector.observe(record(waits=[0, 0, 2]))
+        collector.observe(record(round_index=2, waits=[4]))
+        summary = collector.summary()
+        assert summary.avg_wait == pytest.approx(1.5)
+        assert summary.max_wait == 4
+        assert summary.balls_observed == 4
+
+    def test_no_waits_summary(self):
+        collector = MetricsCollector(n=4)
+        collector.observe(record())
+        summary = collector.summary()
+        assert summary.avg_wait == 0.0
+        assert summary.max_wait == 0
+
+    def test_throughput(self):
+        collector = MetricsCollector(n=4)
+        collector.observe(record(deleted=4))
+        collector.observe(record(round_index=2, deleted=2))
+        assert collector.summary().throughput == pytest.approx(3.0)
+
+    def test_pool_series_kept(self):
+        collector = MetricsCollector(n=4)
+        for i, pool in enumerate([1, 2, 3], start=1):
+            collector.observe(record(round_index=i, pool=pool))
+        assert collector.pool_series.tolist() == [1, 2, 3]
+
+    def test_pool_series_optional(self):
+        collector = MetricsCollector(n=4, keep_pool_series=False)
+        collector.observe(record(pool=5))
+        assert collector.pool_series.size == 0
+
+    def test_peak_max_load(self):
+        collector = MetricsCollector(n=4)
+        collector.observe(record(max_load=2))
+        collector.observe(record(round_index=2, max_load=7))
+        assert collector.summary().peak_max_load == 7
+
+    def test_summary_str(self):
+        collector = MetricsCollector(n=4)
+        collector.observe(record(pool=2, waits=[1]))
+        assert "pool/n" in str(collector.summary())

@@ -1,0 +1,58 @@
+"""Unit tests for burn-in heuristics and stationarity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.stability import default_burn_in, is_stationary, split_drift
+
+
+class TestDefaultBurnIn:
+    def test_respects_floor(self):
+        assert default_burn_in(n=1024, c=1, lam=0.0) >= 100
+
+    def test_cold_start_scales_with_relaxation(self):
+        cold = default_burn_in(n=1024, c=1, lam=1 - 2**-10)
+        assert cold >= 5 * 2**10
+
+    def test_warm_start_drops_relaxation_term(self):
+        warm = default_burn_in(n=1024, c=1, lam=1 - 2**-10, warm_start=True)
+        cold = default_burn_in(n=1024, c=1, lam=1 - 2**-10, warm_start=False)
+        assert warm < cold
+
+    def test_larger_capacity_shortens_warm_burn_in(self):
+        c1 = default_burn_in(n=4096, c=1, lam=1 - 2**-10, warm_start=True)
+        c4 = default_burn_in(n=4096, c=4, lam=1 - 2**-10, warm_start=True)
+        assert c4 <= c1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            default_burn_in(n=1, c=1, lam=0.5)
+        with pytest.raises(ValueError):
+            default_burn_in(n=10, c=0, lam=0.5)
+        with pytest.raises(ValueError):
+            default_burn_in(n=10, c=1, lam=1.0)
+
+
+class TestDrift:
+    def test_constant_series_has_zero_drift(self):
+        assert split_drift([5.0] * 10) == 0.0
+
+    def test_trending_series_detected(self):
+        assert split_drift(np.arange(100.0)) > 0.5
+
+    def test_stationary_noise_passes(self, rng):
+        series = rng.normal(10, 1, size=400)
+        assert is_stationary(series)
+
+    def test_filling_pool_fails(self):
+        series = np.linspace(0, 100, 200) + np.random.default_rng(0).normal(0, 1, 200)
+        assert not is_stationary(series)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            split_drift([1.0, 2.0])
+
+    def test_threshold_controls_sensitivity(self):
+        series = np.concatenate([np.zeros(50), np.ones(50) * 0.4])
+        assert not is_stationary(series, threshold=0.1)
+        assert is_stationary(series, threshold=10.0)

@@ -1,0 +1,102 @@
+"""Unit tests for JSONL trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.capped import CappedProcess
+from repro.engine.driver import SimulationDriver
+from repro.engine.metrics import RoundRecord
+from repro.engine.trace import (
+    TraceWriter,
+    read_trace,
+    record_from_json,
+    record_to_json,
+    write_trace,
+)
+
+
+def sample_record(round_index=1):
+    return RoundRecord(
+        round=round_index,
+        arrivals=4,
+        thrown=10,
+        accepted=7,
+        deleted=5,
+        pool_size=3,
+        total_load=9,
+        max_load=2,
+        wait_values=np.array([0, 2], dtype=np.int64),
+        wait_counts=np.array([5, 2], dtype=np.int64),
+    )
+
+
+def records_equal(a: RoundRecord, b: RoundRecord) -> bool:
+    return (
+        (a.round, a.arrivals, a.thrown, a.accepted, a.deleted, a.pool_size, a.total_load, a.max_load)
+        == (b.round, b.arrivals, b.thrown, b.accepted, b.deleted, b.pool_size, b.total_load, b.max_load)
+        and a.wait_values.tolist() == b.wait_values.tolist()
+        and a.wait_counts.tolist() == b.wait_counts.tolist()
+    )
+
+
+class TestJsonRoundTrip:
+    def test_single_record(self):
+        original = sample_record()
+        restored = record_from_json(record_to_json(original))
+        assert records_equal(original, restored)
+
+    def test_empty_waits(self):
+        record = RoundRecord(round=3)
+        restored = record_from_json(record_to_json(record))
+        assert restored.wait_values.size == 0
+
+    def test_one_line_per_record(self):
+        assert "\n" not in record_to_json(sample_record())
+
+
+class TestFileRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        records = [sample_record(i) for i in range(1, 6)]
+        path = write_trace(records, tmp_path / "nested" / "trace.jsonl")
+        restored = list(read_trace(path))
+        assert len(restored) == 5
+        assert all(records_equal(a, b) for a, b in zip(records, restored))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(record_to_json(sample_record()) + "\n\n\n")
+        assert len(list(read_trace(path))) == 1
+
+
+class TestTraceWriterObserver:
+    def test_streams_simulation_to_disk(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        process = CappedProcess(n=32, capacity=2, lam=0.75, rng=0)
+        with TraceWriter(path) as writer:
+            SimulationDriver(burn_in=5, measure=20, observers=[writer]).run(process)
+        assert writer.records_written == 25
+        restored = list(read_trace(path))
+        assert len(restored) == 25
+        assert [r.round for r in restored] == list(range(1, 26))
+
+    def test_replayed_statistics_match_live(self, tmp_path):
+        from repro.engine.metrics import MetricsCollector
+
+        path = tmp_path / "run.jsonl"
+        process = CappedProcess(n=64, capacity=2, lam=0.875, rng=1)
+        writer = TraceWriter(path)
+        live = SimulationDriver(burn_in=0, measure=60, observers=[writer]).run(process)
+        writer.close()
+
+        replayed = MetricsCollector(n=64)
+        for record in read_trace(path):
+            replayed.observe(record)
+        summary = replayed.summary()
+        assert summary.normalized_pool == pytest.approx(live.normalized_pool)
+        assert summary.avg_wait == pytest.approx(live.avg_wait)
+        assert summary.max_wait == live.max_wait
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()

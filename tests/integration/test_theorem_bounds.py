@@ -1,0 +1,56 @@
+"""Integration: long-run simulations respect Theorems 1 and 2.
+
+The theorems are w.h.p. upper bounds holding at *any* time, so a long
+simulation's peak pool size and maximum waiting time must stay below them.
+The paper notes its constants are deliberately unoptimised, so these are
+loose ceilings — the interesting direction is that they are never crossed.
+"""
+
+import pytest
+
+from repro.analysis.sweep import measure_capped
+from repro.core import theory
+
+
+@pytest.mark.parametrize("lam", [0.5, 0.75, 1 - 2**-6])
+def test_theorem1_pool_bound(lam):
+    point = measure_capped(n=1024, c=1, lam=lam, measure=500, seed=11)
+    assert point.peak_pool < theory.thm1_pool_bound(lam, 1024)
+
+
+@pytest.mark.parametrize("lam", [0.5, 0.75, 1 - 2**-6])
+def test_theorem1_wait_bound(lam):
+    point = measure_capped(n=1024, c=1, lam=lam, measure=500, seed=12)
+    assert point.max_wait < theory.thm1_wait_bound(lam, 1024)
+
+
+@pytest.mark.parametrize("c", [2, 3, 4])
+def test_theorem2_pool_bound(c):
+    lam = 1 - 2**-8
+    point = measure_capped(n=1024, c=c, lam=lam, measure=500, seed=13)
+    assert point.peak_pool < theory.thm2_pool_bound(c, lam, 1024)
+
+
+@pytest.mark.parametrize("c", [2, 3, 4])
+def test_theorem2_wait_bound(c):
+    lam = 1 - 2**-8
+    point = measure_capped(n=1024, c=c, lam=lam, measure=500, seed=14)
+    assert point.max_wait < theory.thm2_wait_bound(c, lam, 1024)
+
+
+def test_section5_observation_bounds_are_loose():
+    # Section V: measured behaviour is well below the proven bounds
+    # (the paper attributes a factor of ~4 to the unoptimised analysis).
+    lam, c, n = 1 - 2**-8, 2, 1024
+    point = measure_capped(n=n, c=c, lam=lam, measure=500, seed=15)
+    assert point.normalized_pool < theory.thm2_pool_bound(c, lam, n) / n / 4
+    assert point.avg_wait < theory.thm2_wait_bound(c, lam, n) / 4
+
+
+def test_empirical_reference_curves_hold():
+    # The tighter Section V reference curves also upper-bound the data.
+    for c in (1, 2, 3):
+        lam = 1 - 2**-8
+        point = measure_capped(n=1024, c=c, lam=lam, measure=400, seed=16 + c)
+        assert point.normalized_pool <= theory.empirical_pool_curve(c, lam)
+        assert point.max_wait <= theory.empirical_wait_curve(c, lam, 1024)

@@ -1,0 +1,67 @@
+"""Unit tests for the Adler et al. parallel d-copy process."""
+
+import math
+
+import pytest
+
+from repro.engine.driver import SimulationDriver
+from repro.errors import ConfigurationError
+from repro.processes.adler_parallel import AdlerParallelProcess
+
+
+class TestConfiguration:
+    def test_rate_bound_enforced(self):
+        n, d = 100, 2
+        bound = n / (3 * d * math.e)
+        with pytest.raises(ConfigurationError):
+            AdlerParallelProcess(n=n, d=d, arrivals_per_round=int(bound) + 1)
+
+    def test_rate_bound_override(self):
+        process = AdlerParallelProcess(
+            n=100, d=2, arrivals_per_round=30, enforce_rate_bound=False
+        )
+        process.step()
+
+    def test_basic_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdlerParallelProcess(n=0, d=2, arrivals_per_round=1)
+        with pytest.raises(ConfigurationError):
+            AdlerParallelProcess(n=10, d=0, arrivals_per_round=1)
+
+
+class TestDynamics:
+    def test_conservation(self):
+        process = AdlerParallelProcess(n=200, d=2, arrivals_per_round=10, rng=0)
+        arrived = served = 0
+        for _ in range(100):
+            record = process.step()
+            arrived += record.arrivals
+            served += record.deleted
+        assert arrived == served + process.live_balls
+        process.check_invariants()
+
+    def test_copies_thrown(self):
+        process = AdlerParallelProcess(n=200, d=3, arrivals_per_round=8, rng=1)
+        record = process.step()
+        assert record.thrown == 8 * 3
+
+    def test_served_ball_counted_once(self):
+        # Each ball is served exactly once despite d copies.
+        process = AdlerParallelProcess(n=100, d=2, arrivals_per_round=6, rng=2)
+        total_served = sum(process.step().deleted for _ in range(300))
+        assert total_served + process.live_balls == 6 * 300
+
+    def test_waits_are_small_in_supported_regime(self):
+        # Adler et al.: constant expected wait, max lnln n/ln d + O(1).
+        n, d = 512, 2
+        process = AdlerParallelProcess(n=n, d=d, arrivals_per_round=20, rng=3)
+        result = SimulationDriver(burn_in=100, measure=200).run(process)
+        assert result.avg_wait <= 3.0
+        assert result.max_wait <= math.log(math.log(n)) / math.log(d) + 6
+
+    def test_stale_copies_do_not_block_service(self):
+        process = AdlerParallelProcess(n=50, d=2, arrivals_per_round=3, rng=4)
+        for _ in range(200):
+            process.step()
+        # System stays small: stale copies are skipped, not served.
+        assert process.live_balls <= 30

@@ -1,0 +1,49 @@
+"""Unit tests for ALWAYS-GO-LEFT[d]."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processes.always_go_left import always_go_left
+from repro.processes.sequential import max_load, sequential_greedy_d
+
+
+class TestBasics:
+    def test_conserves_balls(self):
+        loads = always_go_left(m=300, n=30, d=2, rng=0)
+        assert int(loads.sum()) == 300
+
+    def test_zero_balls(self):
+        loads = always_go_left(m=0, n=10, d=2, rng=0)
+        assert int(loads.sum()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            always_go_left(m=10, n=10, d=1)  # needs d >= 2
+        with pytest.raises(ConfigurationError):
+            always_go_left(m=10, n=10, d=3)  # 10 not divisible by 3
+        with pytest.raises(ConfigurationError):
+            always_go_left(m=-1, n=10, d=2)
+
+    def test_leftmost_tie_break(self):
+        # With all loads equal the committed bin is always in group 0.
+        loads = always_go_left(m=1, n=4, d=2, rng=1)
+        assert int(loads[:2].sum()) == 1
+        assert int(loads[2:].sum()) == 0
+
+
+class TestQuality:
+    def test_max_load_near_theory(self):
+        n = 4096
+        peak = max(max_load(always_go_left(n, n, 2, rng=s)) for s in range(3))
+        # Voecking: lnln n/(2 ln phi_2) + O(1), phi_2 = golden ratio.
+        phi = (1 + math.sqrt(5)) / 2
+        bound = math.log(math.log(n)) / (2 * math.log(phi)) + 4
+        assert peak <= bound
+
+    def test_not_worse_than_symmetric_greedy(self):
+        n = 4096
+        agl = max(max_load(always_go_left(n, n, 2, rng=s)) for s in range(3))
+        sym = max(max_load(sequential_greedy_d(n, n, 2, rng=s)) for s in range(3))
+        assert agl <= sym + 1

@@ -1,0 +1,65 @@
+"""Unit tests for self-stabilizing repeated balls-into-bins."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processes.becchetti import RepeatedBallsProcess
+
+
+class TestConstruction:
+    def test_default_adversarial_start(self):
+        process = RepeatedBallsProcess(n=10)
+        assert process.loads[0] == 10
+        assert int(process.loads.sum()) == 10
+
+    def test_custom_initial_loads(self):
+        process = RepeatedBallsProcess(n=3, initial_loads=np.array([1, 1, 1]))
+        assert process.total_balls == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RepeatedBallsProcess(n=0)
+        with pytest.raises(ConfigurationError):
+            RepeatedBallsProcess(n=3, initial_loads=np.array([1, 1]))
+        with pytest.raises(ConfigurationError):
+            RepeatedBallsProcess(n=2, initial_loads=np.array([-1, 3]))
+
+
+class TestDynamics:
+    def test_ball_conservation(self):
+        process = RepeatedBallsProcess(n=32, rng=0)
+        for _ in range(100):
+            record = process.step()
+            assert record.total_load == 32
+        process.check_invariants()
+
+    def test_thrown_equals_nonempty_bins(self):
+        process = RepeatedBallsProcess(n=16, rng=1)
+        record = process.step()
+        # Initially only bin 0 is non-empty, so exactly one ball moves.
+        assert record.thrown == 1
+
+    def test_self_stabilises_to_log_load(self):
+        n = 256
+        process = RepeatedBallsProcess(n=n, rng=2)
+        target = int(3 * math.log(n))
+        reached = process.run_until_balanced(target_max_load=target, max_rounds=10 * n)
+        assert reached is not None
+
+    def test_run_until_balanced_immediate(self):
+        process = RepeatedBallsProcess(n=4, initial_loads=np.array([1, 1, 1, 1]), rng=3)
+        assert process.run_until_balanced(target_max_load=1, max_rounds=1) == 0
+
+    def test_run_until_balanced_gives_up(self):
+        process = RepeatedBallsProcess(n=64, rng=4)
+        assert process.run_until_balanced(target_max_load=0, max_rounds=5) is None
+
+    def test_stays_balanced_once_there(self):
+        n = 128
+        process = RepeatedBallsProcess(n=n, rng=5)
+        process.run_until_balanced(target_max_load=int(3 * math.log(n)), max_rounds=20 * n)
+        peaks = [process.step().max_load for _ in range(200)]
+        assert max(peaks) <= 6 * math.log(n)

@@ -1,0 +1,68 @@
+"""Unit tests for infinite sequential GREEDY[d] with deletions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processes.infinite_sequential import InfiniteSequentialGreedy
+
+
+class TestConstruction:
+    def test_default_adversarial_start(self):
+        process = InfiniteSequentialGreedy(n=16, d=2)
+        assert process.max_load == 16
+        process.check_invariants()
+
+    def test_custom_assignment(self):
+        process = InfiniteSequentialGreedy(n=4, d=2, initial_assignment=np.arange(4))
+        assert process.max_load == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InfiniteSequentialGreedy(n=0, d=2)
+        with pytest.raises(ConfigurationError):
+            InfiniteSequentialGreedy(n=4, d=0)
+        with pytest.raises(ConfigurationError):
+            InfiniteSequentialGreedy(n=4, d=2, initial_assignment=np.array([0, 1, 2, 9]))
+
+
+class TestDynamics:
+    def test_ball_conservation(self):
+        process = InfiniteSequentialGreedy(n=64, d=2, rng=0)
+        process.run(500)
+        process.check_invariants()
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InfiniteSequentialGreedy(n=4, d=2).run(-1)
+
+    def test_recovers_from_pile_up(self):
+        n = 512
+        process = InfiniteSequentialGreedy(n=n, d=2, rng=1)
+        target = int(math.log(math.log(n)) / math.log(2)) + 3
+        reached = process.run_until_max_load(target=target, max_steps=40 * n)
+        assert reached is not None
+
+    def test_run_until_immediate_when_balanced(self):
+        process = InfiniteSequentialGreedy(
+            n=8, d=2, initial_assignment=np.arange(8), rng=2
+        )
+        assert process.run_until_max_load(target=1, max_steps=1) == 0
+
+    def test_stays_balanced_after_recovery(self):
+        n = 256
+        process = InfiniteSequentialGreedy(n=n, d=2, rng=3)
+        process.run(40 * n)
+        peaks = [process.run(50) for _ in range(20)]
+        bound = math.log(math.log(n)) / math.log(2) + 4
+        assert max(peaks) <= bound
+
+    def test_two_choices_beat_one_in_steady_state(self):
+        n = 512
+        one = InfiniteSequentialGreedy(n=n, d=1, rng=4)
+        two = InfiniteSequentialGreedy(n=n, d=2, rng=4)
+        one.run(40 * n)
+        two.run(40 * n)
+        assert two.max_load < one.max_load

@@ -1,0 +1,55 @@
+"""Unit tests for the heavily-loaded threshold allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.processes.lenzen import heavily_loaded_threshold
+
+
+class TestBasics:
+    def test_all_balls_placed(self):
+        result = heavily_loaded_threshold(m=10_000, n=100, rng=0)
+        assert int(result.loads.sum()) == 10_000
+
+    def test_max_load_within_threshold(self):
+        m, n, slack = 5_000, 100, 2
+        result = heavily_loaded_threshold(m=m, n=n, slack=slack, rng=1)
+        assert result.max_load <= -(-m // n) + slack
+
+    def test_overhead_is_additive_constant(self):
+        # The SPAA'19 guarantee shape: m/n + O(1), independent of m/n.
+        for ratio in (10, 100, 1000):
+            result = heavily_loaded_threshold(m=ratio * 64, n=64, slack=2, rng=2)
+            assert result.overhead <= 3.0
+
+    def test_round_count_grows_sublinearly_in_load(self):
+        # The simplified variant is not round-optimal (see module docs),
+        # but rounds must stay tiny relative to m/n and grow slowly in it.
+        light = heavily_loaded_threshold(m=256 * 40, n=256, rng=3)
+        heavy = heavily_loaded_threshold(m=256 * 400, n=256, rng=3)
+        assert heavy.rounds < 400 / 8  # far below m/n
+        assert heavy.rounds <= 4 * light.rounds
+
+    def test_zero_balls(self):
+        result = heavily_loaded_threshold(m=0, n=10, rng=4)
+        assert result.rounds == 0
+
+
+class TestValidation:
+    def test_capacity_always_covers_m(self):
+        # threshold = ceil(m/n) + slack implies n*threshold >= m for any
+        # slack >= 0, so zero-slack runs are always feasible.
+        result = heavily_loaded_threshold(m=100, n=10, slack=0, rng=0)
+        assert result.max_load == 10
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            heavily_loaded_threshold(m=-1, n=10)
+        with pytest.raises(ConfigurationError):
+            heavily_loaded_threshold(m=10, n=0)
+        with pytest.raises(ConfigurationError):
+            heavily_loaded_threshold(m=10, n=10, slack=-1)
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(SimulationError):
+            heavily_loaded_threshold(m=10_000, n=100, rng=0, max_rounds=1)

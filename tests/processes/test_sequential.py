@@ -1,0 +1,75 @@
+"""Unit tests for sequential static allocations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processes.sequential import max_load, sequential_greedy_d, sequential_one_choice
+
+
+class TestOneChoice:
+    def test_conserves_balls(self):
+        loads = sequential_one_choice(m=500, n=50, rng=0)
+        assert int(loads.sum()) == 500
+
+    def test_zero_balls(self):
+        loads = sequential_one_choice(m=0, n=5, rng=0)
+        assert loads.tolist() == [0] * 5
+
+    def test_roughly_uniform(self, rng):
+        loads = sequential_one_choice(m=100_000, n=10, rng=rng)
+        assert loads.min() > 0.9 * loads.max()
+
+    def test_max_load_scale_for_m_equals_n(self):
+        # Raab-Steger: ~ln n/lnln n for m=n; generous two-sided sanity band.
+        n = 10_000
+        peak = max(max_load(sequential_one_choice(n, n, rng=s)) for s in range(5))
+        scale = math.log(n) / math.log(math.log(n))
+        assert 1.0 <= peak <= 4 * scale
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sequential_one_choice(m=-1, n=5)
+        with pytest.raises(ConfigurationError):
+            sequential_one_choice(m=5, n=0)
+
+
+class TestGreedyD:
+    def test_conserves_balls(self):
+        loads = sequential_greedy_d(m=300, n=30, d=2, rng=0)
+        assert int(loads.sum()) == 300
+
+    def test_d1_equals_one_choice_distributionally(self):
+        loads = sequential_greedy_d(m=200, n=20, d=1, rng=1)
+        assert int(loads.sum()) == 200
+
+    def test_rejects_bad_d(self):
+        with pytest.raises(ConfigurationError):
+            sequential_greedy_d(m=10, n=5, d=0)
+
+    def test_power_of_two_choices(self):
+        # The headline effect: two choices beat one by a wide margin.
+        n = 4096
+        one = max(max_load(sequential_one_choice(n, n, rng=s)) for s in range(3))
+        two = max(max_load(sequential_greedy_d(n, n, 2, rng=s)) for s in range(3))
+        assert two < one
+
+    def test_two_choice_max_load_loglog_scale(self):
+        # Azar et al.: lnln n/ln 2 + O(1); check a generous ceiling.
+        n = 4096
+        peak = max(max_load(sequential_greedy_d(n, n, 2, rng=s)) for s in range(3))
+        assert peak <= math.log(math.log(n)) / math.log(2) + 4
+
+    def test_chunking_preserves_count(self):
+        loads = sequential_greedy_d(m=10_000, n=64, d=2, rng=2, chunk=100)
+        assert int(loads.sum()) == 10_000
+
+
+class TestMaxLoad:
+    def test_empty_vector(self):
+        assert max_load(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_regular_vector(self):
+        assert max_load(np.array([1, 5, 2])) == 5

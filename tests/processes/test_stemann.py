@@ -1,0 +1,68 @@
+"""Unit tests for the Stemann collision protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processes.stemann import stemann_collision
+
+
+class TestBasics:
+    def test_all_balls_committed(self):
+        result = stemann_collision(m=500, n=500, rng=0)
+        assert np.all(result.assignment >= 0)
+        assert int(result.loads.sum()) == 500
+
+    def test_zero_balls(self):
+        result = stemann_collision(m=0, n=10, rng=0)
+        assert result.rounds == 0
+        assert result.max_load == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stemann_collision(m=-1, n=10)
+        with pytest.raises(ConfigurationError):
+            stemann_collision(m=5, n=1)
+
+
+class TestStructure:
+    def test_every_ball_lands_on_a_fixed_candidate(self):
+        # The protocol's defining property vs THRESHOLD[T]: candidates are
+        # fixed before round one; every commitment must be one of them.
+        result = stemann_collision(m=2000, n=2000, rng=1)
+        matches_first = result.assignment == result.candidates[:, 0]
+        matches_second = result.assignment == result.candidates[:, 1]
+        assert np.all(matches_first | matches_second)
+
+    def test_candidates_distinct(self):
+        result = stemann_collision(m=300, n=50, rng=2)
+        assert np.all(result.candidates[:, 0] != result.candidates[:, 1])
+
+    def test_max_load_bounded_by_final_threshold(self):
+        result = stemann_collision(m=4096, n=4096, rng=3)
+        assert result.max_load <= result.rounds  # τ_r = r
+
+
+class TestQuality:
+    def test_terminates_in_loglog_like_rounds(self):
+        n = 4096
+        rounds = [stemann_collision(m=n, n=n, rng=s).rounds for s in range(5)]
+        assert max(rounds) <= math.ceil(math.log2(max(2.0, math.log2(n)))) + 5
+
+    def test_two_choices_beat_one_choice_max_load(self):
+        from repro.processes.sequential import max_load, sequential_one_choice
+
+        n = 4096
+        collision = max(stemann_collision(m=n, n=n, rng=s).max_load for s in range(3))
+        one_choice = max(max_load(sequential_one_choice(n, n, rng=s)) for s in range(3))
+        assert collision < one_choice
+
+    def test_heavier_load_needs_more_rounds(self):
+        light = stemann_collision(m=1024, n=1024, rng=4).rounds
+        heavy = stemann_collision(m=4096, n=1024, rng=4).rounds
+        assert heavy >= light
+        # Heavy case still terminates with max load near m/n + O(1)·rounds.
+        result = stemann_collision(m=4096, n=1024, rng=5)
+        assert result.max_load <= result.rounds

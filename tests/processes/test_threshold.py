@@ -1,0 +1,62 @@
+"""Unit tests for THRESHOLD[T]."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.processes.threshold import threshold_allocate
+
+
+class TestBasics:
+    def test_all_balls_allocated(self):
+        result = threshold_allocate(m=100, n=100, threshold=1, rng=0)
+        assert int(result.loads.sum()) == 100
+
+    def test_zero_balls(self):
+        result = threshold_allocate(m=0, n=10, rng=0)
+        assert result.rounds == 0
+        assert result.max_load == 0
+
+    def test_max_load_bounded_by_rounds_times_threshold(self):
+        result = threshold_allocate(m=200, n=100, threshold=2, rng=1)
+        assert result.max_load <= result.rounds * 2
+
+    def test_trace_strictly_decreasing_to_zero(self):
+        result = threshold_allocate(m=500, n=200, threshold=1, rng=2)
+        trace = result.unallocated_trace
+        assert all(a > b for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == 0
+
+    def test_single_bin(self):
+        result = threshold_allocate(m=5, n=1, threshold=1, rng=3)
+        assert result.rounds == 5
+        assert result.max_load == 5
+
+
+class TestTermination:
+    def test_threshold1_terminates_in_loglog_like_rounds(self):
+        # Adler et al.: THRESHOLD[1] with m=n ends in <= lnln n + O(1)
+        # rounds w.h.p. For n=4096 lnln n ~ 2.1; allow generous headroom.
+        rounds = [threshold_allocate(m=4096, n=4096, threshold=1, rng=s).rounds for s in range(5)]
+        assert max(rounds) <= math.ceil(math.log(math.log(4096))) + 6
+
+    def test_higher_threshold_fewer_rounds(self):
+        slow = np.mean([threshold_allocate(4096, 4096, 1, rng=s).rounds for s in range(3)])
+        fast = np.mean([threshold_allocate(4096, 4096, 4, rng=s).rounds for s in range(3)])
+        assert fast <= slow
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(SimulationError):
+            threshold_allocate(m=100, n=1, threshold=1, rng=0, max_rounds=3)
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            threshold_allocate(m=-1, n=10)
+        with pytest.raises(ConfigurationError):
+            threshold_allocate(m=1, n=0)
+        with pytest.raises(ConfigurationError):
+            threshold_allocate(m=1, n=1, threshold=0)

@@ -1,0 +1,85 @@
+"""Property-based tests on CAPPED(c, λ) round dynamics (hypothesis)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.capped import CappedProcess
+
+# Small-but-varied configurations: n, c, lambda numerator (lam = k/n).
+configs = st.tuples(
+    st.sampled_from([4, 8, 16]),
+    st.sampled_from([1, 2, 3, None]),
+    st.integers(min_value=0, max_value=15),
+).filter(lambda t: t[2] < t[0])
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(configs, seeds, st.integers(min_value=1, max_value=25))
+@settings(max_examples=60, deadline=None)
+def test_conservation_every_round(config, seed, rounds):
+    n, c, k = config
+    process = CappedProcess(n=n, capacity=c, lam=k / n, rng=seed)
+    generated = deleted = 0
+    for _ in range(rounds):
+        record = process.step()
+        generated += record.arrivals
+        deleted += record.deleted
+        assert record.thrown == record.accepted + record.pool_size
+    assert generated == deleted + record.pool_size + record.total_load
+
+
+@given(configs, seeds)
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(config, seed):
+    n, c, k = config
+    process = CappedProcess(n=n, capacity=c, lam=k / n, rng=seed)
+    for _ in range(20):
+        record = process.step()
+        if c is not None:
+            assert record.max_load <= c
+        process.check_invariants()
+
+
+@given(configs, seeds)
+@settings(max_examples=40, deadline=None)
+def test_pool_only_holds_past_labels(config, seed):
+    n, c, k = config
+    process = CappedProcess(n=n, capacity=c, lam=k / n, rng=seed)
+    for _ in range(15):
+        process.step()
+        labels = process.pool.labels()
+        assert all(label <= process.round for label in labels)
+
+
+@given(
+    st.sampled_from([4, 8]),
+    st.integers(min_value=1, max_value=3),
+    st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_injected_choices_are_deterministic(n, c, raw_choices):
+    # Same injected choices => identical outcomes, independent of the RNG.
+    lam = 1 / n
+    results = []
+    for seed in (1, 2):
+        process = CappedProcess(n=n, capacity=c, lam=lam, rng=seed)
+        choices = np.asarray([x % n for x in raw_choices[: 1]], dtype=np.int64)
+        record = process.step(choices=choices)
+        results.append((record.accepted, record.pool_size, record.deleted))
+    assert results[0] == results[1]
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_waits_bounded_by_pool_age_plus_capacity(seed):
+    n, c, lam = 16, 2, 0.75
+    process = CappedProcess(n=n, capacity=c, lam=lam, rng=seed)
+    for _ in range(30):
+        oldest_age_before = process.pool.max_age(process.round + 1) if process.pool else 0
+        record = process.step()
+        if len(record.wait_values):
+            # A ball's wait = pool age at acceptance + queue position,
+            # both bounded by the oldest pool age and c - 1 respectively.
+            assert record.wait_values.max() <= oldest_age_before + 1 + c - 1 + 1

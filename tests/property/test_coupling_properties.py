@@ -1,0 +1,32 @@
+"""Property-based tests: the dominance lemmas hold for random configs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.coupling import CoupledRun
+
+configs = st.tuples(
+    st.sampled_from([8, 16, 32]),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=2**31 - 1),
+).filter(lambda t: t[2] < t[0])
+
+
+@given(configs)
+@settings(max_examples=25, deadline=None)
+def test_pool_dominance_surely_holds(config):
+    n, c, k, seed = config
+    run = CoupledRun(n=n, c=c, lam=k / n, rng=seed)
+    report = run.run(4 * c + 30)
+    assert report.holds
+
+
+@given(configs)
+@settings(max_examples=15, deadline=None)
+def test_load_dominance_surely_holds(config):
+    n, c, k, seed = config
+    run = CoupledRun(n=n, c=c, lam=k / n, rng=seed)
+    for _ in range(3 * c + 20):
+        result = run.step()
+        assert result.loads_dominated

@@ -1,0 +1,54 @@
+"""Property-based tests for the MODCAPPED buffer machinery (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.modcapped import ModCappedProcess, buffer_capacity
+
+capacities = st.integers(min_value=1, max_value=8)
+rounds = st.integers(min_value=0, max_value=200)
+buffer_indices = st.integers(min_value=0, max_value=40)
+
+
+@given(capacities, rounds)
+def test_active_capacities_always_sum_to_c(c, t):
+    total = sum(buffer_capacity(j, t, c) for j in range(0, t // c + 3))
+    assert total == c
+
+
+@given(capacities, buffer_indices)
+def test_buffer_lifecycle_shape(c, j):
+    # Capacity ramps 0..c over the fill phase then c..1 over the drain
+    # phase, and is 0 outside the active window.
+    window = [buffer_capacity(j, t, c) for t in range(c * (j - 1), c * (j + 1))]
+    if j >= 1:
+        assert window[:c] == list(range(0, c))
+        assert window[c:] == list(range(c, 0, -1))
+    assert buffer_capacity(j, c * (j + 1), c) == 0
+    assert buffer_capacity(j, c * (j - 1) - 1, c) == 0
+
+
+@given(capacities, rounds)
+def test_at_most_two_active_buffers(c, t):
+    active = [j for j in range(0, t // c + 3) if buffer_capacity(j, t, c) > 0]
+    assert 1 <= len(active) <= 2
+    if len(active) == 2:
+        assert active[1] == active[0] + 1
+
+
+@given(
+    st.sampled_from([8, 16]),
+    capacities,
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_modcapped_long_run_invariants(n, c, k, seed):
+    if k >= n:
+        k = n - 1
+    process = ModCappedProcess(n=n, c=c, lam=k / n, rng=seed)
+    for _ in range(4 * c + 20):
+        record = process.step()
+        process.check_invariants()
+        assert record.thrown >= process.m_star
+        assert record.pool_size >= 0

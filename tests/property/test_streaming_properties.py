@@ -1,0 +1,59 @@
+"""Property-based tests for streaming collectors vs batch oracles."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.stats.streaming import Histogram, RunningStats
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(floats, min_size=1, max_size=200))
+def test_running_stats_matches_numpy(values):
+    stats = RunningStats()
+    stats.add_many(values)
+    assert stats.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+    if len(values) > 1:
+        assert stats.variance == pytest.approx(
+            float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6
+        )
+
+
+@given(st.lists(floats, min_size=1, max_size=100), st.lists(floats, min_size=1, max_size=100))
+def test_merge_equals_concatenation(a_values, b_values):
+    a, b, both = RunningStats(), RunningStats(), RunningStats()
+    a.add_many(a_values)
+    b.add_many(b_values)
+    both.add_many(a_values + b_values)
+    a.merge(b)
+    assert a.mean == pytest.approx(both.mean, rel=1e-9, abs=1e-6)
+    assert a.variance == pytest.approx(both.variance, rel=1e-6, abs=1e-6)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=300))
+def test_histogram_quantiles_match_numpy_inverted_cdf(values):
+    hist = Histogram()
+    for value in values:
+        hist.add(value)
+    data = np.sort(np.asarray(values))
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        expected = int(np.quantile(data, q, method="inverted_cdf"))
+        assert hist.quantile(q) == expected
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 100), st.integers(0, 20)), min_size=1, max_size=50)
+)
+def test_histogram_weighted_add_matches_expansion(pairs):
+    weighted = Histogram()
+    expanded = Histogram()
+    for value, count in pairs:
+        weighted.add(value, count)
+        for _ in range(count):
+            expanded.add(value)
+    assert weighted.total == expanded.total
+    assert weighted.counts().tolist() == expanded.counts().tolist()

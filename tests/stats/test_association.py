@@ -1,0 +1,76 @@
+"""Unit tests for the negative-association diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.association import (
+    empty_bin_indicators,
+    pairwise_covariance_report,
+)
+
+
+class TestPairwiseCovariance:
+    def test_independent_variables_near_zero(self, rng):
+        data = rng.integers(0, 2, size=(5000, 4))
+        report = pairwise_covariance_report(data)
+        assert abs(report.mean_covariance) < 0.02
+        assert report.pairs == 6
+        assert report.consistent_with_na()
+
+    def test_positively_correlated_flagged(self, rng):
+        shared = rng.integers(0, 2, size=(2000, 1))
+        data = np.hstack([shared, shared])
+        report = pairwise_covariance_report(data)
+        assert report.max_covariance > 0.2
+        assert not report.consistent_with_na()
+
+    def test_anticorrelated_consistent(self, rng):
+        first = rng.integers(0, 2, size=(2000, 1))
+        data = np.hstack([first, 1 - first])
+        report = pairwise_covariance_report(data)
+        assert report.mean_covariance < 0
+        assert report.consistent_with_na()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_covariance_report(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            pairwise_covariance_report(np.zeros((10, 1)))
+
+    def test_custom_tolerance(self, rng):
+        data = rng.integers(0, 2, size=(100, 3))
+        report = pairwise_covariance_report(data, tolerance=10.0)
+        assert report.tolerance == 10.0
+        assert report.consistent_with_na()
+
+
+class TestEmptyBinIndicators:
+    def test_shape(self, rng):
+        matrix = empty_bin_indicators(n=20, balls=30, trials=50, rng=rng)
+        assert matrix.shape == (50, 20)
+        assert set(np.unique(matrix)) <= {0, 1}
+
+    def test_watch_subset(self, rng):
+        matrix = empty_bin_indicators(n=20, balls=30, trials=10, rng=rng, bins_to_watch=5)
+        assert matrix.shape == (10, 5)
+
+    def test_mean_matches_occupancy_formula(self, rng):
+        n, balls = 30, 45
+        matrix = empty_bin_indicators(n=n, balls=balls, trials=4000, rng=rng)
+        empirical = float(matrix.mean())
+        assert empirical == pytest.approx((1 - 1 / n) ** balls, rel=0.05)
+
+    def test_dubhashi_ranjan_negative_association(self, rng):
+        # The indicator family the paper's Lemma 2 relies on ([13]):
+        # empty-bin indicators are negatively associated, hence their
+        # pairwise covariances are non-positive (up to sampling noise).
+        matrix = empty_bin_indicators(n=10, balls=10, trials=6000, rng=rng)
+        report = pairwise_covariance_report(matrix)
+        assert report.consistent_with_na()
+        assert report.mean_covariance < 0  # genuinely negative, not just zero
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            empty_bin_indicators(n=1, balls=5, trials=5, rng=rng)
+        with pytest.raises(ValueError):
+            empty_bin_indicators(n=5, balls=-1, trials=5, rng=rng)

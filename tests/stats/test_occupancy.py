@@ -1,0 +1,68 @@
+"""Unit tests for occupancy formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.occupancy import (
+    expected_empty_bins,
+    expected_occupied_bins,
+    miss_probability,
+)
+
+
+class TestMissProbability:
+    def test_exact_formula(self):
+        assert miss_probability(4, 3) == pytest.approx((3 / 4) ** 3)
+
+    def test_asymptotic_upper_bounds_exact(self):
+        # (1 - 1/n)^m <= e^{-m/n}, the inequality used throughout the paper.
+        for n in (2, 10, 100):
+            for m in (0, 1, 5, 50):
+                assert miss_probability(n, m, exact=True) <= miss_probability(
+                    n, m, exact=False
+                ) + 1e-12
+
+    def test_zero_balls(self):
+        assert miss_probability(10, 0) == 1.0
+
+    def test_single_bin(self):
+        assert miss_probability(1, 1) == 0.0
+        assert miss_probability(1, 0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            miss_probability(0, 1)
+        with pytest.raises(ValueError):
+            miss_probability(1, -1)
+
+
+class TestExpectedCounts:
+    def test_empty_plus_occupied_is_n(self):
+        n, m = 50, 120
+        total = expected_empty_bins(n, m) + expected_occupied_bins(n, m)
+        assert total == pytest.approx(n)
+
+    def test_matches_simulation(self, rng):
+        n, m = 100, 150
+        trials = 3000
+        empties = [
+            int(np.count_nonzero(np.bincount(rng.integers(0, n, m), minlength=n) == 0))
+            for _ in range(trials)
+        ]
+        assert float(np.mean(empties)) == pytest.approx(expected_empty_bins(n, m), rel=0.02)
+
+    def test_exponential_approximation_close_for_large_n(self):
+        n, m = 10_000, 20_000
+        exact = expected_empty_bins(n, m, exact=True)
+        approx = expected_empty_bins(n, m, exact=False)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_paper_rate_example(self):
+        # Section III-A: with m* = ln(1/(1-lam))*n + 2n thrown, a deletion
+        # attempt fails with probability <= e^{-m*/n} = e^{-2}(1-lam).
+        lam = 0.75
+        n = 1000
+        m_star = int(math.log(1 / (1 - lam)) * n + 2 * n)
+        assert miss_probability(n, m_star, exact=False) <= math.exp(-2) * (1 - lam) * 1.001

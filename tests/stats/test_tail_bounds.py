@@ -1,0 +1,108 @@
+"""Unit tests for the Appendix A tail bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.tail_bounds import (
+    binomial_domination_tail,
+    binomial_tail_upper,
+    chernoff_2exp_bound,
+    chernoff_multiplicative_bound,
+    empty_bins_concentration,
+)
+
+
+class TestLemma8:
+    def test_value_is_two_to_minus_r(self):
+        assert chernoff_2exp_bound(mean=1.0, threshold=10.0) == pytest.approx(2.0**-10)
+
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError):
+            chernoff_2exp_bound(mean=5.0, threshold=6.0)  # 6 < 2e*5
+
+    def test_boundary_precondition_accepted(self):
+        r = 2 * math.e * 3.0
+        assert chernoff_2exp_bound(mean=3.0, threshold=r) == pytest.approx(2.0**-r)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            chernoff_2exp_bound(mean=-1.0, threshold=1.0)
+
+    def test_bound_actually_holds_for_binomial(self, rng):
+        # Empirical sanity: X ~ B(1000, 0.001), E[X]=1, R=12 >= 2e.
+        samples = rng.binomial(1000, 0.001, size=20_000)
+        empirical = np.mean(samples >= 12)
+        assert empirical <= chernoff_2exp_bound(1.0, 12.0) + 1e-3
+
+
+class TestLemma9:
+    def test_formula(self):
+        mean, delta = 10.0, 0.5
+        expected = math.exp(-(0.25 * 10) / 2.5)
+        assert chernoff_multiplicative_bound(mean, delta) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_multiplicative_bound(1.0, 0.0)
+
+    def test_bound_holds_for_binomial(self, rng):
+        mean = 100 * 0.3
+        samples = rng.binomial(100, 0.3, size=20_000)
+        delta = 0.5
+        empirical = np.mean(samples >= (1 + delta) * mean)
+        assert empirical <= chernoff_multiplicative_bound(mean, delta) + 1e-3
+
+
+class TestLemma10:
+    def test_probability_capped_at_one(self):
+        assert empty_bins_concentration(10, 5.0, 0.01) <= 1.0
+
+    def test_decreases_in_deviation(self):
+        small = empty_bins_concentration(100, 30.0, 5.0)
+        large = empty_bins_concentration(100, 30.0, 20.0)
+        assert large < small
+
+    def test_rejects_bad_expected(self):
+        with pytest.raises(ValueError):
+            empty_bins_concentration(10, 11.0, 1.0)
+
+    def test_empirical_empty_bins_within_bound(self, rng):
+        n, m = 200, 400
+        expected_empty = n * (1 - 1 / n) ** m
+        deviation = 20.0
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            loads = np.bincount(rng.integers(0, n, size=m), minlength=n)
+            empty = np.count_nonzero(loads == 0)
+            if abs(empty - expected_empty) >= deviation:
+                hits += 1
+        assert hits / trials <= empty_bins_concentration(n, expected_empty, deviation) + 0.01
+
+
+class TestBinomialTail:
+    def test_threshold_zero_is_one(self):
+        assert binomial_tail_upper(10, 0.5, 0) == 1.0
+
+    def test_threshold_above_trials_is_zero(self):
+        assert binomial_tail_upper(10, 0.5, 11) == 0.0
+
+    def test_degenerate_probabilities(self):
+        assert binomial_tail_upper(10, 0.0, 1) == 0.0
+        assert binomial_tail_upper(10, 1.0, 10) == 1.0
+
+    def test_matches_direct_sum(self):
+        # Pr[B(6, 0.3) >= 4] computed by hand via complement.
+        from math import comb
+
+        exact = sum(comb(6, k) * 0.3**k * 0.7 ** (6 - k) for k in range(4, 7))
+        assert binomial_tail_upper(6, 0.3, 4) == pytest.approx(exact)
+
+    def test_domination_alias(self):
+        assert binomial_domination_tail(6, 0.3, 4) == binomial_tail_upper(6, 0.3, 4)
+
+    def test_large_trials_stable(self):
+        value = binomial_tail_upper(10_000, 0.001, 30)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,168 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--id", "bogus"])
+
+
+class TestList:
+    def test_lists_experiments_and_profiles(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "fig4_left" in text
+        assert "paper" in text and "quick" in text
+
+
+class TestTheory:
+    def test_general_capacity(self):
+        code, text = run_cli("theory", "--c", "2", "--lam", "0.75", "--n", "1024")
+        assert code == 0
+        assert "Thm2 pool bound" in text
+        assert "sweet spot" in text
+        assert "Thm1" not in text
+
+    def test_unit_capacity_includes_thm1(self):
+        code, text = run_cli("theory", "--c", "1", "--lam", "0.75", "--n", "1024")
+        assert code == 0
+        assert "Thm1 pool bound" in text
+
+
+class TestMeanfield:
+    def test_outputs_equilibrium(self):
+        code, text = run_cli("meanfield", "--c", "1", "--lam", "0.75")
+        assert code == 0
+        assert "normalized pool" in text
+        assert "1.3863" in text  # nu/n = ln 4
+
+
+class TestSimulate:
+    def test_capped_point(self):
+        code, text = run_cli(
+            "simulate", "--n", "256", "--c", "2", "--lam", "0.75", "--rounds", "50"
+        )
+        assert code == 0
+        assert "pool/n" in text
+
+    def test_greedy_point(self):
+        code, text = run_cli(
+            "simulate", "--process", "greedy", "--d", "2",
+            "--n", "256", "--lam", "0.75", "--rounds", "50", "--burn-in", "50",
+        )
+        assert code == 0
+        assert "avg_wait" in text
+
+
+class TestExperiments:
+    def test_single_experiment_with_csv(self, tmp_path):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--csv-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "PASS" in text
+        assert (tmp_path / "dominance.csv").exists()
+
+    def test_plot_flag(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick", "--plot"
+        )
+        assert code == 0
+        assert "+----" in text or "|" in text
+
+    def test_json_and_markdown_outputs(self, tmp_path):
+        code, text = run_cli(
+            "experiments", "--id", "drain_stages", "--profile", "quick",
+            "--json-dir", str(tmp_path / "json"),
+            "--markdown", str(tmp_path / "report.md"),
+        )
+        assert code == 0
+        assert (tmp_path / "json" / "drain_stages.json").exists()
+        report = (tmp_path / "report.md").read_text()
+        assert report.startswith("# Reproduction report")
+        assert "drain_stages" in report
+
+
+class TestFluid:
+    def test_prints_trajectory(self):
+        code, text = run_cli("fluid", "--c", "1", "--lam", "0.75", "--rounds", "20")
+        assert code == 0
+        assert "pool/n" in text
+        assert "relaxation" in text
+
+    def test_spike_start(self):
+        code, text = run_cli(
+            "fluid", "--c", "2", "--lam", "0.5", "--rounds", "10", "--initial-pool", "4.0"
+        )
+        assert code == 0
+        assert "4.0000" in text
+
+
+class TestTrace:
+    def test_record_then_summarize(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, text = run_cli(
+            "trace", "record", str(path),
+            "--n", "128", "--c", "2", "--lam", "0.75", "--rounds", "40",
+        )
+        assert code == 0
+        assert "wrote 40 rounds" in text
+        code, text = run_cli("trace", "summarize", str(path), "--n", "128")
+        assert code == 0
+        assert "pool/n" in text and "max_wait" in text
+
+    def test_record_respects_burn_in(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, text = run_cli(
+            "trace", "record", str(path),
+            "--n", "64", "--c", "1", "--lam", "0.5", "--rounds", "10", "--burn-in", "5",
+        )
+        assert code == 0
+        # Burn-in rounds are also streamed (observers see every round).
+        assert "wrote 15 rounds" in text
+
+
+class TestCompare:
+    def test_identical_files_ok(self, tmp_path):
+        run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--json-dir", str(tmp_path),
+        )
+        path = tmp_path / "dominance.json"
+        code, text = run_cli("compare", str(path), str(path))
+        assert code == 0
+        assert "OK" in text
+
+    def test_mismatch_flagged(self, tmp_path):
+        import json
+
+        run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--json-dir", str(tmp_path),
+        )
+        path_a = tmp_path / "dominance.json"
+        payload = json.loads(path_a.read_text())
+        payload["rows"][0]["worst_gap"] = payload["rows"][0]["worst_gap"] * 100.0
+        payload["profile"] = "tampered"
+        path_b = tmp_path / "tampered.json"
+        path_b.write_text(json.dumps(payload))
+        code, text = run_cli("compare", str(path_a), str(path_b), "--tolerance", "0.1")
+        assert code == 1
+        assert "outlier" in text

@@ -1,0 +1,38 @@
+"""Run the doc examples embedded in public docstrings.
+
+Documentation that executes is documentation that stays correct; every
+module whose docstrings carry ``>>>`` examples is exercised here.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.balls.buffer
+import repro.balls.pool
+import repro.core.capped
+import repro.processes.greedy
+import repro.rng
+import repro.stats.streaming
+
+MODULES = [
+    repro.rng,
+    repro.balls.buffer,
+    repro.balls.pool,
+    repro.core.capped,
+    repro.processes.greedy,
+    repro.stats.streaming,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+
+
+def test_package_docstring_example():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

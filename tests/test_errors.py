@@ -1,0 +1,44 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityExceeded,
+    ConfigurationError,
+    ExperimentError,
+    InvariantViolation,
+    ReproError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConfigurationError, InvariantViolation, CapacityExceeded, SimulationError, ExperimentError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    # Callers using plain `except ValueError` still catch misconfiguration.
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_invariant_violation_is_assertion_error():
+    assert issubclass(InvariantViolation, AssertionError)
+
+
+def test_capacity_exceeded_is_invariant_violation():
+    assert issubclass(CapacityExceeded, InvariantViolation)
+
+
+def test_simulation_and_experiment_are_runtime_errors():
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(ExperimentError, RuntimeError)
+
+
+def test_single_except_catches_everything():
+    for exc in (ConfigurationError, CapacityExceeded, ExperimentError):
+        with pytest.raises(ReproError):
+            raise exc("boom")

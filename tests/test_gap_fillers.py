@@ -1,0 +1,82 @@
+"""Targeted tests for paths the main suites exercise only indirectly."""
+
+import numpy as np
+import pytest
+
+from repro.stats.intervals import normal_ci
+
+
+class TestNonTabulatedConfidence:
+    def test_interpolated_z_value(self, rng):
+        # 0.97 is not in the z table, exercising the rational approximation.
+        samples = rng.normal(0, 1, size=200)
+        narrow = normal_ci(samples, confidence=0.95)
+        mid = normal_ci(samples, confidence=0.97)
+        wide = normal_ci(samples, confidence=0.99)
+        assert narrow.half_width < mid.half_width < wide.half_width
+
+    def test_extreme_confidence(self, rng):
+        samples = rng.normal(0, 1, size=50)
+        ci = normal_ci(samples, confidence=0.999)
+        assert ci.low < ci.estimate < ci.high
+
+
+class TestCliColdStart:
+    def test_simulate_cold_start_flag(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "--n", "256", "--c", "1", "--lam", "0.5",
+                "--rounds", "50", "--cold-start",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "pool/n" in out.getvalue()
+
+
+class TestFluidCustomStart:
+    def test_integrate_from_custom_load_distribution(self):
+        from repro.core import fluid
+
+        loads = np.array([0.2, 0.5, 0.3])
+        trajectory = fluid.integrate(c=2, lam=0.5, rounds=50, initial_loads=loads)
+        # Still converges to the unique equilibrium.
+        from repro.core.meanfield import equilibrium
+
+        assert trajectory.pool[-1] == pytest.approx(
+            equilibrium(2, 0.5).normalized_pool, abs=0.01
+        )
+
+    def test_spike_with_preloaded_bins_drains(self):
+        from repro.core import fluid
+
+        loads = np.array([0.0, 0.0, 1.0])  # every bin full
+        trajectory = fluid.integrate(
+            c=2, lam=0.0, rounds=40, initial_pool=1.0, initial_loads=loads
+        )
+        assert trajectory.pool[-1] == pytest.approx(0.0, abs=1e-6)
+        assert trajectory.mean_load[-1] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMeanFieldStrProperties:
+    def test_equilibrium_dataclass_fields(self):
+        from repro.core.meanfield import equilibrium
+
+        eq = equilibrium(2, 0.75)
+        assert eq.c == 2
+        assert eq.lam == 0.75
+        assert len(eq.load_distribution) == 3
+        assert eq.load_distribution.sum() == pytest.approx(1.0)
+
+
+class TestPointResultRowForFiniteCapacity:
+    def test_row_renders_integer_capacity(self):
+        from repro.analysis.sweep import measure_capped
+
+        point = measure_capped(n=64, c=3, lam=0.5, measure=20, seed=0)
+        assert point.row()["c"] == 3

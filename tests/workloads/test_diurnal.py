@@ -1,0 +1,50 @@
+"""Unit tests for the diurnal arrival model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import DiurnalArrivals
+
+
+class TestDiurnal:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(n=10, base=1.0, amplitude=0.1, period=10)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(n=10, base=0.5, amplitude=-0.1, period=10)
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(n=10, base=0.5, amplitude=0.1, period=1)
+
+    def test_oscillates_around_base(self, rng):
+        workload = DiurnalArrivals(n=1000, base=0.5, amplitude=0.25, period=40)
+        counts = [workload.arrivals(t, rng) for t in range(1, 41)]
+        assert max(counts) == pytest.approx(750, abs=5)
+        assert min(counts) == pytest.approx(250, abs=5)
+        assert np.mean(counts) == pytest.approx(500, rel=0.02)
+
+    def test_rate_clamped_to_unit_interval(self, rng):
+        workload = DiurnalArrivals(n=100, base=0.9, amplitude=0.5, period=10)
+        for t in range(1, 21):
+            assert 0 <= workload.arrivals(t, rng) <= 100
+
+    def test_periodicity(self, rng):
+        workload = DiurnalArrivals(n=500, base=0.5, amplitude=0.3, period=16)
+        first = [workload.arrivals(t, rng) for t in range(1, 17)]
+        second = [workload.arrivals(t, rng) for t in range(17, 33)]
+        assert first == second
+
+    def test_mean_rate(self):
+        assert DiurnalArrivals(n=10, base=0.6, amplitude=0.2, period=8).mean_rate == 0.6
+
+    def test_capped_stays_stable_under_diurnal_load(self):
+        # The pool tracks the oscillation but never runs away when the
+        # peak rate stays below 1.
+        from repro.core.capped import CappedProcess
+        from repro.engine.driver import SimulationDriver
+
+        workload = DiurnalArrivals(n=256, base=0.625, amplitude=0.25, period=64)
+        process = CappedProcess(n=256, capacity=2, lam=0.625, rng=0, arrivals=workload)
+        result = SimulationDriver(burn_in=128, measure=256).run(process)
+        assert result.summary.peak_pool < 3 * 256
+        assert result.summary.throughput == pytest.approx(0.625 * 256, rel=0.1)
