@@ -10,7 +10,6 @@ The bench regenerates the whole hierarchy and asserts its ordering.
 
 import math
 
-import pytest
 
 from repro.processes.always_go_left import always_go_left
 from repro.processes.sequential import max_load, sequential_greedy_d, sequential_one_choice

@@ -6,6 +6,8 @@ Usage examples::
     repro simulate --n 4096 --c 2 --lam 0.75 --rounds 1000
     repro experiments --id fig4_left --profile default
     repro experiments --all --profile quick --csv-dir out/
+    repro experiments --all --profile default --jobs 8 --cache-dir .repro-cache
+    repro experiments --all --profile paper --jobs 8 --cache-dir .repro-cache --resume
     repro theory --c 2 --lam 0.96875 --n 4096
     repro meanfield --c 3 --lam 0.999
 
@@ -67,6 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", type=Path, default=None, help="write a combined markdown report here"
     )
     exp.add_argument("--plot", action="store_true", help="append an ASCII plot")
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are bit-identical to --jobs 1)",
+    )
+    exp.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="content-addressed result cache; also hosts the resume journal",
+    )
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already journaled in --cache-dir from an interrupted run",
+    )
+    exp.add_argument(
+        "--timing", action="store_true", help="print per-task timing statistics"
+    )
+    exp.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-task progress/ETA lines on stderr",
+    )
 
     thy = sub.add_parser("theory", help="print the paper's bounds for (c, lam, n)")
     thy.add_argument("--c", type=int, required=True)
@@ -172,10 +199,32 @@ def _cmd_experiments(args, out) -> int:
     from repro.analysis.report import write_report
 
     ids = sorted(EXPERIMENTS) if args.all else [args.id]
+    if args.jobs < 1:
+        out.write(f"error: --jobs must be >= 1, got {args.jobs}\n")
+        return 2
+    if args.resume and args.cache_dir is None:
+        out.write("error: --resume needs --cache-dir (the journal lives there)\n")
+        return 2
+    use_runner = args.jobs != 1 or args.resume or args.cache_dir is not None
+    report = None
+    if use_runner:
+        from repro.parallel import run_experiments
+
+        report = run_experiments(
+            ids,
+            profile=args.profile,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            progress_stream=None if args.no_progress else sys.stderr,
+        )
+        produced = {result.experiment_id: result for result in report.results}
     failures = 0
     results = []
     for experiment_id in ids:
-        result = run_experiment(experiment_id, args.profile)
+        result = produced[experiment_id] if use_runner else run_experiment(
+            experiment_id, args.profile
+        )
         results.append(result)
         out.write(result.table() + "\n\n")
         if args.plot:
@@ -192,6 +241,12 @@ def _cmd_experiments(args, out) -> int:
     if args.markdown is not None:
         path = write_report(results, args.markdown, title=f"Reproduction report ({args.profile})")
         out.write(f"wrote {path}\n")
+    if report is not None:
+        for line in report.summary_lines():
+            out.write(line + "\n")
+        if args.timing:
+            for line in report.timings.summary_lines():
+                out.write(line + "\n")
     return 1 if failures else 0
 
 

@@ -46,8 +46,13 @@ class SimulationResult:
     burn_in / measured:
         The phase lengths actually executed.
     stationary:
-        Result of the drift diagnostic on the measured pool series (None
-        if the window was too short to diagnose).
+        Result of the drift diagnostic on the measured pool series.
+        **None contract:** ``None`` means the diagnostic was *not run* —
+        the driver was configured with ``measure < 4`` (the two-half drift
+        test needs at least 2 points per half), so no stationarity claim
+        is made either way. Consumers must treat ``None`` as "unknown",
+        never as "not stationary"; aggregations (e.g.
+        ``PointResult.stationary_fraction``) skip such replicates.
     """
 
     summary: MetricsSummary
@@ -98,6 +103,10 @@ class SimulationDriver:
         self.burn_in = burn_in
         self.measure = measure
         self.observers = list(observers)
+        # The drift diagnostic splits the measured series into two halves
+        # and needs at least 2 points in each; decide once at configuration
+        # time instead of re-checking the series length on every run.
+        self._diagnose_stationarity = measure >= 4
 
     def _notify(self, record: RoundRecord, process: Any) -> None:
         for observer in self.observers:
@@ -116,7 +125,7 @@ class SimulationDriver:
             collector.observe(record)
 
         series = collector.pool_series
-        stationary = is_stationary(series) if series.size >= 4 else None
+        stationary = is_stationary(series) if self._diagnose_stationarity else None
         return SimulationResult(
             summary=collector.summary(),
             pool_series=series,

@@ -14,6 +14,7 @@ __all__ = [
     "CapacityExceeded",
     "SimulationError",
     "ExperimentError",
+    "ParallelExecutionError",
 ]
 
 
@@ -48,3 +49,11 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment definition could not be resolved or executed."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """The parallel runner could not plan, execute, or replay a sweep.
+
+    Raised for unknown task kinds, replay passes missing precomputed
+    outcomes, and resume attempts without a journal to resume from.
+    """

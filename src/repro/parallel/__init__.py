@@ -1,0 +1,52 @@
+"""Parallel experiment execution with crash-safe resume.
+
+This package fans the paper's evaluation grid out across worker processes
+while keeping results *bit-identical* to the serial path:
+
+* every replicate derives its random stream from
+  :class:`repro.rng.RngFactory` child streams keyed only on ``(seed,
+  replicate)``, never on execution order, so scheduling cannot change a
+  single drawn number;
+* a crash-safe JSONL :class:`~repro.parallel.journal.Journal` records every
+  completed measurement (atomic append + fsync), so an interrupted sweep
+  resumes without recomputing finished cells;
+* a content-addressed :class:`~repro.parallel.cache.ResultCache` keyed on
+  the measurement parameters, seed, and a fingerprint of the code-relevant
+  modules lets repeated sweeps compute only missing cells.
+
+The entry point is :class:`~repro.parallel.runner.ExperimentRunner` (or the
+:func:`~repro.parallel.runner.run_experiments` convenience wrapper), wired
+into the CLI as ``repro experiments --jobs N --resume --cache-dir ...``.
+"""
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.context import (
+    MeasurementContext,
+    RecordingContext,
+    ReplayContext,
+    active_context,
+    use_context,
+)
+from repro.parallel.journal import Journal, JournalState
+from repro.parallel.progress import ProgressReporter, TimingStats
+from repro.parallel.runner import ExperimentRunner, RunnerReport, run_experiments
+from repro.parallel.tasks import TaskSpec, discover_experiment, execute_task
+
+__all__ = [
+    "ExperimentRunner",
+    "RunnerReport",
+    "run_experiments",
+    "Journal",
+    "JournalState",
+    "ResultCache",
+    "TaskSpec",
+    "execute_task",
+    "discover_experiment",
+    "MeasurementContext",
+    "RecordingContext",
+    "ReplayContext",
+    "active_context",
+    "use_context",
+    "ProgressReporter",
+    "TimingStats",
+]

@@ -1,0 +1,53 @@
+"""Content-addressed on-disk result cache.
+
+Each entry is a small JSON file named by the sha256 of its semantic key
+(measurement kind, parameters, seed, replicate, and a fingerprint of the
+code-relevant modules — see :mod:`repro.parallel.keys`). Writes go through
+a temp file and :func:`os.replace`, so a cache entry is either absent or
+complete, never torn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed cache mapping content digests to JSON payloads."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the cached payload for ``key``, or None on miss.
+
+        Unreadable entries (truncated by an earlier crash, foreign files)
+        are treated as misses.
+        """
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,121 @@
+"""Measurement interception for record/replay parallel execution.
+
+The experiment generators in :mod:`repro.analysis.experiments` are plain
+serial functions calling :func:`~repro.analysis.sweep.measure_capped` /
+``measure_greedy`` cell by cell. Instead of rewriting every generator into
+a declarative grid, the sweep helpers consult the *active measurement
+context* before doing any work:
+
+* no context (the default) — measure serially, exactly as before;
+* :class:`RecordingContext` — record the call's resolved parameters and
+  return a cheap placeholder; running a generator under it yields the full
+  list of measurement cells without simulating anything;
+* :class:`ReplayContext` — serve precomputed replicate outcomes, assembled
+  through the same aggregation as the serial path, so a generator re-run
+  under it produces bit-identical results.
+
+Because every cell's seed is a pure function of the experiment's loop
+indices (never of previous results), the recorded plan is exact and the
+replay pass is deterministic.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.keys import point_key
+
+__all__ = [
+    "MeasurementContext",
+    "RecordingContext",
+    "ReplayContext",
+    "active_context",
+    "use_context",
+]
+
+
+@runtime_checkable
+class MeasurementContext(Protocol):
+    """Anything that can stand in for a point measurement."""
+
+    def measure(self, kind: str, params: dict[str, Any], replicates: int) -> Any:
+        """Handle one ``measure_capped``/``measure_greedy`` call."""
+        ...  # pragma: no cover - protocol
+
+
+_ACTIVE: contextvars.ContextVar[MeasurementContext | None] = contextvars.ContextVar(
+    "repro_measurement_context", default=None
+)
+
+
+def active_context() -> MeasurementContext | None:
+    """The measurement context installed for the current task, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_context(context: MeasurementContext) -> Iterator[MeasurementContext]:
+    """Install ``context`` for the duration of the block."""
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)
+
+
+class RecordingContext:
+    """Collects measurement calls instead of executing them.
+
+    ``points`` maps each point key to ``{"kind", "params", "replicates"}``;
+    duplicate calls merge by taking the largest replicate count.
+    """
+
+    def __init__(self) -> None:
+        self.points: dict[str, dict[str, Any]] = {}
+
+    @property
+    def calls(self) -> int:
+        return len(self.points)
+
+    def measure(self, kind: str, params: dict[str, Any], replicates: int) -> Any:
+        from repro.analysis.sweep import placeholder_point
+
+        key = point_key(kind, params)
+        entry = self.points.setdefault(
+            key, {"kind": kind, "params": dict(params), "replicates": 0}
+        )
+        entry["replicates"] = max(entry["replicates"], replicates)
+        return placeholder_point(kind, params, replicates)
+
+
+class ReplayContext:
+    """Serves precomputed replicate outcomes to a re-run generator.
+
+    Parameters
+    ----------
+    outcomes:
+        Mapping from point key to the list of replicate outcome payloads
+        (dicts produced by ``ReplicateOutcome.to_dict``), ordered by
+        replicate index.
+    """
+
+    def __init__(self, outcomes: dict[str, list[dict[str, Any]]]) -> None:
+        self._outcomes = outcomes
+        self.served = 0
+
+    def measure(self, kind: str, params: dict[str, Any], replicates: int) -> Any:
+        from repro.analysis.sweep import ReplicateOutcome, assemble_point
+
+        key = point_key(kind, params)
+        payloads = self._outcomes.get(key)
+        if payloads is None or len(payloads) < replicates:
+            have = 0 if payloads is None else len(payloads)
+            raise ParallelExecutionError(
+                f"replay is missing outcomes for {key}: need {replicates}, have {have}"
+            )
+        self.served += 1
+        outcomes = [ReplicateOutcome.from_dict(p) for p in payloads[:replicates]]
+        return assemble_point(kind, params, outcomes)

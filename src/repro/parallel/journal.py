@@ -1,0 +1,107 @@
+"""Crash-safe JSONL journal of completed work.
+
+Every finished measurement (and every finished experiment) is appended as
+one JSON line, flushed and fsynced before the runner moves on. After a
+crash or Ctrl-C the journal is replayed by :meth:`Journal.load`: complete
+lines become resumable results, a torn final line (the write the crash
+interrupted) is skipped and counted, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Journal", "JournalState"]
+
+
+@dataclass
+class JournalState:
+    """Parsed content of a journal file.
+
+    ``tasks`` maps a task digest to its outcome payload; ``experiments``
+    maps an experiment digest to a serialised result. ``corrupt_lines``
+    counts unparseable lines (torn writes) that were skipped.
+    """
+
+    tasks: dict[str, dict[str, Any]] = field(default_factory=dict)
+    experiments: dict[str, dict[str, Any]] = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    @property
+    def entries(self) -> int:
+        return len(self.tasks) + len(self.experiments)
+
+
+class Journal:
+    """Append-only JSONL journal with per-entry durability.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (parent directories are created).
+    resume:
+        If True, append to an existing journal; otherwise start fresh
+        (truncating any stale journal from a previous run).
+    """
+
+    def __init__(self, path: Path | str, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab" if resume else "wb")
+        self.entries_written = 0
+
+    def append(self, entry: dict[str, Any]) -> None:
+        """Durably append one entry (atomic single-line write + fsync)."""
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        self._fh.write(line.encode("utf-8"))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.entries_written += 1
+
+    def append_task(self, key: str, spec: dict[str, Any], outcome: dict[str, Any]) -> None:
+        self.append({"type": "task", "key": key, "spec": spec, "outcome": outcome})
+
+    def append_experiment(self, key: str, experiment_id: str, result: dict[str, Any]) -> None:
+        self.append(
+            {"type": "experiment", "key": key, "experiment_id": experiment_id, "result": result}
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @staticmethod
+    def load(path: Path | str) -> JournalState:
+        """Replay a journal file, tolerating torn or malformed lines."""
+        state = JournalState()
+        path = Path(path)
+        if not path.exists():
+            return state
+        with open(path, "rb") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                    kind = entry["type"]
+                    key = entry["key"]
+                    if kind == "task":
+                        state.tasks[key] = entry["outcome"]
+                    elif kind == "experiment":
+                        state.experiments[key] = entry["result"]
+                    else:
+                        state.corrupt_lines += 1
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    state.corrupt_lines += 1
+        return state

@@ -1,0 +1,95 @@
+"""Progress/ETA reporting and per-task timing statistics."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TextIO
+
+__all__ = ["ProgressReporter", "TimingStats"]
+
+
+@dataclass
+class TimingStats:
+    """Streaming timing accumulator, overall and per label prefix."""
+
+    count: int = 0
+    total: float = 0.0
+    slowest: float = 0.0
+    slowest_label: str = ""
+    by_label: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, label: str, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.slowest:
+            self.slowest = elapsed
+            self.slowest_label = label
+        bucket = self.by_label.setdefault(label.split()[0], [])
+        bucket.append(elapsed)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable timing breakdown (one line per label prefix)."""
+        lines = [
+            f"tasks timed: {self.count}  total {self.total:.2f}s  "
+            f"mean {self.mean:.2f}s  slowest {self.slowest:.2f}s ({self.slowest_label})"
+        ]
+        for label in sorted(self.by_label):
+            values = self.by_label[label]
+            lines.append(
+                f"  {label:10s} count={len(values)} total={sum(values):.2f}s "
+                f"mean={sum(values) / len(values):.2f}s max={max(values):.2f}s"
+            )
+        return lines
+
+
+class ProgressReporter:
+    """Prints ``[done/total]`` lines with a simple throughput-based ETA.
+
+    ETA assumes the remaining tasks cost the mean of the *computed* tasks
+    so far divided over ``jobs`` workers; cached/journaled tasks count as
+    free. Output is throttled to at most one line per ``min_interval``
+    seconds (the final task always prints).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        stream: TextIO | None = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self.computed = 0
+        self.computed_seconds = 0.0
+        self._last_print = 0.0
+
+    def task_done(self, label: str, elapsed: float, source: str = "computed") -> None:
+        """Record one finished task; ``source`` is computed/cache/journal."""
+        self.done += 1
+        if source == "computed":
+            self.computed += 1
+            self.computed_seconds += elapsed
+        now = time.monotonic()
+        is_last = self.done >= self.total
+        if not is_last and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        eta = ""
+        if self.computed and not is_last:
+            per_task = self.computed_seconds / self.computed
+            remaining = (self.total - self.done) * per_task / self.jobs
+            eta = f"  eta {remaining:.0f}s"
+        self.stream.write(
+            f"[{self.done}/{self.total}] {label} ({source}, {elapsed:.2f}s){eta}\n"
+        )
+        self.stream.flush()

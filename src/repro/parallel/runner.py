@@ -1,0 +1,364 @@
+"""Process-pool experiment runner: plan → measure → replay.
+
+:class:`ExperimentRunner` executes a set of experiments in three phases:
+
+1. **Discover** — each experiment generator runs under a
+   :class:`~repro.parallel.context.RecordingContext` (on a worker, so pure
+   driver experiments parallelise across each other) to extract its grid of
+   measurement cells.
+2. **Measure** — every (cell, replicate) becomes an independent task. Tasks
+   already present in the resume journal or the content-addressed cache are
+   served from disk; the rest fan out over a process pool. Each completed
+   task is journaled (fsync'd) before the runner proceeds, so a crash loses
+   at most the in-flight tasks.
+3. **Replay** — each generator re-runs with a
+   :class:`~repro.parallel.context.ReplayContext` serving the precomputed
+   outcomes through the same aggregation as the serial path, yielding
+   results bit-identical to ``--jobs 1``.
+
+Determinism: replicate streams depend only on ``(seed, replicate)`` and
+cell seeds only on the experiment's loop indices, so worker scheduling
+cannot influence any number in the output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.cache import ResultCache
+from repro.parallel.context import ReplayContext, use_context
+from repro.parallel.journal import Journal, JournalState
+from repro.parallel.keys import experiment_digest
+from repro.parallel.progress import ProgressReporter, TimingStats
+from repro.parallel.tasks import (
+    TaskSpec,
+    discover_experiment,
+    execute_task,
+    profile_payload,
+    result_from_payload,
+    result_payload,
+)
+
+__all__ = ["ExperimentRunner", "RunnerReport", "run_experiments"]
+
+
+@dataclass
+class RunnerReport:
+    """What a runner invocation did, and what it produced.
+
+    ``results`` preserves the requested experiment order. The counters
+    split every task and experiment by where its result came from —
+    computed now, replayed from the resume journal, or served by the cache.
+    """
+
+    results: list[Any] = field(default_factory=list)
+    tasks_total: int = 0
+    tasks_computed: int = 0
+    tasks_from_journal: int = 0
+    tasks_from_cache: int = 0
+    experiments_total: int = 0
+    experiments_from_journal: int = 0
+    experiments_from_cache: int = 0
+    journal_corrupt_lines: int = 0
+    timings: TimingStats = field(default_factory=TimingStats)
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.tasks_from_cache + self.experiments_from_cache
+
+    @property
+    def cache_misses(self) -> int:
+        return self.tasks_computed
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"experiments: {self.experiments_total} "
+            f"(journal {self.experiments_from_journal}, cache {self.experiments_from_cache})",
+            f"tasks: {self.tasks_total} (computed {self.tasks_computed}, "
+            f"journal {self.tasks_from_journal}, cache {self.tasks_from_cache})",
+            f"wall clock: {self.wall_seconds:.2f}s",
+        ]
+        if self.journal_corrupt_lines:
+            lines.append(f"journal: skipped {self.journal_corrupt_lines} torn line(s)")
+        return lines
+
+
+class ExperimentRunner:
+    """Parallel, resumable executor for the experiment registry.
+
+    Parameters
+    ----------
+    profile:
+        Profile name or :class:`~repro.analysis.experiments.Profile`.
+    jobs:
+        Worker processes; 1 executes everything in-process (still with
+        journal/cache support).
+    cache_dir:
+        Directory for the content-addressed result cache. Also the default
+        home of the resume journal (``<cache_dir>/journal.jsonl``).
+    resume:
+        Replay the journal before computing, skipping finished work.
+    journal_path:
+        Explicit journal location (overrides the cache-dir default).
+    progress_stream:
+        Where to write progress/ETA lines (None disables progress output).
+    """
+
+    def __init__(
+        self,
+        profile: Any = "default",
+        jobs: int = 1,
+        cache_dir: Path | str | None = None,
+        resume: bool = False,
+        journal_path: Path | str | None = None,
+        progress_stream: TextIO | None = None,
+        progress_interval: float = 0.5,
+    ) -> None:
+        from repro.analysis.experiments import PROFILES, Profile
+        from repro.errors import ExperimentError
+
+        if isinstance(profile, str):
+            if profile not in PROFILES:
+                raise ExperimentError(
+                    f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
+                )
+            profile = PROFILES[profile]
+        if not isinstance(profile, Profile):
+            raise ExperimentError(f"cannot use {profile!r} as a profile")
+        if jobs < 1:
+            raise ParallelExecutionError(f"jobs must be >= 1, got {jobs}")
+        self.profile = profile
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if journal_path is None and cache_dir is not None:
+            journal_path = Path(cache_dir) / "journal.jsonl"
+        self.journal_path = Path(journal_path) if journal_path is not None else None
+        if resume and self.journal_path is None:
+            raise ParallelExecutionError(
+                "--resume needs a journal: pass cache_dir or journal_path"
+            )
+        self.resume = resume
+        self.progress_stream = progress_stream
+        self.progress_interval = progress_interval
+
+    # ------------------------------------------------------------------
+    # execution fabric
+    # ------------------------------------------------------------------
+
+    def _map_unordered(
+        self, fn: Callable[[dict], dict], payloads: Sequence[dict]
+    ) -> Iterator[tuple[dict, dict]]:
+        """Run ``fn`` over ``payloads``, yielding (payload, result) pairs.
+
+        With one job (or one payload) this is a plain in-process loop;
+        otherwise a process pool, yielding in completion order. Callers
+        must not depend on ordering — all assembly is keyed.
+        """
+        if self.jobs == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                yield payload, fn(payload)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(payloads))) as pool:
+            futures = {pool.submit(fn, payload): payload for payload in payloads}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+    # ------------------------------------------------------------------
+    # main flow
+    # ------------------------------------------------------------------
+
+    def run(self, experiment_ids: Iterable[str]) -> RunnerReport:
+        """Execute ``experiment_ids`` under this runner's configuration."""
+        from repro.analysis.experiments import get_experiment
+
+        ids = list(experiment_ids)
+        for experiment_id in ids:
+            get_experiment(experiment_id)  # fail fast on unknown ids
+
+        started = time.perf_counter()
+        report = RunnerReport(experiments_total=len(ids))
+        prof = profile_payload(self.profile)
+
+        journal_state = JournalState()
+        if self.resume and self.journal_path is not None:
+            journal_state = Journal.load(self.journal_path)
+            report.journal_corrupt_lines = journal_state.corrupt_lines
+        journal = (
+            Journal(self.journal_path, resume=self.resume)
+            if self.journal_path is not None
+            else None
+        )
+
+        try:
+            ready, plans = self._discover(ids, prof, journal_state, journal, report)
+            outcomes = self._measure(ids, ready, plans, journal_state, journal, report)
+            for experiment_id in ids:
+                if experiment_id in ready:
+                    result = ready[experiment_id]
+                else:
+                    replay = ReplayContext(outcomes)
+                    with use_context(replay):
+                        result = get_experiment(experiment_id)(self.profile)
+                    self._finish_experiment(experiment_id, prof, result, journal)
+                report.results.append(result)
+        finally:
+            if journal is not None:
+                journal.close()
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _finish_experiment(
+        self, experiment_id: str, prof: dict, result: Any, journal: Journal | None
+    ) -> None:
+        key = experiment_digest(experiment_id, prof)
+        payload = result_payload(result)
+        if journal is not None:
+            journal.append_experiment(key, experiment_id, payload)
+        if self.cache is not None:
+            self.cache.put(key, {"experiment_id": experiment_id, "result": payload})
+
+    def _discover(
+        self,
+        ids: list[str],
+        prof: dict,
+        journal_state: JournalState,
+        journal: Journal | None,
+        report: RunnerReport,
+    ) -> tuple[dict[str, Any], dict[str, list[dict]]]:
+        """Phase 1: resolve finished experiments, plan the rest."""
+        ready: dict[str, Any] = {}
+        to_discover: list[dict] = []
+        for experiment_id in ids:
+            key = experiment_digest(experiment_id, prof)
+            if key in journal_state.experiments:
+                ready[experiment_id] = result_from_payload(journal_state.experiments[key])
+                report.experiments_from_journal += 1
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    ready[experiment_id] = result_from_payload(cached["result"])
+                    report.experiments_from_cache += 1
+                    continue
+            to_discover.append({"experiment_id": experiment_id, "profile": prof})
+
+        plans: dict[str, list[dict]] = {}
+        for payload, found in self._map_unordered(discover_experiment, to_discover):
+            experiment_id = payload["experiment_id"]
+            report.timings.add(f"discover:{experiment_id}", found["elapsed"])
+            if found["result"] is not None:
+                # The generator made no measurement calls: its recording
+                # run was the real run and the result is already final.
+                result = result_from_payload(found["result"])
+                ready[experiment_id] = result
+                self._finish_experiment(experiment_id, prof, result, journal)
+            else:
+                plans[experiment_id] = found["points"]
+        return ready, plans
+
+    def _measure(
+        self,
+        ids: list[str],
+        ready: dict[str, Any],
+        plans: dict[str, list[dict]],
+        journal_state: JournalState,
+        journal: Journal | None,
+        report: RunnerReport,
+    ) -> dict[str, list[dict]]:
+        """Phase 2: execute every planned (cell, replicate) exactly once."""
+        # Merge the plans into one deduplicated spec set; a point requested
+        # by several experiments keeps its largest replicate count.
+        points: dict[str, dict] = {}
+        for experiment_id in ids:
+            for point in plans.get(experiment_id, ()):
+                spec0 = TaskSpec(point["kind"], point["params"], 0)
+                entry = points.setdefault(
+                    spec0.point_key, {**point, "replicates": 0}
+                )
+                entry["replicates"] = max(entry["replicates"], point["replicates"])
+
+        specs: list[TaskSpec] = []
+        for point in points.values():
+            for replicate in range(point["replicates"]):
+                specs.append(TaskSpec(point["kind"], point["params"], replicate))
+
+        outcomes: dict[str, list[dict | None]] = {
+            key: [None] * point["replicates"] for key, point in points.items()
+        }
+        report.tasks_total = len(specs)
+        progress = ProgressReporter(
+            total=len(specs),
+            jobs=self.jobs,
+            stream=self.progress_stream,
+            min_interval=self.progress_interval,
+        ) if self.progress_stream is not None else None
+
+        to_compute: list[dict] = []
+        for spec in specs:
+            digest = spec.digest
+            journaled = journal_state.tasks.get(digest)
+            if journaled is not None:
+                outcomes[spec.point_key][spec.replicate] = journaled
+                report.tasks_from_journal += 1
+                if progress is not None:
+                    progress.task_done(spec.label, 0.0, source="journal")
+                continue
+            cached = self.cache.get(digest) if self.cache is not None else None
+            if cached is not None:
+                outcomes[spec.point_key][spec.replicate] = cached["outcome"]
+                report.tasks_from_cache += 1
+                # Mirror cache hits into the journal so a later --resume
+                # can replay this run from the journal alone.
+                if journal is not None:
+                    journal.append_task(digest, spec.payload(), cached["outcome"])
+                if progress is not None:
+                    progress.task_done(spec.label, 0.0, source="cache")
+                continue
+            to_compute.append(spec.payload())
+
+        for payload, computed in self._map_unordered(execute_task, to_compute):
+            spec = TaskSpec.from_payload(payload)
+            outcome, elapsed = computed["outcome"], computed["elapsed"]
+            outcomes[spec.point_key][spec.replicate] = outcome
+            report.tasks_computed += 1
+            report.timings.add(spec.label, elapsed)
+            if journal is not None:
+                journal.append_task(spec.digest, spec.payload(), outcome)
+            if self.cache is not None:
+                self.cache.put(spec.digest, {"spec": spec.payload(), "outcome": outcome})
+            if progress is not None:
+                progress.task_done(spec.label, elapsed, source="computed")
+
+        complete: dict[str, list[dict]] = {}
+        for key, values in outcomes.items():
+            if any(value is None for value in values):  # pragma: no cover - defensive
+                raise ParallelExecutionError(f"measurement incomplete for point {key}")
+            complete[key] = values  # type: ignore[assignment]
+        return complete
+
+
+def run_experiments(
+    experiment_ids: Iterable[str],
+    profile: Any = "default",
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    resume: bool = False,
+    journal_path: Path | str | None = None,
+    progress_stream: TextIO | None = None,
+) -> RunnerReport:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    runner = ExperimentRunner(
+        profile=profile,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        journal_path=journal_path,
+        progress_stream=progress_stream,
+    )
+    return runner.run(experiment_ids)

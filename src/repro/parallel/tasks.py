@@ -1,0 +1,146 @@
+"""Worker-side task functions (module-level, so they pickle cleanly).
+
+Two task shapes cross the process boundary:
+
+* :func:`execute_task` — run one replicate of one measurement cell and
+  return its outcome payload (plus wall-clock elapsed);
+* :func:`discover_experiment` — run an experiment generator under a
+  :class:`~repro.parallel.context.RecordingContext` to extract its
+  measurement plan. Generators that never call the sweep helpers (pure
+  driver experiments such as ``dominance`` or the ablations) execute for
+  real during discovery, so their full cost also lands on a worker; their
+  finished result is returned directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParallelExecutionError
+from repro.parallel.context import RecordingContext, use_context
+from repro.parallel.keys import point_key, task_digest
+
+__all__ = [
+    "TaskSpec",
+    "execute_task",
+    "discover_experiment",
+    "profile_payload",
+    "result_payload",
+    "result_from_payload",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One replicate of one measurement cell."""
+
+    kind: str
+    params: dict[str, Any]
+    replicate: int
+
+    @property
+    def point_key(self) -> str:
+        return point_key(self.kind, self.params)
+
+    @property
+    def digest(self) -> str:
+        return task_digest(self.kind, self.params, self.replicate)
+
+    @property
+    def label(self) -> str:
+        parts = [self.kind]
+        for name in ("n", "c", "d", "lam"):
+            if name in self.params and self.params[name] is not None:
+                value = self.params[name]
+                parts.append(f"{name}={value:.6g}" if isinstance(value, float) else f"{name}={value}")
+        parts.append(f"r{self.replicate}")
+        return " ".join(parts)
+
+    def payload(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": self.params, "replicate": self.replicate}
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "TaskSpec":
+        return TaskSpec(
+            kind=payload["kind"],
+            params=dict(payload["params"]),
+            replicate=int(payload["replicate"]),
+        )
+
+
+def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one replicate measurement; returns its outcome and timing."""
+    from repro.analysis.sweep import run_replicate
+
+    spec = TaskSpec.from_payload(payload)
+    start = time.perf_counter()
+    outcome = run_replicate(spec.kind, spec.params, spec.replicate)
+    return {"outcome": outcome.to_dict(), "elapsed": time.perf_counter() - start}
+
+
+def profile_payload(profile: Any) -> dict[str, Any]:
+    """Serialise a :class:`~repro.analysis.experiments.Profile`."""
+    return {
+        "name": profile.name,
+        "n": profile.n,
+        "measure": profile.measure,
+        "replicates": profile.replicates,
+        "seed": profile.seed,
+    }
+
+
+def result_payload(result: Any) -> dict[str, Any]:
+    """Serialise an :class:`~repro.analysis.experiments.ExperimentResult`."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "profile": result.profile,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+        "verdicts": result.verdicts,
+    }
+
+
+def result_from_payload(payload: dict[str, Any]) -> Any:
+    from repro.analysis.experiments import ExperimentResult
+
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        profile=payload["profile"],
+        columns=list(payload["columns"]),
+        rows=list(payload["rows"]),
+        notes=list(payload["notes"]),
+        verdicts=dict(payload["verdicts"]),
+    )
+
+
+def discover_experiment(payload: dict[str, Any]) -> dict[str, Any]:
+    """Extract an experiment's measurement plan (worker side).
+
+    Returns ``{"points": [...], "result": ..., "elapsed": ...}`` where
+    ``result`` is the finished experiment payload when the generator made
+    no measurement calls (its recording run *was* the real run), else None.
+    """
+    from repro.analysis.experiments import PROFILES, Profile, get_experiment
+
+    experiment_id = payload["experiment_id"]
+    profile_dict = payload["profile"]
+    profile = PROFILES.get(profile_dict["name"])
+    if profile is None or profile_payload(profile) != profile_dict:
+        profile = Profile(**profile_dict)
+    generator = get_experiment(experiment_id)
+    recorder = RecordingContext()
+    start = time.perf_counter()
+    with use_context(recorder):
+        result = generator(profile)
+    if result is None:  # defensive: a generator must return a result
+        raise ParallelExecutionError(f"experiment {experiment_id!r} returned no result")
+    return {
+        "points": list(recorder.points.values()),
+        "result": None if recorder.calls else result_payload(result),
+        "elapsed": time.perf_counter() - start,
+    }

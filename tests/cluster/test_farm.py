@@ -5,7 +5,7 @@ import pytest
 from repro.cluster.farm import ServerFarm
 from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy, RoundRobinPolicy
 from repro.errors import ConfigurationError
-from repro.workloads.arrivals import AdversarialArrivals, DeterministicArrivals
+from repro.workloads.arrivals import AdversarialArrivals
 
 
 def make_farm(policy=None, capacity=2, rate=0.5, servers=16, **kwargs):

@@ -1,11 +1,30 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and collection hooks for the repro test suite."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.rng import RngFactory
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Mark tests by tier based on their directory.
+
+    ``tests/integration`` holds the long-running end-to-end runs and
+    ``tests/property`` the hypothesis suites; both get ``slow`` so CI's
+    default job (``-m "not slow"``) runs the fast tier and the scheduled
+    job picks the rest up. The tier-1 command runs everything regardless.
+    """
+    for item in items:
+        parts = Path(str(item.fspath)).parts
+        if "integration" in parts:
+            item.add_marker(pytest.mark.slow)
+        if "property" in parts:
+            item.add_marker(pytest.mark.property)
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

@@ -75,6 +75,14 @@ class TestExecution:
         result = SimulationDriver(burn_in=0, measure=2).run(process)
         assert result.stationary is None
 
+    def test_stationary_boundary_at_four_measured_rounds(self):
+        # measure < 4 means the diagnostic is not run at all (None, i.e.
+        # "unknown"); measure >= 4 always yields a real verdict.
+        below = SimulationDriver(burn_in=0, measure=3).run(ScriptedProcess(pools=[1]))
+        assert below.stationary is None
+        at = SimulationDriver(burn_in=0, measure=4).run(ScriptedProcess(pools=[1]))
+        assert isinstance(at.stationary, bool)
+
     def test_result_convenience_properties(self):
         process = ScriptedProcess(pools=[20])
         result = SimulationDriver(burn_in=0, measure=5).run(process)

@@ -1,0 +1,61 @@
+"""Content-addressed cache behaviour and key stability."""
+
+from __future__ import annotations
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.keys import (
+    experiment_digest,
+    measurement_fingerprint,
+    point_key,
+    task_digest,
+)
+
+
+class TestKeys:
+    def test_point_key_is_order_insensitive(self):
+        a = point_key("capped", {"n": 8, "c": 1})
+        b = point_key("capped", {"c": 1, "n": 8})
+        assert a == b
+
+    def test_task_digest_separates_replicates(self):
+        params = {"n": 8, "c": 1, "lam": 0.5}
+        assert task_digest("capped", params, 0) != task_digest("capped", params, 1)
+
+    def test_task_digest_separates_params(self):
+        assert task_digest("capped", {"n": 8}, 0) != task_digest("capped", {"n": 16}, 0)
+
+    def test_digests_are_stable_within_a_process(self):
+        params = {"n": 8, "c": 1}
+        assert task_digest("capped", params, 0) == task_digest("capped", params, 0)
+        profile = {"name": "quick", "n": 8, "measure": 4, "replicates": 1, "seed": 0}
+        assert experiment_digest("fig4_left", profile) == experiment_digest(
+            "fig4_left", profile
+        )
+
+    def test_fingerprint_is_hex(self):
+        fingerprint = measurement_fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("abc") is None
+        cache.put("abc", {"outcome": {"avg_wait": 2.0}})
+        assert cache.get("abc") == {"outcome": {"avg_wait": 2.0}}
+        assert "abc" in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("abc", {"x": 1})
+        (tmp_path / "abc.json").write_text("{truncated")
+        assert cache.get("abc") is None
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1})
+        cache.put("k", {"x": 2})
+        assert cache.get("k") == {"x": 2}
+        assert not list(tmp_path.glob("*.tmp.*"))

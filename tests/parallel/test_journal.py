@@ -1,0 +1,76 @@
+"""Crash-safety and replay semantics of the JSONL journal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.parallel.journal import Journal
+
+
+class TestJournalRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("k1", {"kind": "capped"}, {"avg_wait": 1.5})
+            journal.append_experiment("e1", "fig4_left", {"rows": []})
+        state = Journal.load(path)
+        assert state.tasks == {"k1": {"avg_wait": 1.5}}
+        assert state.experiments == {"e1": {"rows": []}}
+        assert state.corrupt_lines == 0
+        assert state.entries == 2
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        state = Journal.load(tmp_path / "nope.jsonl")
+        assert state.entries == 0
+
+    def test_fresh_journal_truncates_stale_one(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("old", {}, {"x": 1})
+        with Journal(path, resume=False) as journal:
+            journal.append_task("new", {}, {"x": 2})
+        state = Journal.load(path)
+        assert "old" not in state.tasks
+        assert "new" in state.tasks
+
+    def test_resume_appends(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("a", {}, {"x": 1})
+        with Journal(path, resume=True) as journal:
+            journal.append_task("b", {}, {"x": 2})
+        state = Journal.load(path)
+        assert set(state.tasks) == {"a", "b"}
+
+
+class TestJournalCrashTolerance:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("a", {}, {"x": 1})
+            journal.append_task("b", {}, {"x": 2})
+        # Simulate a crash mid-append: truncate into the last line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-9])
+        state = Journal.load(path)
+        assert set(state.tasks) == {"a"}
+        assert state.corrupt_lines == 1
+
+    def test_garbage_line_is_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("a", {}, {"x": 1})
+        with open(path, "ab") as fh:
+            fh.write(b"{not json at all\n")
+        with Journal(path, resume=True) as journal:
+            journal.append_task("b", {}, {"x": 2})
+        state = Journal.load(path)
+        assert set(state.tasks) == {"a", "b"}
+        assert state.corrupt_lines == 1
+
+    def test_unknown_entry_type_counts_as_corrupt(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({"type": "mystery", "key": "k"}) + "\n")
+        state = Journal.load(path)
+        assert state.entries == 0
+        assert state.corrupt_lines == 1

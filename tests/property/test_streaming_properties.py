@@ -3,7 +3,7 @@
 import hypothesis.strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.stats.streaming import Histogram, RunningStats
 

@@ -87,6 +87,38 @@ class TestExperiments:
         assert code == 0
         assert "+----" in text or "|" in text
 
+    def test_nonpositive_jobs_rejected(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick", "--jobs", "0"
+        )
+        assert code == 2
+        assert "--jobs" in text
+
+    def test_resume_requires_cache_dir(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick", "--resume"
+        )
+        assert code == 2
+        assert "--cache-dir" in text
+
+    def test_cache_dir_routes_through_runner(self, tmp_path):
+        cache = tmp_path / "cache"
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--cache-dir", str(cache), "--no-progress", "--timing",
+        )
+        assert code == 0
+        assert "experiments: 1" in text
+        assert (cache / "journal.jsonl").exists()
+
+        # A resumed rerun must recompute nothing.
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--cache-dir", str(cache), "--resume", "--no-progress",
+        )
+        assert code == 0
+        assert "experiments: 1 (journal 1, cache 0)" in text
+
     def test_json_and_markdown_outputs(self, tmp_path):
         code, text = run_cli(
             "experiments", "--id", "drain_stages", "--profile", "quick",
