@@ -1,0 +1,35 @@
+"""Robustness: recovery time after injected faults (self-stabilization).
+
+The theorems cover the fault-free stationary regime; this artifact injects
+a crash burst (25% of bins down for 20 rounds) and a capacity degradation
+(c=2 → c=1 for 40 rounds) into warmed-up CAPPED(2, λ) runs at two loads and
+measures how long the pool size and the per-round p99 waiting time take to
+re-enter their pre-fault stationary bands. Recovery should exist at both
+loads and stretch as λ → 1 (the backlog drains at ≈ (1 − λ)·n per round).
+"""
+
+from conftest import run_and_report
+
+
+def test_fault_recovery(benchmark, profile_name):
+    result = run_and_report(benchmark, "fault_recovery", profile_name)
+    assert result.all_checks_pass
+
+    rows = {(r["fault"], r["lambda_exp"]): r for r in result.rows}
+    exps = sorted({exp for _, exp in rows})
+    low, high = exps[0], exps[-1]
+
+    # Every injected fault recovers within the simulated window.
+    for row in result.rows:
+        assert row["pool_recovery"] >= 0
+        assert row["p99_recovery"] >= 0
+
+    # 1/(1 − λ) scaling: the heavier load takes at least as long to drain
+    # the crash-burst backlog as the lighter one.
+    assert (
+        rows[("crash_burst", high)]["pool_recovery"]
+        >= rows[("crash_burst", low)]["pool_recovery"]
+    )
+
+    # The burst visibly perturbs the pool before it recovers.
+    assert rows[("crash_burst", high)]["peak_pool/n"] > 0

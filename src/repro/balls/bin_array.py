@@ -13,6 +13,18 @@ acceptance time:
 in a numpy array, which makes every per-round operation O(n) vectorised
 arithmetic. The exact per-ball simulators keep real queues and are used in
 the tests to validate this position-based accounting.
+
+Fault support
+-------------
+Bins can be marked *down* (:meth:`set_down`): a down bin reports zero free
+slots and performs no FIFO deletion, so it neither accepts nor serves until
+:meth:`set_up`. Capacities can be changed mid-run (:meth:`set_capacity`),
+which models temporary capacity degradation; because a degradation can drop
+capacity below the current load, the invariant checked is ``load <= high-water
+capacity`` — a bin never holds more balls than the largest capacity it has
+ever been configured with. Note that the positional wait identity above
+assumes uninterrupted unit service; while a bin is down its queue is frozen,
+so waits recorded during an outage window are lower bounds.
 """
 
 from __future__ import annotations
@@ -38,7 +50,17 @@ class BinArray:
         (CAPPED(∞, λ) ≡ GREEDY[1]).
     """
 
-    __slots__ = ("n", "capacity", "loads", "_peak_load", "_total_accepted", "_total_deleted")
+    __slots__ = (
+        "n",
+        "capacity",
+        "loads",
+        "down",
+        "_any_down",
+        "_capacity_high_water",
+        "_peak_load",
+        "_total_accepted",
+        "_total_deleted",
+    )
 
     def __init__(self, n: int, capacity) -> None:
         if n < 1:
@@ -59,6 +81,16 @@ class BinArray:
         self.n = n
         self.capacity = capacity
         self.loads = np.zeros(n, dtype=np.int64)
+        self.down = np.zeros(n, dtype=bool)
+        self._any_down = False
+        # Largest capacity each bin has ever had, as an (n,) array; None once
+        # unbounded.
+        if capacity is None:
+            self._capacity_high_water = None
+        elif np.isscalar(capacity):
+            self._capacity_high_water = np.full(n, capacity, dtype=np.int64)
+        else:
+            self._capacity_high_water = capacity.copy()
         self._peak_load = 0
         self._total_accepted = 0
         self._total_deleted = 0
@@ -83,15 +115,26 @@ class BinArray:
         """Sum of all bin loads."""
         return int(self.loads.sum())
 
+    @property
+    def down_count(self) -> int:
+        """Number of bins currently down."""
+        return int(np.count_nonzero(self.down)) if self._any_down else 0
+
     def free_slots(self) -> np.ndarray:
-        """Per-bin remaining capacity ``c - ℓ_i`` (∞ bins report a sentinel).
+        """Per-bin remaining capacity ``max(c - ℓ_i, 0)`` (∞ bins report a sentinel).
 
         For unbounded bins a value larger than any realistic request count
         (2**62) is returned so that ``minimum(requests, free)`` never caps.
+        Down bins report zero. The clamp at zero matters after a capacity
+        degradation leaves a bin holding more balls than its current cap.
         """
         if self.capacity is None:
-            return np.full(self.n, 2**62, dtype=np.int64)
-        return self.capacity - self.loads
+            free = np.full(self.n, 2**62, dtype=np.int64)
+        else:
+            free = np.maximum(self.capacity - self.loads, 0)
+        if self._any_down:
+            free[self.down] = 0
+        return free
 
     def accept(self, requests: np.ndarray) -> np.ndarray:
         """Accept as many requests per bin as capacity allows.
@@ -118,16 +161,110 @@ class BinArray:
         return accepted
 
     def delete_one_each(self) -> int:
-        """End-of-round FIFO deletion: every non-empty bin deletes one ball.
+        """End-of-round FIFO deletion: every non-empty *up* bin deletes one ball.
 
         Returns the number of bins that deleted (i.e. successful deletion
-        attempts in the paper's terminology).
+        attempts in the paper's terminology). Down bins are frozen: their
+        queues neither grow nor drain.
         """
         nonempty = self.loads > 0
+        if self._any_down:
+            nonempty &= ~self.down
         deleted = int(np.count_nonzero(nonempty))
         self.loads[nonempty] -= 1
         self._total_deleted += deleted
         return deleted
+
+    def set_down(self, indices, wipe: bool = False) -> int:
+        """Mark bins as down (crashed). Returns the number of balls wiped.
+
+        With ``wipe=False`` (preserved buffers) queue contents survive the
+        outage frozen in place; with ``wipe=True`` the crashed bins lose
+        their queued balls, which is the count returned so callers can
+        account for the loss.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        wiped = 0
+        if wipe and indices.size:
+            wiped = int(self.loads[indices].sum())
+            self.loads[indices] = 0
+        self.down[indices] = True
+        self._any_down = bool(self.down.any())
+        return wiped
+
+    def set_up(self, indices) -> None:
+        """Bring bins back up; a preserved queue resumes FIFO service."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        self.down[indices] = False
+        self._any_down = bool(self.down.any())
+
+    def set_capacity(self, capacity, indices=None) -> None:
+        """Change the buffer capacity mid-run (capacity degradation faults).
+
+        Parameters
+        ----------
+        capacity:
+            New capacity: an int (``>= 1``), an integer array matching
+            ``indices`` (or ``(n,)`` when ``indices`` is None), or ``None``
+            for unbounded (only without ``indices``).
+        indices:
+            Bins to change; ``None`` applies to all bins.
+
+        Existing loads are never truncated — a bin holding more than its new
+        capacity simply reports zero free slots until it drains. The
+        invariant tracked is the per-bin high-water capacity.
+        """
+        if capacity is None:
+            if indices is not None:
+                raise ConfigurationError("cannot set unbounded capacity on a subset of bins")
+            self.capacity = None
+            self._capacity_high_water = None
+            return
+        if indices is None:
+            if np.isscalar(capacity):
+                if capacity < 1:
+                    raise ConfigurationError(f"capacity must be at least 1, got {capacity}")
+                capacity = int(capacity)
+            else:
+                capacity = np.asarray(capacity, dtype=np.int64)
+                if capacity.shape != (self.n,):
+                    raise ConfigurationError(
+                        f"per-bin capacities must have shape ({self.n},), got {capacity.shape}"
+                    )
+                if np.any(capacity < 1):
+                    raise ConfigurationError("per-bin capacities must all be at least 1")
+                capacity = capacity.copy()
+            self.capacity = capacity
+        else:
+            indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+            values = np.atleast_1d(np.asarray(capacity, dtype=np.int64))
+            if values.size == 1:
+                values = np.full(indices.shape, int(values[0]), dtype=np.int64)
+            if values.shape != indices.shape:
+                raise ConfigurationError(
+                    f"capacity values {values.shape} do not match indices {indices.shape}"
+                )
+            if np.any(values < 1):
+                raise ConfigurationError("per-bin capacities must all be at least 1")
+            if self.capacity is None:
+                raise ConfigurationError("cannot degrade a subset of an unbounded array")
+            if np.isscalar(self.capacity):
+                self.capacity = np.full(self.n, self.capacity, dtype=np.int64)
+            self.capacity[indices] = values
+        # Update the high-water mark (unbounded never returns to bounded here).
+        if self._capacity_high_water is not None:
+            np.maximum(
+                self._capacity_high_water, self.capacity, out=self._capacity_high_water
+            )
+
+    def capacity_of(self, indices) -> np.ndarray:
+        """Current capacities of the given bins (for save/restore by injectors)."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if self.capacity is None:
+            raise ConfigurationError("unbounded arrays have no per-bin capacity")
+        if np.isscalar(self.capacity):
+            return np.full(indices.shape, int(self.capacity), dtype=np.int64)
+        return self.capacity[indices].copy()
 
     def reset(self) -> None:
         """Empty all bins."""
@@ -135,12 +272,17 @@ class BinArray:
 
     def get_state(self) -> dict:
         """Snapshot for checkpoint/restore."""
-        return {
+        state = {
             "loads": self.loads.tolist(),
             "peak_load": self._peak_load,
             "total_accepted": self._total_accepted,
             "total_deleted": self._total_deleted,
         }
+        if self._any_down:
+            state["down"] = self.down.tolist()
+        if self._capacity_high_water is not None:
+            state["capacity_high_water"] = self._capacity_high_water.tolist()
+        return state
 
     def set_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`get_state`."""
@@ -148,16 +290,36 @@ class BinArray:
         if loads.shape != (self.n,):
             raise ValueError(f"state has {loads.shape} loads, expected ({self.n},)")
         self.loads = loads.copy()
+        down = state.get("down")
+        self.down = (
+            np.asarray(down, dtype=bool).copy()
+            if down is not None
+            else np.zeros(self.n, dtype=bool)
+        )
+        self._any_down = bool(self.down.any())
+        high_water = state.get("capacity_high_water")
+        if high_water is not None:
+            self._capacity_high_water = np.asarray(high_water, dtype=np.int64)
         self._peak_load = int(state["peak_load"])
         self._total_accepted = int(state["total_accepted"])
         self._total_deleted = int(state["total_deleted"])
         self.check_invariants()
 
     def check_invariants(self) -> None:
-        """Loads must be non-negative and within capacity."""
+        """Loads must be non-negative and within the high-water capacity.
+
+        The bound is the *high-water* capacity rather than the current one:
+        a capacity-degradation fault may legitimately leave a bin holding
+        more balls than its (temporarily reduced) current capacity, but a
+        bin can never hold more than the largest capacity it ever had.
+        """
         if np.any(self.loads < 0):
             raise InvariantViolation("negative bin load")
-        if self.capacity is not None and np.any(self.loads > self.capacity):
+        if self._capacity_high_water is not None and np.any(
+            self.loads > self._capacity_high_water
+        ):
+            worst = int(np.argmax(self.loads - self._capacity_high_water))
             raise InvariantViolation(
-                f"bin load exceeds capacity {self.capacity}: max {int(self.loads.max())}"
+                f"bin {worst} load {int(self.loads[worst])} exceeds its high-water "
+                f"capacity {int(self._capacity_high_water[worst])}"
             )

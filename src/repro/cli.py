@@ -94,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-task progress/ETA lines on stderr",
     )
+    exp.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds per task before its worker is killed and the task retried "
+        "(parallel runs only)",
+    )
+    exp.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per failing task before it is quarantined",
+    )
+    halt = exp.add_mutually_exclusive_group()
+    halt.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="report failing experiments and continue (the default)",
+    )
+    halt.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first experiment that errors",
+    )
 
     thy = sub.add_parser("theory", help="print the paper's bounds for (c, lam, n)")
     thy.add_argument("--c", type=int, required=True)
@@ -205,8 +229,15 @@ def _cmd_experiments(args, out) -> int:
     if args.resume and args.cache_dir is None:
         out.write("error: --resume needs --cache-dir (the journal lives there)\n")
         return 2
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        out.write(f"error: --task-timeout must be positive, got {args.task_timeout}\n")
+        return 2
+    if args.max_retries < 0:
+        out.write(f"error: --max-retries must be >= 0, got {args.max_retries}\n")
+        return 2
     use_runner = args.jobs != 1 or args.resume or args.cache_dir is not None
     report = None
+    errors: dict[str, str] = {}
     if use_runner:
         from repro.parallel import run_experiments
 
@@ -217,14 +248,32 @@ def _cmd_experiments(args, out) -> int:
             cache_dir=args.cache_dir,
             resume=args.resume,
             progress_stream=None if args.no_progress else sys.stderr,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
         )
         produced = {result.experiment_id: result for result in report.results}
-    failures = 0
+        errors.update(report.failures)
+    failed_checks: list[str] = []
     results = []
     for experiment_id in ids:
-        result = produced[experiment_id] if use_runner else run_experiment(
-            experiment_id, args.profile
-        )
+        if use_runner:
+            result = produced.get(experiment_id)
+            if result is None:
+                message = errors.get(experiment_id, "no result produced")
+                errors[experiment_id] = message
+                out.write(f"ERROR {experiment_id}: {message}\n\n")
+                if args.fail_fast:
+                    break
+                continue
+        else:
+            try:
+                result = run_experiment(experiment_id, args.profile)
+            except Exception as err:
+                errors[experiment_id] = f"{type(err).__name__}: {err}"
+                out.write(f"ERROR {experiment_id}: {errors[experiment_id]}\n\n")
+                if args.fail_fast:
+                    break
+                continue
         results.append(result)
         out.write(result.table() + "\n\n")
         if args.plot:
@@ -237,7 +286,7 @@ def _cmd_experiments(args, out) -> int:
         if args.json_dir is not None:
             out.write(f"wrote {save_result(result, args.json_dir)}\n")
         if not result.all_checks_pass:
-            failures += 1
+            failed_checks.append(experiment_id)
     if args.markdown is not None:
         path = write_report(results, args.markdown, title=f"Reproduction report ({args.profile})")
         out.write(f"wrote {path}\n")
@@ -247,7 +296,12 @@ def _cmd_experiments(args, out) -> int:
         if args.timing:
             for line in report.timings.summary_lines():
                 out.write(line + "\n")
-    return 1 if failures else 0
+    if failed_checks:
+        out.write(f"checks failed: {', '.join(failed_checks)}\n")
+    if errors:
+        out.write(f"errors: {len(errors)} experiment(s) failed: {', '.join(sorted(errors))}\n")
+        return 3
+    return 1 if failed_checks else 0
 
 
 def _cmd_theory(args, out) -> int:

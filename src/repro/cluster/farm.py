@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.cluster.policies import RoutingPolicy
 from repro.cluster.server import Request, Server
+from repro.engine.metrics import RoundRecord
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.rng import resolve_rng
 from repro.stats.streaming import Histogram, RunningStats
@@ -71,6 +75,12 @@ class ServerFarm:
         per tick.
     rate:
         Convenience injection rate used when ``workload`` is omitted.
+    observers:
+        Optional engine observers (e.g. a
+        :class:`~repro.faults.FaultInjector` or
+        :class:`~repro.engine.observers.TraceRecorder`); each is notified
+        with a :class:`~repro.engine.metrics.RoundRecord` after every tick,
+        mirroring the driver pipeline used by the ball processes.
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class ServerFarm:
         workload: ArrivalProcess | None = None,
         rate: float = 0.5,
         rng=None,
+        observers: Sequence = (),
     ) -> None:
         if num_servers < 1:
             raise ConfigurationError(f"need at least one server, got {num_servers}")
@@ -100,6 +111,7 @@ class ServerFarm:
             else DeterministicArrivals(n=num_servers, lam=rate)
         )
         self.rng = resolve_rng(rng, "farm")
+        self.observers = list(observers)
         self.pending: list[Request] = []
         self.tick = 0
         self._next_id = 0
@@ -114,6 +126,11 @@ class ServerFarm:
         """Number of servers in the farm."""
         return len(self.servers)
 
+    @property
+    def n(self) -> int:
+        """Alias for :attr:`num_servers` (RoundProcess protocol)."""
+        return len(self.servers)
+
     def _generate(self) -> int:
         count = self.workload.arrivals(self.tick, self.rng)
         for _ in range(count):
@@ -121,11 +138,20 @@ class ServerFarm:
             self._next_id += 1
         return count
 
-    def step(self) -> None:
-        """Advance one tick: arrive → route → admit → serve."""
-        self.tick += 1
-        self._generate()
+    def step(self) -> RoundRecord:
+        """Advance one tick: arrive → route → admit → serve.
 
+        Returns a :class:`~repro.engine.metrics.RoundRecord` (also passed to
+        any registered observers), so the farm speaks the same per-round
+        protocol as the ball-process simulators: ``pool_size`` is the
+        pending-set size, ``deleted`` the completions this tick, and the
+        wait arrays hold the latencies of requests completed this tick.
+        """
+        self.tick += 1
+        arrivals = self._generate()
+
+        thrown = len(self.pending)
+        accepted = 0
         if self.pending:
             probes = self.policy.route(self.pending, self.servers, self.rng)
             if len(probes) != len(self.pending):
@@ -139,8 +165,10 @@ class ServerFarm:
             for index, batch in per_server.items():
                 rejected.extend(self.servers[index].admit(batch))
             rejected.sort()
+            accepted = thrown - len(rejected)
             self.pending = rejected
 
+        latencies: list[int] = []
         for server in self.servers:
             request = server.serve()
             if request is not None:
@@ -148,10 +176,34 @@ class ServerFarm:
                 self.latency_stats.add(latency)
                 self.latency_histogram.add(latency)
                 self.completed += 1
+                latencies.append(latency)
 
         self.pending_stats.add(len(self.pending))
         if len(self.pending) > self.peak_pending:
             self.peak_pending = len(self.pending)
+
+        if latencies:
+            wait_values, wait_counts = np.unique(
+                np.asarray(latencies, dtype=np.int64), return_counts=True
+            )
+        else:
+            wait_values = wait_counts = np.empty(0, dtype=np.int64)
+        queue_lengths = [s.queue_length for s in self.servers]
+        record = RoundRecord(
+            round=self.tick,
+            arrivals=arrivals,
+            thrown=thrown,
+            accepted=accepted,
+            deleted=len(latencies),
+            pool_size=len(self.pending),
+            total_load=sum(queue_lengths),
+            max_load=max(queue_lengths),
+            wait_values=wait_values,
+            wait_counts=wait_counts,
+        )
+        for observer in self.observers:
+            observer.on_round(record, self)
+        return record
 
     def run(self, ticks: int) -> FarmStats:
         """Advance ``ticks`` ticks and return the summary statistics."""
@@ -177,10 +229,14 @@ class ServerFarm:
         )
 
     def check_invariants(self) -> None:
-        """Pending requests must be unique and server queues within bounds."""
+        """Pending requests must be unique and server queues within bounds.
+
+        Queue bounds are the per-server *high-water* capacities (see
+        :meth:`Server.check_invariants`), so the check holds through
+        capacity-degradation fault windows.
+        """
         ids = [r.request_id for r in self.pending]
         if len(ids) != len(set(ids)):
             raise InvariantViolation("duplicate request in pending set")
         for server in self.servers:
-            if server.capacity is not None and server.queue_length > server.capacity:
-                raise InvariantViolation("server queue exceeds capacity")
+            server.check_invariants()

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InvariantViolation
 
 __all__ = ["Request", "Server"]
 
@@ -34,19 +34,35 @@ class Server:
     Parameters
     ----------
     capacity:
-        Maximum queued requests (``None`` for unbounded).
+        Maximum queued requests. ``None`` means unbounded; ``0`` is legal
+        and models a cordoned server that admits nothing (useful as the
+        steady-state picture of a down server).
+
+    A server can also be crashed outright with :meth:`fail` — a down server
+    admits nothing and serves nothing until :meth:`recover`, and optionally
+    loses its queued requests at crash time (wiped buffers).
     """
 
-    __slots__ = ("capacity", "_queue", "completed", "rejected", "peak_queue")
+    __slots__ = (
+        "capacity",
+        "down",
+        "_queue",
+        "completed",
+        "rejected",
+        "peak_queue",
+        "_capacity_high_water",
+    )
 
     def __init__(self, capacity: int | None) -> None:
-        if capacity is not None and capacity < 1:
-            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if capacity is not None and capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.down = False
         self._queue: deque[Request] = deque()
         self.completed = 0
         self.rejected = 0
         self.peak_queue = 0
+        self._capacity_high_water = capacity
 
     @property
     def queue_length(self) -> int:
@@ -55,14 +71,26 @@ class Server:
 
     @property
     def free_slots(self) -> int:
-        """Remaining queue slots (a large sentinel when unbounded)."""
+        """Remaining queue slots (a large sentinel when unbounded, 0 when down).
+
+        Clamped at zero: after a capacity degradation the queue may hold
+        more requests than the current capacity allows.
+        """
+        if self.down:
+            return 0
         if self.capacity is None:
             return 2**31
-        return self.capacity - len(self._queue)
+        return max(self.capacity - len(self._queue), 0)
 
     def admit(self, requests: list[Request]) -> list[Request]:
-        """Admit the oldest requests up to capacity; return the rejects."""
+        """Admit the oldest requests up to capacity; return the rejects.
+
+        Rejections due to the server being down are not counted in
+        ``rejected`` (that counter tracks capacity pressure, not outages).
+        """
         candidates = sorted(requests)
+        if self.down:
+            return candidates
         take = min(len(candidates), self.free_slots)
         for request in candidates[:take]:
             self._queue.append(request)
@@ -72,8 +100,53 @@ class Server:
         return candidates[take:]
 
     def serve(self) -> Request | None:
-        """Complete the queue head, if any."""
-        if not self._queue:
+        """Complete the queue head, if any (down servers serve nothing)."""
+        if self.down or not self._queue:
             return None
         self.completed += 1
         return self._queue.popleft()
+
+    def fail(self, wipe: bool = False) -> list[Request]:
+        """Crash the server. Returns the requests evicted by a wiped buffer.
+
+        With ``wipe=False`` the queue survives frozen and resumes service on
+        :meth:`recover`. With ``wipe=True`` the queue is emptied and its
+        contents returned so the caller can decide whether they are lost or
+        re-enter the pending pool.
+        """
+        self.down = True
+        if not wipe:
+            return []
+        evicted = list(self._queue)
+        self._queue.clear()
+        return evicted
+
+    def recover(self) -> None:
+        """Bring the server back up."""
+        self.down = False
+
+    def set_capacity(self, capacity: int | None) -> None:
+        """Change the queue capacity mid-run (degradation faults).
+
+        The queue is never truncated; an over-full server just reports zero
+        free slots until it drains. The high-water capacity (largest ever
+        configured) is what :meth:`check_invariants` bounds the queue by.
+        """
+        if capacity is not None and capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        if capacity is None:
+            self._capacity_high_water = None
+        elif self._capacity_high_water is not None:
+            self._capacity_high_water = max(self._capacity_high_water, capacity)
+
+    def check_invariants(self) -> None:
+        """The queue never exceeds the high-water capacity."""
+        if (
+            self._capacity_high_water is not None
+            and len(self._queue) > self._capacity_high_water
+        ):
+            raise InvariantViolation(
+                f"queue length {len(self._queue)} exceeds high-water capacity "
+                f"{self._capacity_high_water}"
+            )

@@ -15,6 +15,7 @@ from typing import Any, Protocol, runtime_checkable
 import numpy as np
 
 from repro.engine.metrics import RoundRecord
+from repro.errors import InvariantViolation
 
 __all__ = [
     "Observer",
@@ -62,6 +63,10 @@ class InvariantChecker:
     :class:`~repro.errors.InvariantViolation` on inconsistent state; running
     the check periodically during long simulations catches state corruption
     close to where it happens instead of in the final statistics.
+
+    A failing check is re-raised as an :class:`InvariantViolation` whose
+    message localizes the failure: the round number, the process class, the
+    underlying error, and a snapshot of the round's headline state.
     """
 
     def __init__(self, every: int = 1) -> None:
@@ -74,7 +79,18 @@ class InvariantChecker:
         if record.round % self.every == 0:
             check = getattr(process, "check_invariants", None)
             if check is not None:
-                check()
+                try:
+                    check()
+                except Exception as err:
+                    snapshot = (
+                        f"pool={record.pool_size} total_load={record.total_load} "
+                        f"max_load={record.max_load} accepted={record.accepted} "
+                        f"deleted={record.deleted}"
+                    )
+                    raise InvariantViolation(
+                        f"invariant violated at round {record.round} in "
+                        f"{type(process).__name__}: {err} [{snapshot}]"
+                    ) from err
                 self.checks_run += 1
 
 

@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ParallelExecutionError",
+    "ChaosInjected",
 ]
 
 
@@ -56,4 +57,14 @@ class ParallelExecutionError(ReproError, RuntimeError):
 
     Raised for unknown task kinds, replay passes missing precomputed
     outcomes, and resume attempts without a journal to resume from.
+    """
+
+
+class ChaosInjected(ReproError, RuntimeError):
+    """A deliberately injected harness-level fault (see :mod:`repro.faults.chaos`).
+
+    Only ever raised when the ``REPRO_CHAOS`` environment variable arms the
+    chaos hooks — production runs never see it. Distinguishable from real
+    failures so tests can assert the retry/quarantine machinery handled an
+    *injected* fault rather than masking a genuine bug.
     """

@@ -1,0 +1,216 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is an immutable description of *what goes wrong
+when*: a sequence of fault events plus a seed for any stochastic choices
+(which entities crash, when stochastic crash/recover transitions fire).
+Schedules carry no simulator state — the same schedule object can drive many
+runs — and all randomness is derived from ``schedule.seed`` alone, never from
+the simulated process's own RNG, so injecting a fault does not perturb the
+arrival/placement randomness of the underlying process. That separation is
+what makes fault runs reproducible and comparable against fault-free runs
+with the same process seed.
+
+Timing convention: an event with ``at_round = t`` is applied at the *end* of
+round ``t`` (observers run after the round completes), so its effects are
+first visible in round ``t + 1``. An outage with ``duration = d`` ends at the
+end of round ``t + d``: rounds ``t + 1 .. t + d`` are affected and round
+``t + d + 1`` is the first normal one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BUFFER_POLICIES",
+    "CrashBurst",
+    "PeriodicOutage",
+    "StochasticCrashes",
+    "CapacityDegradation",
+    "RequestDrop",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+#: Crash semantics for buffered state. ``preserved``: a crashed entity keeps
+#: its queue frozen and resumes FIFO service on recovery. ``wiped``: queued
+#: balls/requests are lost at crash time (counted by the injector).
+BUFFER_POLICIES = ("preserved", "wiped")
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+
+
+def _check_buffer_policy(policy: str) -> None:
+    if policy not in BUFFER_POLICIES:
+        raise ConfigurationError(
+            f"buffer_policy must be one of {BUFFER_POLICIES}, got {policy!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CrashBurst:
+    """A one-shot outage: a random ``fraction`` of entities crashes at
+    ``at_round`` and recovers ``duration`` rounds later.
+
+    ``duration=None`` means the crashed entities never recover within the
+    run (a permanent capacity loss).
+    """
+
+    at_round: int
+    fraction: float
+    duration: int | None = None
+    buffer_policy: str = "preserved"
+
+    def __post_init__(self) -> None:
+        if self.at_round < 1:
+            raise ConfigurationError(f"at_round must be >= 1, got {self.at_round}")
+        _check_fraction(self.fraction)
+        if self.duration is not None and self.duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {self.duration}")
+        _check_buffer_policy(self.buffer_policy)
+
+
+@dataclass(frozen=True)
+class PeriodicOutage:
+    """A recurring outage: every ``period`` rounds starting at
+    ``first_round``, a fresh random ``fraction`` of entities crashes for
+    ``duration`` rounds (rolling maintenance / recurring partial failures).
+    """
+
+    period: int
+    duration: int
+    fraction: float
+    first_round: int = 1
+    buffer_policy: str = "preserved"
+
+    def __post_init__(self) -> None:
+        if self.period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {self.period}")
+        if not 1 <= self.duration < self.period:
+            raise ConfigurationError(
+                f"duration must be in [1, period), got {self.duration} with period {self.period}"
+            )
+        _check_fraction(self.fraction)
+        if self.first_round < 1:
+            raise ConfigurationError(f"first_round must be >= 1, got {self.first_round}")
+        _check_buffer_policy(self.buffer_policy)
+
+
+@dataclass(frozen=True)
+class StochasticCrashes:
+    """A seeded Markov crash/recover process per entity.
+
+    Each round in ``[first_round, last_round]`` every up entity crashes
+    with probability ``crash_prob`` and every down entity recovers with
+    probability ``recover_prob``, independently. The stationary down
+    fraction is ``crash_prob / (crash_prob + recover_prob)``.
+    """
+
+    crash_prob: float
+    recover_prob: float
+    first_round: int = 1
+    last_round: int | None = None
+    buffer_policy: str = "preserved"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.crash_prob <= 1.0:
+            raise ConfigurationError(f"crash_prob must be in (0, 1], got {self.crash_prob}")
+        if not 0.0 < self.recover_prob <= 1.0:
+            raise ConfigurationError(
+                f"recover_prob must be in (0, 1], got {self.recover_prob}"
+            )
+        if self.first_round < 1:
+            raise ConfigurationError(f"first_round must be >= 1, got {self.first_round}")
+        if self.last_round is not None and self.last_round < self.first_round:
+            raise ConfigurationError(
+                f"last_round {self.last_round} precedes first_round {self.first_round}"
+            )
+        _check_buffer_policy(self.buffer_policy)
+
+
+@dataclass(frozen=True)
+class CapacityDegradation:
+    """A window during which a ``fraction`` of entities runs with a reduced
+    capacity (``c`` drops for ``duration`` rounds, then the previous
+    per-entity capacity is restored).
+
+    Existing queue contents are never truncated — an over-full entity simply
+    stops accepting until it drains below the degraded capacity.
+    """
+
+    at_round: int
+    duration: int
+    capacity: int
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at_round < 1:
+            raise ConfigurationError(f"at_round must be >= 1, got {self.at_round}")
+        if self.duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {self.duration}")
+        if self.capacity < 1:
+            raise ConfigurationError(f"degraded capacity must be >= 1, got {self.capacity}")
+        _check_fraction(self.fraction)
+
+
+@dataclass(frozen=True)
+class RequestDrop:
+    """Drop a ``fraction`` of the *youngest* pool/pending entries at
+    ``at_round`` (e.g. an admission-control shed or a lossy network hiccup).
+
+    Dropping youngest-first models real request shedding (old requests are
+    already owed service) and keeps the oldest-first acceptance analysis
+    intact.
+    """
+
+    at_round: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if self.at_round < 1:
+            raise ConfigurationError(f"at_round must be >= 1, got {self.at_round}")
+        _check_fraction(self.fraction)
+
+
+FaultEvent = Union[
+    CrashBurst, PeriodicOutage, StochasticCrashes, CapacityDegradation, RequestDrop
+]
+
+_EVENT_TYPES = (
+    CrashBurst,
+    PeriodicOutage,
+    StochasticCrashes,
+    CapacityDegradation,
+    RequestDrop,
+)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable list of fault events plus the injector seed.
+
+    The seed drives *all* stochastic choices (crash victim selection,
+    stochastic crash/recover coin flips) through a dedicated RNG stream, so
+    a (schedule, process-seed) pair fully determines a faulty run.
+    """
+
+    events: tuple = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, _EVENT_TYPES):
+                raise ConfigurationError(
+                    f"unknown fault event type: {type(event).__name__}"
+                )
+        object.__setattr__(self, "events", events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

@@ -29,12 +29,18 @@ from repro.parallel.context import (
 )
 from repro.parallel.journal import Journal, JournalState
 from repro.parallel.progress import ProgressReporter, TimingStats
-from repro.parallel.runner import ExperimentRunner, RunnerReport, run_experiments
+from repro.parallel.runner import (
+    ExperimentRunner,
+    RunnerReport,
+    TaskFailure,
+    run_experiments,
+)
 from repro.parallel.tasks import TaskSpec, discover_experiment, execute_task
 
 __all__ = [
     "ExperimentRunner",
     "RunnerReport",
+    "TaskFailure",
     "run_experiments",
     "Journal",
     "JournalState",

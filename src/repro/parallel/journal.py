@@ -23,17 +23,21 @@ class JournalState:
     """Parsed content of a journal file.
 
     ``tasks`` maps a task digest to its outcome payload; ``experiments``
-    maps an experiment digest to a serialised result. ``corrupt_lines``
-    counts unparseable lines (torn writes) that were skipped.
+    maps an experiment digest to a serialised result; ``quarantined`` maps
+    a task digest to its quarantine record (a task that exhausted its retry
+    budget — a resumed run reports it instead of re-running it forever).
+    ``corrupt_lines`` counts unparseable lines (torn writes) that were
+    skipped.
     """
 
     tasks: dict[str, dict[str, Any]] = field(default_factory=dict)
     experiments: dict[str, dict[str, Any]] = field(default_factory=dict)
+    quarantined: dict[str, dict[str, Any]] = field(default_factory=dict)
     corrupt_lines: int = 0
 
     @property
     def entries(self) -> int:
-        return len(self.tasks) + len(self.experiments)
+        return len(self.tasks) + len(self.experiments) + len(self.quarantined)
 
 
 class Journal:
@@ -70,6 +74,19 @@ class Journal:
             {"type": "experiment", "key": key, "experiment_id": experiment_id, "result": result}
         )
 
+    def append_quarantine(
+        self, key: str, spec: dict[str, Any], error: str, attempts: int
+    ) -> None:
+        self.append(
+            {
+                "type": "quarantine",
+                "key": key,
+                "spec": spec,
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
@@ -98,8 +115,18 @@ class Journal:
                     key = entry["key"]
                     if kind == "task":
                         state.tasks[key] = entry["outcome"]
+                        # A success trumps an earlier quarantine of the same
+                        # task (e.g. journaled by a later resumed run).
+                        state.quarantined.pop(key, None)
                     elif kind == "experiment":
                         state.experiments[key] = entry["result"]
+                    elif kind == "quarantine":
+                        if key not in state.tasks:
+                            state.quarantined[key] = {
+                                "spec": entry["spec"],
+                                "error": entry["error"],
+                                "attempts": entry["attempts"],
+                            }
                     else:
                         state.corrupt_lines += 1
                 except (ValueError, KeyError, UnicodeDecodeError):

@@ -19,12 +19,30 @@
 Determinism: replicate streams depend only on ``(seed, replicate)`` and
 cell seeds only on the experiment's loop indices, so worker scheduling
 cannot influence any number in the output.
+
+Fault tolerance
+---------------
+A worker that raises is retried with exponential backoff + jitter up to
+``max_retries`` times; a task that exhausts its budget is **quarantined**
+(journaled, reported in :class:`RunnerReport`, never re-run on ``--resume``)
+rather than aborting the sweep. A task that exceeds ``task_timeout`` has its
+worker killed and is retried/quarantined like a failure. A broken process
+pool (worker SIGKILLed, OOM'd, hung) is rebuilt up to ``max_pool_rebuilds``
+times; past that budget the runner degrades gracefully to in-process serial
+execution. Experiments whose tasks were quarantined (or whose discovery run
+failed) are reported in ``RunnerReport.failures`` while every other
+experiment still completes — the accounting invariant is that every task
+ends up computed, journaled, cached, or quarantined; nothing is silently
+lost.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
@@ -44,16 +62,28 @@ from repro.parallel.tasks import (
     result_payload,
 )
 
-__all__ = ["ExperimentRunner", "RunnerReport", "run_experiments"]
+__all__ = ["ExperimentRunner", "RunnerReport", "TaskFailure", "run_experiments"]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Terminal failure of one task after its retry budget was spent."""
+
+    error: str
+    attempts: int
+    timed_out: bool = False
 
 
 @dataclass
 class RunnerReport:
     """What a runner invocation did, and what it produced.
 
-    ``results`` preserves the requested experiment order. The counters
-    split every task and experiment by where its result came from —
-    computed now, replayed from the resume journal, or served by the cache.
+    ``results`` preserves the requested experiment order, skipping failed
+    experiments (see ``failures``). The counters split every task and
+    experiment by where its result came from — computed now, replayed from
+    the resume journal, or served by the cache — plus the fault-tolerance
+    ledger: retry attempts made, tasks quarantined, pool rebuilds, and
+    whether the runner fell back to serial execution.
     """
 
     results: list[Any] = field(default_factory=list)
@@ -61,10 +91,17 @@ class RunnerReport:
     tasks_computed: int = 0
     tasks_from_journal: int = 0
     tasks_from_cache: int = 0
+    tasks_retried: int = 0
+    tasks_quarantined: int = 0
+    quarantined: list[dict] = field(default_factory=list)
     experiments_total: int = 0
     experiments_from_journal: int = 0
     experiments_from_cache: int = 0
+    experiments_failed: int = 0
+    failures: dict[str, str] = field(default_factory=dict)
     journal_corrupt_lines: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
     timings: TimingStats = field(default_factory=TimingStats)
     wall_seconds: float = 0.0
 
@@ -76,6 +113,16 @@ class RunnerReport:
     def cache_misses(self) -> int:
         return self.tasks_computed
 
+    @property
+    def tasks_accounted(self) -> int:
+        """Every task must end up here: computed, journal, cache, or quarantine."""
+        return (
+            self.tasks_computed
+            + self.tasks_from_journal
+            + self.tasks_from_cache
+            + self.tasks_quarantined
+        )
+
     def summary_lines(self) -> list[str]:
         lines = [
             f"experiments: {self.experiments_total} "
@@ -86,11 +133,25 @@ class RunnerReport:
         ]
         if self.journal_corrupt_lines:
             lines.append(f"journal: skipped {self.journal_corrupt_lines} torn line(s)")
+        if self.tasks_retried:
+            lines.append(f"retries: {self.tasks_retried} task attempt(s) retried")
+        if self.pool_rebuilds:
+            rebuilt = f"pool: rebuilt {self.pool_rebuilds} time(s)"
+            if self.serial_fallback:
+                rebuilt += "; fell back to serial execution"
+            lines.append(rebuilt)
+        for entry in self.quarantined:
+            lines.append(
+                f"quarantined: {entry['label']} after {entry['attempts']} "
+                f"attempt(s): {entry['error']}"
+            )
+        for experiment_id in sorted(self.failures):
+            lines.append(f"failed: {experiment_id}: {self.failures[experiment_id]}")
         return lines
 
 
 class ExperimentRunner:
-    """Parallel, resumable executor for the experiment registry.
+    """Parallel, resumable, fault-tolerant executor for the experiment registry.
 
     Parameters
     ----------
@@ -98,16 +159,33 @@ class ExperimentRunner:
         Profile name or :class:`~repro.analysis.experiments.Profile`.
     jobs:
         Worker processes; 1 executes everything in-process (still with
-        journal/cache support).
+        journal/cache/retry support, but no task timeouts — there is no
+        second process to kill).
     cache_dir:
         Directory for the content-addressed result cache. Also the default
         home of the resume journal (``<cache_dir>/journal.jsonl``).
     resume:
-        Replay the journal before computing, skipping finished work.
+        Replay the journal before computing, skipping finished work and
+        previously quarantined tasks.
     journal_path:
         Explicit journal location (overrides the cache-dir default).
     progress_stream:
         Where to write progress/ETA lines (None disables progress output).
+    task_timeout:
+        Seconds a single task may run before its worker is killed and the
+        task is retried (None disables; ignored for in-process execution).
+    max_retries:
+        Extra executions allowed per task after its first failure; a task
+        failing ``max_retries + 1`` times is quarantined.
+    retry_backoff:
+        Base of the exponential backoff between retries, in seconds
+        (attempt ``k`` waits ``retry_backoff · 2^(k-1)`` plus up to 25%
+        deterministic jitter). 0 disables the wait (used by tests).
+    max_pool_rebuilds:
+        Broken-pool rebuilds tolerated before degrading to serial
+        execution. The default leaves room for a deterministic
+        worker-killer to exhaust its retry budget and be quarantined
+        while the pool is still being rebuilt around it.
     """
 
     def __init__(
@@ -119,6 +197,10 @@ class ExperimentRunner:
         journal_path: Path | str | None = None,
         progress_stream: TextIO | None = None,
         progress_interval: float = 0.5,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        max_pool_rebuilds: int = 5,
     ) -> None:
         from repro.analysis.experiments import PROFILES, Profile
         from repro.errors import ExperimentError
@@ -133,6 +215,20 @@ class ExperimentRunner:
             raise ExperimentError(f"cannot use {profile!r} as a profile")
         if jobs < 1:
             raise ParallelExecutionError(f"jobs must be >= 1, got {jobs}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ParallelExecutionError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
+        if max_retries < 0:
+            raise ParallelExecutionError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ParallelExecutionError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if max_pool_rebuilds < 0:
+            raise ParallelExecutionError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
+            )
         self.profile = profile
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -146,28 +242,212 @@ class ExperimentRunner:
         self.resume = resume
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.max_pool_rebuilds = max_pool_rebuilds
 
     # ------------------------------------------------------------------
     # execution fabric
     # ------------------------------------------------------------------
 
-    def _map_unordered(
-        self, fn: Callable[[dict], dict], payloads: Sequence[dict]
-    ) -> Iterator[tuple[dict, dict]]:
-        """Run ``fn`` over ``payloads``, yielding (payload, result) pairs.
+    def _backoff_seconds(self, attempts: int, rng: random.Random) -> float:
+        """Exponential backoff with deterministic jitter before retry N."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        return self.retry_backoff * (2 ** (attempts - 1)) * (1.0 + 0.25 * rng.random())
 
-        With one job (or one payload) this is a plain in-process loop;
-        otherwise a process pool, yielding in completion order. Callers
-        must not depend on ordering — all assembly is keyed.
+    def _run_tasks(
+        self,
+        fn: Callable[[dict], dict],
+        payloads: Sequence[dict],
+        report: RunnerReport,
+    ) -> Iterator[tuple[dict, dict | TaskFailure]]:
+        """Run ``fn`` over ``payloads``, yielding (payload, outcome) pairs.
+
+        The outcome is ``fn``'s return value or a :class:`TaskFailure` once
+        the task's retry budget is exhausted — exactly one pair per payload,
+        in completion order (callers must not depend on ordering; all
+        assembly is keyed). Worker crashes, hangs (with ``task_timeout``),
+        and broken pools are absorbed per the class docstring.
         """
+        items = [(payload, 0) for payload in payloads]
         if self.jobs == 1 or len(payloads) <= 1:
-            for payload in payloads:
-                yield payload, fn(payload)
+            yield from self._run_serial(fn, items, report)
             return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(payloads))) as pool:
-            futures = {pool.submit(fn, payload): payload for payload in payloads}
-            for future in as_completed(futures):
-                yield futures[future], future.result()
+        yield from self._run_pooled(fn, items, report)
+
+    def _run_serial(
+        self,
+        fn: Callable[[dict], dict],
+        items: Sequence[tuple[dict, int]],
+        report: RunnerReport,
+    ) -> Iterator[tuple[dict, dict | TaskFailure]]:
+        """In-process execution with retries (no timeouts: nothing to kill)."""
+        rng = random.Random(0)
+        for payload, attempts in items:
+            while True:
+                attempts += 1
+                try:
+                    result = fn(payload)
+                except Exception as err:
+                    if attempts > self.max_retries:
+                        yield payload, TaskFailure(
+                            error=f"{type(err).__name__}: {err}", attempts=attempts
+                        )
+                        break
+                    report.tasks_retried += 1
+                    delay = self._backoff_seconds(attempts, rng)
+                    if delay:
+                        time.sleep(delay)
+                else:
+                    yield payload, result
+                    break
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool whose workers may be hung: terminate, don't wait."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - platform-specific races
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pooled(
+        self,
+        fn: Callable[[dict], dict],
+        items: Sequence[tuple[dict, int]],
+        report: RunnerReport,
+    ) -> Iterator[tuple[dict, dict | TaskFailure]]:
+        width = min(self.jobs, len(items))
+        rng = random.Random(0)
+        # (payload, attempts so far, earliest monotonic time to resubmit)
+        pending: deque[tuple[dict, int, float]] = deque(
+            (payload, attempts, 0.0) for payload, attempts in items
+        )
+        failed: list[tuple[dict, TaskFailure]] = []
+
+        def requeue(payload: dict, attempts: int, error: str, timed_out: bool) -> None:
+            """Count one failed execution; retry or quarantine."""
+            if attempts > self.max_retries:
+                failed.append(
+                    (payload, TaskFailure(error=error, attempts=attempts, timed_out=timed_out))
+                )
+            else:
+                report.tasks_retried += 1
+                pending.append(
+                    (payload, attempts, time.monotonic() + self._backoff_seconds(attempts, rng))
+                )
+
+        pool = ProcessPoolExecutor(max_workers=width)
+        rebuilds = 0
+        # future -> (payload, attempts including this execution, deadline)
+        running: dict[Any, tuple[dict, int, float | None]] = {}
+        try:
+            while pending or running:
+                yield from failed
+                failed.clear()
+
+                # Submit ready work, keeping at most ``width`` tasks in
+                # flight so a submission's deadline tracks its start time.
+                now = time.monotonic()
+                rotations = 0
+                broken = False
+                while pending and len(running) < width and rotations < len(pending):
+                    payload, attempts, not_before = pending[0]
+                    if not_before > now:
+                        pending.rotate(-1)
+                        rotations += 1
+                        continue
+                    pending.popleft()
+                    deadline = (
+                        now + self.task_timeout if self.task_timeout is not None else None
+                    )
+                    try:
+                        future = pool.submit(fn, payload)
+                    except (BrokenProcessPool, RuntimeError):
+                        pending.appendleft((payload, attempts, not_before))
+                        broken = True
+                        break
+                    running[future] = (payload, attempts + 1, deadline)
+
+                if not broken and not running:
+                    # Everything pending is backing off; sleep it out.
+                    wake = min(entry[2] for entry in pending)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                timed_out: list[Any] = []
+                if not broken:
+                    deadlines = [d for *_, d in running.values() if d is not None]
+                    tick = None
+                    if deadlines or pending:
+                        horizon = min(deadlines) - time.monotonic() if deadlines else 0.5
+                        tick = min(0.5, max(0.01, horizon))
+                    done, _ = wait(set(running), timeout=tick, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        payload, attempts, _ = running.pop(future)
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            requeue(
+                                payload, attempts,
+                                "worker died (broken process pool)", timed_out=False,
+                            )
+                        except Exception as err:
+                            requeue(
+                                payload, attempts,
+                                f"{type(err).__name__}: {err}", timed_out=False,
+                            )
+                        else:
+                            yield payload, result
+                    now = time.monotonic()
+                    timed_out = [
+                        future
+                        for future, (_, _, deadline) in running.items()
+                        if deadline is not None and now > deadline
+                    ]
+
+                if broken or timed_out:
+                    # A dead or hung worker poisons the whole pool: charge
+                    # the responsible tasks one execution each, requeue the
+                    # innocent in-flight ones untouched, and rebuild.
+                    for future in timed_out:
+                        payload, attempts, _ = running.pop(future)
+                        requeue(
+                            payload, attempts,
+                            f"timed out after {self.task_timeout}s", timed_out=True,
+                        )
+                    for future, (payload, attempts, _) in list(running.items()):
+                        if broken:
+                            # The pool died with these in flight; any of
+                            # them may be the killer, so each is charged.
+                            requeue(
+                                payload, attempts,
+                                "worker died (broken process pool)", timed_out=False,
+                            )
+                        else:
+                            pending.append((payload, attempts - 1, 0.0))
+                    running.clear()
+                    self._kill_pool(pool)
+                    rebuilds += 1
+                    report.pool_rebuilds += 1
+                    if rebuilds > self.max_pool_rebuilds:
+                        report.serial_fallback = True
+                        yield from failed
+                        failed.clear()
+                        yield from self._run_serial(
+                            fn, [(p, a) for p, a, _ in pending], report
+                        )
+                        pending.clear()
+                        return
+                    pool = ProcessPoolExecutor(max_workers=width)
+            yield from failed
+            failed.clear()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # main flow
@@ -199,12 +479,21 @@ class ExperimentRunner:
             ready, plans = self._discover(ids, prof, journal_state, journal, report)
             outcomes = self._measure(ids, ready, plans, journal_state, journal, report)
             for experiment_id in ids:
+                if experiment_id in report.failures:
+                    continue
                 if experiment_id in ready:
                     result = ready[experiment_id]
                 else:
-                    replay = ReplayContext(outcomes)
-                    with use_context(replay):
-                        result = get_experiment(experiment_id)(self.profile)
+                    try:
+                        replay = ReplayContext(outcomes)
+                        with use_context(replay):
+                            result = get_experiment(experiment_id)(self.profile)
+                    except ParallelExecutionError as err:
+                        # Quarantined tasks left holes in the outcome set;
+                        # this experiment fails, the sweep continues.
+                        report.failures[experiment_id] = str(err)
+                        report.experiments_failed += 1
+                        continue
                     self._finish_experiment(experiment_id, prof, result, journal)
                 report.results.append(result)
         finally:
@@ -249,8 +538,12 @@ class ExperimentRunner:
             to_discover.append({"experiment_id": experiment_id, "profile": prof})
 
         plans: dict[str, list[dict]] = {}
-        for payload, found in self._map_unordered(discover_experiment, to_discover):
+        for payload, found in self._run_tasks(discover_experiment, to_discover, report):
             experiment_id = payload["experiment_id"]
+            if isinstance(found, TaskFailure):
+                report.failures[experiment_id] = found.error
+                report.experiments_failed += 1
+                continue
             report.timings.add(f"discover:{experiment_id}", found["elapsed"])
             if found["result"] is not None:
                 # The generator made no measurement calls: its recording
@@ -299,6 +592,24 @@ class ExperimentRunner:
             min_interval=self.progress_interval,
         ) if self.progress_stream is not None else None
 
+        quarantined_points: set[str] = set()
+
+        def quarantine(spec: TaskSpec, error: str, attempts: int, journaled: bool) -> None:
+            report.tasks_quarantined += 1
+            report.quarantined.append(
+                {
+                    "label": spec.label,
+                    "key": spec.digest,
+                    "error": error,
+                    "attempts": attempts,
+                }
+            )
+            quarantined_points.add(spec.point_key)
+            if journal is not None and not journaled:
+                journal.append_quarantine(spec.digest, spec.payload(), error, attempts)
+            if progress is not None:
+                progress.task_done(spec.label, 0.0, source="quarantined")
+
         to_compute: list[dict] = []
         for spec in specs:
             digest = spec.digest
@@ -308,6 +619,17 @@ class ExperimentRunner:
                 report.tasks_from_journal += 1
                 if progress is not None:
                     progress.task_done(spec.label, 0.0, source="journal")
+                continue
+            past_quarantine = journal_state.quarantined.get(digest)
+            if past_quarantine is not None:
+                # Quarantine is sticky across --resume: report it again
+                # instead of burning the retry budget on a known-bad task.
+                quarantine(
+                    spec,
+                    past_quarantine["error"] + " (quarantined in journal)",
+                    int(past_quarantine["attempts"]),
+                    journaled=True,
+                )
                 continue
             cached = self.cache.get(digest) if self.cache is not None else None
             if cached is not None:
@@ -322,8 +644,11 @@ class ExperimentRunner:
                 continue
             to_compute.append(spec.payload())
 
-        for payload, computed in self._map_unordered(execute_task, to_compute):
+        for payload, computed in self._run_tasks(execute_task, to_compute, report):
             spec = TaskSpec.from_payload(payload)
+            if isinstance(computed, TaskFailure):
+                quarantine(spec, computed.error, computed.attempts, journaled=False)
+                continue
             outcome, elapsed = computed["outcome"], computed["elapsed"]
             outcomes[spec.point_key][spec.replicate] = outcome
             report.tasks_computed += 1
@@ -337,8 +662,14 @@ class ExperimentRunner:
 
         complete: dict[str, list[dict]] = {}
         for key, values in outcomes.items():
-            if any(value is None for value in values):  # pragma: no cover - defensive
-                raise ParallelExecutionError(f"measurement incomplete for point {key}")
+            if any(value is None for value in values):
+                if key in quarantined_points:
+                    # Experiments needing this point fail at replay time
+                    # with a per-experiment error; the sweep continues.
+                    continue
+                raise ParallelExecutionError(  # pragma: no cover - defensive
+                    f"measurement incomplete for point {key}"
+                )
             complete[key] = values  # type: ignore[assignment]
         return complete
 
@@ -351,6 +682,8 @@ def run_experiments(
     resume: bool = False,
     journal_path: Path | str | None = None,
     progress_stream: TextIO | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -360,5 +693,7 @@ def run_experiments(
         resume=resume,
         journal_path=journal_path,
         progress_stream=progress_stream,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
     )
     return runner.run(experiment_ids)

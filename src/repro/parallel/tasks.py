@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ParallelExecutionError
+from repro.faults.chaos import maybe_chaos
 from repro.parallel.context import RecordingContext, use_context
 from repro.parallel.keys import point_key, task_digest
 
@@ -75,6 +76,9 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
     from repro.analysis.sweep import run_replicate
 
     spec = TaskSpec.from_payload(payload)
+    # Chaos hook for runner fault-tolerance tests: a no-op unless the
+    # REPRO_CHAOS environment variable deliberately arms it.
+    maybe_chaos(spec.label)
     start = time.perf_counter()
     outcome = run_replicate(spec.kind, spec.params, spec.replicate)
     return {"outcome": outcome.to_dict(), "elapsed": time.perf_counter() - start}

@@ -38,6 +38,7 @@ class TestRegistry:
             "heterogeneous_capacity",
             "drain_stages",
             "robustness_workloads",
+            "fault_recovery",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,169 @@
+"""Fault behaviour of Server/ServerFarm: outages, degraded capacity, and the
+observer pipeline — including the edge cases the fault subsystem leans on.
+
+The load-bearing conservation property: during an all-servers-down window
+the pending pool absorbs every arrival and no request is ever lost or
+duplicated (checked by request-id accounting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import RandomPolicy
+from repro.cluster.server import Request, Server
+from repro.engine.observers import InvariantChecker, TraceRecorder
+from repro.errors import InvariantViolation
+from repro.faults import CrashBurst, FaultInjector, FaultSchedule
+
+
+def make_farm(servers=8, capacity=2, rate=0.5, observers=(), rng=0):
+    return ServerFarm(
+        num_servers=servers,
+        capacity=capacity,
+        policy=RandomPolicy(),
+        rate=rate,
+        rng=rng,
+        observers=observers,
+    )
+
+
+def conserved(farm):
+    """Every generated request is completed, queued, or pending — once."""
+    queued = sum(s.queue_length for s in farm.servers)
+    return farm._next_id == farm.completed + queued + len(farm.pending)
+
+
+class TestServerOutage:
+    def test_down_server_admits_nothing_without_counting_rejections(self):
+        server = Server(capacity=2)
+        server.fail()
+        returned = server.admit([Request(0, 0), Request(0, 1)])
+        assert len(returned) == 2
+        assert server.rejected == 0  # outage, not capacity pressure
+        assert server.serve() is None
+        assert server.free_slots == 0
+
+    def test_preserved_buffer_resumes_fifo_after_recovery(self):
+        server = Server(capacity=3)
+        server.admit([Request(0, i) for i in range(3)])
+        evicted = server.fail()
+        assert evicted == []
+        server.recover()
+        assert server.serve().request_id == 0
+
+    def test_wiped_buffer_returns_evicted_requests(self):
+        server = Server(capacity=3)
+        server.admit([Request(0, i) for i in range(3)])
+        evicted = server.fail(wipe=True)
+        assert [r.request_id for r in evicted] == [0, 1, 2]
+        assert server.queue_length == 0
+
+    def test_unbounded_server_survives_fail_recover(self):
+        server = Server(capacity=None)
+        server.admit([Request(0, i) for i in range(10)])
+        server.fail()
+        assert server.free_slots == 0
+        server.recover()
+        assert server.free_slots > 0
+        server.check_invariants()
+
+    def test_degraded_capacity_never_truncates_queue(self):
+        server = Server(capacity=4)
+        server.admit([Request(0, i) for i in range(4)])
+        server.set_capacity(1)
+        assert server.queue_length == 4  # over the new bound, legally
+        assert server.free_slots == 0
+        server.check_invariants()  # high-water capacity keeps this valid
+        server.set_capacity(4)
+
+
+class TestAllServersDownWindow:
+    def test_pending_absorbs_arrivals_no_loss_no_duplication(self):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=5, fraction=1.0, duration=10),), seed=2
+        )
+        injector = FaultInjector(schedule)
+        trace = TraceRecorder()
+        farm = make_farm(observers=[trace, injector, InvariantChecker()])
+        for _ in range(40):
+            farm.step()
+            assert conserved(farm)
+        # During the outage window nothing is accepted and nothing completes.
+        window = trace.records[5:15]
+        assert all(r.accepted == 0 and r.deleted == 0 for r in window)
+        # Pending grows by exactly the arrivals each outage tick.
+        for before, after in zip(trace.records[5:14], trace.records[6:15]):
+            assert after.pool_size == before.pool_size + after.arrivals
+        # After recovery the backlog drains again.
+        assert injector.all_clear
+        assert trace.records[-1].pool_size < trace.records[14].pool_size
+        # No request id appears twice anywhere.
+        ids = [r.request_id for r in farm.pending]
+        for server in farm.servers:
+            ids.extend(r.request_id for r in server._queue)
+        assert len(ids) == len(set(ids))
+
+    def test_wiped_outage_loses_only_queued_requests(self):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=5, fraction=1.0, duration=5, buffer_policy="wiped"),),
+            seed=2,
+        )
+        injector = FaultInjector(schedule)
+        farm = make_farm(observers=[injector])
+        for _ in range(30):
+            farm.step()
+        # Conservation now includes the wiped requests.
+        queued = sum(s.queue_length for s in farm.servers)
+        assert farm._next_id == (
+            farm.completed + queued + len(farm.pending) + injector.balls_lost
+        )
+
+
+class TestFarmEdgeCapacities:
+    def test_unbounded_farm_with_injector_outage(self):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=3, fraction=0.5, duration=5),), seed=1
+        )
+        injector = FaultInjector(schedule)
+        farm = make_farm(capacity=None, observers=[injector])
+        for _ in range(20):
+            farm.step()
+            assert conserved(farm)
+        farm.check_invariants()
+
+    def test_zero_capacity_farm_never_accepts(self):
+        farm = make_farm(capacity=0, servers=4, rate=0.5)
+        for _ in range(10):
+            record = farm.step()
+            assert record.accepted == 0
+        assert len(farm.pending) == farm._next_id
+        farm.check_invariants()
+
+
+class TestFarmObserverPipeline:
+    def test_step_returns_round_record_and_notifies(self):
+        trace = TraceRecorder()
+        farm = make_farm(observers=[trace])
+        record = farm.step()
+        assert record.round == 1
+        assert trace.records == [record]
+        assert record.pool_size == len(farm.pending)
+        assert record.total_load == sum(s.queue_length for s in farm.servers)
+
+    def test_invariant_checker_reports_farm_context(self):
+        farm = make_farm(servers=2, capacity=2)
+        record = farm.step()
+        # Corrupt the farm: duplicate a pending request.
+        farm.pending = [Request(0, 7), Request(0, 7)]
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.on_round(record, farm)
+        message = str(excinfo.value)
+        assert "round 1" in message and "ServerFarm" in message
+        assert "duplicate request" in message
+
+    def test_n_property_matches_num_servers(self):
+        farm = make_farm(servers=8)
+        assert farm.n == farm.num_servers == 8

@@ -24,9 +24,19 @@ class TestRequest:
 
 
 class TestServer:
-    def test_rejects_zero_capacity(self):
+    def test_rejects_negative_capacity(self):
         with pytest.raises(ConfigurationError):
-            Server(capacity=0)
+            Server(capacity=-1)
+
+    def test_zero_capacity_admits_nothing(self):
+        # capacity=0 is legal: a cordoned server that rejects every request.
+        server = Server(capacity=0)
+        requests = [Request(0, i) for i in range(3)]
+        assert server.admit(requests) == sorted(requests)
+        assert server.queue_length == 0
+        assert server.rejected == 3
+        assert server.serve() is None
+        server.check_invariants()
 
     def test_admit_up_to_capacity(self):
         server = Server(capacity=2)

@@ -64,6 +64,19 @@ class TestInvariantChecker:
         with pytest.raises(InvariantViolation):
             checker.on_round(record(1), process)
 
+    def test_violation_message_localizes_failure(self):
+        checker = InvariantChecker()
+        process = FlakyProcess()
+        process.armed = True
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.on_round(record(42, pool=9), process)
+        message = str(excinfo.value)
+        assert "round 42" in message
+        assert "FlakyProcess" in message
+        assert "pool=9" in message
+        assert "armed" in message  # the underlying error survives
+        assert isinstance(excinfo.value.__cause__, InvariantViolation)
+
     def test_tolerates_processes_without_invariants(self):
         checker = InvariantChecker()
         checker.on_round(record(1), process=object())

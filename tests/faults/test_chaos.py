@@ -1,0 +1,76 @@
+"""Chaos-hook plumbing: env parsing, injection claiming, safe actions.
+
+The destructive actions (``crash``/``kill``) are exercised end-to-end in
+``tests/parallel/test_hardened_runner.py`` where a real worker process can
+die; here we test everything that can run safely in-process.
+"""
+
+import pytest
+
+from repro.errors import ChaosInjected, ConfigurationError
+from repro.faults.chaos import CHAOS_ENV, ChaosSpec, chaos_from_env, maybe_chaos
+
+
+class TestChaosSpec:
+    def test_round_trip_through_env(self):
+        spec = ChaosSpec(action="fail", match="r1", times=2)
+        parsed = chaos_from_env({CHAOS_ENV: spec.to_env()})
+        assert parsed.action == "fail"
+        assert parsed.match == "r1"
+        assert parsed.times == 2
+
+    def test_unset_env_is_none(self):
+        assert chaos_from_env({}) is None
+
+    def test_malformed_json_is_fatal(self):
+        with pytest.raises(ConfigurationError):
+            chaos_from_env({CHAOS_ENV: "{broken"})
+
+    def test_non_object_payload_is_fatal(self):
+        with pytest.raises(ConfigurationError):
+            chaos_from_env({CHAOS_ENV: '["kill"]'})
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(action="explode")
+
+    def test_crash_and_kill_require_marker_dir(self):
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(action="crash")
+        with pytest.raises(ConfigurationError):
+            ChaosSpec(action="kill")
+        ChaosSpec(action="kill", marker_dir="/tmp/somewhere")  # fine
+
+
+class TestMaybeChaos:
+    def test_noop_when_unarmed(self):
+        maybe_chaos("any label", environ={})
+
+    def test_fail_action_raises_chaos_injected(self):
+        spec = ChaosSpec(action="fail")
+        with pytest.raises(ChaosInjected):
+            maybe_chaos("capped n=256 r0", spec=spec)
+
+    def test_match_filters_by_label_substring(self):
+        spec = ChaosSpec(action="fail", match="r1")
+        maybe_chaos("capped n=256 r0", spec=spec)  # no match, no injection
+        with pytest.raises(ChaosInjected):
+            maybe_chaos("capped n=256 r1", spec=spec)
+
+    def test_marker_dir_limits_injections(self, tmp_path):
+        spec = ChaosSpec(action="fail", times=2, marker_dir=str(tmp_path / "markers"))
+        for _ in range(2):
+            with pytest.raises(ChaosInjected):
+                maybe_chaos("task", spec=spec)
+        # Both slots claimed: the hook stands down.
+        maybe_chaos("task", spec=spec)
+        markers = sorted(p.name for p in (tmp_path / "markers").iterdir())
+        assert markers == ["chaos-0.marker", "chaos-1.marker"]
+
+    def test_hang_sleeps_for_configured_seconds(self):
+        spec = ChaosSpec(action="hang", seconds=0.01)
+        import time
+
+        start = time.perf_counter()
+        maybe_chaos("task", spec=spec)
+        assert time.perf_counter() - start >= 0.01

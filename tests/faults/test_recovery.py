@@ -1,0 +1,124 @@
+"""Unit tests for the recovery-time metrics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import RoundRecord
+from repro.errors import ConfigurationError
+from repro.faults import measure_recovery, per_round_p99, stationary_band
+from repro.faults.recovery import time_to_return
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class TestStationaryBand:
+    def test_band_from_noisy_window(self):
+        rng = np.random.default_rng(0)
+        window = 100 + rng.normal(0, 2, size=200)
+        band = stationary_band(window)
+        assert band.lo < 100 < band.hi
+        assert band.contains(band.mean)
+        assert not band.contains(band.hi + 1)
+
+    def test_abs_floor_keeps_constant_series_reachable(self):
+        band = stationary_band([5.0, 5.0, 5.0, 5.0])
+        assert band.std == 0.0
+        assert band.hi - band.lo >= 2.0  # 2 · abs_floor
+
+    def test_rel_floor_scales_with_mean(self):
+        band = stationary_band([1000.0, 1000.0], rel_floor=0.1)
+        assert band.hi == pytest.approx(1100.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            stationary_band([1.0])
+
+
+class TestTimeToReturn:
+    def test_requires_sustained_stretch(self):
+        band = stationary_band([0.0, 0.0], abs_floor=1.0)  # band [-1, 1]
+        # Dips into the band at index 2 but only for one sample.
+        series = [5, 5, 0, 5, 5, 0, 0, 0, 0, 5]
+        assert time_to_return(series, band, start=0, sustain=3) == 5
+        assert time_to_return(series, band, start=0, sustain=5) is None
+
+    def test_start_offset_respected(self):
+        band = stationary_band([0.0, 0.0], abs_floor=1.0)
+        series = [0, 0, 0, 5, 0, 0, 0]
+        assert time_to_return(series, band, start=4, sustain=3) == 4
+
+    def test_rejects_bad_sustain(self):
+        band = stationary_band([0.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            time_to_return([0.0], band, start=0, sustain=0)
+
+
+class TestMeasureRecovery:
+    def _series(self):
+        # 50 stationary rounds at 100, a spike to 200 decaying back.
+        pre = np.full(50, 100.0)
+        spike = np.linspace(200, 100, 40)
+        post = np.full(60, 100.0)
+        return np.concatenate([pre, spike, post])
+
+    def test_measures_peak_and_recovery(self):
+        series = self._series()
+        report = measure_recovery(series, fault_index=50, fault_end_index=60, pre_window=40)
+        assert report.recovered
+        assert report.peak_value == pytest.approx(200.0)
+        assert report.peak_index == 50
+        assert report.recovery_rounds is not None and report.recovery_rounds > 0
+        # Recovery can't precede the end of the fault window.
+        assert report.recovery_index >= report.fault_end_index
+
+    def test_never_recovers(self):
+        series = np.concatenate([np.full(20, 100.0), np.full(30, 500.0)])
+        report = measure_recovery(series, fault_index=20, fault_end_index=25, pre_window=10)
+        assert not report.recovered
+        assert report.recovery_rounds is None
+
+    def test_already_recovered_when_fault_clears(self):
+        series = np.full(100, 100.0)
+        report = measure_recovery(series, fault_index=50, fault_end_index=60, pre_window=20)
+        assert report.recovered
+        assert report.recovery_rounds == 0
+
+    def test_rejects_fault_window_outside_series(self):
+        with pytest.raises(ConfigurationError):
+            measure_recovery(np.zeros(10), fault_index=5, fault_end_index=20, pre_window=3)
+
+    def test_rejects_oversized_pre_window(self):
+        with pytest.raises(ConfigurationError):
+            measure_recovery(np.zeros(50), fault_index=5, fault_end_index=10, pre_window=20)
+
+
+class TestPerRoundP99:
+    def _record(self, round_index, values, counts):
+        return RoundRecord(
+            round=round_index,
+            wait_values=np.asarray(values, dtype=np.int64),
+            wait_counts=np.asarray(counts, dtype=np.int64),
+        )
+
+    def test_weighted_quantile(self):
+        # 99 waits of 1 and 1 wait of 50: p99 picks the boundary value 1;
+        # 90/10 pushes the p99 to the tail value.
+        records = [
+            self._record(1, [1, 50], [99, 1]),
+            self._record(2, [1, 50], [90, 10]),
+        ]
+        p99 = per_round_p99(records)
+        assert p99[0] == 1.0
+        assert p99[1] == 50.0
+
+    def test_empty_rounds_carry_forward(self):
+        records = [
+            self._record(1, [7], [4]),
+            self._record(2, [], []),
+            self._record(3, [], []),
+        ]
+        assert per_round_p99(records).tolist() == [7.0, 7.0, 7.0]
+
+    def test_leading_empty_rounds_are_zero(self):
+        records = [self._record(1, [], []), self._record(2, [3], [1])]
+        assert per_round_p99(records).tolist() == [0.0, 3.0]

@@ -43,6 +43,65 @@ class TestJournalRoundTrip:
         assert set(state.tasks) == {"a", "b"}
 
 
+class TestQuarantineEntries:
+    def test_quarantine_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_quarantine("k1", {"kind": "capped"}, "boom", 3)
+        state = Journal.load(path)
+        assert state.quarantined == {
+            "k1": {"spec": {"kind": "capped"}, "error": "boom", "attempts": 3}
+        }
+        assert state.entries == 1
+        assert state.corrupt_lines == 0
+
+    def test_later_success_trumps_quarantine(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_quarantine("k1", {}, "boom", 3)
+            journal.append_task("k1", {}, {"x": 1})
+        state = Journal.load(path)
+        assert state.quarantined == {}
+        assert state.tasks == {"k1": {"x": 1}}
+
+    def test_quarantine_after_success_is_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append_task("k1", {}, {"x": 1})
+            journal.append_quarantine("k1", {}, "boom", 3)
+        state = Journal.load(path)
+        assert state.quarantined == {}
+        assert state.tasks == {"k1": {"x": 1}}
+
+
+class TestTruncatedTailResume:
+    def test_resume_recomputes_only_the_torn_task(self, tmp_path):
+        """End-to-end: tear the journal's last JSONL line (a crash mid-append),
+        resume, and get a bit-identical result with only that cell recomputed."""
+        from repro.analysis.experiments import Profile, run_experiment
+        from repro.parallel.runner import run_experiments
+
+        tiny = Profile(name="tiny", n=256, measure=30, replicates=2, seed=4242)
+        serial = run_experiment("fig4_left", tiny)
+        journal_path = tmp_path / "journal.jsonl"
+        run_experiments(["fig4_left"], profile=tiny, jobs=1, journal_path=journal_path)
+
+        lines = [line for line in journal_path.read_text().splitlines() if line.strip()]
+        assert '"type": "experiment"' in lines[-1]
+        # Drop the whole-experiment entry and truncate into the final task
+        # line, as if the process died mid-append.
+        torn = lines[:-2] + [lines[-2][:-15]]
+        journal_path.write_text("\n".join(torn) + "\n")
+
+        report = run_experiments(
+            ["fig4_left"], profile=tiny, jobs=1, journal_path=journal_path, resume=True
+        )
+        assert report.journal_corrupt_lines == 1
+        assert report.tasks_from_journal == 19
+        assert report.tasks_computed == 1
+        assert report.results[0].csv() == serial.csv()
+
+
 class TestJournalCrashTolerance:
     def test_torn_final_line_is_skipped(self, tmp_path):
         path = tmp_path / "journal.jsonl"

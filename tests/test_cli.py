@@ -119,6 +119,76 @@ class TestExperiments:
         assert code == 0
         assert "experiments: 1 (journal 1, cache 0)" in text
 
+    def test_nonpositive_task_timeout_rejected(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--task-timeout", "0",
+        )
+        assert code == 2
+        assert "--task-timeout" in text
+
+    def test_negative_max_retries_rejected(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--max-retries", "-1",
+        )
+        assert code == 2
+        assert "--max-retries" in text
+
+    def test_keep_going_and_fail_fast_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiments", "--all", "--keep-going", "--fail-fast"]
+            )
+
+    def test_experiment_error_exits_3(self, monkeypatch):
+        def boom(experiment_id, profile):
+            raise RuntimeError("simulated explosion")
+
+        monkeypatch.setattr("repro.cli.run_experiment", boom)
+        code, text = run_cli("experiments", "--id", "dominance", "--profile", "quick")
+        assert code == 3
+        assert "ERROR dominance: RuntimeError: simulated explosion" in text
+        assert "errors: 1 experiment(s) failed: dominance" in text
+
+    def test_keep_going_reports_every_error(self, monkeypatch):
+        def boom(experiment_id, profile):
+            raise RuntimeError("nope")
+
+        monkeypatch.setattr("repro.cli.run_experiment", boom)
+        code, text = run_cli("experiments", "--all", "--profile", "quick", "--keep-going")
+        assert code == 3
+        from repro.analysis.experiments import EXPERIMENTS
+
+        assert text.count("ERROR ") == len(EXPERIMENTS)
+
+    def test_fail_fast_stops_at_first_error(self, monkeypatch):
+        def boom(experiment_id, profile):
+            raise RuntimeError("nope")
+
+        monkeypatch.setattr("repro.cli.run_experiment", boom)
+        code, text = run_cli("experiments", "--all", "--profile", "quick", "--fail-fast")
+        assert code == 3
+        assert text.count("ERROR ") == 1
+
+    def test_runner_failures_surface_as_errors(self, monkeypatch):
+        from repro.parallel.runner import RunnerReport
+
+        def fake_run_experiments(ids, **kwargs):
+            return RunnerReport(
+                experiments_total=len(list(ids)),
+                experiments_failed=1,
+                failures={"dominance": "quarantined tasks left holes"},
+            )
+
+        monkeypatch.setattr("repro.parallel.run_experiments", fake_run_experiments)
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--jobs", "2", "--no-progress",
+        )
+        assert code == 3
+        assert "ERROR dominance: quarantined tasks left holes" in text
+
     def test_json_and_markdown_outputs(self, tmp_path):
         code, text = run_cli(
             "experiments", "--id", "drain_stages", "--profile", "quick",
