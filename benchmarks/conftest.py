@@ -9,15 +9,62 @@ finishes in minutes on one core).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.experiments import PROFILES, ExperimentResult, run_experiment
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write engine-speed benchmark results (rounds/sec per grid cell, "
+            "kernel-phase speedup) to PATH as JSON, e.g. BENCH_engine.json"
+        ),
+    )
+    parser.addoption(
+        "--benchmark-quick",
+        action="store_true",
+        default=False,
+        help=(
+            "force the 'quick' scale profile regardless of "
+            "REPRO_BENCH_PROFILE — the CI fast-matrix smoke switch"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
-def profile_name() -> str:
+def bench_json(request: pytest.FixtureRequest, profile_name: str):
+    """Accumulator the engine-speed benchmarks append their rows to.
+
+    Written to ``--bench-json PATH`` at session end (and skipped entirely
+    when the option is absent, so ad-hoc runs stay side-effect free).
+    """
+    results: dict = {
+        "profile": profile_name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "grid": [],
+        "kernel_phase": None,
+    }
+    yield results
+    path = request.config.getoption("--bench-json")
+    if path:
+        Path(path).write_text(json.dumps(results, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def profile_name(request: pytest.FixtureRequest) -> str:
+    if request.config.getoption("--benchmark-quick"):
+        return "quick"
     name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
     if name not in PROFILES:
         raise ValueError(f"REPRO_BENCH_PROFILE must be one of {sorted(PROFILES)}")

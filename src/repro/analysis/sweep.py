@@ -31,6 +31,7 @@ from repro.core.meanfield import equilibrium
 from repro.engine.driver import SimulationDriver, SimulationResult
 from repro.engine.stability import default_burn_in
 from repro.errors import ParallelExecutionError
+from repro.kernels.batched import BatchedCappedProcess
 from repro.parallel.context import active_context
 from repro.processes.greedy import GreedyBatchProcess
 from repro.rng import RngFactory
@@ -43,6 +44,7 @@ __all__ = [
     "measure_greedy",
     "run_replicate",
     "run_capped_replicate",
+    "run_capped_replicates_batched",
     "run_greedy_replicate",
     "aggregate_point",
     "assemble_point",
@@ -206,6 +208,39 @@ def run_capped_replicate(
     return ReplicateOutcome.from_result(driver.run(process))
 
 
+def run_capped_replicates_batched(
+    n: int,
+    c: int | None,
+    lam: float,
+    measure: int,
+    seed: int,
+    replicates: int,
+    warm_start: bool,
+    burn_in: int,
+) -> list[ReplicateOutcome]:
+    """Run all CAPPED replicates of one point in a single batched engine.
+
+    Replicate ``r`` consumes the same derived stream
+    ``RngFactory(seed).child(r)`` as :func:`run_capped_replicate`, and the
+    batched engine reproduces each replicate's trajectory bit-identically
+    (see :mod:`repro.kernels.batched`), so the returned outcomes equal the
+    serial per-replicate loop's — just computed with one kernel invocation
+    per round instead of one per replicate.
+    """
+    factory = RngFactory(seed=seed)
+    effective_warm = warm_start and c is not None and lam > 0
+    initial_pool = equilibrium(c, lam).pool_size(n) if effective_warm else 0
+    driver = SimulationDriver(burn_in=burn_in, measure=measure)
+    process = BatchedCappedProcess(
+        n=n,
+        capacity=c,
+        lam=lam,
+        rngs=[factory.child(r).generator("capped") for r in range(replicates)],
+        initial_pool=initial_pool,
+    )
+    return [ReplicateOutcome.from_result(result) for result in driver.run_batched(process)]
+
+
 def run_greedy_replicate(
     n: int,
     d: int,
@@ -283,6 +318,7 @@ def measure_capped(
     seed: int = 0,
     warm_start: bool = True,
     burn_in: int | None = None,
+    batch_replicates: bool = False,
 ) -> PointResult:
     """Measure CAPPED(c, λ) at one parameter point.
 
@@ -292,9 +328,16 @@ def measure_capped(
     for λ close to 1). Infinite capacity (``c=None``) cannot be
     warm-started through the mean-field solver and always cold-starts.
 
+    ``batch_replicates=True`` runs all replicates in one
+    :class:`~repro.kernels.batched.BatchedCappedProcess` — one kernel
+    invocation per round for the whole point, with outcomes bit-identical
+    to the serial loop (per-replicate streams still derive from
+    ``(seed, replicate)``).
+
     When a :mod:`repro.parallel` measurement context is active the call is
     delegated to it (recorded, or replayed from precomputed outcomes)
-    instead of simulating inline.
+    instead of simulating inline; the context distributes whole replicates,
+    so ``batch_replicates`` applies only to the inline path.
     """
     effective_warm = warm_start and c is not None and lam > 0
     if burn_in is None:
@@ -313,9 +356,21 @@ def measure_capped(
     context = active_context()
     if context is not None:
         return context.measure("capped", params, replicates)
-    outcomes = [
-        run_replicate("capped", params, replicate) for replicate in range(replicates)
-    ]
+    if batch_replicates:
+        outcomes = run_capped_replicates_batched(
+            n=n,
+            c=c,
+            lam=lam,
+            measure=measure,
+            seed=seed,
+            replicates=replicates,
+            warm_start=warm_start,
+            burn_in=burn_in,
+        )
+    else:
+        outcomes = [
+            run_replicate("capped", params, replicate) for replicate in range(replicates)
+        ]
     return aggregate_point(n, c, lam, burn_in, measure, outcomes)
 
 

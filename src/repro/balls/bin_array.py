@@ -57,9 +57,11 @@ class BinArray:
         "down",
         "_any_down",
         "_capacity_high_water",
+        "_free",
         "_peak_load",
         "_total_accepted",
         "_total_deleted",
+        "_total_load",
     )
 
     def __init__(self, n: int, capacity) -> None:
@@ -91,9 +93,35 @@ class BinArray:
             self._capacity_high_water = np.full(n, capacity, dtype=np.int64)
         else:
             self._capacity_high_water = capacity.copy()
+        # Incremental free-slots cache (see free_slots). For unbounded
+        # arrays it is a constant sentinel vector.
+        if capacity is None:
+            self._free = np.full(n, 2**62, dtype=np.int64)
+        else:
+            self._free = None
+            self._refresh_free()
         self._peak_load = 0
         self._total_accepted = 0
         self._total_deleted = 0
+        self._total_load = 0
+
+    def _refresh_free(self) -> None:
+        """Recompute the free-slots cache in place after a bulk mutation.
+
+        The hot per-round operations (:meth:`accept`, :meth:`delete_one_each`)
+        maintain the cache incrementally; everything that rewrites loads or
+        capacities wholesale (capacity changes, wipes, restores) calls this.
+        """
+        if self.capacity is None:
+            # Unbounded: the sentinel never depends on loads.
+            if self._free is None:
+                self._free = np.empty(self.n, dtype=np.int64)
+            self._free.fill(2**62)
+            return
+        if self._free is None:
+            self._free = np.empty(self.n, dtype=np.int64)
+        np.subtract(self.capacity, self.loads, out=self._free)
+        np.maximum(self._free, 0, out=self._free)
 
     @property
     def peak_load(self) -> int:
@@ -112,8 +140,8 @@ class BinArray:
 
     @property
     def total_load(self) -> int:
-        """Sum of all bin loads."""
-        return int(self.loads.sum())
+        """Sum of all bin loads (O(1): maintained as a running counter)."""
+        return self._total_load
 
     @property
     def down_count(self) -> int:
@@ -127,14 +155,17 @@ class BinArray:
         (2**62) is returned so that ``minimum(requests, free)`` never caps.
         Down bins report zero. The clamp at zero matters after a capacity
         degradation leaves a bin holding more balls than its current cap.
+
+        The returned array is an incrementally-maintained cache — **treat
+        it as read-only**. On the fault-free path no recomputation or
+        allocation happens per call; only while bins are down is a masked
+        copy returned.
         """
-        if self.capacity is None:
-            free = np.full(self.n, 2**62, dtype=np.int64)
-        else:
-            free = np.maximum(self.capacity - self.loads, 0)
         if self._any_down:
+            free = self._free.copy()
             free[self.down] = 0
-        return free
+            return free
+        return self._free
 
     def accept(self, requests: np.ndarray) -> np.ndarray:
         """Accept as many requests per bin as capacity allows.
@@ -154,11 +185,44 @@ class BinArray:
             raise ValueError(f"requests must have shape ({self.n},), got {requests.shape}")
         accepted = np.minimum(requests, self.free_slots())
         self.loads += accepted
-        self._total_accepted += int(accepted.sum())
+        accepted_total = int(accepted.sum())
+        if self.capacity is not None:
+            # Incremental cache update: accepted ≤ free per bin, so the
+            # clamp at zero is never violated by this subtraction.
+            self._free -= accepted
+        self._total_accepted += accepted_total
+        self._total_load += accepted_total
         peak = int(self.loads.max()) if self.n else 0
         if peak > self._peak_load:
             self._peak_load = peak
         return accepted
+
+    def commit_accepted(self, accepted: np.ndarray, total: int | None = None) -> int:
+        """Commit per-bin accepted counts already clipped against free slots.
+
+        The fused kernel (:mod:`repro.kernels.round`) computes
+        ``min(requests, free)`` itself, so re-deriving it here as
+        :meth:`accept` does would repeat two O(n) passes per round. The
+        caller guarantees ``0 <= accepted <= free_slots()`` per bin (the
+        kernel's clip) and may pass the pre-computed ``total`` to skip
+        the summing pass — the kernel already knows it. ``accepted`` may
+        be boolean (the unit-take kernel's 0/1 counts);
+        :meth:`check_invariants` still verifies the resulting cache.
+        Returns the total committed.
+        """
+        self.loads += accepted
+        accepted_total = int(accepted.sum()) if total is None else total
+        if self.capacity is not None:
+            self._free -= accepted
+        self._total_accepted += accepted_total
+        self._total_load += accepted_total
+        # A scalar capacity the peak has already reached bounds every
+        # load, so the max pass can't find anything new.
+        if not (np.isscalar(self.capacity) and self._peak_load >= int(self.capacity)):
+            peak = int(self.loads.max()) if self.n else 0
+            if peak > self._peak_load:
+                self._peak_load = peak
+        return accepted_total
 
     def delete_one_each(self) -> int:
         """End-of-round FIFO deletion: every non-empty *up* bin deletes one ball.
@@ -172,7 +236,13 @@ class BinArray:
             nonempty &= ~self.down
         deleted = int(np.count_nonzero(nonempty))
         self.loads[nonempty] -= 1
+        if self.capacity is not None:
+            # In-place cache refresh: a plain +1 would be wrong for bins
+            # left over capacity by a degradation (their free stays 0).
+            np.subtract(self.capacity, self.loads, out=self._free)
+            np.maximum(self._free, 0, out=self._free)
         self._total_deleted += deleted
+        self._total_load -= deleted
         return deleted
 
     def set_down(self, indices, wipe: bool = False) -> int:
@@ -188,6 +258,8 @@ class BinArray:
         if wipe and indices.size:
             wiped = int(self.loads[indices].sum())
             self.loads[indices] = 0
+            self._total_load -= wiped
+            self._refresh_free()
         self.down[indices] = True
         self._any_down = bool(self.down.any())
         return wiped
@@ -219,6 +291,7 @@ class BinArray:
                 raise ConfigurationError("cannot set unbounded capacity on a subset of bins")
             self.capacity = None
             self._capacity_high_water = None
+            self._refresh_free()
             return
         if indices is None:
             if np.isscalar(capacity):
@@ -256,6 +329,7 @@ class BinArray:
             np.maximum(
                 self._capacity_high_water, self.capacity, out=self._capacity_high_water
             )
+        self._refresh_free()
 
     def capacity_of(self, indices) -> np.ndarray:
         """Current capacities of the given bins (for save/restore by injectors)."""
@@ -269,6 +343,8 @@ class BinArray:
     def reset(self) -> None:
         """Empty all bins."""
         self.loads[:] = 0
+        self._total_load = 0
+        self._refresh_free()
 
     def get_state(self) -> dict:
         """Snapshot for checkpoint/restore."""
@@ -303,6 +379,8 @@ class BinArray:
         self._peak_load = int(state["peak_load"])
         self._total_accepted = int(state["total_accepted"])
         self._total_deleted = int(state["total_deleted"])
+        self._total_load = int(self.loads.sum())
+        self._refresh_free()
         self.check_invariants()
 
     def check_invariants(self) -> None:
@@ -315,6 +393,16 @@ class BinArray:
         """
         if np.any(self.loads < 0):
             raise InvariantViolation("negative bin load")
+        if self._total_load != int(self.loads.sum()):
+            raise InvariantViolation(
+                f"total-load counter {self._total_load} != actual {int(self.loads.sum())}"
+            )
+        if self.capacity is None:
+            expected_free = np.full(self.n, 2**62, dtype=np.int64)
+        else:
+            expected_free = np.maximum(self.capacity - self.loads, 0)
+        if not np.array_equal(self._free, expected_free):
+            raise InvariantViolation("free-slots cache out of sync with loads")
         if self._capacity_high_water is not None and np.any(
             self.loads > self._capacity_high_water
         ):

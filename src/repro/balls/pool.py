@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.errors import InvariantViolation
 
 __all__ = ["AgePool"]
@@ -126,6 +128,52 @@ class AgePool:
     def counts(self) -> list[int]:
         """Counts aligned with :meth:`labels` (a copy)."""
         return list(self._counts)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Labels and counts as aligned int64 arrays, oldest first.
+
+        The age-major snapshot the fused round kernel consumes; both
+        arrays are fresh copies, safe against later pool mutation.
+        """
+        return (
+            np.asarray(self._labels, dtype=np.int64),
+            np.asarray(self._counts, dtype=np.int64),
+        )
+
+    def remove_bulk(self, removed) -> None:
+        """Remove ``removed[i]`` balls from the i-th bucket (oldest first).
+
+        The counterpart of :meth:`as_arrays`: one call commits a whole
+        round's per-bucket acceptance counts, in O(#buckets) total instead
+        of one :meth:`remove` lookup per bucket.
+
+        Raises
+        ------
+        InvariantViolation
+            If ``removed`` is not aligned with the current buckets or any
+            entry exceeds its bucket's count.
+        """
+        removed = np.asarray(removed, dtype=np.int64)
+        if removed.shape != (len(self._labels),):
+            raise InvariantViolation(
+                f"bulk removal of {removed.shape} entries does not match "
+                f"{len(self._labels)} buckets"
+            )
+        kept_labels: list[int] = []
+        kept_counts: list[int] = []
+        total = 0
+        for label, have, take in zip(self._labels, self._counts, removed.tolist()):
+            if take < 0 or take > have:
+                raise InvariantViolation(
+                    f"cannot remove {take} balls labeled {label}: bucket holds {have}"
+                )
+            total += take
+            if have != take:
+                kept_labels.append(label)
+                kept_counts.append(have - take)
+        self._labels = kept_labels
+        self._counts = kept_counts
+        self._size -= total
 
     def remove(self, label: int, count: int) -> None:
         """Remove ``count`` balls generated in round ``label``.

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--cold-start", action="store_true", help="start from an empty system")
     sim.add_argument(
+        "--batch-replicates",
+        action="store_true",
+        help="run all replicates in one batched kernel (capped only; "
+        "bit-identical outcomes, one kernel pass per round)",
+    )
+    sim.add_argument(
         "--process",
         choices=("capped", "greedy"),
         default="capped",
@@ -172,6 +178,9 @@ def _cmd_list(out) -> int:
 
 def _cmd_simulate(args, out) -> int:
     if args.process == "greedy":
+        if args.batch_replicates:
+            out.write("error: --batch-replicates only applies to --process capped\n")
+            return 2
         point = measure_greedy(
             n=args.n,
             d=args.d,
@@ -191,6 +200,7 @@ def _cmd_simulate(args, out) -> int:
             seed=args.seed,
             warm_start=not args.cold_start,
             burn_in=args.burn_in,
+            batch_replicates=args.batch_replicates,
         )
     for key, value in point.row().items():
         out.write(f"{key:12s} {value}\n")

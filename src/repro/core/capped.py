@@ -14,11 +14,18 @@ Two implementations are provided:
 
 :class:`CappedProcess`
     The fast simulator. Balls of equal age are exchangeable, so the pool is
-    an :class:`~repro.balls.pool.AgePool` of per-label counts and a round
-    costs O(#thrown + n·#ages) vectorised work. Waiting times use the
-    position identity (see :mod:`repro.balls.bin_array`): a ball accepted at
-    queue position ``p`` in round ``t`` is deleted at end of round ``t+p``,
-    so its waiting time ``(t − label) + p`` is recorded at acceptance.
+    an :class:`~repro.balls.pool.AgePool` of per-label counts. The default
+    ``fused`` kernel (:mod:`repro.kernels.round`) resolves all age buckets
+    in one composite bincount plus a cumulative clip — O(#thrown + n·#ages)
+    element work with no per-ball sorting and no Python loop; the
+    ``legacy`` kernel sweeps the buckets oldest-first, paying several full
+    O(n) passes *per bucket*, and is kept as the executable reference (the
+    two are bit-exact,
+    including RNG consumption — see ``docs/kernels.md``). Waiting times use
+    the position identity (see :mod:`repro.balls.bin_array`): a ball
+    accepted at queue position ``p`` in round ``t`` is deleted at end of
+    round ``t+p``, so its waiting time ``(t − label) + p`` is recorded at
+    acceptance.
 
 :class:`ExactCappedSimulator`
     The literal per-ball reference implementation with real FIFO queues and
@@ -42,27 +49,14 @@ from repro.balls.buffer import BinBuffer
 from repro.balls.pool import AgePool
 from repro.engine.metrics import RoundRecord
 from repro.errors import ConfigurationError, InvariantViolation
+from repro.kernels.round import positional_waits as _positional_waits
+from repro.kernels.round import resolve_capped_round, wait_histogram as _wait_histogram
 from repro.rng import resolve_rng
 from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
 
 __all__ = ["CappedProcess", "ExactCappedSimulator"]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
-
-
-def _positional_waits(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Expand per-bin (start, length) runs into individual waiting times.
-
-    Bin ``i`` contributes the values ``starts[i], starts[i]+1, ...,
-    starts[i]+lengths[i]−1`` — one per accepted ball, in queue order.
-    """
-    total = int(lengths.sum())
-    if total == 0:
-        return _EMPTY
-    repeated_starts = np.repeat(starts, lengths)
-    cumulative = np.cumsum(lengths) - lengths
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(cumulative, lengths)
-    return repeated_starts + offsets
 
 
 class CappedProcess:
@@ -95,6 +89,11 @@ class CappedProcess:
         *dynamics* (acceptance counts depend only on request counts) but
         starves old balls, blowing up the waiting-time tail. The
         ``ablation_aging`` experiment quantifies this.
+    kernel:
+        ``"fused"`` (default) resolves all age buckets in one counting
+        pass; ``"legacy"`` is the original per-bucket sweep, kept as the
+        executable reference. Both consume the RNG identically and emit
+        identical :class:`RoundRecord` sequences for the same seed.
 
     Examples
     --------
@@ -113,6 +112,7 @@ class CappedProcess:
         arrivals: ArrivalProcess | None = None,
         initial_pool: int = 0,
         acceptance_order: str = "oldest",
+        kernel: str = "fused",
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one bin, got n={n}")
@@ -122,10 +122,13 @@ class CappedProcess:
             raise ConfigurationError(
                 f"acceptance_order must be 'oldest' or 'youngest', got {acceptance_order!r}"
             )
+        if kernel not in ("fused", "legacy"):
+            raise ConfigurationError(f"kernel must be 'fused' or 'legacy', got {kernel!r}")
         self.n = n
         self.capacity = capacity
         self.lam = lam
         self.acceptance_order = acceptance_order
+        self.kernel = kernel
         self.rng = resolve_rng(rng, "capped")
         self.arrivals = arrivals if arrivals is not None else DeterministicArrivals(n=n, lam=lam)
         self.pool = AgePool()
@@ -148,7 +151,9 @@ class CappedProcess:
             Optional pre-drawn bin choices, one per thrown ball, ordered
             oldest ball first (new balls last). Used by the coupling and
             by deterministic tests; when omitted, choices are drawn from
-            the process RNG per age bucket.
+            the process RNG (one draw per round in the fused kernel, one
+            per age bucket in the legacy kernel — bit-identical streams,
+            see ``docs/kernels.md``).
         """
         self.round += 1
         t = self.round
@@ -162,8 +167,82 @@ class CappedProcess:
                 f"injected choices must cover all {thrown} thrown balls, got {len(choices)}"
             )
 
-        # Choices are always laid out oldest-first (the coupling and test
-        # convention); the acceptance *order* over buckets is a policy.
+        if self.kernel == "fused":
+            accepted_total, wait_values, wait_counts = self._resolve_fused(
+                t, thrown, choices
+            )
+        else:
+            accepted_total, waits = self._resolve_legacy(t, choices)
+            wait_values, wait_counts = _wait_histogram(waits)
+
+        deleted = self.bins.delete_one_each()
+
+        return RoundRecord(
+            round=t,
+            arrivals=generated,
+            thrown=thrown,
+            accepted=accepted_total,
+            deleted=deleted,
+            pool_size=self.pool.size,
+            total_load=self.bins.total_load,
+            max_load=int(self.bins.loads.max()),
+            wait_values=wait_values,
+            wait_counts=wait_counts,
+        )
+
+    def _resolve_fused(
+        self, t: int, thrown: int, choices: np.ndarray | None
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """One-pass acceptance for all age buckets (see repro.kernels.round).
+
+        Returns ``(accepted_total, wait_values, wait_counts)`` — the wait
+        *histogram*, not per-ball waits: in the common unit-take regime
+        the kernel produces the histogram directly without ever expanding
+        per-ball arrays.
+        """
+        labels, counts = self.pool.as_arrays()
+        if choices is None:
+            choices = self.rng.integers(0, self.n, size=thrown)
+        else:
+            choices = np.asarray(choices, dtype=np.int64)
+
+        # Choices arrive oldest-first (the coupling and test convention),
+        # which is already the kernel's priority-major layout; only the
+        # youngest-first ablation has to reorder its bucket chunks.
+        reversed_priority = self.acceptance_order == "youngest" and len(labels) > 1
+        if reversed_priority:
+            chunks = np.split(choices, np.cumsum(counts)[:-1])
+            acc_choices = np.concatenate(chunks[::-1])
+            acc_counts = counts[::-1]
+            acc_ages = (t - labels)[::-1]
+        else:
+            acc_choices = choices
+            acc_counts = counts
+            acc_ages = t - labels
+
+        resolved = resolve_capped_round(
+            self.bins.free_slots(),
+            self.bins.loads,
+            acc_choices,
+            acc_counts,
+            acc_ages,
+            sort_runs=False,
+            need_runs=False,
+        )
+        if resolved.accepted_total:
+            accepted_per_bucket = resolved.accepted_per_bucket
+            if reversed_priority:
+                accepted_per_bucket = accepted_per_bucket[::-1]
+            self.bins.commit_accepted(resolved.accepted_per_key, resolved.accepted_total)
+            self.pool.remove_bulk(accepted_per_bucket)
+        if resolved.wait_hist is not None:
+            return resolved.accepted_total, *resolved.wait_hist
+        return resolved.accepted_total, *_wait_histogram(resolved.waits)
+
+    def _resolve_legacy(
+        self, t: int, choices: np.ndarray | None
+    ) -> tuple[int, np.ndarray]:
+        """The original per-bucket sweep — the executable reference."""
         bucket_slices: list[tuple[int, np.ndarray]] = []
         offset = 0
         for label, count in list(self.pool.buckets()):
@@ -192,26 +271,8 @@ class CappedProcess:
                 self.pool.remove(label, bucket_accepted)
                 accepted_total += bucket_accepted
 
-        deleted = self.bins.delete_one_each()
-
-        if wait_chunks:
-            waits = np.concatenate(wait_chunks)
-            wait_values, wait_counts = np.unique(waits, return_counts=True)
-        else:
-            wait_values, wait_counts = _EMPTY, _EMPTY
-
-        return RoundRecord(
-            round=t,
-            arrivals=generated,
-            thrown=thrown,
-            accepted=accepted_total,
-            deleted=deleted,
-            pool_size=self.pool.size,
-            total_load=self.bins.total_load,
-            max_load=int(self.bins.loads.max()),
-            wait_values=wait_values,
-            wait_counts=wait_counts,
-        )
+        waits = np.concatenate(wait_chunks) if wait_chunks else _EMPTY
+        return accepted_total, waits
 
     def check_invariants(self) -> None:
         """Verify pool and bin-state consistency."""

@@ -108,6 +108,7 @@ class ModCappedProcess:
         self.rng = resolve_rng(rng, "modcapped")
         self.pool_size = 0
         self.round = 0
+        self._total_scratch = np.zeros(n, dtype=np.int64)
         # Per-buffer loads, keyed by absolute buffer index j. Only the two
         # active buffers are kept; buffers are dropped once their capacity
         # returns to zero (they are provably empty by then).
@@ -131,12 +132,19 @@ class ModCappedProcess:
         deficit = int(np.ceil(self.m_star)) - self.pool_size
         return max(self.arrivals_per_round, deficit)
 
-    def total_loads(self) -> np.ndarray:
-        """Per-bin total stored balls ``ℓ_i`` (sum over active buffers)."""
-        total = np.zeros(self.n, dtype=np.int64)
+    def total_loads(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Per-bin total stored balls ``ℓ_i`` (sum over active buffers).
+
+        ``out`` lets the hot per-round path reuse a scratch array instead of
+        allocating; external callers get a fresh array by default.
+        """
+        if out is None:
+            out = np.zeros(self.n, dtype=np.int64)
+        else:
+            out.fill(0)
         for loads in self.buffer_loads.values():
-            total += loads
-        return total
+            out += loads
+        return out
 
     def _loads_for(self, j: int) -> np.ndarray:
         if j not in self.buffer_loads:
@@ -199,8 +207,13 @@ class ModCappedProcess:
             fill_loads = self._loads_for(fill_j)
             cap_drain = buffer_capacity(drain_j, t, self.c)
             cap_fill = buffer_capacity(fill_j, t, self.c)
-            requests_drain = np.bincount(choices[drain_preference], minlength=self.n)
-            requests_fill = np.bincount(choices[~drain_preference], minlength=self.n)
+            # One bincount over the composite key (bin + n·preference)
+            # replaces two boolean gathers plus two bincounts.
+            composite = np.bincount(
+                choices + np.where(drain_preference, 0, self.n), minlength=2 * self.n
+            )
+            requests_drain = composite[: self.n]
+            requests_fill = composite[self.n :]
             space_drain = cap_drain - drain_loads
             space_fill = cap_fill - fill_loads
             # Greedy preference-maximising assignment: satisfy preferences
@@ -223,7 +236,7 @@ class ModCappedProcess:
 
         self._retire_drained_buffers(t)
 
-        total = self.total_loads()
+        total = self.total_loads(out=self._total_scratch)
         return RoundRecord(
             round=t,
             arrivals=generated,

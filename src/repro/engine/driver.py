@@ -133,3 +133,46 @@ class SimulationDriver:
             measured=self.measure,
             stationary=stationary,
         )
+
+    def run_batched(self, process: Any) -> list[SimulationResult]:
+        """Execute the phases on a batched process; one result per replicate.
+
+        ``process.step()`` must return a *list* of per-replicate
+        :class:`RoundRecord` objects (see
+        :class:`~repro.kernels.batched.BatchedCappedProcess`). Each
+        replicate gets its own :class:`MetricsCollector`, so the returned
+        results are exactly what ``run`` would have produced on R separate
+        processes sharing the batched engine's streams. Observers are not
+        supported on this path — per-replicate fault injection has no
+        meaning inside a fused replicate block.
+        """
+        if self.observers:
+            raise ConfigurationError(
+                "observers are not supported on the batched path; "
+                "run replicates individually for fault/observer studies"
+            )
+        for _ in range(self.burn_in):
+            process.step()
+
+        collectors: list[MetricsCollector] | None = None
+        for _ in range(self.measure):
+            records = process.step()
+            if collectors is None:
+                collectors = [MetricsCollector(n=process.n) for _ in records]
+            for collector, record in zip(collectors, records):
+                collector.observe(record)
+
+        results = []
+        for collector in collectors or []:
+            series = collector.pool_series
+            stationary = is_stationary(series) if self._diagnose_stationarity else None
+            results.append(
+                SimulationResult(
+                    summary=collector.summary(),
+                    pool_series=series,
+                    burn_in=self.burn_in,
+                    measured=self.measure,
+                    stationary=stationary,
+                )
+            )
+        return results

@@ -1,0 +1,35 @@
+"""Vectorised round kernels shared by the fast simulators.
+
+:mod:`repro.kernels.round`
+    The fused single-pass CAPPED acceptance kernel: one composite
+    ``bincount`` into a (key, age-bucket) request matrix plus a cumulative
+    clip replaces the legacy per-age-bucket ``bincount`` + ``free_slots``
+    + ``accept`` sweep — O(#thrown + n·#ages) element work with no
+    per-ball sorting and no Python loop over buckets.
+
+:mod:`repro.kernels.batched`
+    :class:`~repro.kernels.batched.BatchedCappedProcess` — R independent
+    replicates simulated as one flat ``(R·n,)`` bin array with a single
+    kernel invocation per round, bit-identical per replicate to R separate
+    :class:`~repro.core.capped.CappedProcess` runs.
+
+See ``docs/kernels.md`` for the cumulative-clip acceptance argument and
+the RNG stream contract that make the fused paths *exactly* (not just
+distributionally) equivalent to the legacy per-bucket path.
+"""
+
+from repro.kernels.batched import BatchedCappedProcess
+from repro.kernels.round import (
+    ResolvedRound,
+    positional_waits,
+    resolve_capped_round,
+    wait_histogram,
+)
+
+__all__ = [
+    "BatchedCappedProcess",
+    "ResolvedRound",
+    "positional_waits",
+    "resolve_capped_round",
+    "wait_histogram",
+]

@@ -1,0 +1,238 @@
+"""Batched-replicate CAPPED engine: R independent runs, one kernel call per round.
+
+The paper's data points average over independent replicates of the same
+parameter point. Simulating them one at a time wastes the vector width:
+at n = 2¹² a single replicate's arrays are far below the sizes where numpy
+amortises per-call overhead. :class:`BatchedCappedProcess` therefore runs
+R replicates as one flat process:
+
+* bin loads live in a single :class:`~repro.balls.bin_array.BinArray` of
+  ``R·n`` slots (replicate r owns slots ``[r·n, (r+1)·n)``);
+* the age pool is a ``(#labels, R)`` count matrix sharing one label axis;
+* each round draws every replicate's choices from *its own* generator,
+  offsets them into composite keys ``r·n + bin``, and resolves acceptance
+  for all replicates with a single
+  :func:`~repro.kernels.round.resolve_capped_round` pass.
+
+Because replicate r's choices come from the same generator stream a
+standalone :class:`~repro.core.capped.CappedProcess` would use, and capped
+acceptance factorises over replicates (keys of different replicates never
+collide), the per-replicate :class:`~repro.engine.metrics.RoundRecord`
+sequences are **bit-identical** to R separate runs — batching is purely a
+throughput optimisation, never a statistics change. The equivalence tests
+in ``tests/kernels/test_batched.py`` enforce this.
+
+Faults and observers are not supported on the batched path: the
+:class:`~repro.faults.injector.FaultInjector` mutates one process's bins,
+which has no meaning across a fused replicate block. Use per-replicate
+processes for fault studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.balls.bin_array import BinArray
+from repro.engine.metrics import RoundRecord
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.kernels.round import resolve_capped_round, wait_histogram
+from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
+
+__all__ = ["BatchedCappedProcess"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class BatchedCappedProcess:
+    """R independent CAPPED(c, λ) replicates as one ``(R·n,)`` flat process.
+
+    Parameters
+    ----------
+    n:
+        Bins per replicate.
+    capacity:
+        Buffer size ``c`` — a shared int, ``None`` for unbounded, or a
+        per-bin ``(n,)`` array (tiled across replicates).
+    lam:
+        Injection rate λ; ``λn`` must be an integer unless a custom
+        ``arrivals`` process is supplied.
+    rngs:
+        One ``numpy.random.Generator`` per replicate, e.g.
+        ``[RngFactory(seed).child(r).generator("capped") for r in range(R)]``
+        — the exact generators the serial per-replicate path uses, which is
+        what makes the batched output bit-identical to it.
+    arrivals:
+        Optional arrival process shared by all replicates; each replicate's
+        per-round call receives that replicate's generator, so stochastic
+        arrivals also reproduce the serial streams.
+    initial_pool:
+        Balls (labelled round 0) pre-loaded into every replicate's pool.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity,
+        lam: float,
+        rngs: Sequence[np.random.Generator],
+        arrivals: ArrivalProcess | None = None,
+        initial_pool: int = 0,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one bin, got n={n}")
+        if not rngs:
+            raise ConfigurationError("need at least one replicate generator")
+        if initial_pool < 0:
+            raise ConfigurationError(f"initial_pool must be non-negative, got {initial_pool}")
+        self.n = n
+        self.capacity = capacity
+        self.lam = lam
+        self.rngs = list(rngs)
+        self.replicates = len(self.rngs)
+        self.arrivals = arrivals if arrivals is not None else DeterministicArrivals(n=n, lam=lam)
+        if capacity is not None and not np.isscalar(capacity):
+            capacity = np.asarray(capacity, dtype=np.int64)
+            if capacity.shape != (n,):
+                raise ConfigurationError(
+                    f"per-bin capacities must have shape ({n},), got {capacity.shape}"
+                )
+            flat_capacity = np.tile(capacity, self.replicates)
+        else:
+            flat_capacity = capacity
+        self.bins = BinArray(self.replicates * n, flat_capacity)
+        # Shared label axis; one count column per replicate.
+        self._labels: list[int] = []
+        self._counts = np.zeros((0, self.replicates), dtype=np.int64)
+        if initial_pool:
+            self._labels = [0]
+            self._counts = np.full((1, self.replicates), initial_pool, dtype=np.int64)
+        self.round = 0
+
+    @property
+    def pool_sizes(self) -> np.ndarray:
+        """Per-replicate pool size ``m(t)`` as an ``(R,)`` array."""
+        return self._counts.sum(axis=0)
+
+    def step(self) -> list[RoundRecord]:
+        """Advance all replicates one round; one record per replicate."""
+        self.round += 1
+        t = self.round
+        n, R = self.n, self.replicates
+
+        arrivals_r = [int(self.arrivals.arrivals(t, rng)) for rng in self.rngs]
+        if any(a < 0 for a in arrivals_r):
+            raise ConfigurationError(f"negative arrivals {arrivals_r} in round {t}")
+        if any(arrivals_r):
+            self._labels.append(t)
+            self._counts = np.vstack(
+                (self._counts, np.asarray(arrivals_r, dtype=np.int64)[None, :])
+            )
+
+        counts = self._counts  # (L, R)
+        num_labels = len(self._labels)
+        labels_arr = np.asarray(self._labels, dtype=np.int64)
+        bucket_ages = t - labels_arr
+        thrown = counts.sum(axis=0)  # (R,)
+
+        # Per replicate: draw this round's choices from the replicate's own
+        # stream (one call — identical to the serial fused path), offset
+        # into the composite key space, then regroup the chunks
+        # bucket-major: the kernel wants all highest-priority balls first,
+        # and buckets of different replicates share the same priority.
+        key_chunks: list[list[np.ndarray]] = []
+        for r, rng in enumerate(self.rngs):
+            choices = rng.integers(0, n, size=int(thrown[r])) + r * n
+            key_chunks.append(np.split(choices, np.cumsum(counts[:, r])[:-1]))
+        if num_labels:
+            ball_keys = np.concatenate(
+                [key_chunks[r][b] for b in range(num_labels) for r in range(R)]
+            )
+        else:
+            ball_keys = _EMPTY
+
+        resolved = resolve_capped_round(
+            self.bins.free_slots(),
+            self.bins.loads,
+            ball_keys,
+            counts.sum(axis=1),
+            bucket_ages,
+        )
+
+        accepted_r = np.zeros(R, dtype=np.int64)
+        if resolved.accepted_total:
+            # Per-(replicate, bucket) acceptance from the runs: replicate =
+            # run key block, bucket = run bucket. Weighted bincount counts
+            # are small integers, exactly representable in float64.
+            rep_of_run = resolved.run_keys // n
+            accepted_matrix = (
+                np.bincount(
+                    rep_of_run * num_labels + resolved.run_buckets,
+                    weights=resolved.run_lengths,
+                    minlength=R * num_labels,
+                )
+                .astype(np.int64)
+                .reshape(R, num_labels)
+            )
+            accepted_r = accepted_matrix.sum(axis=1)
+            self._counts = counts = counts - accepted_matrix.T
+            if np.any(counts < 0):
+                raise InvariantViolation("batched pool bucket went negative")
+            keep = counts.sum(axis=1) > 0
+            if not np.all(keep):
+                self._labels = [
+                    label for label, k in zip(self._labels, keep.tolist()) if k
+                ]
+                self._counts = counts = counts[keep]
+            self.bins.commit_accepted(resolved.accepted_per_key)
+
+        # End-of-round FIFO deletion, counted per replicate.
+        loads2d = self.bins.loads.reshape(R, n)
+        deleted_r = np.count_nonzero(loads2d > 0, axis=1)
+        self.bins.delete_one_each()
+        loads2d = self.bins.loads.reshape(R, n)
+        total_load_r = loads2d.sum(axis=1)
+        max_load_r = loads2d.max(axis=1)
+        pool_sizes = counts.sum(axis=0)
+
+        # Acceptance runs (and the aligned waits) are sorted by key, so
+        # each replicate's waits form one contiguous slice; run bounds map
+        # to ball bounds through the cumulative run lengths.
+        run_bounds = np.searchsorted(resolved.run_keys, np.arange(1, R) * n)
+        ball_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(resolved.run_lengths))
+        )
+        wait_groups = np.split(resolved.waits, ball_offsets[run_bounds])
+
+        records = []
+        for r in range(R):
+            wait_values, wait_counts = wait_histogram(wait_groups[r])
+            records.append(
+                RoundRecord(
+                    round=t,
+                    arrivals=arrivals_r[r],
+                    thrown=int(thrown[r]),
+                    accepted=int(accepted_r[r]),
+                    deleted=int(deleted_r[r]),
+                    pool_size=int(pool_sizes[r]),
+                    total_load=int(total_load_r[r]),
+                    max_load=int(max_load_r[r]),
+                    wait_values=wait_values,
+                    wait_counts=wait_counts,
+                )
+            )
+        return records
+
+    def check_invariants(self) -> None:
+        """Verify pool-matrix and bin-state consistency."""
+        self.bins.check_invariants()
+        if np.any(self._counts < 0):
+            raise InvariantViolation("batched pool bucket with negative count")
+        labels = self._labels
+        if any(a >= b for a, b in zip(labels, labels[1:])):
+            raise InvariantViolation("batched pool labels not strictly increasing")
+        if labels and labels[0] > self.round:
+            raise InvariantViolation(
+                f"pool contains balls from future round {labels[0]} (now {self.round})"
+            )

@@ -1,0 +1,403 @@
+"""The fused single-pass CAPPED acceptance kernel.
+
+The legacy round step of :class:`~repro.core.capped.CappedProcess` walks
+the age buckets oldest-first and pays ``np.bincount(minlength=n)``, a
+``minimum`` against free slots, and a full ``accept()`` pass *per bucket*
+— several full O(n) element passes per age bucket per round, plus a
+Python round-trip each. The fused kernel resolves capped acceptance for
+*all* age buckets in one shot, with no per-ball sorting and no Python
+loop over bins.
+
+The key observation is exchangeability: balls generated in the same round
+are interchangeable, so acceptance never needs per-ball identity — only
+the *count* of requests per (bin, age bucket). Two regimes follow:
+
+**Unit-take fast path** (``free.max() <= 1``, which always holds for
+``c = 1`` — the paper's flagship configuration): every bin accepts at
+most one ball, namely its highest-priority requester. A descending-
+priority sweep of slice scatters (``winner[keys_of_bucket_b] = b``,
+oldest bucket written last) leaves each touched bin holding its winning
+bucket — O(#thrown) scattered writes and a handful of O(n) mask passes,
+with no request counting at all.
+
+**Bucket-sweep general path**: buckets are swept highest priority first,
+each bucket's request counts (one ``bincount``) clipped against the
+*remaining* free slots held in a single scratch array — the greedy rule
+without mutating bin state between buckets, with a single commit at the
+end, and with an early exit once the round's acceptance budget is
+exhausted (at high load the oldest buckets soak up every slot and the
+large youngest buckets are never even counted). A dense
+``(bucket, key)`` cumulative-clip formulation was tried and rejected:
+the live bucket count K stays small (~3–7 even at λ = 0.99), so the
+K·n matrix passes move strictly more memory than K short sweeps.
+
+Either way, waiting times fall out per acceptance *run*: the accepted
+balls of bucket ``b`` in key ``k`` start at queue position
+``load_k + (accepted for k in buckets before b)``, and a ball at
+position ``p`` waits ``age_b + p`` rounds (see
+:mod:`repro.balls.bin_array` for the position identity). Runs are
+expanded with :func:`positional_waits`.
+
+The kernel never mutates its inputs; callers commit the result through
+``BinArray.commit_accepted`` and ``AgePool.remove_bulk`` (one call each
+per round).
+
+Keys need not be bin indices: the batched engine passes composite keys
+``replicate·n + bin`` over a flat ``(R·n,)`` bin array, resolving R
+independent replicates in the same pass (buckets of different replicates
+share the label axis; keys of different replicates never collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ResolvedRound", "positional_waits", "resolve_capped_round", "wait_histogram"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def wait_histogram(waits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted (values, counts) of a waiting-time sample.
+
+    Equivalent to ``np.unique(waits, return_counts=True)`` but via one
+    bincount — waits are small non-negative ints, so counting beats the
+    O(m log m) sort for the large per-round samples near λ → 1.
+    """
+    if not waits.size:
+        return _EMPTY, _EMPTY
+    histogram = np.bincount(waits)
+    values = np.flatnonzero(histogram)
+    return values, histogram[values]
+
+
+def positional_waits(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand per-run (start, length) pairs into individual waiting times.
+
+    Run ``i`` contributes the values ``starts[i], starts[i]+1, ...,
+    starts[i]+lengths[i]−1`` — one per accepted ball, in queue order.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY
+    repeated_starts = np.repeat(starts, lengths)
+    cumulative = np.cumsum(lengths) - lengths
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cumulative, lengths)
+    return repeated_starts + offsets
+
+
+@dataclass(slots=True)
+class ResolvedRound:
+    """Outcome of one fused acceptance pass.
+
+    Acceptance is reported per *run* — a maximal group of accepted balls
+    sharing a (key, priority bucket) — because runs are what both commit
+    targets need: per-key totals for the bin array, per-bucket totals for
+    the pool, and the run expansion for waits. Runs are ordered by key
+    ascending (ties by bucket priority), matching the layout of ``waits``.
+
+    Array dtypes are an implementation detail: the unit-take path returns
+    the narrowest representation that holds the values (boolean per-key
+    counts, int8 buckets, a broadcast view of ones for the lengths), so
+    consume the fields numerically rather than relying on ``int64`` or on
+    writability.
+
+    Attributes
+    ----------
+    accepted_per_key:
+        ``(N,)`` — balls accepted by each key, ``min(total requests, free)``.
+    accepted_per_bucket:
+        ``(K,)`` — balls accepted from each priority bucket (bucket 0 is
+        highest priority), ready for ``AgePool.remove_bulk``.
+    run_keys:
+        Key of each non-empty acceptance run, ascending.
+    run_buckets:
+        Priority bucket of each run, aligned with ``run_keys``.
+    run_lengths:
+        Balls in each run, aligned with ``run_keys``.
+    waits:
+        Waiting time of every accepted ball (``age + queue position``),
+        grouped by run.
+    accepted_total:
+        Total balls accepted.
+    wait_hist:
+        Optional precomputed ``(values, counts)`` wait histogram,
+        equivalent to ``wait_histogram(waits)``. Set by the unit-take
+        path when the caller passed ``need_runs=False`` and every load is
+        zero: each accepted ball then waits exactly its bucket's age, so
+        the histogram is just the per-bucket totals — no per-ball arrays
+        are ever materialised (``run_*`` and ``waits`` come back empty).
+        ``None`` means histogram ``waits`` yourself.
+    """
+
+    accepted_per_key: np.ndarray
+    accepted_per_bucket: np.ndarray
+    run_keys: np.ndarray
+    run_buckets: np.ndarray
+    run_lengths: np.ndarray
+    waits: np.ndarray
+    accepted_total: int
+    wait_hist: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _resolve_unit_take(
+    free: np.ndarray,
+    loads: np.ndarray,
+    ball_keys: np.ndarray,
+    bucket_counts: np.ndarray,
+    bucket_ages: np.ndarray,
+    need_runs: bool = True,
+) -> ResolvedRound:
+    """Fast path for ``free <= 1`` everywhere (always true at c = 1).
+
+    Each key accepts at most one ball: the one from its highest-priority
+    requesting bucket. A descending-priority sweep of slice scatters
+    (oldest bucket written last, so it wins) finds that bucket per key
+    without counting requests at all.
+    """
+    num_keys = free.size
+    num_buckets = bucket_counts.size
+    # The first-touch scatter is bandwidth-bound; a byte-wide winner array
+    # cuts its traffic 8× (the live bucket count fits easily — K ~ 7).
+    dtype = np.int8 if num_buckets < 127 else np.int64
+    winner = np.full(num_keys, num_buckets, dtype=dtype)
+    bounds = np.cumsum(bucket_counts)
+    for b in range(num_buckets - 1, -1, -1):
+        winner[ball_keys[bounds[b] - bucket_counts[b] : bounds[b]]] = b
+
+    # At homogeneous c = 1 every bin is emptied by the end-of-round
+    # deletion, so at round start no bin is full and every load is zero;
+    # these checks are cheap single passes that skip the full-bin masking
+    # and the per-run load gather in that (dominant) case. Neither is
+    # assumed: heterogeneous, degraded, or down bins take the full
+    # branches.
+    if int(free.min()) <= 0:
+        # Evict full/down keys from the winner map itself so the mask
+        # and the per-bucket counts below both see the clipped outcome.
+        winner[free <= 0] = num_buckets
+    accepted_mask = winner < num_buckets
+    accepted_per_bucket = np.bincount(winner, minlength=num_buckets + 1)[:num_buckets]
+    accepted_total = int(accepted_per_bucket.sum())
+
+    if not need_runs and not loads.any():
+        # Lean mode for serial consumers, who only ever histogram the
+        # waits: with every load zero each accepted ball waits exactly
+        # its bucket's age, so the histogram *is* the per-bucket totals
+        # and no per-ball array (runs or waits) need exist at all. This
+        # skips three O(#accepted) passes per round.
+        live = np.flatnonzero(accepted_per_bucket)
+        ages_live = bucket_ages[live]
+        order = np.argsort(ages_live)
+        return ResolvedRound(
+            accepted_per_key=accepted_mask,
+            accepted_per_bucket=accepted_per_bucket,
+            run_keys=_EMPTY,
+            run_buckets=_EMPTY,
+            run_lengths=_EMPTY,
+            waits=_EMPTY,
+            accepted_total=accepted_total,
+            wait_hist=(ages_live[order], accepted_per_bucket[live][order]),
+        )
+
+    run_keys = np.flatnonzero(accepted_mask)
+    # int64 immediately: every later use (age gather, bucket bincount)
+    # indexes with these, and fancy indexing converts narrow index arrays
+    # to intp internally — one explicit widening beats two hidden ones.
+    run_buckets = winner[run_keys].astype(np.int64)
+    # Runs all have length 1, so each wait is just its run's start. The
+    # other run arrays stay narrow (bool per-key counts, a broadcast
+    # length-1 view for the lengths) — every consumer uses them
+    # numerically, and the avoided widening copies are a measurable slice
+    # of the per-round budget at n = 2^15.
+    waits = bucket_ages[run_buckets]
+    if loads.any():
+        waits = waits + loads[run_keys]
+    return ResolvedRound(
+        accepted_per_key=accepted_mask,
+        accepted_per_bucket=accepted_per_bucket,
+        run_keys=run_keys,
+        run_buckets=run_buckets,
+        run_lengths=np.broadcast_to(np.int64(1), (run_keys.size,)),
+        waits=waits,
+        accepted_total=accepted_total,
+    )
+
+
+def _resolve_bucket_sweep(
+    free: np.ndarray,
+    loads: np.ndarray,
+    ball_keys: np.ndarray,
+    bucket_counts: np.ndarray,
+    bucket_ages: np.ndarray,
+    sort_runs: bool,
+) -> ResolvedRound:
+    """General path: vectorized priority sweep against a shared free budget.
+
+    Buckets are swept highest priority first, each clipping its request
+    counts against the *remaining* free slots — exactly the greedy rule,
+    but maintained in one scratch array instead of mutating bin state K
+    times (the legacy path pays a full ``BinArray.accept`` per bucket).
+    Queue positions come for free: the balls key ``k`` accepted before
+    bucket ``b`` number ``free[k] − free_rem[k]``, so bucket ``b``'s run
+    at ``k`` starts at ``loads[k] + free[k] − free_rem[k]``.
+
+    Two exits keep the sweep from touching work that cannot matter:
+    empty buckets are skipped outright, and the sweep stops as soon as
+    the acceptance budget ``Σ min(free_k, #balls)`` is exhausted — at
+    high load the oldest buckets soak up every slot and the (large)
+    youngest buckets are never counted.
+    """
+    num_keys = free.size
+    num_buckets = bucket_counts.size
+    free_rem = free.copy()
+    # Queue positions for later buckets shift by what earlier buckets got
+    # accepted; tracked as effective loads so each bucket's starts are a
+    # single gather.
+    queue_heads = loads.copy()
+    # Per-key acceptance can't exceed the balls thrown, so clipping by
+    # ball count bounds the budget without overflowing on the unbounded-
+    # capacity sentinel (2**62).
+    budget = int(np.minimum(free, ball_keys.size).sum())
+
+    bounds = np.cumsum(bucket_counts)
+    key_parts: list[np.ndarray] = []
+    bucket_parts: list[int] = []
+    length_parts: list[np.ndarray] = []
+    start_parts: list[np.ndarray] = []
+    accepted_per_bucket = np.zeros(num_buckets, dtype=np.int64)
+    for b in range(num_buckets):
+        count = int(bucket_counts[b])
+        if count == 0 or budget == 0:
+            continue
+        keys_b = ball_keys[bounds[b] - count : bounds[b]]
+        requests = np.bincount(keys_b, minlength=num_keys)
+        take = np.minimum(requests, free_rem, out=requests)
+        keys_taken = np.flatnonzero(take)
+        if keys_taken.size == 0:
+            continue
+        lengths = take[keys_taken]
+        start_parts.append(bucket_ages[b] + queue_heads[keys_taken])
+        queue_heads[keys_taken] += lengths
+        free_rem[keys_taken] -= lengths
+        key_parts.append(keys_taken)
+        bucket_parts.append(b)
+        length_parts.append(lengths)
+        taken = int(lengths.sum())
+        accepted_per_bucket[b] = taken
+        budget -= taken
+
+    if not key_parts:
+        return ResolvedRound(
+            np.zeros(num_keys, dtype=np.int64),
+            accepted_per_bucket,
+            _EMPTY,
+            _EMPTY,
+            _EMPTY,
+            _EMPTY,
+            0,
+        )
+
+    run_keys = np.concatenate(key_parts)
+    run_buckets = np.repeat(
+        np.asarray(bucket_parts, dtype=np.int64),
+        np.asarray([part.size for part in key_parts], dtype=np.int64),
+    )
+    run_lengths = np.concatenate(length_parts)
+    starts = np.concatenate(start_parts)
+    if sort_runs and len(key_parts) > 1:
+        # Each bucket's runs are already key-ascending; a stable sort over
+        # the (few) runs merges them into key-major order for callers that
+        # asked for it.
+        order = np.argsort(run_keys, kind="stable")
+        run_keys = run_keys[order]
+        run_buckets = run_buckets[order]
+        run_lengths = run_lengths[order]
+        starts = starts[order]
+    accepted_per_key = free - free_rem
+    return ResolvedRound(
+        accepted_per_key=accepted_per_key,
+        accepted_per_bucket=accepted_per_bucket,
+        run_keys=run_keys,
+        run_buckets=run_buckets,
+        run_lengths=run_lengths,
+        waits=positional_waits(starts, run_lengths),
+        accepted_total=int(accepted_per_bucket.sum()),
+    )
+
+
+def resolve_capped_round(
+    free: np.ndarray,
+    loads: np.ndarray,
+    ball_keys: np.ndarray,
+    bucket_counts: np.ndarray,
+    bucket_ages: np.ndarray,
+    sort_runs: bool = True,
+    need_runs: bool = True,
+) -> ResolvedRound:
+    """Resolve capped acceptance for all thrown balls in one pass.
+
+    Parameters
+    ----------
+    free:
+        Per-key free slots (``BinArray.free_slots()``); not mutated.
+    loads:
+        Per-key loads at the start of the round; not mutated.
+    ball_keys:
+        One key per thrown ball (bin index, or composite
+        ``replicate·n + bin`` for the batched engine), laid out in
+        priority-major order: the ``bucket_counts[0]`` balls of the
+        highest-priority bucket first, then bucket 1, and so on. Ball
+        order *within* a bucket never matters (exchangeability).
+    bucket_counts:
+        ``(K,)`` — balls per priority bucket. Bucket 0 is accepted first:
+        oldest-first callers pass age buckets oldest-first, the
+        youngest-first ablation passes them reversed.
+    bucket_ages:
+        ``(K,)`` — age ``t − label`` of each priority bucket's balls.
+    sort_runs:
+        When True (default), runs (and the aligned waits) are returned in
+        key-ascending order — required by the batched engine's
+        per-replicate splitting. Callers that only histogram the waits
+        (the serial processes) pass False and skip the merge sort; run
+        order is then bucket-major.
+    need_runs:
+        When False, the caller promises not to read the ``run_*`` or
+        ``waits`` fields *if* ``wait_hist`` comes back set — which lets
+        the unit-take path skip materialising every per-ball array (see
+        :class:`ResolvedRound.wait_hist`). With ``wait_hist=None`` the
+        result is fully populated regardless, so consumers branch on the
+        field, not on the flag they passed. Requires distinct
+        ``bucket_ages`` (true by construction for age buckets, which come
+        from strictly increasing labels) — duplicate ages would need the
+        histogram merge that only the expanded path performs.
+
+    Returns
+    -------
+    ResolvedRound
+        Acceptance counts and waiting times. Loads and pool state are
+        *not* updated — callers commit via ``BinArray.commit_accepted``
+        and ``AgePool.remove_bulk``.
+    """
+    num_buckets = bucket_counts.size
+    if ball_keys.size == 0 or num_buckets == 0:
+        return ResolvedRound(
+            np.zeros(free.size, dtype=np.int64),
+            np.zeros(num_buckets, dtype=np.int64),
+            _EMPTY,
+            _EMPTY,
+            _EMPTY,
+            _EMPTY,
+            0,
+        )
+    # Dispatch: unit-take covers c = 1 exactly and saturated heterogeneous
+    # rounds opportunistically; the sentinel for unbounded bins (2**62)
+    # keeps those on the general path.
+    if int(free.max()) <= 1:
+        return _resolve_unit_take(
+            free, loads, ball_keys, bucket_counts, bucket_ages, need_runs
+        )
+    return _resolve_bucket_sweep(
+        free, loads, ball_keys, bucket_counts, bucket_ages, sort_runs
+    )

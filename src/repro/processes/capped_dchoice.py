@@ -28,22 +28,14 @@ from repro.balls.bin_array import BinArray
 from repro.balls.pool import AgePool
 from repro.engine.metrics import RoundRecord
 from repro.errors import ConfigurationError, InvariantViolation
+from repro.kernels.round import positional_waits as _positional_waits
+from repro.kernels.round import resolve_capped_round, wait_histogram as _wait_histogram
 from repro.rng import resolve_rng
 from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
 
 __all__ = ["CappedDChoiceProcess"]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
-
-
-def _positional_waits(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    total = int(lengths.sum())
-    if total == 0:
-        return _EMPTY
-    repeated_starts = np.repeat(starts, lengths)
-    cumulative = np.cumsum(lengths) - lengths
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(cumulative, lengths)
-    return repeated_starts + offsets
 
 
 class CappedDChoiceProcess:
@@ -56,6 +48,12 @@ class CappedDChoiceProcess:
         finite — with unbounded bins this degenerates to GREEDY[d]).
     d:
         Probes per ball per round; d = 1 recovers the paper's process.
+    kernel:
+        ``"fused"`` (default) commits every ball's probes in one draw and
+        resolves acceptance in one counting pass; ``"legacy"`` is the
+        per-bucket sweep. Bit-identical for the same seed, including RNG
+        consumption (row-major ``(count, d)`` draws concatenate to one
+        ``(thrown, d)`` draw — see ``docs/kernels.md``).
     """
 
     def __init__(
@@ -67,6 +65,7 @@ class CappedDChoiceProcess:
         rng=None,
         arrivals: ArrivalProcess | None = None,
         initial_pool: int = 0,
+        kernel: str = "fused",
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"need at least one bin, got n={n}")
@@ -76,10 +75,13 @@ class CappedDChoiceProcess:
             raise ConfigurationError(f"need at least one probe, got d={d}")
         if initial_pool < 0:
             raise ConfigurationError(f"initial_pool must be non-negative, got {initial_pool}")
+        if kernel not in ("fused", "legacy"):
+            raise ConfigurationError(f"kernel must be 'fused' or 'legacy', got {kernel!r}")
         self.n = n
         self.capacity = capacity
         self.lam = lam
         self.d = d
+        self.kernel = kernel
         self.rng = resolve_rng(rng, "capped-dchoice")
         self.arrivals = arrivals if arrivals is not None else DeterministicArrivals(n=n, lam=lam)
         self.pool = AgePool()
@@ -105,20 +107,46 @@ class CappedDChoiceProcess:
         best = np.argmin(start_loads[probes], axis=1)
         return probes[np.arange(count), best]
 
-    def step(self) -> RoundRecord:
-        """Advance one round: probe, commit, capped-accept, FIFO-delete."""
-        self.round += 1
-        t = self.round
+    def _resolve_fused(self, t: int, thrown: int) -> tuple[int, np.ndarray, np.ndarray]:
+        """One draw, one commit, one counting acceptance pass for all buckets.
 
-        generated = self.arrivals.arrivals(t, self.rng)
-        self.pool.add(t, generated)
-        thrown = self.pool.size
-        start_loads = self.bins.loads.copy()
+        Returns ``(accepted_total, wait_values, wait_counts)`` — see
+        :meth:`repro.core.capped.CappedProcess._resolve_fused`.
+        """
+        labels, counts = self.pool.as_arrays()
+        committed = self._commit(thrown, self.bins.loads)
+        resolved = resolve_capped_round(
+            self.bins.free_slots(),
+            self.bins.loads,
+            committed,
+            counts,
+            t - labels,
+            sort_runs=False,
+            need_runs=False,
+        )
+        if resolved.accepted_total:
+            self.bins.commit_accepted(resolved.accepted_per_key, resolved.accepted_total)
+            self.pool.remove_bulk(resolved.accepted_per_bucket)
+        if resolved.wait_hist is not None:
+            return resolved.accepted_total, *resolved.wait_hist
+        return resolved.accepted_total, *_wait_histogram(resolved.waits)
+
+    def _resolve_legacy(self, t: int) -> tuple[int, np.ndarray]:
+        """The original per-bucket sweep — the executable reference.
+
+        Commits are drawn up front (loads are untouched until the first
+        accept, so no defensive copy is needed) and pool removals are
+        committed in one bulk call, so the sweep never iterates a mutating
+        structure.
+        """
+        labels, counts = self.pool.as_arrays()
+        committed_chunks = [
+            self._commit(int(count), self.bins.loads) for count in counts
+        ]
 
         wait_chunks: list[np.ndarray] = []
-        accepted_total = 0
-        for label, count in list(self.pool.buckets()):
-            committed = self._commit(count, start_loads)
+        removed = np.zeros(len(labels), dtype=np.int64)
+        for i, (label, committed) in enumerate(zip(labels, committed_chunks)):
             requests = np.bincount(committed, minlength=self.n)
             accepted = np.minimum(requests, self.bins.free_slots())
             bucket_accepted = int(accepted.sum())
@@ -127,16 +155,29 @@ class CappedDChoiceProcess:
                 starts = (t - label) + self.bins.loads[nonzero]
                 wait_chunks.append(_positional_waits(starts, accepted[nonzero]))
                 self.bins.accept(requests)
-                self.pool.remove(label, bucket_accepted)
-                accepted_total += bucket_accepted
+                removed[i] = bucket_accepted
+        if removed.any():
+            self.pool.remove_bulk(removed)
+
+        waits = np.concatenate(wait_chunks) if wait_chunks else _EMPTY
+        return int(removed.sum()), waits
+
+    def step(self) -> RoundRecord:
+        """Advance one round: probe, commit, capped-accept, FIFO-delete."""
+        self.round += 1
+        t = self.round
+
+        generated = self.arrivals.arrivals(t, self.rng)
+        self.pool.add(t, generated)
+        thrown = self.pool.size
+
+        if self.kernel == "fused":
+            accepted_total, wait_values, wait_counts = self._resolve_fused(t, thrown)
+        else:
+            accepted_total, waits = self._resolve_legacy(t)
+            wait_values, wait_counts = _wait_histogram(waits)
 
         deleted = self.bins.delete_one_each()
-
-        if wait_chunks:
-            waits = np.concatenate(wait_chunks)
-            wait_values, wait_counts = np.unique(waits, return_counts=True)
-        else:
-            wait_values, wait_counts = _EMPTY, _EMPTY
 
         return RoundRecord(
             round=t,

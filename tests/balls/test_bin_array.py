@@ -102,3 +102,89 @@ class TestAccounting:
         bins.loads[1] = -1
         with pytest.raises(InvariantViolation):
             bins.check_invariants()
+
+
+class TestFreeSlotsCache:
+    """The incremental free-slots cache and O(1) total-load counter."""
+
+    def test_cache_tracks_accept_and_delete(self):
+        bins = BinArray(n=4, capacity=3)
+        bins.accept(np.array([5, 2, 0, 1]))
+        assert bins.free_slots().tolist() == [0, 1, 3, 2]
+        bins.check_invariants()  # verifies cache == capacity - loads
+        bins.delete_one_each()
+        assert bins.free_slots().tolist() == [1, 2, 3, 3]
+        bins.check_invariants()
+
+    def test_unbounded_cache_is_sentinel(self):
+        bins = BinArray(n=3, capacity=None)
+        bins.accept(np.array([10, 0, 4]))
+        assert (bins.free_slots() >= 2**61).all()
+        bins.check_invariants()
+
+    def test_degradation_clamps_free_at_zero(self):
+        # Shrinking capacity below the load must report 0 free slots (not
+        # negative), and deletions must keep reporting 0 until the bin
+        # drains back under its new capacity.
+        bins = BinArray(n=2, capacity=3)
+        bins.accept(np.array([3, 1]))
+        bins.set_capacity(1)
+        assert bins.free_slots().tolist() == [0, 0]
+        bins.check_invariants()
+        bins.delete_one_each()  # loads 2, 0 — bin 0 still over capacity
+        assert bins.free_slots().tolist() == [0, 1]
+        bins.check_invariants()
+        bins.delete_one_each()  # loads 1, 0 — exactly at capacity
+        assert bins.free_slots().tolist() == [0, 1]
+        bins.check_invariants()
+
+    def test_down_bins_masked_without_corrupting_cache(self):
+        bins = BinArray(n=3, capacity=2)
+        bins.accept(np.array([1, 1, 1]))
+        bins.set_down([1])
+        assert bins.free_slots().tolist() == [1, 0, 1]
+        bins.set_up([1])
+        assert bins.free_slots().tolist() == [1, 1, 1]
+        bins.check_invariants()
+
+    def test_wipe_refreshes_cache_and_counter(self):
+        bins = BinArray(n=2, capacity=2)
+        bins.accept(np.array([2, 1]))
+        wiped = bins.set_down([0], wipe=True)
+        assert wiped == 2
+        assert bins.total_load == 1
+        bins.set_up([0])
+        assert bins.free_slots().tolist() == [2, 1]
+        bins.check_invariants()
+
+    def test_total_load_counter_is_exact(self):
+        rng = np.random.default_rng(0)
+        bins = BinArray(n=8, capacity=3)
+        for _ in range(50):
+            bins.accept(rng.integers(0, 4, size=8))
+            bins.delete_one_each()
+            assert bins.total_load == int(bins.loads.sum())
+        bins.check_invariants()
+
+    def test_state_roundtrip_rebuilds_cache(self):
+        bins = BinArray(n=4, capacity=2)
+        bins.accept(np.array([2, 1, 0, 2]))
+        state = bins.get_state()
+        restored = BinArray(n=4, capacity=2)
+        restored.set_state(state)
+        assert restored.free_slots().tolist() == bins.free_slots().tolist()
+        assert restored.total_load == bins.total_load
+
+    def test_invariants_detect_stale_cache(self):
+        bins = BinArray(n=2, capacity=2)
+        bins.accept(np.array([1, 0]))
+        bins._free[0] = 2  # simulate corruption
+        with pytest.raises(InvariantViolation):
+            bins.check_invariants()
+
+    def test_invariants_detect_stale_total(self):
+        bins = BinArray(n=2, capacity=2)
+        bins.accept(np.array([1, 0]))
+        bins._total_load = 7
+        with pytest.raises(InvariantViolation):
+            bins.check_invariants()

@@ -1,0 +1,285 @@
+"""BatchedCappedProcess: R fused replicates, bit-identical to R serial runs.
+
+Also unit tests of :func:`resolve_capped_round` itself (hand-checkable
+acceptance cases) and of the driver/sweep wiring around the batched engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    measure_capped,
+    run_capped_replicate,
+    run_capped_replicates_batched,
+)
+from repro.core.capped import CappedProcess
+from repro.engine.driver import SimulationDriver
+from repro.engine.observers import TraceRecorder
+from repro.errors import ConfigurationError
+from repro.kernels import BatchedCappedProcess, positional_waits, resolve_capped_round
+from repro.rng import RngFactory
+
+from tests.kernels.test_fused_equivalence import assert_records_equal
+
+
+class TestResolveCappedRound:
+    def test_empty_round(self):
+        free = np.array([1, 1], dtype=np.int64)
+        loads = np.zeros(2, dtype=np.int64)
+        resolved = resolve_capped_round(
+            free, loads, np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64)
+        )
+        assert resolved.accepted_total == 0
+        assert resolved.accepted_per_key.tolist() == [0, 0]
+        assert resolved.waits.size == 0
+
+    def test_clips_against_free_slots_oldest_first(self):
+        # Bin 0: 3 requests (two from bucket 0, one from bucket 2), 2 free
+        # — the two highest-priority ones win, the bucket-2 one is
+        # rejected. free.max() > 1 exercises the count-matrix path.
+        free = np.array([2, 5], dtype=np.int64)
+        loads = np.array([1, 0], dtype=np.int64)
+        keys = np.array([0, 0, 1, 0], dtype=np.int64)  # priority-major
+        counts = np.array([2, 1, 1], dtype=np.int64)
+        ages = np.array([4, 3, 1], dtype=np.int64)
+        resolved = resolve_capped_round(free, loads, keys, counts, ages)
+        assert resolved.accepted_total == 3
+        assert resolved.accepted_per_key.tolist() == [2, 1]
+        assert resolved.accepted_per_bucket.tolist() == [2, 1, 0]
+        # Runs are key-ascending: bin 0 positions start at load 1 → waits
+        # 4+1, 4+2; bin 1 at load 0 → wait 3+0.
+        assert resolved.run_keys.tolist() == [0, 1]
+        assert resolved.run_buckets.tolist() == [0, 1]
+        assert resolved.run_lengths.tolist() == [2, 1]
+        assert resolved.waits.tolist() == [4 + 1, 4 + 2, 3 + 0]
+
+    def test_bucket_priority_splits_across_runs(self):
+        # One bin, 4 free, requests from two buckets: each bucket's
+        # acceptances form their own run with their own age.
+        free = np.array([4], dtype=np.int64)
+        loads = np.array([2], dtype=np.int64)
+        keys = np.zeros(3, dtype=np.int64)
+        counts = np.array([2, 1], dtype=np.int64)
+        ages = np.array([7, 2], dtype=np.int64)
+        resolved = resolve_capped_round(free, loads, keys, counts, ages)
+        assert resolved.accepted_total == 3
+        assert resolved.run_lengths.tolist() == [2, 1]
+        # Bucket 0 at positions 2, 3; bucket 1 at position 4.
+        assert resolved.waits.tolist() == [7 + 2, 7 + 3, 2 + 4]
+
+    def test_unit_take_first_touch(self):
+        # free.max() == 1 → the unit-take fast path: each free key accepts
+        # exactly its highest-priority requester.
+        free = np.array([1, 1, 0], dtype=np.int64)
+        loads = np.array([0, 2, 1], dtype=np.int64)
+        # bucket 0: keys 0, 2; bucket 1: keys 0, 1.
+        keys = np.array([0, 2, 0, 1], dtype=np.int64)
+        counts = np.array([2, 2], dtype=np.int64)
+        ages = np.array([5, 1], dtype=np.int64)
+        resolved = resolve_capped_round(free, loads, keys, counts, ages)
+        assert resolved.accepted_total == 2
+        assert resolved.accepted_per_key.tolist() == [1, 1, 0]
+        assert resolved.accepted_per_bucket.tolist() == [1, 1]
+        assert resolved.run_keys.tolist() == [0, 1]
+        assert resolved.run_buckets.tolist() == [0, 1]
+        assert resolved.waits.tolist() == [5 + 0, 1 + 2]
+
+    def test_zero_free_accepts_nothing(self):
+        free = np.zeros(3, dtype=np.int64)
+        loads = np.array([2, 2, 2], dtype=np.int64)
+        keys = np.array([0, 1, 2, 1], dtype=np.int64)
+        resolved = resolve_capped_round(
+            free, loads, keys, np.array([4], np.int64), np.ones(1, np.int64)
+        )
+        assert resolved.accepted_total == 0
+        assert not resolved.accepted_per_key.any()
+        assert resolved.waits.size == 0
+
+    def test_unit_take_path_equals_bucket_sweep_path(self):
+        # The dispatch condition (free <= 1 everywhere) is exactly where
+        # both implementations are defined — they must agree field by
+        # field on random instances.
+        from repro.kernels.round import _resolve_bucket_sweep, _resolve_unit_take
+
+        rng = np.random.default_rng(17)
+        for _ in range(50):
+            n = int(rng.integers(2, 40))
+            num_buckets = int(rng.integers(1, 6))
+            counts = rng.integers(0, 12, size=num_buckets).astype(np.int64)
+            keys = rng.integers(0, n, size=int(counts.sum()))
+            free = rng.integers(0, 2, size=n).astype(np.int64)
+            loads = rng.integers(0, 4, size=n).astype(np.int64)
+            ages = np.sort(rng.integers(0, 30, size=num_buckets))[::-1].astype(np.int64)
+            fast = _resolve_unit_take(free, loads, keys, counts, ages)
+            general = _resolve_bucket_sweep(free, loads, keys, counts, ages, True)
+            assert fast.accepted_total == general.accepted_total
+            assert np.array_equal(fast.accepted_per_key, general.accepted_per_key)
+            assert np.array_equal(fast.accepted_per_bucket, general.accepted_per_bucket)
+            assert np.array_equal(fast.run_keys, general.run_keys)
+            assert np.array_equal(fast.run_buckets, general.run_buckets)
+            assert np.array_equal(fast.run_lengths, general.run_lengths)
+            assert np.array_equal(fast.waits, general.waits)
+
+    def test_lean_mode_histogram_matches_full_expansion(self):
+        # need_runs=False with all-zero loads: the unit-take path returns
+        # the wait histogram directly and skips the per-ball arrays; it
+        # must agree exactly with histogramming the full path's waits.
+        from repro.kernels import wait_histogram
+
+        rng = np.random.default_rng(23)
+        for _ in range(30):
+            n = int(rng.integers(2, 40))
+            num_buckets = int(rng.integers(1, 6))
+            counts = rng.integers(0, 12, size=num_buckets).astype(np.int64)
+            if counts.sum() == 0:
+                counts[0] = 1
+            keys = rng.integers(0, n, size=int(counts.sum()))
+            free = rng.integers(0, 2, size=n).astype(np.int64)
+            loads = np.zeros(n, dtype=np.int64)
+            # Ages are distinct by construction for real callers (t − labels
+            # with strictly increasing labels) — the lean histogram relies
+            # on it.
+            ages = np.sort(rng.choice(30, size=num_buckets, replace=False))[::-1]
+            ages = ages.astype(np.int64)
+            full = resolve_capped_round(free, loads, keys, counts, ages)
+            lean = resolve_capped_round(free, loads, keys, counts, ages, need_runs=False)
+            assert lean.wait_hist is not None
+            assert lean.accepted_total == full.accepted_total
+            assert np.array_equal(lean.accepted_per_key, full.accepted_per_key)
+            assert np.array_equal(lean.accepted_per_bucket, full.accepted_per_bucket)
+            values, tallies = wait_histogram(full.waits)
+            assert np.array_equal(lean.wait_hist[0], values)
+            assert np.array_equal(lean.wait_hist[1], tallies)
+
+    def test_lean_mode_falls_back_when_loads_nonzero(self):
+        # Nonzero loads need the per-ball gather, so lean mode must come
+        # back fully populated with wait_hist unset.
+        free = np.array([1, 1, 0], dtype=np.int64)
+        loads = np.array([0, 2, 1], dtype=np.int64)
+        keys = np.array([0, 2, 0, 1], dtype=np.int64)
+        counts = np.array([2, 2], dtype=np.int64)
+        ages = np.array([5, 1], dtype=np.int64)
+        resolved = resolve_capped_round(free, loads, keys, counts, ages, need_runs=False)
+        assert resolved.wait_hist is None
+        assert resolved.waits.tolist() == [5 + 0, 1 + 2]
+
+    def test_positional_waits_run_expansion(self):
+        starts = np.array([5, 2], dtype=np.int64)
+        lengths = np.array([3, 1], dtype=np.int64)
+        assert positional_waits(starts, lengths).tolist() == [5, 6, 7, 2]
+        assert positional_waits(starts[:0], lengths[:0]).size == 0
+
+
+BATCH_CONFIGS = [
+    dict(n=64, capacity=1, lam=0.9375),
+    dict(n=64, capacity=4, lam=0.984375),
+    dict(n=64, capacity=None, lam=0.96875),
+    dict(n=64, capacity=2, lam=0.9375, initial_pool=50),
+]
+
+
+class TestBatchedBitIdentity:
+    @pytest.mark.parametrize("config", BATCH_CONFIGS, ids=lambda c: str(sorted(c.items())))
+    def test_matches_serial_replicates(self, config):
+        R, rounds, seed = 4, 120, 11
+        factory = RngFactory(seed)
+        serial = []
+        for r in range(R):
+            process = CappedProcess(rng=factory.child(r).generator("capped"), **config)
+            serial.append([process.step() for _ in range(rounds)])
+
+        batched = BatchedCappedProcess(
+            rngs=[factory.child(r).generator("capped") for r in range(R)], **config
+        )
+        for t in range(rounds):
+            records = batched.step()
+            for r in range(R):
+                assert_records_equal(records[r], serial[r][t], context=f"t={t} r={r}")
+            if t % 30 == 0:
+                batched.check_invariants()
+
+    def test_heterogeneous_capacities_tiled_per_replicate(self):
+        R, n = 3, 32
+        capacity = np.arange(1, n + 1) % 3 + 1
+        factory = RngFactory(2)
+        serial = []
+        for r in range(R):
+            process = CappedProcess(
+                n=n, capacity=capacity, lam=0.9375,
+                rng=factory.child(r).generator("capped"),
+            )
+            serial.append([process.step() for _ in range(100)])
+        batched = BatchedCappedProcess(
+            n=n, capacity=capacity, lam=0.9375,
+            rngs=[factory.child(r).generator("capped") for r in range(R)],
+        )
+        for t in range(100):
+            for r, record in enumerate(batched.step()):
+                assert_records_equal(record, serial[r][t], context=f"t={t} r={r}")
+        batched.check_invariants()
+
+    def test_pool_sizes_property(self):
+        batched = BatchedCappedProcess(
+            n=16, capacity=1, lam=0.875, rngs=[RngFactory(0).child(r).generator("capped") for r in range(2)]
+        )
+        assert batched.pool_sizes.tolist() == [0, 0]
+        records = batched.step()
+        assert batched.pool_sizes.tolist() == [r.pool_size for r in records]
+
+    def test_configuration_validation(self):
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(ConfigurationError):
+            BatchedCappedProcess(n=0, capacity=1, lam=0.5, rngs=rngs)
+        with pytest.raises(ConfigurationError):
+            BatchedCappedProcess(n=4, capacity=1, lam=0.5, rngs=[])
+        with pytest.raises(ConfigurationError):
+            BatchedCappedProcess(n=4, capacity=1, lam=0.5, rngs=rngs, initial_pool=-1)
+        with pytest.raises(ConfigurationError):
+            BatchedCappedProcess(n=4, capacity=np.ones(3, dtype=np.int64), lam=0.5, rngs=rngs)
+
+
+class TestDriverAndSweepWiring:
+    def test_run_batched_equals_serial_runs(self):
+        driver = SimulationDriver(burn_in=10, measure=40)
+        factory = RngFactory(5)
+        serial = [
+            driver.run(
+                CappedProcess(n=64, capacity=2, lam=0.9375,
+                              rng=factory.child(r).generator("capped"))
+            )
+            for r in range(3)
+        ]
+        batched_results = driver.run_batched(
+            BatchedCappedProcess(
+                n=64, capacity=2, lam=0.9375,
+                rngs=[factory.child(r).generator("capped") for r in range(3)],
+            )
+        )
+        assert len(batched_results) == 3
+        for a, b in zip(batched_results, serial):
+            assert a.summary == b.summary
+            assert np.array_equal(a.pool_series, b.pool_series)
+            assert a.stationary == b.stationary
+
+    def test_run_batched_rejects_observers(self):
+        driver = SimulationDriver(burn_in=0, measure=5, observers=[TraceRecorder()])
+        process = BatchedCappedProcess(
+            n=8, capacity=1, lam=0.5, rngs=[np.random.default_rng(0)]
+        )
+        with pytest.raises(ConfigurationError):
+            driver.run_batched(process)
+
+    def test_sweep_batched_outcomes_equal_serial(self):
+        params = dict(n=128, c=2, lam=0.9375, measure=40, seed=9,
+                      warm_start=True, burn_in=25)
+        serial = [
+            run_capped_replicate(replicate=r, **params) for r in range(3)
+        ]
+        batched = run_capped_replicates_batched(replicates=3, **params)
+        assert batched == serial
+
+    def test_measure_capped_batch_replicates_flag(self):
+        kwargs = dict(n=128, c=2, lam=0.9375, measure=30, replicates=3, seed=4)
+        assert measure_capped(**kwargs) == measure_capped(batch_replicates=True, **kwargs)

@@ -1,0 +1,76 @@
+"""Property-based tests on the batched-replicate engine (hypothesis).
+
+The batched engine's whole contract is "R fused replicates ≡ R serial
+processes, bit for bit"; hypothesis drives that equivalence plus the
+engine's own conservation and capacity invariants across randomly drawn
+small configurations.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.capped import CappedProcess
+from repro.kernels import BatchedCappedProcess
+from repro.rng import RngFactory
+
+# n, c, lambda numerator (lam = k/n), replicate count.
+configs = st.tuples(
+    st.sampled_from([4, 8, 16]),
+    st.sampled_from([1, 2, 3, None]),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=1, max_value=4),
+).filter(lambda t: t[2] < t[0])
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(configs, seeds, st.integers(min_value=1, max_value=25))
+@settings(max_examples=40, deadline=None)
+def test_batched_matches_serial_bit_for_bit(config, seed, rounds):
+    n, c, k, replicates = config
+    factory = RngFactory(seed)
+    serial = []
+    for r in range(replicates):
+        process = CappedProcess(
+            n=n, capacity=c, lam=k / n, rng=factory.child(r).generator("capped")
+        )
+        serial.append([process.step() for _ in range(rounds)])
+
+    batched = BatchedCappedProcess(
+        n=n, capacity=c, lam=k / n,
+        rngs=[factory.child(r).generator("capped") for r in range(replicates)],
+    )
+    for t in range(rounds):
+        for r, record in enumerate(batched.step()):
+            reference = serial[r][t]
+            assert record.pool_size == reference.pool_size
+            assert record.accepted == reference.accepted
+            assert record.deleted == reference.deleted
+            assert record.total_load == reference.total_load
+            assert record.max_load == reference.max_load
+            assert np.array_equal(record.wait_values, reference.wait_values)
+            assert np.array_equal(record.wait_counts, reference.wait_counts)
+    batched.check_invariants()
+
+
+@given(configs, seeds)
+@settings(max_examples=40, deadline=None)
+def test_per_replicate_conservation(config, seed):
+    n, c, k, replicates = config
+    batched = BatchedCappedProcess(
+        n=n, capacity=c, lam=k / n,
+        rngs=[RngFactory(seed).child(r).generator("capped") for r in range(replicates)],
+    )
+    generated = np.zeros(replicates, dtype=np.int64)
+    deleted = np.zeros(replicates, dtype=np.int64)
+    for _ in range(20):
+        records = batched.step()
+        for r, record in enumerate(records):
+            generated[r] += record.arrivals
+            deleted[r] += record.deleted
+            assert record.thrown == record.accepted + record.pool_size
+            if c is not None:
+                assert record.max_load <= c
+    for r, record in enumerate(records):
+        assert generated[r] == deleted[r] + record.pool_size + record.total_load
