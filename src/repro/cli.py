@@ -8,6 +8,8 @@ Usage examples::
     repro experiments --all --profile quick --csv-dir out/
     repro experiments --all --profile default --jobs 8 --cache-dir .repro-cache
     repro experiments --all --profile paper --jobs 8 --cache-dir .repro-cache --resume
+    repro experiments --all --profile quick --jobs 4 --live-status --telemetry-dir out/tel
+    repro telemetry report out/tel
     repro theory --c 2 --lam 0.96875 --n 4096
     repro meanfield --c 3 --lam 0.999
 
@@ -18,7 +20,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Any, Iterator
 
 from repro.analysis.experiments import EXPERIMENTS, PROFILES, run_experiment
 from repro.analysis.plots import ascii_plot
@@ -63,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process to simulate",
     )
     sim.add_argument("--d", type=int, default=1, help="choices per ball (greedy only)")
+    sim.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="capture telemetry here (events.jsonl, metrics.prom, manifest.json)",
+    )
 
     exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     group = exp.add_mutually_exclusive_group(required=True)
@@ -99,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress",
         action="store_true",
         help="suppress the per-task progress/ETA lines on stderr",
+    )
+    exp.add_argument(
+        "--live-status",
+        action="store_true",
+        help="richer progress line: per-worker throughput, retry/quarantine "
+        "counts, and running pool-size-vs-theory error",
+    )
+    exp.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="capture telemetry here (events.jsonl, metrics.prom, manifest.json)",
     )
     exp.add_argument(
         "--task-timeout",
@@ -159,7 +181,45 @@ def build_parser() -> argparse.ArgumentParser:
     tr_summary.add_argument("path", type=Path)
     tr_summary.add_argument("--n", type=int, required=True, help="bins the trace was recorded with")
 
+    tele = sub.add_parser("telemetry", help="inspect telemetry captured via --telemetry-dir")
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    tele_report = tele_sub.add_parser(
+        "report", help="phase-attribution table from a run directory's manifest"
+    )
+    tele_report.add_argument("run_dir", type=Path)
+
     return parser
+
+
+def _args_config(args: argparse.Namespace) -> dict[str, Any]:
+    """JSON-safe manifest config from parsed CLI args (paths become strings)."""
+    config: dict[str, Any] = {}
+    for key, value in sorted(vars(args).items()):
+        if key == "telemetry_dir":
+            continue
+        config[key] = str(value) if isinstance(value, Path) else value
+    return config
+
+
+@contextmanager
+def _telemetry_capture(directory: Path, config: dict[str, Any], seeds: list[int]) -> Iterator[None]:
+    """Run the body under a telemetry session, then export the run artifacts.
+
+    Writes ``events.jsonl`` (streamed during the run), ``metrics.prom``, and
+    ``manifest.json`` into ``directory``. If the body raises, the partial
+    events file survives for debugging but no snapshot/manifest is written.
+    """
+    from repro import telemetry
+
+    directory.mkdir(parents=True, exist_ok=True)
+    sink = telemetry.JsonlEventSink(directory / "events.jsonl")
+    with telemetry.session(sinks=[sink]) as tel:
+        yield
+        snapshot = tel.registry.snapshot()
+    telemetry.write_prometheus(snapshot, directory / "metrics.prom")
+    telemetry.write_manifest(
+        telemetry.build_manifest(config, seeds, metrics=snapshot), directory
+    )
 
 
 def _cmd_list(out) -> int:
@@ -177,10 +237,19 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_simulate(args, out) -> int:
+    if args.process == "greedy" and args.batch_replicates:
+        out.write("error: --batch-replicates only applies to --process capped\n")
+        return 2
+    if args.telemetry_dir is None:
+        return _run_simulate(args, out)
+    with _telemetry_capture(args.telemetry_dir, _args_config(args), [args.seed]):
+        status = _run_simulate(args, out)
+    out.write(f"telemetry written to {args.telemetry_dir}\n")
+    return status
+
+
+def _run_simulate(args, out) -> int:
     if args.process == "greedy":
-        if args.batch_replicates:
-            out.write("error: --batch-replicates only applies to --process capped\n")
-            return 2
         point = measure_greedy(
             n=args.n,
             d=args.d,
@@ -229,10 +298,6 @@ def _plot_result(result, out) -> None:
 
 
 def _cmd_experiments(args, out) -> int:
-    from repro.analysis.export import save_result
-    from repro.analysis.report import write_report
-
-    ids = sorted(EXPERIMENTS) if args.all else [args.id]
     if args.jobs < 1:
         out.write(f"error: --jobs must be >= 1, got {args.jobs}\n")
         return 2
@@ -245,7 +310,28 @@ def _cmd_experiments(args, out) -> int:
     if args.max_retries < 0:
         out.write(f"error: --max-retries must be >= 0, got {args.max_retries}\n")
         return 2
-    use_runner = args.jobs != 1 or args.resume or args.cache_dir is not None
+    if args.live_status and args.no_progress:
+        out.write("error: --live-status needs the progress line; drop --no-progress\n")
+        return 2
+    if args.telemetry_dir is None:
+        return _run_experiments_cmd(args, out)
+    seeds = [PROFILES[args.profile].seed]
+    with _telemetry_capture(args.telemetry_dir, _args_config(args), seeds):
+        status = _run_experiments_cmd(args, out)
+    out.write(f"telemetry written to {args.telemetry_dir}\n")
+    return status
+
+
+def _run_experiments_cmd(args, out) -> int:
+    from repro.analysis.export import save_result
+    from repro.analysis.report import write_report
+
+    ids = sorted(EXPERIMENTS) if args.all else [args.id]
+    # --live-status rides on the parallel runner's progress reporter, so it
+    # engages the runner even for a plain serial run.
+    use_runner = (
+        args.jobs != 1 or args.resume or args.cache_dir is not None or args.live_status
+    )
     report = None
     errors: dict[str, str] = {}
     if use_runner:
@@ -260,6 +346,7 @@ def _cmd_experiments(args, out) -> int:
             progress_stream=None if args.no_progress else sys.stderr,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            live_status=args.live_status,
         )
         produced = {result.experiment_id: result for result in report.results}
         errors.update(report.failures)
@@ -405,6 +492,20 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_telemetry(args, out) -> int:
+    from repro.errors import ConfigurationError
+    from repro.telemetry import report_run_dir
+
+    try:
+        lines = report_run_dir(args.run_dir)
+    except ConfigurationError as err:
+        out.write(f"error: {err}\n")
+        return 2
+    for line in lines:
+        out.write(line + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -425,6 +526,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_compare(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

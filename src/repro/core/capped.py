@@ -52,6 +52,7 @@ from repro.errors import ConfigurationError, InvariantViolation
 from repro.kernels.round import positional_waits as _positional_waits
 from repro.kernels.round import resolve_capped_round, wait_histogram as _wait_histogram
 from repro.rng import resolve_rng
+from repro.telemetry.runtime import PhaseClock, current as _telemetry_current
 from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
 
 __all__ = ["CappedProcess", "ExactCappedSimulator"]
@@ -158,6 +159,12 @@ class CappedProcess:
         self.round += 1
         t = self.round
 
+        # Telemetry attribution is read-only and RNG-free: the clock exists
+        # only when a session is enabled, so the disabled cost is one
+        # global read plus a handful of None checks per round.
+        tel = _telemetry_current()
+        clock = PhaseClock(tel, kernel=self.kernel) if tel is not None else None
+
         generated = self.arrivals.arrivals(t, self.rng)
         self.pool.add(t, generated)
         thrown = self.pool.size
@@ -169,15 +176,19 @@ class CappedProcess:
 
         if self.kernel == "fused":
             accepted_total, wait_values, wait_counts = self._resolve_fused(
-                t, thrown, choices
+                t, thrown, choices, clock
             )
         else:
-            accepted_total, waits = self._resolve_legacy(t, choices)
+            accepted_total, waits = self._resolve_legacy(t, choices, clock)
             wait_values, wait_counts = _wait_histogram(waits)
+        if clock is not None:
+            clock.lap("accept")
 
         deleted = self.bins.delete_one_each()
+        if clock is not None:
+            clock.lap("delete")
 
-        return RoundRecord(
+        record = RoundRecord(
             round=t,
             arrivals=generated,
             thrown=thrown,
@@ -189,22 +200,33 @@ class CappedProcess:
             wait_values=wait_values,
             wait_counts=wait_counts,
         )
+        if clock is not None:
+            clock.lap("collect")
+            clock.finish()
+        return record
 
     def _resolve_fused(
-        self, t: int, thrown: int, choices: np.ndarray | None
+        self,
+        t: int,
+        thrown: int,
+        choices: np.ndarray | None,
+        clock: PhaseClock | None = None,
     ) -> tuple[int, np.ndarray, np.ndarray]:
         """One-pass acceptance for all age buckets (see repro.kernels.round).
 
         Returns ``(accepted_total, wait_values, wait_counts)`` — the wait
         *histogram*, not per-ball waits: in the common unit-take regime
         the kernel produces the histogram directly without ever expanding
-        per-ball arrays.
+        per-ball arrays. ``clock`` (telemetry only) marks the throw phase
+        once the bin choices exist; the caller closes the accept phase.
         """
         labels, counts = self.pool.as_arrays()
         if choices is None:
             choices = self.rng.integers(0, self.n, size=thrown)
         else:
             choices = np.asarray(choices, dtype=np.int64)
+        if clock is not None:
+            clock.lap("throw")
 
         # Choices arrive oldest-first (the coupling and test convention),
         # which is already the kernel's priority-major layout; only the
@@ -240,7 +262,10 @@ class CappedProcess:
         return resolved.accepted_total, *_wait_histogram(resolved.waits)
 
     def _resolve_legacy(
-        self, t: int, choices: np.ndarray | None
+        self,
+        t: int,
+        choices: np.ndarray | None,
+        clock: PhaseClock | None = None,
     ) -> tuple[int, np.ndarray]:
         """The original per-bucket sweep — the executable reference."""
         bucket_slices: list[tuple[int, np.ndarray]] = []
@@ -252,6 +277,8 @@ class CappedProcess:
                 bucket_choices = choices[offset : offset + count]
                 offset += count
             bucket_slices.append((label, bucket_choices))
+        if clock is not None:
+            clock.lap("throw")
         if self.acceptance_order == "youngest":
             bucket_slices.reverse()
 

@@ -18,6 +18,7 @@ from repro.engine.metrics import MetricsCollector, MetricsSummary, RoundRecord
 from repro.engine.observers import Observer
 from repro.engine.stability import is_stationary
 from repro.errors import ConfigurationError
+from repro.telemetry.runtime import current as _telemetry_current, span as _span
 
 __all__ = ["RoundProcess", "SimulationDriver", "SimulationResult"]
 
@@ -112,17 +113,44 @@ class SimulationDriver:
         for observer in self.observers:
             observer.on_round(record, process)
 
+    @staticmethod
+    def _theory_normalized_pool(process: Any) -> float | None:
+        """Section V reference pool curve for ``process``, when defined.
+
+        Only capped processes with an integer capacity and λ < 1 have the
+        ``1/c·ln(1/(1−λ)) + 1`` reference; anything else returns None and
+        the deviation gauge is simply not emitted.
+        """
+        capacity = getattr(process, "capacity", None)
+        lam = getattr(process, "lam", None)
+        if capacity is None or lam is None or np.ndim(capacity) != 0:
+            return None
+        if not (0 <= lam < 1) or int(capacity) < 1:
+            return None
+        from repro.core.theory import empirical_pool_curve
+
+        return empirical_pool_curve(int(capacity), float(lam))
+
     def run(self, process: RoundProcess) -> SimulationResult:
         """Execute the configured phases on ``process`` and summarise."""
-        for _ in range(self.burn_in):
-            record = process.step()
-            self._notify(record, process)
+        with _span("burn_in", component="driver"):
+            for _ in range(self.burn_in):
+                record = process.step()
+                self._notify(record, process)
 
+        tel = _telemetry_current()
+        theory_pool = self._theory_normalized_pool(process) if tel is not None else None
         collector = MetricsCollector(n=process.n)
-        for _ in range(self.measure):
-            record = process.step()
-            self._notify(record, process)
-            collector.observe(record)
+        with _span("measure", component="driver"):
+            for _ in range(self.measure):
+                record = process.step()
+                self._notify(record, process)
+                collector.observe(record)
+                if tel is not None:
+                    normalized = record.pool_size / process.n
+                    tel.set_gauge("pool_size_normalized", normalized)
+                    if theory_pool:
+                        tel.set_gauge("pool_size_over_theory", normalized / theory_pool)
 
         series = collector.pool_series
         stationary = is_stationary(series) if self._diagnose_stationarity else None
@@ -151,16 +179,27 @@ class SimulationDriver:
                 "observers are not supported on the batched path; "
                 "run replicates individually for fault/observer studies"
             )
-        for _ in range(self.burn_in):
-            process.step()
+        with _span("burn_in", component="driver"):
+            for _ in range(self.burn_in):
+                process.step()
 
+        tel = _telemetry_current()
+        theory_pool = self._theory_normalized_pool(process) if tel is not None else None
         collectors: list[MetricsCollector] | None = None
-        for _ in range(self.measure):
-            records = process.step()
-            if collectors is None:
-                collectors = [MetricsCollector(n=process.n) for _ in records]
-            for collector, record in zip(collectors, records):
-                collector.observe(record)
+        with _span("measure", component="driver"):
+            for _ in range(self.measure):
+                records = process.step()
+                if collectors is None:
+                    collectors = [MetricsCollector(n=process.n) for _ in records]
+                for collector, record in zip(collectors, records):
+                    collector.observe(record)
+                if tel is not None and theory_pool:
+                    for r, record in enumerate(records):
+                        tel.set_gauge(
+                            "pool_size_over_theory",
+                            record.pool_size / process.n / theory_pool,
+                            replicate=r,
+                        )
 
         results = []
         for collector in collectors or []:

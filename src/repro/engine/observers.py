@@ -4,6 +4,18 @@ Observers receive every :class:`~repro.engine.metrics.RoundRecord` produced
 by the driver — including burn-in rounds — and may inspect the process
 itself. They are the extension point for tracing, invariant auditing, and
 progress reporting without touching simulator inner loops.
+
+Ordering and error semantics (see ``docs/observability.md``):
+
+* observers are notified in list order, after the round's record exists
+  and after the process state for that round is final;
+* an observer exception propagates immediately — the driver does not
+  swallow it, later observers in the list are not called for that round,
+  and the run aborts. Because simulator state mutates *before*
+  notification, and the parallel runner journals a task's outcome only
+  after the whole measurement returns, an observer raising mid-run can
+  never corrupt the journal or the result cache — the task simply fails
+  (and is retried/quarantined by the runner's fault-tolerance machinery).
 """
 
 from __future__ import annotations
@@ -157,20 +169,44 @@ class LoadDistributionObserver:
         return out / out.sum()
 
 
+def _stream_is_tty(stream: Any) -> bool:
+    """True when ``stream`` is an interactive terminal (safe on pseudo-files)."""
+    isatty = getattr(stream, "isatty", None)
+    if isatty is None:
+        return False
+    try:
+        return bool(isatty())
+    except (ValueError, OSError):
+        return False
+
+
 class ProgressLogger:
-    """Writes a one-line progress report every ``every`` rounds."""
+    """Writes a one-line progress report every ``every`` rounds.
+
+    On a TTY the line updates in place (carriage return); on non-TTY
+    streams (CI logs, redirected files) each report is a plain
+    newline-terminated line, so logs stay readable.
+    """
 
     def __init__(self, every: int = 1000, stream=None) -> None:
         if every < 1:
             raise ValueError(f"'every' must be positive, got {every}")
         self.every = every
         self.stream = stream if stream is not None else sys.stderr
+        self.use_tty = _stream_is_tty(self.stream)
         self._start = time.perf_counter()
+        self._line_width = 0
 
     def on_round(self, record: RoundRecord, process: Any) -> None:
         if record.round % self.every == 0:
             elapsed = time.perf_counter() - self._start
-            self.stream.write(
+            text = (
                 f"[round {record.round}] pool={record.pool_size} "
-                f"max_load={record.max_load} elapsed={elapsed:.1f}s\n"
+                f"max_load={record.max_load} elapsed={elapsed:.1f}s"
             )
+            if self.use_tty:
+                padding = " " * max(0, self._line_width - len(text))
+                self._line_width = len(text)
+                self.stream.write("\r" + text + padding)
+            else:
+                self.stream.write(text + "\n")

@@ -40,6 +40,7 @@ from repro.faults.schedule import (
     StochasticCrashes,
 )
 from repro.rng import RngFactory
+from repro.telemetry.runtime import current as _telemetry_current
 
 __all__ = ["FaultInjector"]
 
@@ -202,6 +203,16 @@ class FaultInjector:
         self._process = process
         return self._adapter
 
+    def _note(self, t: int, description: str, action: str) -> None:
+        """Record one applied fault action in the log (and telemetry)."""
+        self.events_log.append((t, description))
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.inc("fault_events_total", action=action)
+            tel.emit(
+                {"type": "fault", "round": t, "action": action, "description": description}
+            )
+
     # -- event application -------------------------------------------------
 
     def _pick_up_entities(self, adapter, fraction: float) -> np.ndarray:
@@ -225,9 +236,7 @@ class FaultInjector:
                 self._stochastic_down.add(int(index))
         policy = "wiped" if wipe else "preserved"
         until = f" until {recover_round}" if recover_round is not None else ""
-        self.events_log.append(
-            (t, f"crash {indices.size} ({policy}, lost {lost}){until}")
-        )
+        self._note(t, f"crash {indices.size} ({policy}, lost {lost}){until}", "crash")
 
     def _recover(self, adapter, t: int, indices: np.ndarray) -> None:
         if indices.size == 0:
@@ -237,7 +246,7 @@ class FaultInjector:
         for index in indices:
             self._down.pop(int(index), None)
             self._stochastic_down.discard(int(index))
-        self.events_log.append((t, f"recover {indices.size}"))
+        self._note(t, f"recover {indices.size}", "recover")
 
     def on_round(self, record, process: Any) -> None:
         adapter = self._bind(process)
@@ -250,7 +259,7 @@ class FaultInjector:
                 self._restores = [r for r in self._restores if r[0] != t]
                 for _, indices, saved in due:
                     adapter.set_capacity(indices, saved)
-                    self.events_log.append((t, f"restore capacity of {indices.size}"))
+                    self._note(t, f"restore capacity of {indices.size}", "restore")
 
         # 2. Scheduled recoveries due now.
         due_up = np.asarray(
@@ -289,14 +298,14 @@ class FaultInjector:
                     saved = adapter.get_capacity(indices)
                     adapter.set_capacity(indices, event.capacity)
                     self._restores.append((t + event.duration, indices, saved))
-                    self.events_log.append(
-                        (t, f"degrade capacity of {indices.size} to {event.capacity}")
+                    self._note(
+                        t, f"degrade capacity of {indices.size} to {event.capacity}", "degrade"
                     )
             elif isinstance(event, RequestDrop):
                 if event.at_round == t:
                     dropped = adapter.shed(event.fraction)
                     self.requests_dropped += dropped
-                    self.events_log.append((t, f"drop {dropped} pending"))
+                    self._note(t, f"drop {dropped} pending", "drop")
             elif isinstance(event, StochasticCrashes):
                 if t >= event.first_round and (
                     event.last_round is None or t <= event.last_round

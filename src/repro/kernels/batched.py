@@ -38,6 +38,7 @@ from repro.balls.bin_array import BinArray
 from repro.engine.metrics import RoundRecord
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.kernels.round import resolve_capped_round, wait_histogram
+from repro.telemetry.runtime import PhaseClock, current as _telemetry_current
 from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
 
 __all__ = ["BatchedCappedProcess"]
@@ -121,6 +122,10 @@ class BatchedCappedProcess:
         t = self.round
         n, R = self.n, self.replicates
 
+        # Telemetry is read-only and RNG-free; one global read when off.
+        tel = _telemetry_current()
+        clock = PhaseClock(tel, kernel="batched") if tel is not None else None
+
         arrivals_r = [int(self.arrivals.arrivals(t, rng)) for rng in self.rngs]
         if any(a < 0 for a in arrivals_r):
             raise ConfigurationError(f"negative arrivals {arrivals_r} in round {t}")
@@ -151,6 +156,8 @@ class BatchedCappedProcess:
             )
         else:
             ball_keys = _EMPTY
+        if clock is not None:
+            clock.lap("throw")
 
         resolved = resolve_capped_round(
             self.bins.free_slots(),
@@ -186,11 +193,15 @@ class BatchedCappedProcess:
                 ]
                 self._counts = counts = counts[keep]
             self.bins.commit_accepted(resolved.accepted_per_key)
+        if clock is not None:
+            clock.lap("accept")
 
         # End-of-round FIFO deletion, counted per replicate.
         loads2d = self.bins.loads.reshape(R, n)
         deleted_r = np.count_nonzero(loads2d > 0, axis=1)
         self.bins.delete_one_each()
+        if clock is not None:
+            clock.lap("delete")
         loads2d = self.bins.loads.reshape(R, n)
         total_load_r = loads2d.sum(axis=1)
         max_load_r = loads2d.max(axis=1)
@@ -222,6 +233,9 @@ class BatchedCappedProcess:
                     wait_counts=wait_counts,
                 )
             )
+        if clock is not None:
+            clock.lap("collect")
+            clock.finish()
         return records
 
     def check_invariants(self) -> None:

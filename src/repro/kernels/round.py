@@ -50,9 +50,12 @@ share the label axis; keys of different replicates never collide).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.telemetry.runtime import current as _telemetry_current
 
 __all__ = ["ResolvedRound", "positional_waits", "resolve_capped_round", "wait_histogram"]
 
@@ -394,10 +397,29 @@ def resolve_capped_round(
     # Dispatch: unit-take covers c = 1 exactly and saturated heterogeneous
     # rounds opportunistically; the sentinel for unbounded bins (2**62)
     # keeps those on the general path.
-    if int(free.max()) <= 1:
-        return _resolve_unit_take(
+    unit_take = int(free.max()) <= 1
+    # Telemetry (path counts + resolve timing) is read-only and costs one
+    # global read when disabled; it lands in a *separate* metric from the
+    # phase laps so attribution never double-counts the accept phase.
+    tel = _telemetry_current()
+    if tel is None:
+        if unit_take:
+            return _resolve_unit_take(
+                free, loads, ball_keys, bucket_counts, bucket_ages, need_runs
+            )
+        return _resolve_bucket_sweep(
+            free, loads, ball_keys, bucket_counts, bucket_ages, sort_runs
+        )
+    start = time.perf_counter()
+    if unit_take:
+        resolved = _resolve_unit_take(
             free, loads, ball_keys, bucket_counts, bucket_ages, need_runs
         )
-    return _resolve_bucket_sweep(
-        free, loads, ball_keys, bucket_counts, bucket_ages, sort_runs
-    )
+    else:
+        resolved = _resolve_bucket_sweep(
+            free, loads, ball_keys, bucket_counts, bucket_ages, sort_runs
+        )
+    path = "unit_take" if unit_take else "bucket_sweep"
+    tel.inc("kernel_dispatch_total", path=path)
+    tel.observe("kernel_resolve_seconds", time.perf_counter() - start, path=path)
+    return resolved

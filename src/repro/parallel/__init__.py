@@ -28,7 +28,7 @@ from repro.parallel.context import (
     use_context,
 )
 from repro.parallel.journal import Journal, JournalState
-from repro.parallel.progress import ProgressReporter, TimingStats
+from repro.parallel.progress import LiveStatusReporter, ProgressReporter, TimingStats
 from repro.parallel.runner import (
     ExperimentRunner,
     RunnerReport,
@@ -54,5 +54,6 @@ __all__ = [
     "active_context",
     "use_context",
     "ProgressReporter",
+    "LiveStatusReporter",
     "TimingStats",
 ]

@@ -1,49 +1,81 @@
-"""Progress/ETA reporting and per-task timing statistics."""
+"""Progress/ETA reporting, live status, and per-task timing statistics."""
 
 from __future__ import annotations
 
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import TextIO
+from typing import Any, TextIO
 
-__all__ = ["ProgressReporter", "TimingStats"]
+__all__ = ["ProgressReporter", "LiveStatusReporter", "TimingStats", "stream_is_tty"]
+
+
+def stream_is_tty(stream: Any) -> bool:
+    """True when ``stream`` is an interactive terminal.
+
+    Carriage-return in-place updates only make sense on a TTY; in CI logs
+    and redirected files each ``\\r`` frame becomes a separate junk line,
+    so non-TTY streams get plain newline output instead.
+    """
+    isatty = getattr(stream, "isatty", None)
+    if isatty is None:
+        return False
+    try:
+        return bool(isatty())
+    except (ValueError, OSError):  # closed or pseudo-file streams
+        return False
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
 
 
 @dataclass
 class TimingStats:
-    """Streaming timing accumulator, overall and per label prefix."""
+    """Streaming timing accumulator, overall and per explicit group.
+
+    Callers pass the group a task belongs to via ``add(..., group=...)``
+    — e.g. the task kind (``capped``/``greedy``) or phase (``discover``).
+    When omitted, the full label is its own group. (Earlier versions
+    silently grouped by ``label.split()[0]``, which conflated every label
+    sharing a first token; grouping is now an explicit caller decision.)
+    """
 
     count: int = 0
     total: float = 0.0
     slowest: float = 0.0
     slowest_label: str = ""
-    by_label: dict[str, list[float]] = field(default_factory=dict)
+    by_group: dict[str, list[float]] = field(default_factory=dict)
 
-    def add(self, label: str, elapsed: float) -> None:
+    def add(self, label: str, elapsed: float, group: str | None = None) -> None:
         self.count += 1
         self.total += elapsed
         if elapsed > self.slowest:
             self.slowest = elapsed
             self.slowest_label = label
-        bucket = self.by_label.setdefault(label.split()[0], [])
-        bucket.append(elapsed)
+        self.by_group.setdefault(group if group is not None else label, []).append(elapsed)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def summary_lines(self) -> list[str]:
-        """Human-readable timing breakdown (one line per label prefix)."""
+        """Human-readable timing breakdown (one line per group)."""
         lines = [
             f"tasks timed: {self.count}  total {self.total:.2f}s  "
             f"mean {self.mean:.2f}s  slowest {self.slowest:.2f}s ({self.slowest_label})"
         ]
-        for label in sorted(self.by_label):
-            values = self.by_label[label]
+        for group in sorted(self.by_group):
+            values = sorted(self.by_group[group])
             lines.append(
-                f"  {label:10s} count={len(values)} total={sum(values):.2f}s "
-                f"mean={sum(values) / len(values):.2f}s max={max(values):.2f}s"
+                f"  {group:10s} count={len(values)} total={sum(values):.2f}s "
+                f"mean={sum(values) / len(values):.2f}s "
+                f"p50={_quantile(values, 0.5):.2f}s "
+                f"p95={_quantile(values, 0.95):.2f}s max={values[-1]:.2f}s"
             )
         return lines
 
@@ -53,8 +85,11 @@ class ProgressReporter:
 
     ETA assumes the remaining tasks cost the mean of the *computed* tasks
     so far divided over ``jobs`` workers; cached/journaled tasks count as
-    free. Output is throttled to at most one line per ``min_interval``
-    seconds (the final task always prints).
+    free. On a TTY the report is a single in-place ``\\r`` status line
+    (finished with a newline); on non-TTY streams (CI logs, files) each
+    update is a plain newline-terminated line. Output is throttled to at
+    most one update per ``min_interval`` seconds (the final task always
+    prints).
     """
 
     def __init__(
@@ -68,13 +103,22 @@ class ProgressReporter:
         self.jobs = max(1, jobs)
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
+        self.use_tty = stream_is_tty(self.stream)
         self.done = 0
         self.computed = 0
         self.computed_seconds = 0.0
         self._last_print = 0.0
+        self._line_width = 0
 
-    def task_done(self, label: str, elapsed: float, source: str = "computed") -> None:
-        """Record one finished task; ``source`` is computed/cache/journal."""
+    def task_done(
+        self, label: str, elapsed: float, source: str = "computed", **info: Any
+    ) -> None:
+        """Record one finished task; ``source`` is computed/cache/journal.
+
+        Extra keyword info (worker ``pid``, the task ``outcome``/``kind``/
+        ``params``) is accepted and ignored here; richer reporters
+        (:class:`LiveStatusReporter`) consume it.
+        """
         self.done += 1
         if source == "computed":
             self.computed += 1
@@ -89,7 +133,107 @@ class ProgressReporter:
             per_task = self.computed_seconds / self.computed
             remaining = (self.total - self.done) * per_task / self.jobs
             eta = f"  eta {remaining:.0f}s"
-        self.stream.write(
-            f"[{self.done}/{self.total}] {label} ({source}, {elapsed:.2f}s){eta}\n"
+        self._write_line(
+            f"[{self.done}/{self.total}] {label} ({source}, {elapsed:.2f}s){eta}",
+            final=is_last,
         )
+
+    def _write_line(self, text: str, final: bool) -> None:
+        if self.use_tty:
+            # Overwrite the previous frame in place; pad so a shorter
+            # frame fully covers a longer one.
+            padding = " " * max(0, self._line_width - len(text))
+            self._line_width = len(text)
+            self.stream.write("\r" + text + padding)
+            if final:
+                self.stream.write("\n")
+                self._line_width = 0
+        else:
+            self.stream.write(text + "\n")
         self.stream.flush()
+
+
+class LiveStatusReporter(ProgressReporter):
+    """Progress plus a live run dashboard (``--live-status``).
+
+    Each update line adds, beyond ``[done/total]`` + ETA:
+
+    * per-worker throughput — tasks completed by each worker pid;
+    * retry / quarantine counts, read live from the runner's report;
+    * the running pool-size-vs-theory error — mean relative deviation of
+      each computed capped outcome's ``normalized_pool`` from the
+      mean-field equilibrium prediction for its ``(c, lam)``.
+
+    The reporter only *reads* outcomes the runner already computed, so it
+    can never perturb results.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        jobs: int = 1,
+        stream: TextIO | None = None,
+        min_interval: float = 0.5,
+        report: Any = None,
+    ) -> None:
+        super().__init__(total=total, jobs=jobs, stream=stream, min_interval=min_interval)
+        self.report = report  # duck-typed RunnerReport (tasks_retried etc.)
+        self.worker_tasks: dict[int, int] = {}
+        self.theory_errors: list[float] = []
+        self._theory_pool: dict[tuple[int, float], float | None] = {}
+        self._started = time.monotonic()
+
+    def _theory_pool_for(self, c: int, lam: float) -> float | None:
+        """Mean-field equilibrium pool for ``(c, lam)``, memoised per cell."""
+        key = (c, lam)
+        if key not in self._theory_pool:
+            try:
+                from repro.core.meanfield import equilibrium
+
+                self._theory_pool[key] = float(equilibrium(c, lam).normalized_pool)
+            except Exception:
+                self._theory_pool[key] = None  # solver rejects the cell; skip it
+        return self._theory_pool[key]
+
+    def _note_outcome(self, info: dict[str, Any]) -> None:
+        pid = info.get("pid")
+        if pid is not None:
+            self.worker_tasks[int(pid)] = self.worker_tasks.get(int(pid), 0) + 1
+        if info.get("kind") != "capped":
+            return
+        outcome = info.get("outcome") or {}
+        params = info.get("params") or {}
+        c, lam = params.get("c"), params.get("lam")
+        pool = outcome.get("normalized_pool")
+        if pool is None or c is None or lam is None or not (0 <= lam < 1) or c < 1:
+            return
+        theory = self._theory_pool_for(int(c), float(lam))
+        if theory is not None and theory > 0:
+            self.theory_errors.append(abs(pool / theory - 1.0))
+
+    def task_done(
+        self, label: str, elapsed: float, source: str = "computed", **info: Any
+    ) -> None:
+        if source == "computed":
+            self._note_outcome(info)
+        super().task_done(label, elapsed, source, **info)
+
+    def _write_line(self, text: str, final: bool) -> None:
+        extras = []
+        if self.worker_tasks:
+            rate = self.computed / max(1e-9, time.monotonic() - self._started)
+            counts = "/".join(
+                str(count) for _, count in sorted(self.worker_tasks.items())
+            )
+            extras.append(f"workers {len(self.worker_tasks)} ({counts})  {rate:.2f} task/s")
+        if self.report is not None:
+            extras.append(
+                f"retries {getattr(self.report, 'tasks_retried', 0)}  "
+                f"quarantined {getattr(self.report, 'tasks_quarantined', 0)}"
+            )
+        if self.theory_errors:
+            mean_err = sum(self.theory_errors) / len(self.theory_errors)
+            extras.append(f"pool err {mean_err * 100:.1f}%")
+        if extras:
+            text = text + "  |  " + "  ".join(extras)
+        super()._write_line(text, final)

@@ -52,7 +52,7 @@ from repro.parallel.cache import ResultCache
 from repro.parallel.context import ReplayContext, use_context
 from repro.parallel.journal import Journal, JournalState
 from repro.parallel.keys import experiment_digest
-from repro.parallel.progress import ProgressReporter, TimingStats
+from repro.parallel.progress import LiveStatusReporter, ProgressReporter, TimingStats
 from repro.parallel.tasks import (
     TaskSpec,
     discover_experiment,
@@ -61,6 +61,7 @@ from repro.parallel.tasks import (
     result_from_payload,
     result_payload,
 )
+from repro.telemetry.runtime import current as _telemetry_current, span as _span
 
 __all__ = ["ExperimentRunner", "RunnerReport", "TaskFailure", "run_experiments"]
 
@@ -171,6 +172,10 @@ class ExperimentRunner:
         Explicit journal location (overrides the cache-dir default).
     progress_stream:
         Where to write progress/ETA lines (None disables progress output).
+    live_status:
+        Upgrade progress lines to the live dashboard (per-worker
+        throughput, retry/quarantine counts, running pool-size-vs-theory
+        error). Needs a ``progress_stream``.
     task_timeout:
         Seconds a single task may run before its worker is killed and the
         task is retried (None disables; ignored for in-process execution).
@@ -197,6 +202,7 @@ class ExperimentRunner:
         journal_path: Path | str | None = None,
         progress_stream: TextIO | None = None,
         progress_interval: float = 0.5,
+        live_status: bool = False,
         task_timeout: float | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
@@ -242,6 +248,7 @@ class ExperimentRunner:
         self.resume = resume
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
+        self.live_status = live_status
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
@@ -250,6 +257,28 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # execution fabric
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _payload_label(payload: dict) -> str:
+        """Display label of either task shape (measure or discover)."""
+        if "experiment_id" in payload:
+            return f"discover:{payload['experiment_id']}"
+        return TaskSpec.from_payload(payload).label
+
+    def _note_retry(self, payload: dict, attempts: int, error: str) -> None:
+        """Telemetry for one retried task execution (no-op when disabled)."""
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.inc("task_retries_total")
+            tel.emit(
+                {
+                    "type": "task",
+                    "status": "retry",
+                    "label": self._payload_label(payload),
+                    "attempts": attempts,
+                    "error": error,
+                }
+            )
 
     def _backoff_seconds(self, attempts: int, rng: random.Random) -> float:
         """Exponential backoff with deterministic jitter before retry N."""
@@ -297,6 +326,7 @@ class ExperimentRunner:
                         )
                         break
                     report.tasks_retried += 1
+                    self._note_retry(payload, attempts, f"{type(err).__name__}: {err}")
                     delay = self._backoff_seconds(attempts, rng)
                     if delay:
                         time.sleep(delay)
@@ -336,6 +366,7 @@ class ExperimentRunner:
                 )
             else:
                 report.tasks_retried += 1
+                self._note_retry(payload, attempts, error)
                 pending.append(
                     (payload, attempts, time.monotonic() + self._backoff_seconds(attempts, rng))
                 )
@@ -476,26 +507,30 @@ class ExperimentRunner:
         )
 
         try:
-            ready, plans = self._discover(ids, prof, journal_state, journal, report)
-            outcomes = self._measure(ids, ready, plans, journal_state, journal, report)
-            for experiment_id in ids:
-                if experiment_id in report.failures:
-                    continue
-                if experiment_id in ready:
-                    result = ready[experiment_id]
-                else:
-                    try:
-                        replay = ReplayContext(outcomes)
-                        with use_context(replay):
-                            result = get_experiment(experiment_id)(self.profile)
-                    except ParallelExecutionError as err:
-                        # Quarantined tasks left holes in the outcome set;
-                        # this experiment fails, the sweep continues.
-                        report.failures[experiment_id] = str(err)
-                        report.experiments_failed += 1
+            with _span("discover", component="runner", emit=True):
+                ready, plans = self._discover(ids, prof, journal_state, journal, report)
+            with _span("measure", component="runner", emit=True):
+                outcomes = self._measure(ids, ready, plans, journal_state, journal, report)
+            with _span("replay", component="runner", emit=True):
+                for experiment_id in ids:
+                    if experiment_id in report.failures:
                         continue
-                    self._finish_experiment(experiment_id, prof, result, journal)
-                report.results.append(result)
+                    if experiment_id in ready:
+                        result = ready[experiment_id]
+                    else:
+                        try:
+                            replay = ReplayContext(outcomes)
+                            with use_context(replay):
+                                result = get_experiment(experiment_id)(self.profile)
+                        except ParallelExecutionError as err:
+                            # Quarantined tasks left holes in the outcome
+                            # set; this experiment fails, the sweep
+                            # continues.
+                            report.failures[experiment_id] = str(err)
+                            report.experiments_failed += 1
+                            continue
+                        self._finish_experiment(experiment_id, prof, result, journal)
+                    report.results.append(result)
         finally:
             if journal is not None:
                 journal.close()
@@ -544,7 +579,7 @@ class ExperimentRunner:
                 report.failures[experiment_id] = found.error
                 report.experiments_failed += 1
                 continue
-            report.timings.add(f"discover:{experiment_id}", found["elapsed"])
+            report.timings.add(f"discover:{experiment_id}", found["elapsed"], group="discover")
             if found["result"] is not None:
                 # The generator made no measurement calls: its recording
                 # run was the real run and the result is already final.
@@ -585,12 +620,33 @@ class ExperimentRunner:
             key: [None] * point["replicates"] for key, point in points.items()
         }
         report.tasks_total = len(specs)
-        progress = ProgressReporter(
-            total=len(specs),
-            jobs=self.jobs,
-            stream=self.progress_stream,
-            min_interval=self.progress_interval,
-        ) if self.progress_stream is not None else None
+        progress: ProgressReporter | None = None
+        if self.progress_stream is not None:
+            reporter_cls = LiveStatusReporter if self.live_status else ProgressReporter
+            kwargs = {"report": report} if self.live_status else {}
+            progress = reporter_cls(
+                total=len(specs),
+                jobs=self.jobs,
+                stream=self.progress_stream,
+                min_interval=self.progress_interval,
+                **kwargs,
+            )
+        tel = _telemetry_current()
+
+        def account(spec: TaskSpec, source: str, elapsed: float = 0.0) -> None:
+            """Telemetry for one task leaving the queue (no-op when off)."""
+            if tel is None:
+                return
+            tel.inc("runner_tasks_total", source=source)
+            tel.emit(
+                {
+                    "type": "task",
+                    "status": "done",
+                    "source": source,
+                    "label": spec.label,
+                    "elapsed": round(elapsed, 6),
+                }
+            )
 
         quarantined_points: set[str] = set()
 
@@ -607,6 +663,17 @@ class ExperimentRunner:
             quarantined_points.add(spec.point_key)
             if journal is not None and not journaled:
                 journal.append_quarantine(spec.digest, spec.payload(), error, attempts)
+            if tel is not None:
+                tel.inc("tasks_quarantined_total")
+                tel.emit(
+                    {
+                        "type": "task",
+                        "status": "quarantined",
+                        "label": spec.label,
+                        "attempts": attempts,
+                        "error": error,
+                    }
+                )
             if progress is not None:
                 progress.task_done(spec.label, 0.0, source="quarantined")
 
@@ -617,6 +684,7 @@ class ExperimentRunner:
             if journaled is not None:
                 outcomes[spec.point_key][spec.replicate] = journaled
                 report.tasks_from_journal += 1
+                account(spec, "journal")
                 if progress is not None:
                     progress.task_done(spec.label, 0.0, source="journal")
                 continue
@@ -639,6 +707,7 @@ class ExperimentRunner:
                 # can replay this run from the journal alone.
                 if journal is not None:
                     journal.append_task(digest, spec.payload(), cached["outcome"])
+                account(spec, "cache")
                 if progress is not None:
                     progress.task_done(spec.label, 0.0, source="cache")
                 continue
@@ -652,13 +721,22 @@ class ExperimentRunner:
             outcome, elapsed = computed["outcome"], computed["elapsed"]
             outcomes[spec.point_key][spec.replicate] = outcome
             report.tasks_computed += 1
-            report.timings.add(spec.label, elapsed)
+            report.timings.add(spec.label, elapsed, group=spec.kind)
             if journal is not None:
                 journal.append_task(spec.digest, spec.payload(), outcome)
             if self.cache is not None:
                 self.cache.put(spec.digest, {"spec": spec.payload(), "outcome": outcome})
+            account(spec, "computed", elapsed)
             if progress is not None:
-                progress.task_done(spec.label, elapsed, source="computed")
+                progress.task_done(
+                    spec.label,
+                    elapsed,
+                    source="computed",
+                    pid=computed.get("pid"),
+                    outcome=outcome,
+                    kind=spec.kind,
+                    params=spec.params,
+                )
 
         complete: dict[str, list[dict]] = {}
         for key, values in outcomes.items():
@@ -682,8 +760,10 @@ def run_experiments(
     resume: bool = False,
     journal_path: Path | str | None = None,
     progress_stream: TextIO | None = None,
+    live_status: bool = False,
     task_timeout: float | None = None,
     max_retries: int = 2,
+    retry_backoff: float = 0.05,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -693,7 +773,9 @@ def run_experiments(
         resume=resume,
         journal_path=journal_path,
         progress_stream=progress_stream,
+        live_status=live_status,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        retry_backoff=retry_backoff,
     )
     return runner.run(experiment_ids)

@@ -14,6 +14,7 @@ Two task shapes cross the process boundary:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -81,7 +82,13 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
     maybe_chaos(spec.label)
     start = time.perf_counter()
     outcome = run_replicate(spec.kind, spec.params, spec.replicate)
-    return {"outcome": outcome.to_dict(), "elapsed": time.perf_counter() - start}
+    # The pid feeds per-worker throughput in --live-status; the journal
+    # and cache persist only the outcome, so it never affects results.
+    return {
+        "outcome": outcome.to_dict(),
+        "elapsed": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
 
 
 def profile_payload(profile: Any) -> dict[str, Any]:

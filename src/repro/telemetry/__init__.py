@@ -1,0 +1,81 @@
+"""Unified telemetry: metrics registry, phase spans, exporters, manifests.
+
+Quick start::
+
+    from repro import telemetry
+    from repro.telemetry import JsonlEventSink
+
+    with telemetry.session(sinks=[JsonlEventSink("run/events.jsonl")]) as tel:
+        driver.run(process)                       # instrumented internally
+        snapshot = tel.registry.snapshot()
+    telemetry.write_prometheus(snapshot, "run/metrics.prom")
+
+Telemetry is **off by default** and strictly zero-overhead when off:
+instrumented call sites guard on :func:`current` returning ``None`` and
+never perturb simulation RNG streams, so instrumented runs are
+bit-identical to uninstrumented ones (see ``docs/observability.md``).
+"""
+
+from repro.telemetry.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    host_info,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.telemetry.registry import (
+    HISTOGRAM_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.report import phase_attribution, render_report, report_run_dir
+from repro.telemetry.runtime import (
+    PhaseClock,
+    Telemetry,
+    current,
+    disable,
+    enable,
+    session,
+    span,
+)
+from repro.telemetry.sinks import (
+    JsonlEventSink,
+    parse_prometheus,
+    read_events,
+    render_prometheus,
+    write_prometheus,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_QUANTILES",
+    "Telemetry",
+    "PhaseClock",
+    "current",
+    "enable",
+    "disable",
+    "session",
+    "span",
+    "JsonlEventSink",
+    "read_events",
+    "render_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_FILENAME",
+    "host_info",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+    "phase_attribution",
+    "render_report",
+    "report_run_dir",
+]

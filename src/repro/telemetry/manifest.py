@@ -1,0 +1,139 @@
+"""Per-run manifest: config, seeds, code fingerprint, host, final metrics.
+
+A manifest is the run's identity card, written next to its results so a
+CSV or trace found months later can answer "what produced this?" without
+archaeology. Schema is versioned (``repro-telemetry-manifest/v1``) and
+:func:`validate_manifest` is the single source of truth for what a valid
+manifest contains — tests and CI both call it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MANIFEST_FILENAME",
+    "host_info",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+]
+
+MANIFEST_SCHEMA = "repro-telemetry-manifest/v1"
+MANIFEST_FILENAME = "manifest.json"
+
+#: Top-level keys every v1 manifest must carry, with their expected types.
+_REQUIRED_FIELDS: dict[str, type] = {
+    "schema": str,
+    "created_unix": float,
+    "command": list,
+    "config": dict,
+    "seeds": list,
+    "code": dict,
+    "host": dict,
+    "metrics": dict,
+}
+
+
+def host_info() -> dict[str, Any]:
+    """Best-effort description of the machine the run executed on."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+def build_manifest(
+    config: dict[str, Any],
+    seeds: list[int] | tuple[int, ...] = (),
+    metrics: dict[str, Any] | None = None,
+    command: list[str] | None = None,
+) -> dict[str, Any]:
+    """Assemble a v1 manifest dict (JSON-serialisable, schema-valid)."""
+    # Imported lazily: keys pulls in the parallel package, and the hot
+    # simulation modules import telemetry — keeping this out of module
+    # scope keeps the telemetry package import-light and cycle-free.
+    from repro.parallel.keys import measurement_fingerprint, package_fingerprint
+
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": round(time.time(), 3),
+        "command": list(command) if command is not None else list(sys.argv),
+        "config": dict(config),
+        "seeds": [int(s) for s in seeds],
+        "code": {
+            "package_fingerprint": package_fingerprint(),
+            "measurement_fingerprint": measurement_fingerprint(),
+        },
+        "host": host_info(),
+        "metrics": dict(metrics) if metrics is not None else {},
+    }
+
+
+def write_manifest(manifest: dict[str, Any], run_dir: Path | str) -> Path:
+    """Validate then write ``manifest.json`` inside ``run_dir``."""
+    validate_manifest(manifest)
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / MANIFEST_FILENAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_manifest(run_dir: Path | str) -> dict[str, Any]:
+    """Read and validate the manifest of a run directory (or file path)."""
+    path = Path(run_dir)
+    if path.is_dir():
+        path = path / MANIFEST_FILENAME
+    if not path.exists():
+        raise ConfigurationError(f"no {MANIFEST_FILENAME} found at {path}")
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: Any) -> None:
+    """Raise :class:`ConfigurationError` unless ``manifest`` is valid v1."""
+    if not isinstance(manifest, dict):
+        raise ConfigurationError("manifest must be a JSON object")
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported manifest schema {schema!r} (expected {MANIFEST_SCHEMA!r})"
+        )
+    for field, expected in _REQUIRED_FIELDS.items():
+        if field not in manifest:
+            raise ConfigurationError(f"manifest missing required field {field!r}")
+        value = manifest[field]
+        if expected is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigurationError(f"manifest field {field!r} must be a number")
+        elif not isinstance(value, expected):
+            raise ConfigurationError(
+                f"manifest field {field!r} must be {expected.__name__}, got "
+                f"{type(value).__name__}"
+            )
+    code = manifest["code"]
+    for key in ("package_fingerprint", "measurement_fingerprint"):
+        if not isinstance(code.get(key), str) or not code[key]:
+            raise ConfigurationError(f"manifest code.{key} must be a non-empty string")
+    if not all(isinstance(s, int) and not isinstance(s, bool) for s in manifest["seeds"]):
+        raise ConfigurationError("manifest seeds must be a list of integers")
+    for name, family in manifest["metrics"].items():
+        if not isinstance(family, dict) or "kind" not in family or "series" not in family:
+            raise ConfigurationError(
+                f"manifest metric {name!r} must be a snapshot family with kind + series"
+            )

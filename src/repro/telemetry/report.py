@@ -1,0 +1,165 @@
+"""Phase-attribution reporting over a run's telemetry manifest.
+
+``repro telemetry report <run-dir>`` renders, per instrumented kernel, how
+the measured round time divides among the named phases (throw / accept /
+delete), what fraction of the total each phase explains, and the residual
+the instrumentation could not attribute. The acceptance bar for the
+instrumentation itself is that named phases tile >= 95% of round time —
+:func:`phase_attribution` computes exactly that ``coverage`` number so
+tests and CI can assert it.
+
+All numbers come from the final metric snapshot embedded in
+``manifest.json`` (`round_seconds` and ``kernel_phase_seconds`` histogram
+sums), so the report needs no events file and works on gzipped-away runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.manifest import load_manifest
+
+__all__ = ["phase_attribution", "render_report", "report_run_dir"]
+
+
+def _series_by_labels(metrics: dict[str, Any], name: str) -> list[dict[str, Any]]:
+    family = metrics.get(name)
+    if not family:
+        return []
+    return list(family.get("series", []))
+
+
+def _group_key(labels: dict[str, str], drop: tuple[str, ...] = ()) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, v) for k, v in labels.items() if k not in drop))
+
+
+def phase_attribution(metrics: dict[str, Any]) -> list[dict[str, Any]]:
+    """Attribute round time to phases, one row per instrumented unit.
+
+    Groups ``round_seconds`` series by their full label set (e.g.
+    ``kernel=fused``) and matches each against the ``kernel_phase_seconds``
+    series sharing those labels. Returns rows::
+
+        {"labels": {...}, "rounds": int, "total_s": float,
+         "phases": [{"phase", "seconds", "count", "fraction", "p50", "p95"}, ...],
+         "attributed_s": float, "coverage": float}
+
+    ``coverage`` is attributed/total in [0, 1] (1.0 when total is zero).
+    Rows are sorted by descending total time.
+    """
+    rounds = _series_by_labels(metrics, "round_seconds")
+    phases = _series_by_labels(metrics, "kernel_phase_seconds")
+    by_unit: dict[tuple[tuple[str, str], ...], list[dict[str, Any]]] = {}
+    for series in phases:
+        key = _group_key(series["labels"], drop=("phase",))
+        by_unit.setdefault(key, []).append(series)
+
+    rows: list[dict[str, Any]] = []
+    for series in rounds:
+        key = _group_key(series["labels"])
+        total = float(series["sum"])
+        phase_rows = []
+        attributed = 0.0
+        for p in sorted(by_unit.get(key, []), key=lambda s: -float(s["sum"])):
+            seconds = float(p["sum"])
+            attributed += seconds
+            phase_rows.append(
+                {
+                    "phase": p["labels"].get("phase", "?"),
+                    "seconds": seconds,
+                    "count": int(p["count"]),
+                    "fraction": seconds / total if total > 0 else 0.0,
+                    "p50": p.get("p50"),
+                    "p95": p.get("p95"),
+                }
+            )
+        rows.append(
+            {
+                "labels": dict(series["labels"]),
+                "rounds": int(series["count"]),
+                "total_s": total,
+                "phases": phase_rows,
+                "attributed_s": attributed,
+                "coverage": attributed / total if total > 0 else 1.0,
+            }
+        )
+    rows.sort(key=lambda r: -r["total_s"])
+    return rows
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _counter_value(metrics: dict[str, Any], name: str) -> float:
+    return sum(float(s.get("value", 0.0)) for s in _series_by_labels(metrics, name))
+
+
+def render_report(manifest: dict[str, Any]) -> list[str]:
+    """Human-readable report lines for one run manifest."""
+    metrics = manifest.get("metrics", {})
+    rows = phase_attribution(metrics)
+    lines: list[str] = []
+    created = manifest.get("created_unix")
+    code = manifest.get("code", {})
+    lines.append(
+        "run: "
+        + " ".join(manifest.get("command", []) or ["<unknown command>"])
+    )
+    lines.append(
+        f"code: package={code.get('package_fingerprint', '?')} "
+        f"measurement={code.get('measurement_fingerprint', '?')}"
+        + (f"  created_unix={created}" if created is not None else "")
+    )
+    if not rows:
+        lines.append("no round timing recorded (was telemetry enabled during the run?)")
+    for row in rows:
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items())) or "(all)"
+        lines.append("")
+        lines.append(
+            f"[{label_text}] rounds={row['rounds']} total={_fmt_seconds(row['total_s'])} "
+            f"attributed={row['coverage'] * 100:.1f}%"
+        )
+        lines.append(f"  {'phase':<10} {'time':>10} {'share':>7} {'p50':>10} {'p95':>10}")
+        for p in row["phases"]:
+            lines.append(
+                f"  {p['phase']:<10} {_fmt_seconds(p['seconds']):>10} "
+                f"{p['fraction'] * 100:>6.1f}% {_fmt_seconds(p['p50']):>10} "
+                f"{_fmt_seconds(p['p95']):>10}"
+            )
+        residual = row["total_s"] - row["attributed_s"]
+        lines.append(
+            f"  {'(residual)':<10} {_fmt_seconds(max(0.0, residual)):>10} "
+            f"{max(0.0, 1 - row['coverage']) * 100:>6.1f}%"
+        )
+    coarse = _series_by_labels(metrics, "phase_seconds")
+    if coarse:
+        lines.append("")
+        lines.append("coarse spans:")
+        for series in sorted(coarse, key=lambda s: -float(s["sum"])):
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+            lines.append(
+                f"  {label_text:<40} {_fmt_seconds(float(series['sum'])):>10} "
+                f"(n={int(series['count'])})"
+            )
+    counters = []
+    for name in ("runner_tasks_total", "task_retries_total", "tasks_quarantined_total",
+                 "fault_events_total", "kernel_dispatch_total"):
+        value = _counter_value(metrics, name)
+        if value:
+            counters.append(f"{name}={int(value)}")
+    if counters:
+        lines.append("")
+        lines.append("counters: " + "  ".join(counters))
+    return lines
+
+
+def report_run_dir(run_dir: str) -> list[str]:
+    """Load the manifest under ``run_dir`` and render the report."""
+    return render_report(load_manifest(run_dir))

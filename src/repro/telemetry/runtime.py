@@ -1,0 +1,259 @@
+"""The active telemetry session: enable/disable, spans, and phase clocks.
+
+Design constraints (in priority order):
+
+1. **Zero interference.** Telemetry never draws from any simulation RNG
+   and never mutates simulator state — instrumented runs are bit-identical
+   to uninstrumented ones by construction. Tests enforce this.
+2. **Strict no-op when disabled.** The process-wide session is a single
+   module global; :func:`current` is one global read. Hot paths (a
+   simulator ``step``) guard with ``tel = current()`` / ``if tel is not
+   None`` so the disabled cost is a handful of predicted-not-taken
+   branches per round — measured < 1% on ``benchmarks/test_kernel_speed``.
+   Cooler paths (driver phases, runner lifecycle) use :func:`span`, which
+   returns a shared no-op context manager when disabled.
+3. **One way in.** Everything funnels through the :class:`Telemetry`
+   object: a :class:`~repro.telemetry.registry.MetricsRegistry` plus an
+   optional list of event sinks (see :mod:`repro.telemetry.sinks`).
+
+Typical wiring::
+
+    from repro import telemetry
+
+    with telemetry.session(sinks=[JsonlEventSink(path)]) as tel:
+        run_simulation()
+        snapshot = tel.registry.snapshot()
+
+or imperatively with :func:`enable` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "Telemetry",
+    "PhaseClock",
+    "current",
+    "enable",
+    "disable",
+    "session",
+    "span",
+]
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry plus event sinks.
+
+    ``registry`` collects aggregates (exported at the end of the run);
+    ``sinks`` receive discrete events (task completions, fault actions,
+    coarse phase spans) as they happen. Events are timestamped with both
+    wall-clock (``ts``) and seconds-since-enable (``elapsed_s``).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, sinks: Any = ()) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sinks = list(sinks)
+        self.started_unix = time.time()
+        self.started_monotonic = time.perf_counter()
+
+    # -- registry conveniences (the instrumentation call surface) ----------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment counter ``name``."""
+        self.registry.counter(name).inc(amount, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name``."""
+        self.registry.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Observe ``value`` into histogram ``name``."""
+        self.registry.histogram(name).observe(value, **labels)
+
+    def phase(
+        self, phase: str, seconds: float, metric: str = "kernel_phase_seconds", **labels: Any
+    ) -> None:
+        """Record ``seconds`` spent in ``phase`` into histogram ``metric``."""
+        self.registry.histogram(metric).observe(seconds, phase=phase, **labels)
+
+    # -- events ------------------------------------------------------------
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Send one event dict to every sink (no-op without sinks)."""
+        if not self.sinks:
+            return
+        payload = {
+            "ts": round(time.time(), 6),
+            "elapsed_s": round(time.perf_counter() - self.started_monotonic, 6),
+            **event,
+        }
+        for sink in self.sinks:
+            sink.emit(payload)
+
+    def close(self) -> None:
+        """Close every sink that has a ``close`` method."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+_ACTIVE: Telemetry | None = None
+
+
+def current() -> Telemetry | None:
+    """The process-wide active session, or None when telemetry is off.
+
+    This is the hot-path guard: one module-global read. Instrumented inner
+    loops call it once per iteration and skip all telemetry work on None.
+    """
+    return _ACTIVE
+
+
+def enable(telemetry: Telemetry | None = None, *, sinks: Any = ()) -> Telemetry:
+    """Activate a telemetry session process-wide and return it.
+
+    Enabling while a session is active is an error — nested sessions would
+    silently split metrics across registries. Disable the old one first.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ConfigurationError(
+            "telemetry is already enabled; call disable() before enabling a new session"
+        )
+    if telemetry is not None and sinks:
+        raise ConfigurationError("pass sinks to the Telemetry constructor, not both")
+    _ACTIVE = telemetry if telemetry is not None else Telemetry(sinks=sinks)
+    return _ACTIVE
+
+
+def disable() -> Telemetry | None:
+    """Deactivate the session (idempotent); returns the session, un-closed.
+
+    The caller owns flushing/closing the sinks (usually via
+    ``tel.close()``) — disabling must stay safe to call from ``finally``
+    blocks without double-closing files.
+    """
+    global _ACTIVE
+    tel, _ACTIVE = _ACTIVE, None
+    return tel
+
+
+@contextmanager
+def session(sinks: Any = ()) -> Iterator[Telemetry]:
+    """``with telemetry.session() as tel: ...`` — enable, then clean up."""
+    tel = enable(sinks=sinks)
+    try:
+        yield tel
+    finally:
+        disable()
+        tel.close()
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned by :func:`span` when off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Times one phase; records a histogram sample and optionally an event."""
+
+    __slots__ = ("_tel", "_name", "_metric", "_labels", "_emit", "_start")
+
+    def __init__(
+        self, tel: Telemetry, name: str, metric: str, labels: dict[str, Any], emit: bool
+    ) -> None:
+        self._tel = tel
+        self._name = name
+        self._metric = metric
+        self._labels = labels
+        self._emit = emit
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> bool:
+        seconds = time.perf_counter() - self._start
+        self._tel.phase(self._name, seconds, metric=self._metric, **self._labels)
+        if self._emit:
+            event = {
+                "type": "span",
+                "name": self._name,
+                "metric": self._metric,
+                "seconds": round(seconds, 6),
+            }
+            if self._labels:
+                event["labels"] = {k: str(v) for k, v in self._labels.items()}
+            if exc_type is not None:
+                event["error"] = exc_type.__name__
+            self._tel.emit(event)
+        return False
+
+
+def span(name: str, metric: str = "phase_seconds", emit: bool = False, **labels: Any):
+    """Context manager timing one named phase.
+
+    When telemetry is enabled, the elapsed time lands in histogram
+    ``metric`` with labels ``{phase: name, **labels}`` (and, with
+    ``emit=True``, a span event goes to the sinks). When disabled, a
+    shared no-op context manager is returned — the call costs one global
+    read and allocates nothing.
+    """
+    tel = _ACTIVE
+    if tel is None:
+        return _NOOP_SPAN
+    return _Span(tel, name, metric, labels, emit)
+
+
+class PhaseClock:
+    """Sequential phase attribution for one simulator round.
+
+    Built once per round *only when telemetry is enabled* (construction
+    stamps the start time), then :meth:`lap` is called at each phase
+    boundary: the elapsed time since the previous boundary is recorded
+    under that phase name. :meth:`finish` closes the round, recording the
+    total into ``round_seconds`` and bumping ``rounds_total`` — so the sum
+    of the laps tiles the round and the report can attribute round time to
+    phases without double counting.
+    """
+
+    __slots__ = ("_tel", "_labels", "_start", "_last")
+
+    def __init__(self, tel: Telemetry, **labels: Any) -> None:
+        self._tel = tel
+        self._labels = labels
+        self._start = self._last = time.perf_counter()
+
+    def lap(self, phase: str) -> None:
+        """Close the current phase, attributing time since the last lap."""
+        now = time.perf_counter()
+        self._tel.phase(phase, now - self._last, **self._labels)
+        self._last = now
+
+    def finish(self) -> None:
+        """Close the round: total round time + round counter.
+
+        The round ends at the *last lap boundary*, so the laps tile the
+        total exactly — a fresh clock read here would count the previous
+        lap's own recording cost as unattributed residual.
+        """
+        self._tel.observe("round_seconds", self._last - self._start, **self._labels)
+        self._tel.inc("rounds_total", **self._labels)

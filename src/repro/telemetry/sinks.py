@@ -1,0 +1,217 @@
+"""Telemetry exporters: JSONL event sink and Prometheus textfile format.
+
+Two complementary outputs:
+
+* :class:`JsonlEventSink` streams discrete events (task lifecycle, fault
+  actions, coarse spans) as one JSON object per line — the same
+  line-oriented convention as :mod:`repro.engine.trace`, so the existing
+  JSONL tooling (``zcat``, ``jq``, pandas ``read_json(lines=True)``)
+  applies unchanged. ``.jsonl.gz`` paths are gzip-compressed
+  transparently.
+* :func:`write_prometheus` renders a
+  :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` in the
+  Prometheus text exposition format (textfile-collector compatible).
+  Histograms are exported as ``summary`` families — ``{quantile="..."}``
+  series plus ``_sum``/``_count`` — because the registry tracks exact
+  aggregates and reservoir quantiles rather than fixed buckets.
+
+:func:`parse_prometheus` is the matching reader; CI and the schema tests
+use it to assert that an exported textfile round-trips.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any, IO, Iterator
+
+from repro.telemetry.registry import HISTOGRAM_QUANTILES
+
+__all__ = [
+    "JsonlEventSink",
+    "read_events",
+    "render_prometheus",
+    "write_prometheus",
+    "parse_prometheus",
+]
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open ``path`` in text mode, transparently gzipped for ``*.gz``."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+class JsonlEventSink:
+    """Append telemetry events to a JSONL file (``.jsonl`` or ``.jsonl.gz``).
+
+    Events are flushed per line for plain files so a crashed run leaves a
+    readable prefix (same contract as the runner journal); gzip streams
+    cannot flush per line cheaply, so compressed sinks flush on close.
+    """
+
+    def __init__(self, path: Path | str, flush_every: int = 1) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._compressed = path.suffix == ".gz"
+        self._flush_every = max(1, int(flush_every))
+        self._handle: IO[str] | None = _open_text(path, "w")
+        self.events_written = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.events_written += 1
+        if not self._compressed and self.events_written % self._flush_every == 0:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: Path | str) -> Iterator[dict[str, Any]]:
+    """Lazily read events written by :class:`JsonlEventSink`."""
+    with _open_text(Path(path), "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family["kind"]
+        exposed = "summary" if kind == "histogram" else kind
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {exposed}")
+        for series in family["series"]:
+            labels = dict(series["labels"])
+            if kind == "histogram":
+                for q in HISTOGRAM_QUANTILES:
+                    quantiled = _render_labels({**labels, "quantile": str(q)})
+                    value = series[f"p{int(q * 100)}"]
+                    lines.append(f"{name}{quantiled} {_format_value(value)}")
+                plain = _render_labels(labels)
+                lines.append(f"{name}_sum{plain} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{plain} {_format_value(series['count'])}")
+            else:
+                lines.append(f"{name}{_render_labels(labels)} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: dict[str, Any], path: Path | str) -> Path:
+    """Write :func:`render_prometheus` output to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(snapshot), encoding="utf-8")
+    return path
+
+
+def _parse_label_block(block: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {block!r}")
+        j = eq + 2
+        value: list[str] = []
+        while block[j] != '"':
+            ch = block[j]
+            if ch == "\\":
+                j += 1
+                escaped = block[j]
+                value.append({"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped))
+            else:
+                value.append(ch)
+            j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, Any]:
+    """Parse text exposition back into ``{name: {kind, help, samples}}``.
+
+    ``samples`` is a list of ``{"name", "labels", "value"}`` dicts (sample
+    names keep their ``_sum``/``_count`` suffixes). This is a minimal
+    reader for validating our own exporter, not a general scraper.
+    """
+    families: dict[str, Any] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"kind": None, "help": "", "samples": []})
+            families[name]["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"kind": None, "help": "", "samples": []})
+            families[name]["kind"] = kind.strip()
+        elif line.startswith("#"):
+            continue
+        else:
+            brace = line.find("{")
+            if brace >= 0:
+                close = line.rindex("}")
+                sample_name = line[:brace]
+                labels = _parse_label_block(line[brace + 1 : close])
+                value_text = line[close + 1 :].strip()
+            else:
+                sample_name, _, value_text = line.partition(" ")
+                labels = {}
+            value = float(value_text)
+            # Attach to the declared family: exact name match, else strip a
+            # summary suffix (_sum/_count), else start an undeclared family.
+            family = families.get(sample_name)
+            if family is None and sample_name.endswith(("_sum", "_count")):
+                family = families.get(sample_name.rsplit("_", 1)[0])
+            if family is None:
+                family = families.setdefault(
+                    sample_name, {"kind": None, "help": "", "samples": []}
+                )
+            family["samples"].append({"name": sample_name, "labels": labels, "value": value})
+    return families

@@ -100,3 +100,44 @@ class TestTraceWriterObserver:
         writer = TraceWriter(tmp_path / "t.jsonl")
         writer.close()
         writer.close()
+
+
+class TestGzipTraces:
+    def test_write_read_roundtrip(self, tmp_path):
+        records = [sample_record(i) for i in range(1, 6)]
+        path = write_trace(records, tmp_path / "trace.jsonl.gz")
+        restored = list(read_trace(path))
+        assert len(restored) == 5
+        assert all(records_equal(a, b) for a, b in zip(records, restored))
+
+    def test_really_compressed(self, tmp_path):
+        path = write_trace([sample_record()], tmp_path / "trace.jsonl.gz")
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # gzip magic
+
+    def test_empty_wait_histogram_roundtrips(self, tmp_path):
+        # A round with no departures has empty wait arrays; the gzip path
+        # must restore them as empty int64 arrays, not None.
+        record = RoundRecord(round=7)
+        path = write_trace([record], tmp_path / "trace.jsonl.gz")
+        (restored,) = list(read_trace(path))
+        assert records_equal(record, restored)
+        assert restored.wait_values.size == 0
+        assert restored.wait_counts.dtype == np.int64
+
+    def test_trace_writer_streams_gzip(self, tmp_path):
+        path = tmp_path / "run.jsonl.gz"
+        process = CappedProcess(n=32, capacity=2, lam=0.75, rng=0)
+        with TraceWriter(path) as writer:
+            SimulationDriver(burn_in=0, measure=15, observers=[writer]).run(process)
+        assert writer.records_written == 15
+        restored = list(read_trace(path))
+        assert [r.round for r in restored] == list(range(1, 16))
+
+    def test_gzip_matches_plain(self, tmp_path):
+        records = [sample_record(i) for i in range(1, 4)]
+        plain = write_trace(records, tmp_path / "a.jsonl")
+        gzipped = write_trace(records, tmp_path / "b.jsonl.gz")
+        plain_records = list(read_trace(plain))
+        gzip_records = list(read_trace(gzipped))
+        assert all(records_equal(a, b) for a, b in zip(plain_records, gzip_records))

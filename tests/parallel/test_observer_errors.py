@@ -1,0 +1,159 @@
+"""Observer error policy: a raising observer aborts loudly and cleanly.
+
+Documented contract (docs/observability.md): observers are notified in
+list order after the round's state is final; an observer exception
+propagates immediately (later observers are skipped, the run aborts); and
+because the parallel runner journals/caches a task's outcome only after
+the whole measurement returns, an observer raising mid-run can never
+leave a partial or corrupt entry behind — the task fails, is retried, and
+the resumed/retried results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import Profile, run_experiment
+from repro.core.capped import CappedProcess
+from repro.engine.driver import SimulationDriver
+from repro.engine.observers import TraceRecorder
+from repro.parallel import Journal
+from repro.parallel.runner import run_experiments
+
+TINY = Profile(name="tiny", n=256, measure=30, replicates=2, seed=4242)
+
+
+class ExplodingObserver:
+    def __init__(self, at_round: int):
+        self.at_round = at_round
+        self.calls = 0
+
+    def on_round(self, record, process):
+        self.calls += 1
+        if record.round >= self.at_round:
+            raise RuntimeError(f"observer exploded at round {record.round}")
+
+
+class OrderSpy:
+    def __init__(self, name: str, log: list):
+        self.name = name
+        self.log = log
+
+    def on_round(self, record, process):
+        self.log.append((record.round, self.name))
+
+
+def make_process():
+    return CappedProcess(n=64, capacity=2, lam=0.75, rng=11)
+
+
+class TestDriverSemantics:
+    def test_observers_called_in_list_order(self):
+        log: list = []
+        driver = SimulationDriver(
+            burn_in=0, measure=4, observers=[OrderSpy("a", log), OrderSpy("b", log)]
+        )
+        driver.run(make_process())
+        rounds = sorted({entry[0] for entry in log})
+        for t in rounds:
+            assert [name for r, name in log if r == t] == ["a", "b"]
+
+    def test_exception_propagates_and_skips_later_observers(self):
+        before = TraceRecorder()
+        bomb = ExplodingObserver(at_round=3)
+        after = TraceRecorder()
+        driver = SimulationDriver(burn_in=0, measure=10, observers=[before, bomb, after])
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            driver.run(make_process())
+        # Earlier observer saw the fatal round; the later one never did.
+        assert len(before) == 3
+        assert len(after) == 2
+
+
+class TestRunnerJournalCacheSafety:
+    def test_observer_raising_mid_run_never_corrupts_journal_or_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """An observer explosion fails one attempt; retry heals it and the
+        journal, cache, and final result are exactly as if it never fired."""
+        serial = run_experiment("fig4_left", TINY)
+        cache_dir = tmp_path / "cache"
+        journal_path = tmp_path / "journal.jsonl"
+
+        import repro.engine.driver as driver_module
+
+        real_run = driver_module.SimulationDriver.run
+        armed = {"left": 1}
+
+        def sabotaged_run(self, process):
+            if armed["left"]:
+                armed["left"] -= 1
+                self.observers = [*self.observers, ExplodingObserver(at_round=5)]
+            return real_run(self, process)
+
+        with monkeypatch.context() as patch:
+            patch.setattr(driver_module.SimulationDriver, "run", sabotaged_run)
+            # jobs=1 keeps tasks in-process so the patch is visible.
+            report = run_experiments(
+                ["fig4_left"],
+                profile=TINY,
+                jobs=1,
+                cache_dir=cache_dir,
+                journal_path=journal_path,
+                max_retries=1,
+                retry_backoff=0.0,
+            )
+        assert armed["left"] == 0, "the exploding observer never fired"
+        assert report.tasks_retried == 1
+        assert not report.failures
+        assert report.results[0].csv() == serial.csv()
+
+        # The journal holds exactly one committed entry per task — the
+        # failed attempt left nothing behind.
+        state = Journal.load(journal_path)
+        assert len(state.tasks) == report.tasks_total
+        assert not state.quarantined
+
+        # A resume replays the journal without recomputation and the cache
+        # serves a fresh run — both bit-identical.
+        resumed = run_experiments(
+            ["fig4_left"],
+            profile=TINY,
+            jobs=1,
+            cache_dir=cache_dir,
+            journal_path=journal_path,
+            resume=True,
+        )
+        assert resumed.tasks_computed == 0
+        assert resumed.results[0].csv() == serial.csv()
+
+    def test_unhealed_observer_error_quarantines_without_partial_entries(
+        self, tmp_path, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        journal_path = tmp_path / "journal.jsonl"
+
+        import repro.engine.driver as driver_module
+
+        real_run = driver_module.SimulationDriver.run
+
+        def always_sabotaged(self, process):
+            self.observers = [*self.observers, ExplodingObserver(at_round=5)]
+            return real_run(self, process)
+
+        with monkeypatch.context() as patch:
+            patch.setattr(driver_module.SimulationDriver, "run", always_sabotaged)
+            report = run_experiments(
+                ["fig4_left"],
+                profile=TINY,
+                jobs=1,
+                cache_dir=cache_dir,
+                journal_path=journal_path,
+                max_retries=0,
+                retry_backoff=0.0,
+            )
+        assert report.tasks_quarantined == report.tasks_total > 0
+        assert report.failures  # the experiment is reported failed, not wrong
+        state = Journal.load(journal_path)
+        assert not state.tasks  # no partial outcome was ever journaled
+        assert len(state.quarantined) == report.tasks_quarantined

@@ -1,0 +1,177 @@
+"""Unit tests for progress reporting, timing stats, and the live dashboard."""
+
+import io
+
+from repro.parallel.progress import (
+    LiveStatusReporter,
+    ProgressReporter,
+    TimingStats,
+    stream_is_tty,
+)
+
+
+class FakeTTY(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class BrokenStream(io.StringIO):
+    def isatty(self):
+        raise ValueError("closed")
+
+
+class TestStreamIsTty:
+    def test_stringio_is_not_tty(self):
+        assert stream_is_tty(io.StringIO()) is False
+
+    def test_fake_tty(self):
+        assert stream_is_tty(FakeTTY()) is True
+
+    def test_missing_isatty(self):
+        assert stream_is_tty(object()) is False
+
+    def test_raising_isatty(self):
+        assert stream_is_tty(BrokenStream()) is False
+
+
+class TestTimingStats:
+    def test_overall_aggregates(self):
+        stats = TimingStats()
+        stats.add("a", 1.0)
+        stats.add("b", 3.0)
+        assert stats.count == 2
+        assert stats.total == 4.0
+        assert stats.mean == 2.0
+        assert stats.slowest == 3.0 and stats.slowest_label == "b"
+
+    def test_explicit_group_argument(self):
+        stats = TimingStats()
+        stats.add("capped n=64 c=1 r0", 1.0, group="capped")
+        stats.add("capped n=64 c=2 r0", 2.0, group="capped")
+        stats.add("greedy n=64 d=1 r0", 5.0, group="greedy")
+        assert sorted(stats.by_group) == ["capped", "greedy"]
+        assert stats.by_group["capped"] == [1.0, 2.0]
+
+    def test_no_group_defaults_to_full_label(self):
+        # The old behaviour silently grouped by label.split()[0]; now the
+        # full label is its own group unless the caller says otherwise.
+        stats = TimingStats()
+        stats.add("capped n=64 r0", 1.0)
+        stats.add("capped n=128 r0", 2.0)
+        assert sorted(stats.by_group) == ["capped n=128 r0", "capped n=64 r0"]
+
+    def test_summary_lines_include_percentiles(self):
+        stats = TimingStats()
+        for i in range(1, 101):
+            stats.add(f"task{i}", float(i), group="capped")
+        lines = stats.summary_lines()
+        assert "tasks timed: 100" in lines[0]
+        (group_line,) = [line for line in lines if "capped" in line]
+        assert "p50=50.00s" in group_line
+        assert "p95=95.00s" in group_line
+        assert "max=100.00s" in group_line
+
+    def test_summary_single_sample_group(self):
+        stats = TimingStats()
+        stats.add("only", 2.0, group="g")
+        (line,) = [line for line in stats.summary_lines() if "g " in line]
+        assert "p50=2.00s" in line and "p95=2.00s" in line
+
+
+class TestProgressReporter:
+    def test_non_tty_writes_plain_newlines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, min_interval=0.0)
+        reporter.task_done("a", 0.5)
+        reporter.task_done("b", 0.5)
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert text.count("\n") == 2
+        assert "[2/2] b" in text
+
+    def test_tty_rewrites_in_place(self):
+        stream = FakeTTY()
+        reporter = ProgressReporter(total=2, stream=stream, min_interval=0.0)
+        reporter.task_done("a", 0.5)
+        reporter.task_done("b", 0.5)
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert text.count("\r") == 2
+        assert text.endswith("\n")  # final frame gets the newline
+
+    def test_tty_pads_shorter_frames(self):
+        stream = FakeTTY()
+        reporter = ProgressReporter(total=2, stream=stream, min_interval=0.0)
+        reporter.task_done("a-very-long-label-indeed", 0.5)
+        reporter.task_done("b", 0.5)
+        frames = stream.getvalue().split("\r")
+        assert len(frames[2].rstrip("\n")) >= len(frames[1])
+
+    def test_extra_info_kwargs_ignored(self):
+        reporter = ProgressReporter(total=1, stream=io.StringIO(), min_interval=0.0)
+        reporter.task_done("a", 0.1, pid=123, outcome={"x": 1}, kind="capped", params={})
+        assert reporter.done == 1
+
+    def test_cached_tasks_do_not_skew_eta(self):
+        reporter = ProgressReporter(total=3, stream=io.StringIO(), min_interval=0.0)
+        reporter.task_done("a", 0.0, source="cache")
+        assert reporter.computed == 0
+
+
+class TestLiveStatusReporter:
+    def test_dashboard_extras_appear(self):
+        class Report:
+            tasks_retried = 2
+            tasks_quarantined = 1
+
+        stream = io.StringIO()
+        reporter = LiveStatusReporter(
+            total=2, jobs=2, stream=stream, min_interval=0.0, report=Report()
+        )
+        outcome = {"normalized_pool": 0.17}
+        params = {"n": 64, "c": 2, "lam": 0.75}
+        reporter.task_done("t1", 0.1, pid=11, outcome=outcome, kind="capped", params=params)
+        reporter.task_done("t2", 0.1, pid=12, outcome=outcome, kind="capped", params=params)
+        text = stream.getvalue()
+        assert "workers 2 (1/1)" in text
+        assert "task/s" in text
+        assert "retries 2" in text and "quarantined 1" in text
+        assert "pool err" in text
+
+    def test_pool_error_uses_meanfield_reference(self):
+        from repro.core.meanfield import equilibrium
+
+        reporter = LiveStatusReporter(total=1, stream=io.StringIO(), min_interval=0.0)
+        theory = equilibrium(2, 0.75).normalized_pool
+        reporter.task_done(
+            "t", 0.1, pid=1,
+            outcome={"normalized_pool": theory},
+            kind="capped", params={"c": 2, "lam": 0.75},
+        )
+        assert reporter.theory_errors == [0.0]
+
+    def test_non_capped_outcomes_skipped(self):
+        reporter = LiveStatusReporter(total=1, stream=io.StringIO(), min_interval=0.0)
+        reporter.task_done(
+            "t", 0.1, pid=1, outcome={"normalized_pool": 0.5},
+            kind="greedy", params={"d": 2, "lam": 0.75},
+        )
+        assert reporter.theory_errors == []
+
+    def test_malformed_params_skipped(self):
+        reporter = LiveStatusReporter(total=2, stream=io.StringIO(), min_interval=0.0)
+        reporter.task_done("t", 0.1, kind="capped", outcome={}, params={"c": 2, "lam": 0.75})
+        reporter.task_done(
+            "u", 0.1, kind="capped", outcome={"normalized_pool": 0.5}, params={"lam": 1.5}
+        )
+        assert reporter.theory_errors == []
+
+    def test_theory_cache_memoises_per_cell(self):
+        reporter = LiveStatusReporter(total=2, stream=io.StringIO(), min_interval=0.0)
+        params = {"c": 2, "lam": 0.75}
+        for label in ("a", "b"):
+            reporter.task_done(
+                label, 0.1, outcome={"normalized_pool": 0.2}, kind="capped", params=params
+            )
+        assert list(reporter._theory_pool) == [(2, 0.75)]
+        assert len(reporter.theory_errors) == 2

@@ -1,0 +1,17 @@
+"""Shared fixtures for telemetry tests."""
+
+import pytest
+
+from repro.telemetry import runtime
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled.
+
+    The active session is process-global state; a test that enables it and
+    fails mid-way must not leak the session into the next test.
+    """
+    runtime.disable()
+    yield
+    runtime.disable()

@@ -1,0 +1,116 @@
+"""Unit tests for the per-run manifest (schema v1)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    host_info,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def make_manifest(**overrides):
+    manifest = build_manifest(
+        config={"n": 256, "c": 2, "lam": 0.75},
+        seeds=[0, 1],
+        metrics=MetricsRegistry().snapshot(),
+        command=["repro", "simulate"],
+    )
+    manifest.update(overrides)
+    return manifest
+
+
+class TestBuild:
+    def test_schema_and_fields(self):
+        manifest = make_manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["command"] == ["repro", "simulate"]
+        assert manifest["config"]["n"] == 256
+        assert manifest["seeds"] == [0, 1]
+        assert manifest["code"]["package_fingerprint"]
+        assert manifest["code"]["measurement_fingerprint"]
+        assert manifest["host"]["python"]
+        validate_manifest(manifest)
+
+    def test_metrics_snapshot_embedded(self):
+        reg = MetricsRegistry()
+        reg.counter("rounds_total").inc(5, kernel="fused")
+        manifest = build_manifest({}, metrics=reg.snapshot())
+        assert manifest["metrics"]["rounds_total"]["kind"] == "counter"
+        validate_manifest(manifest)
+
+    def test_json_serialisable(self):
+        json.dumps(make_manifest())
+
+    def test_host_info_fields(self):
+        info = host_info()
+        assert {"hostname", "platform", "python", "cpu_count", "pid"} <= set(info)
+
+
+class TestWriteLoad:
+    def test_roundtrip_via_directory(self, tmp_path):
+        manifest = make_manifest()
+        path = write_manifest(manifest, tmp_path)
+        assert path == tmp_path / MANIFEST_FILENAME
+        assert load_manifest(tmp_path) == manifest
+        assert load_manifest(path) == manifest
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_manifest(tmp_path)
+
+    def test_write_rejects_invalid(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_manifest({"schema": "bogus"}, tmp_path)
+        assert not (tmp_path / MANIFEST_FILENAME).exists()
+
+
+class TestValidate:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(["not", "a", "dict"])
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(schema="repro-telemetry-manifest/v0"))
+
+    @pytest.mark.parametrize(
+        "field", ["created_unix", "command", "config", "seeds", "code", "host", "metrics"]
+    )
+    def test_rejects_missing_field(self, field):
+        manifest = make_manifest()
+        del manifest[field]
+        with pytest.raises(ConfigurationError):
+            validate_manifest(manifest)
+
+    def test_rejects_wrong_field_type(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(seeds="0,1"))
+
+    def test_rejects_boolean_created_unix(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(created_unix=True))
+
+    def test_rejects_non_integer_seeds(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(seeds=[0, "1"]))
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(seeds=[True]))
+
+    def test_rejects_empty_fingerprint(self):
+        manifest = make_manifest()
+        manifest["code"]["package_fingerprint"] = ""
+        with pytest.raises(ConfigurationError):
+            validate_manifest(manifest)
+
+    def test_rejects_malformed_metric_family(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest(make_manifest(metrics={"x": {"kind": "counter"}}))

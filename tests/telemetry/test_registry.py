@@ -1,0 +1,132 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.registry import HISTOGRAM_QUANTILES, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("rounds_total")
+        counter.inc(kernel="fused")
+        counter.inc(2, kernel="fused")
+        counter.inc(kernel="legacy")
+        assert counter.value(kernel="fused") == 3.0
+        assert counter.value(kernel="legacy") == 1.0
+        assert counter.value(kernel="never") == 0.0
+
+    def test_unlabelled_series(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc(5)
+        assert reg.counter("tasks").value() == 5.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc(replicate=3)
+        assert counter.value(replicate="3") == 1.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("pool_size_normalized")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value() == 0.25
+
+    def test_missing_series_raises(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().gauge("g").value(replicate=0)
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = MetricsRegistry().histogram("round_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value, kernel="fused")
+        stream = hist.stream(kernel="fused")
+        assert stream.count == 4
+        assert stream.total == 10.0
+        assert stream.min == 1.0
+        assert stream.max == 4.0
+
+    def test_quantiles_exact_below_reservoir(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        stream = hist.stream()
+        assert stream.quantile(0.5) == 50.0
+        assert stream.quantile(0.95) == 95.0
+
+    def test_single_observation_quantile(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0, phase="throw")
+        assert hist.stream(phase="throw").quantile(0.5) == 1.0
+        assert hist.stream(phase="accept") is None
+
+    def test_empty_stream_quantile_is_nan(self):
+        from repro.telemetry.registry import _HistogramSeries
+
+        assert math.isnan(_HistogramSeries().quantile(0.5))
+
+    def test_reservoir_sampling_is_deterministic(self):
+        def fill():
+            hist = MetricsRegistry().histogram("h")
+            for value in range(10_000):  # exceeds the 4096 reservoir
+                hist.observe(float(value))
+            return hist.stream().quantile(0.5)
+
+        assert fill() == fill()
+
+
+class TestRegistry:
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("bad name")
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(**{"bad-label": 1})
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("nothing") is None
+        assert len(reg) == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter").inc(kernel="fused")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0, phase="accept")
+        snap = reg.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["help"] == "a counter"
+        assert snap["c"]["series"] == [{"labels": {"kernel": "fused"}, "value": 1.0}]
+        assert snap["g"]["series"] == [{"labels": {}, "value": 1.5}]
+        entry = snap["h"]["series"][0]
+        assert entry["labels"] == {"phase": "accept"}
+        assert entry["count"] == 1 and entry["sum"] == 2.0
+        assert entry["min"] == 2.0 and entry["max"] == 2.0
+        for q in HISTOGRAM_QUANTILES:
+            assert entry[f"p{int(q * 100)}"] == 2.0
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.5)
+        json.dumps(reg.snapshot())

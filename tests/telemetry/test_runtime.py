@@ -1,0 +1,127 @@
+"""Unit tests for the telemetry session lifecycle, spans, and phase clocks."""
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.telemetry.runtime import _NOOP_SPAN, PhaseClock, Telemetry
+
+
+class RecordingSink:
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+class TestSessionLifecycle:
+    def test_off_by_default(self):
+        assert telemetry.current() is None
+
+    def test_enable_disable(self):
+        tel = telemetry.enable()
+        assert telemetry.current() is tel
+        assert telemetry.disable() is tel
+        assert telemetry.current() is None
+
+    def test_double_enable_rejected(self):
+        telemetry.enable()
+        with pytest.raises(ConfigurationError):
+            telemetry.enable()
+
+    def test_disable_is_idempotent(self):
+        assert telemetry.disable() is None
+        assert telemetry.disable() is None
+
+    def test_session_context_manager_closes_sinks(self):
+        sink = RecordingSink()
+        with telemetry.session(sinks=[sink]) as tel:
+            assert telemetry.current() is tel
+            tel.emit({"type": "x"})
+        assert telemetry.current() is None
+        assert sink.closed
+        assert len(sink.events) == 1
+
+    def test_session_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.session():
+                raise RuntimeError("boom")
+        assert telemetry.current() is None
+
+    def test_enable_rejects_telemetry_plus_sinks(self):
+        with pytest.raises(ConfigurationError):
+            telemetry.enable(Telemetry(), sinks=[RecordingSink()])
+
+
+class TestTelemetryObject:
+    def test_convenience_methods_hit_registry(self):
+        tel = Telemetry()
+        tel.inc("c", kernel="fused")
+        tel.set_gauge("g", 2.5)
+        tel.observe("h", 0.1, phase="throw")
+        tel.phase("accept", 0.2, kernel="fused")
+        snap = tel.registry.snapshot()
+        assert snap["c"]["series"][0]["value"] == 1.0
+        assert snap["g"]["series"][0]["value"] == 2.5
+        assert snap["h"]["series"][0]["count"] == 1
+        phases = snap["kernel_phase_seconds"]["series"][0]
+        assert phases["labels"] == {"kernel": "fused", "phase": "accept"}
+
+    def test_events_stamped_with_timestamps(self):
+        sink = RecordingSink()
+        tel = Telemetry(sinks=[sink])
+        tel.emit({"type": "task"})
+        event = sink.events[0]
+        assert event["type"] == "task"
+        assert event["ts"] > 0
+        assert event["elapsed_s"] >= 0
+
+
+class TestSpan:
+    def test_noop_singleton_when_disabled(self):
+        assert telemetry.span("anything") is _NOOP_SPAN
+        with telemetry.span("anything"):
+            pass  # must be a usable context manager
+
+    def test_records_histogram_when_enabled(self):
+        tel = telemetry.enable()
+        with telemetry.span("measure", component="driver"):
+            pass
+        stream = tel.registry.histogram("phase_seconds").stream(
+            phase="measure", component="driver"
+        )
+        assert stream is not None and stream.count == 1
+
+    def test_emit_span_event_records_error_name(self):
+        sink = RecordingSink()
+        with pytest.raises(ValueError):
+            with telemetry.session(sinks=[sink]):
+                with telemetry.span("discover", emit=True, component="runner"):
+                    raise ValueError("bad")
+        (event,) = [e for e in sink.events if e["type"] == "span"]
+        assert event["name"] == "discover"
+        assert event["error"] == "ValueError"
+        assert event["labels"] == {"component": "runner"}
+
+
+class TestPhaseClock:
+    def test_laps_tile_the_round_exactly(self):
+        tel = Telemetry()
+        clock = PhaseClock(tel, kernel="fused")
+        clock.lap("throw")
+        clock.lap("accept")
+        clock.lap("delete")
+        clock.finish()
+        hist = tel.registry.histogram("kernel_phase_seconds")
+        lap_total = sum(
+            hist.stream(kernel="fused", phase=phase).total
+            for phase in ("throw", "accept", "delete")
+        )
+        round_total = tel.registry.histogram("round_seconds").stream(kernel="fused").total
+        assert lap_total == pytest.approx(round_total, abs=1e-12)
+        assert tel.registry.counter("rounds_total").value(kernel="fused") == 1.0

@@ -268,3 +268,74 @@ class TestCompare:
         code, text = run_cli("compare", str(path_a), str(path_b), "--tolerance", "0.1")
         assert code == 1
         assert "outlier" in text
+
+
+class TestTelemetryCli:
+    SIM_ARGS = (
+        "simulate", "--n", "64", "--c", "2", "--lam", "0.75",
+        "--rounds", "30", "--seed", "3",
+    )
+
+    def test_simulate_capture_writes_artifacts(self, tmp_path):
+        tel_dir = tmp_path / "tel"
+        code, text = run_cli(*self.SIM_ARGS, "--telemetry-dir", str(tel_dir))
+        assert code == 0
+        assert f"telemetry written to {tel_dir}" in text
+        assert (tel_dir / "events.jsonl").exists()
+        assert (tel_dir / "metrics.prom").exists()
+        assert (tel_dir / "manifest.json").exists()
+
+    def test_simulate_output_identical_with_capture(self, tmp_path):
+        code_plain, plain = run_cli(*self.SIM_ARGS)
+        code_tel, tel = run_cli(
+            *self.SIM_ARGS, "--telemetry-dir", str(tmp_path / "tel")
+        )
+        assert code_plain == code_tel == 0
+        assert tel.startswith(plain)  # capture only appends the dir notice
+
+    def test_manifest_validates_and_prom_parses(self, tmp_path):
+        from repro.telemetry import load_manifest, parse_prometheus
+
+        tel_dir = tmp_path / "tel"
+        run_cli(*self.SIM_ARGS, "--telemetry-dir", str(tel_dir))
+        manifest = load_manifest(tel_dir)
+        assert manifest["config"]["n"] == 64
+        assert manifest["seeds"] == [3]
+        families = parse_prometheus((tel_dir / "metrics.prom").read_text())
+        assert "rounds_total" in families
+        assert "round_seconds" in families
+
+    def test_report_command(self, tmp_path):
+        tel_dir = tmp_path / "tel"
+        run_cli(*self.SIM_ARGS, "--telemetry-dir", str(tel_dir))
+        code, text = run_cli("telemetry", "report", str(tel_dir))
+        assert code == 0
+        assert "kernel=fused" in text
+        assert "accept" in text and "(residual)" in text
+        assert "attributed=" in text
+
+    def test_report_missing_manifest_errors(self, tmp_path):
+        code, text = run_cli("telemetry", "report", str(tmp_path))
+        assert code == 2
+        assert "error:" in text
+
+    def test_experiments_capture_includes_runner_metrics(self, tmp_path):
+        from repro.telemetry import load_manifest
+
+        tel_dir = tmp_path / "tel"
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry-dir", str(tel_dir), "--no-progress",
+        )
+        assert code == 0
+        metrics = load_manifest(tel_dir)["metrics"]
+        assert "phase_seconds" in metrics  # runner discover/measure/replay spans
+
+    def test_live_status_conflicts_with_no_progress(self):
+        code, text = run_cli(
+            "experiments", "--id", "dominance", "--profile", "quick",
+            "--live-status", "--no-progress",
+        )
+        assert code == 2
+        assert "--live-status" in text
