@@ -20,6 +20,7 @@ See ``README.md`` for the architecture overview and ``EXPERIMENTS.md`` for
 the paper-vs-measured comparison.
 """
 
+from repro.checkpoint import CheckpointStore
 from repro.core.capped import CappedProcess, ExactCappedSimulator
 from repro.core.coupling import CoupledRun, run_coupled
 from repro.core.modcapped import ModCappedProcess
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CappedProcess",
+    "CheckpointStore",
     "ExactCappedSimulator",
     "ModCappedProcess",
     "CoupledRun",

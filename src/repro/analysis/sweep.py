@@ -22,6 +22,7 @@ to ``--jobs 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -187,17 +188,27 @@ def run_capped_replicate(
     replicate: int,
     warm_start: bool,
     burn_in: int,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> ReplicateOutcome:
     """Run one CAPPED replicate (independently of every other replicate).
 
     The random stream is ``RngFactory(seed).child(replicate)`` — a pure
     function of ``(seed, replicate)`` — so this call returns the same
     outcome whether it runs in the serial loop or on a worker process.
+    Checkpoint configuration never changes the outcome (resume is
+    bit-identical) and is deliberately *not* part of the measurement
+    parameters the parallel runner hashes.
     """
     factory = RngFactory(seed=seed)
     effective_warm = warm_start and c is not None and lam > 0
     initial_pool = equilibrium(c, lam).pool_size(n) if effective_warm else 0
-    driver = SimulationDriver(burn_in=burn_in, measure=measure)
+    driver = SimulationDriver(
+        burn_in=burn_in,
+        measure=measure,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
     process = CappedProcess(
         n=n,
         capacity=c,
@@ -217,6 +228,8 @@ def run_capped_replicates_batched(
     replicates: int,
     warm_start: bool,
     burn_in: int,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> list[ReplicateOutcome]:
     """Run all CAPPED replicates of one point in a single batched engine.
 
@@ -230,7 +243,12 @@ def run_capped_replicates_batched(
     factory = RngFactory(seed=seed)
     effective_warm = warm_start and c is not None and lam > 0
     initial_pool = equilibrium(c, lam).pool_size(n) if effective_warm else 0
-    driver = SimulationDriver(burn_in=burn_in, measure=measure)
+    driver = SimulationDriver(
+        burn_in=burn_in,
+        measure=measure,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
     process = BatchedCappedProcess(
         n=n,
         capacity=c,
@@ -249,22 +267,50 @@ def run_greedy_replicate(
     seed: int,
     replicate: int,
     burn_in: int,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> ReplicateOutcome:
     """Run one GREEDY[d] replicate (see :func:`run_capped_replicate`)."""
     factory = RngFactory(seed=seed)
-    driver = SimulationDriver(burn_in=burn_in, measure=measure)
+    driver = SimulationDriver(
+        burn_in=burn_in,
+        measure=measure,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
     process = GreedyBatchProcess(
         n=n, d=d, lam=lam, rng=factory.child(replicate).generator("greedy")
     )
     return ReplicateOutcome.from_result(driver.run(process))
 
 
-def run_replicate(kind: str, params: dict[str, Any], replicate: int) -> ReplicateOutcome:
-    """Dispatch one replicate task by kind (the worker entry point)."""
+def run_replicate(
+    kind: str,
+    params: dict[str, Any],
+    replicate: int,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
+) -> ReplicateOutcome:
+    """Dispatch one replicate task by kind (the worker entry point).
+
+    ``checkpoint_dir``/``checkpoint_every`` ride alongside ``params``
+    rather than inside it: the params dict is what task digests hash, and
+    checkpoint placement must never change a task's cache identity.
+    """
     if kind == "capped":
-        return run_capped_replicate(replicate=replicate, **params)
+        return run_capped_replicate(
+            replicate=replicate,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            **params,
+        )
     if kind == "greedy":
-        return run_greedy_replicate(replicate=replicate, **params)
+        return run_greedy_replicate(
+            replicate=replicate,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            **params,
+        )
     raise ParallelExecutionError(f"unknown measurement kind {kind!r}")
 
 
@@ -319,6 +365,8 @@ def measure_capped(
     warm_start: bool = True,
     burn_in: int | None = None,
     batch_replicates: bool = False,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> PointResult:
     """Measure CAPPED(c, λ) at one parameter point.
 
@@ -338,6 +386,11 @@ def measure_capped(
     delegated to it (recorded, or replayed from precomputed outcomes)
     instead of simulating inline; the context distributes whole replicates,
     so ``batch_replicates`` applies only to the inline path.
+
+    With ``checkpoint_dir`` set the inline path snapshots/resumes each
+    replicate (subdirectory ``rep-<r>``; the batched engine uses
+    ``batched``) every ``checkpoint_every`` rounds. Checkpoint settings
+    never alter results and are not part of the measurement parameters.
     """
     effective_warm = warm_start and c is not None and lam > 0
     if burn_in is None:
@@ -356,6 +409,7 @@ def measure_capped(
     context = active_context()
     if context is not None:
         return context.measure("capped", params, replicates)
+    base = None if checkpoint_dir is None else Path(checkpoint_dir)
     if batch_replicates:
         outcomes = run_capped_replicates_batched(
             n=n,
@@ -366,10 +420,19 @@ def measure_capped(
             replicates=replicates,
             warm_start=warm_start,
             burn_in=burn_in,
+            checkpoint_dir=None if base is None else base / "batched",
+            checkpoint_every=checkpoint_every,
         )
     else:
         outcomes = [
-            run_replicate("capped", params, replicate) for replicate in range(replicates)
+            run_replicate(
+                "capped",
+                params,
+                replicate,
+                checkpoint_dir=None if base is None else base / f"rep-{replicate}",
+                checkpoint_every=checkpoint_every,
+            )
+            for replicate in range(replicates)
         ]
     return aggregate_point(n, c, lam, burn_in, measure, outcomes)
 
@@ -382,6 +445,8 @@ def measure_greedy(
     replicates: int = 1,
     seed: int = 0,
     burn_in: int | None = None,
+    checkpoint_dir=None,
+    checkpoint_every: int | None = None,
 ) -> PointResult:
     """Measure batch GREEDY[d] (leaky bins) at one parameter point.
 
@@ -403,7 +468,15 @@ def measure_greedy(
     context = active_context()
     if context is not None:
         return context.measure("greedy", params, replicates)
+    base = None if checkpoint_dir is None else Path(checkpoint_dir)
     outcomes = [
-        run_replicate("greedy", params, replicate) for replicate in range(replicates)
+        run_replicate(
+            "greedy",
+            params,
+            replicate,
+            checkpoint_dir=None if base is None else base / f"rep-{replicate}",
+            checkpoint_every=checkpoint_every,
+        )
+        for replicate in range(replicates)
     ]
     return aggregate_point(n, None, lam, burn_in, measure, outcomes)

@@ -347,9 +347,20 @@ class BinArray:
         self._refresh_free()
 
     def get_state(self) -> dict:
-        """Snapshot for checkpoint/restore."""
+        """Snapshot for checkpoint/restore.
+
+        Includes the *current* capacity (None / int / per-bin list): a
+        capacity-degradation fault may have changed it since construction,
+        and restoring only the high-water mark would silently resume with
+        the wrong free-slot budget.
+        """
+        if self.capacity is None or np.isscalar(self.capacity):
+            capacity = self.capacity if self.capacity is None else int(self.capacity)
+        else:
+            capacity = self.capacity.tolist()
         state = {
             "loads": self.loads.tolist(),
+            "capacity": capacity,
             "peak_load": self._peak_load,
             "total_accepted": self._total_accepted,
             "total_deleted": self._total_deleted,
@@ -373,6 +384,15 @@ class BinArray:
             else np.zeros(self.n, dtype=bool)
         )
         self._any_down = bool(self.down.any())
+        if "capacity" in state:
+            # Snapshots taken before any degradation carry the constructed
+            # capacity back unchanged; mid-degradation ones restore the
+            # exact reduced budget.
+            capacity = state["capacity"]
+            if capacity is None or isinstance(capacity, int):
+                self.capacity = capacity
+            else:
+                self.capacity = np.asarray(capacity, dtype=np.int64)
         high_water = state.get("capacity_high_water")
         if high_water is not None:
             self._capacity_high_water = np.asarray(high_water, dtype=np.int64)

@@ -1,0 +1,29 @@
+"""Durable checkpoint/restore for long simulations (``repro-checkpoint/v1``).
+
+See :mod:`repro.checkpoint.format` for the snapshot file format and
+:mod:`repro.checkpoint.store` for the rolling store with corruption
+fallback. ``docs/checkpointing.md`` documents the format spec, the
+atomicity/retention semantics, and the RNG-stream contract that makes a
+resumed run bit-identical to an uninterrupted one.
+"""
+
+from repro.checkpoint.format import (
+    CHECKPOINT_FORMAT,
+    checkpoint_fingerprint,
+    dumps_canonical,
+    read_checkpoint,
+    read_checkpoint_header,
+    write_checkpoint,
+)
+from repro.checkpoint.store import CheckpointStore, RestoredCheckpoint
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "RestoredCheckpoint",
+    "checkpoint_fingerprint",
+    "dumps_canonical",
+    "read_checkpoint",
+    "read_checkpoint_header",
+    "write_checkpoint",
+]

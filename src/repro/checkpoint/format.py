@@ -1,0 +1,191 @@
+"""The ``repro-checkpoint/v1`` on-disk snapshot format.
+
+A checkpoint is a single JSON document::
+
+    {
+      "format": "repro-checkpoint/v1",
+      "fingerprint": "<code fingerprint from repro.parallel.keys>",
+      "sha256": "<hex digest of the canonical payload JSON>",
+      "meta": {...},        # small, uncovered by the digest: round, phase...
+      "payload": {...}      # the actual resumable state
+    }
+
+Three properties make it safe to resume from:
+
+* **Atomicity** — the document is written to a temporary file in the same
+  directory, flushed, fsynced, and renamed over the final path (and the
+  directory fsynced), so a reader only ever sees no file or a complete one.
+  A crash mid-write leaves a ``*.tmp`` orphan, never a torn checkpoint.
+* **Integrity** — ``sha256`` is the digest of the payload's canonical JSON
+  (sorted keys, no whitespace); :func:`read_checkpoint` recomputes and
+  compares it, so bit rot or a truncated rename target is detected as
+  :class:`~repro.errors.CheckpointCorrupt` rather than restored.
+* **Versioning** — the schema name and a fingerprint of the measurement
+  modules (:func:`repro.parallel.keys.measurement_fingerprint`) are checked
+  on load; a snapshot written by different simulator code raises
+  :class:`~repro.errors.CheckpointIncompatible` instead of silently
+  resuming a trajectory the current code would never have produced.
+
+Payloads are plain JSON values; numpy scalars and arrays that leak into a
+state dict are converted by the canonical encoder (arrays become lists —
+every ``set_state`` in this package accepts lists).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CheckpointCorrupt, CheckpointIncompatible
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "checkpoint_fingerprint",
+    "dumps_canonical",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_checkpoint_header",
+]
+
+CHECKPOINT_FORMAT = "repro-checkpoint/v1"
+
+
+def checkpoint_fingerprint() -> str:
+    """The code fingerprint stamped into (and checked against) snapshots."""
+    from repro.parallel.keys import measurement_fingerprint
+
+    return measurement_fingerprint()
+
+
+def _json_default(value: Any) -> Any:
+    """Canonical-encoder fallback for numpy values inside state dicts."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__} into a checkpoint")
+
+
+def dumps_canonical(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace).
+
+    The same rendering is used at write time (to compute the digest) and at
+    read time (to verify it), so the digest is stable across the
+    serialise → parse round trip.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_json_default)
+
+
+def payload_digest(payload: Any) -> str:
+    """sha256 hex digest of the payload's canonical JSON."""
+    return hashlib.sha256(dumps_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(
+    path: Path | str,
+    payload: dict[str, Any],
+    meta: dict[str, Any] | None = None,
+    fingerprint: str | None = None,
+) -> int:
+    """Atomically write one snapshot; returns the bytes written.
+
+    The write path is tmp + flush + fsync + rename + directory fsync, so a
+    crash at any instant leaves either the previous file or the new one —
+    never a torn document.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "fingerprint": fingerprint if fingerprint is not None else checkpoint_fingerprint(),
+        "sha256": payload_digest(payload),
+        "meta": meta or {},
+        "payload": payload,
+    }
+    data = dumps_canonical(document).encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    fd = os.open(tmp, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return len(data)
+
+
+def _parse_document(path: Path) -> dict[str, Any]:
+    try:
+        raw = path.read_bytes()
+    except OSError as err:
+        raise CheckpointCorrupt(f"cannot read checkpoint {path}: {err}") from err
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as err:
+        raise CheckpointCorrupt(f"checkpoint {path} is not valid JSON: {err}") from err
+    if not isinstance(document, dict):
+        raise CheckpointCorrupt(f"checkpoint {path} is not a JSON object")
+    missing = {"format", "fingerprint", "sha256", "payload"} - set(document)
+    if missing:
+        raise CheckpointCorrupt(f"checkpoint {path} is missing fields: {sorted(missing)}")
+    return document
+
+
+def read_checkpoint_header(path: Path | str) -> dict[str, Any]:
+    """Parse and digest-verify a snapshot without compatibility checks.
+
+    For inspection tooling: returns the whole document (format, fingerprint,
+    meta, payload) after verifying the payload digest, regardless of whether
+    the snapshot matches the current code.
+    """
+    path = Path(path)
+    document = _parse_document(path)
+    actual = payload_digest(document["payload"])
+    if actual != document["sha256"]:
+        raise CheckpointCorrupt(
+            f"checkpoint {path} failed integrity check: "
+            f"payload digest {actual[:12]} != recorded {str(document['sha256'])[:12]}"
+        )
+    return document
+
+
+def read_checkpoint(
+    path: Path | str, expected_fingerprint: str | None = None
+) -> dict[str, Any]:
+    """Load, verify, and compatibility-check one snapshot document.
+
+    Raises :class:`~repro.errors.CheckpointCorrupt` for torn/tampered files
+    and :class:`~repro.errors.CheckpointIncompatible` for schema or code
+    fingerprint mismatches. ``expected_fingerprint`` defaults to the current
+    :func:`checkpoint_fingerprint`.
+    """
+    path = Path(path)
+    document = read_checkpoint_header(path)
+    if document["format"] != CHECKPOINT_FORMAT:
+        raise CheckpointIncompatible(
+            f"checkpoint {path} has format {document['format']!r}, "
+            f"expected {CHECKPOINT_FORMAT!r}"
+        )
+    expected = (
+        expected_fingerprint if expected_fingerprint is not None else checkpoint_fingerprint()
+    )
+    if document["fingerprint"] != expected:
+        raise CheckpointIncompatible(
+            f"checkpoint {path} was written by different code "
+            f"(fingerprint {document['fingerprint']} != {expected})"
+        )
+    return document

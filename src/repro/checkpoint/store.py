@@ -1,0 +1,221 @@
+"""Rolling checkpoint store: save every K rounds, restore from the newest
+valid snapshot.
+
+One :class:`CheckpointStore` owns one directory of ``ckpt-<round>.json``
+files for one logical run. Writes go through the atomic
+:func:`~repro.checkpoint.format.write_checkpoint` path; retention keeps the
+last ``keep`` snapshots so a corrupt or torn newest file (detected by its
+sha256) falls back to the one before it instead of losing the run.
+
+Telemetry (when a session is active):
+
+* ``checkpoint_write_seconds`` / ``checkpoint_bytes`` — one observation per
+  snapshot written;
+* ``restores_total{reason=...}`` — one increment per successful restore;
+  ``reason="resume"`` for a clean newest-snapshot load, ``"corrupt"`` when
+  at least one torn/tampered snapshot had to be skipped, ``"fingerprint"``
+  when only incompatible snapshots were skipped.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointCorrupt, CheckpointIncompatible, ConfigurationError
+from repro.checkpoint.format import (
+    checkpoint_fingerprint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.telemetry.runtime import current as _telemetry_current
+
+__all__ = ["CheckpointStore", "RestoredCheckpoint"]
+
+_NAME = re.compile(r"^ckpt-(\d+)\.json$")
+
+
+class RestoredCheckpoint:
+    """A successfully restored snapshot plus its provenance.
+
+    Attributes
+    ----------
+    payload / meta:
+        The snapshot content as written.
+    path:
+        File the state was restored from.
+    round:
+        Round counter encoded in the filename.
+    skipped_corrupt / skipped_incompatible:
+        Newer snapshots that were passed over to reach this one.
+    """
+
+    __slots__ = ("payload", "meta", "path", "round", "skipped_corrupt", "skipped_incompatible")
+
+    def __init__(
+        self,
+        payload: dict[str, Any],
+        meta: dict[str, Any],
+        path: Path,
+        round: int,
+        skipped_corrupt: int,
+        skipped_incompatible: int,
+    ) -> None:
+        self.payload = payload
+        self.meta = meta
+        self.path = path
+        self.round = round
+        self.skipped_corrupt = skipped_corrupt
+        self.skipped_incompatible = skipped_incompatible
+
+    @property
+    def reason(self) -> str:
+        """Telemetry label for how this restore happened."""
+        if self.skipped_corrupt:
+            return "corrupt"
+        if self.skipped_incompatible:
+            return "fingerprint"
+        return "resume"
+
+
+class CheckpointStore:
+    """Versioned snapshots of one run under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live (created on first save).
+    keep:
+        Snapshots retained after each save; older ones are pruned. Must be
+        at least 2 — with a single snapshot there is nothing to fall back
+        to when the newest write is the one the crash tore.
+    fingerprint:
+        Code fingerprint stamped into snapshots; defaults to the current
+        :func:`~repro.checkpoint.format.checkpoint_fingerprint`.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        keep: int = 3,
+        fingerprint: str | None = None,
+    ) -> None:
+        if keep < 2:
+            raise ConfigurationError(f"keep must be >= 2 (fallback needs a spare), got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.fingerprint = fingerprint if fingerprint is not None else checkpoint_fingerprint()
+
+    def path_for(self, round: int) -> Path:
+        return self.directory / f"ckpt-{round:010d}.json"
+
+    def snapshots(self) -> list[tuple[int, Path]]:
+        """(round, path) pairs of snapshots on disk, newest first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = _NAME.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        found.sort(reverse=True)
+        return found
+
+    def save(self, round: int, payload: dict[str, Any], meta: dict[str, Any] | None = None) -> Path:
+        """Durably write the snapshot for ``round`` and prune old ones."""
+        path = self.path_for(round)
+        started = time.perf_counter()
+        nbytes = write_checkpoint(path, payload, meta=meta, fingerprint=self.fingerprint)
+        elapsed = time.perf_counter() - started
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.observe("checkpoint_write_seconds", elapsed)
+            tel.observe("checkpoint_bytes", nbytes)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        for _, path in self.snapshots()[self.keep :]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup is benign
+                pass
+        # Orphaned tmp files are dead write attempts; clear them too.
+        if self.directory.is_dir():
+            for tmp in self.directory.glob("ckpt-*.json.tmp"):
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def load_latest(self) -> RestoredCheckpoint | None:
+        """Restore from the newest *valid* snapshot; None when none exists.
+
+        Scans newest → oldest: a snapshot failing its digest (torn write,
+        bit rot, deliberate truncation) or its fingerprint (other code)
+        is skipped and counted; the first one that verifies wins. Emits one
+        ``restores_total{reason}`` increment per successful restore.
+        """
+        skipped_corrupt = 0
+        skipped_incompatible = 0
+        for round, path in self.snapshots():
+            try:
+                document = read_checkpoint(path, expected_fingerprint=self.fingerprint)
+            except CheckpointCorrupt:
+                skipped_corrupt += 1
+                continue
+            except CheckpointIncompatible:
+                skipped_incompatible += 1
+                continue
+            restored = RestoredCheckpoint(
+                payload=document["payload"],
+                meta=document.get("meta", {}),
+                path=path,
+                round=round,
+                skipped_corrupt=skipped_corrupt,
+                skipped_incompatible=skipped_incompatible,
+            )
+            tel = _telemetry_current()
+            if tel is not None:
+                tel.inc("restores_total", reason=restored.reason)
+            return restored
+        return None
+
+    def latest_round(self) -> int | None:
+        """Round of the newest valid snapshot (no telemetry, no payload)."""
+        restored = self.load_latest_quiet()
+        return None if restored is None else restored.round
+
+    def load_latest_quiet(self) -> RestoredCheckpoint | None:
+        """Like :meth:`load_latest` but without the telemetry increment.
+
+        For provenance peeks (the runner recording "this task will resume
+        from round N") that must not double-count the actual restore.
+        """
+        tel_suppressed = _SuppressedTelemetry()
+        with tel_suppressed:
+            return self.load_latest()
+
+
+class _SuppressedTelemetry:
+    """Context manager that hides the telemetry session from this thread.
+
+    The store's restore path increments ``restores_total``; provenance
+    peeks reuse the same scan logic but must stay silent.
+    """
+
+    def __enter__(self) -> "_SuppressedTelemetry":
+        from repro.telemetry import runtime
+
+        self._saved = runtime.current()
+        if self._saved is not None:
+            runtime.disable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        from repro.telemetry import runtime
+
+        if self._saved is not None:
+            runtime.enable(self._saved)

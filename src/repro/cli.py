@@ -73,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="capture telemetry here (events.jsonl, metrics.prom, manifest.json)",
     )
+    sim.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="snapshot/resume directory; an interrupted run restarted with "
+        "the same arguments resumes from the newest valid snapshot and "
+        "produces bit-identical output",
+    )
+    sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="snapshot cadence in rounds (needs --checkpoint-dir)",
+    )
 
     exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     group = exp.add_mutually_exclusive_group(required=True)
@@ -135,6 +149,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries per failing task before it is quarantined",
     )
+    exp.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="per-task snapshot directories (default: <cache-dir>/checkpoints)",
+    )
+    exp.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="snapshot each task's simulation every N rounds so retried or "
+        "resumed tasks restart from their latest snapshot",
+    )
     halt = exp.add_mutually_exclusive_group()
     halt.add_argument(
         "--keep-going",
@@ -188,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tele_report.add_argument("run_dir", type=Path)
 
+    ckpt = sub.add_parser("checkpoint", help="inspect on-disk checkpoints")
+    ckpt_sub = ckpt.add_subparsers(dest="checkpoint_command", required=True)
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect", help="verify a snapshot's digest and print its metadata"
+    )
+    ckpt_inspect.add_argument("path", type=Path)
+
     return parser
 
 
@@ -240,6 +274,9 @@ def _cmd_simulate(args, out) -> int:
     if args.process == "greedy" and args.batch_replicates:
         out.write("error: --batch-replicates only applies to --process capped\n")
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        out.write("error: --checkpoint-every needs --checkpoint-dir\n")
+        return 2
     if args.telemetry_dir is None:
         return _run_simulate(args, out)
     with _telemetry_capture(args.telemetry_dir, _args_config(args), [args.seed]):
@@ -258,6 +295,8 @@ def _run_simulate(args, out) -> int:
             replicates=args.replicates,
             seed=args.seed,
             burn_in=args.burn_in,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     else:
         point = measure_capped(
@@ -270,6 +309,8 @@ def _run_simulate(args, out) -> int:
             warm_start=not args.cold_start,
             burn_in=args.burn_in,
             batch_replicates=args.batch_replicates,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     for key, value in point.row().items():
         out.write(f"{key:12s} {value}\n")
@@ -313,6 +354,16 @@ def _cmd_experiments(args, out) -> int:
     if args.live_status and args.no_progress:
         out.write("error: --live-status needs the progress line; drop --no-progress\n")
         return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        out.write(f"error: --checkpoint-every must be >= 1, got {args.checkpoint_every}\n")
+        return 2
+    if (
+        args.checkpoint_every is not None
+        and args.checkpoint_dir is None
+        and args.cache_dir is None
+    ):
+        out.write("error: --checkpoint-every needs --checkpoint-dir or --cache-dir\n")
+        return 2
     if args.telemetry_dir is None:
         return _run_experiments_cmd(args, out)
     seeds = [PROFILES[args.profile].seed]
@@ -330,7 +381,11 @@ def _run_experiments_cmd(args, out) -> int:
     # --live-status rides on the parallel runner's progress reporter, so it
     # engages the runner even for a plain serial run.
     use_runner = (
-        args.jobs != 1 or args.resume or args.cache_dir is not None or args.live_status
+        args.jobs != 1
+        or args.resume
+        or args.cache_dir is not None
+        or args.live_status
+        or args.checkpoint_every is not None
     )
     report = None
     errors: dict[str, str] = {}
@@ -347,6 +402,8 @@ def _run_experiments_cmd(args, out) -> int:
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
             live_status=args.live_status,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
         )
         produced = {result.experiment_id: result for result in report.results}
         errors.update(report.failures)
@@ -492,6 +549,33 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_checkpoint(args, out) -> int:
+    from repro.checkpoint import CHECKPOINT_FORMAT, checkpoint_fingerprint, read_checkpoint_header
+    from repro.errors import CheckpointCorrupt
+
+    try:
+        document = read_checkpoint_header(args.path)
+    except CheckpointCorrupt as err:
+        out.write(f"CORRUPT: {err}\n")
+        return 2
+    meta = document.get("meta") or {}
+    fingerprint = document["fingerprint"]
+    compatible = (
+        document["format"] == CHECKPOINT_FORMAT
+        and fingerprint == checkpoint_fingerprint()
+    )
+    out.write(f"path         {args.path}\n")
+    out.write(f"format       {document['format']}\n")
+    out.write(f"digest       ok (sha256 {document['sha256'][:16]})\n")
+    out.write(f"fingerprint  {fingerprint[:16]} ({'matches' if compatible else 'DIFFERENT code'})\n")
+    for key in sorted(meta):
+        out.write(f"{key:12s} {meta[key]}\n")
+    payload = document["payload"]
+    if isinstance(payload, dict):
+        out.write(f"payload      keys: {', '.join(sorted(payload))}\n")
+    return 0
+
+
 def _cmd_telemetry(args, out) -> int:
     from repro.errors import ConfigurationError
     from repro.telemetry import report_run_dir
@@ -507,27 +591,42 @@ def _cmd_telemetry(args, out) -> int:
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    A run stopped by SIGINT/SIGTERM (see
+    :class:`~repro.errors.GracefulShutdown`) exits with the distinct
+    :data:`~repro.errors.SHUTDOWN_EXIT_CODE` after flushing its journal and
+    checkpoints, so wrappers can tell "interrupted but resumable" from
+    failure.
+    """
+    from repro.errors import SHUTDOWN_EXIT_CODE, GracefulShutdown
+
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(out)
-    if args.command == "simulate":
-        return _cmd_simulate(args, out)
-    if args.command == "experiments":
-        return _cmd_experiments(args, out)
-    if args.command == "theory":
-        return _cmd_theory(args, out)
-    if args.command == "meanfield":
-        return _cmd_meanfield(args, out)
-    if args.command == "fluid":
-        return _cmd_fluid(args, out)
-    if args.command == "compare":
-        return _cmd_compare(args, out)
-    if args.command == "trace":
-        return _cmd_trace(args, out)
-    if args.command == "telemetry":
-        return _cmd_telemetry(args, out)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "simulate":
+            return _cmd_simulate(args, out)
+        if args.command == "experiments":
+            return _cmd_experiments(args, out)
+        if args.command == "theory":
+            return _cmd_theory(args, out)
+        if args.command == "meanfield":
+            return _cmd_meanfield(args, out)
+        if args.command == "fluid":
+            return _cmd_fluid(args, out)
+        if args.command == "compare":
+            return _cmd_compare(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
+        if args.command == "telemetry":
+            return _cmd_telemetry(args, out)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args, out)
+    except GracefulShutdown as err:
+        out.write(f"interrupted: {err}\n")
+        return SHUTDOWN_EXIT_CODE
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -228,6 +228,44 @@ class ServerFarm:
             throughput=self.completed / self.tick if self.tick else 0.0,
         )
 
+    def get_state(self) -> dict:
+        """Checkpoint the full farm state (servers, pending, stats, RNG)."""
+        return {
+            "tick": self.tick,
+            "next_id": self._next_id,
+            "pending": [[request.created_tick, request.request_id] for request in self.pending],
+            "servers": [server.get_state() for server in self.servers],
+            "rng": self.rng.bit_generator.state,
+            "latency_stats": self.latency_stats.get_state(),
+            "latency_histogram": self.latency_histogram.get_state(),
+            "pending_stats": self.pending_stats.get_state(),
+            "peak_pending": self.peak_pending,
+            "completed": self.completed,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (same farm shape)."""
+        server_states = state["servers"]
+        if len(server_states) != len(self.servers):
+            raise ValueError(
+                f"state has {len(server_states)} servers, expected {len(self.servers)}"
+            )
+        self.tick = int(state["tick"])
+        self._next_id = int(state["next_id"])
+        self.pending = [
+            Request(created_tick=int(tick), request_id=int(request_id))
+            for tick, request_id in state["pending"]
+        ]
+        for server, server_state in zip(self.servers, server_states):
+            server.set_state(server_state)
+        self.rng.bit_generator.state = state["rng"]
+        self.latency_stats.set_state(state["latency_stats"])
+        self.latency_histogram.set_state(state["latency_histogram"])
+        self.pending_stats.set_state(state["pending_stats"])
+        self.peak_pending = int(state["peak_pending"])
+        self.completed = int(state["completed"])
+        self.check_invariants()
+
     def check_invariants(self) -> None:
         """Pending requests must be unique and server queues within bounds.
 

@@ -140,6 +140,39 @@ class Server:
         elif self._capacity_high_water is not None:
             self._capacity_high_water = max(self._capacity_high_water, capacity)
 
+    def get_state(self) -> dict:
+        """Checkpoint the full server state.
+
+        The FIFO queue is serialised as ``(created_tick, request_id)``
+        pairs in queue order, so per-request ages (and hence latencies on
+        completion) survive a restore exactly.
+        """
+        return {
+            "capacity": self.capacity,
+            "down": self.down,
+            "queue": [[request.created_tick, request.request_id] for request in self._queue],
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "peak_queue": self.peak_queue,
+            "capacity_high_water": self._capacity_high_water,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state`."""
+        capacity = state["capacity"]
+        self.capacity = None if capacity is None else int(capacity)
+        self.down = bool(state["down"])
+        self._queue = deque(
+            Request(created_tick=int(tick), request_id=int(request_id))
+            for tick, request_id in state["queue"]
+        )
+        self.completed = int(state["completed"])
+        self.rejected = int(state["rejected"])
+        self.peak_queue = int(state["peak_queue"])
+        high_water = state["capacity_high_water"]
+        self._capacity_high_water = None if high_water is None else int(high_water)
+        self.check_invariants()
+
     def check_invariants(self) -> None:
         """The queue never exceeds the high-water capacity."""
         if (

@@ -149,6 +149,42 @@ class MetricsCollector:
         """Per-round pool sizes over the observed window."""
         return np.asarray(self._pool_series, dtype=np.int64)
 
+    def get_state(self) -> dict:
+        """Snapshot every streaming accumulator for checkpoint/restore."""
+        return {
+            "n": self.n,
+            "keep_pool_series": self.keep_pool_series,
+            "rounds": self.rounds,
+            "pool_stats": self.pool_stats.get_state(),
+            "load_stats": self.load_stats.get_state(),
+            "wait_stats": self.wait_stats.get_state(),
+            "wait_histogram": self.wait_histogram.get_state(),
+            "peak_pool": self.peak_pool,
+            "peak_max_load": self.peak_max_load,
+            "total_deleted": self.total_deleted,
+            "pool_series": list(self._pool_series),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (same ``n``).
+
+        A restored collector folds subsequent records into the identical
+        accumulator trajectory, so a summary over (restored prefix + live
+        suffix) equals the uninterrupted run's bit for bit.
+        """
+        if int(state["n"]) != self.n:
+            raise ValueError(f"collector state has n={state['n']}, expected n={self.n}")
+        self.keep_pool_series = bool(state["keep_pool_series"])
+        self.rounds = int(state["rounds"])
+        self.pool_stats.set_state(state["pool_stats"])
+        self.load_stats.set_state(state["load_stats"])
+        self.wait_stats.set_state(state["wait_stats"])
+        self.wait_histogram.set_state(state["wait_histogram"])
+        self.peak_pool = int(state["peak_pool"])
+        self.peak_max_load = int(state["peak_max_load"])
+        self.total_deleted = int(state["total_deleted"])
+        self._pool_series = [int(v) for v in state["pool_series"]]
+
     def summary(self) -> MetricsSummary:
         """Produce the aggregate summary for everything observed so far."""
         if self.rounds == 0:

@@ -16,7 +16,18 @@ __all__ = [
     "ExperimentError",
     "ParallelExecutionError",
     "ChaosInjected",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    "CheckpointIncompatible",
+    "GracefulShutdown",
+    "SHUTDOWN_EXIT_CODE",
 ]
+
+#: Process exit code for a run stopped by SIGINT/SIGTERM after a clean
+#: shutdown (journal flushed, checkpoints durable). Distinct from argparse
+#: usage errors (2), experiment failures (3), and the shell's raw 130/143
+#: so wrappers can tell "stopped cleanly, resume me" from "died".
+SHUTDOWN_EXIT_CODE = 75
 
 
 class ReproError(Exception):
@@ -58,6 +69,43 @@ class ParallelExecutionError(ReproError, RuntimeError):
     Raised for unknown task kinds, replay passes missing precomputed
     outcomes, and resume attempts without a journal to resume from.
     """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, read, or restored."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A snapshot file is torn or fails its integrity digest.
+
+    Raised by :func:`repro.checkpoint.read_checkpoint` when the file is not
+    parseable JSON, is missing required fields, or its payload hashes to a
+    different sha256 than the one recorded at write time. The store treats
+    this as "skip and fall back to the previous snapshot", never fatal.
+    """
+
+
+class CheckpointIncompatible(CheckpointError):
+    """A snapshot was written by a different schema version or code state.
+
+    Restoring across code changes could silently produce wrong numbers, so
+    a fingerprint mismatch refuses to load instead (same philosophy as the
+    content-addressed cache: stale entries go cold, never wrong).
+    """
+
+
+class GracefulShutdown(ReproError, RuntimeError):
+    """A SIGINT/SIGTERM was converted into an orderly stop.
+
+    Raised at a safe point (between tasks / after a completed round) once a
+    termination signal is observed, after durable state — the journal and
+    any configured checkpoints — has been flushed. Callers translate it to
+    :data:`SHUTDOWN_EXIT_CODE`.
+    """
+
+    def __init__(self, message: str, signal_number: int | None = None) -> None:
+        super().__init__(message)
+        self.signal_number = signal_number
 
 
 class ChaosInjected(ReproError, RuntimeError):

@@ -43,7 +43,7 @@ import time
 
 from repro.errors import ChaosInjected, ConfigurationError
 
-__all__ = ["CHAOS_ENV", "ChaosSpec", "chaos_from_env", "maybe_chaos"]
+__all__ = ["CHAOS_ENV", "ChaosSpec", "chaos_from_env", "maybe_chaos", "maybe_chaos_round"]
 
 CHAOS_ENV = "REPRO_CHAOS"
 
@@ -51,9 +51,17 @@ _ACTIONS = ("fail", "hang", "crash", "kill")
 
 
 class ChaosSpec:
-    """Parsed chaos configuration (see module docstring for semantics)."""
+    """Parsed chaos configuration (see module docstring for semantics).
 
-    __slots__ = ("action", "match", "times", "seconds", "marker_dir")
+    ``at_round`` switches the hook from the task boundary to the simulation
+    round loop: the injection fires when the driver completes round
+    ``at_round`` (via :func:`maybe_chaos_round`, called after that round's
+    checkpoint write, so a resumed run restarts from a snapshot at or
+    before the kill point). A spec with ``at_round`` set is ignored by the
+    task-boundary hook :func:`maybe_chaos`.
+    """
+
+    __slots__ = ("action", "match", "times", "seconds", "marker_dir", "at_round")
 
     def __init__(
         self,
@@ -62,6 +70,7 @@ class ChaosSpec:
         times: int = 1,
         seconds: float = 3600.0,
         marker_dir: str | None = None,
+        at_round: int | None = None,
     ) -> None:
         if action not in _ACTIONS:
             raise ConfigurationError(f"chaos action must be one of {_ACTIONS}, got {action!r}")
@@ -74,16 +83,20 @@ class ChaosSpec:
                 f"chaos action {action!r} requires marker_dir: without cross-process "
                 "injection counting a retried task would die forever"
             )
+        if at_round is not None and at_round < 1:
+            raise ConfigurationError(f"chaos at_round must be >= 1, got {at_round}")
         self.action = action
         self.match = match
         self.times = times
         self.seconds = seconds
         self.marker_dir = marker_dir
+        self.at_round = at_round
 
     def to_env(self) -> str:
         """Serialize for the ``REPRO_CHAOS`` environment variable."""
         payload = {"action": self.action, "match": self.match, "times": self.times,
-                   "seconds": self.seconds, "marker_dir": self.marker_dir}
+                   "seconds": self.seconds, "marker_dir": self.marker_dir,
+                   "at_round": self.at_round}
         return json.dumps(payload)
 
 
@@ -100,12 +113,14 @@ def chaos_from_env(environ=None) -> ChaosSpec | None:
         raise ConfigurationError(f"malformed {CHAOS_ENV}: {err}") from err
     if not isinstance(payload, dict) or "action" not in payload:
         raise ConfigurationError(f"{CHAOS_ENV} must be a JSON object with an 'action'")
+    at_round = payload.get("at_round")
     return ChaosSpec(
         action=payload["action"],
         match=payload.get("match", ""),
         times=int(payload.get("times", 1)),
         seconds=float(payload.get("seconds", 3600.0)),
         marker_dir=payload.get("marker_dir"),
+        at_round=None if at_round is None else int(at_round),
     )
 
 
@@ -143,8 +158,38 @@ def maybe_chaos(label: str, spec: ChaosSpec | None = None, environ=None) -> None
         spec = chaos_from_env(environ)
         if spec is None:
             return
+    if spec.at_round is not None:
+        # Round-scoped specs fire from the driver loop, not task entry.
+        return
     if spec.match and spec.match not in label:
         return
+    _fire(spec, label)
+
+
+def maybe_chaos_round(
+    label: str, round_index: int, spec: ChaosSpec | None = None, environ=None
+) -> None:
+    """Round-loop chaos hook: inject when round ``round_index`` completes.
+
+    Called by :class:`~repro.engine.driver.SimulationDriver` after each
+    round (after any due checkpoint write). A no-op unless a spec with
+    ``at_round == round_index`` matching ``label`` is armed — the common
+    use is ``{"action": "kill", "at_round": N}`` to SIGKILL a checkpointed
+    run mid-measure and prove resume-bit-identity.
+    """
+    if spec is None:
+        spec = chaos_from_env(environ)
+        if spec is None:
+            return
+    if spec.at_round is None or spec.at_round != round_index:
+        return
+    if spec.match and spec.match not in label:
+        return
+    _fire(spec, label)
+
+
+def _fire(spec: ChaosSpec, label: str) -> None:
+    """Claim an injection slot and execute the configured action."""
     if not _claim_injection(spec):
         return
     if spec.action == "fail":

@@ -213,6 +213,60 @@ class FaultInjector:
                 {"type": "fault", "round": t, "action": action, "description": description}
             )
 
+    def get_state(self) -> dict:
+        """Checkpoint the injector's mutable mid-schedule state.
+
+        The schedule itself is immutable configuration; what must survive a
+        restore is the *position* within it: which entities are down (and
+        when they recover), which are under stochastic-recovery coins,
+        pending capacity restorations, the fault RNG stream, the counters,
+        and the event log. With these restored, a resumed run applies the
+        exact same remaining faults as an uninterrupted one.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "down": [[index, recover] for index, recover in sorted(self._down.items())],
+            "stochastic_down": sorted(self._stochastic_down),
+            "restores": [
+                [restore_round, indices.tolist(), saved.tolist()]
+                for restore_round, indices, saved in self._restores
+            ],
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "balls_lost": self.balls_lost,
+            "requests_dropped": self.requests_dropped,
+            "down_rounds": self.down_rounds,
+            "events_log": [[t, description] for t, description in self.events_log],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state`.
+
+        The injector may be restored before or after binding: the adapter
+        is rebuilt lazily on the next ``on_round``, and the down/degraded
+        masks it mutates live in the process's own checkpointed state.
+        """
+        self._rng.bit_generator.state = state["rng"]
+        self._down = {
+            int(index): (None if recover is None else int(recover))
+            for index, recover in state["down"]
+        }
+        self._stochastic_down = {int(index) for index in state["stochastic_down"]}
+        self._restores = [
+            (
+                int(restore_round),
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(saved, dtype=np.int64),
+            )
+            for restore_round, indices, saved in state["restores"]
+        ]
+        self.crashes = int(state["crashes"])
+        self.recoveries = int(state["recoveries"])
+        self.balls_lost = int(state["balls_lost"])
+        self.requests_dropped = int(state["requests_dropped"])
+        self.down_rounds = int(state["down_rounds"])
+        self.events_log = [(int(t), str(description)) for t, description in state["events_log"]]
+
     # -- event application -------------------------------------------------
 
     def _pick_up_entities(self, adapter, fraction: float) -> np.ndarray:

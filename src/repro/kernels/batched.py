@@ -238,6 +238,42 @@ class BatchedCappedProcess:
             clock.finish()
         return records
 
+    def get_state(self) -> dict:
+        """Checkpoint the full engine state (all replicates + their RNGs).
+
+        Captures the shared label axis, the ``(L, R)`` pool-count matrix,
+        the flat ``R·n`` bin array, and every replicate's bit-generator
+        state, so :meth:`set_state` resumes all R trajectories
+        bit-identically.
+        """
+        return {
+            "round": self.round,
+            "labels": list(self._labels),
+            "counts": self._counts.tolist(),
+            "bins": self.bins.get_state(),
+            "rngs": [rng.bit_generator.state for rng in self.rngs],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (same n/c/λ/R engine)."""
+        rng_states = state["rngs"]
+        if len(rng_states) != self.replicates:
+            raise ValueError(
+                f"state has {len(rng_states)} replicate streams, expected {self.replicates}"
+            )
+        counts = np.asarray(state["counts"], dtype=np.int64).reshape(-1, self.replicates)
+        if len(state["labels"]) != counts.shape[0]:
+            raise ValueError(
+                f"state has {len(state['labels'])} labels but {counts.shape[0]} count rows"
+            )
+        self.round = int(state["round"])
+        self._labels = [int(label) for label in state["labels"]]
+        self._counts = counts.copy()
+        self.bins.set_state(state["bins"])
+        for rng, rng_state in zip(self.rngs, rng_states):
+            rng.bit_generator.state = rng_state
+        self.check_invariants()
+
     def check_invariants(self) -> None:
         """Verify pool-matrix and bin-state consistency."""
         self.bins.check_invariants()

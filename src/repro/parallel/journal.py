@@ -66,8 +66,25 @@ class Journal:
         os.fsync(self._fh.fileno())
         self.entries_written += 1
 
-    def append_task(self, key: str, spec: dict[str, Any], outcome: dict[str, Any]) -> None:
-        self.append({"type": "task", "key": key, "spec": spec, "outcome": outcome})
+    def append_task(
+        self,
+        key: str,
+        spec: dict[str, Any],
+        outcome: dict[str, Any],
+        provenance: dict[str, Any] | None = None,
+    ) -> None:
+        """Journal a finished task.
+
+        ``provenance`` records *how* the outcome was produced (e.g. that the
+        worker resumed from a checkpoint at round R). It is informational
+        only: :meth:`load` keys results by digest and ignores it, so
+        checkpoint-resumed outcomes stay content-addressed exactly like
+        uninterrupted ones.
+        """
+        entry = {"type": "task", "key": key, "spec": spec, "outcome": outcome}
+        if provenance:
+            entry["provenance"] = provenance
+        self.append(entry)
 
     def append_experiment(self, key: str, experiment_id: str, result: dict[str, Any]) -> None:
         self.append(

@@ -39,6 +39,8 @@ lost.
 from __future__ import annotations
 
 import random
+import shutil
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -47,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence, TextIO
 
-from repro.errors import ParallelExecutionError
+from repro.errors import GracefulShutdown, ParallelExecutionError
 from repro.parallel.cache import ResultCache
 from repro.parallel.context import ReplayContext, use_context
 from repro.parallel.journal import Journal, JournalState
@@ -191,6 +193,20 @@ class ExperimentRunner:
         execution. The default leaves room for a deterministic
         worker-killer to exhaust its retry budget and be quarantined
         while the pool is still being rebuilt around it.
+    checkpoint_every:
+        Snapshot cadence (rounds) for the simulation inside each task;
+        a task whose worker died resumes from its latest snapshot instead
+        of recomputing from round zero. Checkpoint placement never enters
+        a task's digest, so journal/cache keys are unchanged.
+    checkpoint_dir:
+        Home of the per-task snapshot directories (keyed by task digest);
+        defaults to ``<cache_dir>/checkpoints``. A task's directory is
+        removed once its outcome is journaled.
+
+    Graceful shutdown: while :meth:`run` executes on the main thread,
+    SIGINT/SIGTERM stop the sweep at the next task boundary — the journal
+    (flushed per entry) and any task checkpoints are preserved for
+    ``--resume`` — by raising :class:`~repro.errors.GracefulShutdown`.
     """
 
     def __init__(
@@ -207,6 +223,8 @@ class ExperimentRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         max_pool_rebuilds: int = 5,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: Path | str | None = None,
     ) -> None:
         from repro.analysis.experiments import PROFILES, Profile
         from repro.errors import ExperimentError
@@ -235,6 +253,19 @@ class ExperimentRunner:
             raise ParallelExecutionError(
                 f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
             )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ParallelExecutionError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_dir is None:
+            if cache_dir is None:
+                raise ParallelExecutionError(
+                    "checkpoint_every needs a checkpoint_dir (or cache_dir to default under)"
+                )
+            checkpoint_dir = Path(cache_dir) / "checkpoints"
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self._shutdown_signal: int | None = None
         self.profile = profile
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -253,6 +284,48 @@ class ExperimentRunner:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.max_pool_rebuilds = max_pool_rebuilds
+
+    # ------------------------------------------------------------------
+    # graceful shutdown
+    # ------------------------------------------------------------------
+
+    def _install_signal_handlers(self) -> dict[int, Any]:
+        """Route SIGINT/SIGTERM to the task-boundary shutdown flag.
+
+        Returns the replaced handlers (for restoration); empty when not on
+        the main thread, where ``signal.signal`` is unavailable — the sweep
+        then simply keeps the process defaults.
+        """
+        previous: dict[int, Any] = {}
+
+        def handle(signum: int, frame: Any) -> None:
+            self._shutdown_signal = signum
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handle)
+            except ValueError:  # not the main thread
+                break
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous: dict[int, Any]) -> None:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+    def _check_shutdown(self) -> None:
+        """Raise :class:`GracefulShutdown` if a stop signal has arrived."""
+        if self._shutdown_signal is not None:
+            signum = self._shutdown_signal
+            try:
+                name = signal.Signals(signum).name
+            except ValueError:  # pragma: no cover - unknown signal number
+                name = str(signum)
+            raise GracefulShutdown(
+                f"received {name}: stopping at the task boundary "
+                "(journal and checkpoints preserved for --resume)",
+                signal_number=signum,
+            )
 
     # ------------------------------------------------------------------
     # execution fabric
@@ -316,6 +389,7 @@ class ExperimentRunner:
         rng = random.Random(0)
         for payload, attempts in items:
             while True:
+                self._check_shutdown()
                 attempts += 1
                 try:
                     result = fn(payload)
@@ -377,6 +451,7 @@ class ExperimentRunner:
         running: dict[Any, tuple[dict, int, float | None]] = {}
         try:
             while pending or running:
+                self._check_shutdown()
                 yield from failed
                 failed.clear()
 
@@ -495,6 +570,8 @@ class ExperimentRunner:
         started = time.perf_counter()
         report = RunnerReport(experiments_total=len(ids))
         prof = profile_payload(self.profile)
+        self._shutdown_signal = None
+        previous_handlers = self._install_signal_handlers()
 
         journal_state = JournalState()
         if self.resume and self.journal_path is not None:
@@ -532,8 +609,12 @@ class ExperimentRunner:
                         self._finish_experiment(experiment_id, prof, result, journal)
                     report.results.append(result)
         finally:
+            # The journal's per-entry fsync means every finished task is
+            # already durable; closing here is what makes a GracefulShutdown
+            # (or any crash unwinding through this frame) resume-safe.
             if journal is not None:
                 journal.close()
+            self._restore_signal_handlers(previous_handlers)
         report.wall_seconds = time.perf_counter() - started
         return report
 
@@ -711,7 +792,15 @@ class ExperimentRunner:
                 if progress is not None:
                     progress.task_done(spec.label, 0.0, source="cache")
                 continue
-            to_compute.append(spec.payload())
+            payload = spec.payload()
+            if self.checkpoint_dir is not None:
+                # Runner plumbing, not task identity: from_payload/digest
+                # ignore this key, so cache/journal keys are unchanged.
+                payload["checkpoint"] = {
+                    "dir": str(self.checkpoint_dir / digest),
+                    "every": self.checkpoint_every,
+                }
+            to_compute.append(payload)
 
         for payload, computed in self._run_tasks(execute_task, to_compute, report):
             spec = TaskSpec.from_payload(payload)
@@ -722,10 +811,20 @@ class ExperimentRunner:
             outcomes[spec.point_key][spec.replicate] = outcome
             report.tasks_computed += 1
             report.timings.add(spec.label, elapsed, group=spec.kind)
+            resumed_round = computed.get("resumed_round")
+            provenance = (
+                None if resumed_round is None else {"resumed_round": int(resumed_round)}
+            )
             if journal is not None:
-                journal.append_task(spec.digest, spec.payload(), outcome)
+                journal.append_task(
+                    spec.digest, spec.payload(), outcome, provenance=provenance
+                )
             if self.cache is not None:
                 self.cache.put(spec.digest, {"spec": spec.payload(), "outcome": outcome})
+            if self.checkpoint_dir is not None:
+                # The outcome is durable (journaled and/or cached); its
+                # snapshots have served their purpose.
+                shutil.rmtree(self.checkpoint_dir / spec.digest, ignore_errors=True)
             account(spec, "computed", elapsed)
             if progress is not None:
                 progress.task_done(
@@ -764,6 +863,8 @@ def run_experiments(
     task_timeout: float | None = None,
     max_retries: int = 2,
     retry_backoff: float = 0.05,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: Path | str | None = None,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -777,5 +878,7 @@ def run_experiments(
         task_timeout=task_timeout,
         max_retries=max_retries,
         retry_backoff=retry_backoff,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
     )
     return runner.run(experiment_ids)

@@ -73,21 +73,46 @@ class TaskSpec:
 
 
 def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
-    """Run one replicate measurement; returns its outcome and timing."""
+    """Run one replicate measurement; returns its outcome and timing.
+
+    The optional ``checkpoint`` payload key (``{"dir": ..., "every": ...}``)
+    is runner plumbing, not part of the task identity:
+    :meth:`TaskSpec.from_payload` ignores it, so the task digest — and hence
+    the journal/cache key — is byte-identical with checkpointing on or off.
+    When the worker resumes from an existing snapshot the returned
+    ``resumed_round`` records that provenance for the journal.
+    """
     from repro.analysis.sweep import run_replicate
 
+    checkpoint = payload.get("checkpoint") or {}
+    checkpoint_dir = checkpoint.get("dir")
+    checkpoint_every = checkpoint.get("every")
     spec = TaskSpec.from_payload(payload)
     # Chaos hook for runner fault-tolerance tests: a no-op unless the
     # REPRO_CHAOS environment variable deliberately arms it.
     maybe_chaos(spec.label)
+    resumed_round = None
+    if checkpoint_dir is not None:
+        from repro.checkpoint import CheckpointStore
+
+        # Provenance peek only — the driver does its own (telemetry-visible)
+        # restore from the same store when it starts stepping.
+        resumed_round = CheckpointStore(checkpoint_dir).latest_round()
     start = time.perf_counter()
-    outcome = run_replicate(spec.kind, spec.params, spec.replicate)
+    outcome = run_replicate(
+        spec.kind,
+        spec.params,
+        spec.replicate,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
     # The pid feeds per-worker throughput in --live-status; the journal
     # and cache persist only the outcome, so it never affects results.
     return {
         "outcome": outcome.to_dict(),
         "elapsed": time.perf_counter() - start,
         "pid": os.getpid(),
+        "resumed_round": resumed_round,
     }
 
 

@@ -199,3 +199,20 @@ class CappedDChoiceProcess:
         oldest = self.pool.oldest_label
         if oldest is not None and oldest > self.round:
             raise InvariantViolation("pool contains balls from the future")
+
+    def get_state(self) -> dict:
+        """Checkpoint the full process state (pool, bins, RNG, round)."""
+        return {
+            "round": self.round,
+            "pool": self.pool.get_state(),
+            "bins": self.bins.get_state(),
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (same n/c/λ/d process)."""
+        self.round = int(state["round"])
+        self.pool.set_state(state["pool"])
+        self.bins.set_state(state["bins"])
+        self.rng.bit_generator.state = state["rng"]
+        self.check_invariants()

@@ -103,6 +103,29 @@ class RunningStats:
         for value in values:
             self.add(value)
 
+    def get_state(self) -> dict:
+        """Snapshot for checkpoint/restore (JSON-able; ±inf round-trips)."""
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` exactly.
+
+        The Welford accumulators are restored bit-for-bit (floats survive
+        JSON via shortest-round-trip repr), so a restored collector
+        continues the identical sequence of updates.
+        """
+        self._count = float(state["count"])
+        self._mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+        self._min = float(state["min"])
+        self._max = float(state["max"])
+
     def merge(self, other: "RunningStats") -> None:
         """Fold another collector into this one (parallel Welford merge)."""
         if other._count == 0:
@@ -304,6 +327,18 @@ class Histogram:
         rank = max(1, math.ceil(q * self._total))
         cumulative = np.cumsum(self._counts)
         return int(np.searchsorted(cumulative, rank, side="left"))
+
+    def get_state(self) -> dict:
+        """Snapshot for checkpoint/restore (counts trimmed to non-zero)."""
+        return {"counts": self.counts().tolist(), "total": self._total}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state`."""
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        size = max(len(self._counts), len(counts))
+        self._counts = np.zeros(size, dtype=np.int64)
+        self._counts[: len(counts)] = counts
+        self._total = int(state["total"])
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram into this one."""

@@ -1,0 +1,143 @@
+"""The repro-checkpoint/v1 document format: atomicity, integrity, versioning."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_FORMAT,
+    checkpoint_fingerprint,
+    dumps_canonical,
+    read_checkpoint,
+    read_checkpoint_header,
+    write_checkpoint,
+)
+from repro.errors import CheckpointCorrupt, CheckpointIncompatible
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt-0000000001.json"
+        payload = {"round": 1, "values": [1, 2, 3]}
+        nbytes = write_checkpoint(path, payload, meta={"phase": "measure"})
+        assert nbytes == path.stat().st_size
+        document = read_checkpoint(path)
+        assert document["format"] == CHECKPOINT_FORMAT
+        assert document["payload"] == payload
+        assert document["meta"] == {"phase": "measure"}
+
+    def test_numpy_values_serialise(self, tmp_path):
+        path = tmp_path / "c.json"
+        payload = {
+            "i": np.int64(7),
+            "f": np.float64(0.5),
+            "b": np.bool_(True),
+            "a": np.arange(4),
+        }
+        write_checkpoint(path, payload)
+        restored = read_checkpoint(path)["payload"]
+        assert restored == {"i": 7, "f": 0.5, "b": True, "a": [0, 1, 2, 3]}
+
+    def test_infinities_roundtrip(self, tmp_path):
+        # RunningStats snapshots on an empty window hold ±inf min/max.
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"min": float("inf"), "max": float("-inf")})
+        restored = read_checkpoint(path)["payload"]
+        assert restored["min"] == float("inf")
+        assert restored["max"] == float("-inf")
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1})
+        write_checkpoint(path, {"x": 2})
+        assert read_checkpoint(path)["payload"] == {"x": 2}
+
+
+class TestIntegrity:
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": list(range(100))})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(path)
+
+    def test_tampered_payload_fails_digest(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1})
+        document = json.loads(path.read_text())
+        document["payload"]["x"] = 2
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointCorrupt, match="integrity"):
+            read_checkpoint_header(path)
+
+    def test_missing_fields_are_corrupt(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": CHECKPOINT_FORMAT}))
+        with pytest.raises(CheckpointCorrupt, match="missing"):
+            read_checkpoint(path)
+
+    def test_non_object_is_corrupt(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(path)
+
+
+class TestVersioning:
+    def test_wrong_format_is_incompatible(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1})
+        document = json.loads(path.read_text())
+        document["format"] = "repro-checkpoint/v999"
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointIncompatible, match="format"):
+            read_checkpoint(path)
+
+    def test_foreign_fingerprint_is_incompatible(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1}, fingerprint="0" * 64)
+        with pytest.raises(CheckpointIncompatible, match="fingerprint"):
+            read_checkpoint(path)
+
+    def test_header_read_skips_compat_checks(self, tmp_path):
+        # The inspect tool must be able to examine snapshots from other code.
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1}, fingerprint="0" * 64)
+        document = read_checkpoint_header(path)
+        assert document["fingerprint"] == "0" * 64
+
+    def test_fingerprint_tracks_measurement_modules(self):
+        from repro.parallel.keys import measurement_fingerprint
+
+        assert checkpoint_fingerprint() == measurement_fingerprint()
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert dumps_canonical({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_digest_stable_across_parse_roundtrip(self, tmp_path):
+        from repro.checkpoint.format import payload_digest
+
+        payload = {"rng": {"state": {"state": 2**127 + 1}}, "f": 0.1 + 0.2}
+        assert payload_digest(json.loads(dumps_canonical(payload))) == payload_digest(payload)
+
+    def test_unserialisable_value_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            dumps_canonical({"x": object()})
+
+    def test_chmod_unreadable_reports_corrupt(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_checkpoint(path, {"x": 1})
+        path.unlink()
+        with pytest.raises(CheckpointCorrupt, match="cannot read"):
+            read_checkpoint_header(path)
+        assert not os.path.exists(path)

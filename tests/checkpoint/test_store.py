@@ -1,0 +1,133 @@
+"""CheckpointStore: rolling retention, corruption fallback, telemetry."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.checkpoint import CheckpointStore, write_checkpoint
+from repro.errors import ConfigurationError
+
+
+def corrupt(path) -> None:
+    """Truncate a snapshot so its payload digest no longer verifies."""
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 20])
+
+
+class TestRetention:
+    def test_keep_must_leave_a_fallback(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, keep=1)
+
+    def test_prunes_to_keep_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for round in (10, 20, 30, 40):
+            store.save(round, {"round": round})
+        assert [r for r, _ in store.snapshots()] == [40, 30]
+
+    def test_prune_clears_orphaned_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        (tmp_path / "ckpt-0000000005.json.tmp").write_text("dead write")
+        store.save(10, {"round": 10})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_snapshot_names_sort_numerically(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for round in (9, 100, 20):
+            store.save(round, {"round": round})
+        assert [r for r, _ in store.snapshots()] == [100, 20, 9]
+
+
+class TestRestore:
+    def test_empty_directory_restores_nothing(self, tmp_path):
+        assert CheckpointStore(tmp_path / "missing").load_latest() is None
+        assert CheckpointStore(tmp_path / "missing").latest_round() is None
+
+    def test_loads_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        store.save(20, {"round": 20}, meta={"phase": "measure"})
+        restored = store.load_latest()
+        assert restored.round == 20
+        assert restored.payload == {"round": 20}
+        assert restored.meta == {"phase": "measure"}
+        assert restored.reason == "resume"
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        store.save(20, {"round": 20})
+        corrupt(store.path_for(20))
+        restored = store.load_latest()
+        assert restored.round == 10
+        assert restored.skipped_corrupt == 1
+        assert restored.reason == "corrupt"
+
+    def test_incompatible_newest_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        write_checkpoint(store.path_for(20), {"round": 20}, fingerprint="0" * 64)
+        restored = store.load_latest()
+        assert restored.round == 10
+        assert restored.skipped_incompatible == 1
+        assert restored.reason == "fingerprint"
+
+    def test_all_snapshots_bad_restores_nothing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        store.save(20, {"round": 20})
+        corrupt(store.path_for(10))
+        corrupt(store.path_for(20))
+        assert store.load_latest() is None
+
+    def test_garbage_json_counts_as_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        store.path_for(20).write_text("{not json")
+        restored = store.load_latest()
+        assert restored.round == 10
+        assert restored.reason == "corrupt"
+
+
+class TestTelemetry:
+    def test_save_and_restore_metrics(self, tmp_path):
+        with telemetry.session() as tel:
+            store = CheckpointStore(tmp_path)
+            store.save(10, {"round": 10})
+            store.save(20, {"round": 20})
+            corrupt(store.path_for(20))
+            restored = store.load_latest()
+            assert restored.reason == "corrupt"
+            snapshot = tel.registry.snapshot()
+        restores = snapshot["restores_total"]["series"]
+        assert restores == [{"labels": {"reason": "corrupt"}, "value": 1.0}]
+        assert snapshot["checkpoint_write_seconds"]["series"][0]["count"] == 2
+        assert snapshot["checkpoint_bytes"]["series"][0]["count"] == 2
+        assert snapshot["checkpoint_bytes"]["series"][0]["min"] > 0
+
+    def test_quiet_peek_emits_nothing(self, tmp_path):
+        with telemetry.session() as tel:
+            store = CheckpointStore(tmp_path)
+            store.save(10, {"round": 10})
+            assert store.latest_round() == 10
+            snapshot = tel.registry.snapshot()
+        assert "restores_total" not in snapshot
+
+    def test_no_session_is_silent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"round": 10})
+        assert store.load_latest().round == 10
+
+
+class TestMetaRoundtrip:
+    def test_meta_not_covered_by_digest(self, tmp_path):
+        # meta is advisory; editing it must not poison the payload digest.
+        store = CheckpointStore(tmp_path)
+        path = store.save(10, {"round": 10}, meta={"phase": "burn_in"})
+        document = json.loads(path.read_text())
+        document["meta"]["phase"] = "edited"
+        path.write_text(json.dumps(document))
+        restored = store.load_latest()
+        assert restored.meta["phase"] == "edited"
+        assert restored.reason == "resume"

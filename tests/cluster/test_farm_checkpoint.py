@@ -1,0 +1,139 @@
+"""ServerFarm / Server checkpoint round-trips, including FIFO request ages
+and mid-outage FaultInjector masks."""
+
+import pytest
+
+from repro.checkpoint import read_checkpoint, write_checkpoint
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy
+from repro.cluster.server import Request, Server
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import CapacityDegradation, CrashBurst, FaultSchedule
+
+N_SERVERS = 16
+
+
+def make_farm(policy=None, rate=0.75, observers=()):
+    return ServerFarm(
+        num_servers=N_SERVERS,
+        capacity=2,
+        policy=policy if policy is not None else RandomPolicy(),
+        rate=rate,
+        rng=0,
+        observers=observers,
+    )
+
+
+def record_key(record):
+    return (
+        record.round,
+        record.arrivals,
+        record.thrown,
+        record.accepted,
+        record.deleted,
+        record.pool_size,
+        record.total_load,
+        record.max_load,
+        record.wait_values.tolist(),
+        record.wait_counts.tolist(),
+    )
+
+
+def run_ticks(farm, ticks):
+    return [record_key(farm.step()) for _ in range(ticks)]
+
+
+class TestFarmRoundTrip:
+    def test_restored_farm_continues_identically(self):
+        reference = make_farm()
+        run_ticks(reference, 30)
+        state = reference.get_state()
+        tail = run_ticks(reference, 20)
+
+        restored = make_farm()
+        restored.set_state(state)
+        assert run_ticks(restored, 20) == tail
+        assert restored.stats() == reference.stats()
+
+    def test_state_survives_checkpoint_serialisation(self, tmp_path):
+        # The state must survive the canonical-JSON checkpoint format, not
+        # just an in-memory dict hand-off (tuples→lists, numpy→plain ints).
+        reference = make_farm(policy=LeastLoadedPolicy(d=2))
+        run_ticks(reference, 25)
+        path = tmp_path / "farm.json"
+        write_checkpoint(path, reference.get_state())
+        tail = run_ticks(reference, 15)
+
+        restored = make_farm(policy=LeastLoadedPolicy(d=2))
+        restored.set_state(read_checkpoint(path)["payload"])
+        assert run_ticks(restored, 15) == tail
+
+    def test_request_ages_survive(self):
+        # A request queued at tick 3 and completed at tick T after a restore
+        # must still report latency T - 3: queue order and created_tick both
+        # come back from the snapshot.
+        server = Server(capacity=3)
+        server.admit([Request(created_tick=3, request_id=0),
+                      Request(created_tick=5, request_id=1)])
+        restored = Server(capacity=3)
+        restored.set_state(server.get_state())
+        assert restored.serve().latency(10) == 7
+        assert restored.serve().latency(10) == 5
+        assert restored.completed == 2
+
+    def test_mismatched_server_count_rejected(self):
+        farm = make_farm()
+        state = farm.get_state()
+        other = ServerFarm(num_servers=2 * N_SERVERS, capacity=2, policy=RandomPolicy(), rng=0)
+        with pytest.raises(ValueError, match="servers"):
+            other.set_state(state)
+
+
+class TestFaultMaskRoundTrip:
+    SCHEDULE = FaultSchedule(
+        events=(
+            CrashBurst(at_round=10, fraction=0.25, duration=25),
+            CapacityDegradation(at_round=15, duration=25, capacity=1, fraction=0.5),
+        ),
+        seed=7,
+    )
+
+    def test_mid_outage_snapshot_restores_masks(self):
+        # Snapshot at tick 20: inside both the crash window (10..35) and the
+        # degradation window (15..40). Down flags and degraded capacities
+        # live in the farm state; the injector state carries the schedule
+        # position (recovery rounds, pending capacity restorations, RNG).
+        injector = FaultInjector(self.SCHEDULE)
+        reference = make_farm(observers=[injector])
+        run_ticks(reference, 20)
+        assert injector.down_count > 0
+
+        farm_state = reference.get_state()
+        injector_state = injector.get_state()
+        tail = run_ticks(reference, 30)
+        assert injector.all_clear  # both windows closed by tick 50
+
+        resumed_injector = FaultInjector(self.SCHEDULE)
+        resumed_injector.set_state(injector_state)
+        restored = make_farm(observers=[resumed_injector])
+        restored.set_state(farm_state)
+
+        # The injector's view of who is down matches the snapshot.
+        assert resumed_injector.down_count == len(injector_state["down"])
+        assert run_ticks(restored, 30) == tail
+        assert resumed_injector.all_clear
+        assert resumed_injector.crashes == injector.crashes
+        assert resumed_injector.recoveries == injector.recoveries
+        assert resumed_injector.events_log == injector.events_log
+
+    def test_down_and_degraded_flags_in_server_state(self):
+        injector = FaultInjector(self.SCHEDULE)
+        farm = make_farm(observers=[injector])
+        run_ticks(farm, 16)  # past both event rounds
+
+        restored = make_farm()
+        restored.set_state(farm.get_state())
+        assert [s.down for s in restored.servers] == [s.down for s in farm.servers]
+        assert [s.capacity for s in restored.servers] == [s.capacity for s in farm.servers]
+        assert any(s.down for s in restored.servers)
+        assert any(s.capacity == 1 for s in restored.servers)

@@ -1,5 +1,6 @@
 """Unit tests for checkpoint/restore of the CAPPED process."""
 
+import numpy as np
 import pytest
 
 from repro.core.capped import CappedProcess
@@ -63,3 +64,33 @@ class TestCheckpointing:
         restored = CappedProcess(n=8, capacity=1, lam=0.5, rng=0)
         restored.set_state(snapshot)
         assert list(restored.pool.buckets()) == list(process.pool.buckets())
+
+
+class TestFaultedStateRoundtrip:
+    """Regression: snapshots taken inside a fault window must restore the
+    faulted state, not the constructed one."""
+
+    def test_degraded_capacity_survives_roundtrip(self):
+        # A snapshot mid-degradation used to restore the constructed
+        # capacity, silently resuming with the wrong free-slot budget.
+        process = CappedProcess(n=32, capacity=4, lam=0.75, rng=7)
+        run_and_record(process, 10)
+        process.bins.set_capacity(1, indices=np.arange(8))
+        run_and_record(process, 5)
+        original = process.bins.capacity_of(np.arange(32)).tolist()
+
+        restored = CappedProcess(n=32, capacity=4, lam=0.75, rng=0)
+        restored.set_state(process.get_state())
+        assert restored.bins.capacity_of(np.arange(32)).tolist() == original
+        assert run_and_record(restored, 20) == run_and_record(process, 20)
+
+    def test_down_mask_survives_roundtrip(self):
+        process = CappedProcess(n=32, capacity=2, lam=0.75, rng=8)
+        run_and_record(process, 10)
+        process.bins.set_down(np.asarray([1, 4, 9]))
+        run_and_record(process, 5)
+
+        restored = CappedProcess(n=32, capacity=2, lam=0.75, rng=0)
+        restored.set_state(process.get_state())
+        assert restored.bins.down.tolist() == process.bins.down.tolist()
+        assert run_and_record(restored, 20) == run_and_record(process, 20)

@@ -1,0 +1,168 @@
+"""Runner-level checkpointing and graceful shutdown.
+
+A task whose worker dies mid-simulation resumes from its latest snapshot
+instead of recomputing from round zero; SIGINT/SIGTERM stop the sweep at
+the next task boundary with everything durable for ``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.analysis.experiments import Profile, run_experiment
+from repro.errors import GracefulShutdown, SHUTDOWN_EXIT_CODE
+from repro.faults.chaos import CHAOS_ENV
+from repro.parallel import Journal
+from repro.parallel.runner import ExperimentRunner, run_experiments
+
+TINY = Profile(name="tiny", n=256, measure=30, replicates=2, seed=4242)
+
+
+def journal_entries(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestTaskResume:
+    def test_task_resumes_from_snapshot_after_mid_round_failure(
+        self, tmp_path, monkeypatch
+    ):
+        # Arm the round-scoped chaos hook: the first task dies (retryably)
+        # right after round 20 completes — after the round-20 snapshot was
+        # written. The retry must restore that snapshot, and the final
+        # numbers must match a never-interrupted serial run.
+        serial = run_experiment("fig4_left", TINY)
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            json.dumps(
+                {
+                    "action": "fail",
+                    "at_round": 20,
+                    "times": 1,
+                    "marker_dir": str(tmp_path / "markers"),
+                }
+            ),
+        )
+        cache_dir = tmp_path / "cache"
+        report = run_experiments(
+            ["fig4_left"],
+            profile=TINY,
+            jobs=1,
+            cache_dir=cache_dir,
+            retry_backoff=0,
+            checkpoint_every=10,
+        )
+        assert report.results[0].csv() == serial.csv()
+        assert report.tasks_retried == 1
+        assert report.tasks_quarantined == 0
+
+        # The retried task's journal entry records where it resumed from.
+        resumed = [
+            entry
+            for entry in journal_entries(cache_dir / "journal.jsonl")
+            if entry.get("provenance")
+        ]
+        assert len(resumed) == 1
+        assert resumed[0]["provenance"]["resumed_round"] == 20
+
+        # Outcomes are durable, so every per-task snapshot dir was removed.
+        checkpoints = cache_dir / "checkpoints"
+        assert not any(checkpoints.iterdir())
+
+    def test_checkpoint_config_does_not_change_task_digests(self, tmp_path):
+        # Checkpoint placement is runner plumbing: a checkpointed sweep and
+        # a plain sweep must share cache keys, so the second run here is
+        # served entirely from the first run's cache.
+        cache_dir = tmp_path / "cache"
+        first = run_experiments(
+            ["fig4_left"], profile=TINY, jobs=1, cache_dir=cache_dir,
+            checkpoint_every=10,
+        )
+        assert first.tasks_computed == 20
+        second = run_experiments(
+            ["fig4_left"], profile=TINY, jobs=1, cache_dir=cache_dir,
+        )
+        assert second.tasks_computed == 0
+        assert second.experiments_from_cache == 1
+
+
+class TestGracefulShutdown:
+    def _run_with_signal_after(self, tmp_path, monkeypatch, sig, calls_before):
+        import repro.parallel.runner as runner_module
+
+        journal_path = tmp_path / "journal.jsonl"
+        real_execute = runner_module.execute_task
+        calls = {"n": 0}
+
+        def signalling_execute(payload):
+            result = real_execute(payload)
+            calls["n"] += 1
+            if calls["n"] == calls_before:
+                os.kill(os.getpid(), sig)  # handled: sets the shutdown flag
+            return result
+
+        monkeypatch.setattr(runner_module, "execute_task", signalling_execute)
+        with pytest.raises(GracefulShutdown) as excinfo:
+            run_experiments(
+                ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path
+            )
+        return journal_path, calls["n"], excinfo.value
+
+    @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_stops_at_task_boundary(self, tmp_path, monkeypatch, sig):
+        journal_path, calls, err = self._run_with_signal_after(
+            tmp_path, monkeypatch, sig, calls_before=3
+        )
+        # The in-flight task finished and was journaled; nothing ran after.
+        assert calls == 3
+        assert err.signal_number == sig
+        assert "--resume" in str(err)
+        assert len(Journal.load(journal_path).tasks) == 3
+
+    def test_resume_completes_after_shutdown(self, tmp_path, monkeypatch):
+        serial = run_experiment("fig4_left", TINY)
+        journal_path, _, _ = self._run_with_signal_after(
+            tmp_path, monkeypatch, signal.SIGINT, calls_before=3
+        )
+        monkeypatch.undo()  # restore the real execute_task
+        report = run_experiments(
+            ["fig4_left"],
+            profile=TINY,
+            jobs=1,
+            journal_path=journal_path,
+            resume=True,
+        )
+        assert report.results[0].csv() == serial.csv()
+        assert report.tasks_from_journal == 3
+        assert report.tasks_computed == 17
+
+    def test_handlers_restored_after_run(self, tmp_path):
+        before = (signal.getsignal(signal.SIGINT), signal.getsignal(signal.SIGTERM))
+        runner = ExperimentRunner(profile=TINY, jobs=1)
+        runner.run(["drain_stages"])
+        after = (signal.getsignal(signal.SIGINT), signal.getsignal(signal.SIGTERM))
+        assert after == before
+
+    def test_cli_maps_shutdown_to_distinct_exit_code(self, monkeypatch):
+        import io
+
+        from repro.cli import main
+
+        def interrupted_run(ids, **kwargs):
+            raise GracefulShutdown("received SIGINT", signal_number=signal.SIGINT)
+
+        monkeypatch.setattr("repro.parallel.run_experiments", interrupted_run)
+        out = io.StringIO()
+        code = main(
+            [
+                "experiments", "--id", "dominance", "--profile", "quick",
+                "--jobs", "2", "--no-progress",
+            ],
+            out=out,
+        )
+        assert code == SHUTDOWN_EXIT_CODE
+        assert code not in (0, 1, 2, 3, 130, 143)
+        assert "interrupted" in out.getvalue()
