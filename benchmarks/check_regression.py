@@ -1,0 +1,164 @@
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+CI regenerates the benchmark artifact on every push (the ``bench`` job)
+and then runs this script. The comparison deliberately uses only
+**machine-independent ratios** — fused-over-legacy speedups measured on
+the *same* run of the *same* machine — so a slower CI runner does not
+trip the gate, but a genuinely slower kernel does:
+
+* every ``grid`` cell's ``fused_over_legacy`` ratio,
+* the flagship ``kernel_phase.speedup`` (acceptance phase only), and
+* the whole-round ``general_c.speedup`` at the c=4 cell.
+
+Absolute rounds/sec numbers and the ``scaling`` rows (which depend on
+the runner's core count) are reported for context but never gated.
+
+A cell fails when ``current < THRESHOLD * baseline`` (default 0.85x,
+override with ``--threshold``). Refresh the baseline by copying a
+freshly generated default-profile artifact over it::
+
+    REPRO_BENCH_PROFILE=default python -m pytest benchmarks/test_kernel_speed.py \
+        --bench-json BENCH_engine.json
+    cp BENCH_engine.json benchmarks/baseline.json
+
+Exit status: 0 when every gated ratio holds, 1 on regression, 2 on a
+malformed or incomparable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_THRESHOLD = 0.85
+
+
+def _grid_index(rows):
+    index = {}
+    for row in rows:
+        index[(row["n"], row["c"], row["lam"])] = row
+    return index
+
+
+def collect_checks(baseline: dict, current: dict) -> list[dict]:
+    """Yield one comparison record per gated ratio.
+
+    Each record carries the baseline and current values plus a ``ratio``
+    of current over baseline; callers decide the pass threshold.
+    """
+    checks = []
+
+    base_grid = _grid_index(baseline.get("grid", []))
+    cur_grid = _grid_index(current.get("grid", []))
+    for key in sorted(base_grid):
+        if key not in cur_grid:
+            # A removed cell is a comparability error, not a regression:
+            # fail loudly so the baseline gets refreshed alongside the
+            # grid change instead of silently shrinking coverage.
+            checks.append(
+                {
+                    "name": f"grid n={key[0]} c={key[1]} lam={key[2]}",
+                    "error": "cell missing from current artifact",
+                }
+            )
+            continue
+        base = base_grid[key]["fused_over_legacy"]
+        cur = cur_grid[key]["fused_over_legacy"]
+        checks.append(
+            {
+                "name": f"grid n={key[0]} c={key[1]} lam={key[2]}",
+                "baseline": base,
+                "current": cur,
+                "ratio": cur / base,
+            }
+        )
+
+    for section, field in (("kernel_phase", "speedup"), ("general_c", "speedup")):
+        base_sec = baseline.get(section)
+        cur_sec = current.get(section)
+        if not base_sec:
+            continue  # baseline predates the section; nothing to gate
+        if not cur_sec:
+            checks.append({"name": section, "error": "section missing from current artifact"})
+            continue
+        checks.append(
+            {
+                "name": section,
+                "baseline": base_sec[field],
+                "current": cur_sec[field],
+                "ratio": cur_sec[field] / base_sec[field],
+            }
+        )
+
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark speedup ratios against the committed baseline."
+    )
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_engine.json")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed reference artifact (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail when current/baseline drops below this (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_regression: cannot read artifacts: {exc}", file=sys.stderr)
+        return 2
+
+    checks = collect_checks(baseline, current)
+    if not checks:
+        print("check_regression: no comparable ratios found", file=sys.stderr)
+        return 2
+
+    errors = [c for c in checks if "error" in c]
+    failures = [c for c in checks if "ratio" in c and c["ratio"] < args.threshold]
+
+    width = max(len(c["name"]) for c in checks)
+    print(f"{'cell':<{width}}  {'baseline':>8}  {'current':>8}  {'ratio':>6}  status")
+    for c in checks:
+        if "error" in c:
+            print(f"{c['name']:<{width}}  {'-':>8}  {'-':>8}  {'-':>6}  ERROR: {c['error']}")
+            continue
+        status = "FAIL" if c["ratio"] < args.threshold else "ok"
+        print(
+            f"{c['name']:<{width}}  {c['baseline']:>7.2f}x  {c['current']:>7.2f}x"
+            f"  {c['ratio']:>5.2f}x  {status}"
+        )
+
+    if errors:
+        print(
+            f"\ncheck_regression: {len(errors)} cell(s) not comparable — regenerate "
+            "the baseline when changing the benchmark grid.",
+            file=sys.stderr,
+        )
+        return 2
+    if failures:
+        print(
+            f"\ncheck_regression: {len(failures)} ratio(s) below "
+            f"{args.threshold:.2f}x of baseline.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\ncheck_regression: all {len(checks)} ratios within {args.threshold:.2f}x.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,9 +16,7 @@ def test_ablation_aging(benchmark, profile_name):
     assert result.all_checks_pass
 
     def row(order, exp):
-        return next(
-            r for r in result.rows if r["order"] == order and r["lambda_exp"] == exp
-        )
+        return next(r for r in result.rows if r["order"] == order and r["lambda_exp"] == exp)
 
     for exp in sorted({r["lambda_exp"] for r in result.rows}):
         oldest, youngest = row("oldest", exp), row("youngest", exp)

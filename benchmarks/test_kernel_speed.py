@@ -27,19 +27,17 @@ import time
 import numpy as np
 import pytest
 
+import os
+
 from repro.core.capped import CappedProcess
 from repro.core.meanfield import equilibrium
 from repro.kernels import BatchedCappedProcess
+from repro.kernels.sharded import ShardedCappedProcess
 from repro.rng import RngFactory
 
 pytestmark = pytest.mark.bench
 
-GRID = [
-    (n, c, lam)
-    for n in (2**12, 2**15)
-    for c in (1, 4)
-    for lam in (0.7, 0.95, 0.99)
-]
+GRID = [(n, c, lam) for n in (2**12, 2**15) for c in (1, 2, 4, 8) for lam in (0.7, 0.95, 0.99)]
 
 
 def _lam_eff(n: int, lam: float) -> float:
@@ -118,6 +116,107 @@ def test_engine_rounds_per_sec(benchmark, bench_json, profile_name, n, c, lam):
     )
 
 
+def test_general_c_speedup_gate(benchmark, bench_json, profile_name):
+    """Whole-round fused/legacy ratio at the general-c cell (n=2^12, c=4).
+
+    Interleaved best-of measurement: alternate short legacy/fused blocks
+    and take the best (minimum) per-round time of each across all blocks.
+    Ambient load inflates both sides of a pair together, so the ratio of
+    bests is far more stable than one long timing of each — the same
+    drift-cancelling idea as the flagship kernel-phase gate, but over
+    *whole rounds* (RNG draw + acceptance + deletion), which is what the
+    sweep actually pays.
+    """
+    n, c, lam = 2**12, 4, 0.99
+    quick = profile_name == "quick"
+    blocks, rounds = (5, 60) if quick else (9, 120)
+
+    legacy = _warm_process(n, c, lam, "legacy", warm=80)
+    fused = _warm_process(n, c, lam, "fused", warm=80)
+
+    def best_block(process):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            process.step()
+        return (time.perf_counter() - start) / rounds
+
+    legacy_best = min(best_block(legacy) for _ in range(blocks))
+    fused_best = benchmark.pedantic(
+        lambda: min(best_block(fused) for _ in range(blocks)), rounds=1, iterations=1
+    )
+    speedup = legacy_best / fused_best
+    print(
+        f"\ngeneral-c gate (n={n}, c={c}, lam={lam}): "
+        f"legacy {legacy_best * 1e6:.0f} us/round, fused {fused_best * 1e6:.0f} us/round, "
+        f"speedup {speedup:.2f}x"
+    )
+    bench_json["general_c"] = {
+        "n": n,
+        "c": c,
+        "lam": lam,
+        "blocks": blocks,
+        "rounds_per_block": rounds,
+        "legacy_us_per_round": legacy_best * 1e6,
+        "fused_us_per_round": fused_best * 1e6,
+        "speedup": speedup,
+    }
+    # The serial whole-round kernel lands ~2.6-2.8x end-to-end at this
+    # cell on an unloaded core (see the README performance table); the
+    # gate sits below that so only a real kernel regression fails CI, not
+    # runner contention.
+    assert speedup >= (2.0 if quick else 2.3)
+
+
+def test_sharded_scaling(bench_json, profile_name):
+    """Shard-scaling rows at large n: one simulation across worker processes.
+
+    ``shards=1`` is the single-process fused engine; ``shards>=2`` run the
+    shared-memory process backend. Speedup over the 1-shard row requires
+    real cores — the row records ``cpus`` so the artifact is
+    interpretable on any runner, and the scaling assertion only arms on
+    multicore machines (single-core boxes pay the IPC barriers with
+    nothing to parallelise onto).
+    """
+    n = 2**18 if profile_name == "quick" else 2**20
+    c, lam = 4, 0.95
+    rounds = 4 if profile_name == "quick" else 8
+    warm = 3 if profile_name == "quick" else 6
+    lam_eff = _lam_eff(n, lam)
+    initial_pool = equilibrium(c, lam_eff).pool_size(n)
+    cpus = os.cpu_count() or 1
+
+    rows = []
+    baseline = _warm_process(n, c, lam, "fused", warm=warm)
+    rps = _rounds_per_sec(baseline.step, rounds)
+    rows.append({"shards": 1, "rounds_per_sec": rps, "backend": "fused"})
+    for shards in (2, 4):
+        with ShardedCappedProcess(
+            n=n,
+            capacity=c,
+            lam=lam_eff,
+            seed=0,
+            shards=shards,
+            backend="process",
+            initial_pool=initial_pool,
+        ) as engine:
+            for _ in range(warm):
+                engine.step()
+            rps = _rounds_per_sec(engine.step, rounds)
+        rows.append({"shards": shards, "rounds_per_sec": rps, "backend": "process"})
+
+    print(f"\nshard scaling (n={n}, c={c}, lam={lam}, cpus={cpus}):")
+    for row in rows:
+        print(f"  shards={row['shards']}: {row['rounds_per_sec']:.2f} rounds/s")
+    bench_json["scaling"] = {"n": n, "c": c, "lam": lam, "cpus": cpus, "rows": rows}
+
+    by_shards = {row["shards"]: row["rounds_per_sec"] for row in rows}
+    # Sanity on any machine: the worker barriers must not eat the round.
+    assert by_shards[2] > 0.2 * by_shards[1]
+    if cpus >= 2:
+        # Real cores available: sharding must beat the single process.
+        assert by_shards[max(s for s in by_shards if s <= cpus)] > by_shards[1]
+
+
 def test_kernel_phase_speedup_flagship(benchmark, bench_json, profile_name):
     """Acceptance-phase fused/legacy ratio at n=2^15, λ=0.99, c=1.
 
@@ -172,9 +271,7 @@ def test_kernel_phase_speedup_flagship(benchmark, bench_json, profile_name):
     fused_ms = statistics.median(fused_times) * 1e3
     speedup = statistics.median(ratios)
     restore(fused)
-    benchmark.pedantic(
-        lambda: fused._resolve_fused(t, thrown, choices), rounds=1, iterations=1
-    )
+    benchmark.pedantic(lambda: fused._resolve_fused(t, thrown, choices), rounds=1, iterations=1)
 
     print(
         f"\nkernel phase (n={n}, c={c}, lam={lam}): "

@@ -48,7 +48,9 @@ def main() -> None:
     for exponent in (4, 6, 8, 10):
         lam = 1 - 2**-exponent
         rounds = fluid.relaxation_rounds(C, lam)
-        print(f"  lambda = 1-2^-{exponent:<2d}: {rounds:5d} rounds   (1/(1-lambda) = {2**exponent})")
+        print(
+            f"  lambda = 1-2^-{exponent:<2d}: {rounds:5d} rounds   (1/(1-lambda) = {2**exponent})"
+        )
     print()
     print(
         "The linear scaling in 1/(1-lambda) is why the library warm-starts\n"

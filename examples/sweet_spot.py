@@ -37,7 +37,12 @@ def main(lambda_exponent: int = 10) -> None:
             }
         )
 
-    print(format_table(rows, title=f"waiting time vs capacity (lambda = 1 - 2^-{lambda_exponent}, n = {N})"))
+    print(
+        format_table(
+            rows,
+            title=f"waiting time vs capacity (lambda = 1 - 2^-{lambda_exponent}, n = {N})",
+        )
+    )
     print()
     print(
         ascii_plot(

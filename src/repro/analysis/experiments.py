@@ -120,9 +120,7 @@ def _lam_from_exponent(i: int, profile: Profile, notes: list[str]) -> tuple[floa
     """λ = 1 − 2^{−i}, clamped to the profile's feasible range."""
     clamped = min(i, profile.max_lambda_exponent)
     if clamped != i:
-        notes.append(
-            f"lambda exponent {i} infeasible at n={profile.n}; substituted {clamped}"
-        )
+        notes.append(f"lambda exponent {i} infeasible at n={profile.n}; substituted {clamped}")
     return 1.0 - 2.0**-clamped, clamped
 
 
@@ -365,8 +363,14 @@ def theory_bounds(profile: Profile) -> ExperimentResult:
         title="Theorem 1/2 bounds vs measurement",
         profile=profile.name,
         columns=[
-            "c", "lambda_exp", "peak_pool/n", "thm_pool/n", "pool_ratio",
-            "max_wait", "thm_wait", "wait_ratio",
+            "c",
+            "lambda_exp",
+            "peak_pool/n",
+            "thm_pool/n",
+            "pool_ratio",
+            "max_wait",
+            "thm_wait",
+            "wait_ratio",
         ],
     )
     for c in (1, 2, 4):
@@ -643,9 +647,7 @@ def ablation_dchoice(profile: Profile) -> ExperimentResult:
 
     gain_c1 = avg(1, 1) - avg(1, 2)
     gain_c3 = avg(3, 1) - avg(3, 2)
-    result.notes.append(
-        f"second-choice gain: {gain_c1:.2f} rounds at c=1, {gain_c3:.2f} at c=3"
-    )
+    result.notes.append(f"second-choice gain: {gain_c1:.2f} rounds at c=1, {gain_c3:.2f} at c=3")
     # At c=1 bins start every round empty, so the probe sees no load
     # signal: the gain is pure noise around zero (the APPROX'12 effect).
     result.verdicts["second choice is signal-free at c=1"] = abs(gain_c1) < 0.3
@@ -676,7 +678,9 @@ def ablation_aging(profile: Profile) -> ExperimentResult:
         experiment_id="ablation_aging",
         title="Ablation: oldest-first vs youngest-first acceptance",
         profile=profile.name,
-        columns=["order", "lambda_exp", "avg_wait", "p99_wait", "max_wait", "peak_pool_age", "pool/n"],
+        columns=[
+            "order", "lambda_exp", "avg_wait", "p99_wait", "max_wait", "peak_pool_age", "pool/n"
+        ],
     )
     stats: dict[tuple[str, int], dict] = {}
     for exponent in (4, 8):
@@ -715,8 +719,7 @@ def ablation_aging(profile: Profile) -> ExperimentResult:
         for e in exps
     )
     result.verdicts["youngest-first starves the tail (max wait >= 3x)"] = all(
-        stats[("youngest", e)]["max_wait"] >= 3 * stats[("oldest", e)]["max_wait"]
-        for e in exps
+        stats[("youngest", e)]["max_wait"] >= 3 * stats[("oldest", e)]["max_wait"] for e in exps
     )
     return result
 
@@ -816,8 +819,14 @@ def drain_stages(profile: Profile) -> ExperimentResult:
         title="Lemma 3-5 drain stages (spike of 6n balls, no arrivals)",
         profile=profile.name,
         columns=[
-            "c", "stage1_rounds", "lemma3_bound", "stage2_rounds", "lemma4_bound",
-            "stage3_rounds", "lemma5_scale", "flush_rounds",
+            "c",
+            "stage1_rounds",
+            "lemma3_bound",
+            "stage2_rounds",
+            "lemma4_bound",
+            "stage3_rounds",
+            "lemma5_scale",
+            "flush_rounds",
         ],
     )
     n = profile.n
@@ -976,8 +985,13 @@ def fault_recovery(profile: Profile) -> ExperimentResult:
         title="Fault injection: recovery of pool size and p99 wait (CAPPED, c=2)",
         profile=profile.name,
         columns=[
-            "fault", "lambda_exp", "c", "duration",
-            "peak_pool/n", "pool_recovery", "p99_recovery",
+            "fault",
+            "lambda_exp",
+            "c",
+            "duration",
+            "peak_pool/n",
+            "pool_recovery",
+            "p99_recovery",
         ],
     )
     n, c = profile.n, 2
@@ -996,10 +1010,7 @@ def fault_recovery(profile: Profile) -> ExperimentResult:
         warm = mf_equilibrium(c, lam).pool_size(n)
         burn = default_burn_in(n, c, lam, warm_start=True)
         drain = max(1.0 - lam, 1e-6)
-        eq_gap = (
-            mf_equilibrium(1, lam).normalized_pool
-            - mf_equilibrium(c, lam).normalized_pool
-        )
+        eq_gap = mf_equilibrium(1, lam).normalized_pool - mf_equilibrium(c, lam).normalized_pool
         faults = {
             "crash_burst": (
                 20,
@@ -1010,15 +1021,11 @@ def fault_recovery(profile: Profile) -> ExperimentResult:
             ),
             "capacity_degradation": (
                 40,
-                lambda at: CapacityDegradation(
-                    at_round=at, duration=40, capacity=1, fraction=1.0
-                ),
+                lambda at: CapacityDegradation(at_round=at, duration=40, capacity=1, fraction=1.0),
                 max(0.5, min(1.0, 40 * drain) * eq_gap),
             ),
         }
-        for fault_index, (fault_name, (duration, make_event, backlog)) in enumerate(
-            faults.items()
-        ):
+        for fault_index, (fault_name, (duration, make_event, backlog)) in enumerate(faults.items()):
             fault_round = burn + pre
             post = max(300, int(4.0 * backlog / drain) + 150)
             schedule = FaultSchedule(
@@ -1061,28 +1068,18 @@ def fault_recovery(profile: Profile) -> ExperimentResult:
                 "c": c,
                 "duration": duration,
                 "peak_pool/n": round(pool_rec.peak_value / n, 4),
-                "pool_recovery": (
-                    pool_rec.recovery_rounds if pool_rec.recovered else -1
-                ),
-                "p99_recovery": (
-                    p99_rec.recovery_rounds if p99_rec.recovered else -1
-                ),
+                "pool_recovery": (pool_rec.recovery_rounds if pool_rec.recovered else -1),
+                "p99_recovery": (p99_rec.recovery_rounds if p99_rec.recovered else -1),
             }
             result.rows.append(row)
             recoveries[(fault_name, used_exp)] = row
     result.verdicts["pool recovers from a crash burst"] = all(
-        row["pool_recovery"] >= 0
-        for row in result.rows
-        if row["fault"] == "crash_burst"
+        row["pool_recovery"] >= 0 for row in result.rows if row["fault"] == "crash_burst"
     )
     result.verdicts["pool recovers from capacity degradation"] = all(
-        row["pool_recovery"] >= 0
-        for row in result.rows
-        if row["fault"] == "capacity_degradation"
+        row["pool_recovery"] >= 0 for row in result.rows if row["fault"] == "capacity_degradation"
     )
-    result.verdicts["p99 wait recovers"] = all(
-        row["p99_recovery"] >= 0 for row in result.rows
-    )
+    result.verdicts["p99 wait recovers"] = all(row["p99_recovery"] >= 0 for row in result.rows)
     exps = sorted({row["lambda_exp"] for row in result.rows})
     if len(exps) == 2:
         low, high = exps
@@ -1126,8 +1123,6 @@ def run_experiment(experiment_id: str, profile: str | Profile = "default") -> Ex
     """Run one experiment under a named or explicit profile."""
     if isinstance(profile, str):
         if profile not in PROFILES:
-            raise ExperimentError(
-                f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
-            )
+            raise ExperimentError(f"unknown profile {profile!r}; available: {sorted(PROFILES)}")
         profile = PROFILES[profile]
     return get_experiment(experiment_id)(profile)

@@ -66,11 +66,7 @@ def ascii_plot(
     for row in canvas:
         lines.append("|" + "".join(row))
     lines.append("+" + "-" * width)
-    lines.append(
-        f"  {x_label}: [{x_min:.4g}, {x_max:.4g}]   {y_label}: [{y_min:.4g}, {y_max:.4g}]"
-    )
-    legend = "   ".join(
-        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
-    )
+    lines.append(f"  {x_label}: [{x_min:.4g}, {x_max:.4g}]   {y_label}: [{y_min:.4g}, {y_max:.4g}]")
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series))
     lines.append("  " + legend)
     return "\n".join(lines)

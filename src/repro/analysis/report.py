@@ -102,5 +102,7 @@ def write_report(
     """Write :func:`render_markdown` output to ``path`` (parents created)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_markdown(results, title=title, include_plots=include_plots), encoding="utf-8")
+    path.write_text(
+        render_markdown(results, title=title, include_plots=include_plots), encoding="utf-8"
+    )
     return path

@@ -31,7 +31,7 @@ from repro.core.capped import CappedProcess
 from repro.core.meanfield import equilibrium
 from repro.engine.driver import SimulationDriver, SimulationResult
 from repro.engine.stability import default_burn_in
-from repro.errors import ParallelExecutionError
+from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.kernels.batched import BatchedCappedProcess
 from repro.parallel.context import active_context
 from repro.processes.greedy import GreedyBatchProcess
@@ -173,9 +173,7 @@ def aggregate_point(
         wait_p99=max(o.wait_p99 for o in outcomes),
         peak_pool=max(o.peak_pool for o in outcomes),
         peak_max_load=max(o.peak_max_load for o in outcomes),
-        stationary_fraction=(
-            float(np.mean(stationary_flags)) if stationary_flags else 1.0
-        ),
+        stationary_fraction=(float(np.mean(stationary_flags)) if stationary_flags else 1.0),
     )
 
 
@@ -190,6 +188,7 @@ def run_capped_replicate(
     burn_in: int,
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
+    shards: int = 1,
 ) -> ReplicateOutcome:
     """Run one CAPPED replicate (independently of every other replicate).
 
@@ -199,6 +198,14 @@ def run_capped_replicate(
     Checkpoint configuration never changes the outcome (resume is
     bit-identical) and is deliberately *not* part of the measurement
     parameters the parallel runner hashes.
+
+    ``shards > 1`` simulates the replicate on a
+    :class:`~repro.kernels.sharded.ShardedCappedProcess` with persistent
+    worker processes — one simulation spread over the machine's cores.
+    Shard ``s`` then draws from ``factory.child(replicate).child(s)``, so
+    the trajectory is a different (equally valid) sample of the same
+    process than the unsharded stream; ``shards`` is therefore part of
+    the measurement parameters, unlike checkpoint placement.
     """
     factory = RngFactory(seed=seed)
     effective_warm = warm_start and c is not None and lam > 0
@@ -209,6 +216,21 @@ def run_capped_replicate(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
     )
+    if shards > 1:
+        if c is None:
+            raise ConfigurationError("shards > 1 requires a finite capacity c")
+        from repro.kernels.sharded import ShardedCappedProcess
+
+        with ShardedCappedProcess(
+            n=n,
+            capacity=c,
+            lam=lam,
+            seed=factory.child(replicate),
+            shards=shards,
+            backend="process",
+            initial_pool=initial_pool,
+        ) as process:
+            return ReplicateOutcome.from_result(driver.run(process))
     process = CappedProcess(
         n=n,
         capacity=c,
@@ -367,6 +389,7 @@ def measure_capped(
     batch_replicates: bool = False,
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
+    shards: int = 1,
 ) -> PointResult:
     """Measure CAPPED(c, λ) at one parameter point.
 
@@ -391,11 +414,22 @@ def measure_capped(
     replicate (subdirectory ``rep-<r>``; the batched engine uses
     ``batched``) every ``checkpoint_every`` rounds. Checkpoint settings
     never alter results and are not part of the measurement parameters.
+
+    ``shards > 1`` runs every replicate on the multicore sharded engine
+    (see :func:`run_capped_replicate`); incompatible with
+    ``batch_replicates``. Because the shard substreams realise a
+    different sample than the unsharded stream, ``shards`` *is* a
+    measurement parameter — it joins the params dict (and hence the
+    parallel runner's task digests) whenever it differs from 1, while
+    ``shards=1`` keeps historical digests unchanged.
     """
     effective_warm = warm_start and c is not None and lam > 0
     if burn_in is None:
-        burn_in = default_burn_in(
-            n, c if c is not None else 1, lam, warm_start=effective_warm
+        burn_in = default_burn_in(n, c if c is not None else 1, lam, warm_start=effective_warm)
+    if shards > 1 and batch_replicates:
+        raise ConfigurationError(
+            "shards and batch_replicates both fuse work per round; pick one "
+            "(shards parallelises one simulation, batch_replicates fuses many)"
         )
     params = {
         "n": n,
@@ -406,6 +440,8 @@ def measure_capped(
         "warm_start": warm_start,
         "burn_in": burn_in,
     }
+    if shards != 1:
+        params["shards"] = shards
     context = active_context()
     if context is not None:
         return context.measure("capped", params, replicates)

@@ -35,9 +35,7 @@ def format_table(
     if columns is None:
         columns = list(rows[0].keys())
     rendered = [[_render(row.get(col, "")) for col in columns] for row in rows]
-    widths = [
-        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
-    ]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
     out = io.StringIO()
     if title:
         out.write(title + "\n")

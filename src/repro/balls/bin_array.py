@@ -58,6 +58,9 @@ class BinArray:
         "_any_down",
         "_capacity_high_water",
         "_free",
+        "_free_dirty",
+        "_hist_cache",
+        "_maybe_overcap",
         "_peak_load",
         "_total_accepted",
         "_total_deleted",
@@ -95,6 +98,12 @@ class BinArray:
             self._capacity_high_water = capacity.copy()
         # Incremental free-slots cache (see free_slots). For unbounded
         # arrays it is a constant sentinel vector.
+        self._free_dirty = False
+        self._maybe_overcap = False
+        # Load histogram carried between serial-kernel rounds (see
+        # cached_load_hist); any loads mutation outside commit_round
+        # drops it.
+        self._hist_cache = None
         if capacity is None:
             self._free = np.full(n, 2**62, dtype=np.int64)
         else:
@@ -117,11 +126,13 @@ class BinArray:
             if self._free is None:
                 self._free = np.empty(self.n, dtype=np.int64)
             self._free.fill(2**62)
+            self._free_dirty = False
             return
         if self._free is None:
             self._free = np.empty(self.n, dtype=np.int64)
         np.subtract(self.capacity, self.loads, out=self._free)
         np.maximum(self._free, 0, out=self._free)
+        self._free_dirty = False
 
     @property
     def peak_load(self) -> int:
@@ -158,9 +169,13 @@ class BinArray:
 
         The returned array is an incrementally-maintained cache — **treat
         it as read-only**. On the fault-free path no recomputation or
-        allocation happens per call; only while bins are down is a masked
-        copy returned.
+        allocation happens per call (the serial-kernel commit marks the
+        cache dirty instead of refreshing it, so a consumer that never
+        asks never pays); only while bins are down is a masked copy
+        returned.
         """
+        if self._free_dirty:
+            self._refresh_free()
         if self._any_down:
             free = self._free.copy()
             free[self.down] = 0
@@ -184,6 +199,7 @@ class BinArray:
         if requests.shape != (self.n,):
             raise ValueError(f"requests must have shape ({self.n},), got {requests.shape}")
         accepted = np.minimum(requests, self.free_slots())
+        self._hist_cache = None
         self.loads += accepted
         accepted_total = int(accepted.sum())
         if self.capacity is not None:
@@ -210,6 +226,9 @@ class BinArray:
         :meth:`check_invariants` still verifies the resulting cache.
         Returns the total committed.
         """
+        if self.capacity is not None and self._free_dirty:
+            self._refresh_free()
+        self._hist_cache = None
         self.loads += accepted
         accepted_total = int(accepted.sum()) if total is None else total
         if self.capacity is not None:
@@ -231,19 +250,93 @@ class BinArray:
         attempts in the paper's terminology). Down bins are frozen: their
         queues neither grow nor drain.
         """
-        nonempty = self.loads > 0
+        self._hist_cache = None
         if self._any_down:
-            nonempty &= ~self.down
-        deleted = int(np.count_nonzero(nonempty))
-        self.loads[nonempty] -= 1
+            nonempty = (self.loads > 0) & ~self.down
+            deleted = int(np.count_nonzero(nonempty))
+            np.subtract(self.loads, nonempty, out=self.loads)
+        else:
+            # Fault-free fast path: max(ℓ − 1, 0) is subtract-one-from-
+            # each-non-empty without a boolean mask or a fancy-index write.
+            deleted = int(np.count_nonzero(self.loads))
+            np.subtract(self.loads, 1, out=self.loads)
+            np.maximum(self.loads, 0, out=self.loads)
         if self.capacity is not None:
             # In-place cache refresh: a plain +1 would be wrong for bins
             # left over capacity by a degradation (their free stays 0).
             np.subtract(self.capacity, self.loads, out=self._free)
             np.maximum(self._free, 0, out=self._free)
+        self._free_dirty = False
         self._total_deleted += deleted
         self._total_load -= deleted
         return deleted
+
+    def serial_round_limit(self, allow_unit_capacity: bool = False):
+        """Eligibility + parameters for the whole-round serial kernel.
+
+        Returns ``(capacity_limit, hist_size)`` when this array can be
+        driven by :func:`repro.kernels.round.resolve_capped_round_serial`
+        — finite capacities, no down bins — or ``None`` when the caller
+        must take the general path (unbounded bins, frozen down bins, or
+        shared capacity 1 where the unit-take kernel is leaner).
+        ``capacity_limit`` is the per-bin load ceiling ``max(capacity,
+        load)``: a plain int for the common shared-capacity case (so the
+        kernel clips against a scalar), an array only after a capacity
+        degradation may have left bins over their cap.
+
+        ``allow_unit_capacity=True`` keeps shared ``c = 1`` eligible: the
+        sharded engine partitions the serial kernel across bin ranges and
+        has no unit-take alternative, whereas the single-process caller
+        prefers the leaner unit-take path there.
+        """
+        if self.capacity is None or self._any_down:
+            return None
+        if np.isscalar(self.capacity):
+            if self.capacity == 1 and not allow_unit_capacity:
+                return None
+            if self._maybe_overcap and self._peak_load > self.capacity:
+                limit = np.maximum(self.capacity, self.loads)
+                return limit, self._peak_load + 1
+            return int(self.capacity), int(self.capacity) + 1
+        if self._maybe_overcap:
+            limit = np.maximum(self.capacity, self.loads)
+            return limit, max(int(self.capacity.max()), self._peak_load) + 1
+        return self.capacity, int(self.capacity.max()) + 1
+
+    def commit_round(self, resolved) -> None:
+        """Install a :class:`~repro.kernels.round.SerialRound` outcome.
+
+        The serial kernel owns its ``new_loads`` array (loads after
+        acceptance *and* the FIFO deletion), so committing is a reference
+        swap plus counter updates — no O(n) pass. The free-slots cache is
+        only marked dirty: :meth:`free_slots` recomputes on the next read,
+        and a consumer that never asks never pays.
+        """
+        self.loads = resolved.new_loads
+        self._free_dirty = True
+        self._hist_cache = resolved.next_hist
+        self._total_accepted += resolved.accepted_total
+        self._total_deleted += resolved.deleted
+        self._total_load += resolved.accepted_total - resolved.deleted
+        if resolved.peak_load > self._peak_load:
+            self._peak_load = resolved.peak_load
+
+    def cached_load_hist(self, hist_size: int):
+        """Load histogram carried over from the previous serial round.
+
+        ``commit_round`` stores the kernel's O(hist_size) post-deletion
+        shift of its own histogram; while no other operation touches the
+        loads, it *is* ``bincount(loads, minlength=hist_size)`` and the
+        next round can skip that opening O(n) pass. Returns ``None``
+        (recompute) whenever any other mutation intervened or the
+        histogram width changed. The caller consumes the cache — the
+        kernel mutates it — so it is handed out exactly once.
+        """
+        hist = self._hist_cache
+        if hist is None or len(hist) != hist_size:
+            return None
+        self._hist_cache = None
+        return hist
 
     def set_down(self, indices, wipe: bool = False) -> int:
         """Mark bins as down (crashed). Returns the number of balls wiped.
@@ -254,6 +347,7 @@ class BinArray:
         account for the loss.
         """
         indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        self._hist_cache = None
         wiped = 0
         if wipe and indices.size:
             wiped = int(self.loads[indices].sum())
@@ -324,11 +418,13 @@ class BinArray:
             if np.isscalar(self.capacity):
                 self.capacity = np.full(self.n, self.capacity, dtype=np.int64)
             self.capacity[indices] = values
+        # A degradation may leave bins over their new (smaller) capacity;
+        # from here on the serial-kernel eligibility check must clip
+        # against max(capacity, load) rather than capacity alone.
+        self._maybe_overcap = True
         # Update the high-water mark (unbounded never returns to bounded here).
         if self._capacity_high_water is not None:
-            np.maximum(
-                self._capacity_high_water, self.capacity, out=self._capacity_high_water
-            )
+            np.maximum(self._capacity_high_water, self.capacity, out=self._capacity_high_water)
         self._refresh_free()
 
     def capacity_of(self, indices) -> np.ndarray:
@@ -344,6 +440,7 @@ class BinArray:
         """Empty all bins."""
         self.loads[:] = 0
         self._total_load = 0
+        self._hist_cache = None
         self._refresh_free()
 
     def get_state(self) -> dict:
@@ -400,6 +497,10 @@ class BinArray:
         self._total_accepted = int(state["total_accepted"])
         self._total_deleted = int(state["total_deleted"])
         self._total_load = int(self.loads.sum())
+        # A restored snapshot may predate or follow a degradation; assume
+        # loads can exceed capacity until proven otherwise.
+        self._maybe_overcap = True
+        self._hist_cache = None
         self._refresh_free()
         self.check_invariants()
 
@@ -417,15 +518,19 @@ class BinArray:
             raise InvariantViolation(
                 f"total-load counter {self._total_load} != actual {int(self.loads.sum())}"
             )
+        if self._free_dirty:
+            self._refresh_free()
         if self.capacity is None:
             expected_free = np.full(self.n, 2**62, dtype=np.int64)
         else:
             expected_free = np.maximum(self.capacity - self.loads, 0)
         if not np.array_equal(self._free, expected_free):
             raise InvariantViolation("free-slots cache out of sync with loads")
-        if self._capacity_high_water is not None and np.any(
-            self.loads > self._capacity_high_water
-        ):
+        if self._hist_cache is not None and list(self._hist_cache) != np.bincount(
+            self.loads, minlength=len(self._hist_cache)
+        ).tolist():
+            raise InvariantViolation("load-histogram cache out of sync with loads")
+        if self._capacity_high_water is not None and np.any(self.loads > self._capacity_high_water):
             worst = int(np.argmax(self.loads - self._capacity_high_water))
             raise InvariantViolation(
                 f"bin {worst} load {int(self.loads[worst])} exceeds its high-water "

@@ -156,6 +156,4 @@ class BinBuffer:
         re-checked here.
         """
         if len(self._queue) > self._capacity:
-            raise CapacityExceeded(
-                f"load {len(self._queue)} exceeds capacity {self._capacity}"
-            )
+            raise CapacityExceeded(f"load {len(self._queue)} exceeds capacity {self._capacity}")

@@ -153,16 +153,27 @@ class AgePool:
             If ``removed`` is not aligned with the current buckets or any
             entry exceeds its bucket's count.
         """
-        removed = np.asarray(removed, dtype=np.int64)
-        if removed.shape != (len(self._labels),):
+        if type(removed) is list:
+            # Serial-kernel fast path: per-bucket counts arrive as plain
+            # ints, so skip the array round-trip entirely.
+            removed_list = removed
+        else:
+            removed = np.atleast_1d(np.asarray(removed, dtype=np.int64))
+            if removed.ndim != 1:
+                raise InvariantViolation(
+                    f"bulk removal of {removed.shape} entries does not match "
+                    f"{len(self._labels)} buckets"
+                )
+            removed_list = removed.tolist()
+        if len(removed_list) != len(self._labels):
             raise InvariantViolation(
-                f"bulk removal of {removed.shape} entries does not match "
+                f"bulk removal of {len(removed_list)} entries does not match "
                 f"{len(self._labels)} buckets"
             )
         kept_labels: list[int] = []
         kept_counts: list[int] = []
         total = 0
-        for label, have, take in zip(self._labels, self._counts, removed.tolist()):
+        for label, have, take in zip(self._labels, self._counts, removed_list):
             if take < 0 or take > have:
                 raise InvariantViolation(
                     f"cannot remove {take} balls labeled {label}: bucket holds {have}"
@@ -254,6 +265,4 @@ class AgePool:
         if any(a >= b for a, b in zip(self._labels, self._labels[1:])):
             raise InvariantViolation("pool labels not strictly increasing")
         if sum(self._counts) != self._size:
-            raise InvariantViolation(
-                f"pool size cache {self._size} != actual {sum(self._counts)}"
-            )
+            raise InvariantViolation(f"pool size cache {self._size} != actual {sum(self._counts)}")

@@ -163,9 +163,7 @@ def read_checkpoint_header(path: Path | str) -> dict[str, Any]:
     return document
 
 
-def read_checkpoint(
-    path: Path | str, expected_fingerprint: str | None = None
-) -> dict[str, Any]:
+def read_checkpoint(path: Path | str, expected_fingerprint: str | None = None) -> dict[str, Any]:
     """Load, verify, and compatibility-check one snapshot document.
 
     Raises :class:`~repro.errors.CheckpointCorrupt` for torn/tampered files

@@ -61,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical outcomes, one kernel pass per round)",
     )
     sim.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition each simulation's bins across this many worker "
+        "processes (capped with finite --c only; one simulation uses "
+        "the whole machine)",
+    )
+    sim.add_argument(
         "--process",
         choices=("capped", "greedy"),
         default="capped",
@@ -116,9 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip cells already journaled in --cache-dir from an interrupted run",
     )
-    exp.add_argument(
-        "--timing", action="store_true", help="print per-task timing statistics"
-    )
+    exp.add_argument("--timing", action="store_true", help="print per-task timing statistics")
     exp.add_argument(
         "--no-progress",
         action="store_true",
@@ -251,9 +257,7 @@ def _telemetry_capture(directory: Path, config: dict[str, Any], seeds: list[int]
         yield
         snapshot = tel.registry.snapshot()
     telemetry.write_prometheus(snapshot, directory / "metrics.prom")
-    telemetry.write_manifest(
-        telemetry.build_manifest(config, seeds, metrics=snapshot), directory
-    )
+    telemetry.write_manifest(telemetry.build_manifest(config, seeds, metrics=snapshot), directory)
 
 
 def _cmd_list(out) -> int:
@@ -274,6 +278,16 @@ def _cmd_simulate(args, out) -> int:
     if args.process == "greedy" and args.batch_replicates:
         out.write("error: --batch-replicates only applies to --process capped\n")
         return 2
+    if args.shards < 1:
+        out.write("error: --shards must be at least 1\n")
+        return 2
+    if args.shards > 1:
+        if args.process != "capped" or args.c is None:
+            out.write("error: --shards needs --process capped with a finite --c\n")
+            return 2
+        if args.batch_replicates:
+            out.write("error: --shards and --batch-replicates are mutually exclusive\n")
+            return 2
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         out.write("error: --checkpoint-every needs --checkpoint-dir\n")
         return 2
@@ -311,6 +325,7 @@ def _run_simulate(args, out) -> int:
             batch_replicates=args.batch_replicates,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            shards=args.shards,
         )
     for key, value in point.row().items():
         out.write(f"{key:12s} {value}\n")
@@ -567,7 +582,9 @@ def _cmd_checkpoint(args, out) -> int:
     out.write(f"path         {args.path}\n")
     out.write(f"format       {document['format']}\n")
     out.write(f"digest       ok (sha256 {document['sha256'][:16]})\n")
-    out.write(f"fingerprint  {fingerprint[:16]} ({'matches' if compatible else 'DIFFERENT code'})\n")
+    out.write(
+        f"fingerprint  {fingerprint[:16]} ({'matches' if compatible else 'DIFFERENT code'})\n"
+    )
     for key in sorted(meta):
         out.write(f"{key:12s} {meta[key]}\n")
     payload = document["payload"]

@@ -175,10 +175,7 @@ class Server:
 
     def check_invariants(self) -> None:
         """The queue never exceeds the high-water capacity."""
-        if (
-            self._capacity_high_water is not None
-            and len(self._queue) > self._capacity_high_water
-        ):
+        if self._capacity_high_water is not None and len(self._queue) > self._capacity_high_water:
             raise InvariantViolation(
                 f"queue length {len(self._queue)} exceeds high-water capacity "
                 f"{self._capacity_high_water}"

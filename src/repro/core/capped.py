@@ -50,7 +50,11 @@ from repro.balls.pool import AgePool
 from repro.engine.metrics import RoundRecord
 from repro.errors import ConfigurationError, InvariantViolation
 from repro.kernels.round import positional_waits as _positional_waits
-from repro.kernels.round import resolve_capped_round, wait_histogram as _wait_histogram
+from repro.kernels.round import (
+    resolve_capped_round,
+    resolve_capped_round_serial,
+    wait_histogram as _wait_histogram,
+)
 from repro.rng import resolve_rng
 from repro.telemetry.runtime import PhaseClock, current as _telemetry_current
 from repro.workloads.arrivals import ArrivalProcess, DeterministicArrivals
@@ -137,6 +141,20 @@ class CappedProcess:
             self.pool.add(0, initial_pool)
         self.bins = BinArray(n, capacity)
         self.round = 0
+        # Choice prefetch buffer (fused kernel only). Bounded integer
+        # draws split across calls concatenate bit-identically to one
+        # big call (the RNG-stream contract), so generating choices in
+        # large blocks and slicing per round consumes the *same* words
+        # in the *same* order as legacy's per-bucket draws — records
+        # stay identical while the generator runs in long uninterrupted
+        # C loops and the per-round draw becomes a zero-copy view.
+        # Only safe while nothing else consumes this stream mid-block:
+        # stochastic arrival processes share the generator, so the
+        # buffer is enabled only for the paper's deterministic arrivals.
+        self._choice_buf: np.ndarray | None = None
+        self._choice_pos = 0
+        self._choice_base: dict | None = None
+        self._buffer_draws = type(self.arrivals) is DeterministicArrivals
 
     @property
     def pool_size(self) -> int:
@@ -175,16 +193,21 @@ class CappedProcess:
             )
 
         if self.kernel == "fused":
-            accepted_total, wait_values, wait_counts = self._resolve_fused(
+            accepted_total, wait_values, wait_counts, deleted, max_load = self._resolve_fused(
                 t, thrown, choices, clock
             )
         else:
             accepted_total, waits = self._resolve_legacy(t, choices, clock)
             wait_values, wait_counts = _wait_histogram(waits)
+            deleted = max_load = None
         if clock is not None:
             clock.lap("accept")
 
-        deleted = self.bins.delete_one_each()
+        if deleted is None:
+            # Non-serial paths leave the FIFO deletion and the max-load
+            # scan to the generic BinArray operations.
+            deleted = self.bins.delete_one_each()
+            max_load = int(self.bins.loads.max())
         if clock is not None:
             clock.lap("delete")
 
@@ -196,7 +219,7 @@ class CappedProcess:
             deleted=deleted,
             pool_size=self.pool.size,
             total_load=self.bins.total_load,
-            max_load=int(self.bins.loads.max()),
+            max_load=max_load,
             wait_values=wait_values,
             wait_counts=wait_counts,
         )
@@ -205,32 +228,107 @@ class CappedProcess:
             clock.finish()
         return record
 
+    def _draw_choices(self, thrown: int) -> np.ndarray:
+        """Bin choices for this round, served from the prefetch buffer.
+
+        Returns a view into the current block when it has enough words
+        left; otherwise drains the remainder, generates a fresh block
+        (sized to cover several rounds), and stitches the two. The
+        generator state captured just before each block draw, together
+        with the in-block offset, is what :meth:`get_state` snapshots —
+        a restore regenerates the block and resumes mid-buffer
+        bit-identically.
+        """
+        if not self._buffer_draws:
+            return self.rng.integers(0, self.n, size=thrown)
+        buf, pos = self._choice_buf, self._choice_pos
+        avail = buf.size - pos if buf is not None else 0
+        if avail >= thrown:
+            if buf is None:  # thrown == 0 before the first block exists
+                return self.rng.integers(0, self.n, size=0)
+            self._choice_pos = pos + thrown
+            return buf[pos : pos + thrown]
+        leftover = buf[pos:] if avail else None
+        need = thrown - avail
+        # ~4 rounds per block, clamped so huge-n runs don't hold tens of
+        # megabytes of unspent randomness.
+        block = max(min(max(4 * thrown, 1 << 14), 1 << 21), need)
+        self._choice_base = self.rng.bit_generator.state
+        fresh = self.rng.integers(0, self.n, size=block)
+        self._choice_buf = fresh
+        self._choice_pos = need
+        if leftover is not None:
+            return np.concatenate([leftover, fresh[:need]])
+        return fresh[:need]
+
     def _resolve_fused(
         self,
         t: int,
         thrown: int,
         choices: np.ndarray | None,
         clock: PhaseClock | None = None,
-    ) -> tuple[int, np.ndarray, np.ndarray]:
+    ) -> tuple[int, np.ndarray, np.ndarray, int | None, int | None]:
         """One-pass acceptance for all age buckets (see repro.kernels.round).
 
-        Returns ``(accepted_total, wait_values, wait_counts)`` — the wait
-        *histogram*, not per-ball waits: in the common unit-take regime
-        the kernel produces the histogram directly without ever expanding
-        per-ball arrays. ``clock`` (telemetry only) marks the throw phase
-        once the bin choices exist; the caller closes the accept phase.
+        Returns ``(accepted_total, wait_values, wait_counts, deleted,
+        max_load)``. The wait *histogram* is returned, not per-ball waits:
+        the kernels produce the histogram directly without ever expanding
+        per-ball arrays. On the serial whole-round path — fault-free runs
+        with finite ``c >= 2`` — the FIFO deletion is fused into the
+        kernel and ``deleted``/``max_load`` come back filled; the other
+        paths return ``None`` for both and the caller runs
+        :meth:`BinArray.delete_one_each`. ``clock`` (telemetry only) marks
+        the throw phase once the bin choices exist; the caller closes the
+        accept phase.
         """
-        labels, counts = self.pool.as_arrays()
         if choices is None:
-            choices = self.rng.integers(0, self.n, size=thrown)
+            choices = self._draw_choices(thrown)
         else:
             choices = np.asarray(choices, dtype=np.int64)
         if clock is not None:
             clock.lap("throw")
 
+        serial = self.bins.serial_round_limit() if thrown else None
+        if serial is not None:
+            # Whole-round serial path: all per-bucket bookkeeping is
+            # scalar, so hand the pool's plain-int lists straight to the
+            # kernel — no label/count arrays are ever built.
+            capacity_limit, hist_size = serial
+            acc_counts = self.pool.counts()
+            acc_ages = [t - label for label in self.pool.labels()]
+            reversed_priority = self.acceptance_order == "youngest" and len(acc_counts) > 1
+            if reversed_priority:
+                chunks = np.split(choices, np.cumsum(acc_counts)[:-1])
+                choices = np.concatenate(chunks[::-1])
+                acc_counts.reverse()
+                acc_ages.reverse()
+            resolved = resolve_capped_round_serial(
+                self.bins.loads,
+                capacity_limit,
+                choices,
+                acc_counts,
+                acc_ages,
+                hist_size,
+                initial_hist=self.bins.cached_load_hist(hist_size),
+            )
+            if resolved.accepted_total:
+                accepted_per_bucket = resolved.accepted_per_bucket
+                if reversed_priority:
+                    accepted_per_bucket = accepted_per_bucket[::-1]
+                self.pool.remove_bulk(accepted_per_bucket)
+            self.bins.commit_round(resolved)
+            return (
+                resolved.accepted_total,
+                resolved.wait_values,
+                resolved.wait_counts,
+                resolved.deleted,
+                resolved.max_load,
+            )
+
         # Choices arrive oldest-first (the coupling and test convention),
         # which is already the kernel's priority-major layout; only the
         # youngest-first ablation has to reorder its bucket chunks.
+        labels, counts = self.pool.as_arrays()
         reversed_priority = self.acceptance_order == "youngest" and len(labels) > 1
         if reversed_priority:
             chunks = np.split(choices, np.cumsum(counts)[:-1])
@@ -258,8 +356,8 @@ class CappedProcess:
             self.bins.commit_accepted(resolved.accepted_per_key, resolved.accepted_total)
             self.pool.remove_bulk(accepted_per_bucket)
         if resolved.wait_hist is not None:
-            return resolved.accepted_total, *resolved.wait_hist
-        return resolved.accepted_total, *_wait_histogram(resolved.waits)
+            return resolved.accepted_total, *resolved.wait_hist, None, None
+        return resolved.accepted_total, *_wait_histogram(resolved.waits), None, None
 
     def _resolve_legacy(
         self,
@@ -319,12 +417,21 @@ class CappedProcess:
         the *identical* trajectory — useful for long paper-profile runs
         and for record/replay debugging.
         """
-        return {
+        state = {
             "round": self.round,
             "pool": self.pool.get_state(),
             "bins": self.bins.get_state(),
             "rng": self.rng.bit_generator.state,
         }
+        if self._choice_buf is not None and self._choice_pos < self._choice_buf.size:
+            # Mid-buffer: snapshot the generator state from *before* the
+            # block draw plus the offset consumed, so the restore can
+            # regenerate the identical block and resume inside it —
+            # without serialising the unspent randomness itself.
+            state["rng"] = self._choice_base
+            state["choice_block"] = int(self._choice_buf.size)
+            state["choice_pos"] = int(self._choice_pos)
+        return state
 
     def set_state(self, state: dict) -> None:
         """Restore a snapshot from :meth:`get_state` (same n/c/λ process)."""
@@ -332,6 +439,15 @@ class CappedProcess:
         self.pool.set_state(state["pool"])
         self.bins.set_state(state["bins"])
         self.rng.bit_generator.state = state["rng"]
+        block = int(state.get("choice_block", 0))
+        if block:
+            self._choice_base = self.rng.bit_generator.state
+            self._choice_buf = self.rng.integers(0, self.n, size=block)
+            self._choice_pos = int(state["choice_pos"])
+        else:
+            self._choice_buf = None
+            self._choice_pos = 0
+            self._choice_base = None
         self.check_invariants()
 
 
@@ -419,7 +535,9 @@ class ExactCappedSimulator:
                 waits.append(ball.age(t))
 
         if waits:
-            wait_values, wait_counts = np.unique(np.asarray(waits, dtype=np.int64), return_counts=True)
+            wait_values, wait_counts = np.unique(
+                np.asarray(waits, dtype=np.int64), return_counts=True
+            )
         else:
             wait_values, wait_counts = _EMPTY, _EMPTY
 

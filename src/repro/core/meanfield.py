@@ -232,9 +232,7 @@ def mixture_equilibrium_pool(
 
     def mixture_rate(intensity: float) -> float:
         return sum(
-            share * accept_rate(intensity, c)
-            for c, share in capacity_shares.items()
-            if share > 0
+            share * accept_rate(intensity, c) for c, share in capacity_shares.items() if share > 0
         )
 
     low = lam

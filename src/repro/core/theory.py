@@ -116,11 +116,7 @@ def thm1_wait_bound(lam: float, n: int, additive_constant: float = 19.0) -> floa
     unoptimised constant from Lemma 5), so 19 is the default.
     """
     _check(lam, n)
-    return (
-        (2.0 * log_inverse_gap(lam) + 4.0) / _ONE_MINUS_INV_E
-        + loglog(n)
-        + additive_constant
-    )
+    return (2.0 * log_inverse_gap(lam) + 4.0) / _ONE_MINUS_INV_E + loglog(n) + additive_constant
 
 
 def thm2_pool_bound(c: int, lam: float, n: int) -> float:

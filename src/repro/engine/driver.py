@@ -129,9 +129,7 @@ class SimulationDriver:
             raise ConfigurationError(f"measure must be positive, got {measure}")
         if checkpoint_every is not None:
             if checkpoint_every < 1:
-                raise ConfigurationError(
-                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
-                )
+                raise ConfigurationError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
             if checkpoint_dir is None:
                 raise ConfigurationError("checkpoint_every needs a checkpoint_dir")
         self.burn_in = burn_in
@@ -231,8 +229,7 @@ class SimulationDriver:
             problems.append(f"batched {driver.get('batched')} != {batched}")
         if proc.get("class") != process.__class__.__name__:
             problems.append(
-                f"process class {proc.get('class')!r} != "
-                f"{process.__class__.__name__!r}"
+                f"process class {proc.get('class')!r} != " f"{process.__class__.__name__!r}"
             )
         if proc.get("n") != process.n:
             problems.append(f"n {proc.get('n')} != {process.n}")

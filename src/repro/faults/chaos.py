@@ -94,9 +94,14 @@ class ChaosSpec:
 
     def to_env(self) -> str:
         """Serialize for the ``REPRO_CHAOS`` environment variable."""
-        payload = {"action": self.action, "match": self.match, "times": self.times,
-                   "seconds": self.seconds, "marker_dir": self.marker_dir,
-                   "at_round": self.at_round}
+        payload = {
+            "action": self.action,
+            "match": self.match,
+            "times": self.times,
+            "seconds": self.seconds,
+            "marker_dir": self.marker_dir,
+            "at_round": self.at_round,
+        }
         return json.dumps(payload)
 
 

@@ -209,9 +209,7 @@ class FaultInjector:
         tel = _telemetry_current()
         if tel is not None:
             tel.inc("fault_events_total", action=action)
-            tel.emit(
-                {"type": "fault", "round": t, "action": action, "description": description}
-            )
+            tel.emit({"type": "fault", "round": t, "action": action, "description": description})
 
     def get_state(self) -> dict:
         """Checkpoint the injector's mutable mid-schedule state.
@@ -277,8 +275,15 @@ class FaultInjector:
         count = min(up.size, max(1, round(fraction * adapter.n)))
         return np.sort(self._rng.choice(up, size=count, replace=False))
 
-    def _crash(self, adapter, t: int, indices: np.ndarray, wipe: bool,
-               recover_round: int | None, stochastic: bool) -> None:
+    def _crash(
+        self,
+        adapter,
+        t: int,
+        indices: np.ndarray,
+        wipe: bool,
+        recover_round: int | None,
+        stochastic: bool,
+    ) -> None:
         if indices.size == 0:
             return
         lost = adapter.crash(indices, wipe=wipe)
@@ -316,9 +321,7 @@ class FaultInjector:
                     self._note(t, f"restore capacity of {indices.size}", "restore")
 
         # 2. Scheduled recoveries due now.
-        due_up = np.asarray(
-            sorted(i for i, r in self._down.items() if r == t), dtype=np.int64
-        )
+        due_up = np.asarray(sorted(i for i, r in self._down.items() if r == t), dtype=np.int64)
         self._recover(adapter, t, due_up)
 
         # 3. Scheduled events firing now.
@@ -326,19 +329,25 @@ class FaultInjector:
             if isinstance(event, CrashBurst):
                 if event.at_round == t:
                     victims = self._pick_up_entities(adapter, event.fraction)
-                    recover_round = (
-                        t + event.duration if event.duration is not None else None
-                    )
+                    recover_round = t + event.duration if event.duration is not None else None
                     self._crash(
-                        adapter, t, victims, event.buffer_policy == "wiped",
-                        recover_round, stochastic=False,
+                        adapter,
+                        t,
+                        victims,
+                        event.buffer_policy == "wiped",
+                        recover_round,
+                        stochastic=False,
                     )
             elif isinstance(event, PeriodicOutage):
                 if t >= event.first_round and (t - event.first_round) % event.period == 0:
                     victims = self._pick_up_entities(adapter, event.fraction)
                     self._crash(
-                        adapter, t, victims, event.buffer_policy == "wiped",
-                        t + event.duration, stochastic=False,
+                        adapter,
+                        t,
+                        victims,
+                        event.buffer_policy == "wiped",
+                        t + event.duration,
+                        stochastic=False,
                     )
             elif isinstance(event, CapacityDegradation):
                 if event.at_round == t:
@@ -346,9 +355,7 @@ class FaultInjector:
                         indices = np.arange(adapter.n, dtype=np.int64)
                     else:
                         count = max(1, round(event.fraction * adapter.n))
-                        indices = np.sort(
-                            self._rng.choice(adapter.n, size=count, replace=False)
-                        )
+                        indices = np.sort(self._rng.choice(adapter.n, size=count, replace=False))
                     saved = adapter.get_capacity(indices)
                     adapter.set_capacity(indices, event.capacity)
                     self._restores.append((t + event.duration, indices, saved))
@@ -361,22 +368,22 @@ class FaultInjector:
                     self.requests_dropped += dropped
                     self._note(t, f"drop {dropped} pending", "drop")
             elif isinstance(event, StochasticCrashes):
-                if t >= event.first_round and (
-                    event.last_round is None or t <= event.last_round
-                ):
+                if t >= event.first_round and (event.last_round is None or t <= event.last_round):
                     down_mask = adapter.down_mask()
                     up = np.flatnonzero(~down_mask)
                     if up.size:
                         coins = self._rng.random(up.size)
                         victims = up[coins < event.crash_prob]
                         self._crash(
-                            adapter, t, victims, event.buffer_policy == "wiped",
-                            None, stochastic=True,
+                            adapter,
+                            t,
+                            victims,
+                            event.buffer_policy == "wiped",
+                            None,
+                            stochastic=True,
                         )
                     if self._stochastic_down:
-                        candidates = np.asarray(
-                            sorted(self._stochastic_down), dtype=np.int64
-                        )
+                        candidates = np.asarray(sorted(self._stochastic_down), dtype=np.int64)
                         coins = self._rng.random(candidates.size)
                         self._recover(adapter, t, candidates[coins < event.recover_prob])
 

@@ -145,9 +145,7 @@ def measure_recovery(
             f"length {series.size}"
         )
     if pre_window < 2 or pre_window > fault_index:
-        raise ConfigurationError(
-            f"pre_window must be in [2, fault_index], got {pre_window}"
-        )
+        raise ConfigurationError(f"pre_window must be in [2, fault_index], got {pre_window}")
     band = stationary_band(
         series[fault_index - pre_window : fault_index],
         width=width,

@@ -48,9 +48,7 @@ def _check_fraction(fraction: float) -> None:
 
 def _check_buffer_policy(policy: str) -> None:
     if policy not in BUFFER_POLICIES:
-        raise ConfigurationError(
-            f"buffer_policy must be one of {BUFFER_POLICIES}, got {policy!r}"
-        )
+        raise ConfigurationError(f"buffer_policy must be one of {BUFFER_POLICIES}, got {policy!r}")
 
 
 @dataclass(frozen=True)
@@ -122,9 +120,7 @@ class StochasticCrashes:
         if not 0.0 < self.crash_prob <= 1.0:
             raise ConfigurationError(f"crash_prob must be in (0, 1], got {self.crash_prob}")
         if not 0.0 < self.recover_prob <= 1.0:
-            raise ConfigurationError(
-                f"recover_prob must be in (0, 1], got {self.recover_prob}"
-            )
+            raise ConfigurationError(f"recover_prob must be in (0, 1], got {self.recover_prob}")
         if self.first_round < 1:
             raise ConfigurationError(f"first_round must be >= 1, got {self.first_round}")
         if self.last_round is not None and self.last_round < self.first_round:
@@ -178,9 +174,7 @@ class RequestDrop:
         _check_fraction(self.fraction)
 
 
-FaultEvent = Union[
-    CrashBurst, PeriodicOutage, StochasticCrashes, CapacityDegradation, RequestDrop
-]
+FaultEvent = Union[CrashBurst, PeriodicOutage, StochasticCrashes, CapacityDegradation, RequestDrop]
 
 _EVENT_TYPES = (
     CrashBurst,
@@ -207,9 +201,7 @@ class FaultSchedule:
         events = tuple(self.events)
         for event in events:
             if not isinstance(event, _EVENT_TYPES):
-                raise ConfigurationError(
-                    f"unknown fault event type: {type(event).__name__}"
-                )
+                raise ConfigurationError(f"unknown fault event type: {type(event).__name__}")
         object.__setattr__(self, "events", events)
 
     def __bool__(self) -> bool:

@@ -13,6 +13,12 @@
     kernel invocation per round, bit-identical per replicate to R separate
     :class:`~repro.core.capped.CappedProcess` runs.
 
+:mod:`repro.kernels.sharded`
+    :class:`~repro.kernels.sharded.ShardedCappedProcess` — one simulation
+    partitioned by bin range across shards (inline or persistent
+    shared-memory worker processes), with deterministic per-shard RNG
+    substreams so ``kernel="legacy"`` stays the bit-identity oracle.
+
 See ``docs/kernels.md`` for the cumulative-clip acceptance argument and
 the RNG stream contract that make the fused paths *exactly* (not just
 distributionally) equivalent to the legacy per-bucket path.
@@ -21,15 +27,21 @@ distributionally) equivalent to the legacy per-bucket path.
 from repro.kernels.batched import BatchedCappedProcess
 from repro.kernels.round import (
     ResolvedRound,
+    SerialRound,
     positional_waits,
     resolve_capped_round,
+    resolve_capped_round_serial,
     wait_histogram,
 )
+from repro.kernels.sharded import ShardedCappedProcess
 
 __all__ = [
     "BatchedCappedProcess",
     "ResolvedRound",
+    "SerialRound",
+    "ShardedCappedProcess",
     "positional_waits",
     "resolve_capped_round",
+    "resolve_capped_round_serial",
     "wait_histogram",
 ]

@@ -188,9 +188,7 @@ class BatchedCappedProcess:
                 raise InvariantViolation("batched pool bucket went negative")
             keep = counts.sum(axis=1) > 0
             if not np.all(keep):
-                self._labels = [
-                    label for label, k in zip(self._labels, keep.tolist()) if k
-                ]
+                self._labels = [label for label, k in zip(self._labels, keep.tolist()) if k]
                 self._counts = counts = counts[keep]
             self.bins.commit_accepted(resolved.accepted_per_key)
         if clock is not None:

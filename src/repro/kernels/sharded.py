@@ -1,0 +1,536 @@
+"""Shared-memory sharded CAPPED engine: one simulation across many cores.
+
+The batched engine (:mod:`repro.kernels.batched`) parallelises a *sweep*
+by fusing replicates; this module parallelises a *single* simulation by
+partitioning the bins. :class:`ShardedCappedProcess` splits the ``n`` bins
+into ``shards`` contiguous ranges; each shard resolves acceptance and the
+FIFO deletion for its range with the whole-round serial kernel
+(:func:`repro.kernels.round.resolve_capped_round_serial`), and the
+coordinator merges the per-shard summaries (accepted counts, wait
+histograms, load histograms) into the same :class:`RoundRecord` stream a
+:class:`~repro.core.capped.CappedProcess` emits.
+
+Why partitioning by *bin* works: acceptance in CAPPED(c, λ) is local to a
+bin — ``min(c − ℓ_i, ν_i)`` oldest-first depends only on bin ``i``'s load
+and its per-age-bucket request counts — and so is the FIFO deletion. Once
+each thrown ball's bin choice is known, the round factorises exactly over
+any partition of the bins; only the O(#buckets)-sized summaries need to
+be merged. There is no approximation anywhere in this engine: every
+configuration is covered by the bit-identity oracle against
+``kernel="legacy"`` (see ``tests/kernels/test_sharded.py``).
+
+**Shard RNG-substream contract.** Shard ``s`` of a run seeded ``seed``
+draws its bin choices from ``RngFactory(seed).child(s).generator("capped")``
+— the same derivation rule the sweep uses for replicates, so substreams
+are statistically independent by `SeedSequence` spawning. Each round,
+bucket ``b``'s ``m_b`` balls are split deterministically: shard ``s``
+generates choices for ball indices ``[m_b·s/S, m_b·(s+1)/S)`` (integer
+floor), drawn as one block per round, bucket-major. Consequences:
+
+* the full choice vector of a round is a pure function of
+  ``(seed, shards, pool history)`` — injection tests can replay it into a
+  single-process ``kernel="legacy"`` run and demand identical records;
+* ``shards=1`` consumes the stream ``RngFactory(seed).child(0)
+  .generator("capped")`` exactly like a ``CappedProcess`` with that
+  generator (the RNG-stream contract: block draws concatenate
+  bit-identically to per-bucket draws), so a one-shard run *is* the
+  unsharded trajectory, record for record;
+* changing ``shards`` changes the realised trajectory (different
+  substreams) but not the process law — every shard count samples the
+  same CAPPED(c, λ) distribution.
+
+**Backends.** ``backend="inline"`` resolves the shards sequentially in
+the coordinator process — the reference implementation, used by the
+equivalence tests and anywhere process startup is not worth it.
+``backend="process"`` keeps ``shards`` persistent worker processes, the
+full loads array and the per-round choice buffer in
+:mod:`multiprocessing.shared_memory`, and runs one generate barrier and
+one resolve barrier per round; workers write their slice of the loads in
+place, so only O(#buckets + capacity)-sized summaries cross the pipes.
+Both backends produce bit-identical trajectories (asserted in tests);
+speedup requires real cores, and the bench grid records
+``os.cpu_count()`` alongside its shard-scaling rows for that reason.
+
+Checkpointing: :meth:`ShardedCappedProcess.get_state` snapshots the
+merged bins, the pool, and every shard's bit-generator state; restoring
+into an engine with the *same* shard count resumes the identical
+trajectory (asserted kill-anywhere style in the tests). Snapshots are
+backend-agnostic — a run recorded with workers restores inline and vice
+versa.
+
+Telemetry (when a session is active): per-shard resolve time lands in
+``kernel_resolve_seconds{path="serial", shard=s}``, the coordinator adds
+``shard_imbalance`` (slowest shard over mean shard seconds, 1.0 = perfect
+balance) as a gauge, and rounds count into ``rounds_total{kernel=
+"sharded"}`` via the standard :class:`PhaseClock`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.balls.bin_array import BinArray
+from repro.balls.pool import AgePool
+from repro.engine.metrics import RoundRecord
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.kernels.round import SerialRound, resolve_capped_round_serial
+from repro.rng import RngFactory
+from repro.telemetry.runtime import PhaseClock, current as _telemetry_current
+from repro.workloads.arrivals import DeterministicArrivals
+
+__all__ = ["ShardedCappedProcess", "shard_ranges", "split_bucket"]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous bin ranges ``[lo, hi)`` owned by each shard.
+
+    The split is the standard balanced one: shard ``s`` owns
+    ``[n·s/S, n·(s+1)/S)`` (integer floor), so range sizes differ by at
+    most one bin.
+    """
+    return [(n * s // shards, n * (s + 1) // shards) for s in range(shards)]
+
+
+def split_bucket(count: int, shards: int) -> list[tuple[int, int]]:
+    """Deterministic per-shard slice ``[lo, hi)`` of one bucket's balls.
+
+    Shard ``s`` *generates* choices for ball indices
+    ``[count·s/S, count·(s+1)/S)`` of the bucket — the substream contract
+    the docstring above and ``docs/kernels.md`` document. (Which shard
+    *resolves* a ball is decided by the drawn bin, not by this split.)
+    """
+    return [(count * s // shards, count * (s + 1) // shards) for s in range(shards)]
+
+
+def _resolve_shard(
+    loads_slice: np.ndarray,
+    capacity_limit,
+    lo: int,
+    hi: int,
+    bucket_keys: list[np.ndarray],
+    bucket_ages: list[int],
+    hist_size: int,
+    initial_hist: list[int] | None,
+) -> SerialRound:
+    """Resolve one shard's range: filter keys to ``[lo, hi)``, run serially.
+
+    ``bucket_keys`` holds the round's full per-bucket choice arrays (bin
+    indices over all ``n`` bins, priority order); the shard keeps the keys
+    landing in its range, rebases them to range-local indices, and hands
+    them to the whole-round serial kernel. Shared by both backends — this
+    is the single definition of what a shard computes.
+    """
+    local_keys: list[np.ndarray] = []
+    local_counts: list[int] = []
+    for keys in bucket_keys:
+        if keys.size:
+            mine = keys[(keys >= lo) & (keys < hi)]
+            if lo:
+                mine = mine - lo
+            local_keys.append(mine)
+            local_counts.append(mine.size)
+        else:
+            local_keys.append(keys)
+            local_counts.append(0)
+    merged = np.concatenate(local_keys) if len(local_keys) > 1 else local_keys[0]
+    return resolve_capped_round_serial(
+        loads_slice,
+        capacity_limit,
+        merged,
+        local_counts,
+        bucket_ages,
+        hist_size,
+        initial_hist=initial_hist,
+    )
+
+
+class ShardedCappedProcess:
+    """CAPPED(c, λ) with bins partitioned across shards (see module docs).
+
+    Parameters
+    ----------
+    n:
+        Number of bins; must be at least ``shards``.
+    capacity:
+        Buffer size ``c`` — a positive int or a per-bin array. Unbounded
+        bins (``None``) are not shardable here: the serial kernel's
+        histogram bookkeeping requires finite capacities, which is also
+        the paper's regime of interest.
+    lam:
+        Injection rate; ``λn`` per round via the paper's deterministic
+        arrival schedule (stochastic arrival processes would consume the
+        shard substreams unpredictably and are not supported).
+    seed:
+        Root seed *or* an :class:`~repro.rng.RngFactory`; shard ``s``
+        draws from ``factory.child(s).generator("capped")``.
+    shards:
+        Number of bin ranges (and, with the process backend, workers).
+    backend:
+        ``"inline"`` (sequential reference, default) or ``"process"``
+        (persistent shared-memory workers).
+    initial_pool / acceptance_order:
+        As for :class:`~repro.core.capped.CappedProcess`.
+    record_choices:
+        Keep each round's assembled choice vector in ``last_choices``
+        (priority-major, the exact vector a single-process run would
+        consume) — the hook the legacy-oracle tests replay from.
+
+    Examples
+    --------
+    >>> process = ShardedCappedProcess(n=64, capacity=2, lam=0.75, seed=1, shards=4)
+    >>> record = process.step()
+    >>> record.arrivals
+    48
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity,
+        lam: float,
+        seed=0,
+        shards: int = 2,
+        backend: str = "inline",
+        initial_pool: int = 0,
+        acceptance_order: str = "oldest",
+        record_choices: bool = False,
+    ) -> None:
+        if capacity is None:
+            raise ConfigurationError(
+                "sharded engine requires finite capacities (capacity=None is "
+                "the unbounded GREEDY regime; use CappedProcess for it)"
+            )
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if n < shards:
+            raise ConfigurationError(f"need at least one bin per shard, got n={n} < {shards}")
+        if backend not in ("inline", "process"):
+            raise ConfigurationError(f"backend must be 'inline' or 'process', got {backend!r}")
+        if acceptance_order not in ("oldest", "youngest"):
+            raise ConfigurationError(
+                f"acceptance_order must be 'oldest' or 'youngest', got {acceptance_order!r}"
+            )
+        if initial_pool < 0:
+            raise ConfigurationError(f"initial_pool must be non-negative, got {initial_pool}")
+        self.n = n
+        self.capacity = capacity
+        self.lam = lam
+        self.shards = shards
+        self.backend = backend
+        self.acceptance_order = acceptance_order
+        self.record_choices = record_choices
+        self.last_choices: np.ndarray | None = None
+        factory = seed if isinstance(seed, RngFactory) else RngFactory(seed=int(seed))
+        self.seed = factory.seed
+        self.arrivals = DeterministicArrivals(n=n, lam=lam)
+        self.pool = AgePool()
+        if initial_pool:
+            self.pool.add(0, initial_pool)
+        self.bins = BinArray(n, capacity)
+        self.round = 0
+        self.ranges = shard_ranges(n, shards)
+        # Per-shard load-histogram carry (the serial kernel's next_hist
+        # feedback), maintained by the coordinator because the global
+        # BinArray cache cannot be split back into ranges.
+        self._shard_hists: list[list[int] | None] = [None] * shards
+        self._rngs = [factory.child(s).generator("capped") for s in range(shards)]
+        self._workers = None
+        if backend == "process":
+            from repro.kernels.sharded_workers import WorkerPool
+
+            self._workers = WorkerPool(self)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the inline backend)."""
+        if self._workers is not None:
+            self._workers.close()
+            self._workers = None
+
+    def __enter__(self) -> "ShardedCappedProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def pool_size(self) -> int:
+        """Current pool size ``m(t)``."""
+        return self.pool.size
+
+    # -- the round ---------------------------------------------------------
+
+    def _bucket_choices(self, counts: list[int], choices: np.ndarray | None):
+        """Per-bucket full choice arrays for this round (inline backend).
+
+        Without injected ``choices`` each shard's generator contributes its
+        deterministic slice of every bucket, drawn as one block per shard
+        (bucket-major within the block). With injection the vector is
+        split by bucket only — the substreams stay untouched, exactly like
+        injecting into a single-process run.
+        """
+        if choices is not None:
+            choices = np.asarray(choices, dtype=np.int64)
+            bucket_keys = []
+            offset = 0
+            for count in counts:
+                bucket_keys.append(choices[offset : offset + count])
+                offset += count
+            if self.record_choices:
+                self.last_choices = choices.copy()
+            return bucket_keys
+
+        splits = [split_bucket(count, self.shards) for count in counts]
+        blocks = []
+        for s in range(self.shards):
+            total = sum(split[s][1] - split[s][0] for split in splits)
+            blocks.append(self._rngs[s].integers(0, self.n, size=total))
+        bucket_keys = []
+        cursors = [0] * self.shards
+        for b, count in enumerate(counts):
+            parts = []
+            for s in range(self.shards):
+                lo, hi = splits[b][s]
+                size = hi - lo
+                if size:
+                    parts.append(blocks[s][cursors[s] : cursors[s] + size])
+                    cursors[s] += size
+            if not parts:
+                bucket_keys.append(_EMPTY)
+            elif len(parts) == 1:
+                bucket_keys.append(parts[0])
+            else:
+                bucket_keys.append(np.concatenate(parts))
+        if self.record_choices:
+            self.last_choices = np.concatenate(bucket_keys) if bucket_keys else _EMPTY.copy()
+        return bucket_keys
+
+    def step(self, choices: np.ndarray | None = None) -> RoundRecord:
+        """Advance one round; the record matches an unsharded run's shape."""
+        self.round += 1
+        t = self.round
+        tel = _telemetry_current()
+        clock = PhaseClock(tel, kernel="sharded") if tel is not None else None
+
+        generated = self.arrivals.arrivals(t, self._rngs[0])
+        self.pool.add(t, generated)
+        thrown = self.pool.size
+        if choices is not None and len(choices) != thrown:
+            raise ConfigurationError(
+                f"injected choices must cover all {thrown} thrown balls, got {len(choices)}"
+            )
+
+        if thrown == 0:
+            # Nothing thrown: the round is pure FIFO deletion.
+            if self.record_choices:
+                self.last_choices = _EMPTY.copy()
+            self._shard_hists = [None] * self.shards
+            deleted = self.bins.delete_one_each()
+            max_load = int(self.bins.loads.max()) if self.n else 0
+            if clock is not None:
+                clock.lap("delete")
+                clock.finish()
+            return RoundRecord(
+                round=t,
+                arrivals=generated,
+                thrown=0,
+                accepted=0,
+                deleted=deleted,
+                pool_size=self.pool.size,
+                total_load=self.bins.total_load,
+                max_load=max_load,
+                wait_values=_EMPTY,
+                wait_counts=_EMPTY,
+            )
+
+        counts = self.pool.counts()
+        ages = [t - label for label in self.pool.labels()]
+        limit = self.bins.serial_round_limit(allow_unit_capacity=True)
+        if limit is None:
+            raise ConfigurationError(
+                "sharded engine cannot resolve this round: bins are down or "
+                "unbounded (fault injection is a single-process feature)"
+            )
+        capacity_limit, hist_size = limit
+        scalar_limit = np.isscalar(capacity_limit)
+        if self._shard_hists[0] is not None and len(self._shard_hists[0]) != hist_size:
+            self._shard_hists = [None] * self.shards
+        reversed_priority = self.acceptance_order == "youngest" and len(counts) > 1
+
+        if self._workers is not None:
+            # Choices live in shared memory: workers draw and scatter their
+            # slices (or the coordinator stages an injected vector), then
+            # every worker reads the whole vector to filter its bin range.
+            # Only bucket spans and O(hist)-sized summaries cross the pipes.
+            spans = self._workers.stage_choices(counts, choices)
+            if self.record_choices:
+                self.last_choices = self._workers.read_choices(thrown)
+            if clock is not None:
+                clock.lap("throw")
+            if reversed_priority:
+                spans = spans[::-1]
+                ages = ages[::-1]
+            results, shard_seconds = self._workers.resolve(
+                spans, ages, capacity_limit, hist_size, self._shard_hists
+            )
+        else:
+            bucket_keys = self._bucket_choices(counts, choices)
+            if clock is not None:
+                clock.lap("throw")
+            if reversed_priority:
+                bucket_keys = bucket_keys[::-1]
+                ages = ages[::-1]
+            results = []
+            shard_seconds = []
+            for s, (lo, hi) in enumerate(self.ranges):
+                start = time.perf_counter() if tel is not None else 0.0
+                res = _resolve_shard(
+                    self.bins.loads[lo:hi],
+                    capacity_limit if scalar_limit else capacity_limit[lo:hi],
+                    lo,
+                    hi,
+                    bucket_keys,
+                    ages,
+                    hist_size,
+                    self._shard_hists[s],
+                )
+                self.bins.loads[lo:hi] = res.new_loads
+                results.append(res)
+                shard_seconds.append(time.perf_counter() - start)
+        if tel is not None:
+            for s, seconds in enumerate(shard_seconds):
+                tel.observe("kernel_resolve_seconds", seconds, path="serial", shard=s)
+            mean = sum(shard_seconds) / len(shard_seconds)
+            if mean > 0:
+                tel.set_gauge("shard_imbalance", max(shard_seconds) / mean)
+
+        merged = self._merge(results)
+        accepted_per_bucket = merged.accepted_per_bucket
+        if reversed_priority:
+            accepted_per_bucket = accepted_per_bucket[::-1]
+        if merged.accepted_total:
+            self.pool.remove_bulk(accepted_per_bucket)
+        self.bins.commit_round(merged)
+        if clock is not None:
+            clock.lap("accept")
+
+        record = RoundRecord(
+            round=t,
+            arrivals=generated,
+            thrown=thrown,
+            accepted=merged.accepted_total,
+            deleted=merged.deleted,
+            pool_size=self.pool.size,
+            total_load=self.bins.total_load,
+            max_load=merged.max_load,
+            wait_values=merged.wait_values,
+            wait_counts=merged.wait_counts,
+        )
+        if clock is not None:
+            clock.lap("collect")
+            clock.finish()
+        return record
+
+    def _merge(self, results: list[SerialRound]) -> SerialRound:
+        """Sum the per-shard summaries into one whole-array SerialRound.
+
+        Loads were already written in place per range, so ``new_loads`` is
+        the bins' own array; histograms and per-bucket counts add
+        elementwise (a bincount over a disjoint union is the sum of the
+        parts); extrema merge by max. The per-shard ``next_hist`` lists
+        are retained for the next round's ``initial_hist`` feedback.
+        """
+        first = results[0]
+        accepted_per_bucket = list(first.accepted_per_bucket)
+        accepted_total = first.accepted_total
+        deleted = first.deleted
+        max_load = first.max_load
+        peak_load = first.peak_load
+        tally: dict[int, int] = dict(zip(first.wait_values.tolist(), first.wait_counts.tolist()))
+        next_hist = list(first.next_hist)
+        self._shard_hists[0] = first.next_hist
+        for s in range(1, len(results)):
+            res = results[s]
+            self._shard_hists[s] = res.next_hist
+            for b, taken in enumerate(res.accepted_per_bucket):
+                accepted_per_bucket[b] += taken
+            accepted_total += res.accepted_total
+            deleted += res.deleted
+            if res.max_load > max_load:
+                max_load = res.max_load
+            if res.peak_load > peak_load:
+                peak_load = res.peak_load
+            for value, count in zip(res.wait_values.tolist(), res.wait_counts.tolist()):
+                tally[value] = tally.get(value, 0) + count
+            for k, v in enumerate(res.next_hist):
+                next_hist[k] += v
+        wait_values = np.array(sorted(tally), dtype=np.int64)
+        wait_counts = np.array([tally[v] for v in wait_values.tolist()], dtype=np.int64)
+        return SerialRound(
+            new_loads=self.bins.loads,
+            accepted_per_bucket=accepted_per_bucket,
+            accepted_total=accepted_total,
+            deleted=deleted,
+            max_load=max_load,
+            peak_load=peak_load,
+            wait_values=wait_values,
+            wait_counts=wait_counts,
+            next_hist=next_hist,
+        )
+
+    # -- checkpoint / invariants -------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify pool, bins, and per-shard histogram-carry consistency."""
+        self.pool.check_invariants()
+        self.bins.check_invariants()
+        oldest = self.pool.oldest_label
+        if oldest is not None and oldest > self.round:
+            raise InvariantViolation(
+                f"pool contains balls from future round {oldest} (now {self.round})"
+            )
+        for s, (lo, hi) in enumerate(self.ranges):
+            hist = self._shard_hists[s]
+            if hist is None:
+                continue
+            expected = np.bincount(self.bins.loads[lo:hi], minlength=len(hist)).tolist()
+            if list(hist) != expected:
+                raise InvariantViolation(f"shard {s} histogram carry out of sync with loads")
+
+    def get_state(self) -> dict:
+        """Snapshot for bit-identical restore (same ``shards`` required)."""
+        if self._workers is not None:
+            rng_states = self._workers.get_rng_states()
+        else:
+            rng_states = [rng.bit_generator.state for rng in self._rngs]
+        return {
+            "round": self.round,
+            "shards": self.shards,
+            "pool": self.pool.get_state(),
+            "bins": self.bins.get_state(),
+            "shard_rngs": rng_states,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (same n/c/λ/shards engine)."""
+        if int(state["shards"]) != self.shards:
+            raise ConfigurationError(
+                f"snapshot was taken with shards={state['shards']}, "
+                f"this engine has shards={self.shards}"
+            )
+        self.round = int(state["round"])
+        self.pool.set_state(state["pool"])
+        self.bins.set_state(state["bins"])
+        if self._workers is not None:
+            self._workers.set_rng_states(state["shard_rngs"])
+            self._workers.reload_loads()
+        else:
+            for rng, saved in zip(self._rngs, state["shard_rngs"]):
+                rng.bit_generator.state = saved
+        self._shard_hists = [None] * self.shards
+        self.check_invariants()

@@ -1,0 +1,330 @@
+"""Persistent worker processes for the sharded CAPPED engine.
+
+The process backend of :class:`repro.kernels.sharded.ShardedCappedProcess`
+keeps one OS process per shard alive for the whole run, with the two big
+per-round arrays in POSIX shared memory:
+
+* ``loads`` — the full ``(n,)`` bin-load vector. The coordinator's
+  :class:`~repro.balls.bin_array.BinArray` is re-pointed at this segment,
+  so in-place coordinator mutations (empty-round deletions) and worker
+  writes (each worker owns the slice for its bin range) are both visible
+  everywhere without copying.
+* ``choices`` — the round's bin-choice vector, bucket-major in generation
+  order. Each worker scatters its deterministic per-bucket slices into
+  place during the *generate* phase; after the barrier every worker reads
+  the whole vector back to filter out the keys landing in its own range.
+  The buffer grows geometrically if a round overflows it (the pool is
+  unbounded in principle), with workers re-attaching on a ``grow``
+  message.
+
+Per round the pipes therefore carry only bucket spans, capacity specs,
+and O(capacity)-sized result summaries — never O(n) or O(pool) data.
+
+The protocol is two synchronous barriers per round, driven by the
+coordinator: broadcast ``gen`` and collect acks (all choices staged),
+then broadcast ``resolve`` and collect summaries (all load slices
+written). Workers own their RNG substreams; ``get_rng``/``set_rng``
+messages move bit-generator state for checkpointing. ``fork`` is used
+where available (workers inherit nothing they rely on — all state
+arrives via arguments and messages — but startup is cheap), ``spawn``
+otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.rng import RngFactory
+
+__all__ = ["WorkerPool"]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering for cleanup.
+
+    Only the coordinator (the creator) unlinks segments; ``track=False``
+    (Python 3.13+) keeps the resource tracker from double-unlinking on
+    worker exit. Older interpreters fall back to default tracking, which
+    merely warns.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - pre-3.13 interpreters
+        return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(
+    conn,
+    shard_index: int,
+    shards: int,
+    n: int,
+    lo: int,
+    hi: int,
+    seed: int,
+    capacity_slice,
+    loads_name: str,
+    choices_name: str,
+    choices_capacity: int,
+) -> None:
+    """Worker loop: serve gen/resolve/rng/grow messages until ``close``."""
+    from repro.kernels.sharded import _resolve_shard
+
+    rng = RngFactory(seed=seed).child(shard_index).generator("capped")
+    loads_shm = _attach(loads_name)
+    loads = np.ndarray((n,), dtype=np.int64, buffer=loads_shm.buf)
+    choices_shm = _attach(choices_name)
+    choices = np.ndarray((choices_capacity,), dtype=np.int64, buffer=choices_shm.buf)
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "gen":
+                counts = msg[1]
+                sizes = [
+                    c * (shard_index + 1) // shards - c * shard_index // shards for c in counts
+                ]
+                block = rng.integers(0, n, size=sum(sizes))
+                pos = 0
+                offset = 0
+                for count, size in zip(counts, sizes):
+                    if size:
+                        start = offset + count * shard_index // shards
+                        choices[start : start + size] = block[pos : pos + size]
+                        pos += size
+                    offset += count
+                conn.send(("ok",))
+            elif op == "resolve":
+                _, spans, ages, limit_spec, hist_size, initial_hist = msg
+                if limit_spec[0] == "scalar":
+                    limit = limit_spec[1]
+                elif limit_spec[0] == "held":
+                    limit = capacity_slice
+                else:
+                    limit = limit_spec[1]
+                bucket_keys = [choices[o : o + c] for o, c in spans]
+                start = time.perf_counter()
+                res = _resolve_shard(
+                    loads[lo:hi], limit, lo, hi, bucket_keys, ages, hist_size, initial_hist
+                )
+                loads[lo:hi] = res.new_loads
+                seconds = time.perf_counter() - start
+                # Summaries only over the pipe: the loads already crossed
+                # via shared memory.
+                conn.send(("res", dataclasses.replace(res, new_loads=None), seconds))
+            elif op == "grow":
+                _, name, capacity = msg
+                choices = None
+                choices_shm.close()
+                choices_shm = _attach(name)
+                choices = np.ndarray((capacity,), dtype=np.int64, buffer=choices_shm.buf)
+                conn.send(("ok",))
+            elif op == "get_rng":
+                conn.send(("rng", rng.bit_generator.state))
+            elif op == "set_rng":
+                rng.bit_generator.state = msg[1]
+                conn.send(("ok",))
+            elif op == "close":
+                conn.send(("ok",))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown worker message {op!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - torn-down coordinator
+        pass
+    finally:
+        loads = None
+        choices = None
+        loads_shm.close()
+        choices_shm.close()
+        conn.close()
+
+
+class WorkerPool:
+    """Coordinator side of the process backend (one worker per shard)."""
+
+    def __init__(self, process) -> None:
+        self._process = process
+        n = process.n
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._shm_loads = shared_memory.SharedMemory(create=True, size=max(8 * n, 8))
+        self._loads_view = np.ndarray((n,), dtype=np.int64, buffer=self._shm_loads.buf)
+        self._loads_view[:] = process.bins.loads
+        process.bins.loads = self._loads_view
+        # Headroom for the steady-state pool (≈ λn/(1−λ) can exceed n for
+        # high λ); geometric growth handles the rest.
+        self._choice_capacity = max(1024, 4 * process.arrivals.per_round + n)
+        self._shm_choices = shared_memory.SharedMemory(create=True, size=8 * self._choice_capacity)
+        self._choices_view = np.ndarray(
+            (self._choice_capacity,), dtype=np.int64, buffer=self._shm_choices.buf
+        )
+        capacity = process.bins.capacity
+        self._conns = []
+        self._procs = []
+        try:
+            for s, (lo, hi) in enumerate(process.ranges):
+                parent, child = self._ctx.Pipe()
+                cap_slice = None if np.isscalar(capacity) else capacity[lo:hi].copy()
+                worker = self._ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child,
+                        s,
+                        process.shards,
+                        n,
+                        lo,
+                        hi,
+                        process.seed,
+                        cap_slice,
+                        self._shm_loads.name,
+                        self._shm_choices.name,
+                        self._choice_capacity,
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(worker)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _expect(self, conn, tag: str):
+        try:
+            reply = conn.recv()
+        except EOFError as exc:  # pragma: no cover - crashed worker
+            raise RuntimeError("sharded worker died mid-round") from exc
+        if reply[0] != tag:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected {tag!r} from worker, got {reply[0]!r}")
+        return reply
+
+    def _broadcast(self, message, tag: str = "ok") -> None:
+        for conn in self._conns:
+            conn.send(message)
+        for conn in self._conns:
+            self._expect(conn, tag)
+
+    def _ensure_capacity(self, total: int) -> None:
+        if total <= self._choice_capacity:
+            return
+        new_capacity = max(total, 2 * self._choice_capacity)
+        new_shm = shared_memory.SharedMemory(create=True, size=8 * new_capacity)
+        self._broadcast(("grow", new_shm.name, new_capacity))
+        self._choices_view = None
+        self._shm_choices.close()
+        self._shm_choices.unlink()
+        self._shm_choices = new_shm
+        self._choice_capacity = new_capacity
+        self._choices_view = np.ndarray((new_capacity,), dtype=np.int64, buffer=new_shm.buf)
+
+    # -- the round ---------------------------------------------------------
+
+    def stage_choices(self, counts: list[int], choices) -> list[tuple[int, int]]:
+        """Fill the shared choice buffer; return per-bucket ``(offset, count)``.
+
+        Without injection this is the generate barrier — every worker
+        draws its block and scatters it. With injection the coordinator
+        writes the provided vector directly and the substreams stay put.
+        """
+        total = sum(counts)
+        self._ensure_capacity(total)
+        if choices is None:
+            self._broadcast(("gen", counts))
+        else:
+            self._choices_view[:total] = np.asarray(choices, dtype=np.int64)
+        spans = []
+        offset = 0
+        for count in counts:
+            spans.append((offset, count))
+            offset += count
+        return spans
+
+    def read_choices(self, thrown: int) -> np.ndarray:
+        return self._choices_view[:thrown].copy()
+
+    def resolve(self, spans, ages, capacity_limit, hist_size, shard_hists):
+        """Resolve barrier: returns per-shard summaries and resolve seconds."""
+        scalar = np.isscalar(capacity_limit)
+        held = capacity_limit is self._process.bins.capacity
+        for s, conn in enumerate(self._conns):
+            if scalar:
+                spec = ("scalar", int(capacity_limit))
+            elif held:
+                spec = ("held",)
+            else:
+                lo, hi = self._process.ranges[s]
+                spec = ("ship", capacity_limit[lo:hi])
+            conn.send(("resolve", spans, ages, spec, hist_size, shard_hists[s]))
+        results = []
+        seconds = []
+        for conn in self._conns:
+            _, res, dt = self._expect(conn, "res")
+            results.append(res)
+            seconds.append(dt)
+        return results, seconds
+
+    # -- checkpoint hooks --------------------------------------------------
+
+    def get_rng_states(self) -> list[dict]:
+        for conn in self._conns:
+            conn.send(("get_rng",))
+        return [self._expect(conn, "rng")[1] for conn in self._conns]
+
+    def set_rng_states(self, states) -> None:
+        for conn, state in zip(self._conns, states):
+            conn.send(("set_rng", state))
+        for conn in self._conns:
+            self._expect(conn, "ok")
+
+    def reload_loads(self) -> None:
+        """Re-point the bins at shared memory after ``BinArray.set_state``.
+
+        ``set_state`` installs a fresh loads array; the workers keep
+        looking at the segment, so copy the restored values in and swap
+        the view back.
+        """
+        bins = self._process.bins
+        if bins.loads is not self._loads_view:
+            self._loads_view[:] = bins.loads
+            bins.loads = self._loads_view
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for worker in self._procs:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - hung worker
+                worker.terminate()
+                worker.join(timeout=5)
+        self._conns = []
+        self._procs = []
+        # Detach the bins from shared memory before unlinking it.
+        bins = self._process.bins
+        if bins.loads is self._loads_view:
+            bins.loads = np.array(self._loads_view)
+        self._loads_view = None
+        self._choices_view = None
+        self._shm_loads.close()
+        self._shm_choices.close()
+        try:
+            self._shm_loads.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            self._shm_choices.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

@@ -84,9 +84,7 @@ class RecordingContext:
         from repro.analysis.sweep import placeholder_point
 
         key = point_key(kind, params)
-        entry = self.points.setdefault(
-            key, {"kind": kind, "params": dict(params), "replicates": 0}
-        )
+        entry = self.points.setdefault(key, {"kind": kind, "params": dict(params), "replicates": 0})
         entry["replicates"] = max(entry["replicates"], replicates)
         return placeholder_point(kind, params, replicates)
 

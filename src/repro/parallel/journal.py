@@ -91,9 +91,7 @@ class Journal:
             {"type": "experiment", "key": key, "experiment_id": experiment_id, "result": result}
         )
 
-    def append_quarantine(
-        self, key: str, spec: dict[str, Any], error: str, attempts: int
-    ) -> None:
+    def append_quarantine(self, key: str, spec: dict[str, Any], error: str, attempts: int) -> None:
         self.append(
             {
                 "type": "quarantine",

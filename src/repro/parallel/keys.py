@@ -63,9 +63,7 @@ def _hash_files(paths: tuple[str, ...]) -> str:
 
 def measurement_fingerprint() -> str:
     """Fingerprint of the modules a measurement task depends on."""
-    paths = tuple(
-        str(Path(importlib.import_module(name).__file__)) for name in MEASUREMENT_MODULES
-    )
+    paths = tuple(str(Path(importlib.import_module(name).__file__)) for name in MEASUREMENT_MODULES)
     return _hash_files(paths)
 
 

@@ -110,9 +110,7 @@ class ProgressReporter:
         self._last_print = 0.0
         self._line_width = 0
 
-    def task_done(
-        self, label: str, elapsed: float, source: str = "computed", **info: Any
-    ) -> None:
+    def task_done(self, label: str, elapsed: float, source: str = "computed", **info: Any) -> None:
         """Record one finished task; ``source`` is computed/cache/journal.
 
         Extra keyword info (worker ``pid``, the task ``outcome``/``kind``/
@@ -211,9 +209,7 @@ class LiveStatusReporter(ProgressReporter):
         if theory is not None and theory > 0:
             self.theory_errors.append(abs(pool / theory - 1.0))
 
-    def task_done(
-        self, label: str, elapsed: float, source: str = "computed", **info: Any
-    ) -> None:
+    def task_done(self, label: str, elapsed: float, source: str = "computed", **info: Any) -> None:
         if source == "computed":
             self._note_outcome(info)
         super().task_done(label, elapsed, source, **info)
@@ -222,9 +218,7 @@ class LiveStatusReporter(ProgressReporter):
         extras = []
         if self.worker_tasks:
             rate = self.computed / max(1e-9, time.monotonic() - self._started)
-            counts = "/".join(
-                str(count) for _, count in sorted(self.worker_tasks.items())
-            )
+            counts = "/".join(str(count) for _, count in sorted(self.worker_tasks.items()))
             extras.append(f"workers {len(self.worker_tasks)} ({counts})  {rate:.2f} task/s")
         if self.report is not None:
             extras.append(

@@ -231,32 +231,22 @@ class ExperimentRunner:
 
         if isinstance(profile, str):
             if profile not in PROFILES:
-                raise ExperimentError(
-                    f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
-                )
+                raise ExperimentError(f"unknown profile {profile!r}; available: {sorted(PROFILES)}")
             profile = PROFILES[profile]
         if not isinstance(profile, Profile):
             raise ExperimentError(f"cannot use {profile!r} as a profile")
         if jobs < 1:
             raise ParallelExecutionError(f"jobs must be >= 1, got {jobs}")
         if task_timeout is not None and task_timeout <= 0:
-            raise ParallelExecutionError(
-                f"task_timeout must be positive, got {task_timeout}"
-            )
+            raise ParallelExecutionError(f"task_timeout must be positive, got {task_timeout}")
         if max_retries < 0:
             raise ParallelExecutionError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff < 0:
-            raise ParallelExecutionError(
-                f"retry_backoff must be >= 0, got {retry_backoff}"
-            )
+            raise ParallelExecutionError(f"retry_backoff must be >= 0, got {retry_backoff}")
         if max_pool_rebuilds < 0:
-            raise ParallelExecutionError(
-                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}"
-            )
+            raise ParallelExecutionError(f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds}")
         if checkpoint_every is not None and checkpoint_every < 1:
-            raise ParallelExecutionError(
-                f"checkpoint_every must be >= 1, got {checkpoint_every}"
-            )
+            raise ParallelExecutionError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if checkpoint_every is not None and checkpoint_dir is None:
             if cache_dir is None:
                 raise ParallelExecutionError(
@@ -273,9 +263,7 @@ class ExperimentRunner:
             journal_path = Path(cache_dir) / "journal.jsonl"
         self.journal_path = Path(journal_path) if journal_path is not None else None
         if resume and self.journal_path is None:
-            raise ParallelExecutionError(
-                "--resume needs a journal: pass cache_dir or journal_path"
-            )
+            raise ParallelExecutionError("--resume needs a journal: pass cache_dir or journal_path")
         self.resume = resume
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
@@ -467,9 +455,7 @@ class ExperimentRunner:
                         rotations += 1
                         continue
                     pending.popleft()
-                    deadline = (
-                        now + self.task_timeout if self.task_timeout is not None else None
-                    )
+                    deadline = now + self.task_timeout if self.task_timeout is not None else None
                     try:
                         future = pool.submit(fn, payload)
                     except (BrokenProcessPool, RuntimeError):
@@ -499,13 +485,17 @@ class ExperimentRunner:
                         except BrokenProcessPool:
                             broken = True
                             requeue(
-                                payload, attempts,
-                                "worker died (broken process pool)", timed_out=False,
+                                payload,
+                                attempts,
+                                "worker died (broken process pool)",
+                                timed_out=False,
                             )
                         except Exception as err:
                             requeue(
-                                payload, attempts,
-                                f"{type(err).__name__}: {err}", timed_out=False,
+                                payload,
+                                attempts,
+                                f"{type(err).__name__}: {err}",
+                                timed_out=False,
                             )
                         else:
                             yield payload, result
@@ -523,16 +513,20 @@ class ExperimentRunner:
                     for future in timed_out:
                         payload, attempts, _ = running.pop(future)
                         requeue(
-                            payload, attempts,
-                            f"timed out after {self.task_timeout}s", timed_out=True,
+                            payload,
+                            attempts,
+                            f"timed out after {self.task_timeout}s",
+                            timed_out=True,
                         )
                     for future, (payload, attempts, _) in list(running.items()):
                         if broken:
                             # The pool died with these in flight; any of
                             # them may be the killer, so each is charged.
                             requeue(
-                                payload, attempts,
-                                "worker died (broken process pool)", timed_out=False,
+                                payload,
+                                attempts,
+                                "worker died (broken process pool)",
+                                timed_out=False,
                             )
                         else:
                             pending.append((payload, attempts - 1, 0.0))
@@ -544,9 +538,7 @@ class ExperimentRunner:
                         report.serial_fallback = True
                         yield from failed
                         failed.clear()
-                        yield from self._run_serial(
-                            fn, [(p, a) for p, a, _ in pending], report
-                        )
+                        yield from self._run_serial(fn, [(p, a) for p, a, _ in pending], report)
                         pending.clear()
                         return
                     pool = ProcessPoolExecutor(max_workers=width)
@@ -687,9 +679,7 @@ class ExperimentRunner:
         for experiment_id in ids:
             for point in plans.get(experiment_id, ()):
                 spec0 = TaskSpec(point["kind"], point["params"], 0)
-                entry = points.setdefault(
-                    spec0.point_key, {**point, "replicates": 0}
-                )
+                entry = points.setdefault(spec0.point_key, {**point, "replicates": 0})
                 entry["replicates"] = max(entry["replicates"], point["replicates"])
 
         specs: list[TaskSpec] = []
@@ -812,13 +802,9 @@ class ExperimentRunner:
             report.tasks_computed += 1
             report.timings.add(spec.label, elapsed, group=spec.kind)
             resumed_round = computed.get("resumed_round")
-            provenance = (
-                None if resumed_round is None else {"resumed_round": int(resumed_round)}
-            )
+            provenance = None if resumed_round is None else {"resumed_round": int(resumed_round)}
             if journal is not None:
-                journal.append_task(
-                    spec.digest, spec.payload(), outcome, provenance=provenance
-                )
+                journal.append_task(spec.digest, spec.payload(), outcome, provenance=provenance)
             if self.cache is not None:
                 self.cache.put(spec.digest, {"spec": spec.payload(), "outcome": outcome})
             if self.checkpoint_dir is not None:

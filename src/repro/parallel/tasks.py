@@ -56,7 +56,9 @@ class TaskSpec:
         for name in ("n", "c", "d", "lam"):
             if name in self.params and self.params[name] is not None:
                 value = self.params[name]
-                parts.append(f"{name}={value:.6g}" if isinstance(value, float) else f"{name}={value}")
+                parts.append(
+                    f"{name}={value:.6g}" if isinstance(value, float) else f"{name}={value}"
+                )
         parts.append(f"r{self.replicate}")
         return " ".join(parts)
 

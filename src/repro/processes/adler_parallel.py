@@ -116,7 +116,9 @@ class AdlerParallelProcess:
                 waits.append(t - self.birth_round.pop(ball))
 
         if waits:
-            wait_values, wait_counts = np.unique(np.asarray(waits, dtype=np.int64), return_counts=True)
+            wait_values, wait_counts = np.unique(
+                np.asarray(waits, dtype=np.int64), return_counts=True
+            )
         else:
             wait_values, wait_counts = _EMPTY, _EMPTY
 

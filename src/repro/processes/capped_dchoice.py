@@ -140,9 +140,7 @@ class CappedDChoiceProcess:
         structure.
         """
         labels, counts = self.pool.as_arrays()
-        committed_chunks = [
-            self._commit(int(count), self.bins.loads) for count in counts
-        ]
+        committed_chunks = [self._commit(int(count), self.bins.loads) for count in counts]
 
         wait_chunks: list[np.ndarray] = []
         removed = np.zeros(len(labels), dtype=np.int64)

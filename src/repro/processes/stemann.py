@@ -89,9 +89,7 @@ def stemann_collision(
     rounds = 0
     while len(unallocated):
         if rounds >= max_rounds:
-            raise SimulationError(
-                f"collision protocol did not finish within {max_rounds} rounds"
-            )
+            raise SimulationError(f"collision protocol did not finish within {max_rounds} rounds")
         rounds += 1
         threshold = rounds  # τ_r = r
         pending = candidates[unallocated]

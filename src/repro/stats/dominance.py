@@ -17,7 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["empirical_cdf", "stochastically_dominates", "coupled_dominance_report", "DominanceReport"]
+__all__ = [
+    "empirical_cdf", "stochastically_dominates", "coupled_dominance_report", "DominanceReport"
+]
 
 
 def empirical_cdf(samples: np.ndarray | list[float]):

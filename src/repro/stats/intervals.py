@@ -38,9 +38,15 @@ def _z_value(confidence: float) -> float:
     a = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637]
     b = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833]
     c = [
-        0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
-        0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
-        0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
     ]
     y = p - 0.5
     if abs(y) < 0.42:

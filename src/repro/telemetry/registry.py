@@ -67,9 +67,7 @@ class _Family:
     def _check_labels(self, labels: dict[str, Any]) -> None:
         for label in labels:
             if not _LABEL_RE.match(label):
-                raise ConfigurationError(
-                    f"invalid label name {label!r} on metric {self.name!r}"
-                )
+                raise ConfigurationError(f"invalid label name {label!r} on metric {self.name!r}")
 
     def series(self) -> Iterator[tuple[dict[str, str], Any]]:
         """Iterate ``(labels, raw series value)`` pairs, sorted by labels."""
@@ -87,9 +85,7 @@ class Counter(_Family):
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
-            raise ConfigurationError(
-                f"counter {self.name!r} cannot decrease (inc by {amount})"
-            )
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease (inc by {amount})")
         self._check_labels(labels)
         key = _label_key(labels)
         self._series[key] = self._series.get(key, 0.0) + amount
@@ -111,9 +107,7 @@ class Gauge(_Family):
     def value(self, **labels: Any) -> float:
         key = _label_key(labels)
         if key not in self._series:
-            raise ConfigurationError(
-                f"gauge {self.name!r} has no series for labels {dict(key)!r}"
-            )
+            raise ConfigurationError(f"gauge {self.name!r} has no series for labels {dict(key)!r}")
         return float(self._series[key])
 
 

@@ -108,10 +108,7 @@ def render_report(manifest: dict[str, Any]) -> list[str]:
     lines: list[str] = []
     created = manifest.get("created_unix")
     code = manifest.get("code", {})
-    lines.append(
-        "run: "
-        + " ".join(manifest.get("command", []) or ["<unknown command>"])
-    )
+    lines.append("run: " + " ".join(manifest.get("command", []) or ["<unknown command>"]))
     lines.append(
         f"code: package={code.get('package_fingerprint', '?')} "
         f"measurement={code.get('measurement_fingerprint', '?')}"
@@ -149,8 +146,13 @@ def render_report(manifest: dict[str, Any]) -> list[str]:
                 f"(n={int(series['count'])})"
             )
     counters = []
-    for name in ("runner_tasks_total", "task_retries_total", "tasks_quarantined_total",
-                 "fault_events_total", "kernel_dispatch_total"):
+    for name in (
+        "runner_tasks_total",
+        "task_retries_total",
+        "tasks_quarantined_total",
+        "fault_events_total",
+        "kernel_dispatch_total",
+    ):
         value = _counter_value(metrics, name)
         if value:
             counters.append(f"{name}={int(value)}")

@@ -210,8 +210,6 @@ def parse_prometheus(text: str) -> dict[str, Any]:
             if family is None and sample_name.endswith(("_sum", "_count")):
                 family = families.get(sample_name.rsplit("_", 1)[0])
             if family is None:
-                family = families.setdefault(
-                    sample_name, {"kind": None, "help": "", "samples": []}
-                )
+                family = families.setdefault(sample_name, {"kind": None, "help": "", "samples": []})
             family["samples"].append({"name": sample_name, "labels": labels, "value": value})
     return families

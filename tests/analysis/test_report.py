@@ -59,8 +59,11 @@ class TestRenderMarkdown:
 
     def test_non_numeric_rows_skip_plot(self):
         result = ExperimentResult(
-            experiment_id="x", title="T", profile="p",
-            columns=["name"], rows=[{"name": "abc"}],
+            experiment_id="x",
+            title="T",
+            profile="p",
+            columns=["name"],
+            rows=[{"name": "abc"}],
         )
         text = render_markdown([result])
         assert "```" not in text

@@ -75,7 +75,9 @@ class TestDynamics:
         assert stats.mean_latency == 0.0
 
     def test_least_loaded_beats_random_on_latency(self):
-        random_stats = make_farm(policy=RandomPolicy(), capacity=None, rate=0.75, servers=64).run(400)
+        random_stats = make_farm(policy=RandomPolicy(), capacity=None, rate=0.75, servers=64).run(
+            400
+        )
         balanced_stats = make_farm(
             policy=LeastLoadedPolicy(2), capacity=None, rate=0.75, servers=64
         ).run(400)

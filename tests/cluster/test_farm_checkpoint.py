@@ -73,8 +73,7 @@ class TestFarmRoundTrip:
         # must still report latency T - 3: queue order and created_tick both
         # come back from the snapshot.
         server = Server(capacity=3)
-        server.admit([Request(created_tick=3, request_id=0),
-                      Request(created_tick=5, request_id=1)])
+        server.admit([Request(created_tick=3, request_id=0), Request(created_tick=5, request_id=1)])
         restored = Server(capacity=3)
         restored.set_state(server.get_state())
         assert restored.serve().latency(10) == 7

@@ -116,16 +116,12 @@ class TestAllServersDownWindow:
             farm.step()
         # Conservation now includes the wiped requests.
         queued = sum(s.queue_length for s in farm.servers)
-        assert farm._next_id == (
-            farm.completed + queued + len(farm.pending) + injector.balls_lost
-        )
+        assert farm._next_id == farm.completed + queued + len(farm.pending) + injector.balls_lost
 
 
 class TestFarmEdgeCapacities:
     def test_unbounded_farm_with_injector_outage(self):
-        schedule = FaultSchedule(
-            events=(CrashBurst(at_round=3, fraction=0.5, duration=5),), seed=1
-        )
+        schedule = FaultSchedule(events=(CrashBurst(at_round=3, fraction=0.5, duration=5),), seed=1)
         injector = FaultInjector(schedule)
         farm = make_farm(capacity=None, observers=[injector])
         for _ in range(20):

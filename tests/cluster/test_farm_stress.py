@@ -39,9 +39,7 @@ class TestWorkloadVariants:
         assert stats.peak_pending < 64 * 30
 
     def test_burst_recovery_empties_pending(self):
-        workload = BurstyArrivals(
-            n=64, lam_high=1.0, lam_low=0.0, on_rounds=16, off_rounds=48
-        )
+        workload = BurstyArrivals(n=64, lam_high=1.0, lam_low=0.0, on_rounds=16, off_rounds=48)
         farm = farm_with(workload)
         farm.run(64 * 4)
         # At the end of a full off-phase the backlog is gone.
@@ -57,9 +55,7 @@ class TestWorkloadVariants:
 
 class TestPolicyContrasts:
     def test_two_probes_cut_rejections(self):
-        workload = BurstyArrivals(
-            n=64, lam_high=1.0, lam_low=0.5, on_rounds=8, off_rounds=8
-        )
+        workload = BurstyArrivals(n=64, lam_high=1.0, lam_low=0.5, on_rounds=8, off_rounds=8)
         random_farm = farm_with(workload, RandomPolicy(), rng=3)
         balanced_farm = farm_with(workload, LeastLoadedPolicy(2), rng=3)
         random_farm.run(400)

@@ -33,9 +33,7 @@ class TestAcceptanceOrder:
         # shared choices the pool-size trajectory is identical.
         n, c, lam = 32, 2, 0.75
         oldest = CappedProcess(n=n, capacity=c, lam=lam, rng=0)
-        youngest = CappedProcess(
-            n=n, capacity=c, lam=lam, rng=0, acceptance_order="youngest"
-        )
+        youngest = CappedProcess(n=n, capacity=c, lam=lam, rng=0, acceptance_order="youngest")
         choice_rng = np.random.default_rng(11)
         for _ in range(100):
             thrown = oldest.pool.size + round(lam * n)
@@ -52,9 +50,7 @@ class TestAcceptanceOrder:
         results = {}
         for order in ("oldest", "youngest"):
             profiler = AgeProfiler()
-            process = CappedProcess(
-                n=512, capacity=2, lam=lam, rng=5, acceptance_order=order
-            )
+            process = CappedProcess(n=512, capacity=2, lam=lam, rng=5, acceptance_order=order)
             result = SimulationDriver(**driver_kwargs, observers=[profiler]).run(process)
             results[order] = (result, profiler)
         oldest_result, _ = results["oldest"]
@@ -93,9 +89,7 @@ class TestLoadDistribution:
         # not just its mean, matches the fluid-limit chain.
         observer = LoadDistributionObserver()
         eq = equilibrium(c, lam)
-        process = CappedProcess(
-            n=2048, capacity=c, lam=lam, rng=2, initial_pool=eq.pool_size(2048)
-        )
+        process = CappedProcess(n=2048, capacity=c, lam=lam, rng=2, initial_pool=eq.pool_size(2048))
         SimulationDriver(burn_in=300, measure=400, observers=[observer]).run(process)
         empirical = observer.distribution()
         predicted = stationary_loads(eq.throw_intensity, c)

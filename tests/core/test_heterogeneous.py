@@ -61,9 +61,7 @@ class TestCappedHeterogeneous:
     def test_uniform_array_equals_scalar_distributionally(self):
         driver = SimulationDriver(burn_in=300, measure=300)
         scalar = driver.run(CappedProcess(n=512, capacity=2, lam=0.875, rng=2))
-        array = driver.run(
-            CappedProcess(n=512, capacity=np.full(512, 2), lam=0.875, rng=3)
-        )
+        array = driver.run(CappedProcess(n=512, capacity=np.full(512, 2), lam=0.875, rng=3))
         assert array.normalized_pool == pytest.approx(scalar.normalized_pool, rel=0.1)
 
 
@@ -97,8 +95,6 @@ class TestMixtureMeanField:
         n = 1024
         caps = np.concatenate([np.full(n // 2, 1), np.full(n // 2, 3)])
         predicted = mixture_equilibrium_pool({1: 0.5, 3: 0.5}, lam)
-        process = CappedProcess(
-            n=n, capacity=caps, lam=lam, rng=4, initial_pool=int(predicted * n)
-        )
+        process = CappedProcess(n=n, capacity=caps, lam=lam, rng=4, initial_pool=int(predicted * n))
         result = SimulationDriver(burn_in=400, measure=400).run(process)
         assert result.normalized_pool == pytest.approx(predicted, rel=0.1)

@@ -69,9 +69,7 @@ class TestAcceptRate:
     def test_unit_capacity_closed_form(self):
         # c=1: accept rate = P(A >= 1) = 1 - e^{-intensity}.
         for intensity in (0.5, 1.0, 2.5):
-            assert accept_rate(intensity, 1) == pytest.approx(
-                1 - math.exp(-intensity), abs=1e-6
-            )
+            assert accept_rate(intensity, 1) == pytest.approx(1 - math.exp(-intensity), abs=1e-6)
 
     def test_monotone_in_intensity(self):
         rates = [accept_rate(x, 2) for x in (0.5, 1.0, 2.0, 4.0)]
@@ -105,9 +103,7 @@ class TestEquilibrium:
 
     def test_little_law_consistency(self):
         eq = equilibrium(2, 0.75)
-        assert eq.mean_wait == pytest.approx(
-            (eq.normalized_pool + eq.mean_load) / 0.75
-        )
+        assert eq.mean_wait == pytest.approx((eq.normalized_pool + eq.mean_load) / 0.75)
 
     def test_pool_size_helper(self):
         eq = equilibrium(1, 0.75)

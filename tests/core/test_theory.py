@@ -90,9 +90,7 @@ class TestTheoremBounds:
         # (2 ln(1/(1-lam)) + 4)/(1 - 1/e) + loglog n + O(1)
         n, lam = 2**16, 0.75
         lead = (2 * math.log(4) + 4) / (1 - 1 / math.e)
-        assert theory.thm1_wait_bound(lam, n, additive_constant=0.0) == pytest.approx(
-            lead + 4.0
-        )
+        assert theory.thm1_wait_bound(lam, n, additive_constant=0.0) == pytest.approx(lead + 4.0)
 
     def test_thm2_wait_decreases_then_increases_in_c(self):
         # L/c + c shape: for large lambda the bound has an interior optimum.

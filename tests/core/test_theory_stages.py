@@ -34,9 +34,7 @@ class TestDrainStage:
     def test_lemma3_formula(self):
         # Delta = m / (n - n/e)
         n, pool = 1000, 5000
-        assert theory.drain_stage_rounds(pool, n) == pytest.approx(
-            pool / (n * (1 - 1 / math.e))
-        )
+        assert theory.drain_stage_rounds(pool, n) == pytest.approx(pool / (n * (1 - 1 / math.e)))
 
     def test_empty_pool_drains_instantly(self):
         assert theory.drain_stage_rounds(0, 100) == 0.0

@@ -252,9 +252,7 @@ class TestRestoreValidation:
         )
         driver.run(CappedProcess(n=32, capacity=2, lam=0.75, rng=1))
 
-        other = SimulationDriver(
-            burn_in=5, measure=11, checkpoint_dir=tmp_path, checkpoint_every=2
-        )
+        other = SimulationDriver(burn_in=5, measure=11, checkpoint_dir=tmp_path, checkpoint_every=2)
         with pytest.raises(CheckpointIncompatible, match="measure"):
             other.run(CappedProcess(n=32, capacity=2, lam=0.75, rng=1))
 
@@ -264,9 +262,7 @@ class TestRestoreValidation:
         )
         driver.run(CappedProcess(n=32, capacity=2, lam=0.75, rng=1))
 
-        other = SimulationDriver(
-            burn_in=5, measure=10, checkpoint_dir=tmp_path, checkpoint_every=2
-        )
+        other = SimulationDriver(burn_in=5, measure=10, checkpoint_dir=tmp_path, checkpoint_every=2)
         with pytest.raises(CheckpointIncompatible, match="n "):
             other.run(CappedProcess(n=64, capacity=2, lam=0.75, rng=1))
 
@@ -284,9 +280,7 @@ class TestRestoreValidation:
         first = SimulationDriver(
             burn_in=5, measure=10, checkpoint_dir=tmp_path, checkpoint_every=5
         ).run(make())
-        again = SimulationDriver(
-            burn_in=5, measure=10, checkpoint_dir=tmp_path, checkpoint_every=5
-        )
+        again = SimulationDriver(burn_in=5, measure=10, checkpoint_dir=tmp_path, checkpoint_every=5)
         second = again.run(make())
         assert again.last_restore is not None
         assert result_key(first) == result_key(second)

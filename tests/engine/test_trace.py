@@ -31,9 +31,11 @@ def sample_record(round_index=1):
 
 
 def records_equal(a: RoundRecord, b: RoundRecord) -> bool:
+    scalars = (
+        "round", "arrivals", "thrown", "accepted", "deleted", "pool_size", "total_load", "max_load"
+    )
     return (
-        (a.round, a.arrivals, a.thrown, a.accepted, a.deleted, a.pool_size, a.total_load, a.max_load)
-        == (b.round, b.arrivals, b.thrown, b.accepted, b.deleted, b.pool_size, b.total_load, b.max_load)
+        all(getattr(a, field) == getattr(b, field) for field in scalars)
         and a.wait_values.tolist() == b.wait_values.tolist()
         and a.wait_counts.tolist() == b.wait_counts.tolist()
     )

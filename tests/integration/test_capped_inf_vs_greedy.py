@@ -21,9 +21,7 @@ def test_statistics_match_distributionally():
     greedy = driver.run(GreedyBatchProcess(n=512, d=1, lam=0.875, rng=2))
     assert capped.avg_wait == pytest.approx(greedy.avg_wait, rel=0.1)
     assert capped.max_wait == pytest.approx(greedy.max_wait, abs=4)
-    assert capped.summary.peak_max_load == pytest.approx(
-        greedy.summary.peak_max_load, abs=4
-    )
+    assert capped.summary.peak_max_load == pytest.approx(greedy.summary.peak_max_load, abs=4)
 
 
 def test_identical_under_shared_choices():

@@ -76,9 +76,7 @@ def test_trajectories_and_wait_multisets_identical(n, capacity, lam, kernel):
     # per-round assertions inside run_coupled_pair pin the fused kernel
     # bit-for-bit against the per-ball reference — pool sizes, acceptance
     # counts, loads every round, wait multisets at the end.
-    fast_waits, exact_waits = run_coupled_pair(
-        n, capacity, lam, rounds=60, seed=123, kernel=kernel
-    )
+    fast_waits, exact_waits = run_coupled_pair(n, capacity, lam, rounds=60, seed=123, kernel=kernel)
     assert sorted(fast_waits) == sorted(exact_waits)
 
 

@@ -32,15 +32,11 @@ class TestInvariantSweeps:
 
     def test_greedy_invariants_hold(self):
         process = GreedyBatchProcess(n=128, d=2, lam=0.875, rng=1)
-        SimulationDriver(
-            burn_in=0, measure=300, observers=[InvariantChecker()]
-        ).run(process)
+        SimulationDriver(burn_in=0, measure=300, observers=[InvariantChecker()]).run(process)
 
     def test_becchetti_invariants_hold(self):
         process = RepeatedBallsProcess(n=64, rng=2)
-        SimulationDriver(
-            burn_in=0, measure=300, observers=[InvariantChecker()]
-        ).run(process)
+        SimulationDriver(burn_in=0, measure=300, observers=[InvariantChecker()]).run(process)
 
 
 class TestConservation:
@@ -72,9 +68,7 @@ class TestConservation:
         )
 
     def test_bursty_arrivals(self):
-        arrivals = BurstyArrivals(
-            n=64, lam_high=1.0, lam_low=0.25, on_rounds=10, off_rounds=10
-        )
+        arrivals = BurstyArrivals(n=64, lam_high=1.0, lam_low=0.25, on_rounds=10, off_rounds=10)
         self._check_capped_conservation(
             CappedProcess(n=64, capacity=3, lam=0.625, rng=6, arrivals=arrivals),
             rounds=200,
@@ -100,9 +94,7 @@ class TestStochasticArrivalStability:
         )
 
     def test_pool_recovers_after_burst(self):
-        arrivals = BurstyArrivals(
-            n=256, lam_high=1.0, lam_low=0.0, on_rounds=50, off_rounds=50
-        )
+        arrivals = BurstyArrivals(n=256, lam_high=1.0, lam_low=0.0, on_rounds=50, off_rounds=50)
         process = CappedProcess(n=256, capacity=2, lam=0.5, rng=9, arrivals=arrivals)
         trace = TraceRecorder()
         SimulationDriver(burn_in=0, measure=400, observers=[trace]).run(process)

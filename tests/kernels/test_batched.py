@@ -97,11 +97,11 @@ class TestResolveCappedRound:
         assert not resolved.accepted_per_key.any()
         assert resolved.waits.size == 0
 
-    def test_unit_take_path_equals_bucket_sweep_path(self):
+    def test_unit_take_path_equals_counting_path(self):
         # The dispatch condition (free <= 1 everywhere) is exactly where
         # both implementations are defined — they must agree field by
         # field on random instances.
-        from repro.kernels.round import _resolve_bucket_sweep, _resolve_unit_take
+        from repro.kernels.round import _resolve_counting, _resolve_unit_take
 
         rng = np.random.default_rng(17)
         for _ in range(50):
@@ -113,7 +113,7 @@ class TestResolveCappedRound:
             loads = rng.integers(0, 4, size=n).astype(np.int64)
             ages = np.sort(rng.integers(0, 30, size=num_buckets))[::-1].astype(np.int64)
             fast = _resolve_unit_take(free, loads, keys, counts, ages)
-            general = _resolve_bucket_sweep(free, loads, keys, counts, ages, True)
+            general = _resolve_counting(free, loads, keys, counts, ages, True, True)
             assert fast.accepted_total == general.accepted_total
             assert np.array_equal(fast.accepted_per_key, general.accepted_per_key)
             assert np.array_equal(fast.accepted_per_bucket, general.accepted_per_bucket)
@@ -207,12 +207,16 @@ class TestBatchedBitIdentity:
         serial = []
         for r in range(R):
             process = CappedProcess(
-                n=n, capacity=capacity, lam=0.9375,
+                n=n,
+                capacity=capacity,
+                lam=0.9375,
                 rng=factory.child(r).generator("capped"),
             )
             serial.append([process.step() for _ in range(100)])
         batched = BatchedCappedProcess(
-            n=n, capacity=capacity, lam=0.9375,
+            n=n,
+            capacity=capacity,
+            lam=0.9375,
             rngs=[factory.child(r).generator("capped") for r in range(R)],
         )
         for t in range(100):
@@ -222,7 +226,10 @@ class TestBatchedBitIdentity:
 
     def test_pool_sizes_property(self):
         batched = BatchedCappedProcess(
-            n=16, capacity=1, lam=0.875, rngs=[RngFactory(0).child(r).generator("capped") for r in range(2)]
+            n=16,
+            capacity=1,
+            lam=0.875,
+            rngs=[RngFactory(0).child(r).generator("capped") for r in range(2)],
         )
         assert batched.pool_sizes.tolist() == [0, 0]
         records = batched.step()
@@ -246,14 +253,17 @@ class TestDriverAndSweepWiring:
         factory = RngFactory(5)
         serial = [
             driver.run(
-                CappedProcess(n=64, capacity=2, lam=0.9375,
-                              rng=factory.child(r).generator("capped"))
+                CappedProcess(
+                    n=64, capacity=2, lam=0.9375, rng=factory.child(r).generator("capped")
+                )
             )
             for r in range(3)
         ]
         batched_results = driver.run_batched(
             BatchedCappedProcess(
-                n=64, capacity=2, lam=0.9375,
+                n=64,
+                capacity=2,
+                lam=0.9375,
                 rngs=[factory.child(r).generator("capped") for r in range(3)],
             )
         )
@@ -265,18 +275,13 @@ class TestDriverAndSweepWiring:
 
     def test_run_batched_rejects_observers(self):
         driver = SimulationDriver(burn_in=0, measure=5, observers=[TraceRecorder()])
-        process = BatchedCappedProcess(
-            n=8, capacity=1, lam=0.5, rngs=[np.random.default_rng(0)]
-        )
+        process = BatchedCappedProcess(n=8, capacity=1, lam=0.5, rngs=[np.random.default_rng(0)])
         with pytest.raises(ConfigurationError):
             driver.run_batched(process)
 
     def test_sweep_batched_outcomes_equal_serial(self):
-        params = dict(n=128, c=2, lam=0.9375, measure=40, seed=9,
-                      warm_start=True, burn_in=25)
-        serial = [
-            run_capped_replicate(replicate=r, **params) for r in range(3)
-        ]
+        params = dict(n=128, c=2, lam=0.9375, measure=40, seed=9, warm_start=True, burn_in=25)
+        serial = [run_capped_replicate(replicate=r, **params) for r in range(3)]
         batched = run_capped_replicates_batched(replicates=3, **params)
         assert batched == serial
 

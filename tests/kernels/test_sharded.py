@@ -1,0 +1,254 @@
+"""The sharded engine is exactly the CAPPED process, shard by shard.
+
+``kernel="legacy"`` is the oracle throughout, two ways:
+
+1. **One shard is the unsharded trajectory.** ``shards=1`` consumes the
+   stream ``RngFactory(seed).child(0).generator("capped")`` exactly like
+   a single-process run on that generator (the RNG-stream contract), so
+   every record matches bit for bit.
+2. **Capture and replay.** For ``shards >= 2`` the realised choice
+   vector is a different (but well-defined) sample; ``record_choices``
+   captures it each round and injecting it into a legacy run must
+   reproduce the sharded records exactly — acceptance, waits, deletions,
+   final loads. This covers the span filtering, the per-shard histogram
+   carries, and the merge, with zero tolerance.
+
+On top of the oracle: inline and process backends agree bit for bit,
+checkpoints restore mid-run bit-identically (including through the
+SimulationDriver), and misconfigurations fail loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.capped import CappedProcess
+from repro.engine.driver import SimulationDriver
+from repro.errors import ConfigurationError
+from repro.kernels.sharded import ShardedCappedProcess, shard_ranges, split_bucket
+from repro.rng import RngFactory
+
+from tests.kernels.test_fused_equivalence import assert_records_equal
+
+
+SHARDED_CONFIGS = [
+    dict(n=64, capacity=1, lam=0.9375),
+    dict(n=64, capacity=4, lam=0.984375),
+    dict(n=64, capacity=2, lam=0.9375, acceptance_order="youngest"),
+    dict(n=64, capacity=3, lam=0.9375, initial_pool=100),
+]
+
+
+def run_sharded(shards, rounds=120, seed=7, backend="inline", **kwargs):
+    process = ShardedCappedProcess(seed=seed, shards=shards, backend=backend, **kwargs)
+    with process:
+        records = [process.step() for _ in range(rounds)]
+        process.check_invariants()
+        loads = process.bins.loads.copy()
+    return records, loads
+
+
+class TestPartitioning:
+    def test_shard_ranges_cover_without_overlap(self):
+        for n, shards in [(64, 1), (64, 3), (7, 7), (100, 9)]:
+            ranges = shard_ranges(n, shards)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == n
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_split_bucket_tiles_the_bucket(self):
+        for count, shards in [(0, 4), (1, 4), (17, 3), (100, 7)]:
+            split = split_bucket(count, shards)
+            assert split[0][0] == 0
+            assert split[-1][1] == count
+            for (_, hi), (lo, _) in zip(split, split[1:]):
+                assert hi == lo
+
+
+class TestOneShardIsTheUnshardedRun:
+    @pytest.mark.parametrize("config", SHARDED_CONFIGS, ids=lambda c: str(sorted(c.items())))
+    def test_bit_identical_to_legacy_same_stream(self, config):
+        rng = RngFactory(7).child(0).generator("capped")
+        legacy = CappedProcess(rng=rng, kernel="legacy", **config)
+        legacy_records = [legacy.step() for _ in range(120)]
+        sharded_records, loads = run_sharded(shards=1, **config)
+        for a, b in zip(legacy_records, sharded_records):
+            assert_records_equal(a, b, context=f"round {a.round}: {config}")
+        assert np.array_equal(legacy.bins.loads, loads)
+
+
+class TestCaptureReplayOracle:
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    @pytest.mark.parametrize("config", SHARDED_CONFIGS, ids=lambda c: str(sorted(c.items())))
+    def test_legacy_replay_of_sharded_choices(self, config, shards):
+        sharded = ShardedCappedProcess(seed=7, shards=shards, record_choices=True, **config)
+        legacy = CappedProcess(rng=0, kernel="legacy", **config)
+        for _ in range(120):
+            mine = sharded.step()
+            theirs = legacy.step(choices=sharded.last_choices)
+            assert_records_equal(
+                mine, theirs, context=f"round {mine.round}: {config} shards={shards}"
+            )
+        sharded.check_invariants()
+        assert np.array_equal(sharded.bins.loads, legacy.bins.loads)
+        assert sharded.pool.labels() == legacy.pool.labels()
+        assert sharded.pool.counts() == legacy.pool.counts()
+
+    def test_heterogeneous_capacities(self):
+        capacity = np.array([1, 2, 3, 4] * 16, dtype=np.int64)
+        sharded = ShardedCappedProcess(
+            n=64, capacity=capacity, lam=0.9375, seed=3, shards=3, record_choices=True
+        )
+        legacy = CappedProcess(n=64, capacity=capacity, lam=0.9375, rng=0, kernel="legacy")
+        for _ in range(120):
+            mine = sharded.step()
+            theirs = legacy.step(choices=sharded.last_choices)
+            assert_records_equal(mine, theirs, context=f"round {mine.round}")
+        assert np.array_equal(sharded.bins.loads, legacy.bins.loads)
+
+    def test_injected_choices_match_legacy(self):
+        # Injection bypasses the substreams entirely: the same explicit
+        # vector fed to both engines must resolve identically.
+        rng = np.random.default_rng(99)
+        sharded = ShardedCappedProcess(n=32, capacity=2, lam=0.9375, seed=1, shards=4)
+        legacy = CappedProcess(n=32, capacity=2, lam=0.9375, rng=0, kernel="legacy")
+        for _ in range(80):
+            thrown = sharded.pool_size + sharded.arrivals.per_round
+            choices = rng.integers(0, 32, size=thrown)
+            assert_records_equal(sharded.step(choices=choices), legacy.step(choices=choices))
+        assert np.array_equal(sharded.bins.loads, legacy.bins.loads)
+
+
+class TestProcessBackend:
+    def test_matches_inline_bit_for_bit(self):
+        inline_records, inline_loads = run_sharded(shards=2, n=64, capacity=3, lam=0.9375, seed=11)
+        process_records, process_loads = run_sharded(
+            shards=2, n=64, capacity=3, lam=0.9375, seed=11, backend="process"
+        )
+        for a, b in zip(inline_records, process_records):
+            assert_records_equal(a, b, context=f"round {a.round}")
+        assert np.array_equal(inline_loads, process_loads)
+
+    def test_heterogeneous_capacity_and_injection(self):
+        capacity = np.array([1, 3] * 32, dtype=np.int64)
+        rng = np.random.default_rng(5)
+        with ShardedCappedProcess(
+            n=64, capacity=capacity, lam=0.9375, seed=2, shards=2, backend="process"
+        ) as worker_side:
+            inline_side = ShardedCappedProcess(
+                n=64, capacity=capacity, lam=0.9375, seed=2, shards=2
+            )
+            for step in range(60):
+                if step % 3 == 0:
+                    thrown = inline_side.pool_size + inline_side.arrivals.per_round
+                    choices = rng.integers(0, 64, size=thrown)
+                else:
+                    choices = None
+                assert_records_equal(
+                    worker_side.step(choices=choices), inline_side.step(choices=choices)
+                )
+            assert np.array_equal(worker_side.bins.loads, inline_side.bins.loads)
+
+    def test_choice_buffer_growth(self):
+        # A pool flood forces the shared choices buffer past its initial
+        # capacity; the grow handshake must stay bit-identical.
+        flood = 6000
+        with ShardedCappedProcess(
+            n=16,
+            capacity=2,
+            lam=0.9375,
+            seed=4,
+            shards=2,
+            backend="process",
+            initial_pool=flood,
+        ) as worker_side:
+            inline_side = ShardedCappedProcess(
+                n=16, capacity=2, lam=0.9375, seed=4, shards=2, initial_pool=flood
+            )
+            for _ in range(30):
+                assert_records_equal(worker_side.step(), inline_side.step())
+            assert np.array_equal(worker_side.bins.loads, inline_side.bins.loads)
+
+    def test_close_is_idempotent_and_releases_loads(self):
+        engine = ShardedCappedProcess(
+            n=32, capacity=2, lam=0.9375, seed=1, shards=2, backend="process"
+        )
+        record = engine.step()
+        engine.close()
+        engine.close()
+        # The bins survive teardown as a private copy.
+        assert engine.bins.loads.sum() == record.total_load
+        engine.bins.check_invariants()
+
+
+class TestCheckpointing:
+    @pytest.mark.parametrize("backend", ["inline", "process"])
+    def test_mid_run_snapshot_restores_bit_identically(self, backend):
+        with ShardedCappedProcess(
+            n=64, capacity=3, lam=0.9375, seed=5, shards=2, backend=backend
+        ) as original:
+            for _ in range(40):
+                original.step()
+            snapshot = original.get_state()
+            tail = [original.step() for _ in range(40)]
+        with ShardedCappedProcess(
+            n=64, capacity=3, lam=0.9375, seed=5, shards=2, backend=backend
+        ) as restored:
+            restored.set_state(snapshot)
+            for expected in tail:
+                assert_records_equal(expected, restored.step())
+
+    def test_snapshot_crosses_backends(self):
+        with ShardedCappedProcess(
+            n=64, capacity=3, lam=0.9375, seed=6, shards=2, backend="process"
+        ) as original:
+            for _ in range(30):
+                original.step()
+            snapshot = original.get_state()
+            tail = [original.step() for _ in range(30)]
+        restored = ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=6, shards=2)
+        restored.set_state(snapshot)
+        for expected in tail:
+            assert_records_equal(expected, restored.step())
+
+    def test_shard_count_mismatch_rejected(self):
+        snapshot = ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=6, shards=2).get_state()
+        other = ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=6, shards=4)
+        with pytest.raises(ConfigurationError, match="shards"):
+            other.set_state(snapshot)
+
+    @pytest.mark.parametrize("kill_round", [3, 22])
+    def test_driver_kill_resume_bit_identical(self, tmp_path, kill_round):
+        from tests.engine.test_driver_checkpoint import assert_kill_resume_identical
+
+        def build():
+            return ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=8, shards=2)
+
+        assert_kill_resume_identical(tmp_path, build, kill_round)
+
+
+class TestConfigurationGuards:
+    def test_unbounded_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            ShardedCappedProcess(n=64, capacity=None, lam=0.9375, seed=0, shards=2)
+
+    def test_more_shards_than_bins_rejected(self):
+        with pytest.raises(ConfigurationError, match="bin per shard"):
+            ShardedCappedProcess(n=4, capacity=2, lam=0.75, seed=0, shards=8)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            ShardedCappedProcess(n=4, capacity=2, lam=0.75, seed=0, shards=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            ShardedCappedProcess(n=4, capacity=2, lam=0.75, seed=0, shards=2, backend="gpu")
+
+    def test_injected_choices_must_cover_all_balls(self):
+        engine = ShardedCappedProcess(n=16, capacity=2, lam=0.9375, seed=0, shards=2)
+        with pytest.raises(ConfigurationError, match="thrown"):
+            engine.step(choices=np.zeros(3, dtype=np.int64))

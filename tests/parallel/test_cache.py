@@ -28,9 +28,7 @@ class TestKeys:
         params = {"n": 8, "c": 1}
         assert task_digest("capped", params, 0) == task_digest("capped", params, 0)
         profile = {"name": "quick", "n": 8, "measure": 4, "replicates": 1, "seed": 0}
-        assert experiment_digest("fig4_left", profile) == experiment_digest(
-            "fig4_left", profile
-        )
+        assert experiment_digest("fig4_left", profile) == experiment_digest("fig4_left", profile)
 
     def test_fingerprint_is_hex(self):
         fingerprint = measurement_fingerprint()

@@ -137,9 +137,7 @@ class TestPooledFabric:
         assert report.pool_rebuilds == 0  # plain exceptions don't break the pool
 
     def test_hung_worker_is_timed_out_and_task_retried(self, tmp_path):
-        runner = ExperimentRunner(
-            profile=TINY, jobs=2, task_timeout=0.25, retry_backoff=0.0
-        )
+        runner = ExperimentRunner(profile=TINY, jobs=2, task_timeout=0.25, retry_backoff=0.0)
         report, outcomes = _run(runner, _hang_once, _payloads(tmp_path, 3))
         assert all(outcome == {"ok": i} for i, outcome in outcomes.items())
         assert report.pool_rebuilds >= 1  # a hung worker poisons the pool
@@ -166,9 +164,7 @@ class TestPooledFabric:
         assert report.pool_rebuilds >= 1
 
     def test_rebuild_budget_exhaustion_falls_back_to_serial(self, tmp_path):
-        runner = ExperimentRunner(
-            profile=TINY, jobs=2, max_pool_rebuilds=0, retry_backoff=0.0
-        )
+        runner = ExperimentRunner(profile=TINY, jobs=2, max_pool_rebuilds=0, retry_backoff=0.0)
         payloads = _payloads(tmp_path, 4)
         payloads[0]["crash"] = True
         report, outcomes = _run(runner, _crash_marked_once, payloads)
@@ -211,8 +207,11 @@ class TestEndToEndChaos:
         monkeypatch.setenv(CHAOS_ENV, spec.to_env())
         journal_path = tmp_path / "journal.jsonl"
         runner = ExperimentRunner(
-            profile=TINY, jobs=1, journal_path=journal_path,
-            max_retries=1, retry_backoff=0.0,
+            profile=TINY,
+            jobs=1,
+            journal_path=journal_path,
+            max_retries=1,
+            retry_backoff=0.0,
         )
         report = runner.run(["fig4_left"])
         assert report.tasks_quarantined == 10  # 10 cells × replicate 1
@@ -230,13 +229,14 @@ class TestEndToEndChaos:
         # chaos is now disarmed and they would succeed.
         monkeypatch.delenv(CHAOS_ENV)
         resumed = ExperimentRunner(
-            profile=TINY, jobs=1, journal_path=journal_path, resume=True,
+            profile=TINY,
+            jobs=1,
+            journal_path=journal_path,
+            resume=True,
             retry_backoff=0.0,
         ).run(["fig4_left"])
         assert resumed.tasks_computed == 0
         assert resumed.tasks_quarantined == 10
         assert resumed.tasks_from_journal == 10
         assert "fig4_left" in resumed.failures
-        assert all(
-            "quarantined in journal" in entry["error"] for entry in resumed.quarantined
-        )
+        assert all("quarantined in journal" in entry["error"] for entry in resumed.quarantined)

@@ -71,9 +71,7 @@ class TestDriverSemantics:
 
 
 class TestRunnerJournalCacheSafety:
-    def test_observer_raising_mid_run_never_corrupts_journal_or_cache(
-        self, tmp_path, monkeypatch
-    ):
+    def test_observer_raising_mid_run_never_corrupts_journal_or_cache(self, tmp_path, monkeypatch):
         """An observer explosion fails one attempt; retry heals it and the
         journal, cache, and final result are exactly as if it never fired."""
         serial = run_experiment("fig4_left", TINY)

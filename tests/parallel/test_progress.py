@@ -144,17 +144,24 @@ class TestLiveStatusReporter:
         reporter = LiveStatusReporter(total=1, stream=io.StringIO(), min_interval=0.0)
         theory = equilibrium(2, 0.75).normalized_pool
         reporter.task_done(
-            "t", 0.1, pid=1,
+            "t",
+            0.1,
+            pid=1,
             outcome={"normalized_pool": theory},
-            kind="capped", params={"c": 2, "lam": 0.75},
+            kind="capped",
+            params={"c": 2, "lam": 0.75},
         )
         assert reporter.theory_errors == [0.0]
 
     def test_non_capped_outcomes_skipped(self):
         reporter = LiveStatusReporter(total=1, stream=io.StringIO(), min_interval=0.0)
         reporter.task_done(
-            "t", 0.1, pid=1, outcome={"normalized_pool": 0.5},
-            kind="greedy", params={"d": 2, "lam": 0.75},
+            "t",
+            0.1,
+            pid=1,
+            outcome={"normalized_pool": 0.5},
+            kind="greedy",
+            params={"d": 2, "lam": 0.75},
         )
         assert reporter.theory_errors == []
 

@@ -68,9 +68,7 @@ class TestCrashResume:
         with monkeypatch.context() as patch:
             patch.setattr(runner_module, "execute_task", dying_execute)
             with pytest.raises(KeyboardInterrupt):
-                run_experiments(
-                    ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path
-                )
+                run_experiments(["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path)
 
         crashed = Journal.load(journal_path)
         assert len(crashed.tasks) == 3
@@ -84,19 +82,13 @@ class TestCrashResume:
         assert report.results[0].csv() == serial.csv()
 
         # No duplicate and no missing cells in the journal afterwards.
-        lines = [
-            json.loads(line)
-            for line in journal_path.read_text().splitlines()
-            if line.strip()
-        ]
+        lines = [json.loads(line) for line in journal_path.read_text().splitlines() if line.strip()]
         task_keys = [entry["key"] for entry in lines if entry["type"] == "task"]
         assert len(task_keys) == len(set(task_keys)) == report.tasks_total
 
     def test_resume_skips_whole_finished_experiments(self, tmp_path):
         journal_path = tmp_path / "journal.jsonl"
-        first = run_experiments(
-            ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path
-        )
+        first = run_experiments(["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path)
         resumed = run_experiments(
             ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path, resume=True
         )

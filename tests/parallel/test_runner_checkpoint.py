@@ -27,9 +27,7 @@ def journal_entries(path):
 
 
 class TestTaskResume:
-    def test_task_resumes_from_snapshot_after_mid_round_failure(
-        self, tmp_path, monkeypatch
-    ):
+    def test_task_resumes_from_snapshot_after_mid_round_failure(self, tmp_path, monkeypatch):
         # Arm the round-scoped chaos hook: the first task dies (retryably)
         # right after round 20 completes — after the round-20 snapshot was
         # written. The retry must restore that snapshot, and the final
@@ -78,12 +76,18 @@ class TestTaskResume:
         # served entirely from the first run's cache.
         cache_dir = tmp_path / "cache"
         first = run_experiments(
-            ["fig4_left"], profile=TINY, jobs=1, cache_dir=cache_dir,
+            ["fig4_left"],
+            profile=TINY,
+            jobs=1,
+            cache_dir=cache_dir,
             checkpoint_every=10,
         )
         assert first.tasks_computed == 20
         second = run_experiments(
-            ["fig4_left"], profile=TINY, jobs=1, cache_dir=cache_dir,
+            ["fig4_left"],
+            profile=TINY,
+            jobs=1,
+            cache_dir=cache_dir,
         )
         assert second.tasks_computed == 0
         assert second.experiments_from_cache == 1
@@ -106,9 +110,7 @@ class TestGracefulShutdown:
 
         monkeypatch.setattr(runner_module, "execute_task", signalling_execute)
         with pytest.raises(GracefulShutdown) as excinfo:
-            run_experiments(
-                ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path
-            )
+            run_experiments(["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path)
         return journal_path, calls["n"], excinfo.value
 
     @pytest.mark.parametrize("sig", [signal.SIGINT, signal.SIGTERM])
@@ -158,8 +160,14 @@ class TestGracefulShutdown:
         out = io.StringIO()
         code = main(
             [
-                "experiments", "--id", "dominance", "--profile", "quick",
-                "--jobs", "2", "--no-progress",
+                "experiments",
+                "--id",
+                "dominance",
+                "--profile",
+                "quick",
+                "--jobs",
+                "2",
+                "--no-progress",
             ],
             out=out,
         )

@@ -17,9 +17,7 @@ class TestConfiguration:
             AdlerParallelProcess(n=n, d=d, arrivals_per_round=int(bound) + 1)
 
     def test_rate_bound_override(self):
-        process = AdlerParallelProcess(
-            n=100, d=2, arrivals_per_round=30, enforce_rate_bound=False
-        )
+        process = AdlerParallelProcess(n=100, d=2, arrivals_per_round=30, enforce_rate_bound=False)
         process.step()
 
     def test_basic_validation(self):

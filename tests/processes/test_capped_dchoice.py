@@ -44,9 +44,7 @@ class TestDynamics:
 
         driver = SimulationDriver(burn_in=300, measure=400)
         plain = driver.run(CappedProcess(n=512, capacity=2, lam=0.875, rng=2))
-        dchoice = driver.run(
-            CappedDChoiceProcess(n=512, capacity=2, lam=0.875, d=1, rng=3)
-        )
+        dchoice = driver.run(CappedDChoiceProcess(n=512, capacity=2, lam=0.875, d=1, rng=3))
         assert dchoice.normalized_pool == pytest.approx(plain.normalized_pool, rel=0.1)
         assert dchoice.avg_wait == pytest.approx(plain.avg_wait, rel=0.1)
 

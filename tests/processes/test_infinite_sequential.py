@@ -46,9 +46,7 @@ class TestDynamics:
         assert reached is not None
 
     def test_run_until_immediate_when_balanced(self):
-        process = InfiniteSequentialGreedy(
-            n=8, d=2, initial_assignment=np.arange(8), rng=2
-        )
+        process = InfiniteSequentialGreedy(n=8, d=2, initial_assignment=np.arange(8), rng=2)
         assert process.run_until_max_load(target=1, max_steps=1) == 0
 
     def test_stays_balanced_after_recovery(self):

@@ -38,7 +38,9 @@ def test_batched_matches_serial_bit_for_bit(config, seed, rounds):
         serial.append([process.step() for _ in range(rounds)])
 
     batched = BatchedCappedProcess(
-        n=n, capacity=c, lam=k / n,
+        n=n,
+        capacity=c,
+        lam=k / n,
         rngs=[factory.child(r).generator("capped") for r in range(replicates)],
     )
     for t in range(rounds):
@@ -59,7 +61,9 @@ def test_batched_matches_serial_bit_for_bit(config, seed, rounds):
 def test_per_replicate_conservation(config, seed):
     n, c, k, replicates = config
     batched = BatchedCappedProcess(
-        n=n, capacity=c, lam=k / n,
+        n=n,
+        capacity=c,
+        lam=k / n,
         rngs=[RngFactory(seed).child(r).generator("capped") for r in range(replicates)],
     )
     generated = np.zeros(replicates, dtype=np.int64)

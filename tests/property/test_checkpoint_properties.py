@@ -50,7 +50,9 @@ def make_capped(config, seed, generation):
     # Restores land in processes built with a *different* RNG seed so any
     # state the snapshot forgets shows up as a diverging trajectory.
     return CappedProcess(
-        n=n, capacity=c, lam=k / n,
+        n=n,
+        capacity=c,
+        lam=k / n,
         rng=RngFactory(seed).child(generation).generator("capped"),
     )
 
@@ -78,8 +80,9 @@ def test_snapshot_restore_interleaving_is_invisible(config, seed, plan):
     assert observed == expected
 
 
-@given(configs, seeds, st.integers(min_value=0, max_value=15),
-       st.integers(min_value=1, max_value=10))
+@given(
+    configs, seeds, st.integers(min_value=0, max_value=15), st.integers(min_value=1, max_value=10)
+)
 @settings(max_examples=40, deadline=None)
 def test_snapshot_is_an_immutable_value(config, seed, warmup, rounds):
     # Restoring the same snapshot twice replays the same future twice,
@@ -104,15 +107,15 @@ def test_snapshot_is_an_immutable_value(config, seed, warmup, rounds):
 
 @given(configs, seeds, st.integers(min_value=1, max_value=3), plans)
 @settings(max_examples=25, deadline=None)
-def test_batched_snapshot_restore_interleaving_is_invisible(
-    config, seed, replicates, plan
-):
+def test_batched_snapshot_restore_interleaving_is_invisible(config, seed, replicates, plan):
     n, c, k = config
 
     def make(generation):
         factory = RngFactory(seed + generation)
         return BatchedCappedProcess(
-            n=n, capacity=c, lam=k / n,
+            n=n,
+            capacity=c,
+            lam=k / n,
             rngs=[factory.child(r).generator("capped") for r in range(replicates)],
         )
 

@@ -18,9 +18,7 @@ def test_running_stats_matches_numpy(values):
     assert stats.min == min(values)
     assert stats.max == max(values)
     if len(values) > 1:
-        assert stats.variance == pytest.approx(
-            float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6
-        )
+        assert stats.variance == pytest.approx(float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6)
 
 
 @given(st.lists(floats, min_size=1, max_size=100), st.lists(floats, min_size=1, max_size=100))
@@ -45,9 +43,7 @@ def test_histogram_quantiles_match_numpy_inverted_cdf(values):
         assert hist.quantile(q) == expected
 
 
-@given(
-    st.lists(st.tuples(st.integers(0, 100), st.integers(0, 20)), min_size=1, max_size=50)
-)
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 20)), min_size=1, max_size=50))
 def test_histogram_weighted_add_matches_expansion(pairs):
     weighted = Histogram()
     expanded = Histogram()

@@ -32,10 +32,7 @@ def run_batched():
     rngs = [RngFactory(seed=7).child(r).generator("capped") for r in range(2)]
     process = BatchedCappedProcess(n=64, capacity=2, lam=0.75, rngs=rngs)
     results = SimulationDriver(burn_in=30, measure=60).run_batched(process)
-    return [
-        (r.pool_series.tolist(), r.normalized_pool, r.avg_wait, r.max_wait)
-        for r in results
-    ]
+    return [(r.pool_series.tolist(), r.normalized_pool, r.avg_wait, r.max_wait) for r in results]
 
 
 @pytest.mark.parametrize("kernel", ["fused", "legacy"])

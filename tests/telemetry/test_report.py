@@ -75,11 +75,13 @@ class TestRenderReport:
     def test_renders_phases_and_counters(self):
         metrics = synthetic_metrics()
         reg_extra = {"runner_tasks_total": {
-            "kind": "counter", "help": "",
+            "kind": "counter",
+            "help": "",
             "series": [{"labels": {"source": "computed"}, "value": 7.0}],
         }}
-        manifest = build_manifest({"n": 64}, metrics={**metrics, **reg_extra},
-                                  command=["repro", "simulate"])
+        manifest = build_manifest(
+            {"n": 64}, metrics={**metrics, **reg_extra}, command=["repro", "simulate"]
+        )
         lines = render_report(manifest)
         text = "\n".join(lines)
         assert "run: repro simulate" in text

@@ -92,9 +92,7 @@ class TestSpan:
         tel = telemetry.enable()
         with telemetry.span("measure", component="driver"):
             pass
-        stream = tel.registry.histogram("phase_seconds").stream(
-            phase="measure", component="driver"
-        )
+        stream = tel.registry.histogram("phase_seconds").stream(phase="measure", component="driver")
         assert stream is not None and stream.count == 1
 
     def test_emit_span_event_records_error_name(self):

@@ -1,0 +1,35 @@
+"""Per-shard telemetry from the sharded engine."""
+
+from __future__ import annotations
+
+from repro.kernels.sharded import ShardedCappedProcess
+from repro.telemetry import runtime
+
+
+def test_sharded_run_emits_per_shard_metrics():
+    with runtime.session() as tel:
+        process = ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=1, shards=3)
+        for _ in range(8):
+            process.step()
+
+        resolve = tel.registry.get("kernel_resolve_seconds")
+        labels = [lbl for lbl, _ in resolve.series()]
+        for shard in range(3):
+            assert {"path": "serial", "shard": str(shard)} in labels
+
+        imbalance = tel.registry.get("shard_imbalance")
+        # Slowest-over-mean is >= 1 by construction, and bounded by the
+        # shard count.
+        assert 1.0 <= imbalance.value() <= 3.0
+
+        rounds = tel.registry.get("rounds_total")
+        assert rounds.value(kernel="sharded") == 8.0
+
+
+def test_disabled_telemetry_costs_nothing_to_shard():
+    # No session active: steps must not raise and no registry exists.
+    assert runtime.current() is None
+    process = ShardedCappedProcess(n=64, capacity=3, lam=0.9375, seed=2, shards=2)
+    for _ in range(4):
+        process.step()
+    process.check_invariants()

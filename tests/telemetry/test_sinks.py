@@ -70,7 +70,7 @@ def populated_snapshot():
 class TestPrometheusRender:
     def test_counter_and_gauge_lines(self):
         text = render_prometheus(populated_snapshot())
-        assert '# TYPE rounds_total counter' in text
+        assert "# TYPE rounds_total counter" in text
         assert 'rounds_total{kernel="fused"} 90' in text
         assert 'rounds_total{kernel="legacy"} 10' in text
         assert "pool_size_normalized 0.17" in text
@@ -101,9 +101,7 @@ class TestPrometheusParse:
         assert families["rounds_total"]["kind"] == "counter"
         assert families["rounds_total"]["help"] == "rounds simulated"
         fused = [
-            s
-            for s in families["rounds_total"]["samples"]
-            if s["labels"] == {"kernel": "fused"}
+            s for s in families["rounds_total"]["samples"] if s["labels"] == {"kernel": "fused"}
         ]
         assert fused[0]["value"] == 90.0
         # Summary suffixes attach to the declared family.

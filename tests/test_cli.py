@@ -63,27 +63,84 @@ class TestSimulate:
 
     def test_greedy_point(self):
         code, text = run_cli(
-            "simulate", "--process", "greedy", "--d", "2",
-            "--n", "256", "--lam", "0.75", "--rounds", "50", "--burn-in", "50",
+            "simulate",
+            "--process",
+            "greedy",
+            "--d",
+            "2",
+            "--n",
+            "256",
+            "--lam",
+            "0.75",
+            "--rounds",
+            "50",
+            "--burn-in",
+            "50",
         )
         assert code == 0
         assert "avg_wait" in text
+
+    def test_sharded_point(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "256",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--rounds",
+            "40",
+            "--shards",
+            "2",
+        )
+        assert code == 0
+        assert "pool/n" in text
+
+    def test_shards_require_finite_capacity(self):
+        code, text = run_cli("simulate", "--lam", "0.75", "--shards", "2")
+        assert code == 2
+        assert "finite --c" in text
+
+    def test_shards_exclude_batch_replicates(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--shards",
+            "2",
+            "--batch-replicates",
+        )
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_shards_reject_greedy(self):
+        code, text = run_cli("simulate", "--process", "greedy", "--lam", "0.75", "--shards", "2")
+        assert code == 2
+        assert "--process capped" in text
 
 
 class TestExperiments:
     def test_single_experiment_with_csv(self, tmp_path):
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--csv-dir", str(tmp_path),
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--csv-dir",
+            str(tmp_path),
         )
         assert code == 0
         assert "PASS" in text
         assert (tmp_path / "dominance.csv").exists()
 
     def test_plot_flag(self):
-        code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick", "--plot"
-        )
+        code, text = run_cli("experiments", "--id", "dominance", "--profile", "quick", "--plot")
         assert code == 0
         assert "+----" in text or "|" in text
 
@@ -95,17 +152,22 @@ class TestExperiments:
         assert "--jobs" in text
 
     def test_resume_requires_cache_dir(self):
-        code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick", "--resume"
-        )
+        code, text = run_cli("experiments", "--id", "dominance", "--profile", "quick", "--resume")
         assert code == 2
         assert "--cache-dir" in text
 
     def test_cache_dir_routes_through_runner(self, tmp_path):
         cache = tmp_path / "cache"
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--cache-dir", str(cache), "--no-progress", "--timing",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--cache-dir",
+            str(cache),
+            "--no-progress",
+            "--timing",
         )
         assert code == 0
         assert "experiments: 1" in text
@@ -113,33 +175,48 @@ class TestExperiments:
 
         # A resumed rerun must recompute nothing.
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--cache-dir", str(cache), "--resume", "--no-progress",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--cache-dir",
+            str(cache),
+            "--resume",
+            "--no-progress",
         )
         assert code == 0
         assert "experiments: 1 (journal 1, cache 0)" in text
 
     def test_nonpositive_task_timeout_rejected(self):
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--task-timeout", "0",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--task-timeout",
+            "0",
         )
         assert code == 2
         assert "--task-timeout" in text
 
     def test_negative_max_retries_rejected(self):
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--max-retries", "-1",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--max-retries",
+            "-1",
         )
         assert code == 2
         assert "--max-retries" in text
 
     def test_keep_going_and_fail_fast_are_exclusive(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["experiments", "--all", "--keep-going", "--fail-fast"]
-            )
+            build_parser().parse_args(["experiments", "--all", "--keep-going", "--fail-fast"])
 
     def test_experiment_error_exits_3(self, monkeypatch):
         def boom(experiment_id, profile):
@@ -183,17 +260,29 @@ class TestExperiments:
 
         monkeypatch.setattr("repro.parallel.run_experiments", fake_run_experiments)
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--jobs", "2", "--no-progress",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--jobs",
+            "2",
+            "--no-progress",
         )
         assert code == 3
         assert "ERROR dominance: quarantined tasks left holes" in text
 
     def test_json_and_markdown_outputs(self, tmp_path):
         code, text = run_cli(
-            "experiments", "--id", "drain_stages", "--profile", "quick",
-            "--json-dir", str(tmp_path / "json"),
-            "--markdown", str(tmp_path / "report.md"),
+            "experiments",
+            "--id",
+            "drain_stages",
+            "--profile",
+            "quick",
+            "--json-dir",
+            str(tmp_path / "json"),
+            "--markdown",
+            str(tmp_path / "report.md"),
         )
         assert code == 0
         assert (tmp_path / "json" / "drain_stages.json").exists()
@@ -221,8 +310,17 @@ class TestTrace:
     def test_record_then_summarize(self, tmp_path):
         path = tmp_path / "run.jsonl"
         code, text = run_cli(
-            "trace", "record", str(path),
-            "--n", "128", "--c", "2", "--lam", "0.75", "--rounds", "40",
+            "trace",
+            "record",
+            str(path),
+            "--n",
+            "128",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--rounds",
+            "40",
         )
         assert code == 0
         assert "wrote 40 rounds" in text
@@ -233,8 +331,19 @@ class TestTrace:
     def test_record_respects_burn_in(self, tmp_path):
         path = tmp_path / "run.jsonl"
         code, text = run_cli(
-            "trace", "record", str(path),
-            "--n", "64", "--c", "1", "--lam", "0.5", "--rounds", "10", "--burn-in", "5",
+            "trace",
+            "record",
+            str(path),
+            "--n",
+            "64",
+            "--c",
+            "1",
+            "--lam",
+            "0.5",
+            "--rounds",
+            "10",
+            "--burn-in",
+            "5",
         )
         assert code == 0
         # Burn-in rounds are also streamed (observers see every round).
@@ -244,8 +353,13 @@ class TestTrace:
 class TestCompare:
     def test_identical_files_ok(self, tmp_path):
         run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--json-dir", str(tmp_path),
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--json-dir",
+            str(tmp_path),
         )
         path = tmp_path / "dominance.json"
         code, text = run_cli("compare", str(path), str(path))
@@ -256,8 +370,13 @@ class TestCompare:
         import json
 
         run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--json-dir", str(tmp_path),
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--json-dir",
+            str(tmp_path),
         )
         path_a = tmp_path / "dominance.json"
         payload = json.loads(path_a.read_text())
@@ -272,8 +391,17 @@ class TestCompare:
 
 class TestTelemetryCli:
     SIM_ARGS = (
-        "simulate", "--n", "64", "--c", "2", "--lam", "0.75",
-        "--rounds", "30", "--seed", "3",
+        "simulate",
+        "--n",
+        "64",
+        "--c",
+        "2",
+        "--lam",
+        "0.75",
+        "--rounds",
+        "30",
+        "--seed",
+        "3",
     )
 
     def test_simulate_capture_writes_artifacts(self, tmp_path):
@@ -287,9 +415,7 @@ class TestTelemetryCli:
 
     def test_simulate_output_identical_with_capture(self, tmp_path):
         code_plain, plain = run_cli(*self.SIM_ARGS)
-        code_tel, tel = run_cli(
-            *self.SIM_ARGS, "--telemetry-dir", str(tmp_path / "tel")
-        )
+        code_tel, tel = run_cli(*self.SIM_ARGS, "--telemetry-dir", str(tmp_path / "tel"))
         assert code_plain == code_tel == 0
         assert tel.startswith(plain)  # capture only appends the dir notice
 
@@ -324,9 +450,16 @@ class TestTelemetryCli:
 
         tel_dir = tmp_path / "tel"
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--cache-dir", str(tmp_path / "cache"),
-            "--telemetry-dir", str(tel_dir), "--no-progress",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--telemetry-dir",
+            str(tel_dir),
+            "--no-progress",
         )
         assert code == 0
         metrics = load_manifest(tel_dir)["metrics"]
@@ -334,8 +467,13 @@ class TestTelemetryCli:
 
     def test_live_status_conflicts_with_no_progress(self):
         code, text = run_cli(
-            "experiments", "--id", "dominance", "--profile", "quick",
-            "--live-status", "--no-progress",
+            "experiments",
+            "--id",
+            "dominance",
+            "--profile",
+            "quick",
+            "--live-status",
+            "--no-progress",
         )
         assert code == 2
         assert "--live-status" in text

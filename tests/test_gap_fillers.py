@@ -30,8 +30,16 @@ class TestCliColdStart:
         out = io.StringIO()
         code = main(
             [
-                "simulate", "--n", "256", "--c", "1", "--lam", "0.5",
-                "--rounds", "50", "--cold-start",
+                "simulate",
+                "--n",
+                "256",
+                "--c",
+                "1",
+                "--lam",
+                "0.5",
+                "--rounds",
+                "50",
+                "--cold-start",
             ],
             out=out,
         )
@@ -48,17 +56,13 @@ class TestFluidCustomStart:
         # Still converges to the unique equilibrium.
         from repro.core.meanfield import equilibrium
 
-        assert trajectory.pool[-1] == pytest.approx(
-            equilibrium(2, 0.5).normalized_pool, abs=0.01
-        )
+        assert trajectory.pool[-1] == pytest.approx(equilibrium(2, 0.5).normalized_pool, abs=0.01)
 
     def test_spike_with_preloaded_bins_drains(self):
         from repro.core import fluid
 
         loads = np.array([0.0, 0.0, 1.0])  # every bin full
-        trajectory = fluid.integrate(
-            c=2, lam=0.0, rounds=40, initial_pool=1.0, initial_loads=loads
-        )
+        trajectory = fluid.integrate(c=2, lam=0.0, rounds=40, initial_pool=1.0, initial_loads=loads)
         assert trajectory.pool[-1] == pytest.approx(0.0, abs=1e-6)
         assert trajectory.mean_load[-1] == pytest.approx(0.0, abs=1e-6)
 
