@@ -22,7 +22,11 @@ freshly generated default-profile artifact over it::
     cp BENCH_engine.json benchmarks/baseline.json
 
 Exit status: 0 when every gated ratio holds, 1 on regression, 2 on a
-malformed or incomparable artifact.
+malformed or incomparable artifact. A cell present only in the *current*
+artifact (newly added to the grid) is reported as an informational
+``no baseline for cell`` note and never gates — the PR adding a grid cell
+must not be blocked on the baseline it is about to create; a cell missing
+from the current artifact remains a comparability error (exit 2).
 """
 
 from __future__ import annotations
@@ -75,6 +79,17 @@ def collect_checks(baseline: dict, current: dict) -> list[dict]:
                 "ratio": cur / base,
             }
         )
+    for key in sorted(cur_grid):
+        if key not in base_grid:
+            # The inverse case is informational: a freshly *added* grid
+            # cell has no reference yet and must not block the PR that
+            # introduces it — the next baseline refresh will pick it up.
+            checks.append(
+                {
+                    "name": f"grid n={key[0]} c={key[1]} lam={key[2]}",
+                    "note": "no baseline for cell",
+                }
+            )
 
     for section, field in (("kernel_phase", "speedup"), ("general_c", "speedup")):
         base_sec = baseline.get(section)
@@ -123,18 +138,23 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     checks = collect_checks(baseline, current)
-    if not checks:
+    errors = [c for c in checks if "error" in c]
+    notes = [c for c in checks if "note" in c]
+    gated = [c for c in checks if "ratio" in c]
+    if not gated and not errors:
         print("check_regression: no comparable ratios found", file=sys.stderr)
         return 2
 
-    errors = [c for c in checks if "error" in c]
-    failures = [c for c in checks if "ratio" in c and c["ratio"] < args.threshold]
+    failures = [c for c in gated if c["ratio"] < args.threshold]
 
     width = max(len(c["name"]) for c in checks)
     print(f"{'cell':<{width}}  {'baseline':>8}  {'current':>8}  {'ratio':>6}  status")
     for c in checks:
         if "error" in c:
             print(f"{c['name']:<{width}}  {'-':>8}  {'-':>8}  {'-':>6}  ERROR: {c['error']}")
+            continue
+        if "note" in c:
+            print(f"{c['name']:<{width}}  {'-':>8}  {'-':>8}  {'-':>6}  note: {c['note']}")
             continue
         status = "FAIL" if c["ratio"] < args.threshold else "ok"
         print(
@@ -156,7 +176,8 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\ncheck_regression: all {len(checks)} ratios within {args.threshold:.2f}x.")
+    suffix = f" ({len(notes)} new cell(s) without a baseline)" if notes else ""
+    print(f"\ncheck_regression: all {len(gated)} ratios within {args.threshold:.2f}x.{suffix}")
     return 0
 
 

@@ -1090,6 +1090,124 @@ def fault_recovery(profile: Profile) -> ExperimentResult:
     return result
 
 
+def churn_recovery(profile: Profile) -> ExperimentResult:
+    """Robustness: settling time after elastic membership changes.
+
+    The paper's bin set is immutable; real pools scale. This experiment
+    perturbs a warmed-up CAPPED(2, λ=1/2) run with one membership burst at
+    a time — a 25% leave burst under each re-hash policy (``rehash``
+    relabels the displaced balls' bins, ``drop`` destroys their buffered
+    balls) and a 25% join burst — and measures how long the pool-size
+    series takes to reach its *new* equilibrium.
+
+    Unlike a fault, churn moves the stationary point permanently (arrivals
+    stay pinned to the original n₀, so losing bins raises the effective
+    load). The band is therefore fitted to the final quarter of the run via
+    :func:`repro.faults.measure_post_churn_recovery` and the settling time
+    counts rounds from the burst to the first sustained entry into that
+    band. With λ = 1/2 a 25% leave burst leaves effective λ = 2/3 < 1, so
+    every scenario must settle in finite time.
+    """
+    from repro.churn import ChurnInjector, ChurnSchedule, JoinBurst, LeaveBurst
+    from repro.core.capped import CappedProcess
+    from repro.core.meanfield import equilibrium as mf_equilibrium
+    from repro.engine.driver import SimulationDriver
+    from repro.engine.observers import InvariantChecker, TraceRecorder
+    from repro.engine.stability import default_burn_in
+    from repro.faults import measure_post_churn_recovery
+
+    result = ExperimentResult(
+        experiment_id="churn_recovery",
+        title="Elastic churn: settling after membership bursts (CAPPED, c=2, lambda=1/2)",
+        profile=profile.name,
+        columns=[
+            "scenario",
+            "policy",
+            "n_before",
+            "n_after",
+            "balls_rehashed",
+            "peak_pool/n0",
+            "settle_rounds",
+        ],
+    )
+    n, c, lam = profile.n, 2, 0.5
+    pre, sustain = 120, 10
+    post = max(400, profile.measure)
+    result.notes.append(
+        "band = final-quarter mean ± max(4σ, 5%); settle_rounds counted from the "
+        f"burst to the first {sustain}-round stay in band (-1 = never); arrivals "
+        "stay pinned to the original n0"
+    )
+    warm = mf_equilibrium(c, lam).pool_size(n)
+    burn = default_burn_in(n, c, lam, warm_start=True)
+    churn_round = burn + pre
+    scenarios = [
+        (
+            "leave_25pct",
+            "rehash",
+            LeaveBurst(at_round=churn_round, fraction=0.25, policy="rehash"),
+        ),
+        (
+            "leave_25pct",
+            "drop",
+            LeaveBurst(at_round=churn_round, fraction=0.25, policy="drop"),
+        ),
+        ("join_25pct", "n/a", JoinBurst(at_round=churn_round, count=n // 4)),
+    ]
+    for index, (name, policy, event) in enumerate(scenarios):
+        injector = ChurnInjector(
+            ChurnSchedule(events=(event,), seed=_point_seed(profile, 181, index))
+        )
+        trace = TraceRecorder()
+        process = CappedProcess(
+            n=n,
+            capacity=c,
+            lam=lam,
+            rng=_point_seed(profile, 180, index),
+            initial_pool=warm,
+        )
+        SimulationDriver(
+            burn_in=burn,
+            measure=pre + post,
+            observers=[trace, injector, InvariantChecker(every=50)],
+        ).run(process)
+        report = measure_post_churn_recovery(
+            trace.pool_sizes(),
+            churn_index=churn_round,
+            tail_window=post // 4,
+            sustain=sustain,
+        )
+        result.rows.append(
+            {
+                "scenario": name,
+                "policy": policy,
+                "n_before": n,
+                "n_after": process.n,
+                "balls_rehashed": injector.balls_rehashed,
+                "peak_pool/n0": round(report.peak_value / n, 4),
+                "settle_rounds": (report.recovery_rounds if report.recovered else -1),
+            }
+        )
+    expected_n = {"leave_25pct": n - int(round(0.25 * n)), "join_25pct": n + n // 4}
+    result.verdicts["membership changed as scheduled"] = all(
+        row["n_after"] == expected_n[row["scenario"]] for row in result.rows
+    )
+    result.verdicts["pool settles after 25% leave burst (rehash)"] = all(
+        row["settle_rounds"] >= 0
+        for row in result.rows
+        if row["scenario"] == "leave_25pct" and row["policy"] == "rehash"
+    )
+    result.verdicts["pool settles after 25% leave burst (drop)"] = all(
+        row["settle_rounds"] >= 0
+        for row in result.rows
+        if row["scenario"] == "leave_25pct" and row["policy"] == "drop"
+    )
+    result.verdicts["pool settles after 25% join burst"] = all(
+        row["settle_rounds"] >= 0 for row in result.rows if row["scenario"] == "join_25pct"
+    )
+    return result
+
+
 EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "fig4_left": fig4_left,
     "fig4_right": fig4_right,
@@ -1107,6 +1225,7 @@ EXPERIMENTS: dict[str, Callable[[Profile], ExperimentResult]] = {
     "drain_stages": drain_stages,
     "fault_recovery": fault_recovery,
     "robustness_workloads": robustness_workloads,
+    "churn_recovery": churn_recovery,
 }
 
 

@@ -189,6 +189,7 @@ def run_capped_replicate(
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
     shards: int = 1,
+    scenario: dict[str, Any] | None = None,
 ) -> ReplicateOutcome:
     """Run one CAPPED replicate (independently of every other replicate).
 
@@ -206,13 +207,30 @@ def run_capped_replicate(
     the trajectory is a different (equally valid) sample of the same
     process than the unsharded stream; ``shards`` is therefore part of
     the measurement parameters, unlike checkpoint placement.
+
+    ``scenario`` is a chaos-scenario dict (see
+    :func:`repro.churn.scenario_from_dict`); its observers — churn,
+    faults, autoscaling — are built fresh for every replicate, so each
+    replicate perturbs its own process. Like ``shards``, a scenario
+    changes outcomes and is part of the measurement parameters.
     """
     factory = RngFactory(seed=seed)
     effective_warm = warm_start and c is not None and lam > 0
     initial_pool = equilibrium(c, lam).pool_size(n) if effective_warm else 0
+    observers: list = []
+    if scenario:
+        from repro.churn import scenario_from_dict
+
+        if shards > 1:
+            raise ConfigurationError(
+                "chaos scenarios are not supported on the sharded engine; "
+                "membership changes would invalidate the shard partition"
+            )
+        observers = scenario_from_dict(scenario).build_observers()
     driver = SimulationDriver(
         burn_in=burn_in,
         measure=measure,
+        observers=observers,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
     )
@@ -390,6 +408,7 @@ def measure_capped(
     checkpoint_dir=None,
     checkpoint_every: int | None = None,
     shards: int = 1,
+    scenario: dict[str, Any] | None = None,
 ) -> PointResult:
     """Measure CAPPED(c, λ) at one parameter point.
 
@@ -422,6 +441,13 @@ def measure_capped(
     measurement parameter — it joins the params dict (and hence the
     parallel runner's task digests) whenever it differs from 1, while
     ``shards=1`` keeps historical digests unchanged.
+
+    ``scenario`` — a chaos-scenario dict of fault/churn/autoscaling
+    schedules (see :func:`repro.churn.scenario_from_dict`) — perturbs
+    every replicate. It changes outcomes, so like ``shards`` it joins the
+    measurement parameters when set; incompatible with ``shards > 1``
+    (the shard partition cannot follow membership changes) and with
+    ``batch_replicates`` (the batched path takes no observers).
     """
     effective_warm = warm_start and c is not None and lam > 0
     if burn_in is None:
@@ -431,6 +457,17 @@ def measure_capped(
             "shards and batch_replicates both fuse work per round; pick one "
             "(shards parallelises one simulation, batch_replicates fuses many)"
         )
+    if scenario:
+        if shards > 1:
+            raise ConfigurationError(
+                "chaos scenarios are not supported on the sharded engine; "
+                "membership changes would invalidate the shard partition"
+            )
+        if batch_replicates:
+            raise ConfigurationError(
+                "chaos scenarios need per-replicate observers; the batched "
+                "path takes none — drop batch_replicates"
+            )
     params = {
         "n": n,
         "c": c,
@@ -442,6 +479,8 @@ def measure_capped(
     }
     if shards != 1:
         params["shards"] = shards
+    if scenario:
+        params["scenario"] = scenario
     context = active_context()
     if context is not None:
         return context.measure("capped", params, replicates)

@@ -25,6 +25,21 @@ capacity`` — a bin never holds more balls than the largest capacity it has
 ever been configured with. Note that the positional wait identity above
 assumes uninterrupted unit service; while a bin is down its queue is frozen,
 so waits recorded during an outage window are lower bounds.
+
+Elastic membership
+------------------
+Bins can join and leave mid-run (``repro.churn``). :meth:`grow` appends fresh
+empty bins; :meth:`shrink` removes bins by index under one of the
+:data:`SHRINK_POLICIES`: ``rehash`` (queued balls on removed bins are
+displaced — the caller re-injects them into the pool), ``drop`` (queued balls
+are destroyed, the count is returned for accounting), and ``drain`` (the bins
+must already be empty; :meth:`seal` turns acceptance off while FIFO service
+continues, so a caller seals first and removes once the queues empty). Both
+operations keep every incremental cache — free slots, histogram carry, the
+down/draining masks, the high-water capacities, and the running counters —
+coherent, and :meth:`set_state` adopts the snapshot's bin count so a
+checkpoint taken after a resize restores into a process constructed at the
+original size.
 """
 
 from __future__ import annotations
@@ -33,7 +48,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError, InvariantViolation
 
-__all__ = ["BinArray"]
+__all__ = ["BinArray", "SHRINK_POLICIES"]
+
+#: How :meth:`BinArray.shrink` treats queued balls on removed bins.
+#: ``rehash``: displaced balls are reported to the caller for re-injection
+#: into the pool (they re-enter the placement process). ``drop``: displaced
+#: balls are destroyed (the count is returned for accounting). ``drain``:
+#: removal requires the bins to be empty — seal them first and remove later.
+SHRINK_POLICIES = ("rehash", "drop", "drain")
 
 
 class BinArray:
@@ -55,7 +77,9 @@ class BinArray:
         "capacity",
         "loads",
         "down",
+        "draining",
         "_any_down",
+        "_any_draining",
         "_capacity_high_water",
         "_free",
         "_free_dirty",
@@ -88,6 +112,8 @@ class BinArray:
         self.loads = np.zeros(n, dtype=np.int64)
         self.down = np.zeros(n, dtype=bool)
         self._any_down = False
+        self.draining = np.zeros(n, dtype=bool)
+        self._any_draining = False
         # Largest capacity each bin has ever had, as an (n,) array; None once
         # unbounded.
         if capacity is None:
@@ -159,26 +185,35 @@ class BinArray:
         """Number of bins currently down."""
         return int(np.count_nonzero(self.down)) if self._any_down else 0
 
+    @property
+    def draining_count(self) -> int:
+        """Number of bins currently sealed for draining."""
+        return int(np.count_nonzero(self.draining)) if self._any_draining else 0
+
     def free_slots(self) -> np.ndarray:
         """Per-bin remaining capacity ``max(c - ℓ_i, 0)`` (∞ bins report a sentinel).
 
         For unbounded bins a value larger than any realistic request count
         (2**62) is returned so that ``minimum(requests, free)`` never caps.
-        Down bins report zero. The clamp at zero matters after a capacity
-        degradation leaves a bin holding more balls than its current cap.
+        Down and draining (sealed) bins report zero. The clamp at zero
+        matters after a capacity degradation leaves a bin holding more
+        balls than its current cap.
 
         The returned array is an incrementally-maintained cache — **treat
         it as read-only**. On the fault-free path no recomputation or
         allocation happens per call (the serial-kernel commit marks the
         cache dirty instead of refreshing it, so a consumer that never
-        asks never pays); only while bins are down is a masked copy
-        returned.
+        asks never pays); only while bins are down or draining is a masked
+        copy returned.
         """
         if self._free_dirty:
             self._refresh_free()
-        if self._any_down:
+        if self._any_down or self._any_draining:
             free = self._free.copy()
-            free[self.down] = 0
+            if self._any_down:
+                free[self.down] = 0
+            if self._any_draining:
+                free[self.draining] = 0
             return free
         return self._free
 
@@ -271,7 +306,7 @@ class BinArray:
         self._total_load -= deleted
         return deleted
 
-    def serial_round_limit(self, allow_unit_capacity: bool = False):
+    def serial_round_limit(self, allow_unit_capacity: bool = False, freeze_down: bool = False):
         """Eligibility + parameters for the whole-round serial kernel.
 
         Returns ``(capacity_limit, hist_size)`` when this array can be
@@ -282,26 +317,60 @@ class BinArray:
         ``capacity_limit`` is the per-bin load ceiling ``max(capacity,
         load)``: a plain int for the common shared-capacity case (so the
         kernel clips against a scalar), an array only after a capacity
-        degradation may have left bins over their cap.
+        degradation may have left bins over their cap, while bins are
+        draining (their ceiling is clamped to the current load, so they
+        accept nothing but still serve), or with ``freeze_down``.
 
         ``allow_unit_capacity=True`` keeps shared ``c = 1`` eligible: the
         sharded engine partitions the serial kernel across bin ranges and
         has no unit-take alternative, whereas the single-process caller
         prefers the leaner unit-take path there.
+
+        ``freeze_down=True`` (sharded engine) keeps down bins eligible by
+        clamping their ceiling to the current load — they accept nothing.
+        The serial kernel still performs the FIFO deletion on every
+        non-empty bin, so the *caller* must undo the deletion on down
+        bins afterwards (they are frozen, not draining); see
+        :meth:`repro.kernels.sharded.ShardedCappedProcess.step`.
         """
-        if self.capacity is None or self._any_down:
+        if self.capacity is None:
             return None
+        if self._any_down and not freeze_down:
+            return None
+        if not (self._any_draining or self._any_down):
+            if np.isscalar(self.capacity):
+                if self.capacity == 1 and not allow_unit_capacity:
+                    return None
+                if self._maybe_overcap and self._peak_load > self.capacity:
+                    limit = np.maximum(self.capacity, self.loads)
+                    return limit, self._peak_load + 1
+                return int(self.capacity), int(self.capacity) + 1
+            if self._maybe_overcap:
+                limit = np.maximum(self.capacity, self.loads)
+                return limit, max(int(self.capacity.max()), self._peak_load) + 1
+            return self.capacity, int(self.capacity.max()) + 1
+        # Draining and/or frozen-down bins: per-bin ceilings with the
+        # affected bins clamped to their current load (accept nothing).
         if np.isscalar(self.capacity):
             if self.capacity == 1 and not allow_unit_capacity:
                 return None
             if self._maybe_overcap and self._peak_load > self.capacity:
                 limit = np.maximum(self.capacity, self.loads)
-                return limit, self._peak_load + 1
-            return int(self.capacity), int(self.capacity) + 1
-        if self._maybe_overcap:
+                hist_size = self._peak_load + 1
+            else:
+                limit = np.full(self.n, self.capacity, dtype=np.int64)
+                hist_size = int(self.capacity) + 1
+        elif self._maybe_overcap:
             limit = np.maximum(self.capacity, self.loads)
-            return limit, max(int(self.capacity.max()), self._peak_load) + 1
-        return self.capacity, int(self.capacity.max()) + 1
+            hist_size = max(int(self.capacity.max()), self._peak_load) + 1
+        else:
+            limit = self.capacity.copy()
+            hist_size = int(self.capacity.max()) + 1
+        if self._any_draining:
+            limit[self.draining] = self.loads[self.draining]
+        if self._any_down:
+            limit[self.down] = self.loads[self.down]
+        return limit, hist_size
 
     def commit_round(self, resolved) -> None:
         """Install a :class:`~repro.kernels.round.SerialRound` outcome.
@@ -320,6 +389,18 @@ class BinArray:
         self._total_load += resolved.accepted_total - resolved.deleted
         if resolved.peak_load > self._peak_load:
             self._peak_load = resolved.peak_load
+
+    @property
+    def hist_carry_intact(self) -> bool:
+        """True while no mutation outside :meth:`commit_round` touched the
+        loads since the last committed round.
+
+        External consumers that keep their own histogram bookkeeping
+        derived from the loads (the sharded engine's per-shard carries)
+        use this to detect that a fault wipe, capacity change, or
+        membership event intervened and their carry must be rebuilt.
+        """
+        return self._hist_cache is not None
 
     def cached_load_hist(self, hist_size: int):
         """Load histogram carried over from the previous serial round.
@@ -363,6 +444,25 @@ class BinArray:
         indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
         self.down[indices] = False
         self._any_down = bool(self.down.any())
+
+    def seal(self, indices) -> None:
+        """Seal bins for draining: zero free slots, FIFO service continues.
+
+        A sealed bin accepts no new balls but keeps deleting one per round,
+        so its queue empties in at most ``load`` rounds — after which
+        :meth:`shrink` with the ``drain`` policy can remove it without
+        displacing anything. Loads are untouched, so the histogram carry
+        stays valid; only the free-slots view changes.
+        """
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        self.draining[indices] = True
+        self._any_draining = bool(self.draining.any())
+
+    def unseal(self, indices) -> None:
+        """Reopen sealed bins for acceptance (an aborted drain)."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        self.draining[indices] = False
+        self._any_draining = bool(self.draining.any())
 
     def set_capacity(self, capacity, indices=None) -> None:
         """Change the buffer capacity mid-run (capacity degradation faults).
@@ -436,6 +536,124 @@ class BinArray:
             return np.full(indices.shape, int(self.capacity), dtype=np.int64)
         return self.capacity[indices].copy()
 
+    # -- elastic membership -------------------------------------------------
+
+    def grow(self, count: int, capacity=None) -> np.ndarray:
+        """Append ``count`` fresh empty bins (a join burst).
+
+        Parameters
+        ----------
+        count:
+            Bins to add (``>= 1``).
+        capacity:
+            Capacity of the new bins. ``None`` inherits: the shared scalar
+            for homogeneous arrays, the current maximum for per-bin
+            arrays. Unbounded arrays stay unbounded (an explicit capacity
+            is rejected there — mixed bounded/unbounded bins are not a
+            representable state).
+
+        Returns
+        -------
+        numpy.ndarray
+            Indices of the new bins (always the trailing range — existing
+            bin indices are stable across a grow).
+        """
+        if count < 1:
+            raise ConfigurationError(f"must add at least one bin, got {count}")
+        if self.capacity is None:
+            if capacity is not None:
+                raise ConfigurationError("cannot add bounded bins to an unbounded array")
+            new_cap = None
+        elif capacity is None:
+            new_cap = (
+                int(self.capacity) if np.isscalar(self.capacity) else int(self.capacity.max())
+            )
+        else:
+            new_cap = int(capacity)
+            if new_cap < 1:
+                raise ConfigurationError(f"capacity must be at least 1, got {capacity}")
+        old_n = self.n
+        self.n = old_n + count
+        self.loads = np.concatenate([self.loads, np.zeros(count, dtype=np.int64)])
+        self.down = np.concatenate([self.down, np.zeros(count, dtype=bool)])
+        self.draining = np.concatenate([self.draining, np.zeros(count, dtype=bool)])
+        if self.capacity is not None:
+            if np.isscalar(self.capacity):
+                if new_cap != int(self.capacity):
+                    # Heterogeneous from here on.
+                    self.capacity = np.concatenate(
+                        [
+                            np.full(old_n, self.capacity, dtype=np.int64),
+                            np.full(count, new_cap, dtype=np.int64),
+                        ]
+                    )
+                # else: shared scalar covers the new bins unchanged.
+            else:
+                self.capacity = np.concatenate(
+                    [self.capacity, np.full(count, new_cap, dtype=np.int64)]
+                )
+        if self._capacity_high_water is not None:
+            self._capacity_high_water = np.concatenate(
+                [self._capacity_high_water, np.full(count, new_cap, dtype=np.int64)]
+            )
+        self._hist_cache = None
+        self._free = None
+        self._refresh_free()
+        return np.arange(old_n, self.n, dtype=np.int64)
+
+    def shrink(self, indices, policy: str = "rehash") -> int:
+        """Remove bins by index (a leave burst). Returns the displaced count.
+
+        ``policy`` (one of :data:`SHRINK_POLICIES`) decides what the
+        returned count *means*: with ``rehash`` the caller must re-inject
+        that many balls into the pool (consistent re-hashing of the
+        removed bins' queues); with ``drop`` they are simply gone; with
+        ``drain`` the bins must already be empty (seal first, remove once
+        drained) and the count is always zero.
+
+        Removal compacts the array: surviving bins keep their relative
+        order but indices above a removed bin shift down. Callers that
+        track bin indices across rounds (fault injectors) must be
+        re-mapped — see ``ChurnInjector.add_remap_listener``.
+        """
+        if policy not in SHRINK_POLICIES:
+            raise ConfigurationError(
+                f"shrink policy must be one of {SHRINK_POLICIES}, got {policy!r}"
+            )
+        indices = np.unique(np.atleast_1d(np.asarray(indices, dtype=np.int64)))
+        if indices.size == 0:
+            return 0
+        if indices[0] < 0 or indices[-1] >= self.n:
+            raise ConfigurationError(
+                f"shrink indices must lie in [0, {self.n}), got "
+                f"[{int(indices[0])}, {int(indices[-1])}]"
+            )
+        if indices.size >= self.n:
+            raise ConfigurationError("cannot remove every bin")
+        displaced = int(self.loads[indices].sum())
+        if policy == "drain" and displaced:
+            raise ConfigurationError(
+                f"drain removal requires empty bins, but {displaced} balls remain "
+                "(seal the bins and wait for their queues to empty)"
+            )
+        keep = np.ones(self.n, dtype=bool)
+        keep[indices] = False
+        self.loads = self.loads[keep]
+        self.down = self.down[keep]
+        self._any_down = bool(self.down.any())
+        self.draining = self.draining[keep]
+        self._any_draining = bool(self.draining.any())
+        if self.capacity is not None and not np.isscalar(self.capacity):
+            self.capacity = self.capacity[keep]
+        if self._capacity_high_water is not None:
+            self._capacity_high_water = self._capacity_high_water[keep]
+        self.n -= int(indices.size)
+        self._total_load -= displaced
+        self._hist_cache = None
+        self._free = None
+        self._refresh_free()
+        return displaced
+
     def reset(self) -> None:
         """Empty all bins."""
         self.loads[:] = 0
@@ -464,15 +682,26 @@ class BinArray:
         }
         if self._any_down:
             state["down"] = self.down.tolist()
+        if self._any_draining:
+            state["draining"] = self.draining.tolist()
         if self._capacity_high_water is not None:
             state["capacity_high_water"] = self._capacity_high_water.tolist()
         return state
 
     def set_state(self, state: dict) -> None:
-        """Restore a snapshot produced by :meth:`get_state`."""
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        Membership is adopted from the snapshot: a state recorded after a
+        :meth:`grow`/:meth:`shrink` restores into an array constructed at
+        a different size by resizing to match (churn-aware checkpointing).
+        """
         loads = np.asarray(state["loads"], dtype=np.int64)
+        if loads.ndim != 1 or loads.size < 1:
+            raise ValueError(f"state loads must be a non-empty vector, got shape {loads.shape}")
         if loads.shape != (self.n,):
-            raise ValueError(f"state has {loads.shape} loads, expected ({self.n},)")
+            # Elastic membership: the snapshot was taken after bins joined
+            # or left. Adopt its bin count wholesale.
+            self.n = int(loads.size)
         self.loads = loads.copy()
         down = state.get("down")
         self.down = (
@@ -481,6 +710,13 @@ class BinArray:
             else np.zeros(self.n, dtype=bool)
         )
         self._any_down = bool(self.down.any())
+        draining = state.get("draining")
+        self.draining = (
+            np.asarray(draining, dtype=bool).copy()
+            if draining is not None
+            else np.zeros(self.n, dtype=bool)
+        )
+        self._any_draining = bool(self.draining.any())
         if "capacity" in state:
             # Snapshots taken before any degradation carry the constructed
             # capacity back unchanged; mid-degradation ones restore the
@@ -490,6 +726,8 @@ class BinArray:
                 self.capacity = capacity
             else:
                 self.capacity = np.asarray(capacity, dtype=np.int64)
+            if capacity is None:
+                self._capacity_high_water = None
         high_water = state.get("capacity_high_water")
         if high_water is not None:
             self._capacity_high_water = np.asarray(high_water, dtype=np.int64)
@@ -501,6 +739,7 @@ class BinArray:
         # loads can exceed capacity until proven otherwise.
         self._maybe_overcap = True
         self._hist_cache = None
+        self._free = None  # sized for the adopted n on the refresh below
         self._refresh_free()
         self.check_invariants()
 
@@ -512,6 +751,23 @@ class BinArray:
         more balls than its (temporarily reduced) current capacity, but a
         bin can never hold more than the largest capacity it ever had.
         """
+        if (
+            self.loads.shape != (self.n,)
+            or self.down.shape != (self.n,)
+            or self.draining.shape != (self.n,)
+        ):
+            raise InvariantViolation(
+                f"membership arrays out of sync with n={self.n}: loads {self.loads.shape}, "
+                f"down {self.down.shape}, draining {self.draining.shape}"
+            )
+        if (
+            self.capacity is not None
+            and not np.isscalar(self.capacity)
+            and self.capacity.shape != (self.n,)
+        ):
+            raise InvariantViolation(
+                f"per-bin capacities {self.capacity.shape} out of sync with n={self.n}"
+            )
         if np.any(self.loads < 0):
             raise InvariantViolation("negative bin load")
         if self._total_load != int(self.loads.sum()):

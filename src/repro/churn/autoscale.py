@@ -1,0 +1,282 @@
+"""Autoscaling: re-pick n (and c) from observed occupancy/wait signals.
+
+:class:`AutoscalingPolicy` is the immutable knob set; :class:`Autoscaler`
+is the observer that applies it. Two controllers are provided:
+
+``utilization``
+    Signal = ``total_load / total_capacity`` per round. Tracks buffer
+    occupancy; requires bounded bins.
+``p99_wait``
+    Signal = the per-round p99 waiting time (from each record's sparse
+    wait histogram; rounds with no finalized waits carry the last value
+    forward, matching :func:`repro.faults.recovery.per_round_p99`).
+    ``target`` is then measured in rounds.
+
+Decisions happen only at ``check_every`` round boundaries, only with a full
+signal window, and only ``cooldown`` rounds after the previous scale event;
+each decision moves membership by at most ``max_step`` bins. The window is
+cleared after every scale event so post-change signals are never mixed with
+pre-change ones. Scale-in victims come from the autoscaler's own RNG stream
+(``RngFactory(seed).generator("autoscale")``), never the process RNG.
+
+When a scale-out is wanted but membership is pinned at ``max_n``, the
+controller can instead raise a shared scalar capacity by one (up to
+``capacity_max``) — the "re-pick c" half of the control surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.balls.bin_array import SHRINK_POLICIES
+from repro.churn.injector import (
+    _MembershipMutator,
+    bind_membership_adapter,
+    removal_mapping,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RngFactory
+from repro.telemetry.runtime import current as _telemetry_current, span as _span
+
+__all__ = ["AutoscalingPolicy", "Autoscaler"]
+
+CONTROLLERS = ("utilization", "p99_wait")
+
+
+@dataclass(frozen=True)
+class AutoscalingPolicy:
+    """Immutable autoscaler configuration (see module docstring)."""
+
+    controller: str = "utilization"
+    target: float = 0.7
+    band: float = 0.1
+    window: int = 25
+    check_every: int = 25
+    cooldown: int = 50
+    max_step: int = 64
+    min_n: int = 1
+    max_n: int | None = None
+    policy: str = "rehash"
+    capacity_max: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.controller not in CONTROLLERS:
+            raise ConfigurationError(
+                f"controller must be one of {CONTROLLERS}, got {self.controller!r}"
+            )
+        if self.target <= 0.0:
+            raise ConfigurationError(f"target must be positive, got {self.target}")
+        if not 0.0 <= self.band < 1.0:
+            raise ConfigurationError(f"band must be in [0, 1), got {self.band}")
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if self.check_every < 1:
+            raise ConfigurationError(f"check_every must be >= 1, got {self.check_every}")
+        if self.cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.max_step < 1:
+            raise ConfigurationError(f"max_step must be >= 1, got {self.max_step}")
+        if self.min_n < 1:
+            raise ConfigurationError(f"min_n must be >= 1, got {self.min_n}")
+        if self.max_n is not None and self.max_n < self.min_n:
+            raise ConfigurationError(f"max_n {self.max_n} below min_n {self.min_n}")
+        if self.policy not in SHRINK_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {SHRINK_POLICIES}, got {self.policy!r}"
+            )
+        if self.policy == "drain":
+            # Draining needs the two-stage pending bookkeeping the
+            # ChurnInjector owns; the autoscaler keeps no such queue.
+            raise ConfigurationError("autoscaler scale-in supports 'rehash' or 'drop' only")
+        if self.capacity_max is not None and self.capacity_max < 1:
+            raise ConfigurationError(f"capacity_max must be >= 1, got {self.capacity_max}")
+
+
+class Autoscaler(_MembershipMutator):
+    """Observer implementing :class:`AutoscalingPolicy` on a live process.
+
+    Attributes
+    ----------
+    scale_outs / scale_ins / capacity_raises:
+        Decisions applied so far, by kind.
+    events_log:
+        ``(round, description)`` tuples for every decision.
+    """
+
+    def __init__(self, policy: AutoscalingPolicy, seed: int = 0) -> None:
+        super().__init__()
+        if not isinstance(policy, AutoscalingPolicy):
+            raise ConfigurationError(
+                f"policy must be an AutoscalingPolicy, got {type(policy).__name__}"
+            )
+        self.policy = policy
+        self._rng = RngFactory(seed).generator("autoscale")
+        self._adapter = None
+        self._process = None
+        self._window: list[float] = []
+        self._last_signal = 0.0
+        self._last_scale_round: int | None = None
+        self.scale_outs = 0
+        self.scale_ins = 0
+        self.capacity_raises = 0
+        self.events_log: list[tuple[int, str]] = []
+
+    def _bind(self, process: Any):
+        if self._adapter is not None:
+            if process is not self._process:
+                raise ConfigurationError(
+                    "an Autoscaler is bound to one process; build one per run"
+                )
+            return self._adapter
+        adapter = bind_membership_adapter(process)
+        if self.policy.controller == "utilization" and adapter.capacity_total() is None:
+            raise ConfigurationError(
+                "the utilization controller needs bounded capacity "
+                "(an unbounded pool cannot report occupancy)"
+            )
+        self._adapter = adapter
+        self._process = process
+        return self._adapter
+
+    def _note(self, t: int, description: str, action: str) -> None:
+        self.events_log.append((t, description))
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.inc("scale_events_total", action=action)
+            tel.emit({"type": "scale", "round": t, "action": action, "description": description})
+
+    # -- signal extraction --------------------------------------------------
+
+    def _signal(self, record, adapter) -> float:
+        if self.policy.controller == "utilization":
+            total = adapter.capacity_total()
+            if total is None:
+                raise ConfigurationError(
+                    "utilization controller needs bounded capacity "
+                    "(an unbounded pool cannot report occupancy)"
+                )
+            self._last_signal = record.total_load / total if total else 0.0
+            return self._last_signal
+        counts = np.asarray(record.wait_counts)
+        total = int(counts.sum()) if counts.size else 0
+        if total:
+            cumulative = np.cumsum(counts)
+            rank = int(np.searchsorted(cumulative, np.ceil(0.99 * total)))
+            rank = min(rank, len(record.wait_values) - 1)
+            self._last_signal = float(record.wait_values[rank])
+        return self._last_signal
+
+    # -- checkpointing ------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Checkpoint the controller position (window, cooldown, RNG, log)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "window": list(self._window),
+            "last_signal": self._last_signal,
+            "last_scale_round": self._last_scale_round,
+            "scale_outs": self.scale_outs,
+            "scale_ins": self.scale_ins,
+            "capacity_raises": self.capacity_raises,
+            "events_log": [[t, description] for t, description in self.events_log],
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`get_state` (binding stays lazy)."""
+        self._rng.bit_generator.state = state["rng"]
+        self._window = [float(v) for v in state["window"]]
+        self._last_signal = float(state["last_signal"])
+        last = state["last_scale_round"]
+        self._last_scale_round = None if last is None else int(last)
+        self.scale_outs = int(state["scale_outs"])
+        self.scale_ins = int(state["scale_ins"])
+        self.capacity_raises = int(state["capacity_raises"])
+        self.events_log = [(int(t), str(description)) for t, description in state["events_log"]]
+
+    def remap_entities(self, mapping: np.ndarray) -> None:
+        """No per-entity bookkeeping; present for uniform mutator wiring."""
+
+    # -- the observer hook --------------------------------------------------
+
+    def on_round(self, record, process: Any) -> None:
+        adapter = self._bind(process)
+        t = record.round
+        policy = self.policy
+
+        self._window.append(self._signal(record, adapter))
+        if len(self._window) > policy.window:
+            del self._window[: len(self._window) - policy.window]
+
+        if t % policy.check_every != 0 or len(self._window) < policy.window:
+            return
+        if (
+            self._last_scale_round is not None
+            and t - self._last_scale_round < policy.cooldown
+        ):
+            return
+
+        mean_signal = sum(self._window) / len(self._window)
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.set_gauge("autoscale_signal", mean_signal, controller=policy.controller)
+        error = (mean_signal - policy.target) / policy.target
+        if abs(error) <= policy.band:
+            return
+
+        step = min(policy.max_step, max(1, round(adapter.n * abs(error))))
+        if error > 0:
+            headroom = (
+                step if policy.max_n is None else min(step, policy.max_n - adapter.n)
+            )
+            if headroom > 0:
+                with _span("scale_event", component="autoscale", direction="out"):
+                    adapter.join(headroom, None)
+                self.scale_outs += 1
+                self._last_scale_round = t
+                self._window.clear()
+                self._note(
+                    t,
+                    f"scale out +{headroom} (signal {mean_signal:.3f} > "
+                    f"target {policy.target}) -> n={adapter.n}",
+                    "scale_out",
+                )
+            else:
+                capacity = adapter.capacity_scalar()
+                if (
+                    policy.capacity_max is not None
+                    and capacity is not None
+                    and capacity < policy.capacity_max
+                ):
+                    with _span("scale_event", component="autoscale", direction="capacity"):
+                        adapter.set_capacity_all(capacity + 1)
+                    self.capacity_raises += 1
+                    self._last_scale_round = t
+                    self._window.clear()
+                    self._note(t, f"raise capacity to {capacity + 1} (n at max)", "raise_c")
+        else:
+            room = adapter.n - policy.min_n
+            count = min(step, room)
+            if count > 0:
+                eligible = np.flatnonzero(~adapter.draining_mask())
+                count = min(count, eligible.size)
+                if count <= 0:
+                    return
+                victims = np.sort(self._rng.choice(eligible, size=count, replace=False))
+                old_n = adapter.n
+                with _span("scale_event", component="autoscale", direction="in"):
+                    adapter.leave(victims, policy.policy)
+                self._broadcast_remap(removal_mapping(old_n, victims))
+                self.scale_ins += 1
+                self._last_scale_round = t
+                self._window.clear()
+                self._note(
+                    t,
+                    f"scale in -{count} (signal {mean_signal:.3f} < "
+                    f"target {policy.target}) -> n={adapter.n}",
+                    "scale_in",
+                )
+        if tel is not None:
+            tel.set_gauge("membership_n", adapter.n)

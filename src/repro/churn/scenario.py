@@ -1,0 +1,197 @@
+"""The unified chaos scenario DSL: churn + faults + autoscaling in one spec.
+
+A :class:`ChaosScenario` bundles up to three immutable schedules — a
+:class:`~repro.faults.schedule.FaultSchedule`, a
+:class:`~repro.churn.schedule.ChurnSchedule`, and an
+:class:`~repro.churn.autoscale.AutoscalingPolicy` — and builds the wired
+observer pipeline for a run: churn injector first (membership changes land
+before fault bookkeeping reads the round), then the fault injector, then the
+autoscaler. Every observer that shrinks the pool notifies the others through
+``remap_entities`` so per-entity bookkeeping survives index compaction.
+
+Scenarios parse from plain dicts/JSON (``scenario_from_dict`` /
+``scenario_from_json``), giving the CLI and CI a declarative surface::
+
+    {
+      "faults": {"seed": 1, "events": [
+        {"type": "crash_burst", "at_round": 300, "fraction": 0.1, "duration": 50}
+      ]},
+      "churn": {"seed": 2, "min_n": 64, "events": [
+        {"type": "join_burst", "at_round": 150, "count": 128},
+        {"type": "leave_burst", "at_round": 400, "fraction": 0.25, "policy": "rehash"}
+      ]},
+      "autoscaling": {"controller": "utilization", "target": 0.7},
+      "autoscale_seed": 3
+    }
+
+Event ``type`` names are the snake_case class names. Unknown keys anywhere
+are a :class:`~repro.errors.ConfigurationError` (typos must not silently
+produce a different scenario).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, fields as dataclass_fields
+
+from repro.churn.autoscale import Autoscaler, AutoscalingPolicy
+from repro.churn.injector import ChurnInjector
+from repro.churn.schedule import ChurnSchedule
+from repro.churn.schedule import _EVENT_TYPES as _CHURN_EVENT_TYPES
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.faults.schedule import _EVENT_TYPES as _FAULT_EVENT_TYPES
+
+__all__ = ["ChaosScenario", "scenario_from_dict", "scenario_from_json"]
+
+
+def _snake_case(name: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+#: type-name -> event class, for both halves of the DSL.
+FAULT_EVENT_REGISTRY = {_snake_case(cls.__name__): cls for cls in _FAULT_EVENT_TYPES}
+CHURN_EVENT_REGISTRY = {_snake_case(cls.__name__): cls for cls in _CHURN_EVENT_TYPES}
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """Everything that goes wrong (and adapts) in one run.
+
+    Any subset of the three parts may be present; an all-``None`` scenario
+    builds an empty observer list and leaves the run untouched.
+    """
+
+    faults: FaultSchedule | None = None
+    churn: ChurnSchedule | None = None
+    autoscaling: AutoscalingPolicy | None = None
+    autoscale_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and not isinstance(self.faults, FaultSchedule):
+            raise ConfigurationError(
+                f"faults must be a FaultSchedule, got {type(self.faults).__name__}"
+            )
+        if self.churn is not None and not isinstance(self.churn, ChurnSchedule):
+            raise ConfigurationError(
+                f"churn must be a ChurnSchedule, got {type(self.churn).__name__}"
+            )
+        if self.autoscaling is not None and not isinstance(self.autoscaling, AutoscalingPolicy):
+            raise ConfigurationError(
+                f"autoscaling must be an AutoscalingPolicy, got "
+                f"{type(self.autoscaling).__name__}"
+            )
+
+    def __bool__(self) -> bool:
+        return (
+            (self.faults is not None and bool(self.faults))
+            or (self.churn is not None and bool(self.churn))
+            or self.autoscaling is not None
+        )
+
+    def build_observers(self) -> list:
+        """Construct and cross-wire the observers for one run.
+
+        Returns ``[ChurnInjector?, FaultInjector?, Autoscaler?]`` (present
+        parts only, in that order) with remap listeners registered both
+        ways: a shrink by the churn injector remaps the fault injector's
+        down map, and a scale-in by the autoscaler remaps the churn
+        injector's pending drains and the fault injector alike.
+        """
+        churn_injector = ChurnInjector(self.churn) if self.churn is not None else None
+        fault_injector = FaultInjector(self.faults) if self.faults is not None else None
+        autoscaler = (
+            Autoscaler(self.autoscaling, seed=self.autoscale_seed)
+            if self.autoscaling is not None
+            else None
+        )
+        observers = [o for o in (churn_injector, fault_injector, autoscaler) if o is not None]
+        for mutator in (churn_injector, autoscaler):
+            if mutator is None:
+                continue
+            for listener in observers:
+                if listener is not mutator and hasattr(listener, "remap_entities"):
+                    mutator.add_remap_listener(listener)
+        return observers
+
+
+def _build_event(registry: dict, spec: dict, kind: str):
+    spec = dict(spec)
+    type_name = spec.pop("type", None)
+    if type_name is None:
+        raise ConfigurationError(f"{kind} event is missing its 'type' key: {spec}")
+    cls = registry.get(type_name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown {kind} event type {type_name!r}; expected one of {sorted(registry)}"
+        )
+    allowed = {f.name for f in dataclass_fields(cls)}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown keys {sorted(unknown)} for {kind} event {type_name!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    return cls(**spec)
+
+
+def _build_schedule(spec: dict, kind: str, registry: dict, schedule_cls):
+    spec = dict(spec)
+    events = spec.pop("events", [])
+    allowed = {f.name for f in dataclass_fields(schedule_cls)} - {"events"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown keys {sorted(unknown)} in {kind} schedule; allowed: {sorted(allowed)}"
+        )
+    built = tuple(_build_event(registry, event, kind) for event in events)
+    return schedule_cls(events=built, **spec)
+
+
+def scenario_from_dict(spec: dict) -> ChaosScenario:
+    """Build a :class:`ChaosScenario` from its dict form (see module doc)."""
+    if not isinstance(spec, dict):
+        raise ConfigurationError(f"scenario must be a dict, got {type(spec).__name__}")
+    spec = dict(spec)
+    allowed = {"faults", "churn", "autoscaling", "autoscale_seed"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenario keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    faults = spec.get("faults")
+    churn = spec.get("churn")
+    autoscaling = spec.get("autoscaling")
+    if autoscaling is not None:
+        allowed_knobs = {f.name for f in dataclass_fields(AutoscalingPolicy)}
+        unknown_knobs = set(autoscaling) - allowed_knobs
+        if unknown_knobs:
+            raise ConfigurationError(
+                f"unknown autoscaling keys {sorted(unknown_knobs)}; "
+                f"allowed: {sorted(allowed_knobs)}"
+            )
+    return ChaosScenario(
+        faults=(
+            None
+            if faults is None
+            else _build_schedule(faults, "fault", FAULT_EVENT_REGISTRY, FaultSchedule)
+        ),
+        churn=(
+            None
+            if churn is None
+            else _build_schedule(churn, "churn", CHURN_EVENT_REGISTRY, ChurnSchedule)
+        ),
+        autoscaling=None if autoscaling is None else AutoscalingPolicy(**autoscaling),
+        autoscale_seed=int(spec.get("autoscale_seed", 0)),
+    )
+
+
+def scenario_from_json(text: str) -> ChaosScenario:
+    """Parse a scenario from its JSON text form."""
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"scenario is not valid JSON: {exc}") from exc
+    return scenario_from_dict(spec)

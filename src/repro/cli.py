@@ -76,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--d", type=int, default=1, help="choices per ball (greedy only)")
     sim.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        help="chaos scenario: a JSON file path or inline JSON with "
+        "'faults', 'churn', and/or 'autoscaling' schedules "
+        "(capped only; incompatible with --shards/--batch-replicates)",
+    )
+    sim.add_argument(
         "--telemetry-dir",
         type=Path,
         default=None,
@@ -291,12 +299,45 @@ def _cmd_simulate(args, out) -> int:
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         out.write("error: --checkpoint-every needs --checkpoint-dir\n")
         return 2
+    if args.scenario is not None:
+        if args.process != "capped":
+            out.write("error: --scenario only applies to --process capped\n")
+            return 2
+        if args.shards > 1:
+            out.write("error: --scenario and --shards are mutually exclusive\n")
+            return 2
+        if args.batch_replicates:
+            out.write("error: --scenario and --batch-replicates are mutually exclusive\n")
+            return 2
+        try:
+            # Parse and validate eagerly so a typo'd scenario is a clean
+            # configuration error, not a traceback mid-run.
+            from repro.churn import scenario_from_dict
+            from repro.errors import ConfigurationError
+
+            scenario_from_dict(_load_scenario(args.scenario))
+        except (OSError, ValueError, ConfigurationError) as err:
+            out.write(f"error: {err}\n")
+            return 2
     if args.telemetry_dir is None:
         return _run_simulate(args, out)
     with _telemetry_capture(args.telemetry_dir, _args_config(args), [args.seed]):
         status = _run_simulate(args, out)
     out.write(f"telemetry written to {args.telemetry_dir}\n")
     return status
+
+
+def _load_scenario(spec: str) -> dict[str, Any]:
+    """Parse a ``--scenario`` value: inline JSON or a path to a JSON file."""
+    import json
+
+    text = spec if spec.lstrip().startswith("{") else Path(spec).read_text(encoding="utf-8")
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"scenario must be a JSON object, got {type(payload).__name__}")
+    return payload
 
 
 def _run_simulate(args, out) -> int:
@@ -326,6 +367,7 @@ def _run_simulate(args, out) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             shards=args.shards,
+            scenario=None if args.scenario is None else _load_scenario(args.scenario),
         )
     for key, value in point.row().items():
         out.write(f"{key:12s} {value}\n")

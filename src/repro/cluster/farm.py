@@ -131,6 +131,74 @@ class ServerFarm:
         """Alias for :attr:`num_servers` (RoundProcess protocol)."""
         return len(self.servers)
 
+    # -- elastic membership (repro.churn) -----------------------------------
+
+    def add_servers(self, count: int, capacity=...) -> np.ndarray:
+        """Append ``count`` fresh empty servers (a join burst).
+
+        ``capacity`` defaults to inheritance: unbounded if any existing
+        server is unbounded, else the largest existing capacity — the same
+        rule :meth:`repro.balls.bin_array.BinArray.grow` applies. The
+        workload is untouched (traffic is exogenous; the configured rate
+        does not rise because servers joined). Returns the new indices.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if capacity is ...:
+            existing = [server.capacity for server in self.servers]
+            capacity = None if any(c is None for c in existing) else max(existing)
+        old = len(self.servers)
+        self.servers.extend(Server(capacity) for _ in range(count))
+        return np.arange(old, len(self.servers), dtype=np.int64)
+
+    def remove_servers(self, indices, policy: str = "rehash") -> int:
+        """Remove servers by index (a leave burst). Returns displaced requests.
+
+        ``rehash``: queued requests of removed servers re-enter the pending
+        set (merged oldest-first, so admission order is preserved).
+        ``drop``: queued requests are discarded (counted in the return).
+        ``drain``: the servers must already be empty (seal first, wait for
+        their queues to drain). Indices compact exactly like bin indices —
+        see :func:`repro.churn.injector.removal_mapping`.
+        """
+        from repro.balls.bin_array import SHRINK_POLICIES
+
+        if policy not in SHRINK_POLICIES:
+            raise ConfigurationError(f"policy must be one of {SHRINK_POLICIES}, got {policy!r}")
+        indices = np.unique(np.atleast_1d(np.asarray(indices, dtype=np.int64)))
+        if indices.size == 0:
+            return 0
+        if indices[0] < 0 or indices[-1] >= len(self.servers):
+            raise ConfigurationError(
+                f"server indices must be in [0, {len(self.servers)}), got "
+                f"[{indices[0]}, {indices[-1]}]"
+            )
+        if indices.size >= len(self.servers):
+            raise ConfigurationError("cannot remove every server")
+        removed = set(int(i) for i in indices)
+        displaced: list[Request] = []
+        for index in removed:
+            displaced.extend(self.servers[index]._queue)
+        if policy == "drain" and displaced:
+            raise ConfigurationError(
+                f"drain removal needs empty queues, but {len(displaced)} requests remain"
+            )
+        if policy == "rehash" and displaced:
+            self.pending.extend(displaced)
+            self.pending.sort()
+        self.servers = [s for i, s in enumerate(self.servers) if i not in removed]
+        return len(displaced)
+
+    def seal_servers(self, indices) -> None:
+        """Seal servers for draining: no admissions, service continues."""
+        for index in np.atleast_1d(np.asarray(indices, dtype=np.int64)):
+            self.servers[int(index)].seal()
+
+    def unseal_servers(self, indices) -> None:
+        """Reopen sealed servers for admissions."""
+        for index in np.atleast_1d(np.asarray(indices, dtype=np.int64)):
+            self.servers[int(index)].unseal()
+
     def _generate(self) -> int:
         count = self.workload.arrivals(self.tick, self.rng)
         for _ in range(count):
@@ -244,12 +312,15 @@ class ServerFarm:
         }
 
     def set_state(self, state: dict) -> None:
-        """Restore a snapshot from :meth:`get_state` (same farm shape)."""
+        """Restore a snapshot from :meth:`get_state`.
+
+        Membership is adopted from the snapshot: a state captured after
+        churn resized the farm rebuilds the server list at the snapshot's
+        size (each server's own state carries its capacity).
+        """
         server_states = state["servers"]
         if len(server_states) != len(self.servers):
-            raise ValueError(
-                f"state has {len(server_states)} servers, expected {len(self.servers)}"
-            )
+            self.servers = [Server(None) for _ in server_states]
         self.tick = int(state["tick"])
         self._next_id = int(state["next_id"])
         self.pending = [

@@ -46,6 +46,7 @@ class Server:
     __slots__ = (
         "capacity",
         "down",
+        "sealed",
         "_queue",
         "completed",
         "rejected",
@@ -58,6 +59,7 @@ class Server:
             raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.down = False
+        self.sealed = False
         self._queue: deque[Request] = deque()
         self.completed = 0
         self.rejected = 0
@@ -74,9 +76,10 @@ class Server:
         """Remaining queue slots (a large sentinel when unbounded, 0 when down).
 
         Clamped at zero: after a capacity degradation the queue may hold
-        more requests than the current capacity allows.
+        more requests than the current capacity allows. Sealed servers
+        (draining before removal, see :meth:`seal`) admit nothing either.
         """
-        if self.down:
+        if self.down or self.sealed:
             return 0
         if self.capacity is None:
             return 2**31
@@ -89,7 +92,9 @@ class Server:
         ``rejected`` (that counter tracks capacity pressure, not outages).
         """
         candidates = sorted(requests)
-        if self.down:
+        if self.down or self.sealed:
+            # Like outages, sealing is not capacity pressure: rejections
+            # here do not touch the ``rejected`` counter.
             return candidates
         take = min(len(candidates), self.free_slots)
         for request in candidates[:take]:
@@ -125,6 +130,19 @@ class Server:
         """Bring the server back up."""
         self.down = False
 
+    def seal(self) -> None:
+        """Stop admissions while the queue drains (pre-removal state).
+
+        A sealed server keeps serving (unlike :meth:`fail`), so its queue
+        empties in at most ``queue_length`` ticks, after which it can be
+        removed with the ``drain`` policy.
+        """
+        self.sealed = True
+
+    def unseal(self) -> None:
+        """Reopen a sealed server for admissions (an aborted drain)."""
+        self.sealed = False
+
     def set_capacity(self, capacity: int | None) -> None:
         """Change the queue capacity mid-run (degradation faults).
 
@@ -150,6 +168,7 @@ class Server:
         return {
             "capacity": self.capacity,
             "down": self.down,
+            "sealed": self.sealed,
             "queue": [[request.created_tick, request.request_id] for request in self._queue],
             "completed": self.completed,
             "rejected": self.rejected,
@@ -162,6 +181,8 @@ class Server:
         capacity = state["capacity"]
         self.capacity = None if capacity is None else int(capacity)
         self.down = bool(state["down"])
+        # Older snapshots predate sealing; absent means open.
+        self.sealed = bool(state.get("sealed", False))
         self._queue = deque(
             Request(created_tick=int(tick), request_id=int(request_id))
             for tick, request_id in state["queue"]

@@ -130,6 +130,11 @@ class CappedProcess:
         if kernel not in ("fused", "legacy"):
             raise ConfigurationError(f"kernel must be 'fused' or 'legacy', got {kernel!r}")
         self.n = n
+        #: Bin count at construction. ``n`` tracks the *live* membership
+        #: (it changes under churn); checkpoints compare ``initial_n`` so
+        #: a snapshot taken after a resize restores into a process built
+        #: with the original configuration.
+        self.initial_n = n
         self.capacity = capacity
         self.lam = lam
         self.acceptance_order = acceptance_order
@@ -160,6 +165,60 @@ class CappedProcess:
     def pool_size(self) -> int:
         """Current pool size ``m(t)``."""
         return self.pool.size
+
+    # -- elastic membership (repro.churn) -----------------------------------
+
+    def _flush_choice_buffer(self) -> None:
+        """Drop unspent prefetched bin choices.
+
+        The buffer was drawn with modulus ``n``; after a resize those words
+        would map to the wrong bin range (or out of range entirely). The
+        unspent draws are simply discarded — resizes are deterministic
+        schedule events, so both an uninterrupted run and a checkpoint
+        resume discard the identical words and trajectories stay
+        bit-identical.
+        """
+        self._choice_buf = None
+        self._choice_pos = 0
+        self._choice_base = None
+
+    def grow_bins(self, count: int, capacity=None) -> np.ndarray:
+        """Add ``count`` fresh empty bins mid-run (a join burst).
+
+        Arrivals stay tied to the configured λ·n₀ (traffic is exogenous —
+        it does not rise because servers joined), so the effective per-bin
+        load λ·n₀/n(t) drops. Returns the new bins' indices.
+        """
+        added = self.bins.grow(count, capacity=capacity)
+        self.n = self.bins.n
+        self._flush_choice_buffer()
+        return added
+
+    def shrink_bins(self, indices, policy: str = "rehash") -> int:
+        """Remove bins mid-run (a leave burst). Returns the displaced count.
+
+        With the ``rehash`` policy the removed bins' queued balls re-enter
+        the pool labelled with the *current* round: they are re-thrown
+        from scratch next round, so their pool delay restarts (the
+        positional representation keeps no per-ball identity to preserve
+        accrued queue credit — a documented approximation, see
+        ``docs/churn.md``). ``drop`` destroys them; ``drain`` requires the
+        bins to be empty (see :meth:`seal_bins`).
+        """
+        displaced = self.bins.shrink(indices, policy=policy)
+        self.n = self.bins.n
+        self._flush_choice_buffer()
+        if displaced and policy == "rehash":
+            self.pool.add(self.round, displaced)
+        return displaced
+
+    def seal_bins(self, indices) -> None:
+        """Seal bins for draining: no new acceptance, FIFO service continues."""
+        self.bins.seal(indices)
+
+    def unseal_bins(self, indices) -> None:
+        """Reopen sealed bins for acceptance."""
+        self.bins.unseal(indices)
 
     def step(self, choices: np.ndarray | None = None) -> RoundRecord:
         """Advance one round (Algorithm 1) and report it.
@@ -403,6 +462,10 @@ class CappedProcess:
         """Verify pool and bin-state consistency."""
         self.pool.check_invariants()
         self.bins.check_invariants()
+        if self.bins.n != self.n:
+            raise InvariantViolation(
+                f"process n={self.n} out of sync with bin membership n={self.bins.n}"
+            )
         oldest = self.pool.oldest_label
         if oldest is not None and oldest > self.round:
             raise InvariantViolation(
@@ -434,10 +497,18 @@ class CappedProcess:
         return state
 
     def set_state(self, state: dict) -> None:
-        """Restore a snapshot from :meth:`get_state` (same n/c/λ process)."""
+        """Restore a snapshot from :meth:`get_state` (same initial-n/c/λ process).
+
+        Membership is adopted from the snapshot: restoring a state taken
+        after churn resized the bins updates ``n`` to match (``initial_n``
+        is what checkpoint compatibility is checked against). The live
+        ``n`` must be adopted *before* the choice block regenerates below —
+        the block's modulus is the snapshot's bin count.
+        """
         self.round = int(state["round"])
         self.pool.set_state(state["pool"])
         self.bins.set_state(state["bins"])
+        self.n = self.bins.n
         self.rng.bit_generator.state = state["rng"]
         block = int(state.get("choice_block", 0))
         if block:

@@ -204,6 +204,9 @@ class SimulationDriver:
             "process": {
                 "class": process.__class__.__name__,
                 "n": process.n,
+                # Churn changes the live n mid-run; compatibility is judged
+                # against the bin count the process was *configured* with.
+                "initial_n": getattr(process, "initial_n", process.n),
                 "state": process.get_state(),
             },
             "observers": self._observer_states(),
@@ -231,8 +234,15 @@ class SimulationDriver:
             problems.append(
                 f"process class {proc.get('class')!r} != " f"{process.__class__.__name__!r}"
             )
-        if proc.get("n") != process.n:
-            problems.append(f"n {proc.get('n')} != {process.n}")
+        # Compare configured bin counts, not live ones: a snapshot taken
+        # after churn resized the pool legitimately differs from the fresh
+        # process's n (``process.set_state`` adopts the snapshot's
+        # membership). Older snapshots without ``initial_n`` fall back to
+        # their recorded live n — correct for every churn-free run.
+        snapshot_n = proc.get("initial_n", proc.get("n"))
+        process_n = getattr(process, "initial_n", process.n)
+        if snapshot_n != process_n:
+            problems.append(f"n {snapshot_n} != {process_n}")
         if len(payload.get("observers", ())) != len(self.observers):
             problems.append(
                 f"{len(payload.get('observers', ()))} observer states for "

@@ -16,6 +16,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.recovery import (
     RecoveryReport,
     StationaryBand,
+    measure_post_churn_recovery,
     measure_recovery,
     per_round_p99,
     stationary_band,
@@ -41,5 +42,6 @@ __all__ = [
     "StationaryBand",
     "stationary_band",
     "measure_recovery",
+    "measure_post_churn_recovery",
     "per_round_p99",
 ]

@@ -265,6 +265,33 @@ class FaultInjector:
         self.down_rounds = int(state["down_rounds"])
         self.events_log = [(int(t), str(description)) for t, description in state["events_log"]]
 
+    def remap_entities(self, mapping) -> None:
+        """Rewrite per-entity bookkeeping after a membership compaction.
+
+        Churn (``repro.churn``) removes entities by index, compacting the
+        survivors; ``mapping[old_index]`` gives the new index (``-1`` =
+        removed). Mutating observers broadcast this after every shrink.
+        Removed entities simply drop out of the down map / stochastic set /
+        pending restorations — their outage ended with their membership.
+        Aggregate counters are history and stay untouched.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        self._down = {
+            int(mapping[index]): recover
+            for index, recover in self._down.items()
+            if mapping[index] >= 0
+        }
+        self._stochastic_down = {
+            int(mapping[index]) for index in self._stochastic_down if mapping[index] >= 0
+        }
+        restores = []
+        for restore_round, indices, saved in self._restores:
+            new_indices = mapping[indices]
+            keep = new_indices >= 0
+            if keep.any():
+                restores.append((restore_round, new_indices[keep], saved[keep]))
+        self._restores = restores
+
     # -- event application -------------------------------------------------
 
     def _pick_up_entities(self, adapter, fraction: float) -> np.ndarray:

@@ -35,6 +35,7 @@ __all__ = [
     "stationary_band",
     "time_to_return",
     "measure_recovery",
+    "measure_post_churn_recovery",
     "per_round_p99",
 ]
 
@@ -101,15 +102,31 @@ def stationary_band(
 
 def time_to_return(series, band: StationaryBand, start: int, sustain: int = 10) -> int | None:
     """First index ``i >= start`` such that ``series[i : i + sustain]`` lies
-    entirely inside ``band`` (and is fully available). ``None`` if never.
+    entirely inside ``band``. ``None`` if the series never returns.
+
+    **Partial-confirmation edge:** when the run *ends* inside the band but
+    with fewer than ``sustain`` trailing in-band samples, the start of that
+    trailing in-band stretch is still returned. A truncated run that has
+    visibly re-entered the band should report the entry round, not
+    ``None`` — the sustain requirement guards against transient dips
+    *through* the band, and a run that ends inside it never dipped back
+    out. (A series that ends outside the band still returns ``None``.)
     """
     series = np.asarray(series, dtype=float)
     if sustain < 1:
         raise ConfigurationError(f"sustain must be >= 1, got {sustain}")
     inside = (series >= band.lo) & (series <= band.hi)
-    for i in range(max(0, start), series.size - sustain + 1):
+    first = max(0, start)
+    for i in range(first, series.size - sustain + 1):
         if inside[i : i + sustain].all():
             return i
+    # Partially-confirmed tail: the run ended mid-sustain but in band.
+    if series.size and inside[-1]:
+        tail = series.size
+        while tail > first and inside[tail - 1]:
+            tail -= 1
+        if tail < series.size:
+            return tail
     return None
 
 
@@ -161,6 +178,57 @@ def measure_recovery(
         fault_end_index=fault_end_index,
         peak_value=float(scan[peak_offset]),
         peak_index=fault_index + peak_offset,
+        recovery_index=recovery,
+    )
+
+
+def measure_post_churn_recovery(
+    series,
+    churn_index: int,
+    tail_window: int,
+    sustain: int = 10,
+    width: float = 4.0,
+    rel_floor: float = 0.05,
+    abs_floor: float = 1.0,
+) -> RecoveryReport:
+    """Measure settling after a *membership* change (join/leave burst).
+
+    Unlike a fault, churn permanently moves the equilibrium: after a 25%
+    leave burst the pool settles around a *new* (higher) stationary level,
+    so a band fitted to the pre-churn window may never be re-entered. The
+    stationary band is therefore fitted to the last ``tail_window`` samples
+    — the post-churn equilibrium the run actually settled into — and the
+    time-to-return measures how long after ``churn_index`` the series first
+    sustainably reaches that new level.
+
+    The tail must itself have settled for the report to mean anything; the
+    caller is responsible for running well past the transient (the
+    ``churn_recovery`` experiment uses the final quarter of the run).
+    """
+    series = np.asarray(series, dtype=float)
+    if not 0 < churn_index < series.size:
+        raise ConfigurationError(
+            f"churn_index {churn_index} outside series of length {series.size}"
+        )
+    if tail_window < 2 or tail_window > series.size - churn_index:
+        raise ConfigurationError(
+            f"tail_window must be in [2, {series.size - churn_index}], got {tail_window}"
+        )
+    band = stationary_band(
+        series[series.size - tail_window :],
+        width=width,
+        rel_floor=rel_floor,
+        abs_floor=abs_floor,
+    )
+    scan = series[churn_index:]
+    peak_offset = int(np.argmax(np.abs(scan - band.mean)))
+    recovery = time_to_return(series, band, start=churn_index, sustain=sustain)
+    return RecoveryReport(
+        band=band,
+        fault_index=churn_index,
+        fault_end_index=churn_index,
+        peak_value=float(scan[peak_offset]),
+        peak_index=churn_index + peak_offset,
         recovery_index=recovery,
     )
 

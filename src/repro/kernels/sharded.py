@@ -350,14 +350,31 @@ class ShardedCappedProcess:
 
         counts = self.pool.counts()
         ages = [t - label for label in self.pool.labels()]
-        limit = self.bins.serial_round_limit(allow_unit_capacity=True)
+        # freeze_down keeps down bins eligible: their ceiling clamps to the
+        # current load so they accept nothing, and the deletion the kernel
+        # unconditionally performs on them is undone below (down bins are
+        # frozen; draining bins keep serving and need no correction).
+        limit = self.bins.serial_round_limit(allow_unit_capacity=True, freeze_down=True)
         if limit is None:
             raise ConfigurationError(
-                "sharded engine cannot resolve this round: bins are down or "
-                "unbounded (fault injection is a single-process feature)"
+                "sharded engine cannot resolve this round: unbounded bins "
+                "(use CappedProcess for the GREEDY regime)"
             )
         capacity_limit, hist_size = limit
+        down_fix = _EMPTY
+        if self.bins.down_count:
+            down_idx = np.flatnonzero(self.bins.down)
+            # Pre-round loads: down bins accept nothing, so these are also
+            # their loads at deletion time inside the kernel.
+            down_fix = down_idx[self.bins.loads[down_idx] > 0]
+            fix_loads = self.bins.loads[down_fix].copy()
         scalar_limit = np.isscalar(capacity_limit)
+        if not self.bins.hist_carry_intact:
+            # Something outside the round loop mutated the loads since our
+            # last commit (a fault wiping buffers, a capacity change): the
+            # per-shard histogram carries describe pre-mutation loads and
+            # feeding them to the kernel would corrupt its deletions.
+            self._shard_hists = [None] * self.shards
         if self._shard_hists[0] is not None and len(self._shard_hists[0]) != hist_size:
             self._shard_hists = [None] * self.shards
         reversed_priority = self.acceptance_order == "youngest" and len(counts) > 1
@@ -408,6 +425,27 @@ class ShardedCappedProcess:
             mean = sum(shard_seconds) / len(shard_seconds)
             if mean > 0:
                 tel.set_gauge("shard_imbalance", max(shard_seconds) / mean)
+
+        if down_fix.size:
+            # Undo the kernel's FIFO deletion on non-empty down bins: an
+            # outage freezes the queue. Loads are restored in place and
+            # each owning shard's summary (deleted count, post-round
+            # histogram, max load) is corrected before the merge so the
+            # carry fed back as next round's initial_hist stays exact.
+            self.bins.loads[down_fix] = fix_loads
+            for s, (lo, hi) in enumerate(self.ranges):
+                in_range = (down_fix >= lo) & (down_fix < hi)
+                if not in_range.any():
+                    continue
+                res = results[s]
+                restored = fix_loads[in_range]
+                res.deleted -= int(in_range.sum())
+                for load in restored.tolist():
+                    res.next_hist[load - 1] -= 1
+                    res.next_hist[load] += 1
+                top = int(restored.max())
+                if top > res.max_load:
+                    res.max_load = top
 
         merged = self._merge(results)
         accepted_per_bucket = merged.accepted_per_bucket

@@ -15,7 +15,9 @@ from repro.workloads.arrivals import (
     BurstyArrivals,
     DeterministicArrivals,
     DiurnalArrivals,
+    HeavyTailedArrivals,
     PoissonArrivals,
+    StochasticDiurnalArrivals,
     TraceArrivals,
     make_arrivals,
 )
@@ -27,6 +29,8 @@ __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "DiurnalArrivals",
+    "StochasticDiurnalArrivals",
+    "HeavyTailedArrivals",
     "AdversarialArrivals",
     "TraceArrivals",
     "make_arrivals",

@@ -39,6 +39,7 @@ class TestRegistry:
             "drain_stages",
             "robustness_workloads",
             "fault_recovery",
+            "churn_recovery",
         }
         assert expected == set(EXPERIMENTS)
 

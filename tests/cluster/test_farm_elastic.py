@@ -1,0 +1,168 @@
+"""Elastic-membership tests for :class:`repro.cluster.farm.ServerFarm`."""
+
+import pytest
+
+from repro.cluster.farm import ServerFarm
+from repro.cluster.policies import LeastLoadedPolicy, RandomPolicy
+from repro.errors import ConfigurationError
+
+
+def make_farm(policy=None, capacity=2, rate=0.5, servers=8, **kwargs):
+    return ServerFarm(
+        num_servers=servers,
+        capacity=capacity,
+        policy=policy if policy is not None else RandomPolicy(),
+        rate=rate,
+        rng=0,
+        **kwargs,
+    )
+
+
+class TestAddServers:
+    def test_appends_empty_servers(self):
+        farm = make_farm()
+        new = farm.add_servers(3)
+        assert new.tolist() == [8, 9, 10]
+        assert farm.num_servers == 11
+        assert all(farm.servers[i].queue_length == 0 for i in new)
+        farm.check_invariants()
+
+    def test_inherits_largest_capacity(self):
+        farm = make_farm(capacity=[2, 4, 3, 2], servers=4)
+        farm.add_servers(1)
+        assert farm.servers[4].capacity == 4
+
+    def test_inherits_unbounded_if_any_unbounded(self):
+        farm = make_farm(capacity=None)
+        farm.add_servers(1)
+        assert farm.servers[-1].capacity is None
+
+    def test_explicit_capacity(self):
+        farm = make_farm(capacity=2)
+        farm.add_servers(2, capacity=7)
+        assert farm.servers[-1].capacity == 7
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            make_farm().add_servers(0)
+
+    def test_workload_rate_untouched(self):
+        # Traffic is exogenous: joining servers must not raise arrivals.
+        farm = make_farm(rate=0.5)
+        farm.step()
+        before = farm._next_id
+        farm.add_servers(8)
+        farm.step()
+        assert farm._next_id - before == before  # still 0.5 * 8 per tick
+
+
+class TestRemoveServers:
+    def _loaded_farm(self):
+        farm = make_farm(policy=LeastLoadedPolicy(2), capacity=4, rate=0.875)
+        for _ in range(6):
+            farm.step()
+        return farm
+
+    def test_rehash_returns_queued_to_pending(self):
+        farm = self._loaded_farm()
+        pending_before = len(farm.pending)
+        queued = sum(farm.servers[i].queue_length for i in (1, 5))
+        displaced = farm.remove_servers([1, 5], policy="rehash")
+        assert displaced == queued
+        assert farm.num_servers == 6
+        assert len(farm.pending) == pending_before + queued
+        farm.check_invariants()
+
+    def test_rehash_preserves_admission_order(self):
+        farm = self._loaded_farm()
+        farm.remove_servers([0], policy="rehash")
+        ids = [r.request_id for r in farm.pending]
+        assert ids == sorted(ids)
+
+    def test_drop_discards_queued(self):
+        farm = self._loaded_farm()
+        pending_before = len(farm.pending)
+        queued = sum(farm.servers[i].queue_length for i in (2, 3))
+        displaced = farm.remove_servers([2, 3], policy="drop")
+        assert displaced == queued
+        assert len(farm.pending) == pending_before
+        assert farm.num_servers == 6
+        farm.check_invariants()
+
+    def test_drain_requires_empty_queues(self):
+        farm = self._loaded_farm()
+        loaded = max(range(farm.num_servers), key=lambda i: farm.servers[i].queue_length)
+        assert farm.servers[loaded].queue_length > 0
+        with pytest.raises(ConfigurationError, match="empty queues"):
+            farm.remove_servers([loaded], policy="drain")
+
+    def test_validation(self):
+        farm = make_farm()
+        with pytest.raises(ConfigurationError):
+            farm.remove_servers([8])
+        with pytest.raises(ConfigurationError):
+            farm.remove_servers(list(range(8)))
+        with pytest.raises(ConfigurationError):
+            farm.remove_servers([0], policy="explode")
+
+
+class TestSealDrain:
+    def test_sealed_server_serves_but_never_admits(self):
+        farm = make_farm(policy=LeastLoadedPolicy(2), capacity=4, rate=0.875)
+        for _ in range(6):
+            farm.step()
+        victim = max(range(farm.num_servers), key=lambda i: farm.servers[i].queue_length)
+        depth = farm.servers[victim].queue_length
+        assert depth > 0
+        farm.seal_servers([victim])
+        # One departure per tick, no admissions: empties in <= depth ticks.
+        for _ in range(depth):
+            farm.step()
+        assert farm.servers[victim].queue_length == 0
+        assert farm.remove_servers([victim], policy="drain") == 0
+        assert farm.num_servers == 7
+        farm.check_invariants()
+
+    def test_unseal_reopens_admissions(self):
+        farm = make_farm()
+        farm.seal_servers([0])
+        assert farm.servers[0].free_slots == 0
+        farm.unseal_servers([0])
+        assert farm.servers[0].free_slots == 2
+
+
+class TestElasticState:
+    def test_set_state_rebuilds_at_snapshot_size(self):
+        farm = make_farm(policy=LeastLoadedPolicy(2), capacity=3, rate=0.75)
+        for _ in range(4):
+            farm.step()
+        farm.add_servers(4, capacity=5)
+        farm.remove_servers([0, 1], policy="rehash")
+        for _ in range(3):
+            farm.step()
+        state = farm.get_state()
+        reference = [(s.queue_length, s.capacity) for s in farm.servers]
+
+        restored = make_farm(policy=LeastLoadedPolicy(2), capacity=3, rate=0.75)
+        restored.set_state(state)
+        assert restored.num_servers == 10
+        assert [(s.queue_length, s.capacity) for s in restored.servers] == reference
+        assert [r.request_id for r in restored.pending] == [
+            r.request_id for r in farm.pending
+        ]
+        restored.check_invariants()
+
+    def test_restored_farm_steps_identically(self):
+        farm = make_farm(policy=LeastLoadedPolicy(2), capacity=3, rate=0.75)
+        for _ in range(4):
+            farm.step()
+        farm.add_servers(2)
+        state = farm.get_state()
+
+        restored = make_farm(policy=LeastLoadedPolicy(2), capacity=3, rate=0.75)
+        restored.set_state(state)
+        for _ in range(5):
+            a = farm.step()
+            b = restored.step()
+            assert (a.pool_size, a.total_load) == (b.pool_size, b.total_load)
+        assert farm.completed == restored.completed

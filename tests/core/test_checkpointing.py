@@ -1,7 +1,6 @@
 """Unit tests for checkpoint/restore of the CAPPED process."""
 
 import numpy as np
-import pytest
 
 from repro.core.capped import CappedProcess
 
@@ -50,12 +49,17 @@ class TestCheckpointing:
         process.set_state(snapshot)
         assert process.round == 7
 
-    def test_mismatched_n_rejected(self):
+    def test_mismatched_n_adopts_snapshot_membership(self):
+        # Elastic membership: snapshots taken after churn resized the bins
+        # restore into a process built at a different size, adopting the
+        # snapshot's n (initial-n compatibility is the checkpoint layer's
+        # job, not set_state's).
         small = CappedProcess(n=8, capacity=1, lam=0.5, rng=5)
         small.step()
         big = CappedProcess(n=16, capacity=1, lam=0.5, rng=5)
-        with pytest.raises(ValueError):
-            big.set_state(small.get_state())
+        big.set_state(small.get_state())
+        assert big.n == 8
+        assert big.get_state() == small.get_state()
 
     def test_pool_ages_survive_roundtrip(self):
         process = CappedProcess(n=8, capacity=1, lam=0.5, rng=6, initial_pool=12)

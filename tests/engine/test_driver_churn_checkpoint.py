@@ -1,0 +1,181 @@
+"""Kill-and-resume bit-identity with churn/fault/autoscale observers attached.
+
+Extends the checkpoint contract of ``test_driver_checkpoint.py`` to elastic
+runs: a kill at any round — including rounds bracketing a membership resize
+— resumes bit-identically because the driver snapshots observer state
+(injector RNG position, pending drains, autoscaler window) alongside the
+process.
+"""
+
+import pytest
+
+from repro.churn import scenario_from_dict
+from repro.core.capped import CappedProcess
+from repro.engine.driver import SimulationDriver
+from repro.engine.observers import TraceRecorder
+
+
+class KillAt:
+    """Wrap a process to raise KeyboardInterrupt right after round R steps."""
+
+    def __init__(self, process, at_round):
+        self._process = process
+        self._at_round = at_round
+
+    def __getattr__(self, name):
+        return getattr(self._process, name)
+
+    @property
+    def __class__(self):  # keep the snapshot's process-class tag honest
+        return type(self._process)
+
+    def step(self):
+        record = self._process.step()
+        if record.round == self._at_round:
+            raise KeyboardInterrupt
+        return record
+
+
+SCENARIO = {
+    "churn": {
+        "seed": 11,
+        "min_n": 16,
+        "events": [
+            {"type": "join_burst", "at_round": 12, "count": 16},
+            {"type": "leave_burst", "at_round": 24, "count": 12, "policy": "drain"},
+            {"type": "leave_burst", "at_round": 34, "fraction": 0.25, "policy": "rehash"},
+        ],
+    },
+    "faults": {
+        "seed": 7,
+        "events": [
+            {"type": "crash_burst", "at_round": 18, "fraction": 0.1, "duration": 10},
+        ],
+    },
+    "autoscaling": {
+        "controller": "utilization",
+        "target": 0.4,
+        "band": 0.05,
+        "window": 6,
+        "check_every": 6,
+        "cooldown": 12,
+        "max_step": 8,
+        "min_n": 16,
+    },
+    "autoscale_seed": 3,
+}
+
+BURN_IN, MEASURE = 10, 35
+
+
+def make_process():
+    return CappedProcess(n=64, capacity=2, lam=0.75, rng=11)
+
+
+def run_reference():
+    trace = TraceRecorder()
+    observers = scenario_from_dict(SCENARIO).build_observers() + [trace]
+    process = make_process()
+    SimulationDriver(burn_in=BURN_IN, measure=MEASURE, observers=observers).run(process)
+    return trace, process
+
+
+def records_key(records):
+    return [
+        (
+            r.round,
+            r.arrivals,
+            r.accepted,
+            r.deleted,
+            r.pool_size,
+            r.total_load,
+            r.max_load,
+            r.wait_values.tolist(),
+            r.wait_counts.tolist(),
+        )
+        for r in records
+    ]
+
+
+# Kill rounds bracket every membership change in SCENARIO: before the join
+# (11), on the resize round itself (12), mid-drain (26), right after the
+# rehash shrink (35), and late (42).
+@pytest.mark.parametrize("kill_round", [11, 12, 26, 35, 42])
+def test_kill_resume_bit_identical_through_churn(tmp_path, kill_round):
+    ref_trace, ref_process = run_reference()
+    reference = records_key(ref_trace.records)
+
+    # Same observer shape as the resumed run (the restore validates it).
+    observers = scenario_from_dict(SCENARIO).build_observers() + [TraceRecorder()]
+    interrupted = SimulationDriver(
+        burn_in=BURN_IN,
+        measure=MEASURE,
+        observers=observers,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=4,
+    )
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(KillAt(make_process(), kill_round))
+
+    trace = TraceRecorder()
+    observers = scenario_from_dict(SCENARIO).build_observers() + [trace]
+    resumed_driver = SimulationDriver(
+        burn_in=BURN_IN,
+        measure=MEASURE,
+        observers=observers,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=4,
+    )
+    process = make_process()
+    resumed_driver.run(process)
+    assert resumed_driver.last_restore is not None
+
+    # The resumed record stream is the exact tail of the reference stream,
+    # and the final elastic membership matches.
+    resumed = records_key(trace.records)
+    assert resumed == reference[-len(resumed) :]
+    assert process.n == ref_process.n
+    assert process.bins.loads.tolist() == ref_process.bins.loads.tolist()
+    assert process.pool.size == ref_process.pool.size
+    process.check_invariants()
+
+
+def test_observer_counters_restored(tmp_path):
+    # The counters the injectors accumulate (joins, rehashes, scale events)
+    # survive the kill/resume cycle rather than resetting to zero.
+    scenario = scenario_from_dict(SCENARIO)
+    ref_observers = scenario.build_observers()
+    SimulationDriver(burn_in=BURN_IN, measure=MEASURE, observers=ref_observers).run(
+        make_process()
+    )
+    ref_churn, ref_faults, ref_scaler = ref_observers
+
+    observers = scenario.build_observers()
+    with pytest.raises(KeyboardInterrupt):
+        SimulationDriver(
+            burn_in=BURN_IN,
+            measure=MEASURE,
+            observers=observers,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=4,
+        ).run(KillAt(make_process(), 30))
+
+    observers = scenario.build_observers()
+    SimulationDriver(
+        burn_in=BURN_IN,
+        measure=MEASURE,
+        observers=observers,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=4,
+    ).run(make_process())
+    churn, faults, scaler = observers
+    assert churn.joins == ref_churn.joins
+    assert churn.leaves == ref_churn.leaves
+    assert churn.balls_rehashed == ref_churn.balls_rehashed
+    assert churn.events_log == ref_churn.events_log
+    assert faults.crashes == ref_faults.crashes
+    assert (scaler.scale_outs, scaler.scale_ins, scaler.events_log) == (
+        ref_scaler.scale_outs,
+        ref_scaler.scale_ins,
+        ref_scaler.events_log,
+    )

@@ -122,3 +122,85 @@ class TestPerRoundP99:
     def test_leading_empty_rounds_are_zero(self):
         records = [self._record(1, [], []), self._record(2, [3], [1])]
         assert per_round_p99(records).tolist() == [0.0, 3.0]
+
+
+class TestTimeToReturnPartialConfirmation:
+    def _band(self):
+        return stationary_band([0.0, 0.0], abs_floor=1.0)  # band [-1, 1]
+
+    def test_run_ending_in_band_reports_entry_index(self):
+        # Re-enters at index 4 but the run ends 3 samples later: with
+        # sustain=10 no full window exists, yet the tail never left the
+        # band, so the entry index is still the answer.
+        series = [5, 5, 5, 5, 0, 0, 0]
+        assert time_to_return(series, self._band(), start=0, sustain=10) == 4
+
+    def test_run_ending_outside_band_is_unrecovered(self):
+        series = [5, 5, 0, 0, 0, 5]
+        assert time_to_return(series, self._band(), start=0, sustain=10) is None
+
+    def test_full_sustain_window_preferred_over_tail(self):
+        # A complete sustained window exists: the partial tail never runs.
+        series = [5, 0, 0, 0, 5, 0, 0]
+        assert time_to_return(series, self._band(), start=0, sustain=3) == 1
+
+    def test_tail_entry_respects_start(self):
+        # The in-band stretch reaches back before `start`; the report must
+        # not claim a return earlier than the scan window.
+        series = [0, 0, 0, 0, 0]
+        assert time_to_return(series, self._band(), start=3, sustain=10) == 3
+
+    def test_single_trailing_sample_counts(self):
+        series = [5, 5, 0]
+        assert time_to_return(series, self._band(), start=0, sustain=4) == 2
+
+
+class TestMeasurePostChurnRecovery:
+    def _series(self):
+        # Stationary at 100, a leave burst at index 50 steps the
+        # equilibrium up to 140 with an overshoot spike to 200.
+        series = np.full(200, 100.0)
+        series[50:55] = [200.0, 180.0, 165.0, 155.0, 148.0]
+        series[55:] = 140.0
+        return series
+
+    def test_band_fits_new_equilibrium(self):
+        from repro.faults import measure_post_churn_recovery
+
+        report = measure_post_churn_recovery(
+            self._series(), churn_index=50, tail_window=50, sustain=5
+        )
+        assert report.band.contains(140.0)
+        assert not report.band.contains(100.0)
+        assert report.peak_value == 200.0
+        assert report.peak_index == 50
+        assert report.recovered
+        # Settles at index 55 -> 5 rounds after the churn.
+        assert report.recovery_rounds == 5
+
+    def test_unsettled_run_reports_unrecovered(self):
+        from repro.faults import measure_post_churn_recovery
+
+        # Still climbing at the end: with a tight band the ramp passes
+        # straight through the tail-fitted level and ends above it, so
+        # neither a sustained window nor the partial-confirmation tail
+        # rule can claim a return.
+        series = np.concatenate([np.full(50, 100.0), np.linspace(100, 400, 150)])
+        report = measure_post_churn_recovery(
+            series, churn_index=50, tail_window=20, sustain=30, width=0.1, rel_floor=0.001
+        )
+        assert report.recovery_index is None
+        assert not report.recovered
+
+    def test_validation(self):
+        from repro.faults import measure_post_churn_recovery
+
+        series = np.zeros(20)
+        with pytest.raises(ConfigurationError):
+            measure_post_churn_recovery(series, churn_index=0, tail_window=5)
+        with pytest.raises(ConfigurationError):
+            measure_post_churn_recovery(series, churn_index=25, tail_window=5)
+        with pytest.raises(ConfigurationError):
+            measure_post_churn_recovery(series, churn_index=10, tail_window=1)
+        with pytest.raises(ConfigurationError):
+            measure_post_churn_recovery(series, churn_index=10, tail_window=15)

@@ -1,0 +1,140 @@
+"""The sharded engine under fault injection, against the legacy oracle.
+
+Fault victims come from the *schedule's* RNG stream, so two
+:class:`~repro.faults.injector.FaultInjector` instances built from one
+:class:`~repro.faults.schedule.FaultSchedule` impose bit-identical fault
+trajectories on two different processes. That lets the capture-and-replay
+oracle of ``test_sharded.py`` extend to faulted runs: step the sharded
+engine with ``record_choices=True``, replay its realised choice vector
+into a legacy run under the same faults, and every record must match —
+including the down-bin deletion undo (frozen queues) that the sharded
+coordinator patches into the per-shard summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.capped import CappedProcess
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    CapacityDegradation,
+    CrashBurst,
+    FaultSchedule,
+    StochasticCrashes,
+)
+from repro.kernels.sharded import ShardedCappedProcess
+
+from tests.kernels.test_fused_equivalence import assert_records_equal
+
+
+def run_equivalence(schedule, shards, rounds=60, backend="inline", **config):
+    """Sharded-with-faults vs legacy-replay-with-faults, zero tolerance."""
+    sharded = ShardedCappedProcess(
+        seed=7, shards=shards, backend=backend, record_choices=True, **config
+    )
+    legacy = CappedProcess(rng=0, kernel="legacy", **config)
+    sharded_injector = FaultInjector(schedule)
+    legacy_injector = FaultInjector(schedule)
+    saw_down = False
+    down_spans = set()
+    with sharded:
+        for _ in range(rounds):
+            mine = sharded.step()
+            theirs = legacy.step(choices=sharded.last_choices)
+            assert_records_equal(mine, theirs, context=f"round {mine.round} shards={shards}")
+            sharded_injector.on_round(mine, sharded)
+            legacy_injector.on_round(theirs, legacy)
+            assert np.array_equal(sharded.bins.down, legacy.bins.down)
+            if sharded.bins.down_count:
+                saw_down = True
+                down_idx = np.flatnonzero(sharded.bins.down)
+                for lo, hi in sharded.ranges:
+                    if ((down_idx >= lo) & (down_idx < hi)).any():
+                        down_spans.add((lo, hi))
+        sharded.check_invariants()
+        legacy.check_invariants()
+        assert np.array_equal(sharded.bins.loads, legacy.bins.loads)
+        assert sharded.pool.labels() == legacy.pool.labels()
+        assert sharded.pool.counts() == legacy.pool.counts()
+    assert saw_down, "schedule never took a bin down; the test exercised nothing"
+    return down_spans
+
+
+class TestCrashBurst:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_frozen_down_bins_match_legacy(self, shards):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=10, fraction=0.3, duration=20),), seed=3
+        )
+        down_spans = run_equivalence(
+            schedule, shards, n=64, capacity=2, lam=0.9375, initial_pool=50
+        )
+        # 19 victims out of 64: the outage must straddle shard boundaries,
+        # otherwise the per-shard summary correction went untested.
+        assert len(down_spans) >= 2
+
+    def test_wiped_buffers_match_legacy(self):
+        schedule = FaultSchedule(
+            events=(
+                CrashBurst(at_round=8, fraction=0.25, duration=15, buffer_policy="wiped"),
+            ),
+            seed=5,
+        )
+        run_equivalence(schedule, shards=3, n=48, capacity=3, lam=0.9375, initial_pool=60)
+
+    def test_permanent_outage(self):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=12, fraction=0.2, duration=None),), seed=9
+        )
+        run_equivalence(schedule, shards=4, n=64, capacity=2, lam=0.875)
+
+    def test_unit_capacity(self):
+        # c=1 takes the allow_unit_capacity serial path on the sharded side.
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=10, fraction=0.3, duration=25),), seed=4
+        )
+        run_equivalence(schedule, shards=4, n=64, capacity=1, lam=0.9375, initial_pool=40)
+
+
+class TestCapacityDegradation:
+    def test_degraded_window_matches_legacy(self):
+        schedule = FaultSchedule(
+            events=(
+                CrashBurst(at_round=20, fraction=0.15, duration=10),
+                CapacityDegradation(at_round=10, duration=25, capacity=1, fraction=0.5),
+            ),
+            seed=6,
+        )
+        run_equivalence(schedule, shards=3, n=48, capacity=4, lam=0.9375, initial_pool=80)
+
+
+class TestStochasticCrashes:
+    def test_markov_outages_match_legacy(self):
+        schedule = FaultSchedule(
+            events=(
+                StochasticCrashes(
+                    first_round=5, last_round=50, crash_prob=0.02, recover_prob=0.2
+                ),
+            ),
+            seed=8,
+        )
+        run_equivalence(schedule, shards=4, n=64, capacity=2, lam=0.9375, rounds=80)
+
+
+@pytest.mark.slow
+class TestProcessBackend:
+    def test_crash_burst_process_backend(self):
+        schedule = FaultSchedule(
+            events=(CrashBurst(at_round=10, fraction=0.3, duration=20),), seed=3
+        )
+        run_equivalence(
+            schedule,
+            shards=2,
+            backend="process",
+            n=64,
+            capacity=2,
+            lam=0.9375,
+            initial_pool=50,
+        )

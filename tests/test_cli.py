@@ -477,3 +477,102 @@ class TestTelemetryCli:
         )
         assert code == 2
         assert "--live-status" in text
+
+
+class TestSimulateScenario:
+    SCENARIO = (
+        '{"churn": {"seed": 5, "events": ['
+        '{"type": "join_burst", "at_round": 20, "count": 16}]}}'
+    )
+
+    def test_inline_json_scenario_runs(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--rounds",
+            "40",
+            "--burn-in",
+            "10",
+            "--scenario",
+            self.SCENARIO,
+        )
+        assert code == 0
+        assert "pool/n" in text
+
+    def test_scenario_file_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(self.SCENARIO)
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--rounds",
+            "40",
+            "--scenario",
+            str(path),
+        )
+        assert code == 0
+
+    def test_scenario_requires_capped(self):
+        code, text = run_cli(
+            "simulate", "--process", "greedy", "--lam", "0.75", "--scenario", self.SCENARIO
+        )
+        assert code == 2
+        assert "--process capped" in text
+
+    def test_scenario_excludes_shards(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--shards",
+            "2",
+            "--scenario",
+            self.SCENARIO,
+        )
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_scenario_excludes_batch_replicates(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--batch-replicates",
+            "--scenario",
+            self.SCENARIO,
+        )
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_bad_scenario_json_is_config_error(self):
+        code, text = run_cli(
+            "simulate",
+            "--n",
+            "64",
+            "--c",
+            "2",
+            "--lam",
+            "0.75",
+            "--scenario",
+            '{"chrun": {}}',
+        )
+        assert code == 2
+        assert "unknown scenario keys" in text
