@@ -10,8 +10,16 @@ trip the gate, but a genuinely slower kernel does:
 * the flagship ``kernel_phase.speedup`` (acceptance phase only), and
 * the whole-round ``general_c.speedup`` at the c=4 cell.
 
-Absolute rounds/sec numbers and the ``scaling`` rows (which depend on
-the runner's core count) are reported for context but never gated.
+The same script also gates the distributed-sweep artifact
+(``BENCH_sweep.json`` vs ``benchmarks/baseline_sweep.json``, selected
+with ``--baseline``): the ``fabric`` fleet-scaling speedups are measured
+on latency-bound tasks, so they are core-count independent and gate like
+the kernel ratios. Which ratios apply is driven by what the *baseline*
+contains, so one script serves both artifact shapes.
+
+Absolute rounds/sec and tasks/sec numbers, the ``scaling`` rows, and the
+``compute`` sweep modes (all of which depend on the runner's core count)
+are reported for context but never gated.
 
 A cell fails when ``current < THRESHOLD * baseline`` (default 0.85x,
 override with ``--threshold``). Refresh the baseline by copying a
@@ -105,6 +113,25 @@ def collect_checks(baseline: dict, current: dict) -> list[dict]:
                 "baseline": base_sec[field],
                 "current": cur_sec[field],
                 "ratio": cur_sec[field] / base_sec[field],
+            }
+        )
+
+    base_fabric = baseline.get("fabric") or {}
+    cur_fabric = current.get("fabric") or {}
+    for field in ("speedup_2w_over_1w", "speedup_4w_over_1w"):
+        if field not in base_fabric:
+            continue  # baseline predates the ratio; nothing to gate
+        if field not in cur_fabric:
+            checks.append(
+                {"name": f"fabric.{field}", "error": "ratio missing from current artifact"}
+            )
+            continue
+        checks.append(
+            {
+                "name": f"fabric.{field}",
+                "baseline": base_fabric[field],
+                "current": cur_fabric[field],
+                "ratio": cur_fabric[field] / base_fabric[field],
             }
         )
 

@@ -62,6 +62,30 @@ def bench_json(request: pytest.FixtureRequest, profile_name: str):
 
 
 @pytest.fixture(scope="session")
+def sweep_json(request: pytest.FixtureRequest, profile_name: str):
+    """Accumulator for the sweep-throughput benchmarks (BENCH_sweep.json).
+
+    Same contract as :func:`bench_json`, but for the distributed-runner
+    artifact: ``--bench-json`` names one artifact per invocation, so CI
+    runs ``test_kernel_speed.py`` and ``test_sweep_throughput.py`` as
+    separate pytest sessions. The write is skipped when no sweep section
+    was populated, so a kernel-only session never clobbers its artifact.
+    """
+    results: dict = {
+        "profile": profile_name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+        "fabric": None,
+        "compute": None,
+    }
+    yield results
+    path = request.config.getoption("--bench-json")
+    if path and (results["fabric"] is not None or results["compute"] is not None):
+        Path(path).write_text(json.dumps(results, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
 def profile_name(request: pytest.FixtureRequest) -> str:
     if request.config.getoption("--benchmark-quick"):
         return "quick"

@@ -9,6 +9,10 @@ Usage examples::
     repro experiments --all --profile default --jobs 8 --cache-dir .repro-cache
     repro experiments --all --profile paper --jobs 8 --cache-dir .repro-cache --resume
     repro experiments --all --profile quick --jobs 4 --live-status --telemetry-dir out/tel
+    repro broker --port 7070 --cache-dir .repro-cache --state-dir out/sweep
+    repro worker 127.0.0.1:7070 --exit-when-idle
+    repro experiments --all --profile quick --broker 127.0.0.1:7070 --cache-dir .repro-cache
+    repro dashboard out/sweep --bench BENCH_sweep.json
     repro telemetry report out/tel
     repro theory --c 2 --lam 0.96875 --n 4096
     repro meanfield --c 3 --lam 0.999
@@ -176,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot each task's simulation every N rounds so retried or "
         "resumed tasks restart from their latest snapshot",
     )
+    exp.add_argument(
+        "--broker",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the measure phase on a broker's worker fleet instead of "
+        "local processes (results stay bit-identical; see `repro broker`)",
+    )
     halt = exp.add_mutually_exclusive_group()
     halt.add_argument(
         "--keep-going",
@@ -235,6 +246,82 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="verify a snapshot's digest and print its metadata"
     )
     ckpt_inspect.add_argument("path", type=Path)
+
+    brk = sub.add_parser("broker", help="run the distributed sweep broker")
+    brk.add_argument("--host", default="127.0.0.1", help="bind address")
+    brk.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral)")
+    brk.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (for scripts)",
+    )
+    brk.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="shared content-addressed result cache (same format as the runner's)",
+    )
+    brk.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="durable results store: state.json + events.jsonl (+ manifest)",
+    )
+    brk.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="attach per-task snapshot dirs to leases so re-leased tasks resume",
+    )
+    brk.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="snapshot cadence in rounds for leased tasks (needs --checkpoint-dir)",
+    )
+    brk.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=15.0,
+        help="seconds without a heartbeat before a lease is taken back",
+    )
+    brk.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="error-frame retries per task before it fails terminally",
+    )
+
+    wrk = sub.add_parser("worker", help="run one preemptible sweep worker")
+    wrk.add_argument("broker", metavar="HOST:PORT", help="broker address")
+    wrk.add_argument("--id", default=None, help="worker id (default: <hostname>-<pid>)")
+    wrk.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit once the broker's queue has drained (after doing work)",
+    )
+    wrk.add_argument(
+        "--quiet", action="store_true", help="suppress per-task log lines on stderr"
+    )
+
+    dash = sub.add_parser("dashboard", help="sweep progress + perf trajectory")
+    dash.add_argument(
+        "state_dir",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="a broker --state-dir (live or finished)",
+    )
+    dash.add_argument(
+        "--bench",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="BENCH_JSON",
+        help="BENCH_*.json artifact(s) for the perf panel (repeatable, or a glob "
+        "expanded by the shell)",
+    )
 
     return parser
 
@@ -421,6 +508,21 @@ def _cmd_experiments(args, out) -> int:
     ):
         out.write("error: --checkpoint-every needs --checkpoint-dir or --cache-dir\n")
         return 2
+    if args.broker is not None and args.checkpoint_every is not None:
+        out.write(
+            "error: --checkpoint-every is a broker-side knob in --broker mode "
+            "(pass it to `repro broker`)\n"
+        )
+        return 2
+    if args.broker is not None:
+        from repro.distributed import resolve_address
+        from repro.errors import DistributedError
+
+        try:
+            resolve_address(args.broker)
+        except DistributedError as err:
+            out.write(f"error: {err}\n")
+            return 2
     if args.telemetry_dir is None:
         return _run_experiments_cmd(args, out)
     seeds = [PROFILES[args.profile].seed]
@@ -443,6 +545,7 @@ def _run_experiments_cmd(args, out) -> int:
         or args.cache_dir is not None
         or args.live_status
         or args.checkpoint_every is not None
+        or args.broker is not None
     )
     report = None
     errors: dict[str, str] = {}
@@ -461,6 +564,7 @@ def _run_experiments_cmd(args, out) -> int:
             live_status=args.live_status,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            broker=args.broker,
         )
         produced = {result.experiment_id: result for result in report.results}
         errors.update(report.failures)
@@ -649,6 +753,75 @@ def _cmd_telemetry(args, out) -> int:
     return 0
 
 
+def _cmd_broker(args, out) -> int:
+    from repro.distributed import BrokerConfig, run_broker
+    from repro.errors import ConfigurationError
+
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        out.write("error: --checkpoint-every needs --checkpoint-dir\n")
+        return 2
+    if args.lease_timeout <= 0:
+        out.write(f"error: --lease-timeout must be positive, got {args.lease_timeout}\n")
+        return 2
+    config = BrokerConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        state_dir=args.state_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        lease_timeout=args.lease_timeout,
+        max_retries=args.max_retries,
+        port_file=args.port_file,
+    )
+
+    def announce(port: int) -> None:
+        out.write(f"broker listening on {args.host}:{port}\n")
+        try:
+            out.flush()
+        except (AttributeError, OSError):  # pragma: no cover - exotic streams
+            pass
+
+    try:
+        run_broker(config, announce=announce)
+    except ConfigurationError as err:
+        out.write(f"error: {err}\n")
+        return 2
+    return 0
+
+
+def _cmd_worker(args, out) -> int:
+    from repro.distributed import Worker
+    from repro.errors import DistributedError
+
+    try:
+        worker = Worker(
+            args.broker,
+            worker_id=args.id,
+            exit_when_idle=args.exit_when_idle,
+            log=None if args.quiet else sys.stderr,
+        )
+    except DistributedError as err:
+        out.write(f"error: {err}\n")
+        return 2
+    worker.install_signal_handlers()
+    return worker.run()
+
+
+def _cmd_dashboard(args, out) -> int:
+    from repro.distributed import render_dashboard
+    from repro.errors import ConfigurationError
+
+    try:
+        lines = render_dashboard(args.state_dir, args.bench or [])
+    except ConfigurationError as err:
+        out.write(f"error: {err}\n")
+        return 2
+    for line in lines:
+        out.write(line + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -683,6 +856,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _cmd_telemetry(args, out)
         if args.command == "checkpoint":
             return _cmd_checkpoint(args, out)
+        if args.command == "broker":
+            return _cmd_broker(args, out)
+        if args.command == "worker":
+            return _cmd_worker(args, out)
+        if args.command == "dashboard":
+            return _cmd_dashboard(args, out)
     except GracefulShutdown as err:
         out.write(f"interrupted: {err}\n")
         return SHUTDOWN_EXIT_CODE

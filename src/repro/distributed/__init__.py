@@ -1,0 +1,48 @@
+"""Broker-backed distributed sweep execution (stdlib only).
+
+The package splits along the three processes of a distributed sweep:
+
+* :mod:`repro.distributed.broker` — the asyncio TCP work queue
+  (lease / heartbeat / complete / fail, at-least-once over idempotent
+  task digests, shared result-cache sync, lease reaping);
+* :mod:`repro.distributed.worker` — the preemptible single-slot worker
+  (``repro worker``), executing tasks through the same
+  :func:`repro.parallel.tasks.execute_task` path as the local pool;
+* :mod:`repro.distributed.client` — the runner-side submit/stream
+  session used by ``repro experiments --broker``.
+
+Plus the persistence/observability pair:
+
+* :mod:`repro.distributed.store` — the broker's durable results store
+  (``events.jsonl`` provenance log + atomic ``state.json`` snapshots);
+* :mod:`repro.distributed.dashboard` — the ``repro dashboard`` text view
+  of sweep progress and the ``BENCH_*.json`` perf trajectory.
+
+See ``docs/distributed.md`` for the protocol and the failure matrix.
+"""
+
+from repro.distributed.broker import Broker, BrokerConfig, resolve_address, run_broker
+from repro.distributed.client import BrokerClient, RemoteTaskFailure
+from repro.distributed.dashboard import render_dashboard
+from repro.distributed.protocol import PROTOCOL, encode_frame, recv_frame, send_frame
+from repro.distributed.store import SweepState, SweepStateStore, read_events
+from repro.distributed.worker import Worker, default_worker_id
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "BrokerClient",
+    "RemoteTaskFailure",
+    "PROTOCOL",
+    "SweepState",
+    "SweepStateStore",
+    "Worker",
+    "default_worker_id",
+    "encode_frame",
+    "read_events",
+    "recv_frame",
+    "render_dashboard",
+    "resolve_address",
+    "run_broker",
+    "send_frame",
+]

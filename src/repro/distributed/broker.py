@@ -1,0 +1,703 @@
+"""Asyncio TCP broker: at-least-once work queue over idempotent task digests.
+
+One broker process coordinates any number of *workers* (which lease,
+execute, and complete tasks) and *clients* (sweep runners which submit
+task batches and stream results back). The broker itself never executes
+simulation code — it is pure bookkeeping, so a single asyncio loop
+handles a whole fleet.
+
+Delivery semantics
+------------------
+* **At-least-once.** A task is either queued, leased (to exactly one
+  worker, with a deadline), or resolved. A worker that stops
+  heartbeating past its lease deadline — SIGKILLed, wedged, unplugged —
+  has its task **re-leased** to the next worker that asks. Nothing is
+  lost; at worst a task runs twice.
+* **Idempotent keys.** Task keys are content-addressed digests of
+  (kind, params, replicate, code fingerprint), so duplicate executions
+  produce identical outcomes and the first ``complete`` wins; later
+  duplicates are acknowledged and dropped.
+* **Shared result cache.** With ``cache_dir`` set, every completion is
+  written to the same content-addressed cache the local runner uses
+  (tagged with an ``origin`` recording which worker computed it), and
+  every submitted key is first checked against it — a task computed
+  *anywhere* is never recomputed, and later local runs see the upload as
+  a ``remote-cache`` hit.
+* **Preemption-friendly.** With ``checkpoint_dir`` set, each lease
+  carries a per-key snapshot directory; a re-leased task resumes from
+  its predecessor's newest checkpoint instead of restarting at round
+  zero, so killing a worker loses bounded work.
+
+Code-fingerprint safety: a worker whose measurement fingerprint differs
+from the submitting client's is never leased that client's tasks —
+mixed-version fleets go idle rather than silently producing results from
+different code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import shutil
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.distributed.protocol import (
+    PROTOCOL,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.distributed.store import SweepStateStore
+from repro.errors import ProtocolError
+from repro.parallel.cache import ResultCache
+from repro.telemetry.runtime import current as _telemetry_current
+
+__all__ = ["Broker", "BrokerConfig", "resolve_address", "run_broker"]
+
+#: Statuses a task moves through; "done"/"failed" are terminal.
+QUEUED, LEASED, DONE, FAILED = "queued", "leased", "done", "failed"
+
+
+@dataclass
+class BrokerConfig:
+    """Tunable knobs for one broker process."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    cache_dir: Path | str | None = None
+    state_dir: Path | str | None = None
+    checkpoint_dir: Path | str | None = None
+    checkpoint_every: int | None = None
+    lease_timeout: float = 15.0
+    heartbeat_interval: float | None = None  # default: lease_timeout / 3
+    max_retries: int = 2
+    max_releases: int = 20
+    port_file: Path | str | None = None
+
+    def resolved_heartbeat(self) -> float:
+        if self.heartbeat_interval is not None:
+            return self.heartbeat_interval
+        return max(0.05, self.lease_timeout / 3.0)
+
+
+@dataclass
+class _Task:
+    """Broker-side state of one submitted task."""
+
+    key: str
+    payload: dict[str, Any]
+    run_id: str
+    fingerprint: str
+    status: str = QUEUED
+    worker: str | None = None
+    deadline: float = 0.0
+    attempts: int = 0  # executions that *failed* with an error frame
+    releases: int = 0  # lease lapses / worker deaths survived
+    result: dict[str, Any] | None = None
+    error: str | None = None
+
+
+@dataclass
+class _WorkerConn:
+    worker_id: str
+    fingerprint: str
+    writer: asyncio.StreamWriter
+    leased: set[str] = field(default_factory=set)
+    completed: int = 0
+
+
+@dataclass
+class _ClientConn:
+    run_id: str
+    fingerprint: str
+    writer: asyncio.StreamWriter
+    outstanding: set[str] = field(default_factory=set)
+    submitted: int = 0
+
+
+class Broker:
+    """The in-process broker engine (see module docstring).
+
+    :meth:`serve` binds and runs forever (until :meth:`shutdown`); tests
+    may also drive an instance in a background event loop via
+    :func:`asyncio.run_coroutine_threadsafe`.
+    """
+
+    def __init__(self, config: BrokerConfig | None = None, **kwargs: Any) -> None:
+        self.config = config if config is not None else BrokerConfig(**kwargs)
+        self.broker_id = f"broker-{uuid.uuid4().hex[:8]}"
+        self.cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache_dir is not None else None
+        )
+        self.store = (
+            SweepStateStore(self.config.state_dir) if self.config.state_dir is not None else None
+        )
+        self.tasks: dict[str, _Task] = {}
+        self.queue: list[str] = []  # FIFO of queued task keys
+        self.workers: dict[str, _WorkerConn] = {}
+        self.clients: list[_ClientConn] = []
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = asyncio.Event()
+        self._wake_reaper = asyncio.Event()
+        self._sessions: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: str, **fields: Any) -> None:
+        if self.store is not None:
+            self.store.record(kind, **fields)
+
+    def _snapshot_state(self) -> None:
+        if self.store is None:
+            return
+        state = self.store.state
+        state.tasks_total = len(self.tasks)
+        state.tasks_done = sum(1 for t in self.tasks.values() if t.status == DONE)
+        state.tasks_failed = sum(1 for t in self.tasks.values() if t.status == FAILED)
+        state.tasks_queued = len(self.queue)
+        state.tasks_leased = sum(1 for t in self.tasks.values() if t.status == LEASED)
+        state.releases_total = sum(t.releases for t in self.tasks.values())
+        state.retries_total = sum(t.attempts for t in self.tasks.values())
+        self.store.write_state()
+
+    def _gauges(self) -> None:
+        tel = _telemetry_current()
+        if tel is None:
+            return
+        tel.set_gauge("broker_queue_depth", len(self.queue))
+        tel.set_gauge(
+            "broker_leased", sum(1 for t in self.tasks.values() if t.status == LEASED)
+        )
+        tel.set_gauge("broker_workers", len(self.workers))
+
+    def _count(self, metric: str, **labels: Any) -> None:
+        tel = _telemetry_current()
+        if tel is not None:
+            tel.inc(metric, **labels)
+
+    async def _broadcast_event(self, kind: str, **fields: Any) -> None:
+        """Forward one fleet event to every connected client (best effort)."""
+        frame = {"type": "event", "kind": kind, **fields}
+        for client in list(self.clients):
+            try:
+                await write_frame_async(client.writer, frame)
+            except (ConnectionError, ProtocolError, OSError):
+                pass  # the client-reader loop owns disconnect handling
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+
+    def _checkpoint_plumbing(self, key: str) -> dict[str, Any] | None:
+        if self.config.checkpoint_dir is None:
+            return None
+        return {
+            "dir": str(Path(self.config.checkpoint_dir) / key),
+            "every": self.config.checkpoint_every,
+        }
+
+    def _cached_result(self, task: _Task) -> tuple[dict[str, Any], str] | None:
+        """(result bundle, source) served from the shared cache, if any."""
+        if self.cache is None:
+            return None
+        cached = self.cache.get(task.key)
+        if cached is None or "outcome" not in cached:
+            return None
+        origin = cached.get("origin")
+        source = "remote-cache" if origin else "cache"
+        bundle = {
+            "outcome": cached["outcome"],
+            "elapsed": 0.0,
+            "pid": None,
+            "resumed_round": None,
+        }
+        if origin:
+            bundle["origin"] = origin
+        return bundle, source
+
+    def _result_frame(self, task: _Task, source: str) -> dict[str, Any]:
+        assert task.result is not None
+        return {
+            "type": "result",
+            "key": task.key,
+            "result": task.result,
+            "source": source,
+            "worker": task.worker,
+            "releases": task.releases,
+            "attempts": task.attempts,
+        }
+
+    async def _resolve(self, task: _Task, source: str) -> None:
+        """Deliver a finished task to every client waiting on its key."""
+        self._count("broker_tasks_total", source=source)
+        for client in list(self.clients):
+            if task.key not in client.outstanding:
+                continue
+            client.outstanding.discard(task.key)
+            try:
+                if task.status == DONE:
+                    await write_frame_async(client.writer, self._result_frame(task, source))
+                else:
+                    await write_frame_async(
+                        client.writer,
+                        {
+                            "type": "task_failed",
+                            "key": task.key,
+                            "error": task.error or "unknown failure",
+                            "attempts": task.attempts,
+                            "releases": task.releases,
+                        },
+                    )
+                if not client.outstanding:
+                    await write_frame_async(client.writer, {"type": "done"})
+                    self._record("run-done", run=client.run_id, submitted=client.submitted)
+            except (ConnectionError, ProtocolError, OSError):
+                pass
+        self._gauges()
+        self._snapshot_state()
+
+    async def _complete_task(self, task: _Task, result: dict[str, Any], worker_id: str) -> None:
+        task.status = DONE
+        task.worker = worker_id
+        task.result = result
+        if self.cache is not None:
+            entry: dict[str, Any] = {
+                "spec": {k: v for k, v in task.payload.items() if k != "checkpoint"},
+                "outcome": result["outcome"],
+                "origin": {"worker": worker_id, "broker": self.broker_id},
+            }
+            if result.get("resumed_round") is not None:
+                entry["origin"]["resumed_round"] = result["resumed_round"]
+            self.cache.put(task.key, entry)
+        if self.config.checkpoint_dir is not None:
+            # The outcome is durable; its snapshots have served their purpose.
+            shutil.rmtree(Path(self.config.checkpoint_dir) / task.key, ignore_errors=True)
+        self._record(
+            "complete",
+            key=task.key,
+            worker=worker_id,
+            releases=task.releases,
+            resumed_round=result.get("resumed_round"),
+            elapsed=round(float(result.get("elapsed", 0.0)), 6),
+        )
+        await self._resolve(task, source="computed")
+
+    def _requeue(self, task: _Task, *, front: bool = False) -> None:
+        task.status = QUEUED
+        task.worker = None
+        task.deadline = 0.0
+        if front:
+            self.queue.insert(0, task.key)
+        else:
+            self.queue.append(task.key)
+
+    async def _release_lease(self, task: _Task, reason: str) -> None:
+        """A leased task's worker is gone or silent: take the lease back."""
+        worker_id = task.worker
+        task.releases += 1
+        self._count("broker_releases_total")
+        self._record("re-lease", key=task.key, worker=worker_id, reason=reason)
+        await self._broadcast_event(
+            "re-lease", key=task.key, worker=worker_id, reason=reason, releases=task.releases
+        )
+        if task.releases > self.config.max_releases:
+            task.status = FAILED
+            task.error = (
+                f"re-leased {task.releases} times (> max_releases="
+                f"{self.config.max_releases}); last worker {worker_id}: {reason}"
+            )
+            await self._resolve(task, source="failed")
+            return
+        # Front of the queue: a preempted task resumes from its checkpoint
+        # immediately instead of waiting behind fresh work.
+        self._requeue(task, front=True)
+        self._gauges()
+
+    async def _fail_task(self, task: _Task, error: str, worker_id: str) -> None:
+        task.attempts += 1
+        self._record("fail", key=task.key, worker=worker_id, error=error, attempts=task.attempts)
+        if task.attempts > self.config.max_retries:
+            task.status = FAILED
+            task.worker = worker_id
+            task.error = error
+            await self._resolve(task, source="failed")
+            return
+        # Only an actual requeue is a retry — the terminal failure above
+        # surfaces as task_failed, mirroring the local pool's accounting.
+        self._count("broker_retries_total")
+        await self._broadcast_event(
+            "retry", key=task.key, worker=worker_id, error=error, attempts=task.attempts
+        )
+        self._requeue(task)
+        self._gauges()
+
+    def _lease_for(self, worker: _WorkerConn) -> _Task | None:
+        """Pop the first queued task whose fingerprint matches this worker."""
+        for index, key in enumerate(self.queue):
+            task = self.tasks[key]
+            if task.fingerprint == worker.fingerprint:
+                del self.queue[index]
+                task.status = LEASED
+                task.worker = worker.worker_id
+                task.deadline = time.monotonic() + self.config.lease_timeout
+                worker.leased.add(key)
+                return task
+        return None
+
+    @property
+    def _drained(self) -> bool:
+        """True when work was submitted and all of it has been resolved."""
+        return bool(self.tasks) and not self.queue and not any(
+            t.status == LEASED for t in self.tasks.values()
+        )
+
+    # ------------------------------------------------------------------
+    # connection handlers
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Track the session so shutdown can cancel it instead of leaving
+        # the coroutine to die on a closed event loop.
+        session = asyncio.current_task()
+        if session is not None:
+            self._sessions.add(session)
+        try:
+            await self._dispatch_connection(reader, writer)
+        finally:
+            if session is not None:
+                self._sessions.discard(session)
+
+    async def _dispatch_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await read_frame_async(reader)
+        except ProtocolError:
+            writer.close()
+            return
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        if hello.get("protocol") != PROTOCOL:
+            with contextlib.suppress(ConnectionError, OSError):
+                await write_frame_async(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": f"protocol mismatch: broker speaks {PROTOCOL}, "
+                        f"peer sent {hello.get('protocol')!r}",
+                    },
+                )
+            writer.close()
+            return
+        role = hello.get("role")
+        if role == "worker":
+            await self._worker_session(hello, reader, writer)
+        elif role == "client":
+            await self._client_session(hello, reader, writer)
+        else:
+            writer.close()
+
+    async def _worker_session(
+        self, hello: dict[str, Any], reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        worker = _WorkerConn(
+            worker_id=str(hello.get("worker", f"worker-{uuid.uuid4().hex[:8]}")),
+            fingerprint=str(hello.get("code", "")),
+            writer=writer,
+        )
+        self.workers[worker.worker_id] = worker
+        self._record("worker-join", worker=worker.worker_id)
+        await self._broadcast_event("worker-join", worker=worker.worker_id)
+        self._gauges()
+        await write_frame_async(
+            writer,
+            {
+                "type": "welcome",
+                "protocol": PROTOCOL,
+                "broker": self.broker_id,
+                "heartbeat": self.config.resolved_heartbeat(),
+                "lease_timeout": self.config.lease_timeout,
+            },
+        )
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None or frame.get("type") == "bye":
+                    break
+                await self._worker_frame(worker, frame)
+        except (ProtocolError, ConnectionError, OSError):
+            pass  # torn frame / dead socket: treated exactly like a lapse
+        finally:
+            self.workers.pop(worker.worker_id, None)
+            self._record("worker-leave", worker=worker.worker_id, completed=worker.completed)
+            await self._broadcast_event("worker-leave", worker=worker.worker_id)
+            # Don't wait for the lease deadline: the connection death *is*
+            # the signal that any in-flight task needs a new home.
+            for key in list(worker.leased):
+                task = self.tasks.get(key)
+                if task is not None and task.status == LEASED and task.worker == worker.worker_id:
+                    await self._release_lease(task, reason="worker disconnected")
+            self._gauges()
+            self._snapshot_state()
+            writer.close()
+
+    async def _worker_frame(self, worker: _WorkerConn, frame: dict[str, Any]) -> None:
+        kind = frame.get("type")
+        if kind == "lease":
+            task = self._lease_for(worker)
+            if task is None:
+                await write_frame_async(
+                    worker.writer, {"type": "idle", "drain": self._drained}
+                )
+                return
+            self._record(
+                "lease", key=task.key, worker=worker.worker_id, releases=task.releases
+            )
+            self._gauges()
+            message = {"type": "task", "key": task.key, "payload": task.payload}
+            checkpoint = self._checkpoint_plumbing(task.key)
+            if checkpoint is not None:
+                message["checkpoint"] = checkpoint
+            await write_frame_async(worker.writer, message)
+            return
+        key = frame.get("key")
+        task = self.tasks.get(key) if isinstance(key, str) else None
+        if kind == "heartbeat":
+            if task is not None and task.status == LEASED and task.worker == worker.worker_id:
+                task.deadline = time.monotonic() + self.config.lease_timeout
+            return
+        if kind == "complete":
+            worker.leased.discard(key)
+            if task is None or task.status in (DONE, FAILED):
+                # Duplicate completion of a re-leased task: idempotent keys
+                # make this safe to acknowledge and drop.
+                self._record("duplicate-complete", key=key, worker=worker.worker_id)
+                return
+            worker.completed += 1
+            await self._complete_task(task, dict(frame.get("result") or {}), worker.worker_id)
+            return
+        if kind == "fail":
+            worker.leased.discard(key)
+            if task is None or task.status in (DONE, FAILED):
+                return
+            await self._fail_task(task, str(frame.get("error", "worker error")), worker.worker_id)
+            return
+        raise ProtocolError(f"unexpected worker frame type {kind!r}")
+
+    async def _client_session(
+        self, hello: dict[str, Any], reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client = _ClientConn(
+            run_id=str(hello.get("run", f"run-{uuid.uuid4().hex[:8]}")),
+            fingerprint=str(hello.get("code", "")),
+            writer=writer,
+        )
+        self.clients.append(client)
+        self._record("run-start", run=client.run_id)
+        await write_frame_async(
+            writer, {"type": "welcome", "protocol": PROTOCOL, "broker": self.broker_id}
+        )
+        try:
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None or frame.get("type") == "bye":
+                    break
+                if frame.get("type") != "submit":
+                    raise ProtocolError(f"unexpected client frame type {frame.get('type')!r}")
+                await self._submit(client, frame)
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            # An abandoned run's queued tasks still execute (their results
+            # land in the shared cache for the retry), so no cleanup here
+            # beyond forgetting the result subscriptions.
+            if client in self.clients:
+                self.clients.remove(client)
+            self._record("run-leave", run=client.run_id)
+            writer.close()
+
+    async def _submit(self, client: _ClientConn, frame: dict[str, Any]) -> None:
+        entries = frame.get("tasks") or []
+        client.submitted += len(entries)
+        self._record("submit", run=client.run_id, tasks=len(entries))
+        for entry in entries:
+            key = entry["key"]
+            task = self.tasks.get(key)
+            if task is None:
+                task = _Task(
+                    key=key,
+                    payload=dict(entry["payload"]),
+                    run_id=client.run_id,
+                    fingerprint=client.fingerprint,
+                )
+                cached = self._cached_result(task)
+                if cached is not None:
+                    bundle, source = cached
+                    task.status = DONE
+                    origin = bundle.get("origin") or {}
+                    task.worker = origin.get("worker")
+                    task.result = bundle
+                    self.tasks[key] = task
+                    client.outstanding.add(key)
+                    self._record("cache-hit", key=key, source=source, run=client.run_id)
+                    await self._resolve(task, source=source)
+                    continue
+                self.tasks[key] = task
+                self.queue.append(key)
+                client.outstanding.add(key)
+            elif task.status == DONE:
+                # Another run already computed this key (content-addressed
+                # dedup across clients): serve it straight from memory.
+                client.outstanding.add(key)
+                self._record("cache-hit", key=key, source="memory", run=client.run_id)
+                await self._resolve(task, source="remote-cache")
+            elif task.status == FAILED:
+                client.outstanding.add(key)
+                await self._resolve(task, source="failed")
+            else:
+                client.outstanding.add(key)
+        if not client.outstanding:
+            await write_frame_async(client.writer, {"type": "done"})
+        self._gauges()
+        self._snapshot_state()
+        self._wake_reaper.set()
+
+    # ------------------------------------------------------------------
+    # lease reaper + server lifecycle
+    # ------------------------------------------------------------------
+
+    async def _reap_leases(self) -> None:
+        """Re-lease tasks whose workers stopped heartbeating."""
+        interval = max(0.02, self.config.lease_timeout / 4.0)
+        while not self._stopping.is_set():
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._wake_reaper.wait(), timeout=interval)
+            self._wake_reaper.clear()
+            now = time.monotonic()
+            for task in list(self.tasks.values()):
+                if task.status == LEASED and now > task.deadline:
+                    worker = self.workers.get(task.worker or "")
+                    if worker is not None:
+                        worker.leased.discard(task.key)
+                    await self._release_lease(task, reason="lease expired (heartbeat lapse)")
+            self._snapshot_state()
+
+    async def serve(self) -> None:
+        """Bind, announce the port, and run until :meth:`shutdown`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else self.config.port
+        if self.config.port_file is not None:
+            port_path = Path(self.config.port_file)
+            port_path.parent.mkdir(parents=True, exist_ok=True)
+            port_path.write_text(f"{self.port}\n", encoding="utf-8")
+        self._record("broker-start", broker=self.broker_id, port=self.port)
+        reaper = asyncio.ensure_future(self._reap_leases())
+        try:
+            await self._stopping.wait()
+        finally:
+            reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await reaper
+            self._server.close()
+            await self._server.wait_closed()
+            for session in list(self._sessions):
+                session.cancel()
+            if self._sessions:
+                await asyncio.gather(*self._sessions, return_exceptions=True)
+            self._record("broker-stop", broker=self.broker_id)
+            self._write_manifest()
+            if self.store is not None:
+                self.store.close()
+
+    def shutdown(self) -> None:
+        """Request an orderly stop (signal-handler and test safe)."""
+        self._stopping.set()
+        self._wake_reaper.set()
+
+    def _write_manifest(self) -> None:
+        """Stamp the state dir with the standard telemetry run manifest."""
+        if self.store is None:
+            return
+        from repro.telemetry.manifest import build_manifest, write_manifest
+
+        tel = _telemetry_current()
+        metrics = tel.registry.snapshot() if tel is not None else {}
+        config = {
+            "role": "broker",
+            "broker": self.broker_id,
+            "host": self.config.host,
+            "port": self.port,
+            "lease_timeout": self.config.lease_timeout,
+            "max_retries": self.config.max_retries,
+            "max_releases": self.config.max_releases,
+            "cache_dir": str(self.config.cache_dir) if self.config.cache_dir else None,
+            "workers_seen": sorted(
+                {e.get("worker") for e in self._worker_events()} - {None}
+            ),
+            "tasks_total": len(self.tasks),
+            "releases_total": sum(t.releases for t in self.tasks.values()),
+        }
+        write_manifest(build_manifest(config, seeds=[], metrics=metrics), self.store.directory)
+
+    def _worker_events(self) -> list[dict[str, Any]]:
+        from repro.distributed.store import read_events
+
+        if self.store is None:
+            return []
+        return [e for e in read_events(self.store.directory) if e["event"] == "worker-join"]
+
+
+def run_broker(config: BrokerConfig, announce=None) -> None:
+    """Blocking broker entry point with SIGINT/SIGTERM orderly shutdown."""
+    import signal
+
+    async def _main() -> None:
+        broker = Broker(config)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, broker.shutdown)
+        serve = asyncio.ensure_future(broker.serve())
+        # Wait for the bind so the announcement carries the real port.
+        while broker.port is None and not serve.done():
+            await asyncio.sleep(0.01)
+        if announce is not None and broker.port is not None:
+            announce(broker.port)
+        await serve
+
+    asyncio.run(_main())
+
+
+def resolve_address(address: str) -> tuple[str, int]:
+    """Parse ``host:port`` (or ``:port`` / bare port) into a socket address."""
+    from repro.errors import DistributedError
+
+    text = address.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError as err:
+        raise DistributedError(f"invalid broker address {address!r}: {err}") from err
+    if not (0 < port < 65536):
+        raise DistributedError(f"invalid broker port {port} in {address!r}")
+    try:
+        socket.getaddrinfo(host, port)
+    except socket.gaierror as err:
+        raise DistributedError(f"unresolvable broker host {host!r}: {err}") from err
+    return host, port

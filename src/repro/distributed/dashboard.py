@@ -1,0 +1,146 @@
+"""``repro dashboard``: sweep progress + perf trajectory, in plain text.
+
+Two panels:
+
+* **Sweep** — rendered from a broker ``--state-dir`` (``state.json`` +
+  ``events.jsonl``): task progress bar, per-worker completion tallies,
+  re-lease/retry counts, and cache-hit provenance. Works on a live dir
+  (the broker atomically replaces ``state.json`` as it goes) and on a
+  finished one.
+* **Perf** — the ``BENCH_*.json`` trajectory: one row per benchmark
+  artifact with its headline speedups, so the performance record across
+  commits is readable at a glance next to the sweep it gates.
+
+Everything is stdlib text rendering; the CLI writes the lines to stdout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.distributed.store import SweepStateStore, read_events
+from repro.errors import ConfigurationError
+
+__all__ = ["render_dashboard", "render_sweep_panel", "render_bench_panel"]
+
+_BAR_WIDTH = 40
+
+
+def _bar(done: int, failed: int, total: int) -> str:
+    if total <= 0:
+        return "[" + " " * _BAR_WIDTH + "]"
+    ok = int(_BAR_WIDTH * done / total)
+    bad = int(_BAR_WIDTH * failed / total)
+    if failed and bad == 0:
+        bad = 1
+    ok = min(ok, _BAR_WIDTH - bad)
+    return "[" + "#" * ok + "x" * bad + "." * (_BAR_WIDTH - ok - bad) + "]"
+
+
+def render_sweep_panel(state_dir: Path | str) -> list[str]:
+    """Progress/fleet/provenance lines for one broker state directory."""
+    state = SweepStateStore.load_state(state_dir)
+    if state is None:
+        raise ConfigurationError(f"no readable state.json under {state_dir}")
+    resolved = state.tasks_done + state.tasks_failed
+    lines = [
+        f"sweep state: {Path(state_dir)}",
+        f"tasks {_bar(state.tasks_done, state.tasks_failed, state.tasks_total)} "
+        f"{resolved}/{state.tasks_total}"
+        + (f"  ({state.tasks_failed} failed)" if state.tasks_failed else ""),
+        f"queue depth {state.tasks_queued}  leased {state.tasks_leased}  "
+        f"re-leases {state.releases_total}  retries {state.retries_total}",
+    ]
+    completions: dict[str, int] = {}
+    releases: dict[str, int] = {}
+    resumes: dict[str, int] = {}
+    cache_hits: dict[str, int] = {}
+    for event in read_events(state_dir):
+        kind = event["event"]
+        worker = event.get("worker")
+        if kind == "complete" and worker:
+            completions[worker] = completions.get(worker, 0) + 1
+            if event.get("resumed_round") is not None:
+                resumes[worker] = resumes.get(worker, 0) + 1
+        elif kind == "re-lease" and worker:
+            releases[worker] = releases.get(worker, 0) + 1
+        elif kind == "cache-hit":
+            source = event.get("source", "cache")
+            cache_hits[source] = cache_hits.get(source, 0) + 1
+    if completions or releases:
+        lines.append("workers:")
+        for worker in sorted(set(completions) | set(releases)):
+            extra = ""
+            if releases.get(worker):
+                extra += f"  re-leased {releases[worker]}"
+            if resumes.get(worker):
+                extra += f"  resumed-from-checkpoint {resumes[worker]}"
+            lines.append(f"  {worker:28s} completed {completions.get(worker, 0):4d}{extra}")
+    if cache_hits:
+        hits = "  ".join(f"{source} {count}" for source, count in sorted(cache_hits.items()))
+        lines.append(f"cache hits: {hits}")
+    return lines
+
+
+def _headline(payload: dict[str, Any]) -> str:
+    """One-line summary of a BENCH_*.json artifact's key ratios."""
+    parts: list[str] = []
+    kernel = payload.get("kernel_phase") or {}
+    if isinstance(kernel, dict) and "speedup" in kernel:
+        parts.append(f"kernel-phase {kernel['speedup']:.2f}x")
+    general = payload.get("general_c") or {}
+    if isinstance(general, dict) and "speedup" in general:
+        parts.append(f"general-c {general['speedup']:.2f}x")
+    grid = payload.get("grid") or []
+    if grid:
+        ratios = [row["fused_over_legacy"] for row in grid if "fused_over_legacy" in row]
+        if ratios:
+            parts.append(f"grid {min(ratios):.2f}-{max(ratios):.2f}x over {len(ratios)} cells")
+    fabric = payload.get("fabric") or {}
+    if isinstance(fabric, dict) and "speedup_4w_over_1w" in fabric:
+        parts.append(f"fabric 4w/1w {fabric['speedup_4w_over_1w']:.2f}x")
+    compute = payload.get("compute") or {}
+    if isinstance(compute, dict) and "broker_4w" in compute:
+        modes = compute
+        parts.append(
+            f"compute serial {modes.get('serial', 0):.2f} -> broker-4w "
+            f"{modes.get('broker_4w', 0):.2f} task/s"
+        )
+    return "  ".join(parts) if parts else "(no recognised sections)"
+
+
+def render_bench_panel(bench_paths: list[Path | str]) -> list[str]:
+    """Perf-trajectory lines, one per readable benchmark artifact."""
+    lines = ["perf trajectory:"]
+    rendered = 0
+    for path in bench_paths:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            lines.append(f"  {path.name:24s} (unreadable)")
+            continue
+        profile = payload.get("profile", "?")
+        lines.append(f"  {path.name:24s} profile={profile:8s} {_headline(payload)}")
+        rendered += 1
+    if rendered == 0 and len(lines) == 1:
+        lines.append("  (no benchmark artifacts found)")
+    return lines
+
+
+def render_dashboard(
+    state_dir: Path | str | None, bench_paths: list[Path | str] | None = None
+) -> list[str]:
+    """Assemble the full dashboard. At least one panel must have input."""
+    if state_dir is None and not bench_paths:
+        raise ConfigurationError("dashboard needs a state dir and/or --bench artifacts")
+    lines: list[str] = []
+    if state_dir is not None:
+        lines.extend(render_sweep_panel(state_dir))
+    if bench_paths:
+        if lines:
+            lines.append("")
+        lines.extend(render_bench_panel(bench_paths))
+    return lines

@@ -1,0 +1,168 @@
+"""Wire protocol for the broker-backed distributed runner.
+
+Every message on a broker connection is one **frame**: a 4-byte unsigned
+big-endian length prefix followed by that many bytes of UTF-8 JSON (one
+object per frame). The prefix makes torn writes self-evident — a peer
+that dies mid-frame leaves a short read, never a half-parsed message —
+which is what lets the broker treat *any* malformed tail as "this peer is
+gone" and re-lease its work.
+
+Frame vocabulary (the ``type`` key), by direction:
+
+worker → broker
+    ``hello``      role="worker", worker id, protocol + code fingerprint
+    ``lease``      request one task
+    ``heartbeat``  the leased task ``key`` is still making progress
+    ``complete``   finished task: ``key`` + the execute_task result bundle
+    ``fail``       task raised: ``key`` + error string
+    ``bye``        clean disconnect
+
+broker → worker
+    ``welcome``    protocol echo, heartbeat interval, lease timeout
+    ``task``       a leased payload (with any checkpoint plumbing attached)
+    ``idle``       no work right now (``drain`` tells the worker a
+                   ``--exit-when-idle`` fleet may stand down)
+    ``error``      protocol/fingerprint rejection (connection then closes)
+
+client → broker
+    ``hello``      role="client", run id, code fingerprint
+    ``submit``     batch of ``{"key", "payload"}`` tasks to execute
+
+broker → client
+    ``result``     one finished task: key, outcome bundle, provenance
+                   (worker identity, source, releases, resumed_round)
+    ``task_failed`` a task that exhausted its retry/release budget
+    ``event``      forwarded fleet telemetry (worker join/leave, lease,
+                   re-lease) for live progress aggregation
+    ``done``       every submitted task is resolved
+
+Delivery contract: **at-least-once**. Task keys are content-addressed
+digests (:func:`repro.parallel.keys.task_digest`), so re-executing a
+re-leased task is idempotent — the first ``complete`` for a key wins and
+any later duplicate is acknowledged and discarded.
+
+Both a blocking (socket) and an asyncio (stream) codec are provided; the
+broker is asyncio, while workers and the runner client use plain sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "read_frame_async",
+    "write_frame_async",
+]
+
+#: Version tag exchanged in hello/welcome; bumped on incompatible changes.
+PROTOCOL = "repro-broker/v1"
+
+#: Upper bound on one frame's JSON body. Outcome payloads are a few KiB;
+#: anything near this limit indicates a corrupt length prefix, not data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Length-prefixed JSON encoding of one message."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:  # pragma: no cover - would need a huge payload
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"undecodable frame body: {err}") from err
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame must be a JSON object with a 'type'")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES} (corrupt prefix?)")
+
+
+# ----------------------------------------------------------------------
+# blocking codec (workers, runner client)
+# ----------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Write one frame to a connected socket (blocking)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame boundary.
+
+    EOF *inside* a frame raises :class:`ProtocolError` — that is a torn
+    write from a dead peer, not a clean goodbye.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(65536, count - got))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({got}/{count} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame (blocking); None when the peer closed cleanly."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return _decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# asyncio codec (broker)
+# ----------------------------------------------------------------------
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame from a stream; None when the peer closed cleanly."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from err
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise ProtocolError(f"connection closed mid-frame ({len(err.partial)}/{length})") from err
+    return _decode_body(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, message: dict[str, Any]) -> None:
+    """Write one frame to a stream and drain the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,154 @@
+"""Persistent results store behind the broker (and the dashboard's input).
+
+Two files live in a broker's ``--state-dir``:
+
+``events.jsonl``
+    Append-only provenance log: worker joins/leaves, leases, re-leases,
+    completions (with worker identity and source), failures, run
+    boundaries. Each line is flushed before the broker moves on, so the
+    log survives a SIGKILLed broker with at most the in-flight line torn
+    (readers skip torn tails, same contract as the runner journal).
+
+``state.json``
+    Atomically replaced snapshot of the live sweep: per-run task counts
+    by status, per-worker tallies, re-lease totals. This is what
+    ``repro dashboard`` renders; it is a *view* over the event log, so a
+    stale or missing snapshot is an inconvenience, never data loss.
+
+On clean run completion the broker also writes the standard telemetry
+run manifest (``manifest.json``) next to these, stamping the sweep with
+code fingerprints, host info, and final broker metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["SweepState", "SweepStateStore", "read_events"]
+
+STATE_FILENAME = "state.json"
+EVENTS_FILENAME = "events.jsonl"
+
+
+@dataclass
+class SweepState:
+    """Aggregated view of one broker lifetime (possibly several runs)."""
+
+    started_unix: float = 0.0
+    updated_unix: float = 0.0
+    tasks_total: int = 0
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    tasks_queued: int = 0
+    tasks_leased: int = 0
+    releases_total: int = 0
+    retries_total: int = 0
+    by_source: dict[str, int] = field(default_factory=dict)
+    workers: dict[str, dict[str, Any]] = field(default_factory=dict)
+    runs: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "started_unix": self.started_unix,
+            "updated_unix": self.updated_unix,
+            "tasks_total": self.tasks_total,
+            "tasks_done": self.tasks_done,
+            "tasks_failed": self.tasks_failed,
+            "tasks_queued": self.tasks_queued,
+            "tasks_leased": self.tasks_leased,
+            "releases_total": self.releases_total,
+            "retries_total": self.retries_total,
+            "by_source": dict(self.by_source),
+            "workers": dict(self.workers),
+            "runs": dict(self.runs),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "SweepState":
+        state = SweepState()
+        for key in (
+            "started_unix",
+            "updated_unix",
+            "tasks_total",
+            "tasks_done",
+            "tasks_failed",
+            "tasks_queued",
+            "tasks_leased",
+            "releases_total",
+            "retries_total",
+        ):
+            if key in payload:
+                setattr(state, key, payload[key])
+        state.by_source = dict(payload.get("by_source", {}))
+        state.workers = dict(payload.get("workers", {}))
+        state.runs = dict(payload.get("runs", {}))
+        return state
+
+
+class SweepStateStore:
+    """Event log + state snapshot for one broker's ``--state-dir``."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.state = SweepState(started_unix=round(time.time(), 3))
+        self._events_fh = open(self.directory / EVENTS_FILENAME, "ab")
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Durably append one provenance event and refresh the snapshot."""
+        if self._events_fh.closed:
+            # Sessions unwinding after shutdown closed the store race this
+            # path; their leave/disconnect events are droppable by design.
+            return
+        event = {"ts": round(time.time(), 3), "event": kind, **fields}
+        line = json.dumps(event, sort_keys=True) + "\n"
+        self._events_fh.write(line.encode("utf-8"))
+        self._events_fh.flush()
+        os.fsync(self._events_fh.fileno())
+
+    def write_state(self) -> None:
+        """Atomically replace ``state.json`` with the current snapshot."""
+        self.state.updated_unix = round(time.time(), 3)
+        path = self.directory / STATE_FILENAME
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(self.state.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def close(self) -> None:
+        self.write_state()
+        if not self._events_fh.closed:
+            self._events_fh.close()
+
+    @staticmethod
+    def load_state(directory: Path | str) -> SweepState | None:
+        """Read ``state.json`` from a state dir; None when absent/torn."""
+        path = Path(directory) / STATE_FILENAME
+        try:
+            return SweepState.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):
+            return None
+
+
+def read_events(directory: Path | str) -> Iterator[dict[str, Any]]:
+    """Replay ``events.jsonl``, skipping torn or malformed lines."""
+    path = Path(directory) / EVENTS_FILENAME
+    if not path.exists():
+        return
+    with open(path, "rb") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                event = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if isinstance(event, dict) and "event" in event:
+                yield event

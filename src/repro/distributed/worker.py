@@ -1,0 +1,277 @@
+"""Preemptible worker: lease → execute → heartbeat → complete, forever.
+
+A worker is one process with one execution slot. Parallelism comes from
+running several workers (on one host or many); preemption-tolerance
+comes from the broker's lease/heartbeat machinery, not from anything the
+worker promises — a worker may be SIGKILLed at *any* instruction and the
+sweep still completes:
+
+* killed mid-task: heartbeats stop, the lease lapses (or the connection
+  drop is noticed sooner), the broker re-leases; with checkpointing
+  configured the next worker resumes from the newest snapshot.
+* killed mid-result-upload: the torn frame is detected by the length
+  prefix, the broker drops the connection and re-leases; the recompute
+  is idempotent by task-digest construction.
+
+Tasks execute through the exact same entry point as the process-pool
+runner (:func:`repro.parallel.tasks.execute_task`), so a distributed
+sweep's outcome payloads are byte-identical to a local run's.
+
+Heartbeats are sent from a daemon thread while the main thread computes;
+frame writes are serialized by a lock so a heartbeat never interleaves
+inside a ``complete`` frame.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import signal
+import socket
+import threading
+import time
+from typing import Any, Callable
+
+from repro.distributed.protocol import PROTOCOL, recv_frame, send_frame
+from repro.errors import DistributedError, ProtocolError
+
+__all__ = ["Worker", "WorkerStats", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    return f"{platform.node() or 'host'}-{os.getpid()}"
+
+
+class WorkerStats:
+    """Counters one worker accumulates over its lifetime."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.failed = 0
+        self.resumed = 0
+        self.idle_polls = 0
+
+    def summary(self) -> str:
+        return (
+            f"completed {self.completed}, failed {self.failed}, "
+            f"resumed-from-checkpoint {self.resumed}, idle polls {self.idle_polls}"
+        )
+
+
+class _Heartbeat:
+    """Daemon thread pulsing ``heartbeat`` frames for the leased key."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock, key: str, interval: float):
+        self._sock = sock
+        self._lock = lock
+        self._key = key
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    send_frame(self._sock, {"type": "heartbeat", "key": self._key})
+            except OSError:
+                return  # socket is gone; the main loop will notice on send
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class Worker:
+    """One single-slot worker process (see module docstring).
+
+    Parameters
+    ----------
+    address:
+        ``host:port`` of the broker.
+    worker_id:
+        Fleet-visible identity; defaults to ``<hostname>-<pid>``.
+    exit_when_idle:
+        Leave once the broker reports its queue drained (work was
+        submitted and everything resolved) — the benchmark/CI mode.
+        Without it the worker polls forever, spot-fleet style.
+    poll:
+        Idle backoff between lease requests with an empty queue.
+    max_reconnects:
+        Consecutive connection failures tolerated before giving up.
+    task_fn:
+        Execution hook (tests override it); defaults to
+        :func:`repro.parallel.tasks.execute_task`.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        worker_id: str | None = None,
+        exit_when_idle: bool = False,
+        poll: float = 0.2,
+        max_reconnects: int = 5,
+        reconnect_backoff: float = 0.25,
+        task_fn: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
+        log=None,
+    ) -> None:
+        from repro.distributed.broker import resolve_address
+
+        self.host, self.port = resolve_address(address)
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.exit_when_idle = exit_when_idle
+        self.poll = poll
+        self.max_reconnects = max_reconnects
+        self.reconnect_backoff = reconnect_backoff
+        self.task_fn = task_fn
+        self.log = log
+        self.stats = WorkerStats()
+        self._stop = False
+
+    def _say(self, message: str) -> None:
+        if self.log is not None:
+            self.log.write(f"[{self.worker_id}] {message}\n")
+            self.log.flush()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT finish the current task, then exit cleanly."""
+
+        def handle(signum: int, frame: Any) -> None:
+            self._stop = True
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(sig, handle)
+            except ValueError:  # not the main thread (tests)
+                return
+
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> tuple[socket.socket, dict[str, Any]]:
+        from repro.parallel.keys import measurement_fingerprint
+
+        sock = socket.create_connection((self.host, self.port), timeout=30.0)
+        sock.settimeout(None)
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "role": "worker",
+                "protocol": PROTOCOL,
+                "worker": self.worker_id,
+                "code": measurement_fingerprint(),
+                "pid": os.getpid(),
+            },
+        )
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("type") == "error":
+            error = "connection closed" if welcome is None else welcome.get("error")
+            sock.close()
+            raise DistributedError(f"broker rejected worker: {error}")
+        if welcome.get("type") != "welcome":
+            sock.close()
+            raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+        return sock, welcome
+
+    def _execute(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self.task_fn is not None:
+            return self.task_fn(payload)
+        from repro.parallel.tasks import execute_task
+
+        return execute_task(payload)
+
+    def _serve_connection(self, sock: socket.socket, welcome: dict[str, Any]) -> bool:
+        """Lease/execute until drained or stopped. True = exit the worker."""
+        from repro.faults.chaos import maybe_chaos
+        from repro.parallel.tasks import TaskSpec
+
+        heartbeat_interval = float(welcome.get("heartbeat", 5.0))
+        send_lock = threading.Lock()
+        while not self._stop:
+            with send_lock:
+                send_frame(sock, {"type": "lease"})
+            frame = recv_frame(sock)
+            if frame is None:
+                raise DistributedError("broker closed the connection")
+            kind = frame.get("type")
+            if kind == "idle":
+                self.stats.idle_polls += 1
+                if self.exit_when_idle and frame.get("drain"):
+                    with send_lock:
+                        send_frame(sock, {"type": "bye"})
+                    return True
+                time.sleep(self.poll)
+                continue
+            if kind != "task":
+                raise ProtocolError(f"expected task/idle, got {kind!r}")
+            key = frame["key"]
+            payload = dict(frame["payload"])
+            if frame.get("checkpoint"):
+                payload["checkpoint"] = frame["checkpoint"]
+            label = TaskSpec.from_payload(payload).label
+            self._say(f"leased {label}")
+            with _Heartbeat(sock, send_lock, key, heartbeat_interval):
+                try:
+                    result = self._execute(payload)
+                except Exception as err:  # noqa: BLE001 - forwarded to the broker
+                    with send_lock:
+                        send_frame(
+                            sock,
+                            {
+                                "type": "fail",
+                                "key": key,
+                                "error": f"{type(err).__name__}: {err}",
+                            },
+                        )
+                    self.stats.failed += 1
+                    self._say(f"failed {label}: {err}")
+                    continue
+            # Chaos hook for the preemption tests: lets CI kill a worker in
+            # the window between computing a result and uploading it, to
+            # prove a torn upload is re-leased and recomputed losslessly.
+            maybe_chaos(f"upload {label}")
+            result["worker"] = self.worker_id
+            with send_lock:
+                send_frame(sock, {"type": "complete", "key": key, "result": result})
+            self.stats.completed += 1
+            if result.get("resumed_round") is not None:
+                self.stats.resumed += 1
+            self._say(f"completed {label}")
+        with send_lock:
+            send_frame(sock, {"type": "bye"})
+        return True
+
+    def run(self) -> int:
+        """Main loop with bounded reconnects; returns a process exit code."""
+        failures = 0
+        while True:
+            try:
+                sock, welcome = self._connect()
+            except (OSError, DistributedError, ProtocolError) as err:
+                failures += 1
+                if failures > self.max_reconnects:
+                    self._say(f"giving up after {failures} connection failures: {err}")
+                    return 1
+                time.sleep(self.reconnect_backoff * failures)
+                continue
+            failures = 0
+            self._say(f"connected to {self.host}:{self.port}")
+            try:
+                if self._serve_connection(sock, welcome):
+                    self._say(f"done: {self.stats.summary()}")
+                    return 0
+            except (OSError, DistributedError, ProtocolError) as err:
+                self._say(f"connection lost: {err}")
+                failures += 1
+                if failures > self.max_reconnects:
+                    return 1
+                time.sleep(self.reconnect_backoff * failures)
+            finally:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - close races
+                    pass

@@ -15,6 +15,8 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ParallelExecutionError",
+    "DistributedError",
+    "ProtocolError",
     "ChaosInjected",
     "CheckpointError",
     "CheckpointCorrupt",
@@ -68,6 +70,26 @@ class ParallelExecutionError(ReproError, RuntimeError):
 
     Raised for unknown task kinds, replay passes missing precomputed
     outcomes, and resume attempts without a journal to resume from.
+    """
+
+
+class DistributedError(ReproError, RuntimeError):
+    """The broker-backed distributed runner could not execute a sweep.
+
+    Raised for unreachable brokers, rejected handshakes (protocol or code
+    fingerprint mismatch), and submit/stream sessions that end before
+    every task is resolved.
+    """
+
+
+class ProtocolError(DistributedError):
+    """A broker connection carried a malformed or torn frame.
+
+    Frames are length-prefixed JSON (see :mod:`repro.distributed.protocol`);
+    a short read inside a frame means the peer died mid-write. The broker
+    treats this exactly like a vanished worker: drop the connection and
+    re-lease its in-flight work — at-least-once delivery over idempotent
+    task digests makes the retry safe.
     """
 
 

@@ -118,7 +118,7 @@ class ProgressReporter:
         (:class:`LiveStatusReporter`) consume it.
         """
         self.done += 1
-        if source == "computed":
+        if source in ("computed", "remote"):
             self.computed += 1
             self.computed_seconds += elapsed
         now = time.monotonic()
@@ -135,6 +135,13 @@ class ProgressReporter:
             f"[{self.done}/{self.total}] {label} ({source}, {elapsed:.2f}s){eta}",
             final=is_last,
         )
+
+    def note_fleet_event(self, event: dict[str, Any]) -> None:
+        """Record a broker fleet event (worker churn, re-lease, retry).
+
+        The base reporter ignores them; :class:`LiveStatusReporter`
+        aggregates them into the fleet-wide status line.
+        """
 
     def _write_line(self, text: str, final: bool) -> None:
         if self.use_tty:
@@ -176,7 +183,12 @@ class LiveStatusReporter(ProgressReporter):
     ) -> None:
         super().__init__(total=total, jobs=jobs, stream=stream, min_interval=min_interval)
         self.report = report  # duck-typed RunnerReport (tasks_retried etc.)
-        self.worker_tasks: dict[int, int] = {}
+        # Keys are local pool pids (int) or remote worker ids (str); the
+        # two never mix within one run, so sorting stays well-defined.
+        self.worker_tasks: dict[int | str, int] = {}
+        self.fleet_workers: set[str] = set()
+        self.fleet_releases = 0
+        self.fleet_retries = 0
         self.theory_errors: list[float] = []
         self._theory_pool: dict[tuple[int, float], float | None] = {}
         self._started = time.monotonic()
@@ -194,9 +206,14 @@ class LiveStatusReporter(ProgressReporter):
         return self._theory_pool[key]
 
     def _note_outcome(self, info: dict[str, Any]) -> None:
-        pid = info.get("pid")
-        if pid is not None:
-            self.worker_tasks[int(pid)] = self.worker_tasks.get(int(pid), 0) + 1
+        worker = info.get("worker")
+        if worker is not None:
+            # A completion proves the worker is live even if it joined the
+            # fleet before this client connected (no join event seen).
+            self.fleet_workers.add(str(worker))
+        key: int | str | None = str(worker) if worker is not None else info.get("pid")
+        if key is not None:
+            self.worker_tasks[key] = self.worker_tasks.get(key, 0) + 1
         if info.get("kind") != "capped":
             return
         outcome = info.get("outcome") or {}
@@ -210,16 +227,32 @@ class LiveStatusReporter(ProgressReporter):
             self.theory_errors.append(abs(pool / theory - 1.0))
 
     def task_done(self, label: str, elapsed: float, source: str = "computed", **info: Any) -> None:
-        if source == "computed":
+        if source in ("computed", "remote"):
             self._note_outcome(info)
         super().task_done(label, elapsed, source, **info)
+
+    def note_fleet_event(self, event: dict[str, Any]) -> None:
+        """Aggregate a broker-forwarded fleet event into the status line."""
+        kind = event.get("kind")
+        worker = event.get("worker")
+        if kind == "worker-join" and worker:
+            self.fleet_workers.add(str(worker))
+        elif kind == "worker-leave" and worker:
+            self.fleet_workers.discard(str(worker))
+        elif kind == "re-lease":
+            self.fleet_releases += 1
+        elif kind == "retry":
+            self.fleet_retries += 1
 
     def _write_line(self, text: str, final: bool) -> None:
         extras = []
         if self.worker_tasks:
             rate = self.computed / max(1e-9, time.monotonic() - self._started)
-            counts = "/".join(str(count) for _, count in sorted(self.worker_tasks.items()))
+            ordered = sorted(self.worker_tasks.items(), key=lambda kv: str(kv[0]))
+            counts = "/".join(str(count) for _, count in ordered)
             extras.append(f"workers {len(self.worker_tasks)} ({counts})  {rate:.2f} task/s")
+        if self.fleet_workers or self.fleet_releases:
+            extras.append(f"fleet {len(self.fleet_workers)} live  re-leases {self.fleet_releases}")
         if self.report is not None:
             extras.append(
                 f"retries {getattr(self.report, 'tasks_retried', 0)}  "

@@ -94,6 +94,10 @@ class RunnerReport:
     tasks_computed: int = 0
     tasks_from_journal: int = 0
     tasks_from_cache: int = 0
+    tasks_from_remote_cache: int = 0
+    tasks_remote: int = 0
+    tasks_releases: int = 0
+    remote_workers: dict[str, int] = field(default_factory=dict)
     tasks_retried: int = 0
     tasks_quarantined: int = 0
     quarantined: list[dict] = field(default_factory=list)
@@ -110,7 +114,7 @@ class RunnerReport:
 
     @property
     def cache_hits(self) -> int:
-        return self.tasks_from_cache + self.experiments_from_cache
+        return self.tasks_from_cache + self.tasks_from_remote_cache + self.experiments_from_cache
 
     @property
     def cache_misses(self) -> int:
@@ -123,6 +127,7 @@ class RunnerReport:
             self.tasks_computed
             + self.tasks_from_journal
             + self.tasks_from_cache
+            + self.tasks_from_remote_cache
             + self.tasks_quarantined
         )
 
@@ -131,9 +136,18 @@ class RunnerReport:
             f"experiments: {self.experiments_total} "
             f"(journal {self.experiments_from_journal}, cache {self.experiments_from_cache})",
             f"tasks: {self.tasks_total} (computed {self.tasks_computed}, "
-            f"journal {self.tasks_from_journal}, cache {self.tasks_from_cache})",
+            f"journal {self.tasks_from_journal}, cache {self.tasks_from_cache}, "
+            f"remote-cache {self.tasks_from_remote_cache})",
             f"wall clock: {self.wall_seconds:.2f}s",
         ]
+        if self.tasks_remote or self.remote_workers or self.tasks_releases:
+            fleet = "/".join(
+                f"{worker}:{count}" for worker, count in sorted(self.remote_workers.items())
+            )
+            lines.append(
+                f"broker: {self.tasks_remote} task(s) on {len(self.remote_workers)} "
+                f"worker(s) [{fleet}]  re-leases {self.tasks_releases}"
+            )
         if self.journal_corrupt_lines:
             lines.append(f"journal: skipped {self.journal_corrupt_lines} torn line(s)")
         if self.tasks_retried:
@@ -202,6 +216,16 @@ class ExperimentRunner:
         Home of the per-task snapshot directories (keyed by task digest);
         defaults to ``<cache_dir>/checkpoints``. A task's directory is
         removed once its outcome is journaled.
+    broker:
+        ``host:port`` of a ``repro broker``. Measurement tasks are then
+        submitted to the broker's worker fleet instead of a local process
+        pool (``jobs`` only affects the discovery phase). Journal,
+        cache-mirroring, quarantine, and replay semantics are unchanged:
+        a broker-side terminal failure is quarantined exactly like a
+        local retry-budget exhaustion, and the merged output stays
+        byte-identical to ``--jobs 1``. Checkpoint placement for
+        re-leased tasks is configured on the *broker*, which owns the
+        snapshot directories.
 
     Graceful shutdown: while :meth:`run` executes on the main thread,
     SIGINT/SIGTERM stop the sweep at the next task boundary — the journal
@@ -225,9 +249,16 @@ class ExperimentRunner:
         max_pool_rebuilds: int = 5,
         checkpoint_every: int | None = None,
         checkpoint_dir: Path | str | None = None,
+        broker: str | None = None,
     ) -> None:
         from repro.analysis.experiments import PROFILES, Profile
         from repro.errors import ExperimentError
+
+        if broker is not None:
+            from repro.distributed.broker import resolve_address
+
+            resolve_address(broker)  # fail fast on malformed addresses
+        self.broker = broker
 
         if isinstance(profile, str):
             if profile not in PROFILES:
@@ -547,6 +578,61 @@ class ExperimentRunner:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
+    def _run_broker_tasks(
+        self,
+        payloads: Sequence[dict],
+        report: RunnerReport,
+        progress: Any = None,
+    ) -> Iterator[tuple[dict, dict | TaskFailure]]:
+        """Execute the measure phase on a broker's worker fleet.
+
+        Same (payload, outcome-or-failure) contract as :meth:`_run_tasks`;
+        fleet events the broker forwards (worker join/leave, re-leases,
+        retries) update the report counters and the live progress view as
+        they stream in.
+        """
+        from repro.distributed.client import BrokerClient, RemoteTaskFailure
+
+        tel = _telemetry_current()
+        labels = {
+            TaskSpec.from_payload(payload).digest: TaskSpec.from_payload(payload).label
+            for payload in payloads
+        }
+
+        def on_event(event: dict) -> None:
+            kind = event.get("kind")
+            if kind == "re-lease":
+                report.tasks_releases += 1
+            elif kind == "retry":
+                report.tasks_retried += 1
+                if tel is not None:
+                    tel.inc("task_retries_total")
+                    tel.emit(
+                        {
+                            "type": "task",
+                            "status": "retry",
+                            "label": labels.get(event.get("key"), "remote"),
+                            "attempts": int(event.get("attempts", 1)),
+                            "error": str(event.get("error", "remote failure")),
+                        }
+                    )
+            if tel is not None:
+                tel.inc("fleet_events_total", kind=str(kind))
+                tel.emit({"type": "fleet", **{k: v for k, v in event.items() if k != "type"}})
+            if progress is not None:
+                progress.note_fleet_event(event)
+
+        client = BrokerClient(self.broker, on_event=on_event)
+        for payload, bundle in client.run_tasks(list(payloads)):
+            self._check_shutdown()
+            if isinstance(bundle, RemoteTaskFailure):
+                error = bundle.error
+                if bundle.releases:
+                    error += f" (after {bundle.releases} re-lease(s))"
+                yield payload, TaskFailure(error=error, attempts=bundle.attempts)
+                continue
+            yield payload, bundle
+
     # ------------------------------------------------------------------
     # main flow
     # ------------------------------------------------------------------
@@ -773,17 +859,31 @@ class ExperimentRunner:
             cached = self.cache.get(digest) if self.cache is not None else None
             if cached is not None:
                 outcomes[spec.point_key][spec.replicate] = cached["outcome"]
-                report.tasks_from_cache += 1
+                # An ``origin`` field marks an entry uploaded by a remote
+                # worker (broker cache sync); account it as a remote-cache
+                # hit and keep the provenance in the journal so --resume
+                # and audits can tell where the bytes came from.
+                origin = cached.get("origin")
+                if isinstance(origin, dict):
+                    source = "remote-cache"
+                    report.tasks_from_remote_cache += 1
+                    provenance = {"source": "remote-cache", **origin}
+                else:
+                    source = "cache"
+                    report.tasks_from_cache += 1
+                    provenance = None
                 # Mirror cache hits into the journal so a later --resume
                 # can replay this run from the journal alone.
                 if journal is not None:
-                    journal.append_task(digest, spec.payload(), cached["outcome"])
-                account(spec, "cache")
+                    journal.append_task(
+                        digest, spec.payload(), cached["outcome"], provenance=provenance
+                    )
+                account(spec, source)
                 if progress is not None:
-                    progress.task_done(spec.label, 0.0, source="cache")
+                    progress.task_done(spec.label, 0.0, source=source)
                 continue
             payload = spec.payload()
-            if self.checkpoint_dir is not None:
+            if self.broker is None and self.checkpoint_dir is not None:
                 # Runner plumbing, not task identity: from_payload/digest
                 # ignore this key, so cache/journal keys are unchanged.
                 payload["checkpoint"] = {
@@ -792,32 +892,67 @@ class ExperimentRunner:
                 }
             to_compute.append(payload)
 
-        for payload, computed in self._run_tasks(execute_task, to_compute, report):
+        if self.broker is not None:
+            task_stream = self._run_broker_tasks(to_compute, report, progress)
+        else:
+            task_stream = self._run_tasks(execute_task, to_compute, report)
+        for payload, computed in task_stream:
             spec = TaskSpec.from_payload(payload)
             if isinstance(computed, TaskFailure):
                 quarantine(spec, computed.error, computed.attempts, journaled=False)
                 continue
             outcome, elapsed = computed["outcome"], computed["elapsed"]
             outcomes[spec.point_key][spec.replicate] = outcome
-            report.tasks_computed += 1
-            report.timings.add(spec.label, elapsed, group=spec.kind)
+            worker = computed.get("worker") if self.broker is not None else None
+            bundle_source = computed.get("source", "computed")
+            if self.broker is not None and bundle_source in ("cache", "remote-cache"):
+                # The broker already had this outcome (its own cache or a
+                # concurrent client's in-flight duplicate); nobody computed
+                # anything for us just now.
+                source = "remote-cache"
+                report.tasks_from_remote_cache += 1
+                provenance: dict | None = {"source": "remote-cache"}
+                if worker:
+                    provenance["worker"] = worker
+            elif worker is not None:
+                source = "remote"
+                report.tasks_computed += 1
+                report.tasks_remote += 1
+                report.remote_workers[worker] = report.remote_workers.get(worker, 0) + 1
+                report.timings.add(spec.label, elapsed, group=spec.kind)
+                provenance = {"source": "remote", "worker": worker}
+                if computed.get("releases"):
+                    provenance["releases"] = int(computed["releases"])
+            else:
+                source = "computed"
+                report.tasks_computed += 1
+                report.timings.add(spec.label, elapsed, group=spec.kind)
+                provenance = None
             resumed_round = computed.get("resumed_round")
-            provenance = None if resumed_round is None else {"resumed_round": int(resumed_round)}
+            if resumed_round is not None:
+                provenance = dict(provenance or {})
+                provenance["resumed_round"] = int(resumed_round)
             if journal is not None:
                 journal.append_task(spec.digest, spec.payload(), outcome, provenance=provenance)
             if self.cache is not None:
-                self.cache.put(spec.digest, {"spec": spec.payload(), "outcome": outcome})
-            if self.checkpoint_dir is not None:
+                entry = {"spec": spec.payload(), "outcome": outcome}
+                if source in ("remote", "remote-cache"):
+                    # Keep the upload's provenance so later local runs can
+                    # account their hits as remote-cache.
+                    entry["origin"] = {"worker": worker} if worker else {}
+                self.cache.put(spec.digest, entry)
+            if self.broker is None and self.checkpoint_dir is not None:
                 # The outcome is durable (journaled and/or cached); its
                 # snapshots have served their purpose.
                 shutil.rmtree(self.checkpoint_dir / spec.digest, ignore_errors=True)
-            account(spec, "computed", elapsed)
+            account(spec, source, elapsed if source in ("computed", "remote") else 0.0)
             if progress is not None:
                 progress.task_done(
                     spec.label,
-                    elapsed,
-                    source="computed",
+                    elapsed if source in ("computed", "remote") else 0.0,
+                    source=source,
                     pid=computed.get("pid"),
+                    worker=worker,
                     outcome=outcome,
                     kind=spec.kind,
                     params=spec.params,
@@ -851,6 +986,7 @@ def run_experiments(
     retry_backoff: float = 0.05,
     checkpoint_every: int | None = None,
     checkpoint_dir: Path | str | None = None,
+    broker: str | None = None,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -866,5 +1002,6 @@ def run_experiments(
         retry_backoff=retry_backoff,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
+        broker=broker,
     )
     return runner.run(experiment_ids)

@@ -1,0 +1,103 @@
+"""``repro dashboard`` rendering: sweep panel, perf panel, error paths."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distributed.dashboard import render_bench_panel, render_dashboard, render_sweep_panel
+from repro.distributed.store import SweepStateStore
+from repro.errors import ConfigurationError
+
+
+def write_state_dir(tmp_path, events=()):
+    store = SweepStateStore(tmp_path)
+    store.state.tasks_total = 4
+    store.state.tasks_done = 3
+    store.state.tasks_failed = 1
+    store.state.releases_total = 2
+    store.state.retries_total = 1
+    for event in events:
+        store.record(event.pop("event"), **event)
+    store.close()
+    return tmp_path
+
+
+class TestSweepPanel:
+    def test_progress_and_fleet_lines(self, tmp_path):
+        write_state_dir(
+            tmp_path,
+            [
+                {"event": "complete", "key": "a", "worker": "vm-1", "resumed_round": None},
+                {"event": "complete", "key": "b", "worker": "vm-1", "resumed_round": 20},
+                {"event": "complete", "key": "c", "worker": "vm-2", "resumed_round": None},
+                {"event": "re-lease", "key": "b", "worker": "vm-2", "reason": "lease expired"},
+                {"event": "cache-hit", "key": "d", "source": "remote-cache"},
+            ],
+        )
+        lines = render_sweep_panel(tmp_path)
+        text = "\n".join(lines)
+        assert "4/4" in text
+        assert "(1 failed)" in text
+        assert "re-leases 2" in text
+        assert "retries 1" in text
+        # Per-worker tallies, including checkpoint-resume provenance.
+        assert any("vm-1" in line and "completed    2" in line for line in lines)
+        assert any("vm-1" in line and "resumed-from-checkpoint 1" in line for line in lines)
+        assert any("vm-2" in line and "re-leased 1" in line for line in lines)
+        assert "remote-cache 1" in text
+
+    def test_missing_state_dir_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="state.json"):
+            render_sweep_panel(tmp_path / "nope")
+
+
+class TestBenchPanel:
+    def test_recognises_sweep_and_kernel_artifacts(self, tmp_path):
+        sweep = tmp_path / "BENCH_sweep.json"
+        sweep.write_text(
+            json.dumps(
+                {
+                    "profile": "quick",
+                    "fabric": {"speedup_4w_over_1w": 3.4},
+                    "compute": {"serial": 2.0, "broker_4w": 6.1},
+                }
+            ),
+            encoding="utf-8",
+        )
+        kernel = tmp_path / "BENCH_kernel.json"
+        kernel.write_text(
+            json.dumps({"profile": "full", "kernel_phase": {"speedup": 2.5}}), encoding="utf-8"
+        )
+        lines = render_bench_panel([sweep, kernel])
+        text = "\n".join(lines)
+        assert "fabric 4w/1w 3.40x" in text
+        assert "broker-4w 6.10 task/s" in text
+        assert "kernel-phase 2.50x" in text
+
+    def test_unreadable_artifact_is_reported_not_fatal(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{torn", encoding="utf-8")
+        lines = render_bench_panel([bad, tmp_path / "BENCH_missing.json"])
+        assert sum("unreadable" in line for line in lines) == 2
+
+    def test_unknown_sections_fall_back_to_note(self, tmp_path):
+        weird = tmp_path / "BENCH_weird.json"
+        weird.write_text(json.dumps({"profile": "quick", "something": 1}), encoding="utf-8")
+        assert any("no recognised sections" in line for line in render_bench_panel([weird]))
+
+
+class TestDashboard:
+    def test_needs_at_least_one_input(self):
+        with pytest.raises(ConfigurationError, match="dashboard needs"):
+            render_dashboard(None, [])
+
+    def test_combines_both_panels(self, tmp_path):
+        state_dir = write_state_dir(tmp_path / "state")
+        bench = tmp_path / "BENCH_sweep.json"
+        bench.write_text(json.dumps({"profile": "quick"}), encoding="utf-8")
+        lines = render_dashboard(state_dir, [bench])
+        text = "\n".join(lines)
+        assert "sweep state" in text
+        assert "perf trajectory" in text

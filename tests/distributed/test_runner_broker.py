@@ -1,0 +1,145 @@
+"""``ExperimentRunner`` broker mode: identical results, honest accounting.
+
+The broker is just another execution fabric under the runner's
+journaling/caching/replay machinery, so a broker sweep must produce
+byte-identical CSV output, and every task must be accounted to exactly
+one source (remote / remote-cache / cache / journal).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.experiments import Profile, run_experiment
+from repro.errors import DistributedError
+from repro.parallel.runner import ExperimentRunner, run_experiments
+
+TINY = Profile(name="tiny", n=256, measure=30, replicates=2, seed=4242)
+
+
+def journal_entries(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+@pytest.fixture
+def fleet(make_broker, stub_worker):
+    """A broker with two real (execute_task) workers attached."""
+    broker = make_broker()
+    stub_worker(broker.address, worker_id="fleet-a")
+    stub_worker(broker.address, worker_id="fleet-b")
+    return broker
+
+
+class TestBrokerMode:
+    def test_results_identical_to_serial(self, fleet):
+        serial = run_experiment("fig4_left", TINY)
+        report = run_experiments(["fig4_left"], profile=TINY, broker=fleet.address)
+        assert report.results[0].csv() == serial.csv()
+        assert report.tasks_remote == report.tasks_total
+        assert report.tasks_computed == report.tasks_total
+        assert sum(report.remote_workers.values()) == report.tasks_total
+        assert set(report.remote_workers) <= {"fleet-a", "fleet-b"}
+
+    def test_summary_lines_show_the_fleet(self, fleet):
+        report = run_experiments(["fig4_left"], profile=TINY, broker=fleet.address)
+        text = "\n".join(report.summary_lines())
+        assert "broker:" in text
+        assert "re-leases 0" in text
+        # The CI grep contract on the tasks line is preserved.
+        assert "remote-cache 0" in text
+
+    def test_invalid_broker_address_fails_fast(self):
+        with pytest.raises(DistributedError):
+            ExperimentRunner(profile=TINY, broker="nonsense:notaport")
+
+    def test_unreachable_broker_raises_with_hint(self):
+        runner = ExperimentRunner(profile=TINY, broker="127.0.0.1:1")
+        with pytest.raises(DistributedError, match="repro broker"):
+            runner.run(["fig4_left"])
+
+
+class TestRemoteCacheAccounting:
+    def test_local_hit_on_remote_upload_is_journaled_as_remote_cache(self, fleet, tmp_path):
+        # Run 1: broker sweep, shared cache. The runner stores each remote
+        # result with its origin (which worker computed it).
+        cache_dir = tmp_path / "shared-cache"
+        first = run_experiments(
+            ["fig4_left"], profile=TINY, broker=fleet.address, cache_dir=cache_dir
+        )
+        assert first.tasks_remote == first.tasks_total
+
+        # Drop the whole-experiment entries so the rerun has to rediscover
+        # and pull every measurement from the task-level cache.
+        for path in cache_dir.glob("*.json"):
+            if "experiment_id" in json.loads(path.read_text()):
+                path.unlink()
+
+        # Run 2: plain local run over the same cache (a fresh journal is
+        # written). Every hit was a remote worker's upload, and the journal
+        # must say so.
+        second = run_experiments(["fig4_left"], profile=TINY, cache_dir=cache_dir)
+        assert second.tasks_from_remote_cache == second.tasks_total
+        assert second.tasks_from_cache == 0
+        assert second.cache_hits == second.tasks_total
+        assert second.results[0].csv() == first.results[0].csv()
+
+        task_entries = [
+            entry
+            for entry in journal_entries(cache_dir / "journal.jsonl")
+            if entry.get("type") == "task" and entry.get("provenance")
+        ]
+        assert len(task_entries) == second.tasks_total
+        for entry in task_entries:
+            assert entry["provenance"]["source"] == "remote-cache"
+            assert entry["provenance"]["worker"] in ("fleet-a", "fleet-b")
+
+        text = "\n".join(second.summary_lines())
+        assert f"remote-cache {second.tasks_total}" in text
+
+    def test_remote_journal_provenance_records_worker(self, fleet, tmp_path):
+        cache_dir = tmp_path / "cache"
+        report = run_experiments(
+            ["fig4_left"], profile=TINY, broker=fleet.address, cache_dir=cache_dir
+        )
+        task_entries = [
+            entry
+            for entry in journal_entries(cache_dir / "journal.jsonl")
+            if entry.get("type") == "task" and entry.get("provenance")
+        ]
+        assert len(task_entries) == report.tasks_total
+        for entry in task_entries:
+            assert entry["provenance"]["source"] == "remote"
+            assert entry["provenance"]["worker"] in ("fleet-a", "fleet-b")
+
+    def test_plain_local_cache_hits_stay_plain(self, tmp_path):
+        # Guard the other side of the contract: a hit on a locally
+        # computed entry must NOT be promoted to remote-cache.
+        cache_dir = tmp_path / "cache"
+        run_experiments(["fig4_left"], profile=TINY, cache_dir=cache_dir)
+        for path in cache_dir.glob("*.json"):
+            if "experiment_id" in json.loads(path.read_text()):
+                path.unlink()
+        second = run_experiments(["fig4_left"], profile=TINY, cache_dir=cache_dir)
+        assert second.tasks_from_cache == second.tasks_total > 0
+        assert second.tasks_from_remote_cache == 0
+
+
+class TestBrokerProgress:
+    def test_live_status_reports_fleet_throughput(self, fleet):
+        stream = io.StringIO()
+        report = run_experiments(
+            ["fig4_left"],
+            profile=TINY,
+            broker=fleet.address,
+            live_status=True,
+            progress_stream=stream,
+        )
+        text = stream.getvalue()
+        assert report.tasks_remote == report.tasks_total
+        # Worker ids (not pids) appear in the per-worker tallies, and the
+        # fleet line shows live membership.
+        assert "workers" in text
+        assert "fleet" in text

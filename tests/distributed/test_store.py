@@ -1,0 +1,96 @@
+"""Durable sweep state: append-only events, atomic snapshots, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+from repro.distributed.store import SweepState, SweepStateStore, read_events
+
+
+class TestEventLog:
+    def test_events_roundtrip_in_order(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.record("broker-start", broker="b-1", port=1234)
+        store.record("lease", key="abc", worker="w-1")
+        store.record("complete", key="abc", worker="w-1", source="computed")
+        store.close()
+        events = list(read_events(tmp_path))
+        assert [e["event"] for e in events] == ["broker-start", "lease", "complete"]
+        assert events[1]["worker"] == "w-1"
+        assert all("ts" in e for e in events)
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.record("lease", key="abc", worker="w-1")
+        store.close()
+        events_path = tmp_path / "events.jsonl"
+        with open(events_path, "ab") as fh:
+            fh.write(b'{"event": "complete", "key": "ab')  # SIGKILL mid-write
+        events = list(read_events(tmp_path))
+        assert [e["event"] for e in events] == ["lease"]
+
+    def test_malformed_and_blank_lines_are_skipped(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        events_path.write_text(
+            '{"event": "a"}\n\nnot json\n["no", "type"]\n{"event": "b"}\n', encoding="utf-8"
+        )
+        assert [e["event"] for e in read_events(tmp_path)] == ["a", "b"]
+
+    def test_missing_log_yields_nothing(self, tmp_path):
+        assert list(read_events(tmp_path / "never-created")) == []
+
+    def test_record_after_close_is_a_noop(self, tmp_path):
+        # Worker sessions unwinding after shutdown race the store close;
+        # their leave events are droppable, not a crash.
+        store = SweepStateStore(tmp_path)
+        store.record("lease", key="abc")
+        store.close()
+        store.record("worker-leave", worker="w-1")
+        assert [e["event"] for e in read_events(tmp_path)] == ["lease"]
+
+    def test_reopening_appends(self, tmp_path):
+        first = SweepStateStore(tmp_path)
+        first.record("broker-start", broker="b-1")
+        first.close()
+        second = SweepStateStore(tmp_path)
+        second.record("broker-start", broker="b-2")
+        second.close()
+        brokers = [e["broker"] for e in read_events(tmp_path)]
+        assert brokers == ["b-1", "b-2"]
+
+
+class TestStateSnapshot:
+    def test_state_roundtrip(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.state.tasks_total = 10
+        store.state.tasks_done = 7
+        store.state.releases_total = 2
+        store.state.workers["w-1"] = {"completed": 7}
+        store.write_state()
+        loaded = SweepStateStore.load_state(tmp_path)
+        assert loaded is not None
+        assert loaded.tasks_total == 10
+        assert loaded.tasks_done == 7
+        assert loaded.releases_total == 2
+        assert loaded.workers == {"w-1": {"completed": 7}}
+        assert loaded.updated_unix > 0
+
+    def test_write_state_is_atomic_replace(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.write_state()
+        store.state.tasks_done = 3
+        store.write_state()
+        # No temp files left behind; the visible file is always complete.
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+        assert SweepStateStore.load_state(tmp_path).tasks_done == 3
+
+    def test_load_state_absent_or_torn_returns_none(self, tmp_path):
+        assert SweepStateStore.load_state(tmp_path) is None
+        (tmp_path / "state.json").write_text('{"tasks_total": ', encoding="utf-8")
+        assert SweepStateStore.load_state(tmp_path) is None
+
+    def test_to_dict_is_json_serialisable(self):
+        state = SweepState(tasks_total=4, by_source={"computed": 4})
+        payload = json.loads(json.dumps(state.to_dict()))
+        assert SweepState.from_dict(payload).tasks_total == 4

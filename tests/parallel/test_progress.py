@@ -182,3 +182,66 @@ class TestLiveStatusReporter:
             )
         assert list(reporter._theory_pool) == [(2, 0.75)]
         assert len(reporter.theory_errors) == 2
+
+
+class TestFleetAggregation:
+    def test_base_reporter_ignores_fleet_events(self):
+        reporter = ProgressReporter(total=1, stream=io.StringIO())
+        reporter.note_fleet_event({"kind": "re-lease", "worker": "w-1"})  # no-op, no crash
+
+    def test_remote_tasks_count_toward_throughput_and_eta(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, jobs=1, stream=stream, min_interval=0.0)
+        reporter.task_done("t1", 2.0, source="remote", worker="vm-1")
+        assert reporter.computed == 1
+        assert reporter.computed_seconds == 2.0
+        assert "eta" in stream.getvalue()
+
+    def test_live_status_aggregates_by_worker_id(self):
+        stream = io.StringIO()
+        reporter = LiveStatusReporter(total=3, stream=stream, min_interval=0.0)
+        info = {"outcome": {}, "kind": "greedy", "params": {}}
+        reporter.task_done("t1", 0.1, source="remote", worker="vm-b", **info)
+        reporter.task_done("t2", 0.1, source="remote", worker="vm-a", **info)
+        reporter.task_done("t3", 0.1, source="remote", worker="vm-b", **info)
+        assert reporter.worker_tasks == {"vm-a": 1, "vm-b": 2}
+        # Sorted by worker id: vm-a first.
+        assert "workers 2 (1/2)" in stream.getvalue()
+
+    def test_fleet_events_update_membership_and_counters(self):
+        stream = io.StringIO()
+        reporter = LiveStatusReporter(total=2, stream=stream, min_interval=0.0)
+        reporter.note_fleet_event({"kind": "worker-join", "worker": "vm-a"})
+        reporter.note_fleet_event({"kind": "worker-join", "worker": "vm-b"})
+        reporter.note_fleet_event({"kind": "re-lease", "worker": "vm-a", "key": "k1"})
+        reporter.note_fleet_event({"kind": "retry", "worker": "vm-b", "key": "k2"})
+        reporter.note_fleet_event({"kind": "worker-leave", "worker": "vm-a"})
+        assert reporter.fleet_workers == {"vm-b"}
+        assert reporter.fleet_releases == 1
+        assert reporter.fleet_retries == 1
+        reporter.task_done(
+            "t1", 0.1, source="remote", worker="vm-b", outcome={}, kind="x", params={}
+        )
+        assert "fleet 1 live" in stream.getvalue()
+        assert "re-leases 1" in stream.getvalue()
+
+    def test_completion_implies_membership_without_join_event(self):
+        # Workers that joined before this client connected never produce a
+        # join event; their completions must still light up the fleet line.
+        stream = io.StringIO()
+        reporter = LiveStatusReporter(total=1, stream=stream, min_interval=0.0)
+        reporter.task_done(
+            "t1", 0.1, source="remote", worker="early-bird", outcome={}, kind="x", params={}
+        )
+        assert reporter.fleet_workers == {"early-bird"}
+        assert "fleet 1 live" in stream.getvalue()
+
+    def test_mixed_sources_only_count_computed_and_remote(self):
+        reporter = LiveStatusReporter(total=4, stream=io.StringIO(), min_interval=0.0)
+        info = {"outcome": {}, "kind": "x", "params": {}}
+        reporter.task_done("t1", 0.5, source="computed", pid=7, **info)
+        reporter.task_done("t2", 0.5, source="remote", worker="vm-a", **info)
+        reporter.task_done("t3", 0.0, source="cache")
+        reporter.task_done("t4", 0.0, source="remote-cache")
+        assert reporter.computed == 2
+        assert reporter.worker_tasks == {7: 1, "vm-a": 1}

@@ -99,6 +99,49 @@ class TestExitStatus:
         assert run(tmp_path, baseline, artifact(BASE_ROWS)) == 0
 
 
+def sweep_artifact(speedup_2w=2.0, speedup_4w=4.0):
+    return {
+        "fabric": {
+            "speedup_2w_over_1w": speedup_2w,
+            "speedup_4w_over_1w": speedup_4w,
+        },
+        "compute": {"cpus": 1, "serial": 20.0, "broker_4w": 14.0},
+    }
+
+
+class TestSweepArtifact:
+    """BENCH_sweep.json vs baseline_sweep.json through the same script."""
+
+    def test_matching_sweep_artifacts_pass(self, tmp_path):
+        assert run(tmp_path, sweep_artifact(), sweep_artifact()) == 0
+
+    def test_fabric_regression_fails(self, tmp_path):
+        assert run(tmp_path, sweep_artifact(), sweep_artifact(speedup_4w=2.5)) == 1
+
+    def test_fabric_ratio_missing_from_current_is_error(self, tmp_path):
+        current = sweep_artifact()
+        del current["fabric"]["speedup_4w_over_1w"]
+        assert run(tmp_path, sweep_artifact(), current) == 2
+
+    def test_compute_modes_never_gate(self, tmp_path):
+        # The compute section is core-count dependent, like the engine
+        # artifact's scaling rows: a slower broker-4w must not fail.
+        current = sweep_artifact()
+        current["compute"]["broker_4w"] = 0.1
+        assert run(tmp_path, sweep_artifact(), current) == 0
+
+    def test_engine_baseline_ignores_sweep_sections(self, tmp_path):
+        # The engine baseline has no fabric section, so an engine artifact
+        # never picks up sweep gates (and vice versa: the sweep baseline's
+        # empty grid yields no grid checks).
+        assert run(tmp_path, artifact(BASE_ROWS), artifact(BASE_ROWS)) == 0
+        checks = check_regression.collect_checks(sweep_artifact(), sweep_artifact())
+        assert [c["name"] for c in checks] == [
+            "fabric.speedup_2w_over_1w",
+            "fabric.speedup_4w_over_1w",
+        ]
+
+
 class TestCollectChecks:
     def test_ratio_records(self):
         checks = check_regression.collect_checks(

@@ -576,3 +576,124 @@ class TestSimulateScenario:
         )
         assert code == 2
         assert "unknown scenario keys" in text
+
+
+class TestDistributedCli:
+    def test_parser_accepts_broker_worker_dashboard(self):
+        parser = build_parser()
+        args = parser.parse_args(["broker", "--port", "7070", "--lease-timeout", "5"])
+        assert args.command == "broker" and args.port == 7070
+        args = parser.parse_args(["worker", "127.0.0.1:7070", "--exit-when-idle"])
+        assert args.command == "worker" and args.exit_when_idle
+        args = parser.parse_args(["dashboard", "state", "--bench", "BENCH_sweep.json"])
+        assert args.command == "dashboard" and len(args.bench) == 1
+
+    def test_experiments_broker_flag_validates_address(self):
+        code, text = run_cli(
+            "experiments", "--id", "fig4_left", "--broker", "localhost:notaport"
+        )
+        assert code == 2
+        assert "invalid broker address" in text
+
+    def test_experiments_broker_rejects_checkpoint_every(self):
+        code, text = run_cli(
+            "experiments",
+            "--id",
+            "fig4_left",
+            "--broker",
+            "127.0.0.1:7070",
+            "--checkpoint-every",
+            "10",
+            "--cache-dir",
+            "unused",
+        )
+        assert code == 2
+        assert "broker-side knob" in text
+
+    def test_broker_checkpoint_every_needs_dir(self):
+        code, text = run_cli("broker", "--checkpoint-every", "10")
+        assert code == 2
+        assert "--checkpoint-dir" in text
+
+    def test_broker_rejects_bad_lease_timeout(self):
+        code, text = run_cli("broker", "--lease-timeout", "0")
+        assert code == 2
+        assert "--lease-timeout" in text
+
+    def test_worker_rejects_bad_address(self):
+        code, text = run_cli("worker", "localhost:notaport")
+        assert code == 2
+        assert "invalid broker address" in text
+
+    def test_dashboard_without_inputs_errors(self):
+        code, text = run_cli("dashboard")
+        assert code == 2
+        assert "dashboard needs" in text
+
+    def test_dashboard_renders_state_and_bench(self, tmp_path):
+        import json
+
+        from repro.distributed.store import SweepStateStore
+
+        state_dir = tmp_path / "state"
+        store = SweepStateStore(state_dir)
+        store.state.tasks_total = 2
+        store.state.tasks_done = 2
+        store.record("complete", key="a", worker="vm-1")
+        store.close()
+        bench = tmp_path / "BENCH_sweep.json"
+        bench.write_text(
+            json.dumps({"profile": "quick", "fabric": {"speedup_4w_over_1w": 3.2}}),
+            encoding="utf-8",
+        )
+        code, text = run_cli("dashboard", str(state_dir), "--bench", str(bench))
+        assert code == 0
+        assert "2/2" in text
+        assert "vm-1" in text
+        assert "fabric 4w/1w 3.20x" in text
+
+    def test_broker_mode_end_to_end(self, tmp_path):
+        # Full CLI path: experiments --broker against a live broker+worker.
+        import threading
+
+        from repro.distributed import Broker, BrokerConfig, Worker
+
+        broker = Broker(BrokerConfig(host="127.0.0.1", port=0))
+
+        import asyncio
+
+        loop_holder = {}
+
+        def serve():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            loop_holder["loop"] = loop
+            loop.run_until_complete(broker.serve())
+            loop.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        while broker.port is None:
+            pass
+        worker = Worker(f"127.0.0.1:{broker.port}", worker_id="cli-w", poll=0.02)
+        worker_thread = threading.Thread(target=worker.run, daemon=True)
+        worker_thread.start()
+        try:
+            code, text = run_cli(
+                "experiments",
+                "--id",
+                "fig4_left",
+                "--profile",
+                "quick",
+                "--broker",
+                f"127.0.0.1:{broker.port}",
+                "--no-progress",
+            )
+            assert code == 0
+            assert "broker: " in text
+            assert "on 1 worker(s) [cli-w:" in text
+        finally:
+            worker._stop = True
+            loop_holder["loop"].call_soon_threadsafe(broker.shutdown)
+            thread.join(timeout=5)
+            worker_thread.join(timeout=5)
