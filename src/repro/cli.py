@@ -13,7 +13,9 @@ Usage examples::
     repro worker 127.0.0.1:7070 --exit-when-idle
     repro experiments --all --profile quick --broker 127.0.0.1:7070 --cache-dir .repro-cache
     repro dashboard out/sweep --bench BENCH_sweep.json
+    repro dashboard out/sweep --watch --interval 2
     repro telemetry report out/tel
+    repro trace out/tel
     repro theory --c 2 --lam 0.96875 --n 4096
     repro meanfield --c 3 --lam 0.999
 
@@ -94,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture telemetry here (events.jsonl, metrics.prom, manifest.json)",
     )
     sim.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="run under cProfile and print the top hotspots (folded into the "
+        "telemetry manifest when --telemetry-dir is set); named --cprofile "
+        "because --profile is the experiments profile selector",
+    )
+    sim.add_argument(
         "--checkpoint-dir",
         type=Path,
         default=None,
@@ -152,7 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-dir",
         type=Path,
         default=None,
-        help="capture telemetry here (events.jsonl, metrics.prom, manifest.json)",
+        help="capture telemetry here (events.jsonl, metrics.prom, manifest.json; "
+        "plus trace.jsonl when the runner records task spans)",
+    )
+    exp.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="profile each computed task under cProfile; merged hotspots are "
+        "printed and folded into the telemetry manifest",
     )
     exp.add_argument(
         "--task-timeout",
@@ -219,8 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("json_b", type=Path)
     cmp_parser.add_argument("--tolerance", type=float, default=0.25)
 
-    tr = sub.add_parser("trace", help="record a run to JSONL or summarise a trace")
+    tr = sub.add_parser(
+        "trace",
+        help="record a run to JSONL, summarise a trace, or render task "
+        "timelines from a telemetry run directory (`repro trace <run-dir>`)",
+    )
     tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    tr_timeline = tr_sub.add_parser(
+        "timeline",
+        help="per-task span timelines + critical path from a run dir's "
+        "trace.jsonl (implied when the first argument is a path: "
+        "`repro trace out/tel`)",
+    )
+    tr_timeline.add_argument(
+        "run_dir",
+        type=Path,
+        help="a --telemetry-dir run directory (or a trace/events .jsonl file)",
+    )
+    tr_timeline.add_argument(
+        "--limit", type=int, default=10, help="timelines shown for the N slowest tasks"
+    )
     tr_record = tr_sub.add_parser("record", help="simulate and stream rounds to JSONL")
     tr_record.add_argument("path", type=Path)
     tr_record.add_argument("--n", type=int, default=1024)
@@ -304,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
     wrk.add_argument(
         "--quiet", action="store_true", help="suppress per-task log lines on stderr"
     )
+    wrk.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="piggyback compressed metrics snapshots on heartbeats for the "
+        "broker's fleet registry (fleet.prom)",
+    )
 
     dash = sub.add_parser("dashboard", help="sweep progress + perf trajectory")
     dash.add_argument(
@@ -322,6 +362,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="BENCH_*.json artifact(s) for the perf panel (repeatable, or a glob "
         "expanded by the shell)",
     )
+    dash.add_argument(
+        "--watch",
+        action="store_true",
+        help="auto-refresh in place until interrupted (adds per-worker fleet "
+        "panels and, with --bench, a committed-BENCH history sparkline)",
+    )
+    dash.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh cadence in seconds for --watch",
+    )
+    dash.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop --watch after N refreshes (0 = until interrupted)",
+    )
 
     return parser
 
@@ -337,22 +395,35 @@ def _args_config(args: argparse.Namespace) -> dict[str, Any]:
 
 
 @contextmanager
-def _telemetry_capture(directory: Path, config: dict[str, Any], seeds: list[int]) -> Iterator[None]:
+def _telemetry_capture(
+    directory: Path,
+    config: dict[str, Any],
+    seeds: list[int],
+    extras: dict[str, Any] | None = None,
+) -> Iterator[None]:
     """Run the body under a telemetry session, then export the run artifacts.
 
     Writes ``events.jsonl`` (streamed during the run), ``metrics.prom``, and
-    ``manifest.json`` into ``directory``. If the body raises, the partial
-    events file survives for debugging but no snapshot/manifest is written.
+    ``manifest.json`` into ``directory`` — plus ``trace.jsonl`` when the
+    body records task spans (the tracer only creates the file on first
+    write, so untraced runs leave nothing behind). ``extras`` (e.g. a
+    cProfile ``profile`` section filled in by the body) is merged into the
+    manifest top level. If the body raises, the partial events/trace files
+    survive for debugging but no snapshot/manifest is written.
     """
     from repro import telemetry
 
     directory.mkdir(parents=True, exist_ok=True)
     sink = telemetry.JsonlEventSink(directory / "events.jsonl")
-    with telemetry.session(sinks=[sink]) as tel:
+    tracer = telemetry.Tracer(directory / telemetry.TRACE_FILENAME)
+    with telemetry.session(sinks=[sink], tracer=tracer) as tel:
         yield
         snapshot = tel.registry.snapshot()
     telemetry.write_prometheus(snapshot, directory / "metrics.prom")
-    telemetry.write_manifest(telemetry.build_manifest(config, seeds, metrics=snapshot), directory)
+    manifest = telemetry.build_manifest(config, seeds, metrics=snapshot)
+    if extras:
+        manifest.update(extras)
+    telemetry.write_manifest(manifest, directory)
 
 
 def _cmd_list(out) -> int:
@@ -408,8 +479,9 @@ def _cmd_simulate(args, out) -> int:
             return 2
     if args.telemetry_dir is None:
         return _run_simulate(args, out)
-    with _telemetry_capture(args.telemetry_dir, _args_config(args), [args.seed]):
-        status = _run_simulate(args, out)
+    extras: dict[str, Any] = {}
+    with _telemetry_capture(args.telemetry_dir, _args_config(args), [args.seed], extras):
+        status = _run_simulate(args, out, extras)
     out.write(f"telemetry written to {args.telemetry_dir}\n")
     return status
 
@@ -427,7 +499,24 @@ def _load_scenario(spec: str) -> dict[str, Any]:
     return payload
 
 
-def _run_simulate(args, out) -> int:
+def _run_simulate(args, out, extras: dict[str, Any] | None = None) -> int:
+    if args.cprofile:
+        from repro.telemetry.profiling import profile_call, profile_section
+
+        status, hotspots = profile_call(_measure_simulate, args, out)
+        if extras is not None:
+            extras["profile"] = profile_section(hotspots, tasks_profiled=1)
+        out.write("cProfile hotspots (by cumulative time):\n")
+        for entry in hotspots[:5]:
+            out.write(
+                f"  {entry['function']}  cum {entry['cumtime']:.3f}s "
+                f"tot {entry['tottime']:.3f}s calls {entry['ncalls']}\n"
+            )
+        return status
+    return _measure_simulate(args, out)
+
+
+def _measure_simulate(args, out) -> int:
     if args.process == "greedy":
         point = measure_greedy(
             n=args.n,
@@ -526,19 +615,21 @@ def _cmd_experiments(args, out) -> int:
     if args.telemetry_dir is None:
         return _run_experiments_cmd(args, out)
     seeds = [PROFILES[args.profile].seed]
-    with _telemetry_capture(args.telemetry_dir, _args_config(args), seeds):
-        status = _run_experiments_cmd(args, out)
+    extras: dict[str, Any] = {}
+    with _telemetry_capture(args.telemetry_dir, _args_config(args), seeds, extras):
+        status = _run_experiments_cmd(args, out, extras)
     out.write(f"telemetry written to {args.telemetry_dir}\n")
     return status
 
 
-def _run_experiments_cmd(args, out) -> int:
+def _run_experiments_cmd(args, out, extras: dict[str, Any] | None = None) -> int:
     from repro.analysis.export import save_result
     from repro.analysis.report import write_report
 
     ids = sorted(EXPERIMENTS) if args.all else [args.id]
     # --live-status rides on the parallel runner's progress reporter, so it
-    # engages the runner even for a plain serial run.
+    # engages the runner even for a plain serial run (--cprofile likewise:
+    # per-task profiling happens inside the runner's task wrapper).
     use_runner = (
         args.jobs != 1
         or args.resume
@@ -546,6 +637,7 @@ def _run_experiments_cmd(args, out) -> int:
         or args.live_status
         or args.checkpoint_every is not None
         or args.broker is not None
+        or args.cprofile
     )
     report = None
     errors: dict[str, str] = {}
@@ -565,7 +657,14 @@ def _run_experiments_cmd(args, out) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             broker=args.broker,
+            cprofile=args.cprofile,
         )
+        if extras is not None and report.hotspots:
+            from repro.telemetry.profiling import profile_section
+
+            extras["profile"] = profile_section(
+                report.hotspots, tasks_profiled=report.tasks_profiled
+            )
         produced = {result.experiment_id: result for result in report.results}
         errors.update(report.failures)
     failed_checks: list[str] = []
@@ -689,6 +788,8 @@ def _cmd_trace(args, out) -> int:
     from repro.engine.metrics import MetricsCollector
     from repro.engine.trace import TraceWriter, read_trace
 
+    if args.trace_command == "timeline":
+        return _cmd_trace_timeline(args, out)
     if args.trace_command == "record":
         process = CappedProcess(n=args.n, capacity=args.c, lam=args.lam, rng=args.seed)
         with TraceWriter(args.path) as writer:
@@ -707,6 +808,32 @@ def _cmd_trace(args, out) -> int:
     out.write(f"max_wait     {summary.max_wait}\n")
     out.write(f"p99_wait     {summary.wait_p99}\n")
     out.write(f"peak_load    {summary.peak_max_load}\n")
+    return 0
+
+
+def _cmd_trace_timeline(args, out) -> int:
+    """Render per-task span timelines from a telemetry run directory."""
+    from repro.errors import ConfigurationError
+    from repro.telemetry.tracing import (
+        TRACE_FILENAME,
+        assemble_traces,
+        read_spans,
+        render_trace_report,
+    )
+
+    path = args.run_dir
+    if path.is_dir():
+        path = path / TRACE_FILENAME
+    try:
+        spans = read_spans(path)
+    except ConfigurationError as err:
+        out.write(f"error: {err}\n")
+        return 2
+    except OSError as err:
+        out.write(f"error: cannot read trace at {path}: {err}\n")
+        return 2
+    traces = assemble_traces(spans)
+    out.write(render_trace_report(traces, limit=args.limit))
     return 0
 
 
@@ -800,6 +927,7 @@ def _cmd_worker(args, out) -> int:
             worker_id=args.id,
             exit_when_idle=args.exit_when_idle,
             log=None if args.quiet else sys.stderr,
+            telemetry=args.telemetry,
         )
     except DistributedError as err:
         out.write(f"error: {err}\n")
@@ -809,17 +937,68 @@ def _cmd_worker(args, out) -> int:
 
 
 def _cmd_dashboard(args, out) -> int:
+    import time
+
     from repro.distributed import render_dashboard
     from repro.errors import ConfigurationError
 
+    def render_once() -> tuple[int, list[str]]:
+        try:
+            return 0, render_dashboard(
+                args.state_dir, args.bench or [], history=args.watch
+            )
+        except ConfigurationError as err:
+            return 2, [f"error: {err}"]
+
+    if not args.watch:
+        status, lines = render_once()
+        for line in lines:
+            out.write(line + "\n")
+        return status
+
+    # --watch: re-render on an interval. On a TTY each frame repaints the
+    # screen in place; elsewhere frames are separated by a stamp line so
+    # logs stay greppable. A vanished/incomplete state dir renders as the
+    # error line and keeps watching — brokers often start after the
+    # dashboard does.
+    from repro.parallel.progress import stream_is_tty
+
+    is_tty = stream_is_tty(out)
+    iteration = 0
+    status = 0
     try:
-        lines = render_dashboard(args.state_dir, args.bench or [])
-    except ConfigurationError as err:
-        out.write(f"error: {err}\n")
-        return 2
-    for line in lines:
-        out.write(line + "\n")
-    return 0
+        while True:
+            iteration += 1
+            status, lines = render_once()
+            stamp = time.strftime("%H:%M:%S")
+            if is_tty:
+                out.write("\x1b[2J\x1b[H")
+            out.write(f"--- repro dashboard  {stamp}  (refresh {iteration}) ---\n")
+            for line in lines:
+                out.write(line + "\n")
+            try:
+                out.flush()
+            except (AttributeError, OSError):  # pragma: no cover - exotic streams
+                pass
+            if args.iterations and iteration >= args.iterations:
+                return status
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return status
+
+
+def _normalize_argv(argv: list[str]) -> list[str]:
+    """Shorthand expansion: ``repro trace <run-dir>`` → ``trace timeline``.
+
+    ``trace`` predates span tracing with required ``record``/``summarize``
+    subcommands; a first argument that is none of the subcommand names
+    (and not a help flag) is a run-dir/trace-file path, so the ``timeline``
+    subcommand is implied.
+    """
+    if len(argv) >= 2 and argv[0] == "trace":
+        if argv[1] not in ("record", "summarize", "timeline", "-h", "--help"):
+            return ["trace", "timeline", *argv[1:]]
+    return argv
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -834,7 +1013,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     from repro.errors import SHUTDOWN_EXIT_CODE, GracefulShutdown
 
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     try:
         if args.command == "list":
             return _cmd_list(out)

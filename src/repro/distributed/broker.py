@@ -54,9 +54,22 @@ from repro.distributed.protocol import (
 from repro.distributed.store import SweepStateStore
 from repro.errors import ProtocolError
 from repro.parallel.cache import ResultCache
+from repro.telemetry.fleet import decompress_snapshot, merge_fleet_snapshots
+from repro.telemetry.registry import HISTOGRAM_QUANTILES, MetricsRegistry, quantile_key
 from repro.telemetry.runtime import current as _telemetry_current
+from repro.telemetry.sinks import write_prometheus
+from repro.telemetry.tracing import SpanBuffer, build_span
 
-__all__ = ["Broker", "BrokerConfig", "resolve_address", "run_broker"]
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "FLEET_PROM_FILENAME",
+    "resolve_address",
+    "run_broker",
+]
+
+#: Prometheus textfile of the merged fleet registry, inside ``--state-dir``.
+FLEET_PROM_FILENAME = "fleet.prom"
 
 #: Statuses a task moves through; "done"/"failed" are terminal.
 QUEUED, LEASED, DONE, FAILED = "queued", "leased", "done", "failed"
@@ -99,6 +112,13 @@ class _Task:
     releases: int = 0  # lease lapses / worker deaths survived
     result: dict[str, Any] | None = None
     error: str | None = None
+    # Tracing context from the submitting client ({"trace", "parent"});
+    # None when the run is untraced — every span site guards on it.
+    trace: dict[str, Any] | None = None
+    queued_since: float = 0.0  # wall-clock start of the current queue wait
+    lease_span: str | None = None  # open span id of the current lease
+    lease_started: float = 0.0
+    lease_seq: int = 0  # 1-based lease attempt counter (re-lease chains)
 
 
 @dataclass
@@ -140,6 +160,13 @@ class Broker:
         self.queue: list[str] = []  # FIFO of queued task keys
         self.workers: dict[str, _WorkerConn] = {}
         self.clients: list[_ClientConn] = []
+        # Fleet telemetry: the broker's own registry (lease latency, queue
+        # depth, release/retry counters — independent of any process-wide
+        # telemetry session) plus the latest piggybacked snapshot per
+        # worker, merged into fleet.prom and the fleet-stats broadcast.
+        self.metrics = MetricsRegistry()
+        self.worker_metrics: dict[str, dict[str, Any]] = {}
+        self._spans = SpanBuffer("b")  # span-id minter for broker spans
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopping = asyncio.Event()
@@ -190,6 +217,90 @@ class Broker:
                 await write_frame_async(client.writer, frame)
             except (ConnectionError, ProtocolError, OSError):
                 pass  # the client-reader loop owns disconnect handling
+
+    # ------------------------------------------------------------------
+    # fleet tracing + telemetry
+    # ------------------------------------------------------------------
+
+    def _make_span(
+        self,
+        task: _Task,
+        name: str,
+        start: float,
+        end: float | None = None,
+        *,
+        parent: str | None = None,
+        **attrs: Any,
+    ) -> dict[str, Any]:
+        """Mint a broker-origin span in this task's trace.
+
+        Parent defaults to the client's root ``task`` span so every hop
+        hangs off the same tree even when leases interleave.
+        """
+        assert task.trace is not None
+        return build_span(
+            task.trace["trace"],
+            self._spans.mint_id(),
+            name,
+            start,
+            end,
+            parent=parent if parent is not None else task.trace.get("parent"),
+            **attrs,
+        )
+
+    async def _emit_span(self, span: dict[str, Any]) -> None:
+        """Persist one lifecycle span durably and stream it to clients.
+
+        The span lands in the broker's ``events.jsonl`` (tailable with
+        :func:`repro.telemetry.tracing.read_spans`) and is broadcast as an
+        event frame so the submitting client can append it to the run's
+        ``trace.jsonl``.
+        """
+        self._record("span", **{k: v for k, v in span.items() if k != "event"})
+        await self._broadcast_event("span", span=span)
+
+    def _note_worker_metrics(self, worker_id: str, frame: dict[str, Any]) -> None:
+        """Absorb a piggybacked registry snapshot from a worker frame."""
+        blob = frame.get("metrics")
+        if not blob:
+            return
+        snapshot = decompress_snapshot(blob)
+        if snapshot is not None:
+            self.worker_metrics[worker_id] = snapshot
+
+    def _fleet_stats(self) -> dict[str, Any]:
+        """Queue/latency digest broadcast to clients after each resolve."""
+        stats: dict[str, Any] = {
+            "queue_depth": len(self.queue),
+            "leased": sum(1 for t in self.tasks.values() if t.status == LEASED),
+            "workers": len(self.workers),
+            "releases": sum(t.releases for t in self.tasks.values()),
+            "retries": sum(t.attempts for t in self.tasks.values()),
+            "tasks_done": sum(1 for t in self.tasks.values() if t.status == DONE),
+            "tasks_total": len(self.tasks),
+        }
+        histogram = self.metrics.get("fleet_task_seconds")
+        stream = histogram.stream() if histogram is not None else None
+        if stream is not None and stream.count:
+            for q in HISTOGRAM_QUANTILES:
+                stats[quantile_key(q)] = round(stream.quantile(q), 6)
+        return stats
+
+    def _write_fleet_prom(self) -> None:
+        """Render the merged fleet registry as a Prometheus textfile.
+
+        Worker snapshots arrive compressed on heartbeat/complete frames;
+        the merge labels each worker's series with ``worker=...`` while the
+        broker's own series stay unlabelled.
+        """
+        if self.store is None:
+            return
+        self.metrics.gauge(
+            "fleet_queue_depth", "Tasks waiting for a lease."
+        ).set(len(self.queue))
+        self.metrics.gauge("fleet_workers", "Connected workers.").set(len(self.workers))
+        snapshot = merge_fleet_snapshots(self.worker_metrics, base=self.metrics.snapshot())
+        write_prometheus(snapshot, self.store.directory / FLEET_PROM_FILENAME)
 
     # ------------------------------------------------------------------
     # task lifecycle
@@ -262,14 +373,63 @@ class Broker:
                 pass
         self._gauges()
         self._snapshot_state()
+        self._write_fleet_prom()
+        await self._broadcast_event("fleet-stats", **self._fleet_stats())
 
     async def _complete_task(self, task: _Task, result: dict[str, Any], worker_id: str) -> None:
+        # Transient telemetry riders: worker-minted spans and the upload
+        # start stamp travel on the result but are not part of the outcome
+        # — strip them before the bundle is cached or forwarded to clients
+        # (span events reach clients separately, via _emit_span).
+        worker_spans = result.pop("spans", None)
+        upload_start = result.pop("upload_start", None)
         task.status = DONE
         task.worker = worker_id
         task.result = result
+        elapsed = float(result.get("elapsed", 0.0) or 0.0)
+        fleet_seconds = self.metrics.histogram(
+            "fleet_task_seconds", "Per-task compute seconds across the fleet."
+        )
+        fleet_seconds.observe(elapsed)
+        fleet_seconds.observe(elapsed, worker=worker_id)
+        if task.trace is not None:
+            now = time.time()
+            for span in worker_spans or []:
+                if isinstance(span, dict):
+                    await self._emit_span(span)
+            if upload_start is not None:
+                await self._emit_span(
+                    self._make_span(
+                        task,
+                        "upload",
+                        float(upload_start),
+                        now,
+                        parent=task.lease_span,
+                        worker=worker_id,
+                    )
+                )
+            if task.lease_span is not None:
+                await self._emit_span(
+                    build_span(
+                        task.trace["trace"],
+                        task.lease_span,
+                        "leased",
+                        task.lease_started,
+                        now,
+                        parent=task.trace.get("parent"),
+                        worker=worker_id,
+                        seq=task.lease_seq,
+                        status="ok",
+                    )
+                )
+                task.lease_span = None
         if self.cache is not None:
             entry: dict[str, Any] = {
-                "spec": {k: v for k, v in task.payload.items() if k != "checkpoint"},
+                "spec": {
+                    k: v
+                    for k, v in task.payload.items()
+                    if k not in ("checkpoint", "trace", "cprofile")
+                },
                 "outcome": result["outcome"],
                 "origin": {"worker": worker_id, "broker": self.broker_id},
             }
@@ -303,10 +463,32 @@ class Broker:
         worker_id = task.worker
         task.releases += 1
         self._count("broker_releases_total")
+        self.metrics.counter(
+            "fleet_releases_total", "Leases taken back from silent workers."
+        ).inc()
         self._record("re-lease", key=task.key, worker=worker_id, reason=reason)
         await self._broadcast_event(
             "re-lease", key=task.key, worker=worker_id, reason=reason, releases=task.releases
         )
+        if task.trace is not None and task.lease_span is not None:
+            # Close the dead lease attempt; the re-lease chain shows up in
+            # the trace as queued → leased(released) → queued → leased(ok).
+            await self._emit_span(
+                build_span(
+                    task.trace["trace"],
+                    task.lease_span,
+                    "leased",
+                    task.lease_started,
+                    time.time(),
+                    parent=task.trace.get("parent"),
+                    worker=worker_id,
+                    seq=task.lease_seq,
+                    status="released",
+                    reason=reason,
+                )
+            )
+            task.lease_span = None
+        task.queued_since = time.time()
         if task.releases > self.config.max_releases:
             task.status = FAILED
             task.error = (
@@ -323,6 +505,23 @@ class Broker:
     async def _fail_task(self, task: _Task, error: str, worker_id: str) -> None:
         task.attempts += 1
         self._record("fail", key=task.key, worker=worker_id, error=error, attempts=task.attempts)
+        if task.trace is not None and task.lease_span is not None:
+            await self._emit_span(
+                build_span(
+                    task.trace["trace"],
+                    task.lease_span,
+                    "leased",
+                    task.lease_started,
+                    time.time(),
+                    parent=task.trace.get("parent"),
+                    worker=worker_id,
+                    seq=task.lease_seq,
+                    status="failed",
+                    error=error,
+                )
+            )
+            task.lease_span = None
+        task.queued_since = time.time()
         if task.attempts > self.config.max_retries:
             task.status = FAILED
             task.worker = worker_id
@@ -332,6 +531,9 @@ class Broker:
         # Only an actual requeue is a retry — the terminal failure above
         # surfaces as task_failed, mirroring the local pool's accounting.
         self._count("broker_retries_total")
+        self.metrics.counter(
+            "fleet_retries_total", "Tasks requeued after a worker-side error."
+        ).inc()
         await self._broadcast_event(
             "retry", key=task.key, worker=worker_id, error=error, attempts=task.attempts
         )
@@ -468,15 +670,36 @@ class Broker:
             checkpoint = self._checkpoint_plumbing(task.key)
             if checkpoint is not None:
                 message["checkpoint"] = checkpoint
+            if task.trace is not None:
+                now = time.time()
+                await self._emit_span(
+                    self._make_span(task, "queued", task.queued_since or now, now)
+                )
+                queue_seconds = now - task.queued_since if task.queued_since else 0.0
+                self.metrics.histogram(
+                    "fleet_queue_seconds", "Seconds a task waited for a lease."
+                ).observe(max(0.0, queue_seconds))
+                task.lease_seq += 1
+                task.lease_span = self._spans.mint_id()
+                task.lease_started = now
+                # The worker parents its running span under this lease span
+                # and mints its own ids, prefixed by its worker id.
+                message["trace"] = {
+                    "trace": task.trace["trace"],
+                    "parent": task.lease_span,
+                    "origin": worker.worker_id,
+                }
             await write_frame_async(worker.writer, message)
             return
         key = frame.get("key")
         task = self.tasks.get(key) if isinstance(key, str) else None
         if kind == "heartbeat":
+            self._note_worker_metrics(worker.worker_id, frame)
             if task is not None and task.status == LEASED and task.worker == worker.worker_id:
                 task.deadline = time.monotonic() + self.config.lease_timeout
             return
         if kind == "complete":
+            self._note_worker_metrics(worker.worker_id, frame)
             worker.leased.discard(key)
             if task is None or task.status in (DONE, FAILED):
                 # Duplicate completion of a re-leased task: idempotent keys
@@ -532,6 +755,8 @@ class Broker:
         self._record("submit", run=client.run_id, tasks=len(entries))
         for entry in entries:
             key = entry["key"]
+            trace_ctx = entry.get("trace")
+            trace_ctx = trace_ctx if isinstance(trace_ctx, dict) and trace_ctx.get("trace") else None
             task = self.tasks.get(key)
             if task is None:
                 task = _Task(
@@ -539,7 +764,13 @@ class Broker:
                     payload=dict(entry["payload"]),
                     run_id=client.run_id,
                     fingerprint=client.fingerprint,
+                    trace=trace_ctx,
+                    queued_since=time.time(),
                 )
+                if task.trace is not None:
+                    await self._emit_span(
+                        self._make_span(task, "submitted", time.time(), run=client.run_id)
+                    )
                 cached = self._cached_result(task)
                 if cached is not None:
                     bundle, source = cached
@@ -550,6 +781,13 @@ class Broker:
                     self.tasks[key] = task
                     client.outstanding.add(key)
                     self._record("cache-hit", key=key, source=source, run=client.run_id)
+                    if task.trace is not None:
+                        # Zero-length queue wait: the chain stays complete
+                        # (submitted → queued) even when nothing ran.
+                        now = time.time()
+                        await self._emit_span(
+                            self._make_span(task, "queued", now, now, source=source)
+                        )
                     await self._resolve(task, source=source)
                     continue
                 self.tasks[key] = task
@@ -618,6 +856,7 @@ class Broker:
             if self._sessions:
                 await asyncio.gather(*self._sessions, return_exceptions=True)
             self._record("broker-stop", broker=self.broker_id)
+            self._write_fleet_prom()
             self._write_manifest()
             if self.store is not None:
                 self.store.close()
@@ -634,7 +873,9 @@ class Broker:
         from repro.telemetry.manifest import build_manifest, write_manifest
 
         tel = _telemetry_current()
-        metrics = tel.registry.snapshot() if tel is not None else {}
+        # Without a process-wide telemetry session the broker still has its
+        # own fleet registry — the manifest is never metrics-blind.
+        metrics = tel.registry.snapshot() if tel is not None else self.metrics.snapshot()
         config = {
             "role": "broker",
             "broker": self.broker_id,

@@ -11,21 +11,40 @@ Two panels:
   artifact with its headline speedups, so the performance record across
   commits is readable at a glance next to the sweep it gates.
 
-Everything is stdlib text rendering; the CLI writes the lines to stdout.
+Plus two optional panels:
+
+* **Fleet** — per-worker latency quantiles and counters parsed back out
+  of the broker's ``fleet.prom`` textfile (written beside ``state.json``
+  when workers piggyback telemetry snapshots);
+* **History** — a sparkline of each benchmark artifact's headline metric
+  across its committed versions (``git log``/``git show``), so a perf
+  regression is visible as a dip without opening any JSON.
+
+Everything is stdlib text rendering; the CLI writes the lines to stdout
+(``--watch`` re-renders on an interval).
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 from typing import Any
 
 from repro.distributed.store import SweepStateStore, read_events
 from repro.errors import ConfigurationError
 
-__all__ = ["render_dashboard", "render_sweep_panel", "render_bench_panel"]
+__all__ = [
+    "render_dashboard",
+    "render_sweep_panel",
+    "render_bench_panel",
+    "render_fleet_panel",
+    "render_bench_history",
+]
 
 _BAR_WIDTH = 40
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_HISTORY_DEPTH = 20  # committed versions per artifact in the sparkline
 
 
 def _bar(done: int, failed: int, total: int) -> str:
@@ -84,6 +103,63 @@ def render_sweep_panel(state_dir: Path | str) -> list[str]:
     return lines
 
 
+def render_fleet_panel(state_dir: Path | str) -> list[str]:
+    """Per-worker telemetry lines from the broker's ``fleet.prom``.
+
+    Empty list (not an error) when the file is absent — fleet telemetry
+    is opt-in per worker, so most sweeps have no panel here.
+    """
+    from repro.telemetry.sinks import parse_prometheus
+
+    prom_path = Path(state_dir) / "fleet.prom"
+    try:
+        text = prom_path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    try:
+        families = parse_prometheus(text)
+    except (ValueError, IndexError):
+        return [f"fleet telemetry: {prom_path} is unparseable; skipping panel"]
+    lines = ["fleet telemetry:"]
+    fleet = families.get("fleet_task_seconds", {"samples": []})
+    quantiles: dict[str, dict[str, float]] = {}  # worker ("" = fleet) -> q -> value
+    counts: dict[str, float] = {}
+    for sample in fleet["samples"]:
+        labels = sample.get("labels", {})
+        worker = labels.get("worker", "")
+        if sample["name"].endswith("_count"):
+            counts[worker] = sample["value"]
+        elif "quantile" in labels:
+            quantiles.setdefault(worker, {})[labels["quantile"]] = sample["value"]
+    if "" in quantiles or "" in counts:
+        q = quantiles.get("", {})
+        lines.append(
+            f"  fleet    tasks {int(counts.get('', 0)):4d}  "
+            f"p50 {q.get('0.5', float('nan')):.2f}s  "
+            f"p95 {q.get('0.95', float('nan')):.2f}s  "
+            f"p99 {q.get('0.99', float('nan')):.2f}s"
+        )
+    per_worker: dict[str, list[str]] = {}
+    for family_name, family in sorted(families.items()):
+        if not family_name.startswith("worker_"):
+            continue
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            worker = labels.get("worker")
+            if not worker:
+                continue
+            rest = {k: v for k, v in labels.items() if k != "worker"}
+            tag = "".join(f" {k}={v}" for k, v in sorted(rest.items()))
+            per_worker.setdefault(worker, []).append(
+                f"{sample['name']}{tag} {sample['value']:g}"
+            )
+    for worker in sorted(per_worker):
+        lines.append(f"  {worker}:")
+        for entry in per_worker[worker]:
+            lines.append(f"    {entry}")
+    return lines if len(lines) > 1 else []
+
+
 def _headline(payload: dict[str, Any]) -> str:
     """One-line summary of a BENCH_*.json artifact's key ratios."""
     parts: list[str] = []
@@ -112,7 +188,11 @@ def _headline(payload: dict[str, Any]) -> str:
 
 
 def render_bench_panel(bench_paths: list[Path | str]) -> list[str]:
-    """Perf-trajectory lines, one per readable benchmark artifact."""
+    """Perf-trajectory lines, one per readable benchmark artifact.
+
+    Malformed artifacts (unreadable, non-JSON, or not a JSON object) are
+    skipped with an explanatory note rather than aborting the panel.
+    """
     lines = ["perf trajectory:"]
     rendered = 0
     for path in bench_paths:
@@ -120,7 +200,10 @@ def render_bench_panel(bench_paths: list[Path | str]) -> list[str]:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            lines.append(f"  {path.name:24s} (unreadable)")
+            lines.append(f"  {path.name:24s} (unreadable; skipped)")
+            continue
+        if not isinstance(payload, dict):
+            lines.append(f"  {path.name:24s} (malformed: not a JSON object; skipped)")
             continue
         profile = payload.get("profile", "?")
         lines.append(f"  {path.name:24s} profile={profile:8s} {_headline(payload)}")
@@ -130,8 +213,102 @@ def render_bench_panel(bench_paths: list[Path | str]) -> list[str]:
     return lines
 
 
+def _headline_scalar(payload: dict[str, Any]) -> float | None:
+    """The single number a benchmark artifact trends on, if any."""
+    if not isinstance(payload, dict):
+        return None
+    for section, key in (
+        ("kernel_phase", "speedup"),
+        ("general_c", "speedup"),
+        ("fabric", "speedup_4w_over_1w"),
+        ("compute", "broker_4w"),
+    ):
+        value = (payload.get(section) or {}) if isinstance(payload.get(section), dict) else {}
+        if isinstance(value.get(key), (int, float)):
+            return float(value[key])
+    return None
+
+
+def _sparkline(values: list[float]) -> str:
+    """Unicode block sparkline, scaled to the sample's own min/max."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round((v - lo) / span * top)] for v in values)
+
+
+def _git(repo: Path, *argv: str) -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(repo), *argv],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return proc.stdout if proc.returncode == 0 else None
+
+
+def render_bench_history(bench_paths: list[Path | str]) -> list[str]:
+    """Sparkline of each artifact's headline metric across git history.
+
+    Walks the committed versions of each ``BENCH_*.json`` (oldest →
+    newest, capped at the most recent 20) plus the working-tree copy.
+    Degrades to a note — never an error — when git or the history is
+    unavailable, since the dashboard must also work on exported dirs.
+    """
+    lines = ["perf history (committed BENCH artifacts):"]
+    rendered = 0
+    for path in bench_paths:
+        path = Path(path).resolve()
+        root_text = _git(path.parent, "rev-parse", "--show-toplevel")
+        if root_text is None:
+            continue
+        repo = Path(root_text.strip())
+        try:
+            rel = path.relative_to(repo)
+        except ValueError:
+            continue
+        log = _git(repo, "log", "--format=%H", "--reverse", "--", str(rel))
+        shas = [s for s in (log or "").split() if s][-_HISTORY_DEPTH:]
+        values: list[float] = []
+        for sha in shas:
+            shown = _git(repo, "show", f"{sha}:{rel.as_posix()}")
+            if shown is None:
+                continue
+            try:
+                scalar = _headline_scalar(json.loads(shown))
+            except ValueError:
+                continue  # malformed committed version: skip that point
+            if scalar is not None:
+                values.append(scalar)
+        try:
+            current = _headline_scalar(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):
+            current = None
+        if current is not None and (not values or values[-1] != current):
+            values.append(current)
+        if not values:
+            continue
+        lines.append(
+            f"  {path.name:24s} {_sparkline(values)}  "
+            f"{values[0]:.2f} -> {values[-1]:.2f} over {len(values)} point(s)"
+        )
+        rendered += 1
+    if rendered == 0:
+        lines.append("  (no git history for benchmark artifacts)")
+    return lines
+
+
 def render_dashboard(
-    state_dir: Path | str | None, bench_paths: list[Path | str] | None = None
+    state_dir: Path | str | None,
+    bench_paths: list[Path | str] | None = None,
+    history: bool = False,
 ) -> list[str]:
     """Assemble the full dashboard. At least one panel must have input."""
     if state_dir is None and not bench_paths:
@@ -139,8 +316,15 @@ def render_dashboard(
     lines: list[str] = []
     if state_dir is not None:
         lines.extend(render_sweep_panel(state_dir))
+        fleet = render_fleet_panel(state_dir)
+        if fleet:
+            lines.append("")
+            lines.extend(fleet)
     if bench_paths:
         if lines:
             lines.append("")
         lines.extend(render_bench_panel(bench_paths))
+        if history:
+            lines.append("")
+            lines.extend(render_bench_history(bench_paths))
     return lines

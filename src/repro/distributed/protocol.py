@@ -12,29 +12,45 @@ Frame vocabulary (the ``type`` key), by direction:
 worker → broker
     ``hello``      role="worker", worker id, protocol + code fingerprint
     ``lease``      request one task
-    ``heartbeat``  the leased task ``key`` is still making progress
+    ``heartbeat``  the leased task ``key`` is still making progress;
+                   optional ``metrics`` = compressed registry snapshot
     ``complete``   finished task: ``key`` + the execute_task result bundle
+                   (which may carry transient ``spans``/``upload_start``
+                   telemetry riders); optional ``metrics`` as above
     ``fail``       task raised: ``key`` + error string
     ``bye``        clean disconnect
 
 broker → worker
     ``welcome``    protocol echo, heartbeat interval, lease timeout
-    ``task``       a leased payload (with any checkpoint plumbing attached)
+    ``task``       a leased payload (with any checkpoint plumbing attached;
+                   optional ``trace`` = per-lease span context
+                   ``{"trace", "parent", "origin"}``)
     ``idle``       no work right now (``drain`` tells the worker a
                    ``--exit-when-idle`` fleet may stand down)
     ``error``      protocol/fingerprint rejection (connection then closes)
 
 client → broker
     ``hello``      role="client", run id, code fingerprint
-    ``submit``     batch of ``{"key", "payload"}`` tasks to execute
+    ``submit``     batch of ``{"key", "payload"}`` tasks to execute; each
+                   entry may carry an optional ``trace`` context
+                   (``{"trace", "parent"}``) minted by the submitting run
 
 broker → client
     ``result``     one finished task: key, outcome bundle, provenance
                    (worker identity, source, releases, resumed_round)
     ``task_failed`` a task that exhausted its retry/release budget
     ``event``      forwarded fleet telemetry (worker join/leave, lease,
-                   re-lease) for live progress aggregation
+                   re-lease, ``span`` lifecycle records, aggregated
+                   ``fleet-stats``) for live progress aggregation
     ``done``       every submitted task is resolved
+
+Version policy: :data:`PROTOCOL` is a strict-equality handshake, so it is
+bumped only on *incompatible* changes. The telemetry fields above
+(``metrics``, ``trace``, ``span``/``fleet-stats`` events) are **additive
+and optional** — every peer ignores them when absent and emits them only
+when the other side can tolerate extra keys — so ``repro-broker/v1``
+still names this dialect; see ``docs/distributed.md`` for the field-level
+compatibility notes.
 
 Delivery contract: **at-least-once**. Task keys are content-addressed
 digests (:func:`repro.parallel.keys.task_digest`), so re-executing a

@@ -59,21 +59,44 @@ class WorkerStats:
 
 
 class _Heartbeat:
-    """Daemon thread pulsing ``heartbeat`` frames for the leased key."""
+    """Daemon thread pulsing ``heartbeat`` frames for the leased key.
 
-    def __init__(self, sock: socket.socket, lock: threading.Lock, key: str, interval: float):
+    With ``metrics_fn`` set, each pulse piggybacks a compressed
+    :class:`~repro.telemetry.registry.MetricsRegistry` snapshot in the
+    frame's ``metrics`` field — the broker merges these into the fleet
+    registry. ``metrics_fn`` runs on the heartbeat thread and must not
+    raise; a snapshot failure silently degrades to a plain heartbeat.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        lock: threading.Lock,
+        key: str,
+        interval: float,
+        metrics_fn: Callable[[], str | None] | None = None,
+    ):
         self._sock = sock
         self._lock = lock
         self._key = key
         self._interval = interval
+        self._metrics_fn = metrics_fn
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            frame: dict[str, Any] = {"type": "heartbeat", "key": self._key}
+            if self._metrics_fn is not None:
+                try:
+                    blob = self._metrics_fn()
+                except Exception:  # noqa: BLE001 - telemetry must not kill the pulse
+                    blob = None
+                if blob:
+                    frame["metrics"] = blob
             try:
                 with self._lock:
-                    send_frame(self._sock, {"type": "heartbeat", "key": self._key})
+                    send_frame(self._sock, frame)
             except OSError:
                 return  # socket is gone; the main loop will notice on send
 
@@ -106,6 +129,12 @@ class Worker:
     task_fn:
         Execution hook (tests override it); defaults to
         :func:`repro.parallel.tasks.execute_task`.
+    telemetry:
+        Keep a private :class:`~repro.telemetry.registry.MetricsRegistry`
+        of task counts/latencies and piggyback compressed snapshots on
+        heartbeat and complete frames for fleet aggregation. Off by
+        default; never touches the process-wide telemetry session or any
+        simulation RNG.
     """
 
     def __init__(
@@ -118,6 +147,7 @@ class Worker:
         reconnect_backoff: float = 0.25,
         task_fn: Callable[[dict[str, Any]], dict[str, Any]] | None = None,
         log=None,
+        telemetry: bool = False,
     ) -> None:
         from repro.distributed.broker import resolve_address
 
@@ -131,6 +161,30 @@ class Worker:
         self.log = log
         self.stats = WorkerStats()
         self._stop = False
+        self.registry = None
+        if telemetry:
+            from repro.telemetry.registry import MetricsRegistry
+
+            self.registry = MetricsRegistry()
+
+    def _snapshot_blob(self) -> str | None:
+        """Compressed registry snapshot for frame piggybacking (or None)."""
+        if self.registry is None or not len(self.registry):
+            return None
+        from repro.telemetry.fleet import compress_snapshot
+
+        return compress_snapshot(self.registry.snapshot())
+
+    def _observe_task(self, kind: str, elapsed: float | None, *, failed: bool = False) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "worker_tasks_total", "Tasks finished by this worker."
+        ).inc(status="failed" if failed else "ok")
+        if elapsed is not None:
+            self.registry.histogram(
+                "worker_task_seconds", "Per-task compute seconds on this worker."
+            ).observe(float(elapsed), kind=kind)
 
     def _say(self, message: str) -> None:
         if self.log is not None:
@@ -212,12 +266,21 @@ class Worker:
             payload = dict(frame["payload"])
             if frame.get("checkpoint"):
                 payload["checkpoint"] = frame["checkpoint"]
-            label = TaskSpec.from_payload(payload).label
+            if frame.get("trace"):
+                # Per-lease trace context, minted by the broker: the
+                # running span parents under *this* lease attempt, and the
+                # worker's span ids are prefixed by its fleet identity.
+                payload["trace"] = dict(frame["trace"], origin=self.worker_id)
+            spec = TaskSpec.from_payload(payload)
+            label = spec.label
             self._say(f"leased {label}")
-            with _Heartbeat(sock, send_lock, key, heartbeat_interval):
+            with _Heartbeat(
+                sock, send_lock, key, heartbeat_interval, metrics_fn=self._snapshot_blob
+            ):
                 try:
                     result = self._execute(payload)
                 except Exception as err:  # noqa: BLE001 - forwarded to the broker
+                    self._observe_task(spec.kind, None, failed=True)
                     with send_lock:
                         send_frame(
                             sock,
@@ -230,13 +293,21 @@ class Worker:
                     self.stats.failed += 1
                     self._say(f"failed {label}: {err}")
                     continue
+            self._observe_task(spec.kind, result.get("elapsed"))
+            # Stamped before the chaos window below so the broker-closed
+            # upload span covers serialization, the wire, and any stall.
+            result["upload_start"] = time.time()
             # Chaos hook for the preemption tests: lets CI kill a worker in
             # the window between computing a result and uploading it, to
             # prove a torn upload is re-leased and recomputed losslessly.
             maybe_chaos(f"upload {label}")
             result["worker"] = self.worker_id
+            complete: dict[str, Any] = {"type": "complete", "key": key, "result": result}
+            blob = self._snapshot_blob()
+            if blob:
+                complete["metrics"] = blob
             with send_lock:
-                send_frame(sock, {"type": "complete", "key": key, "result": result})
+                send_frame(sock, complete)
             self.stats.completed += 1
             if result.get("resumed_round") is not None:
                 self.stats.resumed += 1

@@ -75,7 +75,8 @@ class TimingStats:
                 f"  {group:10s} count={len(values)} total={sum(values):.2f}s "
                 f"mean={sum(values) / len(values):.2f}s "
                 f"p50={_quantile(values, 0.5):.2f}s "
-                f"p95={_quantile(values, 0.95):.2f}s max={values[-1]:.2f}s"
+                f"p95={_quantile(values, 0.95):.2f}s "
+                f"p99={_quantile(values, 0.99):.2f}s max={values[-1]:.2f}s"
             )
         return lines
 
@@ -189,6 +190,8 @@ class LiveStatusReporter(ProgressReporter):
         self.fleet_workers: set[str] = set()
         self.fleet_releases = 0
         self.fleet_retries = 0
+        # Latest broker-aggregated quantile digest (fleet-stats events).
+        self.fleet_stats: dict[str, Any] = {}
         self.theory_errors: list[float] = []
         self._theory_pool: dict[tuple[int, float], float | None] = {}
         self._started = time.monotonic()
@@ -243,6 +246,12 @@ class LiveStatusReporter(ProgressReporter):
             self.fleet_releases += 1
         elif kind == "retry":
             self.fleet_retries += 1
+        elif kind == "fleet-stats":
+            # Broker-side digest of fleet task latency and queue depth;
+            # last write wins (each event supersedes the previous one).
+            self.fleet_stats = {
+                k: v for k, v in event.items() if k not in ("type", "kind")
+            }
 
     def _write_line(self, text: str, final: bool) -> None:
         extras = []
@@ -253,6 +262,17 @@ class LiveStatusReporter(ProgressReporter):
             extras.append(f"workers {len(self.worker_tasks)} ({counts})  {rate:.2f} task/s")
         if self.fleet_workers or self.fleet_releases:
             extras.append(f"fleet {len(self.fleet_workers)} live  re-leases {self.fleet_releases}")
+        if self.fleet_stats:
+            quantiles = "/".join(
+                f"{self.fleet_stats[key]:.2f}s"
+                for key in ("p50", "p95", "p99")
+                if isinstance(self.fleet_stats.get(key), (int, float))
+            )
+            depth = self.fleet_stats.get("queue_depth")
+            parts = [f"q {depth}" if depth is not None else "", quantiles]
+            summary = "  ".join(p for p in parts if p)
+            if summary:
+                extras.append(f"fleet-lat {summary}")
         if self.report is not None:
             extras.append(
                 f"retries {getattr(self.report, 'tasks_retried', 0)}  "

@@ -64,6 +64,7 @@ from repro.parallel.tasks import (
     result_payload,
 )
 from repro.telemetry.runtime import current as _telemetry_current, span as _span
+from repro.telemetry.tracing import build_span, trace_id_for
 
 __all__ = ["ExperimentRunner", "RunnerReport", "TaskFailure", "run_experiments"]
 
@@ -101,6 +102,8 @@ class RunnerReport:
     tasks_retried: int = 0
     tasks_quarantined: int = 0
     quarantined: list[dict] = field(default_factory=list)
+    tasks_profiled: int = 0
+    hotspots: list[dict] = field(default_factory=list)
     experiments_total: int = 0
     experiments_from_journal: int = 0
     experiments_from_cache: int = 0
@@ -150,6 +153,13 @@ class RunnerReport:
             )
         if self.journal_corrupt_lines:
             lines.append(f"journal: skipped {self.journal_corrupt_lines} torn line(s)")
+        if self.tasks_profiled:
+            lines.append(f"profiled: {self.tasks_profiled} task(s) under cProfile")
+            for entry in self.hotspots[:5]:
+                lines.append(
+                    f"  hotspot: {entry['function']}  cum {entry['cumtime']:.3f}s "
+                    f"({entry['ncalls']} calls)"
+                )
         if self.tasks_retried:
             lines.append(f"retries: {self.tasks_retried} task attempt(s) retried")
         if self.pool_rebuilds:
@@ -226,6 +236,11 @@ class ExperimentRunner:
         byte-identical to ``--jobs 1``. Checkpoint placement for
         re-leased tasks is configured on the *broker*, which owns the
         snapshot directories.
+    cprofile:
+        Run each computed task under cProfile and fold the merged top-N
+        hotspots into ``RunnerReport.hotspots`` (the CLI copies them into
+        the run manifest). Opt-in only — profiling costs 10-30% wall
+        clock — and invisible to task digests and outcomes.
 
     Graceful shutdown: while :meth:`run` executes on the main thread,
     SIGINT/SIGTERM stop the sweep at the next task boundary — the journal
@@ -250,6 +265,7 @@ class ExperimentRunner:
         checkpoint_every: int | None = None,
         checkpoint_dir: Path | str | None = None,
         broker: str | None = None,
+        cprofile: bool = False,
     ) -> None:
         from repro.analysis.experiments import PROFILES, Profile
         from repro.errors import ExperimentError
@@ -303,6 +319,10 @@ class ExperimentRunner:
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
         self.max_pool_rebuilds = max_pool_rebuilds
+        # Opt-in cProfile around each computed task; hotspots land in the
+        # RunnerReport (and, via the CLI, the run manifest). Never affects
+        # task digests or outcomes — it is runner plumbing like checkpoints.
+        self.cprofile = cprofile
 
     # ------------------------------------------------------------------
     # graceful shutdown
@@ -594,6 +614,7 @@ class ExperimentRunner:
         from repro.distributed.client import BrokerClient, RemoteTaskFailure
 
         tel = _telemetry_current()
+        tracer = tel.tracer if tel is not None else None
         labels = {
             TaskSpec.from_payload(payload).digest: TaskSpec.from_payload(payload).label
             for payload in payloads
@@ -601,6 +622,19 @@ class ExperimentRunner:
 
         def on_event(event: dict) -> None:
             kind = event.get("kind")
+            if kind == "span":
+                # Broker-minted lifecycle spans (queued/leased) stream in
+                # as events; they belong in the trace file, not the fleet
+                # counters.
+                if tracer is not None and isinstance(event.get("span"), dict):
+                    tracer.add(event["span"])
+                return
+            if kind == "fleet-stats":
+                # Aggregated fleet quantiles for the live status line; no
+                # counter bookkeeping (they are a gauge, not an event).
+                if progress is not None:
+                    progress.note_fleet_event(event)
+                return
             if kind == "re-lease":
                 report.tasks_releases += 1
             elif kind == "retry":
@@ -789,6 +823,11 @@ class ExperimentRunner:
                 **kwargs,
             )
         tel = _telemetry_current()
+        tracer = tel.tracer if tel is not None else None
+        # digest -> {trace, root span id, submit time}; populated when a
+        # task enters the compute queue, consumed when its result lands.
+        pending_traces: dict[str, dict[str, Any]] = {}
+        profiled_hotspots: list[list[dict]] = []
 
         def account(spec: TaskSpec, source: str, elapsed: float = 0.0) -> None:
             """Telemetry for one task leaving the queue (no-op when off)."""
@@ -890,6 +929,21 @@ class ExperimentRunner:
                     "dir": str(self.checkpoint_dir / digest),
                     "every": self.checkpoint_every,
                 }
+            if self.cprofile:
+                payload["cprofile"] = True  # plumbing key, digest-invisible
+            if tracer is not None:
+                # Mint the trace at submit time: the root span id is
+                # reserved now so every downstream span (broker lease,
+                # worker running) can parent onto it; the root itself is
+                # written once the task journals.
+                trace_id = trace_id_for(digest)
+                root_id = tracer.mint_id()
+                pending_traces[digest] = {
+                    "trace": trace_id,
+                    "root": root_id,
+                    "submitted": time.time(),
+                }
+                payload["trace"] = {"trace": trace_id, "parent": root_id}
             to_compute.append(payload)
 
         if self.broker is not None:
@@ -899,6 +953,22 @@ class ExperimentRunner:
         for payload, computed in task_stream:
             spec = TaskSpec.from_payload(payload)
             if isinstance(computed, TaskFailure):
+                if tracer is not None:
+                    entry = pending_traces.pop(spec.digest, None)
+                    if entry is not None:
+                        tracer.add(
+                            build_span(
+                                entry["trace"],
+                                entry["root"],
+                                "task",
+                                entry["submitted"],
+                                time.time(),
+                                label=spec.label,
+                                digest=spec.digest,
+                                source="quarantined",
+                                error=computed.error,
+                            )
+                        )
                 quarantine(spec, computed.error, computed.attempts, journaled=False)
                 continue
             outcome, elapsed = computed["outcome"], computed["elapsed"]
@@ -945,6 +1015,41 @@ class ExperimentRunner:
                 # The outcome is durable (journaled and/or cached); its
                 # snapshots have served their purpose.
                 shutil.rmtree(self.checkpoint_dir / spec.digest, ignore_errors=True)
+            if self.cprofile and computed.get("hotspots"):
+                profiled_hotspots.append(computed["hotspots"])
+            if tracer is not None:
+                entry = pending_traces.pop(spec.digest, None)
+                if entry is not None:
+                    trace_id, root_id = entry["trace"], entry["root"]
+                    bundle_spans = computed.get("spans") or []
+                    for span in bundle_spans:
+                        tracer.add(span)  # worker-minted: running/checkpoint
+                    if self.broker is None:
+                        # No broker to time the queue; approximate it as
+                        # submit → compute start (pool backlog + pickling).
+                        running = next(
+                            (s for s in bundle_spans if s["name"] == "running"), None
+                        )
+                        queue_end = running["start"] if running else time.time()
+                        tracer.record(
+                            trace_id, "queued", entry["submitted"], queue_end, parent=root_id
+                        )
+                    finished = time.time()
+                    tracer.record(trace_id, "journaled", finished, parent=root_id)
+                    attrs: dict[str, Any] = {
+                        "label": spec.label,
+                        "digest": spec.digest,
+                        "source": source,
+                    }
+                    if worker:
+                        attrs["worker"] = worker
+                    if computed.get("releases"):
+                        attrs["releases"] = int(computed["releases"])
+                    tracer.add(
+                        build_span(
+                            trace_id, root_id, "task", entry["submitted"], finished, **attrs
+                        )
+                    )
             account(spec, source, elapsed if source in ("computed", "remote") else 0.0)
             if progress is not None:
                 progress.task_done(
@@ -957,6 +1062,13 @@ class ExperimentRunner:
                     kind=spec.kind,
                     params=spec.params,
                 )
+
+        if profiled_hotspots:
+            from repro.telemetry.profiling import merge_hotspots
+
+            report.tasks_profiled += len(profiled_hotspots)
+            seeded = [report.hotspots] if report.hotspots else []
+            report.hotspots = merge_hotspots(seeded + profiled_hotspots)
 
         complete: dict[str, list[dict]] = {}
         for key, values in outcomes.items():
@@ -987,6 +1099,7 @@ def run_experiments(
     checkpoint_every: int | None = None,
     checkpoint_dir: Path | str | None = None,
     broker: str | None = None,
+    cprofile: bool = False,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     runner = ExperimentRunner(
@@ -1003,5 +1116,6 @@ def run_experiments(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         broker=broker,
+        cprofile=cprofile,
     )
     return runner.run(experiment_ids)

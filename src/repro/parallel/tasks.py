@@ -77,18 +77,24 @@ class TaskSpec:
 def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
     """Run one replicate measurement; returns its outcome and timing.
 
-    The optional ``checkpoint`` payload key (``{"dir": ..., "every": ...}``)
-    is runner plumbing, not part of the task identity:
-    :meth:`TaskSpec.from_payload` ignores it, so the task digest — and hence
-    the journal/cache key — is byte-identical with checkpointing on or off.
-    When the worker resumes from an existing snapshot the returned
-    ``resumed_round`` records that provenance for the journal.
+    The optional ``checkpoint``/``trace``/``cprofile`` payload keys are
+    runner plumbing, not part of the task identity:
+    :meth:`TaskSpec.from_payload` ignores them, so the task digest — and
+    hence the journal/cache key — is byte-identical with checkpointing,
+    tracing, or profiling on or off. ``trace`` is a span context
+    (``{"trace": id, "parent": span-id, "origin": minter-prefix}``): the
+    worker then returns its lifecycle spans (``running``, and a
+    ``checkpoint`` point span on resume) in the transient bundle.
+    ``cprofile`` wraps the measurement in cProfile and returns top-N
+    ``hotspots``. Journal and cache persist only the outcome, so neither
+    ever affects results.
     """
     from repro.analysis.sweep import run_replicate
 
     checkpoint = payload.get("checkpoint") or {}
     checkpoint_dir = checkpoint.get("dir")
     checkpoint_every = checkpoint.get("every")
+    trace_ctx = payload.get("trace") or None
     spec = TaskSpec.from_payload(payload)
     # Chaos hook for runner fault-tolerance tests: a no-op unless the
     # REPRO_CHAOS environment variable deliberately arms it.
@@ -101,21 +107,61 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
         # restore from the same store when it starts stepping.
         resumed_round = CheckpointStore(checkpoint_dir).latest_round()
     start = time.perf_counter()
-    outcome = run_replicate(
-        spec.kind,
-        spec.params,
-        spec.replicate,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-    )
+    started_unix = time.time()
+    hotspots = None
+    if payload.get("cprofile"):
+        from repro.telemetry.profiling import profile_call
+
+        outcome, hotspots = profile_call(
+            run_replicate,
+            spec.kind,
+            spec.params,
+            spec.replicate,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
+    else:
+        outcome = run_replicate(
+            spec.kind,
+            spec.params,
+            spec.replicate,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
+    elapsed = time.perf_counter() - start
     # The pid feeds per-worker throughput in --live-status; the journal
     # and cache persist only the outcome, so it never affects results.
-    return {
+    bundle = {
         "outcome": outcome.to_dict(),
-        "elapsed": time.perf_counter() - start,
+        "elapsed": elapsed,
         "pid": os.getpid(),
         "resumed_round": resumed_round,
     }
+    if hotspots is not None:
+        bundle["hotspots"] = hotspots
+    if trace_ctx and trace_ctx.get("trace"):
+        from repro.telemetry.tracing import SpanBuffer
+
+        spans = SpanBuffer(str(trace_ctx.get("origin") or f"p{os.getpid()}"))
+        parent = trace_ctx.get("parent")
+        running = spans.record(
+            trace_ctx["trace"],
+            "running",
+            started_unix,
+            started_unix + elapsed,
+            parent=parent,
+            pid=os.getpid(),
+        )
+        if resumed_round is not None:
+            spans.record(
+                trace_ctx["trace"],
+                "checkpoint",
+                started_unix,
+                parent=running,
+                resumed_round=resumed_round,
+            )
+        bundle["spans"] = spans.drain()
+    return bundle
 
 
 def profile_payload(profile: Any) -> dict[str, Any]:

@@ -25,14 +25,33 @@ from repro.telemetry.manifest import (
     validate_manifest,
     write_manifest,
 )
+from repro.telemetry.fleet import (
+    compress_snapshot,
+    decompress_snapshot,
+    merge_fleet_snapshots,
+)
+from repro.telemetry.profiling import merge_hotspots, profile_call, profile_section
 from repro.telemetry.registry import (
     HISTOGRAM_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_key,
 )
 from repro.telemetry.report import phase_attribution, render_report, report_run_dir
+from repro.telemetry.tracing import (
+    TRACE_FILENAME,
+    SpanBuffer,
+    TaskTrace,
+    Tracer,
+    assemble_traces,
+    build_span,
+    read_spans,
+    render_trace_report,
+    trace_gaps,
+    trace_id_for,
+)
 from repro.telemetry.runtime import (
     PhaseClock,
     Telemetry,
@@ -56,6 +75,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HISTOGRAM_QUANTILES",
+    "quantile_key",
     "Telemetry",
     "PhaseClock",
     "current",
@@ -78,4 +98,20 @@ __all__ = [
     "phase_attribution",
     "render_report",
     "report_run_dir",
+    "TRACE_FILENAME",
+    "Tracer",
+    "SpanBuffer",
+    "TaskTrace",
+    "trace_id_for",
+    "build_span",
+    "read_spans",
+    "assemble_traces",
+    "trace_gaps",
+    "render_trace_report",
+    "compress_snapshot",
+    "decompress_snapshot",
+    "merge_fleet_snapshots",
+    "profile_call",
+    "merge_hotspots",
+    "profile_section",
 ]

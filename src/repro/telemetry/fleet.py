@@ -1,0 +1,136 @@
+"""Fleet telemetry aggregation: piggybacked snapshots and registry merge.
+
+Workers with telemetry enabled attach a compressed
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` to their
+heartbeat and ``complete`` frames (``zlib`` + base64 of the compact JSON
+— a typical snapshot compresses to a few hundred bytes, well under the
+frame cap). The broker keeps the latest snapshot per worker and
+:func:`merge_fleet_snapshots` folds them into one fleet-wide snapshot:
+
+* every worker series gains a ``worker`` label, so per-worker breakdowns
+  survive the merge (``round_seconds{kernel="fused",worker="w-ab12"}``);
+* counter families additionally get an aggregate series per base label
+  set (values summed across workers);
+* histogram families get an aggregate with **exact** ``count/sum/min/max``
+  (these merge losslessly); quantiles are per-worker only — reservoir
+  quantiles cannot be merged exactly, and a wrong p99 is worse than none.
+
+The merged snapshot renders through the ordinary Prometheus exporter
+(:func:`repro.telemetry.sinks.render_prometheus`) into the broker's
+``fleet.prom`` textfile.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import zlib
+from typing import Any
+
+__all__ = [
+    "compress_snapshot",
+    "decompress_snapshot",
+    "merge_fleet_snapshots",
+]
+
+
+def compress_snapshot(snapshot: dict[str, Any]) -> str:
+    """Registry snapshot → compact ASCII string safe to embed in a frame."""
+    raw = json.dumps(snapshot, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return base64.b64encode(zlib.compress(raw, level=6)).decode("ascii")
+
+
+def decompress_snapshot(text: str) -> dict[str, Any] | None:
+    """Inverse of :func:`compress_snapshot`; None on any malformed input.
+
+    The broker calls this on bytes a remote worker sent — a corrupt or
+    stale-format payload must degrade to "no metrics from that worker",
+    never crash the fleet.
+    """
+    try:
+        raw = zlib.decompress(base64.b64decode(text.encode("ascii"), validate=True))
+        snapshot = json.loads(raw.decode("utf-8"))
+    except (binascii.Error, zlib.error, UnicodeDecodeError, ValueError, AttributeError):
+        return None
+    if not isinstance(snapshot, dict):
+        return None
+    return snapshot
+
+
+def _series_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _merge_histogram(aggregate: dict[str, Any], series: dict[str, Any]) -> None:
+    count = int(series.get("count") or 0)
+    aggregate["count"] = aggregate.get("count", 0) + count
+    aggregate["sum"] = aggregate.get("sum", 0.0) + float(series.get("sum") or 0.0)
+    for key, pick in (("min", min), ("max", max)):
+        value = series.get(key)
+        if value is None:
+            continue
+        current = aggregate.get(key)
+        aggregate[key] = value if current is None else pick(current, value)
+
+
+def merge_fleet_snapshots(
+    per_worker: dict[str, dict[str, Any]],
+    base: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold per-worker registry snapshots into one fleet snapshot.
+
+    ``base`` (the broker's own registry snapshot — queue depth, lease
+    latency quantiles, re-lease counters) passes through unlabelled.
+    Worker families whose kind conflicts with an already-merged family of
+    the same name are skipped rather than corrupting the export.
+    """
+    out: dict[str, Any] = {}
+    if base:
+        for name, family in base.items():
+            out[name] = {
+                "kind": family.get("kind"),
+                "help": family.get("help", ""),
+                "series": [dict(s) for s in family.get("series", ())],
+            }
+    aggregates: dict[str, dict[tuple[tuple[str, str], ...], dict[str, Any]]] = {}
+    for worker in sorted(per_worker):
+        snapshot = per_worker[worker]
+        if not isinstance(snapshot, dict):
+            continue
+        for name, family in snapshot.items():
+            if not isinstance(family, dict) or "series" not in family:
+                continue
+            kind = family.get("kind")
+            merged = out.setdefault(
+                name, {"kind": kind, "help": family.get("help", ""), "series": []}
+            )
+            if merged["kind"] != kind:
+                continue
+            for series in family["series"]:
+                labels = dict(series.get("labels") or {})
+                labelled = dict(series)
+                labelled["labels"] = {**labels, "worker": worker}
+                merged["series"].append(labelled)
+                if kind not in ("counter", "histogram"):
+                    continue
+                slot = aggregates.setdefault(name, {}).setdefault(
+                    _series_key(labels), {"labels": labels, "kind": kind}
+                )
+                if kind == "counter":
+                    slot["value"] = slot.get("value", 0.0) + float(series.get("value") or 0.0)
+                else:
+                    _merge_histogram(slot, series)
+    for name, by_labels in aggregates.items():
+        series_list = out[name]["series"]
+        for slot in by_labels.values():
+            kind = slot.pop("kind")
+            if kind == "histogram":
+                slot.setdefault("count", 0)
+                slot.setdefault("sum", 0.0)
+                slot.setdefault("min", None)
+                slot.setdefault("max", None)
+            series_list.append(slot)
+    for family in out.values():
+        family["series"].sort(key=lambda s: _series_key(s.get("labels") or {}))
+    return out

@@ -94,13 +94,25 @@ def write_manifest(manifest: dict[str, Any], run_dir: Path | str) -> Path:
 
 
 def load_manifest(run_dir: Path | str) -> dict[str, Any]:
-    """Read and validate the manifest of a run directory (or file path)."""
+    """Read and validate the manifest of a run directory (or file path).
+
+    Every failure mode — missing file, unreadable file, malformed JSON,
+    schema violation — surfaces as :class:`ConfigurationError` so CLI
+    callers can print one clear line and exit 2 instead of tracebacking.
+    """
     path = Path(run_dir)
     if path.is_dir():
         path = path / MANIFEST_FILENAME
     if not path.exists():
         raise ConfigurationError(f"no {MANIFEST_FILENAME} found at {path}")
-    manifest = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read manifest at {path}: {exc}") from exc
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"manifest at {path} is not valid JSON: {exc}") from exc
     validate_manifest(manifest)
     return manifest
 
@@ -137,3 +149,10 @@ def validate_manifest(manifest: Any) -> None:
             raise ConfigurationError(
                 f"manifest metric {name!r} must be a snapshot family with kind + series"
             )
+    profile = manifest.get("profile")
+    if profile is not None:  # optional: only --cprofile runs carry it
+        if not isinstance(profile, dict) or not isinstance(profile.get("top"), list):
+            raise ConfigurationError("manifest profile must be an object with a 'top' list")
+        for entry in profile["top"]:
+            if not isinstance(entry, dict) or "function" not in entry:
+                raise ConfigurationError("manifest profile.top entries must name a function")

@@ -1,0 +1,105 @@
+"""Opt-in cProfile capture around task execution (``--cprofile``).
+
+Profiling is strictly opt-in: ``cProfile`` slows the interpreter by
+10-30%, so it must never run unless asked for. When enabled, each task's
+profile is reduced to its top-N hotspots (by cumulative time) and the
+per-task lists are merged into one ranked table that
+:func:`repro.cli` folds into the run manifest under the optional
+``"profile"`` key — so the question "where did this run's CPU go?" is
+answerable from the manifest alone, months later.
+
+The profiler observes the interpreter, not the simulation: it draws no
+randomness and mutates no simulator state, so profiled runs keep the
+bit-identical-CSV guarantee (the equivalence test covers it).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["profile_call", "merge_hotspots", "profile_section"]
+
+#: Hotspots retained per task and in the merged manifest table.
+DEFAULT_TOP = 20
+
+
+def _function_key(func: tuple[str, int, str]) -> str:
+    """Short, stable label for a profiled function: ``pkg/mod.py:42(name)``."""
+    filename, lineno, name = func
+    if filename.startswith("~") or filename == "<string>":
+        return f"{filename}(name)" if name == "?" else f"<builtin>({name})"
+    parts = Path(filename).parts
+    short = "/".join(parts[-2:]) if len(parts) >= 2 else filename
+    return f"{short}:{lineno}({name})"
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = DEFAULT_TOP, **kwargs: Any
+) -> tuple[Any, list[dict[str, Any]]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile; return (result, hotspots).
+
+    Hotspots are ``{"function", "ncalls", "tottime", "cumtime"}`` dicts,
+    ranked by cumulative time, truncated to ``top`` entries. Exceptions
+    from ``fn`` propagate unchanged (the profile for a failed call is
+    discarded — a half-run profile would skew the merged table).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    hotspots: list[dict[str, Any]] = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        hotspots.append(
+            {
+                "function": _function_key(func),
+                "ncalls": int(nc),
+                "tottime": round(float(tottime), 6),
+                "cumtime": round(float(cumtime), 6),
+            }
+        )
+    hotspots.sort(key=lambda h: (-h["cumtime"], h["function"]))
+    return result, hotspots[: max(1, top)]
+
+
+def merge_hotspots(
+    per_task: list[list[dict[str, Any]]], top: int = DEFAULT_TOP
+) -> list[dict[str, Any]]:
+    """Merge per-task hotspot lists into one ranked table.
+
+    Same function observed in several tasks accumulates; ranking is by
+    total cumulative time. Tolerant of malformed entries (a remote worker
+    on older code may ship a different shape) — they are skipped.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for hotspot_list in per_task:
+        if not isinstance(hotspot_list, list):
+            continue
+        for entry in hotspot_list:
+            if not isinstance(entry, dict) or "function" not in entry:
+                continue
+            slot = merged.setdefault(
+                str(entry["function"]),
+                {"function": str(entry["function"]), "ncalls": 0, "tottime": 0.0, "cumtime": 0.0},
+            )
+            slot["ncalls"] += int(entry.get("ncalls") or 0)
+            slot["tottime"] = round(slot["tottime"] + float(entry.get("tottime") or 0.0), 6)
+            slot["cumtime"] = round(slot["cumtime"] + float(entry.get("cumtime") or 0.0), 6)
+    ranked = sorted(merged.values(), key=lambda h: (-h["cumtime"], h["function"]))
+    return ranked[: max(1, top)]
+
+
+def profile_section(
+    hotspots: list[dict[str, Any]], tasks_profiled: int
+) -> dict[str, Any]:
+    """The optional ``"profile"`` block for the run manifest."""
+    return {
+        "profiler": "cProfile",
+        "tasks_profiled": int(tasks_profiled),
+        "top": list(hotspots),
+    }

@@ -33,13 +33,30 @@ from typing import Any, Iterator
 
 from repro.errors import ConfigurationError
 
-__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram", "HISTOGRAM_QUANTILES"]
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_QUANTILES",
+    "quantile_key",
+]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: Quantiles reported by histogram snapshots and the Prometheus summary.
-HISTOGRAM_QUANTILES = (0.5, 0.95)
+#: Exact up to the reservoir size (4096 observations), nearest-rank after.
+HISTOGRAM_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_key(q: float) -> str:
+    """Snapshot key for quantile ``q`` — ``p50``, ``p95``, ``p99``.
+
+    ``round`` rather than ``int``: ``int(0.99 * 100)`` is 98 under binary
+    floating point, which would silently mislabel the tail quantile.
+    """
+    return f"p{round(q * 100)}"
 
 #: Reservoir size for histogram quantiles; below this, quantiles are exact.
 _RESERVOIR_SIZE = 4096
@@ -218,8 +235,9 @@ class MetricsRegistry:
         """Plain-data view of every family, for manifests and reports.
 
         Histogram series expose ``count/sum/min/max`` plus the quantiles in
-        :data:`HISTOGRAM_QUANTILES` (keys ``p50``, ``p95``); counter and
-        gauge series expose ``value``. Everything is JSON-serialisable.
+        :data:`HISTOGRAM_QUANTILES` (keys ``p50``, ``p95``, ``p99``);
+        counter and gauge series expose ``value``. Everything is
+        JSON-serialisable.
         """
         out: dict[str, Any] = {}
         for family in self.families():
@@ -232,9 +250,8 @@ class MetricsRegistry:
                     entry["min"] = raw.min if raw.count else None
                     entry["max"] = raw.max if raw.count else None
                     for q in HISTOGRAM_QUANTILES:
-                        key = f"p{int(q * 100)}"
                         value = raw.quantile(q)
-                        entry[key] = None if math.isnan(value) else value
+                        entry[quantile_key(q)] = None if math.isnan(value) else value
                 else:
                     entry["value"] = raw
                 series_list.append(entry)

@@ -41,7 +41,8 @@ def phase_attribution(metrics: dict[str, Any]) -> list[dict[str, Any]]:
     series sharing those labels. Returns rows::
 
         {"labels": {...}, "rounds": int, "total_s": float,
-         "phases": [{"phase", "seconds", "count", "fraction", "p50", "p95"}, ...],
+         "phases": [{"phase", "seconds", "count", "fraction",
+                     "p50", "p95", "p99"}, ...],
          "attributed_s": float, "coverage": float}
 
     ``coverage`` is attributed/total in [0, 1] (1.0 when total is zero).
@@ -71,6 +72,7 @@ def phase_attribution(metrics: dict[str, Any]) -> list[dict[str, Any]]:
                     "fraction": seconds / total if total > 0 else 0.0,
                     "p50": p.get("p50"),
                     "p95": p.get("p95"),
+                    "p99": p.get("p99"),
                 }
             )
         rows.append(
@@ -123,12 +125,14 @@ def render_report(manifest: dict[str, Any]) -> list[str]:
             f"[{label_text}] rounds={row['rounds']} total={_fmt_seconds(row['total_s'])} "
             f"attributed={row['coverage'] * 100:.1f}%"
         )
-        lines.append(f"  {'phase':<10} {'time':>10} {'share':>7} {'p50':>10} {'p95':>10}")
+        lines.append(
+            f"  {'phase':<10} {'time':>10} {'share':>7} {'p50':>10} {'p95':>10} {'p99':>10}"
+        )
         for p in row["phases"]:
             lines.append(
                 f"  {p['phase']:<10} {_fmt_seconds(p['seconds']):>10} "
                 f"{p['fraction'] * 100:>6.1f}% {_fmt_seconds(p['p50']):>10} "
-                f"{_fmt_seconds(p['p95']):>10}"
+                f"{_fmt_seconds(p['p95']):>10} {_fmt_seconds(p.get('p99')):>10}"
             )
         residual = row["total_s"] - row["attributed_s"]
         lines.append(

@@ -54,11 +54,20 @@ class Telemetry:
     ``sinks`` receive discrete events (task completions, fault actions,
     coarse phase spans) as they happen. Events are timestamped with both
     wall-clock (``ts``) and seconds-since-enable (``elapsed_s``).
+    ``tracer`` (a :class:`repro.telemetry.tracing.Tracer`, optional)
+    receives distributed task-lifecycle spans; instrumented sites treat a
+    ``None`` tracer exactly like a disabled session.
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None, sinks: Any = ()) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sinks: Any = (),
+        tracer: Any = None,
+    ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sinks = list(sinks)
+        self.tracer = tracer
         self.started_unix = time.time()
         self.started_monotonic = time.perf_counter()
 
@@ -97,9 +106,13 @@ class Telemetry:
             sink.emit(payload)
 
     def close(self) -> None:
-        """Close every sink that has a ``close`` method."""
+        """Close every sink (and the tracer) that has a ``close`` method."""
         for sink in self.sinks:
             close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        if self.tracer is not None:
+            close = getattr(self.tracer, "close", None)
             if close is not None:
                 close()
 
@@ -116,7 +129,9 @@ def current() -> Telemetry | None:
     return _ACTIVE
 
 
-def enable(telemetry: Telemetry | None = None, *, sinks: Any = ()) -> Telemetry:
+def enable(
+    telemetry: Telemetry | None = None, *, sinks: Any = (), tracer: Any = None
+) -> Telemetry:
     """Activate a telemetry session process-wide and return it.
 
     Enabling while a session is active is an error — nested sessions would
@@ -127,9 +142,9 @@ def enable(telemetry: Telemetry | None = None, *, sinks: Any = ()) -> Telemetry:
         raise ConfigurationError(
             "telemetry is already enabled; call disable() before enabling a new session"
         )
-    if telemetry is not None and sinks:
-        raise ConfigurationError("pass sinks to the Telemetry constructor, not both")
-    _ACTIVE = telemetry if telemetry is not None else Telemetry(sinks=sinks)
+    if telemetry is not None and (sinks or tracer is not None):
+        raise ConfigurationError("pass sinks/tracer to the Telemetry constructor, not both")
+    _ACTIVE = telemetry if telemetry is not None else Telemetry(sinks=sinks, tracer=tracer)
     return _ACTIVE
 
 
@@ -146,9 +161,9 @@ def disable() -> Telemetry | None:
 
 
 @contextmanager
-def session(sinks: Any = ()) -> Iterator[Telemetry]:
+def session(sinks: Any = (), tracer: Any = None) -> Iterator[Telemetry]:
     """``with telemetry.session() as tel: ...`` — enable, then clean up."""
-    tel = enable(sinks=sinks)
+    tel = enable(sinks=sinks, tracer=tracer)
     try:
         yield tel
     finally:

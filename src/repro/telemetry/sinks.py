@@ -26,7 +26,7 @@ import json
 from pathlib import Path
 from typing import Any, IO, Iterator
 
-from repro.telemetry.registry import HISTOGRAM_QUANTILES
+from repro.telemetry.registry import HISTOGRAM_QUANTILES, quantile_key
 
 __all__ = [
     "JsonlEventSink",
@@ -126,8 +126,10 @@ def render_prometheus(snapshot: dict[str, Any]) -> str:
             labels = dict(series["labels"])
             if kind == "histogram":
                 for q in HISTOGRAM_QUANTILES:
+                    if quantile_key(q) not in series:
+                        continue  # older snapshot without this quantile
                     quantiled = _render_labels({**labels, "quantile": str(q)})
-                    value = series[f"p{int(q * 100)}"]
+                    value = series[quantile_key(q)]
                     lines.append(f"{name}{quantiled} {_format_value(value)}")
                 plain = _render_labels(labels)
                 lines.append(f"{name}_sum{plain} {_format_value(series['sum'])}")

@@ -1,0 +1,419 @@
+"""Fleet-wide task tracing: span records, trace files, timeline reports.
+
+Every task an :class:`~repro.parallel.runner.ExperimentRunner` computes
+gets a **trace id** (derived from the task's content digest, so it is
+stable across retries and re-leases within a run). Each lifecycle hop is
+recorded as a **span** — a closed interval with a name, parent link, and
+attributes — and appended to a per-run ``trace.jsonl``. In broker mode
+the same span records also land in the broker's durable ``events.jsonl``
+(as ``event="span"`` lines), so a sweep's timeline survives client
+crashes.
+
+Span taxonomy (parent → child):
+
+========== ======= ==========================================================
+name       emitter meaning
+========== ======= ==========================================================
+task       client  root span: submit → journaled, carries label/digest/source
+submitted  client  point span — the task entered the broker submit frame
+queued     broker  waiting in the broker queue (or local pool backlog)
+leased     broker  one lease attempt; ``status=released`` marks a dead worker
+running    worker  ``execute_task`` wall-clock (simulation compute)
+checkpoint worker  point span — resumed from a checkpoint (``resumed_round``)
+upload     worker  result serialisation + ``complete`` frame transfer
+journaled  client  point span — the bundle reached the runner's journal
+========== ======= ==========================================================
+
+Spans are minted where the work happens: workers and the broker collect
+them in a :class:`SpanBuffer` and ship them over protocol frames; the
+client's :class:`Tracer` is the only component that writes the trace
+file. Span ids are prefixed with the minting process' origin (client
+``c``, broker ``b``, workers their worker id) so ids never collide
+across the fleet. Timestamps are wall-clock ``time.time()`` — exact on a
+single host, subject to clock skew across hosts (see
+``docs/observability.md``).
+
+Tracing follows the telemetry ground rules: it never touches simulation
+RNG (trace ids come from task digests, span ids from counters) and costs
+nothing when disabled — instrumented sites guard on a ``None`` tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TRACE_FILENAME",
+    "Tracer",
+    "SpanBuffer",
+    "trace_id_for",
+    "build_span",
+    "read_spans",
+    "assemble_traces",
+    "TaskTrace",
+    "trace_gaps",
+    "render_trace_report",
+]
+
+TRACE_FILENAME = "trace.jsonl"
+
+#: Hops every computed task must show (in order) for a chain to be complete.
+_REQUIRED_HOPS = ("queued", "running", "journaled")
+
+
+def trace_id_for(digest: str) -> str:
+    """Trace id for a task digest — stable across retries and re-leases."""
+    return f"t{digest[:12]}"
+
+
+class _SpanMinter:
+    """Shared id-minting + span-shaping machinery (thread-safe counter)."""
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{self.origin}:{self._counter}"
+
+    def mint_id(self) -> str:
+        """Reserve a span id now, to parent children before the span closes.
+
+        The runner mints the root ``task`` span id at submit time so
+        worker/broker spans can point at it, then writes the root with
+        :func:`build_span` once the task journals.
+        """
+        return self._next_id()
+
+    def _make(
+        self,
+        trace: str,
+        name: str,
+        start: float,
+        end: float | None,
+        parent: str | None,
+        attrs: dict[str, Any],
+    ) -> dict[str, Any]:
+        span: dict[str, Any] = {
+            "event": "span",
+            "trace": trace,
+            "span": self._next_id(),
+            "name": name,
+            "start": round(float(start), 6),
+            "end": round(float(end if end is not None else start), 6),
+        }
+        if parent is not None:
+            span["parent"] = parent
+        if attrs:
+            span["attrs"] = attrs
+        return span
+
+
+class SpanBuffer(_SpanMinter):
+    """Collects completed spans in memory.
+
+    Workers and the broker mint spans here and ship them over protocol
+    frames; the client writes them to the trace file. ``drain()`` hands
+    the accumulated spans over and resets the buffer.
+    """
+
+    def __init__(self, origin: str) -> None:
+        super().__init__(origin)
+        self.spans: list[dict[str, Any]] = []
+
+    def record(
+        self,
+        trace: str,
+        name: str,
+        start: float,
+        end: float | None = None,
+        parent: str | None = None,
+        **attrs: Any,
+    ) -> str:
+        """Append one completed span; returns its minted span id."""
+        span = self._make(trace, name, start, end, parent, attrs)
+        self.spans.append(span)
+        return span["span"]
+
+    def drain(self) -> list[dict[str, Any]]:
+        spans, self.spans = self.spans, []
+        return spans
+
+
+class Tracer(_SpanMinter):
+    """Appends completed spans to a per-run ``trace.jsonl``.
+
+    The file is opened lazily on the first span, so enabling tracing for
+    a run that never computes a task leaves no empty artifact behind.
+    Writes are line-buffered and guarded by a lock — the runner's result
+    loop and the broker-event callback may both append.
+    """
+
+    def __init__(self, path: Path | str, origin: str = "c") -> None:
+        super().__init__(origin)
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.spans_written = 0
+
+    def record(
+        self,
+        trace: str,
+        name: str,
+        start: float,
+        end: float | None = None,
+        parent: str | None = None,
+        **attrs: Any,
+    ) -> str:
+        """Mint and write one completed span; returns its span id."""
+        span = self._make(trace, name, start, end, parent, attrs)
+        self.add(span)
+        return span["span"]
+
+    def add(self, span: dict[str, Any]) -> None:
+        """Write an externally-minted span (worker / broker origin)."""
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(json.dumps(span, separators=(",", ":")) + "\n")
+            self._handle.flush()
+            self.spans_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+
+def build_span(
+    trace: str,
+    span_id: str,
+    name: str,
+    start: float,
+    end: float | None = None,
+    parent: str | None = None,
+    **attrs: Any,
+) -> dict[str, Any]:
+    """Assemble a span record around a pre-minted id (see ``mint_id``)."""
+    span: dict[str, Any] = {
+        "event": "span",
+        "trace": trace,
+        "span": span_id,
+        "name": name,
+        "start": round(float(start), 6),
+        "end": round(float(end if end is not None else start), 6),
+    }
+    if parent is not None:
+        span["parent"] = parent
+    if attrs:
+        span["attrs"] = attrs
+    return span
+
+
+def read_spans(path: Path | str) -> list[dict[str, Any]]:
+    """Read span records from a JSONL file, tolerating a torn tail.
+
+    Accepts both a run's ``trace.jsonl`` and a broker ``events.jsonl``
+    (non-span event lines are skipped). A truncated final line — the
+    writer died mid-append — is ignored, same contract as the broker
+    store's ``read_events``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no trace file at {path}")
+    spans: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from a killed writer
+            raise ConfigurationError(f"corrupt span record at {path}:{index + 1}")
+        if isinstance(record, dict) and record.get("event") == "span" and "trace" in record:
+            spans.append(record)
+    return spans
+
+
+class TaskTrace:
+    """All spans of one trace id, assembled for reporting."""
+
+    def __init__(self, trace: str, spans: list[dict[str, Any]]) -> None:
+        self.trace = trace
+        self.spans = sorted(spans, key=lambda s: (s["start"], s["end"]))
+        self.root = next((s for s in self.spans if s["name"] == "task"), None)
+
+    @property
+    def label(self) -> str:
+        if self.root is not None:
+            return str((self.root.get("attrs") or {}).get("label", self.trace))
+        return self.trace
+
+    @property
+    def duration(self) -> float:
+        if self.root is not None:
+            return self.root["end"] - self.root["start"]
+        if not self.spans:
+            return 0.0
+        return max(s["end"] for s in self.spans) - min(s["start"] for s in self.spans)
+
+    def named(self, name: str) -> list[dict[str, Any]]:
+        return [s for s in self.spans if s["name"] == name]
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Wall-clock attribution per lifecycle phase.
+
+        ``leased`` counts only the lease overhead not already attributed
+        to its child ``running``/``upload`` spans; ``re-lease-waste`` is
+        the full duration of released (dead-worker) leases — wall-clock
+        the fleet spent on work that had to be redone.
+        """
+        phases: dict[str, float] = {}
+        child_seconds = 0.0
+        for name in ("running", "checkpoint", "upload"):
+            total = sum(s["end"] - s["start"] for s in self.named(name))
+            if self.named(name):
+                phases[name] = total
+            child_seconds += total
+        queued = sum(s["end"] - s["start"] for s in self.named("queued"))
+        if self.named("queued"):
+            phases["queued"] = queued
+        waste = 0.0
+        lease_overhead = 0.0
+        for lease in self.named("leased"):
+            seconds = lease["end"] - lease["start"]
+            if (lease.get("attrs") or {}).get("status") == "released":
+                waste += seconds
+            else:
+                lease_overhead += seconds
+        if waste:
+            phases["re-lease-waste"] = waste
+        overhead = lease_overhead - child_seconds
+        if self.named("leased") and overhead > 1e-9:
+            phases["lease-overhead"] = overhead
+        return phases
+
+    def dominant_phase(self) -> str:
+        phases = self.phase_seconds()
+        if not phases:
+            return "?"
+        return max(phases.items(), key=lambda kv: kv[1])[0]
+
+
+def assemble_traces(spans: list[dict[str, Any]]) -> list[TaskTrace]:
+    """Group spans by trace id; traces ordered by their earliest span."""
+    by_trace: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace"], []).append(span)
+    traces = [TaskTrace(trace, group) for trace, group in by_trace.items()]
+    traces.sort(key=lambda t: min(s["start"] for s in t.spans))
+    return traces
+
+
+def trace_gaps(trace: TaskTrace) -> list[str]:
+    """Lifecycle hops missing from a trace (empty list == complete chain).
+
+    Cache- and journal-served tasks never compute, so ``running`` is only
+    required when the root says the result was computed remotely/locally.
+    """
+    missing = [name for name in _REQUIRED_HOPS if not trace.named(name)]
+    if trace.root is None:
+        missing.insert(0, "task")
+    else:
+        source = (trace.root.get("attrs") or {}).get("source", "computed")
+        if source not in ("computed", "remote") and "running" in missing:
+            missing.remove("running")
+    return missing
+
+
+def _depth_of(span: dict[str, Any], by_id: dict[str, dict[str, Any]]) -> int:
+    depth, parent = 0, span.get("parent")
+    while parent is not None and parent in by_id and depth < 8:
+        depth += 1
+        parent = by_id[parent].get("parent")
+    return depth
+
+
+_TIMELINE_ATTRS = ("worker", "status", "seq", "resumed_round", "source")
+
+
+def _span_line(span: dict[str, Any], origin: float, depth: int) -> str:
+    seconds = span["end"] - span["start"]
+    attrs = span.get("attrs") or {}
+    notes = [f"{k}={attrs[k]}" for k in _TIMELINE_ATTRS if k in attrs]
+    note = f"  ({', '.join(notes)})" if notes else ""
+    return (
+        f"  {'  ' * depth}+{span['start'] - origin:8.3f}s  "
+        f"{span['name']:<10s} {seconds:8.3f}s{note}"
+    )
+
+
+def render_trace_report(traces: list[TaskTrace], limit: int = 10) -> str:
+    """Per-task timelines plus a critical-path summary, as printable text.
+
+    Timelines for the ``limit`` slowest tasks (offsets relative to each
+    task's first span, children indented under their parents); then
+    fleet-wide phase totals and the wall-clock cost of re-leases.
+    """
+    if not traces:
+        return "no traces recorded\n"
+    lines: list[str] = [f"traces: {len(traces)} task(s)"]
+    slowest = sorted(traces, key=lambda t: t.duration, reverse=True)
+    shown = slowest[: max(1, limit)]
+    for trace in shown:
+        gaps = trace_gaps(trace)
+        status = "complete" if not gaps else f"missing: {', '.join(gaps)}"
+        lines.append("")
+        lines.append(f"{trace.label}  total {trace.duration:.3f}s  [{status}]")
+        origin = min(s["start"] for s in trace.spans)
+        by_id = {s["span"]: s for s in trace.spans}
+        for span in trace.spans:
+            lines.append(_span_line(span, origin, _depth_of(span, by_id)))
+    if len(traces) > len(shown):
+        lines.append(f"  ... {len(traces) - len(shown)} faster task(s) not shown")
+
+    totals: dict[str, float] = {}
+    for trace in traces:
+        for phase, seconds in trace.phase_seconds().items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    grand = sum(totals.values()) or math.nan
+    lines.append("")
+    lines.append("critical path (phase totals across all tasks):")
+    for phase in sorted(totals, key=lambda p: totals[p], reverse=True):
+        share = 100.0 * totals[phase] / grand
+        lines.append(f"  {phase:<16s} {totals[phase]:10.3f}s  {share:5.1f}%")
+    releases = [t for t in traces if "re-lease-waste" in t.phase_seconds()]
+    if releases:
+        wasted = sum(t.phase_seconds()["re-lease-waste"] for t in releases)
+        lines.append(
+            f"re-leases: {len(releases)} task(s) recomputed after worker death, "
+            f"{wasted:.3f}s wall-clock wasted"
+        )
+    dominant = [t.dominant_phase() for t in shown]
+    if dominant:
+        top = max(set(dominant), key=dominant.count)
+        lines.append(f"slowest {len(shown)} task(s) dominated by: {top}")
+    incomplete = [t for t in traces if trace_gaps(t)]
+    if incomplete:
+        lines.append(f"warning: {len(incomplete)} trace(s) with incomplete span chains")
+    return "\n".join(lines) + "\n"
+
+
+def now() -> float:
+    """Wall-clock stamp for span boundaries (single definition fleet-wide)."""
+    return time.time()

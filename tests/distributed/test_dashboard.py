@@ -101,3 +101,126 @@ class TestDashboard:
         text = "\n".join(lines)
         assert "sweep state" in text
         assert "perf trajectory" in text
+
+
+class TestFleetPanel:
+    def write_fleet_prom(self, state_dir, workers=("vm-1", "vm-2")):
+        from repro.telemetry.fleet import merge_fleet_snapshots
+        from repro.telemetry.registry import MetricsRegistry
+        from repro.telemetry.sinks import write_prometheus
+
+        broker = MetricsRegistry()
+        broker.gauge("fleet_queue_depth", "Queue depth.").set(0)
+        for value in (0.5, 1.0, 2.0):
+            broker.histogram("fleet_task_seconds", "Fleet latency.").observe(value)
+        per_worker = {}
+        for index, worker in enumerate(workers):
+            reg = MetricsRegistry()
+            reg.counter("worker_tasks_total", "Tasks.").inc(2 + index, status="ok")
+            reg.histogram("worker_task_seconds", "Seconds.").observe(0.5, kind="capped")
+            per_worker[worker] = reg.snapshot()
+        state_dir.mkdir(parents=True, exist_ok=True)
+        write_prometheus(
+            merge_fleet_snapshots(per_worker, base=broker.snapshot()),
+            state_dir / "fleet.prom",
+        )
+
+    def test_absent_fleet_prom_renders_no_panel(self, tmp_path):
+        from repro.distributed.dashboard import render_fleet_panel
+
+        assert render_fleet_panel(tmp_path) == []
+
+    def test_fleet_summary_and_per_worker_blocks(self, tmp_path):
+        from repro.distributed.dashboard import render_fleet_panel
+
+        self.write_fleet_prom(tmp_path)
+        lines = render_fleet_panel(tmp_path)
+        text = "\n".join(lines)
+        assert lines[0] == "fleet telemetry:"
+        assert any("fleet" in line and "tasks    3" in line for line in lines)
+        assert "p99" in text
+        assert any(line.strip() == "vm-1:" for line in lines)
+        assert any(line.strip() == "vm-2:" for line in lines)
+        assert "worker_tasks_total status=ok" in text
+
+    def test_unparseable_prom_degrades_to_note(self, tmp_path):
+        from repro.distributed.dashboard import render_fleet_panel
+
+        (tmp_path / "fleet.prom").write_text('broken{quantile=0.5 1\n', encoding="utf-8")
+        lines = render_fleet_panel(tmp_path)
+        assert len(lines) == 1 and "unparseable" in lines[0]
+
+    def test_dashboard_includes_fleet_panel(self, tmp_path):
+        state_dir = write_state_dir(tmp_path / "state")
+        self.write_fleet_prom(state_dir)
+        text = "\n".join(render_dashboard(state_dir, []))
+        assert "sweep state" in text
+        assert "fleet telemetry:" in text
+
+
+class TestBenchPanelMalformed:
+    def test_non_object_json_is_skipped_with_note(self, tmp_path):
+        listy = tmp_path / "BENCH_list.json"
+        listy.write_text("[1, 2, 3]", encoding="utf-8")
+        lines = render_bench_panel([listy])
+        assert any("malformed: not a JSON object; skipped" in line for line in lines)
+
+
+class TestBenchHistory:
+    def test_sparkline_scales_to_sample(self):
+        from repro.distributed.dashboard import _sparkline
+
+        assert _sparkline([]) == ""
+        assert _sparkline([1.0, 1.0]) == "▁▁"
+        line = _sparkline([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_headline_scalar_prefers_kernel_speedup(self):
+        from repro.distributed.dashboard import _headline_scalar
+
+        assert _headline_scalar({"kernel_phase": {"speedup": 2.5}}) == 2.5
+        assert _headline_scalar({"compute": {"broker_4w": 6.0}}) == 6.0
+        assert _headline_scalar({"profile": "quick"}) is None
+        assert _headline_scalar("not a dict") is None
+
+    def test_history_walks_committed_versions(self, tmp_path):
+        import subprocess
+
+        from repro.distributed.dashboard import render_bench_history
+
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        env_git = [
+            "git",
+            "-C",
+            str(repo),
+            "-c",
+            "user.email=t@example.com",
+            "-c",
+            "user.name=t",
+        ]
+        subprocess.run([*env_git, "init", "-q"], check=True)
+        bench = repo / "BENCH_kernel.json"
+        for speedup in (1.0, 2.0):
+            bench.write_text(
+                json.dumps({"profile": "quick", "kernel_phase": {"speedup": speedup}}),
+                encoding="utf-8",
+            )
+            subprocess.run([*env_git, "add", "BENCH_kernel.json"], check=True)
+            subprocess.run([*env_git, "commit", "-q", "-m", f"bench {speedup}"], check=True)
+        bench.write_text(
+            json.dumps({"profile": "quick", "kernel_phase": {"speedup": 3.0}}),
+            encoding="utf-8",
+        )
+        lines = render_bench_history([bench])
+        (entry,) = [line for line in lines if "BENCH_kernel.json" in line]
+        assert "1.00 -> 3.00 over 3 point(s)" in entry
+
+    def test_no_history_degrades_to_note(self, tmp_path):
+        from repro.distributed.dashboard import render_bench_history
+
+        loose = tmp_path / "BENCH_loose.json"
+        loose.write_text(json.dumps({"profile": "quick"}), encoding="utf-8")
+        lines = render_bench_history([loose])
+        assert any("no git history" in line for line in lines)

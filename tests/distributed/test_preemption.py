@@ -205,3 +205,74 @@ class TestWorkerRestartAfterKill:
             assert report.remote_workers.get("replacement", 0) > 0
         finally:
             reap(victim, *replacement)
+
+
+class TestTracedPreemption:
+    def test_trace_reconstructs_the_kill_and_resume_chain(
+        self, make_broker, tmp_path, serial_csv
+    ):
+        """Acceptance bar for fleet tracing: a SIGKILLed worker's task must
+        show its full story in ``trace.jsonl`` — the original lease
+        (released on death), the re-lease, and the checkpoint resume —
+        while every other journaled task shows a complete span chain and
+        the merged CSV stays byte-identical to the untouched serial run.
+        """
+        from repro.telemetry import runtime
+        from repro.telemetry.tracing import Tracer, assemble_traces, read_spans, trace_gaps
+
+        broker = make_broker(
+            state_dir=tmp_path / "state",
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=10,
+            lease_timeout=10.0,
+        )
+        victim = spawn_worker(
+            broker.address,
+            "victim",
+            chaos={
+                "action": "kill",
+                "at_round": 20,
+                "times": 1,
+                "marker_dir": str(tmp_path / "markers"),
+            },
+        )
+        survivor = spawn_worker(broker.address, "survivor")
+        trace_path = tmp_path / "trace.jsonl"
+        runtime.disable()
+        try:
+            with runtime.session(tracer=Tracer(trace_path)):
+                report = run_experiments(["fig4_left"], profile=TINY, broker=broker.address)
+            assert report.results[0].csv() == serial_csv
+            assert report.tasks_releases >= 1
+        finally:
+            reap(victim, survivor)
+        assert victim.wait(timeout=10) == -9
+
+        traces = assemble_traces(read_spans(trace_path))
+        assert len(traces) == report.tasks_total
+        for trace in traces:
+            assert trace_gaps(trace) == [], f"incomplete chain for {trace.label}"
+
+        def lease_status(span):
+            return (span.get("attrs") or {}).get("status")
+
+        killed = [
+            t
+            for t in traces
+            if any(lease_status(s) == "released" for s in t.named("leased"))
+        ]
+        assert killed, "no trace shows the victim's released lease"
+        story = killed[0]
+        leases = sorted(story.named("leased"), key=lambda s: s["attrs"]["seq"])
+        assert lease_status(leases[0]) == "released"
+        assert leases[0]["attrs"]["worker"] == "victim"
+        assert lease_status(leases[-1]) == "ok"
+        assert leases[-1]["attrs"]["worker"] == "survivor"
+        # The re-leased attempt resumed from the victim's round-20 snapshot.
+        (checkpoint,) = story.named("checkpoint")
+        assert checkpoint["attrs"]["resumed_round"] == 20
+        # The resume's running span sits under the surviving lease.
+        assert any(s["parent"] == leases[-1]["span"] for s in story.named("running"))
+        # Each lease attempt re-queued the task first.
+        assert len(story.named("queued")) == len(leases)
+        assert story.root["attrs"]["releases"] >= 1

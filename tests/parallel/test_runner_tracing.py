@@ -1,0 +1,82 @@
+"""Tracing and profiling through the local runner: chains, bit-identity.
+
+The observability acceptance bar: a traced run must reconstruct a
+complete span chain for every journaled task, and the merged CSVs must
+stay byte-identical to an untraced serial run — tracing observes, never
+perturbs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import Profile, run_experiment
+from repro.parallel.runner import run_experiments
+from repro.telemetry import runtime
+from repro.telemetry.tracing import Tracer, assemble_traces, read_spans, trace_gaps
+
+TINY = Profile(name="tiny", n=256, measure=30, replicates=2, seed=4242)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestTracedRuns:
+    def test_chains_complete_and_csv_bit_identical(self, tmp_path):
+        serial = run_experiment("fig4_left", TINY)
+        trace_path = tmp_path / "trace.jsonl"
+        with runtime.session(tracer=Tracer(trace_path)):
+            report = run_experiments(["fig4_left"], profile=TINY, jobs=2)
+
+        # Tracing never perturbs results: byte-identical to untraced serial.
+        assert report.results[0].csv() == serial.csv()
+
+        traces = assemble_traces(read_spans(trace_path))
+        assert len(traces) == report.tasks_total == 20
+        for trace in traces:
+            assert trace_gaps(trace) == [], f"incomplete chain for {trace.label}"
+            attrs = trace.root["attrs"]
+            assert attrs["source"] == "computed"
+            assert "digest" in attrs and attrs["label"]
+            # Local pool: one running span per computed task, parented
+            # under the client-side queue wait's root.
+            (running,) = trace.named("running")
+            assert running["parent"] == trace.root["span"]
+            (journaled,) = trace.named("journaled")
+            assert journaled["parent"] == trace.root["span"]
+
+    def test_journal_served_tasks_still_chain_complete(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        run_experiments(["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path)
+
+        trace_path = tmp_path / "trace.jsonl"
+        with runtime.session(tracer=Tracer(trace_path)):
+            resumed = run_experiments(
+                ["fig4_left"], profile=TINY, jobs=1, journal_path=journal_path, resume=True
+            )
+        assert resumed.experiments_from_journal == 1
+        # A fully journal-replayed experiment computes nothing; whatever
+        # tasks were traced (none, here) must not leave dangling files.
+        assert resumed.tasks_computed == 0
+        assert not trace_path.exists()
+
+
+class TestCprofile:
+    def test_hotspots_reach_the_report_without_perturbing_results(self):
+        serial = run_experiment("fig4_left", TINY)
+        report = run_experiments(["fig4_left"], profile=TINY, jobs=1, cprofile=True)
+        assert report.results[0].csv() == serial.csv()
+        assert report.tasks_profiled == report.tasks_computed == 20
+        assert report.hotspots
+        top = report.hotspots[0]
+        assert set(top) == {"function", "ncalls", "tottime", "cumtime"}
+        assert any("profiled: 20 task(s)" in line for line in report.summary_lines())
+
+    def test_profiling_off_by_default(self):
+        report = run_experiments(["fig4_left"], profile=TINY, jobs=1)
+        assert report.tasks_profiled == 0
+        assert report.hotspots == []

@@ -1,0 +1,145 @@
+"""Fleet snapshot piggybacking and the merged Prometheus export."""
+
+from __future__ import annotations
+
+from repro.telemetry.fleet import (
+    compress_snapshot,
+    decompress_snapshot,
+    merge_fleet_snapshots,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sinks import parse_prometheus, render_prometheus, write_prometheus
+
+
+def worker_snapshot(kind: str, seconds: list[float]) -> dict:
+    reg = MetricsRegistry()
+    for value in seconds:
+        reg.counter("worker_tasks_total", "Tasks finished.").inc(status="ok")
+        reg.histogram("worker_task_seconds", "Per-task seconds.").observe(value, kind=kind)
+    return reg.snapshot()
+
+
+class TestCompression:
+    def test_round_trip(self):
+        snapshot = worker_snapshot("capped", [0.5, 1.5])
+        assert decompress_snapshot(compress_snapshot(snapshot)) == snapshot
+
+    def test_garbage_degrades_to_none(self):
+        assert decompress_snapshot("not base64 at all!") is None
+        assert decompress_snapshot("") is None
+        assert decompress_snapshot("AAAA") is None
+
+    def test_non_dict_payload_rejected(self):
+        import base64
+        import zlib
+
+        blob = base64.b64encode(zlib.compress(b"[1,2,3]")).decode("ascii")
+        assert decompress_snapshot(blob) is None
+
+
+class TestMerge:
+    def test_worker_series_gain_worker_label(self):
+        merged = merge_fleet_snapshots({"w-a": worker_snapshot("capped", [1.0])})
+        series = merged["worker_task_seconds"]["series"]
+        labelled = [s for s in series if s["labels"].get("worker") == "w-a"]
+        assert len(labelled) == 1
+        assert labelled[0]["labels"]["kind"] == "capped"
+
+    def test_counters_aggregate_across_workers(self):
+        merged = merge_fleet_snapshots(
+            {
+                "w-a": worker_snapshot("capped", [1.0, 2.0]),
+                "w-b": worker_snapshot("capped", [3.0]),
+            }
+        )
+        series = merged["worker_tasks_total"]["series"]
+        aggregate = [s for s in series if "worker" not in s["labels"]]
+        assert len(aggregate) == 1
+        assert aggregate[0]["value"] == 3.0
+
+    def test_histograms_aggregate_exact_count_sum_min_max(self):
+        merged = merge_fleet_snapshots(
+            {
+                "w-a": worker_snapshot("capped", [1.0, 2.0]),
+                "w-b": worker_snapshot("capped", [5.0]),
+            }
+        )
+        series = merged["worker_task_seconds"]["series"]
+        aggregate = next(s for s in series if "worker" not in s["labels"])
+        assert aggregate["count"] == 3
+        assert aggregate["sum"] == 8.0
+        assert aggregate["min"] == 1.0
+        assert aggregate["max"] == 5.0
+        # Reservoir quantiles do not merge exactly; the aggregate omits them.
+        assert "p50" not in aggregate
+
+    def test_base_snapshot_passes_through_unlabelled(self):
+        broker = MetricsRegistry()
+        broker.gauge("fleet_queue_depth", "Queue depth.").set(4)
+        merged = merge_fleet_snapshots(
+            {"w-a": worker_snapshot("capped", [1.0])}, base=broker.snapshot()
+        )
+        (series,) = merged["fleet_queue_depth"]["series"]
+        assert series["labels"] == {}
+        assert series["value"] == 4.0
+
+    def test_kind_conflict_skipped(self):
+        conflicting = MetricsRegistry()
+        conflicting.gauge("worker_tasks_total", "Wrong kind.").set(9)
+        merged = merge_fleet_snapshots(
+            {
+                "w-a": worker_snapshot("capped", [1.0]),
+                "w-b": conflicting.snapshot(),
+            }
+        )
+        family = merged["worker_tasks_total"]
+        assert family["kind"] == "counter"
+        assert all(s.get("value") != 9.0 for s in family["series"])
+
+
+class TestPrometheusRoundTrip:
+    def test_fleet_labelled_series_survive_render_and_parse(self, tmp_path):
+        broker = MetricsRegistry()
+        broker.gauge("fleet_queue_depth", "Queue depth.").set(2)
+        broker.histogram("fleet_task_seconds", "Fleet latency.").observe(1.5)
+        merged = merge_fleet_snapshots(
+            {
+                "w-a": worker_snapshot("capped", [1.0, 2.0]),
+                "w-b": worker_snapshot("greedy", [4.0]),
+            },
+            base=broker.snapshot(),
+        )
+        path = write_prometheus(merged, tmp_path / "fleet.prom")
+        families = parse_prometheus(path.read_text(encoding="utf-8"))
+
+        assert families["fleet_queue_depth"]["kind"] == "gauge"
+        assert families["fleet_queue_depth"]["samples"][0]["value"] == 2.0
+
+        tasks = families["worker_task_seconds"]
+        assert tasks["kind"] == "summary"
+        counts = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in tasks["samples"]
+            if s["name"] == "worker_task_seconds_count"
+        }
+        assert counts[(("kind", "capped"), ("worker", "w-a"))] == 2.0
+        assert counts[(("kind", "greedy"), ("worker", "w-b"))] == 1.0
+        # The merged (unlabelled-worker) aggregates are present too.
+        assert counts[(("kind", "capped"),)] == 2.0
+        assert counts[(("kind", "greedy"),)] == 1.0
+
+        totals = families["worker_tasks_total"]
+        aggregate = [
+            s for s in totals["samples"] if "worker" not in s["labels"]
+        ]
+        assert aggregate and aggregate[0]["value"] == 3.0
+
+    def test_render_parse_values_round_trip_exactly(self):
+        merged = merge_fleet_snapshots({"w-a": worker_snapshot("capped", [0.125, 0.25])})
+        families = parse_prometheus(render_prometheus(merged))
+        sums = [
+            s["value"]
+            for s in families["worker_task_seconds"]["samples"]
+            if s["name"] == "worker_task_seconds_sum" and s["labels"].get("worker") == "w-a"
+        ]
+        assert sums == [0.375]

@@ -1,0 +1,70 @@
+"""Opt-in cProfile capture: hotspot extraction, merging, manifest block."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.profiling import merge_hotspots, profile_call, profile_section
+
+
+def busy(n: int) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_ranked_hotspots(self):
+        result, hotspots = profile_call(busy, 1000)
+        assert result == busy(1000)
+        assert hotspots
+        for entry in hotspots:
+            assert set(entry) == {"function", "ncalls", "tottime", "cumtime"}
+        cums = [h["cumtime"] for h in hotspots]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_top_truncates(self):
+        _, hotspots = profile_call(busy, 1000, top=2)
+        assert len(hotspots) <= 2
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError, match="nope"):
+            profile_call(boom)
+
+
+class TestMergeHotspots:
+    def test_same_function_accumulates(self):
+        a = [{"function": "f", "ncalls": 2, "tottime": 0.1, "cumtime": 0.5}]
+        b = [{"function": "f", "ncalls": 3, "tottime": 0.2, "cumtime": 0.25}]
+        (merged,) = merge_hotspots([a, b])
+        assert merged == {"function": "f", "ncalls": 5, "tottime": 0.3, "cumtime": 0.75}
+
+    def test_ranked_by_total_cumtime_and_truncated(self):
+        tasks = [
+            [
+                {"function": "slow", "ncalls": 1, "tottime": 0.0, "cumtime": 9.0},
+                {"function": "fast", "ncalls": 1, "tottime": 0.0, "cumtime": 1.0},
+                {"function": "mid", "ncalls": 1, "tottime": 0.0, "cumtime": 5.0},
+            ]
+        ]
+        merged = merge_hotspots(tasks, top=2)
+        assert [h["function"] for h in merged] == ["slow", "mid"]
+
+    def test_malformed_entries_skipped(self):
+        tasks = [
+            "not a list",
+            [{"no_function": True}, None, {"function": "ok", "cumtime": 1.0}],
+        ]
+        (merged,) = merge_hotspots(tasks)
+        assert merged["function"] == "ok"
+        assert merged["ncalls"] == 0
+
+
+class TestProfileSection:
+    def test_manifest_block_shape(self):
+        _, hotspots = profile_call(busy, 100, top=3)
+        section = profile_section(hotspots, tasks_profiled=7)
+        assert section["profiler"] == "cProfile"
+        assert section["tasks_profiled"] == 7
+        assert section["top"] == hotspots

@@ -5,7 +5,11 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.telemetry.registry import HISTOGRAM_QUANTILES, MetricsRegistry
+from repro.telemetry.registry import HISTOGRAM_QUANTILES, MetricsRegistry, quantile_key
+
+
+def test_quantile_keys_avoid_float_truncation():
+    assert [quantile_key(q) for q in HISTOGRAM_QUANTILES] == ["p50", "p95", "p99"]
 
 
 class TestCounter:
@@ -65,6 +69,19 @@ class TestHistogram:
         stream = hist.stream()
         assert stream.quantile(0.5) == 50.0
         assert stream.quantile(0.95) == 95.0
+        assert stream.quantile(0.99) == 99.0
+
+    def test_p99_distinct_from_p95_with_exact_counts(self):
+        # 99 fast observations and two slow outliers: p95 must not see the
+        # outliers, p99 must — the fleet-latency tail is the whole point.
+        hist = MetricsRegistry().histogram("h")
+        for _ in range(99):
+            hist.observe(0.01)
+        hist.observe(10.0)
+        hist.observe(10.0)
+        stream = hist.stream()
+        assert stream.quantile(0.95) == 0.01
+        assert stream.quantile(0.99) == 10.0
 
     def test_single_observation_quantile(self):
         hist = MetricsRegistry().histogram("h")

@@ -1,0 +1,206 @@
+"""Unit tests for task tracing: span records, trace files, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.tracing import (
+    SpanBuffer,
+    TaskTrace,
+    Tracer,
+    assemble_traces,
+    build_span,
+    read_spans,
+    render_trace_report,
+    trace_gaps,
+    trace_id_for,
+)
+
+
+class TestIds:
+    def test_trace_id_is_deterministic_digest_prefix(self):
+        digest = "abcdef0123456789" * 4
+        assert trace_id_for(digest) == "tabcdef012345"
+        assert trace_id_for(digest) == trace_id_for(digest)
+
+    def test_span_ids_are_origin_prefixed_and_unique(self):
+        buffer = SpanBuffer("w-7")
+        ids = {buffer.record("t1", "running", 0.0, 1.0) for _ in range(5)}
+        assert len(ids) == 5
+        assert all(span_id.startswith("w-7:") for span_id in ids)
+
+    def test_mint_id_reserves_before_close(self):
+        buffer = SpanBuffer("b")
+        first = buffer.mint_id()
+        second = buffer.record("t1", "leased", 0.0, 1.0)
+        assert first != second
+        assert first.startswith("b:")
+
+
+class TestBuildSpan:
+    def test_shape_and_rounding(self):
+        span = build_span("t1", "c:1", "task", 1.23456789, 2.0, parent=None, label="x")
+        assert span["event"] == "span"
+        assert span["trace"] == "t1"
+        assert span["span"] == "c:1"
+        assert span["start"] == 1.234568
+        assert span["end"] == 2.0
+        assert "parent" not in span
+        assert span["attrs"] == {"label": "x"}
+
+    def test_point_span_defaults_end_to_start(self):
+        span = build_span("t1", "c:2", "journaled", 5.0)
+        assert span["start"] == span["end"] == 5.0
+        assert "attrs" not in span
+
+
+class TestSpanBuffer:
+    def test_drain_hands_over_and_resets(self):
+        buffer = SpanBuffer("b")
+        buffer.record("t1", "queued", 0.0, 1.0)
+        buffer.record("t2", "queued", 1.0, 2.0)
+        drained = buffer.drain()
+        assert [s["trace"] for s in drained] == ["t1", "t2"]
+        assert buffer.drain() == []
+
+
+class TestTracer:
+    def test_lazy_open_leaves_no_file_until_first_span(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        assert not path.exists()
+        tracer.record("t1", "task", 0.0, 1.0, label="fig4")
+        tracer.close()
+        assert path.exists()
+        assert tracer.spans_written == 1
+
+    def test_add_writes_externally_minted_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.add(build_span("t1", "w-1:1", "running", 0.0, 2.0, worker="w-1"))
+        tracer.record("t1", "journaled", 2.0)
+        tracer.close()
+        spans = read_spans(path)
+        assert [s["span"] for s in spans] == ["w-1:1", "c:1"]
+        assert spans[0]["attrs"]["worker"] == "w-1"
+
+
+class TestReadSpans:
+    def test_missing_file_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no trace file"):
+            read_spans(tmp_path / "absent.jsonl")
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(build_span("t1", "c:1", "task", 0.0, 1.0))
+        path.write_text(good + "\n" + '{"event":"span","trace":"t2","tor')
+        spans = read_spans(path)
+        assert len(spans) == 1
+        assert spans[0]["trace"] == "t1"
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps(build_span("t1", "c:1", "task", 0.0, 1.0))
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt span record"):
+            read_spans(path)
+
+    def test_non_span_event_lines_are_skipped(self, tmp_path):
+        # A broker events.jsonl mixes spans with lease/complete records.
+        path = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps({"ts": 1.0, "event": "lease", "key": "k"}),
+            json.dumps({"ts": 1.5, **build_span("t1", "b:1", "queued", 0.0, 1.0)}),
+            json.dumps({"ts": 2.0, "event": "complete", "key": "k"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        spans = read_spans(path)
+        assert [s["name"] for s in spans] == ["queued"]
+
+
+def chain(trace="t1", source="computed", with_running=True):
+    """A complete span chain for one task, as the runner would write it."""
+    spans = [
+        build_span(trace, "c:1", "task", 0.0, 10.0, label="fig4 n=256", source=source),
+        build_span(trace, "b:1", "submitted", 0.1, parent="c:1"),
+        build_span(trace, "b:2", "queued", 0.1, 1.0, parent="c:1"),
+        build_span(trace, "b:3", "leased", 1.0, 9.0, parent="c:1", status="ok", seq=1),
+    ]
+    if with_running:
+        spans.append(build_span(trace, "w-1:1", "running", 1.1, 8.0, parent="b:3"))
+        spans.append(build_span(trace, "w-1:2", "upload", 8.0, 9.0, parent="b:3"))
+    spans.append(build_span(trace, "c:2", "journaled", 10.0, parent="c:1"))
+    return spans
+
+
+class TestAssembly:
+    def test_traces_grouped_and_ordered_by_first_span(self):
+        late = [build_span("t2", "c:3", "task", 20.0, 21.0, label="late")]
+        traces = assemble_traces(late + chain("t1"))
+        assert [t.trace for t in traces] == ["t1", "t2"]
+        assert traces[0].label == "fig4 n=256"
+        assert traces[0].duration == pytest.approx(10.0)
+
+    def test_complete_chain_has_no_gaps(self):
+        (trace,) = assemble_traces(chain())
+        assert trace_gaps(trace) == []
+
+    def test_cache_hit_does_not_require_running(self):
+        (trace,) = assemble_traces(chain(source="cache", with_running=False))
+        assert trace_gaps(trace) == []
+
+    def test_computed_task_requires_running(self):
+        (trace,) = assemble_traces(chain(with_running=False))
+        assert trace_gaps(trace) == ["running"]
+
+    def test_missing_root_reported_as_task_gap(self):
+        spans = [s for s in chain() if s["name"] != "task"]
+        (trace,) = assemble_traces(spans)
+        assert "task" in trace_gaps(trace)
+
+    def test_released_lease_counts_as_re_lease_waste(self):
+        spans = chain()
+        spans.append(
+            build_span("t1", "b:9", "leased", 0.5, 3.5, parent="c:1", status="released", seq=1)
+        )
+        (trace,) = assemble_traces(spans)
+        phases = trace.phase_seconds()
+        assert phases["re-lease-waste"] == pytest.approx(3.0)
+        assert phases["running"] == pytest.approx(6.9)
+
+
+class TestReport:
+    def test_empty_report(self):
+        assert render_trace_report([]) == "no traces recorded\n"
+
+    def test_report_shows_timeline_and_critical_path(self):
+        report = render_trace_report(assemble_traces(chain()))
+        assert "fig4 n=256" in report
+        assert "[complete]" in report
+        assert "critical path" in report
+        assert "running" in report
+
+    def test_report_flags_incomplete_chains_and_re_leases(self):
+        spans = chain(with_running=False)
+        spans.append(
+            build_span("t1", "b:9", "leased", 0.5, 3.5, parent="c:1", status="released", seq=1)
+        )
+        report = render_trace_report(assemble_traces(spans))
+        assert "missing: running" in report
+        assert "re-leases: 1 task(s)" in report
+        assert "incomplete span chains" in report
+
+    def test_report_limits_to_slowest_tasks(self):
+        spans = []
+        for index in range(4):
+            trace = f"t{index}"
+            spans.append(
+                build_span(trace, f"c:{index}", "task", 0.0, float(index + 1), label=f"job{index}")
+            )
+        report = render_trace_report(assemble_traces(spans), limit=2)
+        assert "job3" in report and "job2" in report
+        assert "job0" not in report
+        assert "2 faster task(s) not shown" in report

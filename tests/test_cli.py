@@ -697,3 +697,132 @@ class TestDistributedCli:
             loop_holder["loop"].call_soon_threadsafe(broker.shutdown)
             thread.join(timeout=5)
             worker_thread.join(timeout=5)
+
+
+class TestTraceTimelineCli:
+    def _traced_run(self, tmp_path):
+        # fig4_left (not dominance): tracing needs an experiment with
+        # actual sweep tasks, and --jobs 2 engages the parallel runner.
+        tel_dir = tmp_path / "tel"
+        code, _ = run_cli(
+            "experiments",
+            "--id",
+            "fig4_left",
+            "--profile",
+            "quick",
+            "--jobs",
+            "2",
+            "--telemetry-dir",
+            str(tel_dir),
+            "--no-progress",
+        )
+        assert code == 0
+        return tel_dir
+
+    def test_run_dir_shorthand_renders_timelines(self, tmp_path):
+        tel_dir = self._traced_run(tmp_path)
+        assert (tel_dir / "trace.jsonl").exists()
+        code, text = run_cli("trace", str(tel_dir))
+        assert code == 0
+        assert "traces:" in text
+        assert "[complete]" in text
+        assert "critical path" in text
+        # The explicit subcommand and a direct file path work too.
+        code_file, text_file = run_cli(
+            "trace", "timeline", str(tel_dir / "trace.jsonl")
+        )
+        assert code_file == 0
+        assert text_file == text
+
+    def test_missing_trace_exits_2(self, tmp_path):
+        code, text = run_cli("trace", str(tmp_path))
+        assert code == 2
+        assert "error:" in text and "no trace file" in text
+
+    def test_normalize_argv_leaves_other_subcommands_alone(self):
+        from repro.cli import _normalize_argv
+
+        assert _normalize_argv(["trace", "out/tel"]) == ["trace", "timeline", "out/tel"]
+        assert _normalize_argv(["trace", "record", "x"]) == ["trace", "record", "x"]
+        assert _normalize_argv(["trace", "--help"]) == ["trace", "--help"]
+        assert _normalize_argv(["trace"]) == ["trace"]
+        assert _normalize_argv(["simulate", "--n", "8"]) == ["simulate", "--n", "8"]
+
+
+class TestCprofileCli:
+    SIM_ARGS = (
+        "simulate",
+        "--n",
+        "64",
+        "--c",
+        "2",
+        "--lam",
+        "0.75",
+        "--rounds",
+        "30",
+        "--seed",
+        "3",
+    )
+
+    def test_simulate_cprofile_prints_hotspots(self):
+        plain_code, plain = run_cli(*self.SIM_ARGS)
+        code, text = run_cli(*self.SIM_ARGS, "--cprofile")
+        assert plain_code == code == 0
+        assert "cProfile hotspots" in text
+        # Profiling observes the interpreter only: same measurement lines.
+        assert text.startswith(plain)
+
+    def test_simulate_cprofile_folds_into_manifest(self, tmp_path):
+        from repro.telemetry import load_manifest
+
+        tel_dir = tmp_path / "tel"
+        code, _ = run_cli(*self.SIM_ARGS, "--cprofile", "--telemetry-dir", str(tel_dir))
+        assert code == 0
+        profile = load_manifest(tel_dir)["profile"]
+        assert profile["profiler"] == "cProfile"
+        assert profile["tasks_profiled"] == 1
+        assert profile["top"] and "function" in profile["top"][0]
+
+
+class TestDashboardCli:
+    def _state_dir(self, tmp_path):
+        from repro.distributed.store import SweepStateStore
+
+        store = SweepStateStore(tmp_path / "state")
+        store.state.tasks_total = 2
+        store.state.tasks_done = 2
+        store.close()
+        return tmp_path / "state"
+
+    def test_missing_state_dir_exits_2(self, tmp_path):
+        code, text = run_cli("dashboard", str(tmp_path / "nope"))
+        assert code == 2
+        assert "error:" in text
+
+    def test_watch_bounded_iterations(self, tmp_path):
+        state_dir = self._state_dir(tmp_path)
+        code, text = run_cli(
+            "dashboard",
+            str(state_dir),
+            "--watch",
+            "--interval",
+            "0",
+            "--iterations",
+            "2",
+        )
+        assert code == 0
+        assert text.count("--- repro dashboard") == 2
+        assert "sweep state" in text
+
+    def test_watch_keeps_going_after_errors(self, tmp_path):
+        code, text = run_cli(
+            "dashboard",
+            str(tmp_path / "ghost"),
+            "--watch",
+            "--interval",
+            "0",
+            "--iterations",
+            "2",
+        )
+        assert code == 2
+        assert text.count("error:") == 2
