@@ -12,10 +12,11 @@ trip the gate, but a genuinely slower kernel does:
 
 The same script also gates the distributed-sweep artifact
 (``BENCH_sweep.json`` vs ``benchmarks/baseline_sweep.json``, selected
-with ``--baseline``): the ``fabric`` fleet-scaling speedups are measured
-on latency-bound tasks, so they are core-count independent and gate like
-the kernel ratios. Which ratios apply is driven by what the *baseline*
-contains, so one script serves both artifact shapes.
+with ``--baseline``): the ``fabric`` fleet-scaling and ``multislot``
+slot-scaling speedups are measured on latency-bound tasks, so they are
+core-count independent and gate like the kernel ratios. Which ratios
+apply is driven by what the *baseline* contains, so one script serves
+both artifact shapes.
 
 Absolute rounds/sec and tasks/sec numbers, the ``scaling`` rows, and the
 ``compute`` sweep modes (all of which depend on the runner's core count)
@@ -116,24 +117,31 @@ def collect_checks(baseline: dict, current: dict) -> list[dict]:
             }
         )
 
-    base_fabric = baseline.get("fabric") or {}
-    cur_fabric = current.get("fabric") or {}
-    for field in ("speedup_2w_over_1w", "speedup_4w_over_1w"):
-        if field not in base_fabric:
-            continue  # baseline predates the ratio; nothing to gate
-        if field not in cur_fabric:
+    for section, fields in (
+        ("fabric", ("speedup_2w_over_1w", "speedup_4w_over_1w")),
+        ("multislot", ("speedup_4s_over_1s",)),
+    ):
+        base_sec = baseline.get(section) or {}
+        cur_sec = current.get(section) or {}
+        for field in fields:
+            if field not in base_sec:
+                continue  # baseline predates the ratio; nothing to gate
+            if field not in cur_sec:
+                checks.append(
+                    {
+                        "name": f"{section}.{field}",
+                        "error": "ratio missing from current artifact",
+                    }
+                )
+                continue
             checks.append(
-                {"name": f"fabric.{field}", "error": "ratio missing from current artifact"}
+                {
+                    "name": f"{section}.{field}",
+                    "baseline": base_sec[field],
+                    "current": cur_sec[field],
+                    "ratio": cur_sec[field] / base_sec[field],
+                }
             )
-            continue
-        checks.append(
-            {
-                "name": f"fabric.{field}",
-                "baseline": base_fabric[field],
-                "current": cur_fabric[field],
-                "ratio": cur_fabric[field] / base_fabric[field],
-            }
-        )
 
     return checks
 

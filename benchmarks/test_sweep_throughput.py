@@ -9,6 +9,11 @@ Two sections, separating the two ways a distributed sweep can be fast:
   machine, including a 1-CPU container — or the lease loop has grown a
   serialisation bottleneck. This is the gated, machine-independent ratio
   (``fabric.speedup_4w_over_1w`` in ``benchmarks/baseline_sweep.json``).
+* **multislot** — dispatch scalability of a *single* worker process.
+  ``repro worker --jobs 4`` runs one connection and one heartbeat but
+  four compute slots, so on the same latency-bound stubs one wide
+  worker must clear the queue ≥ 3x faster than the same worker with
+  one slot (``multislot.speedup_4s_over_1s``, gated like ``fabric``).
 * **compute** — real quick-profile sweeps end-to-end: serial
   ``run_experiment``, the local ``--jobs`` pool, and ``repro worker``
   subprocess fleets behind a broker. These tasks are core-bound, so the
@@ -100,11 +105,13 @@ class _BrokerThread:
 
 
 @contextlib.contextmanager
-def _stub_fleet(address: str, count: int, task_fn):
+def _stub_fleet(address: str, count: int, task_fn, jobs: int = 1):
     """``count`` in-thread Workers running ``task_fn`` instead of a simulation."""
     entries: list[tuple[Worker, threading.Thread]] = []
     for index in range(count):
-        worker = Worker(address, worker_id=f"bench-{index}", task_fn=task_fn, poll=0.01)
+        worker = Worker(
+            address, worker_id=f"bench-{index}", task_fn=task_fn, poll=0.01, jobs=jobs
+        )
         thread = threading.Thread(target=worker.run, daemon=True)
         thread.start()
         entries.append((worker, thread))
@@ -194,6 +201,65 @@ def test_fabric_dispatch_scaling(sweep_json, profile_name):
     # constant per-task dispatch overhead proportionally larger).
     assert speedup_4w >= (2.0 if quick else 3.0)
     assert speedup_2w >= 1.3
+
+
+def test_multislot_dispatch_scaling(sweep_json, profile_name):
+    """One worker process, ``--jobs`` slots, latency-bound tasks.
+
+    The acceptance bar for multi-slot workers: with four slots a single
+    worker must clear a latency-bound queue ≥ 3x faster than with one —
+    independent of core count, since every task parks in ``sleep``.
+    """
+    quick = profile_name == "quick"
+    tasks = 12 if quick else 32
+    # Dwells are longer than fabric's: a single connection serialises the
+    # lease/upload roundtrips across its slots, so the task latency must
+    # clearly dominate that fixed per-task cost for the ratio to measure
+    # slot concurrency rather than dispatch overhead.
+    dwell = 0.1 if quick else 0.15
+
+    def dwell_task(payload):
+        time.sleep(dwell)
+        return {
+            "outcome": {"dwell": dwell},
+            "elapsed": dwell,
+            "pid": os.getpid(),
+            "resumed_round": None,
+        }
+
+    payloads = [
+        {"kind": "capped", "params": {"n": 64, "c": 2, "lam": 0.5, "cell": i}, "replicate": 0}
+        for i in range(tasks)
+    ]
+
+    rates: dict[int, float] = {}
+    for slots in (1, 4):
+        with _BrokerThread() as harness, _stub_fleet(
+            harness.address, 1, dwell_task, jobs=slots
+        ):
+            harness.wait_for_workers(1)
+            client = BrokerClient(harness.address)
+            start = time.perf_counter()
+            done = sum(1 for _ in client.run_tasks(payloads))
+            elapsed = time.perf_counter() - start
+        assert done == tasks
+        rates[slots] = tasks / elapsed
+
+    speedup_4s = rates[4] / rates[1]
+    print(
+        f"\nmultislot ({tasks} tasks x {dwell * 1e3:.0f}ms dwell, 1 worker): "
+        + "  ".join(f"{k}s {v:.1f} task/s" for k, v in sorted(rates.items()))
+        + f"  |  4s/1s {speedup_4s:.2f}x"
+    )
+    sweep_json["multislot"] = {
+        "tasks": tasks,
+        "dwell_seconds": dwell,
+        "tasks_per_sec": {f"{k}s": v for k, v in sorted(rates.items())},
+        "speedup_4s_over_1s": speedup_4s,
+    }
+    # Same machine-independence argument as the fabric gate: the quick
+    # smoke keeps a looser bar for its proportionally larger overhead.
+    assert speedup_4s >= (2.0 if quick else 3.0)
 
 
 def test_compute_sweep_throughput(sweep_json, profile_name):

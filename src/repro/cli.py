@@ -203,6 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the measure phase on a broker's worker fleet instead of "
         "local processes (results stay bit-identical; see `repro broker`)",
     )
+    exp.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret for a broker running with --auth-token",
+    )
+    exp.add_argument(
+        "--tls-ca",
+        type=Path,
+        default=None,
+        help="PEM certificate that signed the broker's --tls-cert "
+        "(enables TLS on the broker connection)",
+    )
     halt = exp.add_mutually_exclusive_group()
     halt.add_argument(
         "--keep-going",
@@ -326,10 +338,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="error-frame retries per task before it fails terminally",
     )
+    brk.add_argument(
+        "--max-releases",
+        type=int,
+        default=20,
+        help="lease losses per task before it is poisoned (fails terminally)",
+    )
+    brk.add_argument(
+        "--auth-token",
+        default=None,
+        help="require every peer to answer an HMAC challenge with this "
+        "shared secret (wrong/missing token: connection refused)",
+    )
+    brk.add_argument(
+        "--tls-cert",
+        type=Path,
+        default=None,
+        help="serve TLS with this PEM certificate (requires --tls-key; "
+        "peers connect with --tls-ca pointing at the signing cert)",
+    )
+    brk.add_argument(
+        "--tls-key",
+        type=Path,
+        default=None,
+        help="private key for --tls-cert",
+    )
+    brk.add_argument(
+        "--compact-events-bytes",
+        type=int,
+        default=None,
+        help="rotate events.jsonl into an archive segment once it exceeds "
+        "this size, keeping restart recovery O(state)",
+    )
 
     wrk = sub.add_parser("worker", help="run one preemptible sweep worker")
     wrk.add_argument("broker", metavar="HOST:PORT", help="broker address")
     wrk.add_argument("--id", default=None, help="worker id (default: <hostname>-<pid>)")
+    wrk.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="concurrent task slots this worker drives (one lease each)",
+    )
+    wrk.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared secret for a broker running with --auth-token",
+    )
+    wrk.add_argument(
+        "--tls-ca",
+        type=Path,
+        default=None,
+        help="PEM certificate that signed the broker's --tls-cert",
+    )
+    wrk.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=5,
+        help="consecutive failed connection attempts (jittered exponential "
+        "backoff between them) before the worker gives up",
+    )
     wrk.add_argument(
         "--exit-when-idle",
         action="store_true",
@@ -389,6 +457,11 @@ def _args_config(args: argparse.Namespace) -> dict[str, Any]:
     config: dict[str, Any] = {}
     for key, value in sorted(vars(args).items()):
         if key == "telemetry_dir":
+            continue
+        if key == "auth_token" and value is not None:
+            # The shared secret must never land in a manifest on disk;
+            # record only that authentication was in use.
+            config[key] = "<redacted>"
             continue
         config[key] = str(value) if isinstance(value, Path) else value
     return config
@@ -603,6 +676,9 @@ def _cmd_experiments(args, out) -> int:
             "(pass it to `repro broker`)\n"
         )
         return 2
+    if args.broker is None and (args.auth_token is not None or args.tls_ca is not None):
+        out.write("error: --auth-token/--tls-ca only apply with --broker\n")
+        return 2
     if args.broker is not None:
         from repro.distributed import resolve_address
         from repro.errors import DistributedError
@@ -642,23 +718,32 @@ def _run_experiments_cmd(args, out, extras: dict[str, Any] | None = None) -> int
     report = None
     errors: dict[str, str] = {}
     if use_runner:
+        from repro.errors import DistributedError
         from repro.parallel import run_experiments
 
-        report = run_experiments(
-            ids,
-            profile=args.profile,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            resume=args.resume,
-            progress_stream=None if args.no_progress else sys.stderr,
-            task_timeout=args.task_timeout,
-            max_retries=args.max_retries,
-            live_status=args.live_status,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir,
-            broker=args.broker,
-            cprofile=args.cprofile,
-        )
+        try:
+            report = run_experiments(
+                ids,
+                profile=args.profile,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                resume=args.resume,
+                progress_stream=None if args.no_progress else sys.stderr,
+                task_timeout=args.task_timeout,
+                max_retries=args.max_retries,
+                live_status=args.live_status,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                broker=args.broker,
+                broker_auth_token=args.auth_token,
+                broker_tls_ca=args.tls_ca,
+                cprofile=args.cprofile,
+            )
+        except DistributedError as err:
+            # Unreachable broker, auth rejection, or a fleet lost for good:
+            # an operator-actionable configuration error, not a crash.
+            out.write(f"error: {err}\n")
+            return 2
         if extras is not None and report.hotspots:
             from repro.telemetry.profiling import profile_section
 
@@ -890,6 +975,14 @@ def _cmd_broker(args, out) -> int:
     if args.lease_timeout <= 0:
         out.write(f"error: --lease-timeout must be positive, got {args.lease_timeout}\n")
         return 2
+    if (args.tls_cert is None) != (args.tls_key is None):
+        out.write("error: --tls-cert and --tls-key must be given together\n")
+        return 2
+    if args.compact_events_bytes is not None and args.compact_events_bytes <= 0:
+        out.write(
+            f"error: --compact-events-bytes must be positive, got {args.compact_events_bytes}\n"
+        )
+        return 2
     config = BrokerConfig(
         host=args.host,
         port=args.port,
@@ -899,6 +992,11 @@ def _cmd_broker(args, out) -> int:
         checkpoint_every=args.checkpoint_every,
         lease_timeout=args.lease_timeout,
         max_retries=args.max_retries,
+        max_releases=args.max_releases,
+        auth_token=args.auth_token,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        compact_events_bytes=args.compact_events_bytes,
         port_file=args.port_file,
     )
 
@@ -921,19 +1019,28 @@ def _cmd_worker(args, out) -> int:
     from repro.distributed import Worker
     from repro.errors import DistributedError
 
+    if args.jobs < 1:
+        out.write(f"error: --jobs must be >= 1, got {args.jobs}\n")
+        return 2
     try:
         worker = Worker(
             args.broker,
             worker_id=args.id,
+            jobs=args.jobs,
             exit_when_idle=args.exit_when_idle,
+            max_reconnects=args.max_reconnects,
+            auth_token=args.auth_token,
+            tls_ca=args.tls_ca,
             log=None if args.quiet else sys.stderr,
             telemetry=args.telemetry,
         )
+        worker.install_signal_handlers()
+        return worker.run()
     except DistributedError as err:
+        # Covers both construction (bad address) and a broker that
+        # rejected the session outright (auth/protocol mismatch).
         out.write(f"error: {err}\n")
         return 2
-    worker.install_signal_handlers()
-    return worker.run()
 
 
 def _cmd_dashboard(args, out) -> int:

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
+import secrets
 import shutil
 import socket
 import time
@@ -48,10 +50,11 @@ from typing import Any
 
 from repro.distributed.protocol import (
     PROTOCOL,
+    auth_response,
     read_frame_async,
     write_frame_async,
 )
-from repro.distributed.store import SweepStateStore
+from repro.distributed.store import SweepStateStore, read_events, replay_events
 from repro.errors import ProtocolError
 from repro.parallel.cache import ResultCache
 from repro.telemetry.fleet import decompress_snapshot, merge_fleet_snapshots
@@ -90,11 +93,36 @@ class BrokerConfig:
     max_retries: int = 2
     max_releases: int = 20
     port_file: Path | str | None = None
+    # Shared-secret HMAC challenge/response on connect (see _authenticate);
+    # None disables the handshake entirely.
+    auth_token: str | None = None
+    # PEM cert/key pair for a TLS listener; both or neither.
+    tls_cert: Path | str | None = None
+    tls_key: Path | str | None = None
+    # Rotate events.jsonl once the live log exceeds this many bytes (the
+    # snapshot already carries everything rotated away); None = only the
+    # mandatory compaction after a restart recovery.
+    compact_events_bytes: int | None = None
+    compact_keep: int = 1
 
     def resolved_heartbeat(self) -> float:
         if self.heartbeat_interval is not None:
             return self.heartbeat_interval
         return max(0.05, self.lease_timeout / 3.0)
+
+    def tls_context(self):
+        """Server-side SSLContext from the cert/key pair, or None."""
+        if self.tls_cert is None and self.tls_key is None:
+            return None
+        if self.tls_cert is None or self.tls_key is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError("TLS needs both --tls-cert and --tls-key")
+        import ssl
+
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        context.load_cert_chain(str(self.tls_cert), str(self.tls_key))
+        return context
 
 
 @dataclass
@@ -119,6 +147,33 @@ class _Task:
     lease_span: str | None = None  # open span id of the current lease
     lease_started: float = 0.0
     lease_seq: int = 0  # 1-based lease attempt counter (re-lease chains)
+    order: int = 0  # submit sequence; breaks cost-ordering ties FIFO
+    priority: bool = False  # re-leased work jumps the cost ordering
+    # Lease carried over from a previous broker generation: the worker is
+    # expected to reattach (frame or heartbeat) before the reaper fires.
+    adopted: bool = False
+    group: str = ""  # cost-estimation bucket (the task's point key)
+    # Every lifecycle span emitted for this task, replayed to clients
+    # that (re)subscribe after the fact — e.g. across a broker restart.
+    span_log: list[dict[str, Any]] = field(default_factory=list)
+
+
+def _task_group(payload: dict[str, Any]) -> str:
+    """Cost-estimation bucket for a payload: its parameter point.
+
+    Replicates of one sweep point share a group (and, empirically, a
+    runtime), which is what makes the per-group mean a usable expected
+    cost. Payloads without kind/params (whole-experiment tasks) fall
+    back to their experiment id.
+    """
+    try:
+        if "kind" in payload and "params" in payload:
+            from repro.parallel.keys import point_key
+
+            return point_key(str(payload["kind"]), dict(payload["params"]))
+    except (TypeError, ValueError):
+        pass
+    return str(payload.get("experiment_id", "") or "")
 
 
 @dataclass
@@ -128,6 +183,7 @@ class _WorkerConn:
     writer: asyncio.StreamWriter
     leased: set[str] = field(default_factory=set)
     completed: int = 0
+    slots: int = 1
 
 
 @dataclass
@@ -157,7 +213,7 @@ class Broker:
             SweepStateStore(self.config.state_dir) if self.config.state_dir is not None else None
         )
         self.tasks: dict[str, _Task] = {}
-        self.queue: list[str] = []  # FIFO of queued task keys
+        self.queue: list[str] = []  # queued task keys; dispatch order via _lease_for
         self.workers: dict[str, _WorkerConn] = {}
         self.clients: list[_ClientConn] = []
         # Fleet telemetry: the broker's own registry (lease latency, queue
@@ -166,7 +222,18 @@ class Broker:
         # worker, merged into fleet.prom and the fleet-stats broadcast.
         self.metrics = MetricsRegistry()
         self.worker_metrics: dict[str, dict[str, Any]] = {}
-        self._spans = SpanBuffer("b")  # span-id minter for broker spans
+        self.generation = 1  # +1 per broker that recovers this state dir
+        self._order = 0  # monotonically increasing submit sequence
+        # Per-group elapsed history feeding the cost-aware lease order;
+        # rebuilt from completion events on recovery.
+        from repro.parallel.progress import TimingStats
+
+        self.cost_history = TimingStats()
+        self._recovered = self._recover() if self.store is not None else False
+        # Broker span ids must not collide across restarts of the same
+        # state dir: later generations mint under a suffixed origin.
+        origin = "b" if self.generation == 1 else f"b{self.generation}"
+        self._spans = SpanBuffer(origin)  # span-id minter for broker spans
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopping = asyncio.Event()
@@ -174,17 +241,228 @@ class Broker:
         self._sessions: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> bool:
+        """Re-adopt a pre-existing state dir: rebuild the queue and leases.
+
+        The newest valid snapshot supplies the durable task table; the
+        live event-log tail past its ``seq`` is replayed on top (crash
+        between snapshot writes loses nothing). Pending tasks re-queue in
+        their original submit order, in-flight leases stay leased —
+        bound to their old worker ids with ``releases``/``attempts``
+        counters and checkpoint-dir bindings intact — for one
+        ``lease_timeout`` of reattach grace before the reaper treats the
+        silence as a worker death. Completed/failed keys are kept as the
+        cross-client dedup set and the poison guard's memory.
+        """
+        assert self.store is not None
+        directory = self.store.directory
+        snapshot = SweepStateStore.load_state(directory)
+        table: dict[str, dict[str, Any]] = {}
+        order_hint = 0
+        if snapshot is not None:
+            for key, entry in snapshot.tasks.items():
+                table[key] = dict(entry)
+                order_hint = max(order_hint, int(entry.get("order", 0)))
+        tail_seq = snapshot.seq if snapshot is not None else 0
+        saw_events = False
+        for event in replay_events(directory, after_seq=tail_seq):
+            saw_events = True
+            order_hint = self._apply_event(table, event, order_hint)
+        if snapshot is None and not table and not saw_events:
+            return False  # genuinely fresh state dir
+        self.generation = (snapshot.generation if snapshot is not None else 1) + 1
+        now = time.time()
+        grace_deadline = time.monotonic() + self.config.lease_timeout
+        adopted = requeued = 0
+        queued: list[_Task] = []
+        for key, entry in table.items():
+            status = entry.get("status", QUEUED)
+            task = _Task(
+                key=key,
+                payload=dict(entry.get("payload") or {}),
+                run_id=str(entry.get("run", "")),
+                fingerprint=str(entry.get("code", "")),
+                status=status,
+                worker=entry.get("worker"),
+                attempts=int(entry.get("attempts", 0)),
+                releases=int(entry.get("releases", 0)),
+                error=entry.get("error"),
+                trace=entry.get("trace") or None,
+                queued_since=now,
+                lease_span=entry.get("lease_span"),
+                lease_started=float(entry.get("lease_started") or 0.0),
+                lease_seq=int(entry.get("lease_seq", 0)),
+                order=int(entry.get("order", 0)),
+                priority=bool(entry.get("priority", False)),
+                group=str(entry.get("group", "")),
+            )
+            if status == LEASED:
+                task.adopted = True
+                task.deadline = grace_deadline
+                adopted += 1
+            elif status == QUEUED:
+                queued.append(task)
+                requeued += 1
+            self.tasks[key] = task
+        # Original submit order (priority re-leases first) — the cost-aware
+        # dispatch reorders at lease time, but the durable queue is stable.
+        queued.sort(key=lambda t: (not t.priority, t.order))
+        self.queue = [t.key for t in queued]
+        self._order = order_hint
+        self._replay_history(directory)
+        self.store.state.generation = self.generation
+        self.store.state.started_unix = (
+            snapshot.started_unix if snapshot is not None and snapshot.started_unix else now
+        )
+        self._record(
+            "broker-recover",
+            broker=self.broker_id,
+            generation=self.generation,
+            requeued=requeued,
+            adopted_leases=adopted,
+            done=sum(1 for t in self.tasks.values() if t.status == DONE),
+            failed=sum(1 for t in self.tasks.values() if t.status == FAILED),
+        )
+        self._snapshot_state()
+        # Fold everything replayed into the fresh snapshot and rotate the
+        # log: the *next* recovery replays only the new segment (O(state)).
+        self.store.compact(keep_archives=self.config.compact_keep)
+        return True
+
+    def _apply_event(
+        self, table: dict[str, dict[str, Any]], event: dict[str, Any], order_hint: int
+    ) -> int:
+        """Fold one replayed event into the recovery task table."""
+        kind = event.get("event")
+        key = event.get("key")
+        if kind == "task" and isinstance(key, str):
+            entry = table.setdefault(key, {})
+            order_hint = max(order_hint, int(event.get("order", order_hint + 1)))
+            entry.update(
+                status=QUEUED,
+                payload=event.get("payload") or {},
+                run=event.get("run", ""),
+                code=event.get("code", ""),
+                order=int(event.get("order", order_hint)),
+                trace=event.get("trace"),
+                group=event.get("group", ""),
+            )
+            entry.setdefault("releases", 0)
+            entry.setdefault("attempts", 0)
+            return order_hint
+        if not isinstance(key, str) or key not in table:
+            return order_hint
+        entry = table[key]
+        if kind == "lease":
+            entry["status"] = LEASED
+            entry["worker"] = event.get("worker")
+            entry["lease_seq"] = int(event.get("lease_seq", entry.get("lease_seq", 0) + 1))
+            entry["lease_span"] = event.get("span")
+            entry["lease_started"] = event.get("ts", 0.0)
+        elif kind == "reattach":
+            entry["status"] = LEASED
+            entry["worker"] = event.get("worker")
+        elif kind == "re-lease":
+            entry["status"] = QUEUED
+            entry["worker"] = None
+            entry["releases"] = int(event.get("releases", entry.get("releases", 0) + 1))
+            entry["priority"] = True
+            entry["lease_span"] = None
+        elif kind == "fail":
+            entry["status"] = QUEUED
+            entry["worker"] = None
+            entry["attempts"] = int(event.get("attempts", entry.get("attempts", 0) + 1))
+            entry["lease_span"] = None
+        elif kind in ("complete", "cache-hit"):
+            entry["status"] = DONE
+            if event.get("worker"):
+                entry["worker"] = event.get("worker")
+        elif kind == "task-failed":
+            entry["status"] = FAILED
+            entry["error"] = event.get("error")
+        return order_hint
+
+    def _replay_history(self, directory: Path) -> None:
+        """Rebuild cost history and live tasks' span logs from the event log.
+
+        Reads the surviving history (archives + live log). Cost samples
+        come from ``complete`` events' ``group``/``elapsed``; span
+        records are re-attached to still-live tasks so a client that
+        (re)subscribes after the restart receives the full chain.
+        """
+        by_trace: dict[str, str] = {}
+        for key, task in self.tasks.items():
+            if task.trace is not None:
+                by_trace[task.trace["trace"]] = key
+        for event in read_events(directory):
+            kind = event.get("event")
+            if kind == "complete" and event.get("group"):
+                self.cost_history.add(
+                    str(event.get("key", "")),
+                    float(event.get("elapsed", 0.0) or 0.0),
+                    group=str(event["group"]),
+                )
+            elif kind == "span":
+                key = by_trace.get(str(event.get("trace", "")))
+                if key is None:
+                    continue
+                task = self.tasks[key]
+                if task.status in (DONE, FAILED):
+                    continue
+                # Back to the build_span shape clients expect in event frames.
+                span = {k: v for k, v in event.items() if k not in ("ts", "seq", "event")}
+                task.span_log.append(span)
+
+    # ------------------------------------------------------------------
     # bookkeeping helpers
     # ------------------------------------------------------------------
 
-    def _record(self, kind: str, **fields: Any) -> None:
+    def _record(self, kind: str, sync: bool = True, **fields: Any) -> None:
         if self.store is not None:
-            self.store.record(kind, **fields)
+            self.store.record(kind, sync=sync, **fields)
+
+    def _durable_entry(self, task: _Task) -> dict[str, Any]:
+        """One task's row in the snapshot's durable task table.
+
+        Non-terminal rows keep the payload (a recovered broker can lease
+        them without the submitting client); terminal rows shrink to the
+        dedup/poison bookkeeping (``releases``/``attempts``/``error``)
+        so the guards survive a restart without hoarding payloads.
+        """
+        entry: dict[str, Any] = {
+            "status": task.status,
+            "order": task.order,
+            "releases": task.releases,
+            "attempts": task.attempts,
+            "run": task.run_id,
+            "code": task.fingerprint,
+        }
+        if task.group:
+            entry["group"] = task.group
+        if task.worker:
+            entry["worker"] = task.worker
+        if task.error:
+            entry["error"] = task.error
+        if task.status in (QUEUED, LEASED):
+            entry["payload"] = task.payload
+            if task.trace is not None:
+                entry["trace"] = task.trace
+            if task.priority:
+                entry["priority"] = True
+        if task.status == LEASED:
+            entry["lease_seq"] = task.lease_seq
+            entry["lease_span"] = task.lease_span
+            entry["lease_started"] = task.lease_started
+        return entry
 
     def _snapshot_state(self) -> None:
         if self.store is None:
             return
         state = self.store.state
+        state.generation = self.generation
         state.tasks_total = len(self.tasks)
         state.tasks_done = sum(1 for t in self.tasks.values() if t.status == DONE)
         state.tasks_failed = sum(1 for t in self.tasks.values() if t.status == FAILED)
@@ -192,6 +470,8 @@ class Broker:
         state.tasks_leased = sum(1 for t in self.tasks.values() if t.status == LEASED)
         state.releases_total = sum(t.releases for t in self.tasks.values())
         state.retries_total = sum(t.attempts for t in self.tasks.values())
+        state.tasks = {key: self._durable_entry(task) for key, task in self.tasks.items()}
+        state.queue = list(self.queue)
         self.store.write_state()
 
     def _gauges(self) -> None:
@@ -248,15 +528,19 @@ class Broker:
             **attrs,
         )
 
-    async def _emit_span(self, span: dict[str, Any]) -> None:
+    async def _emit_span(self, span: dict[str, Any], task: _Task | None = None) -> None:
         """Persist one lifecycle span durably and stream it to clients.
 
         The span lands in the broker's ``events.jsonl`` (tailable with
         :func:`repro.telemetry.tracing.read_spans`) and is broadcast as an
         event frame so the submitting client can append it to the run's
-        ``trace.jsonl``.
+        ``trace.jsonl``. When ``task`` is given the span is also retained
+        on its ``span_log`` so a client that (re)subscribes later — e.g.
+        across a broker restart — can be replayed the full chain.
         """
         self._record("span", **{k: v for k, v in span.items() if k != "event"})
+        if task is not None and task.status not in (DONE, FAILED):
+            task.span_log.append(span)
         await self._broadcast_event("span", span=span)
 
     def _note_worker_metrics(self, worker_id: str, frame: dict[str, Any]) -> None:
@@ -373,6 +657,13 @@ class Broker:
                 pass
         self._gauges()
         self._snapshot_state()
+        if (
+            self.store is not None
+            and self.config.compact_events_bytes is not None
+            and self.store.events_bytes() >= self.config.compact_events_bytes
+        ):
+            # The snapshot just written carries everything in the live log.
+            self.store.compact(keep_archives=self.config.compact_keep)
         self._write_fleet_prom()
         await self._broadcast_event("fleet-stats", **self._fleet_stats())
 
@@ -385,8 +676,12 @@ class Broker:
         upload_start = result.pop("upload_start", None)
         task.status = DONE
         task.worker = worker_id
+        task.adopted = False
         task.result = result
         elapsed = float(result.get("elapsed", 0.0) or 0.0)
+        if task.group and elapsed > 0.0:
+            # Feed the cost-aware lease order (longest-expected-first).
+            self.cost_history.add(task.key, elapsed, group=task.group)
         fleet_seconds = self.metrics.histogram(
             "fleet_task_seconds", "Per-task compute seconds across the fleet."
         )
@@ -446,6 +741,7 @@ class Broker:
             releases=task.releases,
             resumed_round=result.get("resumed_round"),
             elapsed=round(float(result.get("elapsed", 0.0)), 6),
+            group=task.group or None,
         )
         await self._resolve(task, source="computed")
 
@@ -453,7 +749,11 @@ class Broker:
         task.status = QUEUED
         task.worker = None
         task.deadline = 0.0
+        task.adopted = False
         if front:
+            # Re-leased casualties also outrank the cost ordering, so a
+            # preempted task resumes from its checkpoint immediately.
+            task.priority = True
             self.queue.insert(0, task.key)
         else:
             self.queue.append(task.key)
@@ -495,6 +795,13 @@ class Broker:
                 f"re-leased {task.releases} times (> max_releases="
                 f"{self.config.max_releases}); last worker {worker_id}: {reason}"
             )
+            self._record(
+                "task-failed",
+                key=task.key,
+                error=task.error,
+                attempts=task.attempts,
+                releases=task.releases,
+            )
             await self._resolve(task, source="failed")
             return
         # Front of the queue: a preempted task resumes from its checkpoint
@@ -526,6 +833,13 @@ class Broker:
             task.status = FAILED
             task.worker = worker_id
             task.error = error
+            self._record(
+                "task-failed",
+                key=task.key,
+                error=error,
+                attempts=task.attempts,
+                releases=task.releases,
+            )
             await self._resolve(task, source="failed")
             return
         # Only an actual requeue is a retry — the terminal failure above
@@ -540,18 +854,93 @@ class Broker:
         self._requeue(task)
         self._gauges()
 
+    def _expected_cost(self, task: _Task) -> float | None:
+        """Mean observed compute seconds for this task's group, if any."""
+        samples = self.cost_history.by_group.get(task.group) if task.group else None
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
     def _lease_for(self, worker: _WorkerConn) -> _Task | None:
-        """Pop the first queued task whose fingerprint matches this worker."""
+        """Pop the best queued task whose fingerprint matches this worker.
+
+        Cost-aware dispatch order: re-leased casualties first (they hold
+        checkpoints), then never-measured groups (exploration — the long
+        paper-profile cells get sampled before the sweep's tail), then
+        longest-expected-first so stragglers don't land last, with the
+        original submit order breaking ties.
+        """
+        best_index: int | None = None
+        best_rank: tuple[int, int, float, int] | None = None
         for index, key in enumerate(self.queue):
             task = self.tasks[key]
-            if task.fingerprint == worker.fingerprint:
-                del self.queue[index]
-                task.status = LEASED
-                task.worker = worker.worker_id
-                task.deadline = time.monotonic() + self.config.lease_timeout
-                worker.leased.add(key)
-                return task
-        return None
+            if task.fingerprint != worker.fingerprint:
+                continue
+            cost = self._expected_cost(task)
+            rank = (
+                0 if task.priority else 1,
+                0 if cost is None else 1,
+                -(cost or 0.0),
+                task.order,
+            )
+            if best_rank is None or rank < best_rank:
+                best_rank, best_index = rank, index
+        if best_index is None:
+            return None
+        task = self.tasks[self.queue.pop(best_index)]
+        task.status = LEASED
+        task.worker = worker.worker_id
+        task.deadline = time.monotonic() + self.config.lease_timeout
+        task.adopted = False
+        worker.leased.add(task.key)
+        return task
+
+    async def _adopt_lease(self, worker: _WorkerConn, task: _Task, via: str) -> None:
+        """Re-bind an orphaned lease to the worker still computing it.
+
+        Reached from an explicit ``reattach`` frame or from the first
+        heartbeat naming a key this connection doesn't hold — both happen
+        when the worker (or the broker) survived a link death. The lease
+        continues where it left off: ``releases`` and checkpoint bindings
+        untouched, deadline refreshed.
+        """
+        if task.status == QUEUED and task.key in self.queue:
+            self.queue.remove(task.key)
+        task.status = LEASED
+        task.worker = worker.worker_id
+        task.deadline = time.monotonic() + self.config.lease_timeout
+        task.adopted = False
+        worker.leased.add(task.key)
+        self._record(
+            "reattach",
+            key=task.key,
+            worker=worker.worker_id,
+            via=via,
+            generation=self.generation,
+        )
+        await self._broadcast_event(
+            "reattach", key=task.key, worker=worker.worker_id, via=via
+        )
+        if task.trace is not None:
+            now = time.time()
+            if task.lease_span is None:
+                task.lease_seq += 1
+                task.lease_span = self._spans.mint_id()
+                task.lease_started = now
+            await self._emit_span(
+                self._make_span(
+                    task,
+                    "reattach",
+                    now,
+                    now,
+                    parent=task.lease_span,
+                    worker=worker.worker_id,
+                    via=via,
+                    generation=self.generation,
+                ),
+                task,
+            )
+        self._gauges()
 
     @property
     def _drained(self) -> bool:
@@ -602,12 +991,58 @@ class Broker:
             writer.close()
             return
         role = hello.get("role")
+        if role not in ("worker", "client"):
+            writer.close()
+            return
+        if not await self._authenticate(str(role), reader, writer):
+            return
         if role == "worker":
             await self._worker_session(hello, reader, writer)
-        elif role == "client":
-            await self._client_session(hello, reader, writer)
         else:
+            await self._client_session(hello, reader, writer)
+
+    async def _authenticate(
+        self, role: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Shared-secret challenge/response; True when the peer may proceed.
+
+        Without a configured token this is a no-op (no extra frames on
+        the wire). Otherwise the peer's next frame after the challenge
+        must be a valid ``auth`` — rejected peers never reach the lease
+        queue or the submit path, and get a diagnosable ``error`` frame
+        before the close.
+        """
+        token = self.config.auth_token
+        if not token:
+            return True
+        nonce = secrets.token_hex(16)
+        try:
+            await write_frame_async(writer, {"type": "challenge", "nonce": nonce})
+            reply = await asyncio.wait_for(read_frame_async(reader), timeout=30.0)
+        except (ProtocolError, ConnectionError, OSError, asyncio.TimeoutError):
             writer.close()
+            return False
+        mac = str(reply.get("mac", "")) if isinstance(reply, dict) else ""
+        ok = (
+            isinstance(reply, dict)
+            and reply.get("type") == "auth"
+            and hmac.compare_digest(mac, auth_response(token, nonce, role))
+        )
+        if not ok:
+            self._record("auth-reject", role=role)
+            self._count("broker_auth_rejects_total")
+            with contextlib.suppress(ConnectionError, ProtocolError, OSError):
+                await write_frame_async(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": "authentication failed: this broker requires a "
+                        "matching --auth-token",
+                    },
+                )
+            writer.close()
+            return False
+        return True
 
     async def _worker_session(
         self, hello: dict[str, Any], reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -616,10 +1051,11 @@ class Broker:
             worker_id=str(hello.get("worker", f"worker-{uuid.uuid4().hex[:8]}")),
             fingerprint=str(hello.get("code", "")),
             writer=writer,
+            slots=max(1, int(hello.get("slots", 1) or 1)),
         )
         self.workers[worker.worker_id] = worker
-        self._record("worker-join", worker=worker.worker_id)
-        await self._broadcast_event("worker-join", worker=worker.worker_id)
+        self._record("worker-join", worker=worker.worker_id, slots=worker.slots)
+        await self._broadcast_event("worker-join", worker=worker.worker_id, slots=worker.slots)
         self._gauges()
         await write_frame_async(
             writer,
@@ -629,6 +1065,7 @@ class Broker:
                 "broker": self.broker_id,
                 "heartbeat": self.config.resolved_heartbeat(),
                 "lease_timeout": self.config.lease_timeout,
+                "generation": self.generation,
             },
         )
         try:
@@ -640,15 +1077,23 @@ class Broker:
         except (ProtocolError, ConnectionError, OSError):
             pass  # torn frame / dead socket: treated exactly like a lapse
         finally:
-            self.workers.pop(worker.worker_id, None)
+            # A reconnecting worker reuses its id: if a fresh connection
+            # already replaced this one in the registry, this stale
+            # session must not evict it or release its adopted leases.
+            if self.workers.get(worker.worker_id) is worker:
+                self.workers.pop(worker.worker_id, None)
             self._record("worker-leave", worker=worker.worker_id, completed=worker.completed)
             await self._broadcast_event("worker-leave", worker=worker.worker_id)
             # Don't wait for the lease deadline: the connection death *is*
             # the signal that any in-flight task needs a new home.
             for key in list(worker.leased):
                 task = self.tasks.get(key)
-                if task is not None and task.status == LEASED and task.worker == worker.worker_id:
-                    await self._release_lease(task, reason="worker disconnected")
+                if task is None or task.status != LEASED or task.worker != worker.worker_id:
+                    continue
+                successor = self.workers.get(worker.worker_id)
+                if successor is not None and successor is not worker and key in successor.leased:
+                    continue  # the lease lives on over the new connection
+                await self._release_lease(task, reason="worker disconnected")
             self._gauges()
             self._snapshot_state()
             writer.close()
@@ -662,10 +1107,7 @@ class Broker:
                     worker.writer, {"type": "idle", "drain": self._drained}
                 )
                 return
-            self._record(
-                "lease", key=task.key, worker=worker.worker_id, releases=task.releases
-            )
-            self._gauges()
+            task.lease_seq += 1
             message = {"type": "task", "key": task.key, "payload": task.payload}
             checkpoint = self._checkpoint_plumbing(task.key)
             if checkpoint is not None:
@@ -673,13 +1115,12 @@ class Broker:
             if task.trace is not None:
                 now = time.time()
                 await self._emit_span(
-                    self._make_span(task, "queued", task.queued_since or now, now)
+                    self._make_span(task, "queued", task.queued_since or now, now), task
                 )
                 queue_seconds = now - task.queued_since if task.queued_since else 0.0
                 self.metrics.histogram(
                     "fleet_queue_seconds", "Seconds a task waited for a lease."
                 ).observe(max(0.0, queue_seconds))
-                task.lease_seq += 1
                 task.lease_span = self._spans.mint_id()
                 task.lease_started = now
                 # The worker parents its running span under this lease span
@@ -689,14 +1130,65 @@ class Broker:
                     "parent": task.lease_span,
                     "origin": worker.worker_id,
                 }
+            # Recorded after the span mint so a recovering broker restores
+            # the open lease span id along with the lease itself.
+            self._record(
+                "lease",
+                key=task.key,
+                worker=worker.worker_id,
+                releases=task.releases,
+                lease_seq=task.lease_seq,
+                span=task.lease_span,
+            )
+            self._gauges()
             await write_frame_async(worker.writer, message)
             return
         key = frame.get("key")
         task = self.tasks.get(key) if isinstance(key, str) else None
         if kind == "heartbeat":
             self._note_worker_metrics(worker.worker_id, frame)
-            if task is not None and task.status == LEASED and task.worker == worker.worker_id:
-                task.deadline = time.monotonic() + self.config.lease_timeout
+            keys = frame.get("keys")
+            if not isinstance(keys, list):
+                keys = [key] if isinstance(key, str) else []
+            for each in keys:
+                held = self.tasks.get(each) if isinstance(each, str) else None
+                if held is None:
+                    continue
+                if held.status == LEASED and held.worker == worker.worker_id:
+                    held.deadline = time.monotonic() + self.config.lease_timeout
+                    if each not in worker.leased or held.adopted:
+                        # First pulse over a fresh connection for a lease
+                        # granted before the old one (or the broker) died.
+                        await self._adopt_lease(worker, held, via="heartbeat")
+                elif (
+                    held.status == QUEUED
+                    and held.fingerprint == worker.fingerprint
+                    and each not in worker.leased
+                ):
+                    # The lease lapsed (reaped, or recovery grace expired)
+                    # but the worker is demonstrably still computing it —
+                    # re-adopting beats double-executing.
+                    await self._adopt_lease(worker, held, via="heartbeat")
+            return
+        if kind == "reattach":
+            adopted: list[str] = []
+            rejected: list[str] = []
+            for each in frame.get("keys") or []:
+                held = self.tasks.get(each) if isinstance(each, str) else None
+                if held is not None and (
+                    (held.status == LEASED and held.worker == worker.worker_id)
+                    or (held.status == QUEUED and held.fingerprint == worker.fingerprint)
+                ):
+                    await self._adopt_lease(worker, held, via="reattach")
+                    adopted.append(each)
+                else:
+                    # Already resolved, or re-leased to a live worker —
+                    # the reattaching worker must drop the slot.
+                    rejected.append(each)
+            await write_frame_async(
+                worker.writer, {"type": "reattach-ok", "adopted": adopted, "rejected": rejected}
+            )
+            self._snapshot_state()
             return
         if kind == "complete":
             self._note_worker_metrics(worker.worker_id, frame)
@@ -728,7 +1220,13 @@ class Broker:
         self.clients.append(client)
         self._record("run-start", run=client.run_id)
         await write_frame_async(
-            writer, {"type": "welcome", "protocol": PROTOCOL, "broker": self.broker_id}
+            writer,
+            {
+                "type": "welcome",
+                "protocol": PROTOCOL,
+                "broker": self.broker_id,
+                "generation": self.generation,
+            },
         )
         try:
             while True:
@@ -756,9 +1254,11 @@ class Broker:
         for entry in entries:
             key = entry["key"]
             trace_ctx = entry.get("trace")
-            trace_ctx = trace_ctx if isinstance(trace_ctx, dict) and trace_ctx.get("trace") else None
+            if not (isinstance(trace_ctx, dict) and trace_ctx.get("trace")):
+                trace_ctx = None
             task = self.tasks.get(key)
             if task is None:
+                self._order += 1
                 task = _Task(
                     key=key,
                     payload=dict(entry["payload"]),
@@ -766,10 +1266,13 @@ class Broker:
                     fingerprint=client.fingerprint,
                     trace=trace_ctx,
                     queued_since=time.time(),
+                    order=self._order,
+                    group=_task_group(entry["payload"]),
                 )
                 if task.trace is not None:
                     await self._emit_span(
-                        self._make_span(task, "submitted", time.time(), run=client.run_id)
+                        self._make_span(task, "submitted", time.time(), run=client.run_id),
+                        task,
                     )
                 cached = self._cached_result(task)
                 if cached is not None:
@@ -793,7 +1296,23 @@ class Broker:
                 self.tasks[key] = task
                 self.queue.append(key)
                 client.outstanding.add(key)
+                # Durable birth record (payload included) so a restarted
+                # broker can requeue this task without its client. fsync
+                # is batched: one sync below covers the whole submit.
+                self._record(
+                    "task",
+                    sync=False,
+                    key=key,
+                    run=client.run_id,
+                    code=client.fingerprint,
+                    order=task.order,
+                    group=task.group or None,
+                    payload=task.payload,
+                    trace=task.trace,
+                )
             elif task.status == DONE:
+                if task.result is None and not await self._reserve_recovered(client, task, entry):
+                    continue
                 # Another run already computed this key (content-addressed
                 # dedup across clients): serve it straight from memory.
                 client.outstanding.add(key)
@@ -803,12 +1322,66 @@ class Broker:
                 client.outstanding.add(key)
                 await self._resolve(task, source="failed")
             else:
+                # Already queued or leased (submitted by another client, or
+                # re-adopted across a broker restart): subscribe, and replay
+                # the span chain so the resumed run's trace stays complete.
                 client.outstanding.add(key)
+                if task.trace is None and trace_ctx is not None:
+                    task.trace = trace_ctx
+                if trace_ctx is not None:
+                    for span in task.span_log:
+                        with contextlib.suppress(ConnectionError, ProtocolError, OSError):
+                            await write_frame_async(
+                                client.writer,
+                                {"type": "event", "kind": "span", "span": span},
+                            )
+        if self.store is not None:
+            self.store.sync()
         if not client.outstanding:
             await write_frame_async(client.writer, {"type": "done"})
         self._gauges()
         self._snapshot_state()
         self._wake_reaper.set()
+
+    async def _reserve_recovered(
+        self, client: _ClientConn, task: _Task, entry: dict[str, Any]
+    ) -> bool:
+        """Restore a recovered DONE task's result; False = requeued instead.
+
+        A restart keeps terminal rows only as bookkeeping — the bundle
+        itself lives in the shared cache. Cache hit: rehydrate and serve.
+        Cache miss (no ``--cache-dir``, or the entry was pruned):
+        recompute from the resubmitted payload — at-least-once over
+        idempotent keys makes that safe.
+        """
+        cached = self._cached_result(task)
+        if cached is not None:
+            bundle, _source = cached
+            origin = bundle.get("origin") or {}
+            task.worker = origin.get("worker") or task.worker
+            task.result = bundle
+            return True
+        task.payload = dict(entry["payload"])
+        task.fingerprint = client.fingerprint
+        task.status = QUEUED
+        task.queued_since = time.time()
+        task.trace = task.trace or (
+            entry.get("trace") if isinstance(entry.get("trace"), dict) else None
+        )
+        self.queue.append(task.key)
+        client.outstanding.add(task.key)
+        self._record(
+            "task",
+            key=task.key,
+            run=client.run_id,
+            code=client.fingerprint,
+            order=task.order,
+            group=task.group or None,
+            payload=task.payload,
+            trace=task.trace,
+            recomputed=True,
+        )
+        return False
 
     # ------------------------------------------------------------------
     # lease reaper + server lifecycle
@@ -833,7 +1406,10 @@ class Broker:
     async def serve(self) -> None:
         """Bind, announce the port, and run until :meth:`shutdown`."""
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            ssl=self.config.tls_context(),
         )
         sockets = self._server.sockets or []
         self.port = sockets[0].getsockname()[1] if sockets else self.config.port
@@ -841,7 +1417,13 @@ class Broker:
             port_path = Path(self.config.port_file)
             port_path.parent.mkdir(parents=True, exist_ok=True)
             port_path.write_text(f"{self.port}\n", encoding="utf-8")
-        self._record("broker-start", broker=self.broker_id, port=self.port)
+        self._record(
+            "broker-start",
+            broker=self.broker_id,
+            port=self.port,
+            generation=self.generation,
+            recovered=self._recovered,
+        )
         reaper = asyncio.ensure_future(self._reap_leases())
         try:
             await self._stopping.wait()
@@ -879,6 +1461,9 @@ class Broker:
         config = {
             "role": "broker",
             "broker": self.broker_id,
+            "generation": self.generation,
+            "auth": self.config.auth_token is not None,
+            "tls": self.config.tls_cert is not None,
             "host": self.config.host,
             "port": self.port,
             "lease_timeout": self.config.lease_timeout,

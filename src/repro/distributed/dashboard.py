@@ -31,7 +31,7 @@ import subprocess
 from pathlib import Path
 from typing import Any
 
-from repro.distributed.store import SweepStateStore, read_events
+from repro.distributed.store import SweepStateStore, _archive_paths, read_events
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -76,6 +76,10 @@ def render_sweep_panel(state_dir: Path | str) -> list[str]:
     releases: dict[str, int] = {}
     resumes: dict[str, int] = {}
     cache_hits: dict[str, int] = {}
+    slots: dict[str, int] = {}
+    reattached: dict[str, int] = {}
+    recoveries: list[dict[str, Any]] = []
+    missing_archives = 0
     for event in read_events(state_dir):
         kind = event["event"]
         worker = event.get("worker")
@@ -88,18 +92,50 @@ def render_sweep_panel(state_dir: Path | str) -> list[str]:
         elif kind == "cache-hit":
             source = event.get("source", "cache")
             cache_hits[source] = cache_hits.get(source, 0) + 1
-    if completions or releases:
+        elif kind == "worker-join" and worker:
+            slots[worker] = int(event.get("slots", 1) or 1)
+        elif kind == "reattach" and worker:
+            reattached[worker] = reattached.get(worker, 0) + 1
+        elif kind == "broker-recover":
+            recoveries.append(event)
+        elif kind == "compact":
+            archive = event.get("archive")
+            if archive and not (Path(state_dir) / str(archive)).exists():
+                missing_archives += 1
+    if state.generation > 1 or recoveries:
+        requeued = sum(int(e.get("requeued", 0)) for e in recoveries)
+        adopted = sum(int(e.get("adopted_leases", 0)) for e in recoveries)
+        lines.append(
+            f"broker restarts: {state.generation - 1} (generation {state.generation}"
+            + (
+                f"; requeued {requeued}, re-adopted leases {adopted})"
+                if recoveries
+                else ")"
+            )
+        )
+    if completions or releases or slots:
         lines.append("workers:")
-        for worker in sorted(set(completions) | set(releases)):
+        for worker in sorted(set(completions) | set(releases) | set(slots)):
             extra = ""
+            if slots.get(worker, 1) > 1:
+                extra += f"  slots {slots[worker]}"
             if releases.get(worker):
                 extra += f"  re-leased {releases[worker]}"
+            if reattached.get(worker):
+                extra += f"  re-attached {reattached[worker]}"
             if resumes.get(worker):
                 extra += f"  resumed-from-checkpoint {resumes[worker]}"
             lines.append(f"  {worker:28s} completed {completions.get(worker, 0):4d}{extra}")
     if cache_hits:
         hits = "  ".join(f"{source} {count}" for source, count in sorted(cache_hits.items()))
         lines.append(f"cache hits: {hits}")
+    surviving = [int(p.name.rsplit(".", 1)[1]) for p in _archive_paths(Path(state_dir))]
+    deleted = max(missing_archives, (min(surviving) - 1) if surviving else 0)
+    if deleted:
+        lines.append(
+            f"note: event history truncated by compaction ({deleted} archived "
+            "segment(s) deleted; worker tallies reflect surviving provenance only)"
+        )
     return lines
 
 

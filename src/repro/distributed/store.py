@@ -1,19 +1,30 @@
 """Persistent results store behind the broker (and the dashboard's input).
 
-Two files live in a broker's ``--state-dir``:
+Files in a broker's ``--state-dir``:
 
 ``events.jsonl``
     Append-only provenance log: worker joins/leaves, leases, re-leases,
     completions (with worker identity and source), failures, run
-    boundaries. Each line is flushed before the broker moves on, so the
-    log survives a SIGKILLed broker with at most the in-flight line torn
-    (readers skip torn tails, same contract as the runner journal).
+    boundaries. Each line carries a monotonically increasing ``seq`` and
+    is flushed before the broker moves on, so the log survives a
+    SIGKILLed broker with at most the in-flight line torn (readers skip
+    torn tails, same contract as the runner journal).
 
-``state.json``
+``state.json`` (+ ``state.json.prev``)
     Atomically replaced snapshot of the live sweep: per-run task counts
-    by status, per-worker tallies, re-lease totals. This is what
-    ``repro dashboard`` renders; it is a *view* over the event log, so a
-    stale or missing snapshot is an inconvenience, never data loss.
+    by status, the **durable task table** (payloads, lease ownership,
+    release/retry counters, queue order) a restarted broker recovers
+    from, and the ``seq`` of the last event folded in. The previous
+    snapshot generation is kept as ``state.json.prev`` so a snapshot
+    torn by a crash falls back to the newest *valid* one; the event tail
+    past its ``seq`` is then replayed on top.
+
+``events.jsonl.NNN``
+    Compacted segments of the event log. Once a snapshot has folded a
+    segment in, :meth:`SweepStateStore.compact` rotates the live log so
+    recovery stays O(state) instead of O(history); bounded retention
+    (``keep_archives``) deletes the oldest segments, which provenance
+    readers must tolerate (the dashboard renders a note, not a crash).
 
 On clean run completion the broker also writes the standard telemetry
 run manifest (``manifest.json``) next to these, stamping the sweep with
@@ -24,23 +35,53 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["SweepState", "SweepStateStore", "read_events"]
+__all__ = [
+    "SweepState",
+    "SweepStateStore",
+    "read_events",
+    "read_live_events",
+    "replay_events",
+]
 
 STATE_FILENAME = "state.json"
+PREV_STATE_SUFFIX = ".prev"
 EVENTS_FILENAME = "events.jsonl"
+_ARCHIVE_RE = re.compile(r"^events\.jsonl\.(\d+)$")
 
 
 @dataclass
 class SweepState:
-    """Aggregated view of one broker lifetime (possibly several runs)."""
+    """Aggregated view of one broker lifetime (possibly several runs).
+
+    Beyond the dashboard counters, the snapshot carries everything a
+    restarted broker needs to re-adopt the sweep:
+
+    ``generation``
+        1 for a fresh state dir, +1 for every broker that recovers it.
+    ``seq``
+        The last event ``seq`` folded into this snapshot; recovery
+        replays only live-log events with a larger ``seq``.
+    ``tasks``
+        The durable task table keyed by content digest. Non-terminal
+        entries keep the full payload (so a re-queued task can be
+        leased without its submitting client); terminal entries keep
+        the poison/dedup bookkeeping (``releases``, ``attempts``,
+        ``error``) so the guards survive a restart.
+    ``queue``
+        Queued keys in dispatch order (re-leased priority tasks first,
+        then original submit order).
+    """
 
     started_unix: float = 0.0
     updated_unix: float = 0.0
+    generation: int = 1
+    seq: int = 0
     tasks_total: int = 0
     tasks_done: int = 0
     tasks_failed: int = 0
@@ -51,11 +92,15 @@ class SweepState:
     by_source: dict[str, int] = field(default_factory=dict)
     workers: dict[str, dict[str, Any]] = field(default_factory=dict)
     runs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    tasks: dict[str, dict[str, Any]] = field(default_factory=dict)
+    queue: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "started_unix": self.started_unix,
             "updated_unix": self.updated_unix,
+            "generation": self.generation,
+            "seq": self.seq,
             "tasks_total": self.tasks_total,
             "tasks_done": self.tasks_done,
             "tasks_failed": self.tasks_failed,
@@ -66,6 +111,8 @@ class SweepState:
             "by_source": dict(self.by_source),
             "workers": dict(self.workers),
             "runs": dict(self.runs),
+            "tasks": dict(self.tasks),
+            "queue": list(self.queue),
         }
 
     @staticmethod
@@ -74,6 +121,8 @@ class SweepState:
         for key in (
             "started_unix",
             "updated_unix",
+            "generation",
+            "seq",
             "tasks_total",
             "tasks_done",
             "tasks_failed",
@@ -87,6 +136,8 @@ class SweepState:
         state.by_source = dict(payload.get("by_source", {}))
         state.workers = dict(payload.get("workers", {}))
         state.runs = dict(payload.get("runs", {}))
+        state.tasks = dict(payload.get("tasks", {}))
+        state.queue = list(payload.get("queue", []))
         return state
 
 
@@ -97,29 +148,94 @@ class SweepStateStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.state = SweepState(started_unix=round(time.time(), 3))
+        self._seq = _last_seq(self.directory)
         self._events_fh = open(self.directory / EVENTS_FILENAME, "ab")
 
-    def record(self, kind: str, **fields: Any) -> None:
-        """Durably append one provenance event and refresh the snapshot."""
+    def record(self, kind: str, sync: bool = True, **fields: Any) -> int:
+        """Durably append one provenance event; returns its ``seq``.
+
+        ``sync=False`` defers the fsync for batch writers (e.g. one
+        ``task`` event per entry of a large submit) — the caller must
+        follow up with :meth:`sync` (or any sync'd ``record``) before
+        acknowledging the batch.
+        """
         if self._events_fh.closed:
             # Sessions unwinding after shutdown closed the store race this
             # path; their leave/disconnect events are droppable by design.
-            return
-        event = {"ts": round(time.time(), 3), "event": kind, **fields}
+            return self._seq
+        self._seq += 1
+        event = {"ts": round(time.time(), 3), "seq": self._seq, "event": kind, **fields}
         line = json.dumps(event, sort_keys=True) + "\n"
         self._events_fh.write(line.encode("utf-8"))
         self._events_fh.flush()
-        os.fsync(self._events_fh.fileno())
+        if sync:
+            os.fsync(self._events_fh.fileno())
+        return self._seq
+
+    def sync(self) -> None:
+        """Flush any ``record(..., sync=False)`` tail to stable storage."""
+        if not self._events_fh.closed:
+            self._events_fh.flush()
+            os.fsync(self._events_fh.fileno())
 
     def write_state(self) -> None:
-        """Atomically replace ``state.json`` with the current snapshot."""
+        """Atomically replace ``state.json``, keeping the previous snapshot.
+
+        The displaced snapshot becomes ``state.json.prev`` *before* the
+        new one lands, so at every instant at least one complete
+        snapshot exists on disk (a crash between the two renames leaves
+        ``state.json`` missing but ``.prev`` valid — the loader's
+        newest-valid fallback).
+        """
         self.state.updated_unix = round(time.time(), 3)
+        self.state.seq = self._seq
         path = self.directory / STATE_FILENAME
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(self.state.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.state.to_dict(), indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if path.exists():
+            os.replace(path, path.with_name(path.name + PREV_STATE_SUFFIX))
         os.replace(tmp, path)
+
+    def compact(self, keep_archives: int = 1) -> Path | None:
+        """Fold the live event log into ``state.json`` and rotate it.
+
+        The current snapshot (which carries ``seq``) is written first,
+        then ``events.jsonl`` is renamed to the next ``events.jsonl.NNN``
+        segment and a fresh live log is started with a ``compact``
+        marker event. Old segments beyond ``keep_archives`` are deleted
+        — provenance readers see a truncated (but never torn) history.
+        Returns the archive path, or None when the live log is empty.
+        """
+        live = self.directory / EVENTS_FILENAME
+        self.write_state()
+        if self._events_fh.closed or live.stat().st_size == 0:
+            return None
+        archives = _archive_paths(self.directory)
+        next_index = (
+            max(int(_ARCHIVE_RE.match(p.name).group(1)) for p in archives) + 1
+            if archives
+            else 1
+        )
+        archive = self.directory / f"{EVENTS_FILENAME}.{next_index}"
+        self._events_fh.close()
+        os.replace(live, archive)
+        self._events_fh = open(live, "ab")
+        self.record("compact", archive=archive.name, folded_seq=self._seq)
+        archives = _archive_paths(self.directory)
+        excess = archives if keep_archives <= 0 else archives[:-keep_archives]
+        for stale in excess:
+            stale.unlink(missing_ok=True)
+        return archive
+
+    def events_bytes(self) -> int:
+        """Size of the live event log (compaction trigger input)."""
+        try:
+            return (self.directory / EVENTS_FILENAME).stat().st_size
+        except OSError:
+            return 0
 
     def close(self) -> None:
         self.write_state()
@@ -128,17 +244,33 @@ class SweepStateStore:
 
     @staticmethod
     def load_state(directory: Path | str) -> SweepState | None:
-        """Read ``state.json`` from a state dir; None when absent/torn."""
-        path = Path(directory) / STATE_FILENAME
-        try:
-            return SweepState.from_dict(json.loads(path.read_text(encoding="utf-8")))
-        except (OSError, ValueError):
-            return None
+        """Newest *valid* snapshot: ``state.json``, else ``state.json.prev``.
+
+        A snapshot torn by a crash mid-replace (or truncated by a full
+        disk) parses as garbage and falls through to the previous
+        generation; None only when no readable snapshot exists at all.
+        """
+        base = Path(directory) / STATE_FILENAME
+        for path in (base, base.with_name(base.name + PREV_STATE_SUFFIX)):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                return SweepState.from_dict(payload)
+        return None
 
 
-def read_events(directory: Path | str) -> Iterator[dict[str, Any]]:
-    """Replay ``events.jsonl``, skipping torn or malformed lines."""
-    path = Path(directory) / EVENTS_FILENAME
+def _archive_paths(directory: Path) -> list[Path]:
+    """Compacted event segments, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    paths = [p for p in directory.iterdir() if _ARCHIVE_RE.match(p.name)]
+    return sorted(paths, key=lambda p: int(_ARCHIVE_RE.match(p.name).group(1)))
+
+
+def _iter_event_lines(path: Path) -> Iterator[dict[str, Any]]:
     if not path.exists():
         return
     with open(path, "rb") as fh:
@@ -152,3 +284,56 @@ def read_events(directory: Path | str) -> Iterator[dict[str, Any]]:
                 continue
             if isinstance(event, dict) and "event" in event:
                 yield event
+
+
+def read_live_events(directory: Path | str) -> Iterator[dict[str, Any]]:
+    """Replay the live ``events.jsonl`` only, skipping torn/malformed lines."""
+    yield from _iter_event_lines(Path(directory) / EVENTS_FILENAME)
+
+
+def read_events(directory: Path | str) -> Iterator[dict[str, Any]]:
+    """Replay the full event history: archived segments, then the live log.
+
+    Segments deleted by compaction retention are silently absent — the
+    history readers see is contiguous from the oldest *surviving*
+    segment. Torn or malformed lines are skipped, as ever.
+    """
+    directory = Path(directory)
+    for archive in _archive_paths(directory):
+        yield from _iter_event_lines(archive)
+    yield from read_live_events(directory)
+
+
+def replay_events(directory: Path | str, after_seq: int = 0) -> Iterator[dict[str, Any]]:
+    """Live-log events newer than ``after_seq``, for snapshot catch-up.
+
+    This is the O(state) recovery read: compaction keeps the live log
+    short, and the snapshot's ``seq`` skips everything already folded
+    in. Events from logs that predate seq-stamping (no ``seq`` key) are
+    replayed only when no snapshot progress exists (``after_seq == 0``).
+    """
+    for event in read_live_events(directory):
+        seq = event.get("seq")
+        if seq is None:
+            if after_seq == 0:
+                yield event
+            continue
+        if int(seq) > after_seq:
+            yield event
+
+
+def _last_seq(directory: Path) -> int:
+    """Highest seq visible anywhere in the state dir (snapshot or logs).
+
+    A reopened store must continue the sequence, not restart it — seq
+    ordering is what lets recovery align snapshots with the event tail.
+    """
+    best = 0
+    state = SweepStateStore.load_state(directory)
+    if state is not None:
+        best = int(state.seq or 0)
+    for event in read_live_events(directory):
+        seq = event.get("seq")
+        if seq is not None:
+            best = max(best, int(seq))
+    return best

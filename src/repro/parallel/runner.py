@@ -98,6 +98,8 @@ class RunnerReport:
     tasks_from_remote_cache: int = 0
     tasks_remote: int = 0
     tasks_releases: int = 0
+    tasks_reattached: int = 0
+    broker_reconnects: int = 0
     remote_workers: dict[str, int] = field(default_factory=dict)
     tasks_retried: int = 0
     tasks_quarantined: int = 0
@@ -150,6 +152,11 @@ class RunnerReport:
             lines.append(
                 f"broker: {self.tasks_remote} task(s) on {len(self.remote_workers)} "
                 f"worker(s) [{fleet}]  re-leases {self.tasks_releases}"
+            )
+        if self.broker_reconnects or self.tasks_reattached:
+            lines.append(
+                f"broker outages: reconnected {self.broker_reconnects} time(s), "
+                f"{self.tasks_reattached} in-flight lease(s) re-adopted"
             )
         if self.journal_corrupt_lines:
             lines.append(f"journal: skipped {self.journal_corrupt_lines} torn line(s)")
@@ -236,6 +243,12 @@ class ExperimentRunner:
         byte-identical to ``--jobs 1``. Checkpoint placement for
         re-leased tasks is configured on the *broker*, which owns the
         snapshot directories.
+    broker_auth_token:
+        Shared secret for a broker running with ``--auth-token``; the
+        client answers the broker's HMAC challenge with it.
+    broker_tls_ca:
+        PEM certificate that signed the broker's ``--tls-cert``;
+        enables TLS on the broker connection.
     cprofile:
         Run each computed task under cProfile and fold the merged top-N
         hotspots into ``RunnerReport.hotspots`` (the CLI copies them into
@@ -265,6 +278,8 @@ class ExperimentRunner:
         checkpoint_every: int | None = None,
         checkpoint_dir: Path | str | None = None,
         broker: str | None = None,
+        broker_auth_token: str | None = None,
+        broker_tls_ca: Path | str | None = None,
         cprofile: bool = False,
     ) -> None:
         from repro.analysis.experiments import PROFILES, Profile
@@ -275,6 +290,8 @@ class ExperimentRunner:
 
             resolve_address(broker)  # fail fast on malformed addresses
         self.broker = broker
+        self.broker_auth_token = broker_auth_token
+        self.broker_tls_ca = broker_tls_ca
 
         if isinstance(profile, str):
             if profile not in PROFILES:
@@ -637,6 +654,14 @@ class ExperimentRunner:
                 return
             if kind == "re-lease":
                 report.tasks_releases += 1
+            elif kind == "reattach":
+                # A worker that outlived a broken link (or the broker's own
+                # restart) kept computing and re-attached its lease.
+                report.tasks_reattached += 1
+            elif kind == "client-reconnect":
+                # Synthetic, client-minted: our submit stream survived a
+                # broker outage and resubmitted the remainder.
+                report.broker_reconnects += 1
             elif kind == "retry":
                 report.tasks_retried += 1
                 if tel is not None:
@@ -656,7 +681,12 @@ class ExperimentRunner:
             if progress is not None:
                 progress.note_fleet_event(event)
 
-        client = BrokerClient(self.broker, on_event=on_event)
+        client = BrokerClient(
+            self.broker,
+            on_event=on_event,
+            auth_token=self.broker_auth_token,
+            tls_ca=self.broker_tls_ca,
+        )
         for payload, bundle in client.run_tasks(list(payloads)):
             self._check_shutdown()
             if isinstance(bundle, RemoteTaskFailure):
@@ -1099,6 +1129,8 @@ def run_experiments(
     checkpoint_every: int | None = None,
     checkpoint_dir: Path | str | None = None,
     broker: str | None = None,
+    broker_auth_token: str | None = None,
+    broker_tls_ca: Path | str | None = None,
     cprofile: bool = False,
 ) -> RunnerReport:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
@@ -1116,6 +1148,8 @@ def run_experiments(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         broker=broker,
+        broker_auth_token=broker_auth_token,
+        broker_tls_ca=broker_tls_ca,
         cprofile=cprofile,
     )
     return runner.run(experiment_ids)

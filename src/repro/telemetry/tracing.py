@@ -316,9 +316,25 @@ class TaskTrace:
 
 
 def assemble_traces(spans: list[dict[str, Any]]) -> list[TaskTrace]:
-    """Group spans by trace id; traces ordered by their earliest span."""
+    """Group spans by trace id; traces ordered by their earliest span.
+
+    Identical records are collapsed first: a broker restart replays the
+    live spans of recovered tasks to resubmitting clients (so their
+    trace files stay complete), which can record the same span twice.
+    """
     by_trace: dict[str, list[dict[str, Any]]] = {}
+    seen: set[tuple[Any, ...]] = set()
     for span in spans:
+        identity = (
+            span["trace"],
+            span.get("span"),
+            span.get("name"),
+            span.get("start"),
+            span.get("end"),
+        )
+        if identity in seen:
+            continue
+        seen.add(identity)
         by_trace.setdefault(span["trace"], []).append(span)
     traces = [TaskTrace(trace, group) for trace, group in by_trace.items()]
     traces.sort(key=lambda t: min(s["start"] for s in t.spans))

@@ -1,0 +1,232 @@
+"""Broker restart recovery: durable leases, reattach, and resubmission.
+
+A broker bound to a ``--state-dir`` must be killable at any point and a
+successor started on the same directory must carry on: queued tasks come
+back in order, in-flight leases are re-adopted when their worker's
+heartbeat re-appears, and a resubmitting client is served the remainder
+without anything executing twice to completion.
+
+These tests restart the in-process broker harness on a *fixed* port so
+workers and clients reconnect to "the same" broker; the SIGKILL-a-real-
+broker-subprocess variant lives in ``tests/integration``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.distributed import BrokerClient
+from repro.distributed.store import SweepStateStore, read_events
+from repro.parallel.tasks import TaskSpec
+
+from .test_broker import collect, payload_for, stub_result
+
+
+def wait_for(predicate, timeout: float = 10.0, interval: float = 0.02) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached within timeout")
+
+
+def events_of(state_dir, kind: str) -> list[dict]:
+    return [e for e in read_events(state_dir) if e["event"] == kind]
+
+
+class TestQueuedTasksSurviveRestart:
+    def test_pending_queue_recovers_in_order_and_client_reconnects(
+        self, make_broker, stub_worker, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        first = make_broker(state_dir=state_dir)
+        port = first.broker.port
+
+        payloads = [payload_for(i) for i in range(5)]
+        fleet_events: list[dict] = []
+        client = BrokerClient(
+            first.address, on_event=fleet_events.append, reconnect_backoff=0.05
+        )
+        results: dict[str, object] = {}
+
+        def drive() -> None:
+            results.update(collect(client, payloads))
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        # No worker yet: all five tasks land in the durable queue.
+        wait_for(lambda: len(events_of(state_dir, "task")) == 5)
+        first.stop()
+
+        second = make_broker(state_dir=state_dir, port=port)
+        assert second.broker.generation == 2
+        # Recovery rebuilt the queue in original submit order.
+        recovered = SweepStateStore.load_state(state_dir)
+        assert recovered is not None and recovered.generation == 2
+        keys = [TaskSpec.from_payload(p).digest for p in payloads]
+        assert recovered.queue == keys
+
+        stub_worker(second.address, task_fn=stub_result, worker_id="after-restart")
+        driver.join(timeout=20.0)
+        assert not driver.is_alive()
+        assert len(results) == 5
+        assert all(
+            not hasattr(bundle, "error") and bundle["worker"] == "after-restart"
+            for bundle in results.values()
+        )
+        # The client surfaced its ride through the outage.
+        assert any(e.get("kind") == "client-reconnect" for e in fleet_events)
+        # Nothing executed twice to completion.
+        completes = events_of(state_dir, "complete")
+        assert sorted(e["key"] for e in completes) == sorted(keys)
+
+
+class TestInflightLeaseSurvivesRestart:
+    def test_lease_is_readopted_without_double_execution(
+        self, make_broker, stub_worker, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        first = make_broker(state_dir=state_dir, lease_timeout=10.0)
+        port = first.broker.port
+
+        executions: list[str] = []
+        release = threading.Event()
+
+        def slow_task(payload: dict) -> dict:
+            executions.append(TaskSpec.from_payload(payload).digest)
+            release.wait(timeout=15.0)
+            return stub_result(payload)
+
+        worker = stub_worker(
+            first.address, task_fn=slow_task, worker_id="survivor", reconnect_backoff=0.05
+        )
+        client = BrokerClient(first.address, reconnect_backoff=0.05)
+        payloads = [payload_for(0)]
+        results: dict[str, object] = {}
+        driver = threading.Thread(
+            target=lambda: results.update(collect(client, payloads)), daemon=True
+        )
+        driver.start()
+        # The worker is mid-computation when the broker dies.
+        wait_for(lambda: len(executions) == 1)
+        first.stop()
+        second = make_broker(state_dir=state_dir, port=port, lease_timeout=10.0)
+        assert second.broker.generation == 2
+
+        # The worker's reattach (or first heartbeat) re-adopts the lease.
+        wait_for(lambda: len(events_of(state_dir, "reattach")) >= 1)
+        release.set()
+        driver.join(timeout=20.0)
+        assert not driver.is_alive()
+
+        key = TaskSpec.from_payload(payloads[0]).digest
+        bundle = results[key]
+        assert not hasattr(bundle, "error")
+        assert bundle["worker"] == "survivor"
+        # One execution, one completion — the restart did not fork the task.
+        assert executions == [key]
+        assert [e["key"] for e in events_of(state_dir, "complete")] == [key]
+        adopted = events_of(state_dir, "reattach")
+        assert any(e["worker"] == "survivor" for e in adopted)
+        assert worker.stats.reattached >= 1
+
+    def test_recovered_lease_expires_to_queue_when_worker_never_returns(
+        self, make_broker, stub_worker, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        first = make_broker(state_dir=state_dir, lease_timeout=0.5)
+        port = first.broker.port
+
+        hang_forever = threading.Event()
+
+        def black_hole(payload: dict) -> dict:
+            hang_forever.wait(timeout=30.0)
+            return stub_result(payload)
+
+        doomed = stub_worker(
+            first.address,
+            task_fn=black_hole,
+            worker_id="doomed",
+            max_reconnects=0,
+            exit_when_idle=False,
+        )
+        client = BrokerClient(first.address, reconnect_backoff=0.05)
+        payloads = [payload_for(7)]
+        results: dict[str, object] = {}
+        driver = threading.Thread(
+            target=lambda: results.update(collect(client, payloads)), daemon=True
+        )
+        driver.start()
+        wait_for(lambda: len(events_of(state_dir, "lease")) == 1)
+        first.stop()
+        # The doomed worker gives up instead of reconnecting; its adopted
+        # lease must expire after one grace deadline and re-queue.
+        doomed._stop = True
+        hang_forever.set()
+
+        second = make_broker(state_dir=state_dir, port=port, lease_timeout=0.5)
+        assert second.broker.generation == 2
+        stub_worker(second.address, task_fn=stub_result, worker_id="fresh")
+        driver.join(timeout=20.0)
+        assert not driver.is_alive()
+        key = TaskSpec.from_payload(payloads[0]).digest
+        bundle = results[key]
+        assert not hasattr(bundle, "error")
+        assert bundle["worker"] == "fresh"
+        assert any(e["worker"] == "doomed" for e in events_of(state_dir, "re-lease"))
+        # The poison counter outlives the broker that recorded it: a third
+        # generation still sees the release, so a task cannot launder its
+        # max_releases history by crashing the broker.
+        second.stop()
+        make_broker(state_dir=state_dir, port=port, lease_timeout=0.5)
+        state = SweepStateStore.load_state(state_dir)
+        assert state is not None and state.generation == 3
+        assert state.tasks[key]["releases"] >= 1
+        assert state.releases_total >= 1
+
+
+class TestRecoveredTerminalState:
+    def test_done_and_poison_counters_survive_restart(
+        self, make_broker, stub_worker, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        cache_dir = tmp_path / "cache"
+        first = make_broker(state_dir=state_dir, cache_dir=cache_dir)
+        port = first.broker.port
+        stub_worker(first.address, task_fn=stub_result, worker_id="one")
+        payloads = [payload_for(i) for i in range(3)]
+        assert len(collect(BrokerClient(first.address), payloads)) == 3
+        first.stop()
+
+        second = make_broker(state_dir=state_dir, cache_dir=cache_dir, port=port)
+        state = SweepStateStore.load_state(state_dir)
+        assert state is not None
+        assert state.generation == 2
+        assert state.tasks_done == 3
+        for key in (TaskSpec.from_payload(p).digest for p in payloads):
+            assert state.tasks[key]["status"] == "done"
+        # A resubmission against the restarted broker is served from the
+        # shared cache — no worker attached, nothing recomputed — and the
+        # original computing worker's provenance survives the restart.
+        results = collect(BrokerClient(second.address), payloads)
+        assert len(results) == 3
+        assert all(bundle["source"] == "remote-cache" for bundle in results.values())
+        assert all(bundle["worker"] == "one" for bundle in results.values())
+        assert len(events_of(state_dir, "complete")) == 3
+
+    def test_recovery_compacts_the_event_log(self, make_broker, stub_worker, tmp_path):
+        state_dir = tmp_path / "state"
+        first = make_broker(state_dir=state_dir)
+        port = first.broker.port
+        stub_worker(first.address, task_fn=stub_result, worker_id="one")
+        collect(BrokerClient(first.address), [payload_for(i) for i in range(3)])
+        first.stop()
+
+        make_broker(state_dir=state_dir, port=port)
+        # Recovery folded the old log into state.json and rotated it, so a
+        # third generation replays O(state), not the full history.
+        assert (state_dir / "events.jsonl.1").exists()
+        recover_events = events_of(state_dir, "broker-recover")
+        assert recover_events and recover_events[-1]["generation"] == 2

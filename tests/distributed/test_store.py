@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import json
 
-from repro.distributed.store import SweepState, SweepStateStore, read_events
+from repro.distributed.store import (
+    SweepState,
+    SweepStateStore,
+    read_events,
+    read_live_events,
+    replay_events,
+)
 
 
 class TestEventLog:
@@ -94,3 +100,84 @@ class TestStateSnapshot:
         state = SweepState(tasks_total=4, by_source={"computed": 4})
         payload = json.loads(json.dumps(state.to_dict()))
         assert SweepState.from_dict(payload).tasks_total == 4
+
+    def test_torn_snapshot_falls_back_to_previous_generation(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.state.tasks_done = 1
+        store.write_state()
+        store.state.tasks_done = 2
+        store.write_state()
+        # SIGKILL mid-replace: the live snapshot is torn, .prev is whole.
+        (tmp_path / "state.json").write_text('{"tasks_done": 2, "tr', encoding="utf-8")
+        loaded = SweepStateStore.load_state(tmp_path)
+        assert loaded is not None
+        assert loaded.tasks_done == 1
+
+    def test_snapshot_deleted_entirely_falls_back_to_previous(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.state.tasks_done = 5
+        store.write_state()
+        store.write_state()
+        (tmp_path / "state.json").unlink()
+        loaded = SweepStateStore.load_state(tmp_path)
+        assert loaded is not None
+        assert loaded.tasks_done == 5
+
+
+class TestCompactionAndReplay:
+    def test_compact_rotates_live_log_and_preserves_history(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.record("task", key="k1")
+        store.record("lease", key="k1", worker="w")
+        archive = store.compact(keep_archives=2)
+        assert archive is not None and archive.name == "events.jsonl.1"
+        store.record("complete", key="k1", worker="w")
+        store.close()
+        # Full history reads archives first, then the live log.
+        kinds = [e["event"] for e in read_events(tmp_path)]
+        assert kinds == ["task", "lease", "compact", "complete"]
+        # The live log alone starts at the compact marker.
+        live = [e["event"] for e in read_live_events(tmp_path)]
+        assert live == ["compact", "complete"]
+
+    def test_retention_deletes_oldest_segments(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        for index in range(3):
+            store.record("task", key=f"k{index}")
+            store.compact(keep_archives=1)
+        store.close()
+        archives = sorted(p.name for p in tmp_path.glob("events.jsonl.*"))
+        assert archives == ["events.jsonl.3"]
+
+    def test_replay_events_skips_everything_folded_into_the_snapshot(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.record("task", key="k1")
+        store.record("task", key="k2")
+        store.write_state()  # snapshot now carries seq=2
+        folded_seq = store.state.seq
+        store.record("lease", key="k1", worker="w")
+        store.close()
+        tail = list(replay_events(tmp_path, after_seq=folded_seq))
+        assert [e["event"] for e in tail] == ["lease"]
+
+    def test_replay_past_a_torn_tail(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        store.record("task", key="k1")
+        store.close()
+        with open(tmp_path / "events.jsonl", "ab") as fh:
+            fh.write(b'{"event": "lease", "seq": 2, "key": "to')  # torn mid-write
+        tail = list(replay_events(tmp_path, after_seq=0))
+        assert [e["event"] for e in tail] == ["task"]
+        # A store reopened on this dir continues the sequence monotonically.
+        reopened = SweepStateStore(tmp_path)
+        seq = reopened.record("complete", key="k1")
+        reopened.close()
+        assert seq >= 2
+
+    def test_deferred_sync_is_flushed_by_sync(self, tmp_path):
+        store = SweepStateStore(tmp_path)
+        for index in range(5):
+            store.record("task", sync=False, key=f"k{index}")
+        store.sync()
+        assert len([e for e in read_live_events(tmp_path)]) == 5
+        store.close()
